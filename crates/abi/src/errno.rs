@@ -1,0 +1,286 @@
+//! 4.3BSD error numbers.
+//!
+//! Values match `<sys/errno.h>` of 4.3BSD so that traced output and the
+//! numeric syscall layer look like the real interface.
+
+/// A 4.3BSD `errno` value as returned through the system interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // the variants are the standard errno names
+#[repr(u32)]
+pub enum Errno {
+    EPERM = 1,
+    ENOENT = 2,
+    ESRCH = 3,
+    EINTR = 4,
+    EIO = 5,
+    ENXIO = 6,
+    E2BIG = 7,
+    ENOEXEC = 8,
+    EBADF = 9,
+    ECHILD = 10,
+    EAGAIN = 11,
+    ENOMEM = 12,
+    EACCES = 13,
+    EFAULT = 14,
+    ENOTBLK = 15,
+    EBUSY = 16,
+    EEXIST = 17,
+    EXDEV = 18,
+    ENODEV = 19,
+    ENOTDIR = 20,
+    EISDIR = 21,
+    EINVAL = 22,
+    ENFILE = 23,
+    EMFILE = 24,
+    ENOTTY = 25,
+    ETXTBSY = 26,
+    EFBIG = 27,
+    ENOSPC = 28,
+    ESPIPE = 29,
+    EROFS = 30,
+    EMLINK = 31,
+    EPIPE = 32,
+    EDOM = 33,
+    ERANGE = 34,
+    EWOULDBLOCK = 35,
+    EINPROGRESS = 36,
+    EALREADY = 37,
+    ENOTSOCK = 38,
+    EDESTADDRREQ = 39,
+    EMSGSIZE = 40,
+    EPROTOTYPE = 41,
+    ENOPROTOOPT = 42,
+    EPROTONOSUPPORT = 43,
+    ESOCKTNOSUPPORT = 44,
+    EOPNOTSUPP = 45,
+    EPFNOSUPPORT = 46,
+    EAFNOSUPPORT = 47,
+    EADDRINUSE = 48,
+    EADDRNOTAVAIL = 49,
+    ENETDOWN = 50,
+    ENETUNREACH = 51,
+    ENETRESET = 52,
+    ECONNABORTED = 53,
+    ECONNRESET = 54,
+    ENOBUFS = 55,
+    EISCONN = 56,
+    ENOTCONN = 57,
+    ESHUTDOWN = 58,
+    ETOOMANYREFS = 59,
+    ETIMEDOUT = 60,
+    ECONNREFUSED = 61,
+    ELOOP = 62,
+    ENAMETOOLONG = 63,
+    EHOSTDOWN = 64,
+    EHOSTUNREACH = 65,
+    ENOTEMPTY = 66,
+    EPROCLIM = 67,
+    EUSERS = 68,
+    EDQUOT = 69,
+    /// Not a real 4.3BSD errno: the kernel uses this internally to tell the
+    /// scheduler a call would block and must be restarted when its wait
+    /// channel fires. It never reaches applications.
+    ERESTARTBLOCK = 1000,
+}
+
+impl Errno {
+    /// The symbolic name, as `trace`-style agents print it.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        use Errno::*;
+        match self {
+            EPERM => "EPERM",
+            ENOENT => "ENOENT",
+            ESRCH => "ESRCH",
+            EINTR => "EINTR",
+            EIO => "EIO",
+            ENXIO => "ENXIO",
+            E2BIG => "E2BIG",
+            ENOEXEC => "ENOEXEC",
+            EBADF => "EBADF",
+            ECHILD => "ECHILD",
+            EAGAIN => "EAGAIN",
+            ENOMEM => "ENOMEM",
+            EACCES => "EACCES",
+            EFAULT => "EFAULT",
+            ENOTBLK => "ENOTBLK",
+            EBUSY => "EBUSY",
+            EEXIST => "EEXIST",
+            EXDEV => "EXDEV",
+            ENODEV => "ENODEV",
+            ENOTDIR => "ENOTDIR",
+            EISDIR => "EISDIR",
+            EINVAL => "EINVAL",
+            ENFILE => "ENFILE",
+            EMFILE => "EMFILE",
+            ENOTTY => "ENOTTY",
+            ETXTBSY => "ETXTBSY",
+            EFBIG => "EFBIG",
+            ENOSPC => "ENOSPC",
+            ESPIPE => "ESPIPE",
+            EROFS => "EROFS",
+            EMLINK => "EMLINK",
+            EPIPE => "EPIPE",
+            EDOM => "EDOM",
+            ERANGE => "ERANGE",
+            EWOULDBLOCK => "EWOULDBLOCK",
+            EINPROGRESS => "EINPROGRESS",
+            EALREADY => "EALREADY",
+            ENOTSOCK => "ENOTSOCK",
+            EDESTADDRREQ => "EDESTADDRREQ",
+            EMSGSIZE => "EMSGSIZE",
+            EPROTOTYPE => "EPROTOTYPE",
+            ENOPROTOOPT => "ENOPROTOOPT",
+            EPROTONOSUPPORT => "EPROTONOSUPPORT",
+            ESOCKTNOSUPPORT => "ESOCKTNOSUPPORT",
+            EOPNOTSUPP => "EOPNOTSUPP",
+            EPFNOSUPPORT => "EPFNOSUPPORT",
+            EAFNOSUPPORT => "EAFNOSUPPORT",
+            EADDRINUSE => "EADDRINUSE",
+            EADDRNOTAVAIL => "EADDRNOTAVAIL",
+            ENETDOWN => "ENETDOWN",
+            ENETUNREACH => "ENETUNREACH",
+            ENETRESET => "ENETRESET",
+            ECONNABORTED => "ECONNABORTED",
+            ECONNRESET => "ECONNRESET",
+            ENOBUFS => "ENOBUFS",
+            EISCONN => "EISCONN",
+            ENOTCONN => "ENOTCONN",
+            ESHUTDOWN => "ESHUTDOWN",
+            ETOOMANYREFS => "ETOOMANYREFS",
+            ETIMEDOUT => "ETIMEDOUT",
+            ECONNREFUSED => "ECONNREFUSED",
+            ELOOP => "ELOOP",
+            ENAMETOOLONG => "ENAMETOOLONG",
+            EHOSTDOWN => "EHOSTDOWN",
+            EHOSTUNREACH => "EHOSTUNREACH",
+            ENOTEMPTY => "ENOTEMPTY",
+            EPROCLIM => "EPROCLIM",
+            EUSERS => "EUSERS",
+            EDQUOT => "EDQUOT",
+            ERESTARTBLOCK => "ERESTARTBLOCK",
+        }
+    }
+
+    /// Recovers an [`Errno`] from its numeric value, if it is one we define.
+    #[must_use]
+    pub fn from_code(code: u32) -> Option<Errno> {
+        use Errno::*;
+        const ALL: &[Errno] = &[
+            EPERM,
+            ENOENT,
+            ESRCH,
+            EINTR,
+            EIO,
+            ENXIO,
+            E2BIG,
+            ENOEXEC,
+            EBADF,
+            ECHILD,
+            EAGAIN,
+            ENOMEM,
+            EACCES,
+            EFAULT,
+            ENOTBLK,
+            EBUSY,
+            EEXIST,
+            EXDEV,
+            ENODEV,
+            ENOTDIR,
+            EISDIR,
+            EINVAL,
+            ENFILE,
+            EMFILE,
+            ENOTTY,
+            ETXTBSY,
+            EFBIG,
+            ENOSPC,
+            ESPIPE,
+            EROFS,
+            EMLINK,
+            EPIPE,
+            EDOM,
+            ERANGE,
+            EWOULDBLOCK,
+            EINPROGRESS,
+            EALREADY,
+            ENOTSOCK,
+            EDESTADDRREQ,
+            EMSGSIZE,
+            EPROTOTYPE,
+            ENOPROTOOPT,
+            EPROTONOSUPPORT,
+            ESOCKTNOSUPPORT,
+            EOPNOTSUPP,
+            EPFNOSUPPORT,
+            EAFNOSUPPORT,
+            EADDRINUSE,
+            EADDRNOTAVAIL,
+            ENETDOWN,
+            ENETUNREACH,
+            ENETRESET,
+            ECONNABORTED,
+            ECONNRESET,
+            ENOBUFS,
+            EISCONN,
+            ENOTCONN,
+            ESHUTDOWN,
+            ETOOMANYREFS,
+            ETIMEDOUT,
+            ECONNREFUSED,
+            ELOOP,
+            ENAMETOOLONG,
+            EHOSTDOWN,
+            EHOSTUNREACH,
+            ENOTEMPTY,
+            EPROCLIM,
+            EUSERS,
+            EDQUOT,
+            ERESTARTBLOCK,
+        ];
+        ALL.iter().copied().find(|e| e.code() == code)
+    }
+
+    /// The numeric errno value.
+    #[must_use]
+    pub fn code(self) -> u32 {
+        self as u32
+    }
+}
+
+impl std::fmt::Display for Errno {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.name(), self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_bsd_values() {
+        assert_eq!(Errno::EPERM.code(), 1);
+        assert_eq!(Errno::ENOENT.code(), 2);
+        assert_eq!(Errno::EBADF.code(), 9);
+        assert_eq!(Errno::EINVAL.code(), 22);
+        assert_eq!(Errno::ELOOP.code(), 62);
+        assert_eq!(Errno::ENOTEMPTY.code(), 66);
+    }
+
+    #[test]
+    fn from_code_round_trips_every_variant() {
+        for code in 1..=69u32 {
+            let e = Errno::from_code(code).expect("contiguous errno range");
+            assert_eq!(e.code(), code);
+        }
+        assert_eq!(Errno::from_code(1000), Some(Errno::ERESTARTBLOCK));
+        assert_eq!(Errno::from_code(0), None);
+        assert_eq!(Errno::from_code(70), None);
+    }
+
+    #[test]
+    fn display_includes_name_and_code() {
+        assert_eq!(Errno::ENOENT.to_string(), "ENOENT (2)");
+    }
+}

@@ -1,0 +1,424 @@
+//! Flag words and mode bits crossing the system interface.
+//!
+//! Bit values match 4.3BSD (`<sys/fcntl.h>`, `<sys/stat.h>`) so that raw
+//! numeric arguments observed at the interception layer decode to the
+//! historical constants.
+
+use crate::Errno;
+
+/// `open(2)` flag word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OpenFlags(pub u32);
+
+impl OpenFlags {
+    /// Open for reading only.
+    pub const O_RDONLY: u32 = 0x0000;
+    /// Open for writing only.
+    pub const O_WRONLY: u32 = 0x0001;
+    /// Open for reading and writing.
+    pub const O_RDWR: u32 = 0x0002;
+    /// Mask selecting the access mode.
+    pub const O_ACCMODE: u32 = 0x0003;
+    /// Non-blocking I/O.
+    pub const O_NONBLOCK: u32 = 0x0004;
+    /// Append on each write.
+    pub const O_APPEND: u32 = 0x0008;
+    /// Create the file if it does not exist.
+    pub const O_CREAT: u32 = 0x0200;
+    /// Truncate to zero length.
+    pub const O_TRUNC: u32 = 0x0400;
+    /// Error if `O_CREAT` and the file exists.
+    pub const O_EXCL: u32 = 0x0800;
+
+    /// Builds a flag word from raw bits.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        OpenFlags(bits)
+    }
+
+    /// The raw bits.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// True if the access mode permits reading.
+    #[must_use]
+    pub fn readable(self) -> bool {
+        matches!(self.0 & Self::O_ACCMODE, Self::O_RDONLY | Self::O_RDWR)
+    }
+
+    /// True if the access mode permits writing.
+    #[must_use]
+    pub fn writable(self) -> bool {
+        matches!(self.0 & Self::O_ACCMODE, Self::O_WRONLY | Self::O_RDWR)
+    }
+
+    /// True if `flag` (one of the `O_*` constants) is set.
+    #[must_use]
+    pub fn has(self, flag: u32) -> bool {
+        self.0 & flag != 0
+    }
+
+    /// Renders the flag word the way a tracing agent prints it, e.g.
+    /// `O_WRONLY|O_CREAT|O_TRUNC`.
+    #[must_use]
+    pub fn describe(self) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        parts.push(match self.0 & Self::O_ACCMODE {
+            Self::O_WRONLY => "O_WRONLY",
+            Self::O_RDWR => "O_RDWR",
+            _ => "O_RDONLY",
+        });
+        for (bit, name) in [
+            (Self::O_NONBLOCK, "O_NONBLOCK"),
+            (Self::O_APPEND, "O_APPEND"),
+            (Self::O_CREAT, "O_CREAT"),
+            (Self::O_TRUNC, "O_TRUNC"),
+            (Self::O_EXCL, "O_EXCL"),
+        ] {
+            if self.0 & bit != 0 {
+                parts.push(name);
+            }
+        }
+        parts.join("|")
+    }
+}
+
+/// File type, the `S_IFMT` field of a mode word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileType {
+    /// Regular file (`S_IFREG`).
+    Regular,
+    /// Directory (`S_IFDIR`).
+    Directory,
+    /// Symbolic link (`S_IFLNK`).
+    Symlink,
+    /// Character device (`S_IFCHR`).
+    CharDevice,
+    /// Named pipe (`S_IFIFO`).
+    Fifo,
+    /// Socket (`S_IFSOCK`).
+    Socket,
+}
+
+impl FileType {
+    /// The `S_IFMT` bits for this type.
+    #[must_use]
+    pub fn ifmt_bits(self) -> u32 {
+        match self {
+            FileType::Fifo => FileMode::S_IFIFO,
+            FileType::CharDevice => FileMode::S_IFCHR,
+            FileType::Directory => FileMode::S_IFDIR,
+            FileType::Regular => FileMode::S_IFREG,
+            FileType::Symlink => FileMode::S_IFLNK,
+            FileType::Socket => FileMode::S_IFSOCK,
+        }
+    }
+
+    /// Recovers the type from a full mode word.
+    #[must_use]
+    pub fn from_mode_bits(mode: u32) -> Option<FileType> {
+        match mode & FileMode::S_IFMT {
+            FileMode::S_IFIFO => Some(FileType::Fifo),
+            FileMode::S_IFCHR => Some(FileType::CharDevice),
+            FileMode::S_IFDIR => Some(FileType::Directory),
+            FileMode::S_IFREG => Some(FileType::Regular),
+            FileMode::S_IFLNK => Some(FileType::Symlink),
+            FileMode::S_IFSOCK => Some(FileType::Socket),
+            _ => None,
+        }
+    }
+
+    /// One-character tag used in `ls -l`-style listings and trace output.
+    #[must_use]
+    pub fn tag(self) -> char {
+        match self {
+            FileType::Regular => '-',
+            FileType::Directory => 'd',
+            FileType::Symlink => 'l',
+            FileType::CharDevice => 'c',
+            FileType::Fifo => 'p',
+            FileType::Socket => 's',
+        }
+    }
+}
+
+/// A mode word: file type bits plus the nine permission bits, setuid/setgid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FileMode(pub u32);
+
+impl FileMode {
+    /// Mask of the file-type field.
+    pub const S_IFMT: u32 = 0o170000;
+    /// Named pipe.
+    pub const S_IFIFO: u32 = 0o010000;
+    /// Character device.
+    pub const S_IFCHR: u32 = 0o020000;
+    /// Directory.
+    pub const S_IFDIR: u32 = 0o040000;
+    /// Regular file.
+    pub const S_IFREG: u32 = 0o100000;
+    /// Symbolic link.
+    pub const S_IFLNK: u32 = 0o120000;
+    /// Socket.
+    pub const S_IFSOCK: u32 = 0o140000;
+    /// Set-user-id on execution.
+    pub const S_ISUID: u32 = 0o4000;
+    /// Set-group-id on execution.
+    pub const S_ISGID: u32 = 0o2000;
+    /// Mask of the nine rwx permission bits.
+    pub const PERM_MASK: u32 = 0o777;
+
+    /// Builds a mode word from raw bits.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        FileMode(bits)
+    }
+
+    /// Builds a mode word for `ty` with permission bits `perm`.
+    #[must_use]
+    pub fn typed(ty: FileType, perm: u32) -> Self {
+        FileMode(ty.ifmt_bits() | (perm & (Self::PERM_MASK | Self::S_ISUID | Self::S_ISGID)))
+    }
+
+    /// The raw bits.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// The nine permission bits.
+    #[must_use]
+    pub fn perm(self) -> u32 {
+        self.0 & Self::PERM_MASK
+    }
+
+    /// The file type encoded in the mode, if valid.
+    #[must_use]
+    pub fn file_type(self) -> Option<FileType> {
+        FileType::from_mode_bits(self.0)
+    }
+
+    /// Applies a umask, clearing the masked permission bits.
+    #[must_use]
+    pub fn masked(self, umask: u32) -> FileMode {
+        FileMode(self.0 & !(umask & Self::PERM_MASK))
+    }
+
+    /// Renders the permissions `rwxr-x---` style (nine characters).
+    #[must_use]
+    pub fn describe_perm(self) -> String {
+        let p = self.perm();
+        let mut s = String::with_capacity(9);
+        for shift in [6u32, 3, 0] {
+            let trio = (p >> shift) & 0o7;
+            s.push(if trio & 4 != 0 { 'r' } else { '-' });
+            s.push(if trio & 2 != 0 { 'w' } else { '-' });
+            s.push(if trio & 1 != 0 { 'x' } else { '-' });
+        }
+        s
+    }
+}
+
+/// `access(2)` mode argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessMode(pub u32);
+
+impl AccessMode {
+    /// Test for existence only.
+    pub const F_OK: u32 = 0;
+    /// Test for execute permission.
+    pub const X_OK: u32 = 1;
+    /// Test for write permission.
+    pub const W_OK: u32 = 2;
+    /// Test for read permission.
+    pub const R_OK: u32 = 4;
+
+    /// True if read permission is requested.
+    #[must_use]
+    pub fn wants_read(self) -> bool {
+        self.0 & Self::R_OK != 0
+    }
+
+    /// True if write permission is requested.
+    #[must_use]
+    pub fn wants_write(self) -> bool {
+        self.0 & Self::W_OK != 0
+    }
+
+    /// True if execute permission is requested.
+    #[must_use]
+    pub fn wants_exec(self) -> bool {
+        self.0 & Self::X_OK != 0
+    }
+}
+
+/// `lseek(2)` whence argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Whence {
+    /// Relative to the start of the file (`L_SET`).
+    Set,
+    /// Relative to the current offset (`L_INCR`).
+    Cur,
+    /// Relative to the end of the file (`L_XTND`).
+    End,
+}
+
+impl Whence {
+    /// Decodes the raw whence argument.
+    pub fn from_u32(v: u32) -> Result<Whence, Errno> {
+        match v {
+            0 => Ok(Whence::Set),
+            1 => Ok(Whence::Cur),
+            2 => Ok(Whence::End),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// The raw value.
+    #[must_use]
+    pub fn to_u32(self) -> u32 {
+        match self {
+            Whence::Set => 0,
+            Whence::Cur => 1,
+            Whence::End => 2,
+        }
+    }
+}
+
+/// `fcntl(2)` command argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FcntlCmd {
+    /// Duplicate the descriptor onto the lowest slot ≥ arg.
+    DupFd,
+    /// Get the close-on-exec flag.
+    GetFd,
+    /// Set the close-on-exec flag.
+    SetFd,
+    /// Get the open-file status flags.
+    GetFl,
+    /// Set the open-file status flags.
+    SetFl,
+}
+
+impl FcntlCmd {
+    /// Decodes the raw command value (4.3BSD numbering).
+    pub fn from_u32(v: u32) -> Result<FcntlCmd, Errno> {
+        match v {
+            0 => Ok(FcntlCmd::DupFd),
+            1 => Ok(FcntlCmd::GetFd),
+            2 => Ok(FcntlCmd::SetFd),
+            3 => Ok(FcntlCmd::GetFl),
+            4 => Ok(FcntlCmd::SetFl),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// The raw value.
+    #[must_use]
+    pub fn to_u32(self) -> u32 {
+        match self {
+            FcntlCmd::DupFd => 0,
+            FcntlCmd::GetFd => 1,
+            FcntlCmd::SetFd => 2,
+            FcntlCmd::GetFl => 3,
+            FcntlCmd::SetFl => 4,
+        }
+    }
+}
+
+/// `flock(2)` operation bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlockOp(pub u32);
+
+impl FlockOp {
+    /// Shared lock.
+    pub const LOCK_SH: u32 = 1;
+    /// Exclusive lock.
+    pub const LOCK_EX: u32 = 2;
+    /// Don't block when locking.
+    pub const LOCK_NB: u32 = 4;
+    /// Unlock.
+    pub const LOCK_UN: u32 = 8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_flags_access_modes() {
+        assert!(OpenFlags::new(OpenFlags::O_RDONLY).readable());
+        assert!(!OpenFlags::new(OpenFlags::O_RDONLY).writable());
+        assert!(!OpenFlags::new(OpenFlags::O_WRONLY).readable());
+        assert!(OpenFlags::new(OpenFlags::O_WRONLY).writable());
+        assert!(OpenFlags::new(OpenFlags::O_RDWR).readable());
+        assert!(OpenFlags::new(OpenFlags::O_RDWR).writable());
+    }
+
+    #[test]
+    fn open_flags_describe() {
+        let f = OpenFlags::new(OpenFlags::O_WRONLY | OpenFlags::O_CREAT | OpenFlags::O_TRUNC);
+        assert_eq!(f.describe(), "O_WRONLY|O_CREAT|O_TRUNC");
+        assert_eq!(OpenFlags::new(0).describe(), "O_RDONLY");
+    }
+
+    #[test]
+    fn file_mode_round_trips_types() {
+        for ty in [
+            FileType::Regular,
+            FileType::Directory,
+            FileType::Symlink,
+            FileType::CharDevice,
+            FileType::Fifo,
+            FileType::Socket,
+        ] {
+            let m = FileMode::typed(ty, 0o755);
+            assert_eq!(m.file_type(), Some(ty));
+            assert_eq!(m.perm(), 0o755);
+        }
+    }
+
+    #[test]
+    fn umask_clears_bits() {
+        let m = FileMode::typed(FileType::Regular, 0o666).masked(0o022);
+        assert_eq!(m.perm(), 0o644);
+    }
+
+    #[test]
+    fn describe_perm_formats() {
+        assert_eq!(
+            FileMode::typed(FileType::Regular, 0o750).describe_perm(),
+            "rwxr-x---"
+        );
+        assert_eq!(
+            FileMode::typed(FileType::Regular, 0o644).describe_perm(),
+            "rw-r--r--"
+        );
+    }
+
+    #[test]
+    fn whence_round_trips() {
+        for v in 0..3 {
+            assert_eq!(Whence::from_u32(v).unwrap().to_u32(), v);
+        }
+        assert_eq!(Whence::from_u32(3), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn fcntl_round_trips() {
+        for v in 0..5 {
+            assert_eq!(FcntlCmd::from_u32(v).unwrap().to_u32(), v);
+        }
+        assert_eq!(FcntlCmd::from_u32(99), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn access_mode_bits() {
+        let m = AccessMode(AccessMode::R_OK | AccessMode::W_OK);
+        assert!(m.wants_read());
+        assert!(m.wants_write());
+        assert!(!m.wants_exec());
+    }
+}

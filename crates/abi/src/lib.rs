@@ -1,0 +1,84 @@
+//! # ia-abi — the simulated 4.3BSD system interface definition
+//!
+//! This crate defines everything that crosses the *system interface* in this
+//! reproduction of Jones' interposition-agents system (SOSP '93): syscall
+//! numbers, error numbers, flag words, signal numbers, and the byte-level
+//! layouts of the structures that the kernel and applications exchange
+//! through process memory (`stat` buffers, `timeval`s, directory entries,
+//! signal contexts, ...).
+//!
+//! Everything here is *data*: no behaviour, no I/O, no unsafe code. The
+//! structures use explicit little-endian serialization (see [`wire`]) rather
+//! than `#[repr(C)]` transmutes, so the layouts are stable, portable, and
+//! checkable by property tests.
+//!
+//! The syscall numbering follows the 4.3BSD table where the paper names a
+//! call, with simplifications documented on [`Sysno`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod errno;
+pub mod flags;
+pub mod signal;
+pub mod sysno;
+pub mod types;
+pub mod wire;
+
+pub use errno::Errno;
+pub use flags::{AccessMode, FcntlCmd, FileMode, FileType, OpenFlags, Whence};
+pub use signal::{SigDisposition, SigSet, Signal};
+pub use sysno::Sysno;
+pub use types::{DirEntry, Rusage, SigActionRec, Stat, Timeval, Timezone};
+
+/// Raw argument vector carried by every trap, as in the paper's *numeric
+/// system call layer*: "a single entry point accepting vectors of untyped
+/// numeric arguments".
+///
+/// Arguments that are pointers refer to addresses inside the calling
+/// process's (simulated) address space.
+pub type RawArgs = [u64; 6];
+
+/// The two return registers of a 4.3BSD system call (`rv[2]` in the paper's
+/// toolkit interfaces). Most calls use only `rv[0]`; `pipe()` returns two
+/// descriptors and `fork()` uses `rv[1]` to distinguish parent from child.
+pub type RetVal = [u64; 2];
+
+/// Result of a system call at any level of the interface: either the two
+/// return registers or an error number.
+pub type SysResult = Result<RetVal, Errno>;
+
+/// Convenience constructor for the common single-value success case.
+#[inline]
+pub fn ok1(v: u64) -> SysResult {
+    Ok([v, 0])
+}
+
+/// Convenience constructor for a two-register success value.
+#[inline]
+pub fn ok2(a: u64, b: u64) -> SysResult {
+    Ok([a, b])
+}
+
+/// The canonical "success, nothing to report" return.
+pub const OK: SysResult = Ok([0, 0]);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok1_sets_first_register_only() {
+        assert_eq!(ok1(7), Ok([7, 0]));
+    }
+
+    #[test]
+    fn ok2_sets_both_registers() {
+        assert_eq!(ok2(3, 4), Ok([3, 4]));
+    }
+
+    #[test]
+    fn ok_is_zeroes() {
+        assert_eq!(OK, Ok([0, 0]));
+    }
+}

@@ -1,0 +1,474 @@
+//! 4.3BSD signals.
+//!
+//! Signals are the *upward* half of the system interface: the paper's
+//! completeness goal requires that agents can interpose on them just as they
+//! do on system calls, so their definition lives here next to the calls.
+
+use crate::Errno;
+
+/// A 4.3BSD signal number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // variants are the standard signal names
+#[repr(u32)]
+pub enum Signal {
+    SIGHUP = 1,
+    SIGINT = 2,
+    SIGQUIT = 3,
+    SIGILL = 4,
+    SIGTRAP = 5,
+    SIGIOT = 6,
+    SIGEMT = 7,
+    SIGFPE = 8,
+    SIGKILL = 9,
+    SIGBUS = 10,
+    SIGSEGV = 11,
+    SIGSYS = 12,
+    SIGPIPE = 13,
+    SIGALRM = 14,
+    SIGTERM = 15,
+    SIGURG = 16,
+    SIGSTOP = 17,
+    SIGTSTP = 18,
+    SIGCONT = 19,
+    SIGCHLD = 20,
+    SIGTTIN = 21,
+    SIGTTOU = 22,
+    SIGIO = 23,
+    SIGXCPU = 24,
+    SIGXFSZ = 25,
+    SIGVTALRM = 26,
+    SIGPROF = 27,
+    SIGWINCH = 28,
+    SIGINFO = 29,
+    SIGUSR1 = 30,
+    SIGUSR2 = 31,
+}
+
+/// All 31 signals in numeric order.
+pub const ALL_SIGNALS: &[Signal] = &[
+    Signal::SIGHUP,
+    Signal::SIGINT,
+    Signal::SIGQUIT,
+    Signal::SIGILL,
+    Signal::SIGTRAP,
+    Signal::SIGIOT,
+    Signal::SIGEMT,
+    Signal::SIGFPE,
+    Signal::SIGKILL,
+    Signal::SIGBUS,
+    Signal::SIGSEGV,
+    Signal::SIGSYS,
+    Signal::SIGPIPE,
+    Signal::SIGALRM,
+    Signal::SIGTERM,
+    Signal::SIGURG,
+    Signal::SIGSTOP,
+    Signal::SIGTSTP,
+    Signal::SIGCONT,
+    Signal::SIGCHLD,
+    Signal::SIGTTIN,
+    Signal::SIGTTOU,
+    Signal::SIGIO,
+    Signal::SIGXCPU,
+    Signal::SIGXFSZ,
+    Signal::SIGVTALRM,
+    Signal::SIGPROF,
+    Signal::SIGWINCH,
+    Signal::SIGINFO,
+    Signal::SIGUSR1,
+    Signal::SIGUSR2,
+];
+
+/// What the system does with a signal when no handler is installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefaultAction {
+    /// Terminate the process.
+    Terminate,
+    /// Discard the signal.
+    Ignore,
+    /// Stop the process.
+    Stop,
+    /// Continue a stopped process.
+    Continue,
+}
+
+impl Signal {
+    /// Recovers a [`Signal`] from its number.
+    #[must_use]
+    pub fn from_u32(n: u32) -> Option<Signal> {
+        if (1..=31).contains(&n) {
+            Some(ALL_SIGNALS[(n - 1) as usize])
+        } else {
+            None
+        }
+    }
+
+    /// The signal number.
+    #[must_use]
+    pub fn number(self) -> u32 {
+        self as u32
+    }
+
+    /// The signal's symbolic name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        use Signal::*;
+        match self {
+            SIGHUP => "SIGHUP",
+            SIGINT => "SIGINT",
+            SIGQUIT => "SIGQUIT",
+            SIGILL => "SIGILL",
+            SIGTRAP => "SIGTRAP",
+            SIGIOT => "SIGIOT",
+            SIGEMT => "SIGEMT",
+            SIGFPE => "SIGFPE",
+            SIGKILL => "SIGKILL",
+            SIGBUS => "SIGBUS",
+            SIGSEGV => "SIGSEGV",
+            SIGSYS => "SIGSYS",
+            SIGPIPE => "SIGPIPE",
+            SIGALRM => "SIGALRM",
+            SIGTERM => "SIGTERM",
+            SIGURG => "SIGURG",
+            SIGSTOP => "SIGSTOP",
+            SIGTSTP => "SIGTSTP",
+            SIGCONT => "SIGCONT",
+            SIGCHLD => "SIGCHLD",
+            SIGTTIN => "SIGTTIN",
+            SIGTTOU => "SIGTTOU",
+            SIGIO => "SIGIO",
+            SIGXCPU => "SIGXCPU",
+            SIGXFSZ => "SIGXFSZ",
+            SIGVTALRM => "SIGVTALRM",
+            SIGPROF => "SIGPROF",
+            SIGWINCH => "SIGWINCH",
+            SIGINFO => "SIGINFO",
+            SIGUSR1 => "SIGUSR1",
+            SIGUSR2 => "SIGUSR2",
+        }
+    }
+
+    /// The 4.3BSD default action for this signal.
+    #[must_use]
+    pub fn default_action(self) -> DefaultAction {
+        use Signal::*;
+        match self {
+            SIGURG | SIGCHLD | SIGIO | SIGWINCH | SIGINFO => DefaultAction::Ignore,
+            SIGSTOP | SIGTSTP | SIGTTIN | SIGTTOU => DefaultAction::Stop,
+            SIGCONT => DefaultAction::Continue,
+            _ => DefaultAction::Terminate,
+        }
+    }
+
+    /// True for the two signals that can be neither caught nor blocked.
+    #[must_use]
+    pub fn uncatchable(self) -> bool {
+        matches!(self, Signal::SIGKILL | Signal::SIGSTOP)
+    }
+}
+
+impl std::fmt::Display for Signal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A signal set, one bit per signal (bit *n−1* for signal *n*), the
+/// representation used by `sigprocmask`/`sigpending`/`sigsuspend`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SigSet(pub u32);
+
+impl SigSet {
+    /// The empty set.
+    pub const EMPTY: SigSet = SigSet(0);
+
+    /// The set containing every signal (bits 0..=30 for signals 1..=31).
+    pub const FULL: SigSet = SigSet(0x7fff_ffff);
+
+    /// Builds a set from raw bits.
+    #[must_use]
+    pub fn from_bits(bits: u32) -> SigSet {
+        SigSet(bits & 0x7fff_ffff)
+    }
+
+    /// The raw bits.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Tests membership.
+    #[must_use]
+    pub fn contains(self, sig: Signal) -> bool {
+        self.0 & (1 << (sig.number() - 1)) != 0
+    }
+
+    /// Adds a signal.
+    pub fn add(&mut self, sig: Signal) {
+        self.0 |= 1 << (sig.number() - 1);
+    }
+
+    /// Removes a signal.
+    pub fn remove(&mut self, sig: Signal) {
+        self.0 &= !(1 << (sig.number() - 1));
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: SigSet) -> SigSet {
+        SigSet(self.0 | other.0)
+    }
+
+    /// Set difference (`self` minus `other`).
+    #[must_use]
+    pub fn minus(self, other: SigSet) -> SigSet {
+        SigSet(self.0 & !other.0)
+    }
+
+    /// True if no signals are in the set.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The lowest-numbered signal in the set, if any; 4.3BSD delivers
+    /// pending signals in this order.
+    #[must_use]
+    pub fn lowest(self) -> Option<Signal> {
+        if self.0 == 0 {
+            None
+        } else {
+            Signal::from_u32(self.0.trailing_zeros() + 1)
+        }
+    }
+
+    /// Removes and returns the lowest-numbered signal.
+    pub fn take_lowest(&mut self) -> Option<Signal> {
+        let s = self.lowest()?;
+        self.remove(s);
+        Some(s)
+    }
+
+    /// SIGKILL and SIGSTOP cannot be blocked: 4.3BSD silently clears them
+    /// from any mask an application installs.
+    #[must_use]
+    pub fn blockable(self) -> SigSet {
+        let mut s = self;
+        s.remove(Signal::SIGKILL);
+        s.remove(Signal::SIGSTOP);
+        s
+    }
+}
+
+/// How a process disposes of a signal: the value stored by `sigaction`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SigDisposition {
+    /// Take the signal's default action.
+    #[default]
+    Default,
+    /// Discard the signal.
+    Ignore,
+    /// Invoke a handler at this code address in the process.
+    Handler(u64),
+}
+
+impl SigDisposition {
+    /// The `sigaction` encoding: 0 = SIG_DFL, 1 = SIG_IGN, else handler
+    /// address.
+    #[must_use]
+    pub fn to_u64(self) -> u64 {
+        match self {
+            SigDisposition::Default => 0,
+            SigDisposition::Ignore => 1,
+            SigDisposition::Handler(a) => a,
+        }
+    }
+
+    /// Decodes the `sigaction` encoding. Addresses 0 and 1 are reserved for
+    /// SIG_DFL / SIG_IGN exactly as in BSD.
+    #[must_use]
+    pub fn from_u64(v: u64) -> SigDisposition {
+        match v {
+            0 => SigDisposition::Default,
+            1 => SigDisposition::Ignore,
+            a => SigDisposition::Handler(a),
+        }
+    }
+}
+
+/// `sigprocmask(2)` how argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigmaskHow {
+    /// Add `set` to the blocked mask.
+    Block,
+    /// Remove `set` from the blocked mask.
+    Unblock,
+    /// Replace the blocked mask with `set`.
+    SetMask,
+}
+
+impl SigmaskHow {
+    /// Decodes the raw how value (1 = block, 2 = unblock, 3 = setmask).
+    pub fn from_u32(v: u32) -> Result<SigmaskHow, Errno> {
+        match v {
+            1 => Ok(SigmaskHow::Block),
+            2 => Ok(SigmaskHow::Unblock),
+            3 => Ok(SigmaskHow::SetMask),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// The raw value.
+    #[must_use]
+    pub fn to_u32(self) -> u32 {
+        match self {
+            SigmaskHow::Block => 1,
+            SigmaskHow::Unblock => 2,
+            SigmaskHow::SetMask => 3,
+        }
+    }
+}
+
+/// Encodes a wait status the 4.3BSD way: low byte = termination signal
+/// (0 for normal exit), next byte = exit status.
+#[must_use]
+pub fn wait_status_exited(code: u8) -> u32 {
+    (code as u32) << 8
+}
+
+/// Encodes a signal-termination wait status.
+#[must_use]
+pub fn wait_status_signaled(sig: Signal) -> u32 {
+    sig.number() & 0x7f
+}
+
+/// Encodes a job-control stop status (`WSTOPPED`).
+#[must_use]
+pub fn wait_status_stopped(sig: Signal) -> u32 {
+    0o177 | (sig.number() << 8)
+}
+
+/// Decoded view of a wait status word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitStatus {
+    /// Normal exit with this status code.
+    Exited(u8),
+    /// Terminated by this signal.
+    Signaled(Signal),
+    /// Stopped by this signal.
+    Stopped(Signal),
+}
+
+impl WaitStatus {
+    /// Decodes a raw status word.
+    #[must_use]
+    pub fn decode(raw: u32) -> Option<WaitStatus> {
+        if raw & 0xff == 0o177 {
+            Signal::from_u32((raw >> 8) & 0xff).map(WaitStatus::Stopped)
+        } else if raw & 0x7f == 0 {
+            Some(WaitStatus::Exited(((raw >> 8) & 0xff) as u8))
+        } else {
+            Signal::from_u32(raw & 0x7f).map(WaitStatus::Signaled)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_numbers_match_bsd() {
+        assert_eq!(Signal::SIGHUP.number(), 1);
+        assert_eq!(Signal::SIGKILL.number(), 9);
+        assert_eq!(Signal::SIGCHLD.number(), 20);
+        assert_eq!(Signal::SIGUSR2.number(), 31);
+    }
+
+    #[test]
+    fn from_u32_round_trips() {
+        for &s in ALL_SIGNALS {
+            assert_eq!(Signal::from_u32(s.number()), Some(s));
+        }
+        assert_eq!(Signal::from_u32(0), None);
+        assert_eq!(Signal::from_u32(32), None);
+    }
+
+    #[test]
+    fn sigset_membership() {
+        let mut s = SigSet::EMPTY;
+        assert!(s.is_empty());
+        s.add(Signal::SIGINT);
+        s.add(Signal::SIGTERM);
+        assert!(s.contains(Signal::SIGINT));
+        assert!(!s.contains(Signal::SIGHUP));
+        s.remove(Signal::SIGINT);
+        assert!(!s.contains(Signal::SIGINT));
+        assert_eq!(s.lowest(), Some(Signal::SIGTERM));
+    }
+
+    #[test]
+    fn sigset_delivery_order_is_lowest_first() {
+        let mut s = SigSet::EMPTY;
+        s.add(Signal::SIGTERM);
+        s.add(Signal::SIGHUP);
+        s.add(Signal::SIGINT);
+        assert_eq!(s.take_lowest(), Some(Signal::SIGHUP));
+        assert_eq!(s.take_lowest(), Some(Signal::SIGINT));
+        assert_eq!(s.take_lowest(), Some(Signal::SIGTERM));
+        assert_eq!(s.take_lowest(), None);
+    }
+
+    #[test]
+    fn kill_and_stop_are_unblockable() {
+        let mut s = SigSet::EMPTY;
+        s.add(Signal::SIGKILL);
+        s.add(Signal::SIGSTOP);
+        s.add(Signal::SIGINT);
+        let b = s.blockable();
+        assert!(!b.contains(Signal::SIGKILL));
+        assert!(!b.contains(Signal::SIGSTOP));
+        assert!(b.contains(Signal::SIGINT));
+    }
+
+    #[test]
+    fn disposition_encoding() {
+        assert_eq!(SigDisposition::from_u64(0), SigDisposition::Default);
+        assert_eq!(SigDisposition::from_u64(1), SigDisposition::Ignore);
+        assert_eq!(
+            SigDisposition::from_u64(0x4000),
+            SigDisposition::Handler(0x4000)
+        );
+        for d in [
+            SigDisposition::Default,
+            SigDisposition::Ignore,
+            SigDisposition::Handler(1234),
+        ] {
+            assert_eq!(SigDisposition::from_u64(d.to_u64()), d);
+        }
+    }
+
+    #[test]
+    fn default_actions() {
+        assert_eq!(Signal::SIGCHLD.default_action(), DefaultAction::Ignore);
+        assert_eq!(Signal::SIGSTOP.default_action(), DefaultAction::Stop);
+        assert_eq!(Signal::SIGCONT.default_action(), DefaultAction::Continue);
+        assert_eq!(Signal::SIGTERM.default_action(), DefaultAction::Terminate);
+    }
+
+    #[test]
+    fn wait_status_round_trips() {
+        assert_eq!(
+            WaitStatus::decode(wait_status_exited(3)),
+            Some(WaitStatus::Exited(3))
+        );
+        assert_eq!(
+            WaitStatus::decode(wait_status_signaled(Signal::SIGKILL)),
+            Some(WaitStatus::Signaled(Signal::SIGKILL))
+        );
+        assert_eq!(
+            WaitStatus::decode(wait_status_stopped(Signal::SIGTSTP)),
+            Some(WaitStatus::Stopped(Signal::SIGTSTP))
+        );
+    }
+}

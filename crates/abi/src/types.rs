@@ -1,0 +1,569 @@
+//! Structures exchanged through process memory at the system interface,
+//! with their fixed wire layouts.
+
+use crate::signal::SigSet;
+use crate::wire::{Dec, Enc, Wire};
+use crate::Errno;
+
+/// Number of general-purpose registers in the simulated machine; the size of
+/// the register file saved in a [`SigContext`].
+pub const NREGS: usize = 16;
+
+/// Maximum length of one pathname component, as in 4.3BSD's `MAXNAMLEN`.
+pub const MAXNAMLEN: usize = 255;
+
+/// Maximum length of a full pathname, as in 4.3BSD's `MAXPATHLEN`.
+pub const MAXPATHLEN: usize = 1024;
+
+/// `struct timeval`: seconds and microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, PartialOrd, Ord, Hash)]
+pub struct Timeval {
+    /// Seconds since the epoch.
+    pub sec: i64,
+    /// Microseconds, `0..1_000_000`.
+    pub usec: i64,
+}
+
+impl Timeval {
+    /// Builds a normalized timeval from a microsecond count.
+    #[must_use]
+    pub fn from_micros(us: i64) -> Timeval {
+        Timeval {
+            sec: us.div_euclid(1_000_000),
+            usec: us.rem_euclid(1_000_000),
+        }
+    }
+
+    /// Total microseconds represented.
+    #[must_use]
+    pub fn as_micros(self) -> i64 {
+        self.sec * 1_000_000 + self.usec
+    }
+}
+
+impl Wire for Timeval {
+    const WIRE_SIZE: usize = 16;
+
+    fn encode(&self, buf: &mut [u8]) {
+        Enc::new(buf).i64(self.sec).i64(self.usec);
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self, Errno> {
+        let mut d = Dec::new(buf);
+        Ok(Timeval {
+            sec: d.i64()?,
+            usec: d.i64()?,
+        })
+    }
+}
+
+/// `struct timezone`, kept for interface fidelity with `gettimeofday`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Timezone {
+    /// Minutes west of Greenwich.
+    pub minuteswest: i32,
+    /// Type of DST correction.
+    pub dsttime: i32,
+}
+
+impl Wire for Timezone {
+    const WIRE_SIZE: usize = 8;
+
+    fn encode(&self, buf: &mut [u8]) {
+        Enc::new(buf).i32(self.minuteswest).i32(self.dsttime);
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self, Errno> {
+        let mut d = Dec::new(buf);
+        Ok(Timezone {
+            minuteswest: d.i32()?,
+            dsttime: d.i32()?,
+        })
+    }
+}
+
+/// `struct stat` as filled by `stat`/`lstat`/`fstat`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stat {
+    /// Device holding the file (always 0 for the single root filesystem).
+    pub dev: u32,
+    /// Inode number.
+    pub ino: u64,
+    /// Mode word: file type and permission bits.
+    pub mode: u32,
+    /// Number of hard links.
+    pub nlink: u32,
+    /// Owning user id.
+    pub uid: u32,
+    /// Owning group id.
+    pub gid: u32,
+    /// Device number for character devices.
+    pub rdev: u32,
+    /// Size in bytes.
+    pub size: u64,
+    /// Last access time.
+    pub atime: Timeval,
+    /// Last modification time.
+    pub mtime: Timeval,
+    /// Last status-change time.
+    pub ctime: Timeval,
+    /// Preferred I/O block size.
+    pub blksize: u32,
+    /// Blocks allocated (512-byte units).
+    pub blocks: u64,
+}
+
+impl Wire for Stat {
+    const WIRE_SIZE: usize = 4 + 8 + 4 + 4 + 4 + 4 + 4 + 8 + 16 * 3 + 4 + 8;
+
+    fn encode(&self, buf: &mut [u8]) {
+        let mut e = Enc::new(buf);
+        e.u32(self.dev)
+            .u64(self.ino)
+            .u32(self.mode)
+            .u32(self.nlink)
+            .u32(self.uid)
+            .u32(self.gid)
+            .u32(self.rdev)
+            .u64(self.size)
+            .i64(self.atime.sec)
+            .i64(self.atime.usec)
+            .i64(self.mtime.sec)
+            .i64(self.mtime.usec)
+            .i64(self.ctime.sec)
+            .i64(self.ctime.usec)
+            .u32(self.blksize)
+            .u64(self.blocks);
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self, Errno> {
+        let mut d = Dec::new(buf);
+        Ok(Stat {
+            dev: d.u32()?,
+            ino: d.u64()?,
+            mode: d.u32()?,
+            nlink: d.u32()?,
+            uid: d.u32()?,
+            gid: d.u32()?,
+            rdev: d.u32()?,
+            size: d.u64()?,
+            atime: Timeval {
+                sec: d.i64()?,
+                usec: d.i64()?,
+            },
+            mtime: Timeval {
+                sec: d.i64()?,
+                usec: d.i64()?,
+            },
+            ctime: Timeval {
+                sec: d.i64()?,
+                usec: d.i64()?,
+            },
+            blksize: d.u32()?,
+            blocks: d.u64()?,
+        })
+    }
+}
+
+/// One directory entry in the variable-length stream returned by
+/// `getdirentries(2)` — 4.3BSD `struct direct`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Inode number of the entry.
+    pub ino: u64,
+    /// Entry name (no embedded NULs, at most [`MAXNAMLEN`] bytes).
+    pub name: Vec<u8>,
+}
+
+impl DirEntry {
+    /// Fixed header bytes before the name: ino (8) + reclen (2) + namlen (2).
+    pub const HEADER: usize = 12;
+
+    /// Builds an entry, truncating over-long names at [`MAXNAMLEN`].
+    #[must_use]
+    pub fn new(ino: u64, name: impl Into<Vec<u8>>) -> DirEntry {
+        let mut name = name.into();
+        name.truncate(MAXNAMLEN);
+        DirEntry { ino, name }
+    }
+
+    /// The record length this entry occupies on the wire: header plus the
+    /// NUL-terminated name, padded to a 4-byte boundary.
+    #[must_use]
+    pub fn reclen(&self) -> usize {
+        let raw = Self::HEADER + self.name.len() + 1;
+        (raw + 3) & !3
+    }
+
+    /// Appends the wire form to `out`. Returns the record length.
+    pub fn encode_to(&self, out: &mut Vec<u8>) -> usize {
+        let reclen = self.reclen();
+        let start = out.len();
+        out.resize(start + reclen, 0);
+        let mut e = Enc::new(&mut out[start..]);
+        e.u64(self.ino)
+            .u16(reclen as u16)
+            .u16(self.name.len() as u16)
+            .bytes(&self.name)
+            .u8(0);
+        reclen
+    }
+
+    /// Decodes one record from the front of `buf`, returning the entry and
+    /// the bytes consumed.
+    pub fn decode_from(buf: &[u8]) -> Result<(DirEntry, usize), Errno> {
+        let mut d = Dec::new(buf);
+        let ino = d.u64()?;
+        let reclen = d.u16()? as usize;
+        let namlen = d.u16()? as usize;
+        if reclen < Self::HEADER + namlen + 1 || reclen > buf.len() {
+            return Err(Errno::EINVAL);
+        }
+        let name = d.bytes(namlen)?.to_vec();
+        Ok((DirEntry { ino, name }, reclen))
+    }
+
+    /// Decodes an entire `getdirentries` buffer into entries.
+    pub fn decode_stream(mut buf: &[u8]) -> Result<Vec<DirEntry>, Errno> {
+        let mut out = Vec::new();
+        while !buf.is_empty() {
+            let (e, n) = DirEntry::decode_from(buf)?;
+            out.push(e);
+            buf = &buf[n..];
+        }
+        Ok(out)
+    }
+}
+
+/// Resource usage as reported by `getrusage(2)` (a practical subset of the
+/// 4.3BSD `struct rusage`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Rusage {
+    /// User CPU time consumed.
+    pub utime: Timeval,
+    /// System CPU time consumed.
+    pub stime: Timeval,
+    /// Maximum resident set size.
+    pub maxrss: u64,
+    /// Block input operations.
+    pub inblock: u64,
+    /// Block output operations.
+    pub oublock: u64,
+    /// Signals received.
+    pub nsignals: u64,
+    /// Voluntary context switches.
+    pub nvcsw: u64,
+    /// Involuntary context switches.
+    pub nivcsw: u64,
+}
+
+impl Wire for Rusage {
+    const WIRE_SIZE: usize = 16 * 2 + 8 * 6;
+
+    fn encode(&self, buf: &mut [u8]) {
+        let mut e = Enc::new(buf);
+        e.i64(self.utime.sec)
+            .i64(self.utime.usec)
+            .i64(self.stime.sec)
+            .i64(self.stime.usec)
+            .u64(self.maxrss)
+            .u64(self.inblock)
+            .u64(self.oublock)
+            .u64(self.nsignals)
+            .u64(self.nvcsw)
+            .u64(self.nivcsw);
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self, Errno> {
+        let mut d = Dec::new(buf);
+        Ok(Rusage {
+            utime: Timeval {
+                sec: d.i64()?,
+                usec: d.i64()?,
+            },
+            stime: Timeval {
+                sec: d.i64()?,
+                usec: d.i64()?,
+            },
+            maxrss: d.u64()?,
+            inblock: d.u64()?,
+            oublock: d.u64()?,
+            nsignals: d.u64()?,
+            nvcsw: d.u64()?,
+            nivcsw: d.u64()?,
+        })
+    }
+}
+
+/// The record exchanged by `sigaction(2)`: handler, mask to block during the
+/// handler, and flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SigActionRec {
+    /// Handler encoding: 0 = SIG_DFL, 1 = SIG_IGN, else handler address.
+    pub handler: u64,
+    /// Signals blocked while the handler runs.
+    pub mask: u32,
+    /// Flags (reserved, kept for layout fidelity).
+    pub flags: u32,
+}
+
+impl Wire for SigActionRec {
+    const WIRE_SIZE: usize = 16;
+
+    fn encode(&self, buf: &mut [u8]) {
+        Enc::new(buf)
+            .u64(self.handler)
+            .u32(self.mask)
+            .u32(self.flags);
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self, Errno> {
+        let mut d = Dec::new(buf);
+        Ok(SigActionRec {
+            handler: d.u64()?,
+            mask: d.u32()?,
+            flags: d.u32()?,
+        })
+    }
+}
+
+/// One element of a `readv`/`writev` vector — `struct iovec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoVec {
+    /// Address of the buffer in the caller's address space.
+    pub base: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Wire for IoVec {
+    const WIRE_SIZE: usize = 16;
+
+    fn encode(&self, buf: &mut [u8]) {
+        Enc::new(buf).u64(self.base).u64(self.len);
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self, Errno> {
+        let mut d = Dec::new(buf);
+        Ok(IoVec {
+            base: d.u64()?,
+            len: d.u64()?,
+        })
+    }
+}
+
+/// Interval-timer value for `setitimer`/`getitimer` — `struct itimerval`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ItimerVal {
+    /// Reload value installed when the timer fires.
+    pub interval: Timeval,
+    /// Time until the next expiry; zero means disarmed.
+    pub value: Timeval,
+}
+
+impl Wire for ItimerVal {
+    const WIRE_SIZE: usize = 32;
+
+    fn encode(&self, buf: &mut [u8]) {
+        Enc::new(buf)
+            .i64(self.interval.sec)
+            .i64(self.interval.usec)
+            .i64(self.value.sec)
+            .i64(self.value.usec);
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self, Errno> {
+        let mut d = Dec::new(buf);
+        Ok(ItimerVal {
+            interval: Timeval {
+                sec: d.i64()?,
+                usec: d.i64()?,
+            },
+            value: Timeval {
+                sec: d.i64()?,
+                usec: d.i64()?,
+            },
+        })
+    }
+}
+
+/// The machine context pushed on the application stack when a signal is
+/// delivered and restored by `sigreturn(2)` — `struct sigcontext`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SigContext {
+    /// Program counter at the point of interruption.
+    pub pc: u64,
+    /// The full register file.
+    pub regs: [u64; NREGS],
+    /// The signal mask to restore.
+    pub mask: SigSet,
+}
+
+impl Default for SigContext {
+    fn default() -> Self {
+        SigContext {
+            pc: 0,
+            regs: [0; NREGS],
+            mask: SigSet::EMPTY,
+        }
+    }
+}
+
+impl Wire for SigContext {
+    const WIRE_SIZE: usize = 8 + 8 * NREGS + 4;
+
+    fn encode(&self, buf: &mut [u8]) {
+        let mut e = Enc::new(buf);
+        e.u64(self.pc);
+        for r in self.regs {
+            e.u64(r);
+        }
+        e.u32(self.mask.bits());
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self, Errno> {
+        let mut d = Dec::new(buf);
+        let pc = d.u64()?;
+        let mut regs = [0u64; NREGS];
+        for r in &mut regs {
+            *r = d.u64()?;
+        }
+        let mask = SigSet::from_bits(d.u32()?);
+        Ok(SigContext { pc, regs, mask })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), T::WIRE_SIZE);
+        let back = T::decode(&bytes).unwrap();
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn timeval_round_trip_and_micros() {
+        let tv = Timeval {
+            sec: -5,
+            usec: 999_999,
+        };
+        round_trip(&tv);
+        assert_eq!(
+            Timeval::from_micros(1_500_000),
+            Timeval {
+                sec: 1,
+                usec: 500_000
+            }
+        );
+        assert_eq!(
+            Timeval::from_micros(-1),
+            Timeval {
+                sec: -1,
+                usec: 999_999
+            }
+        );
+        assert_eq!(Timeval::from_micros(1_500_000).as_micros(), 1_500_000);
+    }
+
+    #[test]
+    fn stat_round_trip() {
+        round_trip(&Stat {
+            dev: 1,
+            ino: 42,
+            mode: 0o100644,
+            nlink: 2,
+            uid: 100,
+            gid: 20,
+            rdev: 0,
+            size: 12345,
+            atime: Timeval { sec: 1, usec: 2 },
+            mtime: Timeval { sec: 3, usec: 4 },
+            ctime: Timeval { sec: 5, usec: 6 },
+            blksize: 8192,
+            blocks: 25,
+        });
+    }
+
+    #[test]
+    fn rusage_sigaction_iovec_itimer_sigcontext_round_trip() {
+        round_trip(&Rusage {
+            utime: Timeval { sec: 1, usec: 500 },
+            stime: Timeval { sec: 0, usec: 250 },
+            maxrss: 4096,
+            inblock: 10,
+            oublock: 20,
+            nsignals: 3,
+            nvcsw: 7,
+            nivcsw: 9,
+        });
+        round_trip(&SigActionRec {
+            handler: 0x8000,
+            mask: 0b1010,
+            flags: 0,
+        });
+        round_trip(&IoVec {
+            base: 0x1000,
+            len: 512,
+        });
+        round_trip(&ItimerVal {
+            interval: Timeval { sec: 1, usec: 0 },
+            value: Timeval {
+                sec: 0,
+                usec: 500_000,
+            },
+        });
+        let mut ctx = SigContext {
+            pc: 0x44,
+            ..SigContext::default()
+        };
+        ctx.regs[3] = 99;
+        ctx.mask.add(crate::Signal::SIGINT);
+        round_trip(&ctx);
+    }
+
+    #[test]
+    fn direntry_encode_decode() {
+        let e = DirEntry::new(7, *b"hello.c");
+        let mut buf = Vec::new();
+        let n = e.encode_to(&mut buf);
+        assert_eq!(n, buf.len());
+        assert_eq!(n % 4, 0, "records are 4-byte aligned");
+        let (back, consumed) = DirEntry::decode_from(&buf).unwrap();
+        assert_eq!(consumed, n);
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn direntry_stream_round_trip() {
+        let entries = vec![
+            DirEntry::new(1, *b"."),
+            DirEntry::new(2, *b".."),
+            DirEntry::new(10, *b"a-much-longer-file-name.txt"),
+        ];
+        let mut buf = Vec::new();
+        for e in &entries {
+            e.encode_to(&mut buf);
+        }
+        assert_eq!(DirEntry::decode_stream(&buf).unwrap(), entries);
+    }
+
+    #[test]
+    fn direntry_truncates_monster_names() {
+        let e = DirEntry::new(1, vec![b'x'; 5000]);
+        assert_eq!(e.name.len(), MAXNAMLEN);
+    }
+
+    #[test]
+    fn direntry_decode_rejects_corrupt_reclen() {
+        let e = DirEntry::new(7, *b"ok");
+        let mut buf = Vec::new();
+        e.encode_to(&mut buf);
+        // Corrupt the reclen (offset 8..10) to be shorter than the header.
+        buf[8] = 4;
+        buf[9] = 0;
+        assert!(DirEntry::decode_from(&buf).is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! Explicit little-endian serialization for structures that cross the
+//! system interface through process memory.
+//!
+//! The simulated kernel and applications do not share Rust types at runtime
+//! — like a real kernel, they exchange *bytes* at addresses in the calling
+//! process's address space. Every struct in [`crate::types`] therefore has a
+//! fixed wire layout built from these primitives. Using explicit encoders
+//! instead of `#[repr(C)]` + pointer casts keeps the crate free of unsafe
+//! code and makes round-trip properties trivially testable.
+
+use crate::Errno;
+
+/// Incremental little-endian encoder writing into a caller-supplied buffer.
+///
+/// The caller is expected to size the buffer with the struct's `WIRE_SIZE`
+/// constant; writes past the end panic, which would indicate a layout bug in
+/// this crate rather than a runtime condition.
+#[derive(Debug)]
+pub struct Enc<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> Enc<'a> {
+    /// Creates an encoder over `buf`, starting at offset 0.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        Enc { buf, pos: 0 }
+    }
+
+    /// Number of bytes written so far.
+    #[must_use]
+    pub fn written(&self) -> usize {
+        self.pos
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf[self.pos] = v;
+        self.pos += 1;
+        self
+    }
+
+    /// Appends a `u16` in little-endian order.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Appends a `u32` in little-endian order.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Appends a `u64` in little-endian order.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Appends an `i32` in little-endian two's-complement order.
+    pub fn i32(&mut self, v: i32) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Appends an `i64` in little-endian two's-complement order.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.buf[self.pos..self.pos + b.len()].copy_from_slice(b);
+        self.pos += b.len();
+        self
+    }
+
+    /// Appends `b` padded (or truncated) with NULs to exactly `width` bytes,
+    /// the layout used for fixed-width name fields such as directory-entry
+    /// names.
+    pub fn fixed_str(&mut self, b: &[u8], width: usize) -> &mut Self {
+        let n = b.len().min(width);
+        self.bytes(&b[..n]);
+        for _ in n..width {
+            self.u8(0);
+        }
+        self
+    }
+}
+
+/// Incremental little-endian decoder reading from a byte slice.
+///
+/// Unlike [`Enc`], decoding failure is a runtime condition (an application
+/// handed the kernel a short buffer), so reads return [`Errno::EFAULT`] on
+/// overrun instead of panicking.
+#[derive(Debug, Clone)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Creates a decoder over `buf`, starting at offset 0.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Number of bytes consumed so far.
+    #[must_use]
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining in the buffer.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Errno> {
+        if self.remaining() < n {
+            return Err(Errno::EFAULT);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, Errno> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, Errno> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, Errno> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, Errno> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian `i32`.
+    pub fn i32(&mut self) -> Result<i32, Errno> {
+        Ok(self.u32()? as i32)
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, Errno> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], Errno> {
+        self.take(n)
+    }
+
+    /// Reads a `width`-byte field and strips the NUL padding appended by
+    /// [`Enc::fixed_str`].
+    pub fn fixed_str(&mut self, width: usize) -> Result<Vec<u8>, Errno> {
+        let raw = self.take(width)?;
+        let end = raw.iter().position(|&c| c == 0).unwrap_or(width);
+        Ok(raw[..end].to_vec())
+    }
+}
+
+/// A structure with a fixed wire layout crossing the system interface.
+pub trait Wire: Sized {
+    /// Exact encoded size in bytes.
+    const WIRE_SIZE: usize;
+
+    /// Encodes `self` into `buf`, which must be at least `WIRE_SIZE` bytes.
+    fn encode(&self, buf: &mut [u8]);
+
+    /// Decodes an instance from `buf`.
+    fn decode(buf: &[u8]) -> Result<Self, Errno>;
+
+    /// Encodes into a freshly allocated exactly-sized vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut v = vec![0u8; Self::WIRE_SIZE];
+        self.encode(&mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enc_dec_scalars_round_trip() {
+        let mut buf = [0u8; 32];
+        let mut e = Enc::new(&mut buf);
+        e.u8(0xab)
+            .u16(0x1234)
+            .u32(0xdead_beef)
+            .u64(0x0123_4567_89ab_cdef);
+        e.i32(-42).i64(-7_000_000_000);
+        let written = e.written();
+        assert_eq!(written, 1 + 2 + 4 + 8 + 4 + 8);
+
+        let mut d = Dec::new(&buf[..written]);
+        assert_eq!(d.u8().unwrap(), 0xab);
+        assert_eq!(d.u16().unwrap(), 0x1234);
+        assert_eq!(d.u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert_eq!(d.i32().unwrap(), -42);
+        assert_eq!(d.i64().unwrap(), -7_000_000_000);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn dec_overrun_is_efault() {
+        let buf = [0u8; 3];
+        let mut d = Dec::new(&buf);
+        assert_eq!(d.u32(), Err(Errno::EFAULT));
+    }
+
+    #[test]
+    fn fixed_str_pads_and_strips() {
+        let mut buf = [0xffu8; 8];
+        Enc::new(&mut buf).fixed_str(b"abc", 8);
+        assert_eq!(&buf, b"abc\0\0\0\0\0");
+        let got = Dec::new(&buf).fixed_str(8).unwrap();
+        assert_eq!(got, b"abc");
+    }
+
+    #[test]
+    fn fixed_str_truncates_overlong_names() {
+        let mut buf = [0u8; 4];
+        Enc::new(&mut buf).fixed_str(b"abcdefgh", 4);
+        assert_eq!(&buf, b"abcd");
+    }
+}

@@ -1,0 +1,59 @@
+//! # ia-agents — interposition agents built on the toolkit
+//!
+//! The agents the paper built (§2.4, §3.3, §3.5):
+//!
+//! * [`timex`] — changes the apparent time of day (35 statements in the
+//!   paper; one overridden method here).
+//! * [`trace`] — prints every system call and signal, strace-style.
+//! * [`union_agent`] — union directories: a search list of directories
+//!   whose merged contents appear as one directory.
+//! * [`dfs_trace`] — file-reference tracing compatible in spirit with the
+//!   Coda project's DFSTrace tools.
+//! * [`time_symbolic`] — the null symbolic agent used to measure minimum
+//!   per-call toolkit overhead (Table 3-5's "with agent" column).
+//! * [`profile`] — system call and resource usage monitoring (§2.4).
+//!
+//! And the agents the paper motivates but did not build (§1.4):
+//!
+//! * [`sandbox`] — a protected environment for running untrusted binaries.
+//! * [`txn`] — a transactional software environment with commit/abort and
+//!   nesting (by stacking the agent).
+//! * [`crypt`] — transparent data encryption under a subtree.
+//! * [`zip`] — transparent data compression under a subtree.
+//! * [`oscompat`] — emulation of a foreign operating system's trap
+//!   numbering and error numbers.
+//! * [`searchpath`] — pathname search lists (the "mount a search list of
+//!   directories" example), without directory merging.
+//! * [`ramfs`] — a filesystem served entirely from agent memory: the
+//!   "logical devices implemented entirely in user space" example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crypt;
+pub mod dfs_trace;
+pub mod oscompat;
+pub mod profile;
+pub mod ramfs;
+pub mod sandbox;
+pub mod searchpath;
+pub mod time_symbolic;
+pub mod timex;
+pub mod trace;
+pub mod txn;
+pub mod union_agent;
+pub mod zip;
+
+pub use crypt::CryptAgent;
+pub use dfs_trace::{analyze, DfsTraceAgent, DfsTraceHandle, TraceAnalysis, TraceOp, TraceRecord};
+pub use oscompat::OsCompatAgent;
+pub use profile::{ProfileAgent, ProfileHandle};
+pub use ramfs::RamFsAgent;
+pub use sandbox::{SandboxAgent, SandboxHandle, SandboxPolicy, Violation};
+pub use searchpath::SearchPathAgent;
+pub use time_symbolic::TimeSymbolic;
+pub use timex::Timex;
+pub use trace::{TraceAgent, TraceHandle};
+pub use txn::{TxnAgent, TxnHandle};
+pub use union_agent::UnionAgent;
+pub use zip::ZipAgent;

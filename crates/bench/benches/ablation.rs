@@ -1,0 +1,67 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * pay-per-use interception (narrow interest sets) vs intercept-all,
+//! * agent chain depth (stacking cost per layer),
+//! * the symbolic decoding layer vs raw numeric interposition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ia_abi::RawArgs;
+use ia_interpose::{Agent, InterestSet, InterposedRouter, SysCtx};
+use ia_kernel::{Kernel, RunOutcome, SysOutcome, I486_25};
+
+/// Raw numeric pass-through agent (no symbolic decode).
+struct RawNull;
+
+impl Agent for RawNull {
+    fn name(&self) -> &'static str {
+        "raw-null"
+    }
+    fn interests(&self) -> InterestSet {
+        InterestSet::ALL
+    }
+    fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
+        ctx.down(nr, args)
+    }
+    fn clone_box(&self) -> Box<dyn Agent> {
+        Box::new(RawNull)
+    }
+}
+
+fn run_mix(agents: usize, symbolic: bool, narrow: bool) -> u64 {
+    let mut k = Kernel::new(I486_25);
+    ia_workloads::mix::setup(&mut k);
+    let img = ia_workloads::mix::random_program(7, 60);
+    let pid = k.spawn_image(&img, &[b"mix"], b"mix");
+    let mut router = InterposedRouter::new();
+    for _ in 0..agents {
+        if narrow {
+            router.push_agent(pid, ia_agents::Timex::boxed(1));
+        } else if symbolic {
+            router.push_agent(pid, ia_agents::TimeSymbolic::boxed());
+        } else {
+            router.push_agent(pid, Box::new(RawNull));
+        }
+    }
+    assert_eq!(k.run_with(&mut router), RunOutcome::AllExited);
+    k.clock.elapsed_ns()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(20);
+    g.bench_function("no_agent", |b| b.iter(|| run_mix(0, false, false)));
+    g.bench_function("narrow_interests_pay_per_use", |b| {
+        b.iter(|| run_mix(1, false, true));
+    });
+    g.bench_function("raw_numeric_agent", |b| b.iter(|| run_mix(1, false, false)));
+    g.bench_function("symbolic_agent", |b| b.iter(|| run_mix(1, true, false)));
+    for depth in [2usize, 4] {
+        g.bench_function(format!("symbolic_chain_depth_{depth}"), |b| {
+            b.iter(|| run_mix(depth, true, false));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench for the §3.5.2 comparison: the file-intensive workload
+//! with and without dfs_trace file-reference tracing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ia_kernel::I486_25;
+use ia_workloads::{run_workload, AgentKind, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dfs_trace_comparison");
+    g.sample_size(10);
+    for agent in [AgentKind::None, AgentKind::DfsTrace, AgentKind::Profile] {
+        g.bench_function(agent.name(), |b| {
+            b.iter(|| run_workload(Workload::Make8, I486_25, agent).virtual_secs);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

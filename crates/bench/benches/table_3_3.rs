@@ -1,0 +1,24 @@
+//! Criterion bench for Table 3-3: the make-8-programs workload under each
+//! agent.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ia_kernel::I486_25;
+use ia_workloads::{run_workload, AgentKind, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_3_3_make8");
+    g.sample_size(10);
+    for agent in AgentKind::TABLE_ROWS {
+        g.bench_function(agent.name(), |b| {
+            b.iter(|| {
+                let stats = run_workload(Workload::Make8, I486_25, agent);
+                assert_eq!(stats.outcome, ia_kernel::RunOutcome::AllExited);
+                stats.virtual_secs
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for Table 3-5: each micro syscall loop with and without
+//! the time_symbolic agent (host wall-clock; virtual µs printed by
+//! `reproduce`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ia_agents::TimeSymbolic;
+use ia_interpose::InterposedRouter;
+use ia_kernel::{Kernel, I486_25};
+use ia_workloads::micro::{self, MicroCall};
+
+fn run(call: MicroCall, with_agent: bool) -> u64 {
+    let mut k = Kernel::new(I486_25);
+    micro::setup(&mut k);
+    let pid = k.spawn_image(&micro::loop_image(call, 32), &[b"m"], b"m");
+    let mut router = InterposedRouter::new();
+    if with_agent {
+        router.push_agent(pid, TimeSymbolic::boxed());
+    }
+    k.run_with(&mut router);
+    k.clock.elapsed_ns()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_3_5_syscalls");
+    g.sample_size(10);
+    for call in [
+        MicroCall::Getpid,
+        MicroCall::Read1k,
+        MicroCall::Stat,
+        MicroCall::ForkWaitExit,
+    ] {
+        g.bench_function(format!("{}_without", call.name()), |b| {
+            b.iter(|| run(call, false));
+        });
+        g.bench_function(format!("{}_with_agent", call.name()), |b| {
+            b.iter(|| run(call, true));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! `reproduce` — prints every table of the paper's evaluation section,
+//! regenerated from the simulation.
+//!
+//! ```text
+//! cargo run -p ia-bench --release --bin reproduce            # everything
+//! cargo run -p ia-bench --release --bin reproduce table-3-2  # one table
+//! ```
+
+use ia_bench::{
+    ablation_pay_per_use, dfs_trace_comparison, render_ablation, render_dfs, render_table_3_1,
+    render_table_3_4, render_table_3_5, render_timing, table_3_1, table_3_2, table_3_3,
+    table_3_4, table_3_5,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
+
+    println!("Interposition Agents (Jones, SOSP '93) — reproduction report");
+    println!("=============================================================\n");
+
+    if want("table-3-1") {
+        println!("{}", render_table_3_1(&table_3_1()));
+    }
+    if want("table-3-2") {
+        println!(
+            "{}",
+            render_timing(
+                "Table 3-2: Time to format my dissertation (VAX 6250 profile)",
+                "paper: 151.7 s base; timex +0.5 s, trace +3.5 s (2.5%), union +5.0 s (3.5%)",
+                &table_3_2()
+            )
+        );
+    }
+    if want("table-3-3") {
+        println!(
+            "{}",
+            render_timing(
+                "Table 3-3: Time to make 8 programs (25 MHz i486 profile)",
+                "paper: 16.0 s base; timex +19%, union +82%, trace +107%",
+                &table_3_3()
+            )
+        );
+    }
+    if want("table-3-4") {
+        println!("{}", render_table_3_4(&table_3_4()));
+    }
+    if want("table-3-5") {
+        println!("{}", render_table_3_5(&table_3_5()));
+    }
+    if want("dfs-trace") {
+        println!("{}", render_dfs(&dfs_trace_comparison()));
+    }
+    if want("ablation") {
+        println!("{}", render_ablation(&ablation_pay_per_use()));
+    }
+}

@@ -1,0 +1,232 @@
+//! Layer 3 — secondary objects: *directories*.
+//!
+//! "Just as the `getpn()` method encapsulated pathname resolution, the
+//! `next_direntry()` method encapsulates the iteration of individual
+//! directory entries implicit in reading the contents of a directory."
+//!
+//! A [`Directory`] produces logical entries one at a time; [`DirObject`]
+//! turns any `Directory` into an [`OpenObject`] whose `getdirentries`
+//! (and `lseek`-rewind) are implemented in terms of `next_direntry` — so
+//! an agent that merges, filters or renames entries writes only the
+//! iterator.
+
+use ia_abi::{DirEntry, Errno, Sysno, Whence};
+use ia_kernel::SysOutcome;
+
+use crate::ctx::SymCtx;
+use crate::object::OpenObject;
+use crate::scratch::Scratch;
+
+/// A logical directory: an iterator over entries.
+pub trait Directory {
+    /// Diagnostic name.
+    fn dir_name(&self) -> &'static str {
+        "directory"
+    }
+
+    /// Produces the next logical entry, or `None` at the end.
+    fn next_direntry(&mut self, ctx: &mut SymCtx<'_, '_>) -> Result<Option<DirEntry>, Errno>;
+
+    /// Restarts iteration from the beginning (`lseek(fd, 0, L_SET)`).
+    fn rewind(&mut self, ctx: &mut SymCtx<'_, '_>) -> Result<(), Errno>;
+
+    /// Deep clone for forked children.
+    fn clone_dir(&self) -> Box<dyn Directory>;
+}
+
+/// The default directory: iterates the *underlying* directory through
+/// downcalls, buffering a chunk of records at a time.
+pub struct DefaultDirectory {
+    /// The (client) descriptor open on the underlying directory.
+    pub fd: u64,
+    buffer: std::collections::VecDeque<DirEntry>,
+    eof: bool,
+    scratch: Scratch,
+}
+
+impl DefaultDirectory {
+    /// Chunk size for each underlying `getdirentries` downcall.
+    pub const CHUNK: u64 = 1024;
+
+    /// A directory iterator over the underlying object open at `fd`.
+    #[must_use]
+    pub fn new(fd: u64, scratch: Scratch) -> DefaultDirectory {
+        DefaultDirectory {
+            fd,
+            buffer: std::collections::VecDeque::new(),
+            eof: false,
+            scratch,
+        }
+    }
+}
+
+impl Directory for DefaultDirectory {
+    fn dir_name(&self) -> &'static str {
+        "default-directory"
+    }
+
+    fn next_direntry(&mut self, ctx: &mut SymCtx<'_, '_>) -> Result<Option<DirEntry>, Errno> {
+        if self.buffer.is_empty() && !self.eof {
+            let buf = self.scratch.reserve(ctx, Self::CHUNK as usize)?;
+            match ctx.down_args(Sysno::Getdirentries, [self.fd, buf, Self::CHUNK, 0, 0, 0]) {
+                SysOutcome::Done(Ok([n, _])) => {
+                    if n == 0 {
+                        self.eof = true;
+                    } else {
+                        let bytes = ctx.read_bytes(buf, n as usize)?;
+                        for e in DirEntry::decode_stream(&bytes)? {
+                            self.buffer.push_back(e);
+                        }
+                    }
+                }
+                SysOutcome::Done(Err(e)) => return Err(e),
+                _ => return Err(Errno::EAGAIN),
+            }
+        }
+        Ok(self.buffer.pop_front())
+    }
+
+    fn rewind(&mut self, ctx: &mut SymCtx<'_, '_>) -> Result<(), Errno> {
+        self.buffer.clear();
+        self.eof = false;
+        match ctx.down_args(
+            Sysno::Lseek,
+            [self.fd, 0, u64::from(Whence::Set.to_u32()), 0, 0, 0],
+        ) {
+            SysOutcome::Done(Ok(_)) => Ok(()),
+            SysOutcome::Done(Err(e)) => Err(e),
+            _ => Err(Errno::EAGAIN),
+        }
+    }
+
+    fn clone_dir(&self) -> Box<dyn Directory> {
+        Box::new(DefaultDirectory {
+            fd: self.fd,
+            buffer: self.buffer.clone(),
+            eof: self.eof,
+            scratch: self.scratch.deep_clone(),
+        })
+    }
+}
+
+/// Adapts a [`Directory`] iterator into an [`OpenObject`]: the toolkit's
+/// default `getdirentries` in terms of `next_direntry`.
+pub struct DirObject {
+    /// Total record bytes already returned (the `basep` cookie space).
+    emitted: u64,
+    /// An entry fetched but not yet delivered (did not fit the buffer).
+    pushback: Option<DirEntry>,
+    /// The logical directory.
+    pub dir: Box<dyn Directory>,
+}
+
+impl DirObject {
+    /// Wraps a boxed directory.
+    #[must_use]
+    pub fn new(dir: Box<dyn Directory>) -> DirObject {
+        DirObject {
+            emitted: 0,
+            pushback: None,
+            dir,
+        }
+    }
+
+    /// Deep-clones keeping the concrete `DirObject` type (for wrappers
+    /// that embed one).
+    #[must_use]
+    pub fn clone_dirobject(&self) -> DirObject {
+        DirObject {
+            emitted: self.emitted,
+            pushback: self.pushback.clone(),
+            dir: self.dir.clone_dir(),
+        }
+    }
+}
+
+impl OpenObject for DirObject {
+    fn obj_name(&self) -> &'static str {
+        self.dir.dir_name()
+    }
+
+    fn getdirentries(
+        &mut self,
+        ctx: &mut SymCtx<'_, '_>,
+        _fd: u64,
+        buf: u64,
+        nbytes: u64,
+        basep: u64,
+    ) -> SysOutcome {
+        let start = self.emitted;
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            // Deliver a pushed-back entry first, else fetch the next one.
+            let entry = match self.pushback.take() {
+                Some(e) => e,
+                None => match self.dir.next_direntry(ctx) {
+                    Ok(Some(e)) => e,
+                    Ok(None) => break,
+                    Err(e) => return SysOutcome::Done(Err(e)),
+                },
+            };
+            if out.len() + entry.reclen() > nbytes as usize {
+                // Does not fit: put it back by re-buffering through a
+                // one-entry pushback in the wrapper.
+                self.pushback = Some(entry);
+                break;
+            }
+            entry.encode_to(&mut out);
+        }
+        if let Err(e) = ctx.write_bytes(buf, &out) {
+            return SysOutcome::Done(Err(e));
+        }
+        self.emitted += out.len() as u64;
+        if basep != 0 {
+            if let Err(e) = ctx.write_struct(basep, &WireU64(start)) {
+                return SysOutcome::Done(Err(e));
+            }
+        }
+        SysOutcome::Done(Ok([out.len() as u64, 0]))
+    }
+
+    fn lseek(
+        &mut self,
+        ctx: &mut SymCtx<'_, '_>,
+        _fd: u64,
+        offset: u64,
+        whence: u64,
+    ) -> SysOutcome {
+        // Directories only support rewinding to the start.
+        if offset == 0 && whence == u64::from(Whence::Set.to_u32()) {
+            self.emitted = 0;
+            self.pushback = None;
+            match self.dir.rewind(ctx) {
+                Ok(()) => SysOutcome::Done(Ok([0, 0])),
+                Err(e) => SysOutcome::Done(Err(e)),
+            }
+        } else {
+            SysOutcome::Done(Err(Errno::EINVAL))
+        }
+    }
+
+    fn clone_object(&self) -> Box<dyn OpenObject> {
+        Box::new(DirObject {
+            emitted: self.emitted,
+            pushback: self.pushback.clone(),
+            dir: self.dir.clone_dir(),
+        })
+    }
+}
+
+/// Minimal wire wrapper for a bare u64 (the `basep` out-parameter).
+struct WireU64(u64);
+
+impl ia_abi::wire::Wire for WireU64 {
+    const WIRE_SIZE: usize = 8;
+    fn encode(&self, buf: &mut [u8]) {
+        buf[..8].copy_from_slice(&self.0.to_le_bytes());
+    }
+    fn decode(buf: &[u8]) -> Result<Self, Errno> {
+        let mut d = ia_abi::wire::Dec::new(buf);
+        Ok(WireU64(d.u64()?))
+    }
+}

@@ -1,0 +1,49 @@
+//! # ia-toolkit — the interposition-agent toolkit
+//!
+//! The paper's primary contribution: an object-structured toolkit that
+//! lets system-interface interposition agents be written "in terms of the
+//! high-level objects provided by this interface, rather than in terms of
+//! the intercepted system calls themselves".
+//!
+//! ## The layers (Figure 2-1)
+//!
+//! | Paper class | Here |
+//! |---|---|
+//! | `numeric_syscall` | [`ia_interpose::Agent`] + [`numeric`] utilities |
+//! | `bsd_numeric_syscall` | [`symbolic::Symbolic`] (the decoding adapter) |
+//! | `symbolic_syscall` | [`symbolic::SymbolicSyscall`] (one method per call, pass-through defaults) |
+//! | `pathname_set` / `pathname` | [`path::PathnameSet`] / [`path::Pathname`] with `getpn()` |
+//! | `descriptor_set` / `descriptor` / `open_descriptor` | the descriptor table in [`fsagent::FsAgent`] |
+//! | `open_object` | [`object::OpenObject`] (reference-counted via [`object::ObjRef`]) |
+//! | `directory` | [`dir::Directory`] with `next_direntry()` |
+//!
+//! C++ inheritance with virtual methods becomes Rust traits with default
+//! method bodies: an agent overrides exactly the behaviour it changes and
+//! inherits everything else — the paper's *appropriate code size* goal.
+//! The `timex` agent is one overridden method; the `union` agent is a
+//! `getpn` override plus a `next_direntry` iterator.
+//!
+//! Agents share the client's address space (as on Mach 2.5), so rewritten
+//! pathnames are staged in a [`scratch::Scratch`] region the toolkit
+//! `sbrk`s inside the client.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctx;
+pub mod dir;
+pub mod fsagent;
+pub mod numeric;
+pub mod object;
+pub mod path;
+pub mod scratch;
+pub mod symbolic;
+
+pub use ctx::SymCtx;
+pub use dir::{DefaultDirectory, DirObject, Directory};
+pub use fsagent::FsAgent;
+pub use numeric::RemapAgent;
+pub use object::{clone_descriptor_table, obj_ref, ObjRef, OpenObject, Passthrough};
+pub use path::{DefaultPathname, PathIntent, Pathname, PathnameSet};
+pub use scratch::{Scratch, SCRATCH_SIZE};
+pub use symbolic::{minimum_interests, Symbolic, SymbolicSyscall};

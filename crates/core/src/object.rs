@@ -1,0 +1,226 @@
+//! Layer 2 (descriptor side) — reference-counted *open objects*.
+//!
+//! "Toolkit objects currently provided at this level are ... active file
+//! descriptors (`descriptor`), and reference counted open objects
+//! (`open_object`)."
+//!
+//! An [`OpenObject`] stands behind one or more descriptors (shared by
+//! `dup`/`dup2`/`F_DUPFD`, hence the [`Rc`] reference counting). Every
+//! descriptor-using system call has a method with a pass-through default;
+//! agents provide derived objects — e.g. the union agent's merged
+//! directory, or an encrypting agent's transforming file object.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ia_abi::Sysno;
+use ia_kernel::SysOutcome;
+
+use crate::ctx::SymCtx;
+
+/// A shared handle to an open object (the paper's reference counting).
+pub type ObjRef = Rc<RefCell<dyn OpenObject>>;
+
+/// Wraps an object into a shared handle.
+pub fn obj_ref<T: OpenObject + 'static>(obj: T) -> ObjRef {
+    Rc::new(RefCell::new(obj))
+}
+
+/// The operations a descriptor can perform on its open object, with
+/// pass-through defaults.
+#[allow(unused_variables)]
+pub trait OpenObject {
+    /// Diagnostic name.
+    fn obj_name(&self) -> &'static str {
+        "open-object"
+    }
+
+    /// `read(fd, buf, nbyte)`
+    fn read(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, buf: u64, nbyte: u64) -> SysOutcome {
+        ctx.down_args(Sysno::Read, [fd, buf, nbyte, 0, 0, 0])
+    }
+
+    /// `write(fd, buf, nbyte)`
+    fn write(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, buf: u64, nbyte: u64) -> SysOutcome {
+        ctx.down_args(Sysno::Write, [fd, buf, nbyte, 0, 0, 0])
+    }
+
+    /// `lseek(fd, offset, whence)`
+    fn lseek(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, offset: u64, whence: u64) -> SysOutcome {
+        ctx.down_args(Sysno::Lseek, [fd, offset, whence, 0, 0, 0])
+    }
+
+    /// `fstat(fd, statbuf)`
+    fn fstat(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, statbuf: u64) -> SysOutcome {
+        ctx.down_args(Sysno::Fstat, [fd, statbuf, 0, 0, 0, 0])
+    }
+
+    /// `ioctl(fd, request, argp)`
+    fn ioctl(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, request: u64, argp: u64) -> SysOutcome {
+        ctx.down_args(Sysno::Ioctl, [fd, request, argp, 0, 0, 0])
+    }
+
+    /// `ftruncate(fd, length)`
+    fn ftruncate(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, length: u64) -> SysOutcome {
+        ctx.down_args(Sysno::Ftruncate, [fd, length, 0, 0, 0, 0])
+    }
+
+    /// `fsync(fd)`
+    fn fsync(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64) -> SysOutcome {
+        ctx.down_args(Sysno::Fsync, [fd, 0, 0, 0, 0, 0])
+    }
+
+    /// `fchmod(fd, mode)`
+    fn fchmod(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, mode: u64) -> SysOutcome {
+        ctx.down_args(Sysno::Fchmod, [fd, mode, 0, 0, 0, 0])
+    }
+
+    /// `fchown(fd, uid, gid)`
+    fn fchown(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, uid: u64, gid: u64) -> SysOutcome {
+        ctx.down_args(Sysno::Fchown, [fd, uid, gid, 0, 0, 0])
+    }
+
+    /// `flock(fd, operation)`
+    fn flock(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, operation: u64) -> SysOutcome {
+        ctx.down_args(Sysno::Flock, [fd, operation, 0, 0, 0, 0])
+    }
+
+    /// `getdirentries(fd, buf, nbytes, basep)`
+    fn getdirentries(
+        &mut self,
+        ctx: &mut SymCtx<'_, '_>,
+        fd: u64,
+        buf: u64,
+        nbytes: u64,
+        basep: u64,
+    ) -> SysOutcome {
+        ctx.down_args(Sysno::Getdirentries, [fd, buf, nbytes, basep, 0, 0])
+    }
+
+    /// `close(fd)` — called on the *last* descriptor referencing the
+    /// object.
+    fn close(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64) -> SysOutcome {
+        ctx.down_args(Sysno::Close, [fd, 0, 0, 0, 0, 0])
+    }
+
+    /// Deep-clones the object for a forked child's copy of the agent.
+    fn clone_object(&self) -> Box<dyn OpenObject>;
+}
+
+/// The default open object: every operation passes through.
+#[derive(Debug, Clone, Default)]
+pub struct Passthrough;
+
+impl OpenObject for Passthrough {
+    fn obj_name(&self) -> &'static str {
+        "passthrough"
+    }
+    fn clone_object(&self) -> Box<dyn OpenObject> {
+        Box::new(Passthrough)
+    }
+}
+
+/// Deep-clones a descriptor table preserving `dup` sharing: descriptors
+/// that shared one object before the clone share one (new) object after.
+#[must_use]
+pub fn clone_descriptor_table(table: &HashMap<u64, ObjRef>) -> HashMap<u64, ObjRef> {
+    let mut seen: HashMap<usize, ObjRef> = HashMap::new();
+    table
+        .iter()
+        .map(|(&fd, obj)| {
+            let key = Rc::as_ptr(obj).cast::<u8>() as usize;
+            let cloned = seen
+                .entry(key)
+                .or_insert_with(|| {
+                    Rc::from(RefCell::new(ClonedBox(obj.borrow().clone_object()))) as ObjRef
+                })
+                .clone();
+            (fd, cloned)
+        })
+        .collect()
+}
+
+/// Adapter so a `Box<dyn OpenObject>` can live inside an [`ObjRef`].
+struct ClonedBox(Box<dyn OpenObject>);
+
+impl OpenObject for ClonedBox {
+    fn obj_name(&self) -> &'static str {
+        self.0.obj_name()
+    }
+    fn read(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, buf: u64, nbyte: u64) -> SysOutcome {
+        self.0.read(ctx, fd, buf, nbyte)
+    }
+    fn write(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, buf: u64, nbyte: u64) -> SysOutcome {
+        self.0.write(ctx, fd, buf, nbyte)
+    }
+    fn lseek(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, offset: u64, whence: u64) -> SysOutcome {
+        self.0.lseek(ctx, fd, offset, whence)
+    }
+    fn fstat(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, statbuf: u64) -> SysOutcome {
+        self.0.fstat(ctx, fd, statbuf)
+    }
+    fn ioctl(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, request: u64, argp: u64) -> SysOutcome {
+        self.0.ioctl(ctx, fd, request, argp)
+    }
+    fn ftruncate(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, length: u64) -> SysOutcome {
+        self.0.ftruncate(ctx, fd, length)
+    }
+    fn fsync(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64) -> SysOutcome {
+        self.0.fsync(ctx, fd)
+    }
+    fn fchmod(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, mode: u64) -> SysOutcome {
+        self.0.fchmod(ctx, fd, mode)
+    }
+    fn fchown(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, uid: u64, gid: u64) -> SysOutcome {
+        self.0.fchown(ctx, fd, uid, gid)
+    }
+    fn flock(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, operation: u64) -> SysOutcome {
+        self.0.flock(ctx, fd, operation)
+    }
+    fn getdirentries(
+        &mut self,
+        ctx: &mut SymCtx<'_, '_>,
+        fd: u64,
+        buf: u64,
+        nbytes: u64,
+        basep: u64,
+    ) -> SysOutcome {
+        self.0.getdirentries(ctx, fd, buf, nbytes, basep)
+    }
+    fn close(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64) -> SysOutcome {
+        self.0.close(ctx, fd)
+    }
+    fn clone_object(&self) -> Box<dyn OpenObject> {
+        self.0.clone_object()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_preserves_dup_sharing() {
+        let a = obj_ref(Passthrough);
+        let b = obj_ref(Passthrough);
+        let mut table: HashMap<u64, ObjRef> = HashMap::new();
+        table.insert(3, a.clone());
+        table.insert(4, a); // dup'd
+        table.insert(5, b);
+        let cloned = clone_descriptor_table(&table);
+        assert_eq!(cloned.len(), 3);
+        assert!(
+            Rc::ptr_eq(&cloned[&3], &cloned[&4]),
+            "shared object stays shared"
+        );
+        assert!(
+            !Rc::ptr_eq(&cloned[&3], &cloned[&5]),
+            "distinct objects stay distinct"
+        );
+        assert!(
+            !Rc::ptr_eq(&cloned[&3], &table[&3]),
+            "clone is independent of the original"
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! Layer 2 (name side) — *pathnames* and the *pathname set*.
+//!
+//! "The key to both of these interrelated classes is the `getpn()`
+//! operation, which looks up a pathname string and resolves it to a
+//! reference to a pathname object. The default implementation of all the
+//! `pathname_set` system call methods simply resolves their pathname
+//! strings to pathname objects using `getpn()` and then invokes the
+//! corresponding pathname method on the resulting object."
+//!
+//! [`PathnameSet::getpn`] is the single point an agent overrides to
+//! rearrange the whole name space (the `union` agent), or to observe every
+//! name reference (the `dfs_trace` agent). [`Pathname`] carries the
+//! per-object operations with defaults that stage the (possibly rewritten)
+//! string in scratch memory and call down.
+
+use ia_abi::Sysno;
+use ia_kernel::SysOutcome;
+
+use crate::ctx::SymCtx;
+use crate::object::ObjRef;
+use crate::scratch::Scratch;
+
+/// Why a pathname is being resolved — agents sometimes treat lookups for
+/// creation differently from lookups of existing objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathIntent {
+    /// The object will be read or examined.
+    Lookup,
+    /// The call may create the final component (`open(O_CREAT)`, `mkdir`,
+    /// `symlink`, rename/link targets, ...).
+    Create,
+    /// The call removes the final component (`unlink`, `rmdir`, rename
+    /// source).
+    Remove,
+}
+
+/// A resolved pathname object.
+///
+/// The default behaviour of every method stages [`Pathname::path`] — which
+/// an agent may have rewritten — into client scratch memory and performs
+/// the operation on the next instance of the interface.
+pub trait Pathname {
+    /// The (possibly rewritten) pathname string this object stands for.
+    fn path(&self) -> &[u8];
+
+    /// The scratch region used to stage rewritten strings.
+    fn scratch(&self) -> &Scratch;
+
+    /// Deep clone (for forked children's agent copies).
+    fn clone_pathname(&self) -> Box<dyn Pathname>;
+
+    /// Stages the pathname and returns its client-space address.
+    fn stage(&self, ctx: &mut SymCtx<'_, '_>) -> Result<u64, ia_abi::Errno> {
+        self.scratch().write_cstr(ctx, self.path())
+    }
+
+    /// `open(flags, mode)`. May return an [`ObjRef`] to interpose on the
+    /// descriptor's operations (the paper's `OPEN_OBJECT_CLASS **oo` out
+    /// parameter).
+    fn open(
+        &mut self,
+        ctx: &mut SymCtx<'_, '_>,
+        flags: u64,
+        mode: u64,
+    ) -> (SysOutcome, Option<ObjRef>) {
+        let addr = match self.stage(ctx) {
+            Ok(a) => a,
+            Err(e) => return (SysOutcome::Done(Err(e)), None),
+        };
+        (
+            ctx.down_args(Sysno::Open, [addr, flags, mode, 0, 0, 0]),
+            None,
+        )
+    }
+
+    /// `stat(statbuf)`
+    fn stat(&mut self, ctx: &mut SymCtx<'_, '_>, statbuf: u64) -> SysOutcome {
+        self.simple(ctx, Sysno::Stat, [statbuf, 0])
+    }
+
+    /// `lstat(statbuf)`
+    fn lstat(&mut self, ctx: &mut SymCtx<'_, '_>, statbuf: u64) -> SysOutcome {
+        self.simple(ctx, Sysno::Lstat, [statbuf, 0])
+    }
+
+    /// `access(mode)`
+    fn access(&mut self, ctx: &mut SymCtx<'_, '_>, mode: u64) -> SysOutcome {
+        self.simple(ctx, Sysno::Access, [mode, 0])
+    }
+
+    /// `chmod(mode)`
+    fn chmod(&mut self, ctx: &mut SymCtx<'_, '_>, mode: u64) -> SysOutcome {
+        self.simple(ctx, Sysno::Chmod, [mode, 0])
+    }
+
+    /// `chown(uid, gid)`
+    fn chown(&mut self, ctx: &mut SymCtx<'_, '_>, uid: u64, gid: u64) -> SysOutcome {
+        self.simple(ctx, Sysno::Chown, [uid, gid])
+    }
+
+    /// `unlink()`
+    fn unlink(&mut self, ctx: &mut SymCtx<'_, '_>) -> SysOutcome {
+        self.simple(ctx, Sysno::Unlink, [0, 0])
+    }
+
+    /// `readlink(buf, bufsize)`
+    fn readlink(&mut self, ctx: &mut SymCtx<'_, '_>, buf: u64, bufsize: u64) -> SysOutcome {
+        self.simple(ctx, Sysno::Readlink, [buf, bufsize])
+    }
+
+    /// `truncate(length)`
+    fn truncate(&mut self, ctx: &mut SymCtx<'_, '_>, length: u64) -> SysOutcome {
+        self.simple(ctx, Sysno::Truncate, [length, 0])
+    }
+
+    /// `utimes(times)`
+    fn utimes(&mut self, ctx: &mut SymCtx<'_, '_>, times: u64) -> SysOutcome {
+        self.simple(ctx, Sysno::Utimes, [times, 0])
+    }
+
+    /// `chdir()`
+    fn chdir(&mut self, ctx: &mut SymCtx<'_, '_>) -> SysOutcome {
+        self.simple(ctx, Sysno::Chdir, [0, 0])
+    }
+
+    /// `chroot()`
+    fn chroot(&mut self, ctx: &mut SymCtx<'_, '_>) -> SysOutcome {
+        self.simple(ctx, Sysno::Chroot, [0, 0])
+    }
+
+    /// `mkdir(mode)`
+    fn mkdir(&mut self, ctx: &mut SymCtx<'_, '_>, mode: u64) -> SysOutcome {
+        self.simple(ctx, Sysno::Mkdir, [mode, 0])
+    }
+
+    /// `rmdir()`
+    fn rmdir(&mut self, ctx: &mut SymCtx<'_, '_>) -> SysOutcome {
+        self.simple(ctx, Sysno::Rmdir, [0, 0])
+    }
+
+    /// `mknod(mode, dev)`
+    fn mknod(&mut self, ctx: &mut SymCtx<'_, '_>, mode: u64, dev: u64) -> SysOutcome {
+        self.simple(ctx, Sysno::Mknod, [mode, dev])
+    }
+
+    /// `mkfifo(mode)`
+    fn mkfifo(&mut self, ctx: &mut SymCtx<'_, '_>, mode: u64) -> SysOutcome {
+        self.simple(ctx, Sysno::Mkfifo, [mode, 0])
+    }
+
+    /// `execve(argv, envp)`
+    fn execve(&mut self, ctx: &mut SymCtx<'_, '_>, argv: u64, envp: u64) -> SysOutcome {
+        self.simple(ctx, Sysno::Execve, [argv, envp])
+    }
+
+    /// `link(newpath)` — create `new` as another name for this object.
+    fn link(&mut self, ctx: &mut SymCtx<'_, '_>, new: &mut dyn Pathname) -> SysOutcome {
+        let a = match self.stage(ctx) {
+            Ok(a) => a,
+            Err(e) => return SysOutcome::Done(Err(e)),
+        };
+        let b = match new.stage(ctx) {
+            Ok(b) => b,
+            Err(e) => return SysOutcome::Done(Err(e)),
+        };
+        ctx.down_args(Sysno::Link, [a, b, 0, 0, 0, 0])
+    }
+
+    /// `rename(to)`
+    fn rename(&mut self, ctx: &mut SymCtx<'_, '_>, to: &mut dyn Pathname) -> SysOutcome {
+        let a = match self.stage(ctx) {
+            Ok(a) => a,
+            Err(e) => return SysOutcome::Done(Err(e)),
+        };
+        let b = match to.stage(ctx) {
+            Ok(b) => b,
+            Err(e) => return SysOutcome::Done(Err(e)),
+        };
+        ctx.down_args(Sysno::Rename, [a, b, 0, 0, 0, 0])
+    }
+
+    /// `symlink(contents)` — create this pathname as a symlink holding
+    /// `contents` (an address in client memory, passed through untouched:
+    /// link contents are uninterpreted).
+    fn symlink(&mut self, ctx: &mut SymCtx<'_, '_>, contents: u64) -> SysOutcome {
+        let addr = match self.stage(ctx) {
+            Ok(a) => a,
+            Err(e) => return SysOutcome::Done(Err(e)),
+        };
+        ctx.down_args(Sysno::Symlink, [contents, addr, 0, 0, 0, 0])
+    }
+
+    /// `bind(fd)` / `connect(fd)` — socket rendezvous through this name.
+    fn sock_bind(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64) -> SysOutcome {
+        let addr = match self.stage(ctx) {
+            Ok(a) => a,
+            Err(e) => return SysOutcome::Done(Err(e)),
+        };
+        ctx.down_args(Sysno::Bind, [fd, addr, 0, 0, 0, 0])
+    }
+
+    /// See [`Pathname::sock_bind`].
+    fn sock_connect(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64) -> SysOutcome {
+        let addr = match self.stage(ctx) {
+            Ok(a) => a,
+            Err(e) => return SysOutcome::Done(Err(e)),
+        };
+        ctx.down_args(Sysno::Connect, [fd, addr, 0, 0, 0, 0])
+    }
+
+    /// Shared helper: stage the path into arg 0 and call down with two
+    /// extra arguments.
+    fn simple(&mut self, ctx: &mut SymCtx<'_, '_>, sys: Sysno, extra: [u64; 2]) -> SysOutcome {
+        match self.stage(ctx) {
+            Ok(addr) => ctx.down_args(sys, [addr, extra[0], extra[1], 0, 0, 0]),
+            Err(e) => SysOutcome::Done(Err(e)),
+        }
+    }
+}
+
+/// The default pathname: the string itself, untransformed.
+#[derive(Debug, Clone)]
+pub struct DefaultPathname {
+    path: Vec<u8>,
+    scratch: Scratch,
+}
+
+impl DefaultPathname {
+    /// Builds the identity pathname object.
+    #[must_use]
+    pub fn new(path: impl Into<Vec<u8>>, scratch: Scratch) -> DefaultPathname {
+        DefaultPathname {
+            path: path.into(),
+            scratch,
+        }
+    }
+}
+
+impl Pathname for DefaultPathname {
+    fn path(&self) -> &[u8] {
+        &self.path
+    }
+    fn scratch(&self) -> &Scratch {
+        &self.scratch
+    }
+    fn clone_pathname(&self) -> Box<dyn Pathname> {
+        Box::new(self.clone())
+    }
+}
+
+/// The pathname-set: the object that owns name-space policy.
+///
+/// Agents override [`PathnameSet::getpn`] to rewrite, multiplex or record
+/// name references; the rest of the toolkit routes every pathname-using
+/// system call through it.
+#[allow(unused_variables)]
+pub trait PathnameSet {
+    /// Diagnostic name.
+    fn set_name(&self) -> &'static str {
+        "pathname-set"
+    }
+
+    /// Resolves a pathname string to a pathname object.
+    fn getpn(
+        &mut self,
+        ctx: &mut SymCtx<'_, '_>,
+        path: &[u8],
+        intent: PathIntent,
+        scratch: &Scratch,
+    ) -> Box<dyn Pathname> {
+        Box::new(DefaultPathname::new(path, scratch.clone()))
+    }
+
+    /// Agent command-line initialization.
+    fn init(&mut self, ctx: &mut SymCtx<'_, '_>, args: &[Vec<u8>]) {}
+
+    /// Fork hook for the child's copy.
+    fn init_child(&mut self, ctx: &mut SymCtx<'_, '_>) {}
+
+    /// Upward signal path.
+    fn signal_handler(
+        &mut self,
+        ctx: &mut SymCtx<'_, '_>,
+        sig: ia_abi::Signal,
+    ) -> ia_interpose::SignalVerdict {
+        ia_interpose::SignalVerdict::Deliver
+    }
+}

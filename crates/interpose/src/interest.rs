@@ -1,0 +1,145 @@
+//! Interest sets: which trap numbers an agent intercepts.
+//!
+//! This is the registration half of the paper's numeric system call layer:
+//! `register_interest(number)` and `register_interest_range(low, high)`.
+//! The router unions the interests of every agent on a chain; traps outside
+//! the union bypass the chain entirely — the "pay-per-use" property.
+
+use ia_abi::Sysno;
+
+/// Bitmap over trap numbers `0..256` (every 4.3BSD number fits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InterestSet {
+    bits: [u64; 4],
+}
+
+impl InterestSet {
+    /// The empty set: nothing intercepted.
+    pub const NONE: InterestSet = InterestSet { bits: [0; 4] };
+
+    /// The full set: every trap intercepted.
+    pub const ALL: InterestSet = InterestSet {
+        bits: [u64::MAX; 4],
+    };
+
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> InterestSet {
+        InterestSet::NONE
+    }
+
+    /// Registers interest in one trap number (`register_interest`).
+    pub fn add(&mut self, nr: u32) {
+        if nr < 256 {
+            self.bits[(nr / 64) as usize] |= 1 << (nr % 64);
+        }
+    }
+
+    /// Registers interest in an inclusive range (`register_interest_range`).
+    pub fn add_range(&mut self, low: u32, high: u32) {
+        for nr in low..=high.min(255) {
+            self.add(nr);
+        }
+    }
+
+    /// Registers interest in a symbolic call.
+    pub fn add_sys(&mut self, s: Sysno) {
+        self.add(s.number());
+    }
+
+    /// Builder-style: a set from symbolic calls.
+    #[must_use]
+    pub fn of(calls: &[Sysno]) -> InterestSet {
+        let mut s = InterestSet::new();
+        for &c in calls {
+            s.add_sys(c);
+        }
+        s
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, nr: u32) -> bool {
+        if nr < 256 {
+            self.bits[(nr / 64) as usize] & (1 << (nr % 64)) != 0
+        } else {
+            // Out-of-table numbers are intercepted only by ALL-interest
+            // agents (bit 255 proxies for "and everything beyond").
+            self.bits[3] & (1 << 63) != 0
+        }
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: &InterestSet) -> InterestSet {
+        let mut out = *self;
+        for i in 0..4 {
+            out.bits[i] |= other.bits[i];
+        }
+        out
+    }
+
+    /// True if nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&b| b == 0)
+    }
+
+    /// Number of registered trap numbers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_contains() {
+        let mut s = InterestSet::new();
+        assert!(s.is_empty());
+        s.add_sys(Sysno::Gettimeofday);
+        assert!(s.contains(116));
+        assert!(!s.contains(117));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn ranges_cover_inclusively() {
+        let mut s = InterestSet::new();
+        s.add_range(3, 6);
+        for nr in 3..=6 {
+            assert!(s.contains(nr));
+        }
+        assert!(!s.contains(2));
+        assert!(!s.contains(7));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn all_contains_everything_including_unknown() {
+        assert!(InterestSet::ALL.contains(0));
+        assert!(InterestSet::ALL.contains(255));
+        assert!(InterestSet::ALL.contains(9999));
+        assert!(!InterestSet::NONE.contains(9999));
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = InterestSet::of(&[Sysno::Read]);
+        let b = InterestSet::of(&[Sysno::Write]);
+        let u = a.union(&b);
+        assert!(u.contains(3));
+        assert!(u.contains(4));
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn out_of_range_add_is_ignored() {
+        let mut s = InterestSet::new();
+        s.add(1000);
+        assert!(s.is_empty());
+    }
+}

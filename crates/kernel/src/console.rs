@@ -1,0 +1,172 @@
+//! The console and character devices.
+//!
+//! Device semantics live here rather than in the VFS: the filesystem only
+//! records a device *number* on the inode; the kernel routes reads and
+//! writes on such descriptors through [`Console::device_read`] /
+//! [`Console::device_write`].
+
+use ia_abi::Errno;
+use std::collections::VecDeque;
+
+/// Device number of `/dev/null`.
+pub const DEV_NULL: u32 = 0;
+/// Device number of `/dev/zero`.
+pub const DEV_ZERO: u32 = 1;
+/// Device number of `/dev/tty` (the console).
+pub const DEV_TTY: u32 = 2;
+
+/// Result of a device read that may need to block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DevRead {
+    /// Bytes delivered.
+    Data(Vec<u8>),
+    /// Terminal with no input queued and no EOF condition: block.
+    WouldBlock,
+}
+
+/// The system console: captures all tty output, queues injected input.
+#[derive(Debug, Default)]
+pub struct Console {
+    output: Vec<u8>,
+    input: VecDeque<u8>,
+    input_eof: bool,
+    /// Total bytes ever written to the tty, for rusage accounting.
+    pub bytes_out: u64,
+}
+
+impl Console {
+    /// A console with no queued input; reads at EOF by default so batch
+    /// workloads never block on a terminal.
+    #[must_use]
+    pub fn new() -> Console {
+        Console {
+            input_eof: true,
+            ..Console::default()
+        }
+    }
+
+    /// Queues bytes for programs to read from `/dev/tty` and clears EOF.
+    pub fn push_input(&mut self, bytes: &[u8]) {
+        self.input.extend(bytes);
+        self.input_eof = false;
+    }
+
+    /// Marks end-of-input: after the queue drains, reads return 0.
+    pub fn set_input_eof(&mut self) {
+        self.input_eof = true;
+    }
+
+    /// Everything programs have written to the console.
+    #[must_use]
+    pub fn output(&self) -> &[u8] {
+        &self.output
+    }
+
+    /// The console output as UTF-8 (lossy), convenient in tests.
+    #[must_use]
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.output).into_owned()
+    }
+
+    /// Discards captured output.
+    pub fn clear_output(&mut self) {
+        self.output.clear();
+    }
+
+    /// True if a tty read would find data (or EOF).
+    #[must_use]
+    pub fn readable(&self) -> bool {
+        !self.input.is_empty() || self.input_eof
+    }
+
+    /// Performs a device read.
+    pub fn device_read(&mut self, dev: u32, len: usize) -> Result<DevRead, Errno> {
+        match dev {
+            DEV_NULL => Ok(DevRead::Data(Vec::new())),
+            DEV_ZERO => Ok(DevRead::Data(vec![0; len])),
+            DEV_TTY => {
+                if self.input.is_empty() {
+                    if self.input_eof {
+                        Ok(DevRead::Data(Vec::new()))
+                    } else {
+                        Ok(DevRead::WouldBlock)
+                    }
+                } else {
+                    let n = len.min(self.input.len());
+                    Ok(DevRead::Data(self.input.drain(..n).collect()))
+                }
+            }
+            _ => Err(Errno::ENXIO),
+        }
+    }
+
+    /// Performs a device write. Returns bytes accepted.
+    pub fn device_write(&mut self, dev: u32, data: &[u8]) -> Result<usize, Errno> {
+        match dev {
+            DEV_NULL | DEV_ZERO => Ok(data.len()),
+            DEV_TTY => {
+                self.output.extend_from_slice(data);
+                self.bytes_out += data.len() as u64;
+                Ok(data.len())
+            }
+            _ => Err(Errno::ENXIO),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_reads_eof_writes_discard() {
+        let mut c = Console::new();
+        assert_eq!(c.device_read(DEV_NULL, 10).unwrap(), DevRead::Data(vec![]));
+        assert_eq!(c.device_write(DEV_NULL, b"gone").unwrap(), 4);
+        assert!(c.output().is_empty());
+    }
+
+    #[test]
+    fn zero_reads_zeros() {
+        let mut c = Console::new();
+        assert_eq!(
+            c.device_read(DEV_ZERO, 3).unwrap(),
+            DevRead::Data(vec![0, 0, 0])
+        );
+    }
+
+    #[test]
+    fn tty_captures_output() {
+        let mut c = Console::new();
+        c.device_write(DEV_TTY, b"hello ").unwrap();
+        c.device_write(DEV_TTY, b"world").unwrap();
+        assert_eq!(c.output_string(), "hello world");
+        assert_eq!(c.bytes_out, 11);
+    }
+
+    #[test]
+    fn tty_input_queue_then_eof() {
+        let mut c = Console::new();
+        assert_eq!(c.device_read(DEV_TTY, 8).unwrap(), DevRead::Data(vec![]));
+        c.push_input(b"abc");
+        assert_eq!(
+            c.device_read(DEV_TTY, 2).unwrap(),
+            DevRead::Data(b"ab".to_vec())
+        );
+        assert_eq!(
+            c.device_read(DEV_TTY, 2).unwrap(),
+            DevRead::Data(b"c".to_vec())
+        );
+        // Queue drained but EOF was cleared by push_input: further reads block.
+        assert_eq!(c.device_read(DEV_TTY, 2).unwrap(), DevRead::WouldBlock);
+        c.set_input_eof();
+        assert_eq!(c.device_read(DEV_TTY, 2).unwrap(), DevRead::Data(vec![]));
+    }
+
+    #[test]
+    fn unknown_device_is_enxio() {
+        let mut c = Console::new();
+        assert_eq!(c.device_read(99, 1), Err(Errno::ENXIO));
+        assert_eq!(c.device_write(99, b"x"), Err(Errno::ENXIO));
+    }
+}

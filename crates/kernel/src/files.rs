@@ -1,0 +1,321 @@
+//! The system-wide open-file table and per-process descriptor tables.
+//!
+//! As in BSD, three layers separate a process from data: the *descriptor*
+//! (a small integer, per process, with a close-on-exec flag), the *open
+//! file* (system-wide, holding the offset and flags, shared by `dup` and
+//! inherited across `fork`), and the object itself (inode, pipe end,
+//! device, socket).
+
+use ia_abi::{Errno, OpenFlags};
+use ia_vfs::{Ino, PipeId};
+
+/// Maximum descriptors per process (4.3BSD's `getdtablesize` default).
+pub const FD_TABLE_SIZE: usize = 64;
+
+/// Index into the system-wide open-file table.
+pub type FileIdx = usize;
+
+/// Socket identifier in the kernel socket table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SockId(pub u64);
+
+/// What an open file refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// A filesystem object (regular file or directory); offset applies.
+    Vnode(Ino),
+    /// The read end of a pipe (anonymous or FIFO).
+    PipeRead(PipeId),
+    /// The write end of a pipe.
+    PipeWrite(PipeId),
+    /// A character device.
+    Device(u32),
+    /// A socket.
+    Socket(SockId),
+}
+
+/// A system-wide open-file entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenFile {
+    /// The referenced object.
+    pub kind: FileKind,
+    /// Current byte offset (vnodes) or record offset (directories).
+    pub offset: u64,
+    /// Status flags from `open`, mutable via `fcntl(F_SETFL)`.
+    pub flags: OpenFlags,
+    /// Descriptor references (dup + fork inheritance).
+    pub refs: u32,
+}
+
+/// The system-wide open-file table.
+#[derive(Debug, Default)]
+pub struct OpenFiles {
+    slots: Vec<Option<OpenFile>>,
+}
+
+impl OpenFiles {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> OpenFiles {
+        OpenFiles::default()
+    }
+
+    /// Inserts a new open file with one reference.
+    pub fn insert(&mut self, kind: FileKind, flags: OpenFlags) -> FileIdx {
+        let file = OpenFile {
+            kind,
+            offset: 0,
+            flags,
+            refs: 1,
+        };
+        match self.slots.iter().position(Option::is_none) {
+            Some(i) => {
+                self.slots[i] = Some(file);
+                i
+            }
+            None => {
+                self.slots.push(Some(file));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// Borrows an entry.
+    pub fn get(&self, idx: FileIdx) -> Result<&OpenFile, Errno> {
+        self.slots
+            .get(idx)
+            .and_then(Option::as_ref)
+            .ok_or(Errno::EBADF)
+    }
+
+    /// Mutably borrows an entry.
+    pub fn get_mut(&mut self, idx: FileIdx) -> Result<&mut OpenFile, Errno> {
+        self.slots
+            .get_mut(idx)
+            .and_then(Option::as_mut)
+            .ok_or(Errno::EBADF)
+    }
+
+    /// Adds a reference (dup / fork).
+    pub fn incref(&mut self, idx: FileIdx) {
+        if let Some(Some(f)) = self.slots.get_mut(idx) {
+            f.refs += 1;
+        }
+    }
+
+    /// Drops a reference. Returns the entry if this was the last reference,
+    /// so the caller can release the underlying object (inode ref, pipe
+    /// endpoint, socket).
+    pub fn decref(&mut self, idx: FileIdx) -> Option<OpenFile> {
+        let slot = self.slots.get_mut(idx)?;
+        let f = slot.as_mut()?;
+        f.refs -= 1;
+        if f.refs == 0 {
+            return slot.take();
+        }
+        None
+    }
+
+    /// Number of live open files.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// One process's descriptor slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FdEntry {
+    /// Index into the system open-file table.
+    pub file: FileIdx,
+    /// Close-on-exec flag (per descriptor, not per open file).
+    pub cloexec: bool,
+}
+
+/// A per-process descriptor table.
+#[derive(Debug, Clone)]
+pub struct FdTable {
+    slots: Vec<Option<FdEntry>>,
+}
+
+impl Default for FdTable {
+    fn default() -> Self {
+        FdTable {
+            slots: vec![None; FD_TABLE_SIZE],
+        }
+    }
+}
+
+impl FdTable {
+    /// An empty table of [`FD_TABLE_SIZE`] slots.
+    #[must_use]
+    pub fn new() -> FdTable {
+        FdTable::default()
+    }
+
+    /// The table size (`getdtablesize`).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Looks up a descriptor.
+    pub fn get(&self, fd: u64) -> Result<FdEntry, Errno> {
+        usize::try_from(fd)
+            .ok()
+            .and_then(|i| self.slots.get(i))
+            .and_then(|s| *s)
+            .ok_or(Errno::EBADF)
+    }
+
+    /// Allocates the lowest free slot at or above `min`, the BSD rule for
+    /// both `open` and `fcntl(F_DUPFD)`.
+    pub fn alloc(&mut self, min: usize, entry: FdEntry) -> Result<u64, Errno> {
+        for i in min..self.slots.len() {
+            if self.slots[i].is_none() {
+                self.slots[i] = Some(entry);
+                return Ok(i as u64);
+            }
+        }
+        Err(Errno::EMFILE)
+    }
+
+    /// Installs into a specific slot (`dup2`), returning what was there.
+    pub fn install(&mut self, fd: u64, entry: FdEntry) -> Result<Option<FdEntry>, Errno> {
+        let i = usize::try_from(fd).map_err(|_| Errno::EBADF)?;
+        if i >= self.slots.len() {
+            return Err(Errno::EBADF);
+        }
+        Ok(self.slots[i].replace(entry))
+    }
+
+    /// Removes a descriptor, returning its entry.
+    pub fn remove(&mut self, fd: u64) -> Result<FdEntry, Errno> {
+        let i = usize::try_from(fd).map_err(|_| Errno::EBADF)?;
+        self.slots
+            .get_mut(i)
+            .and_then(Option::take)
+            .ok_or(Errno::EBADF)
+    }
+
+    /// Sets the close-on-exec flag.
+    pub fn set_cloexec(&mut self, fd: u64, on: bool) -> Result<(), Errno> {
+        let i = usize::try_from(fd).map_err(|_| Errno::EBADF)?;
+        match self.slots.get_mut(i).and_then(Option::as_mut) {
+            Some(e) => {
+                e.cloexec = on;
+                Ok(())
+            }
+            None => Err(Errno::EBADF),
+        }
+    }
+
+    /// Iterates over `(fd, entry)` pairs of live descriptors.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, FdEntry)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|e| (i as u64, e)))
+    }
+
+    /// Drains every descriptor (process exit), yielding the entries.
+    pub fn drain(&mut self) -> Vec<FdEntry> {
+        self.slots.iter_mut().filter_map(Option::take).collect()
+    }
+
+    /// Removes and returns descriptors with the close-on-exec flag
+    /// (`execve`).
+    pub fn drain_cloexec(&mut self) -> Vec<FdEntry> {
+        let mut out = Vec::new();
+        for slot in &mut self.slots {
+            if slot.is_some_and(|e| e.cloexec) {
+                out.push(slot.take().expect("just checked"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(file: FileIdx) -> FdEntry {
+        FdEntry {
+            file,
+            cloexec: false,
+        }
+    }
+
+    #[test]
+    fn open_files_refcounting() {
+        let mut t = OpenFiles::new();
+        let a = t.insert(FileKind::Device(0), OpenFlags::default());
+        t.incref(a);
+        assert!(t.decref(a).is_none(), "still one ref");
+        let last = t.decref(a).expect("last ref returns entry");
+        assert_eq!(last.kind, FileKind::Device(0));
+        assert_eq!(t.get(a), Err(Errno::EBADF));
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut t = OpenFiles::new();
+        let a = t.insert(FileKind::Device(0), OpenFlags::default());
+        t.decref(a);
+        let b = t.insert(FileKind::Device(1), OpenFlags::default());
+        assert_eq!(a, b);
+        assert_eq!(t.live(), 1);
+    }
+
+    #[test]
+    fn fd_alloc_lowest_first() {
+        let mut t = FdTable::new();
+        assert_eq!(t.alloc(0, entry(10)).unwrap(), 0);
+        assert_eq!(t.alloc(0, entry(11)).unwrap(), 1);
+        t.remove(0).unwrap();
+        assert_eq!(t.alloc(0, entry(12)).unwrap(), 0, "lowest slot reused");
+        assert_eq!(t.alloc(5, entry(13)).unwrap(), 5, "F_DUPFD minimum");
+    }
+
+    #[test]
+    fn fd_table_exhaustion_is_emfile() {
+        let mut t = FdTable::new();
+        for _ in 0..FD_TABLE_SIZE {
+            t.alloc(0, entry(0)).unwrap();
+        }
+        assert_eq!(t.alloc(0, entry(0)), Err(Errno::EMFILE));
+    }
+
+    #[test]
+    fn install_replaces() {
+        let mut t = FdTable::new();
+        t.alloc(0, entry(1)).unwrap();
+        let old = t.install(0, entry(2)).unwrap();
+        assert_eq!(old, Some(entry(1)));
+        assert_eq!(t.get(0).unwrap().file, 2);
+        assert_eq!(t.install(9_999, entry(3)), Err(Errno::EBADF));
+    }
+
+    #[test]
+    fn cloexec_drain() {
+        let mut t = FdTable::new();
+        t.alloc(0, entry(1)).unwrap();
+        t.alloc(0, entry(2)).unwrap();
+        t.set_cloexec(1, true).unwrap();
+        let closed = t.drain_cloexec();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].file, 2);
+        assert!(t.get(0).is_ok());
+        assert_eq!(t.get(1), Err(Errno::EBADF));
+    }
+
+    #[test]
+    fn bad_fd_errors() {
+        let mut t = FdTable::new();
+        assert_eq!(t.get(0), Err(Errno::EBADF));
+        assert_eq!(t.get(u64::MAX), Err(Errno::EBADF));
+        assert_eq!(t.remove(3), Err(Errno::EBADF));
+        assert_eq!(t.set_cloexec(3, true), Err(Errno::EBADF));
+    }
+}

@@ -1,0 +1,579 @@
+//! The kernel object: owns the filesystem, the process table, the open-file
+//! and socket tables, the console and the virtual clock, and implements the
+//! bottom instance of the system interface.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ia_abi::signal::Signal;
+use ia_abi::{Errno, OpenFlags, SysResult};
+use ia_vfs::{Cred, Fs, Ino, PipeId};
+use ia_vm::{AddressSpace, Image, VmState, DEFAULT_MEM_SIZE};
+
+use crate::clock::{Clock, MachineProfile};
+use crate::console::{Console, DEV_NULL, DEV_TTY, DEV_ZERO};
+use crate::files::{FdEntry, FdTable, FileKind, OpenFiles, SockId};
+use crate::process::{Pid, ProcState, Process, SigState, Usage, WaitChannel};
+use crate::socket::SocketTable;
+
+/// Outcome of a bottom-level system call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SysOutcome {
+    /// Completed; apply the result to the trap registers.
+    Done(SysResult),
+    /// Completed, but the registers must not be touched (successful
+    /// `execve`, `sigreturn`, `exit`).
+    NoReturn,
+    /// Would block; park the process on this channel and restart the trap
+    /// when it fires.
+    Block(WaitChannel),
+}
+
+impl SysOutcome {
+    /// Shorthand for an error outcome.
+    #[must_use]
+    pub fn err(e: Errno) -> SysOutcome {
+        SysOutcome::Done(Err(e))
+    }
+
+    /// Shorthand for a single-value success.
+    #[must_use]
+    pub fn ok1(v: u64) -> SysOutcome {
+        SysOutcome::Done(Ok([v, 0]))
+    }
+
+    /// Shorthand for `Ok([0, 0])`.
+    #[must_use]
+    pub fn ok() -> SysOutcome {
+        SysOutcome::Done(Ok([0, 0]))
+    }
+}
+
+/// An event that may unblock parked processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeEvent {
+    /// Activity on a pipe (bytes moved or an endpoint closed).
+    Pipe(PipeId),
+    /// A child of this pid changed state.
+    ChildOf(Pid),
+    /// A signal was posted to this pid.
+    SignalTo(Pid),
+    /// Console input arrived.
+    Tty,
+    /// A listening socket gained a connection.
+    Sock(SockId),
+}
+
+/// Advisory `flock` state for one inode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct FlockState {
+    pub shared: u32,
+    pub exclusive: bool,
+}
+
+/// The simulated 4.3BSD kernel.
+#[derive(Debug)]
+pub struct Kernel {
+    /// The filesystem.
+    pub fs: Fs,
+    /// The virtual clock.
+    pub clock: Clock,
+    /// The machine cost profile.
+    pub profile: MachineProfile,
+    /// The console device.
+    pub console: Console,
+    /// System-wide open files.
+    pub files: OpenFiles,
+    /// Socket table.
+    pub sockets: SocketTable,
+    pub(crate) procs: HashMap<Pid, Process>,
+    pub(crate) next_pid: Pid,
+    pub(crate) wakeups: Vec<WakeEvent>,
+    pub(crate) exit_log: HashMap<Pid, u32>,
+    pub(crate) flocks: HashMap<Ino, FlockState>,
+    /// Total syscalls dispatched at the kernel level, for reports.
+    pub total_syscalls: u64,
+    /// Total user instructions retired across all processes, for reports
+    /// and for exact loop-overhead subtraction in micro-benchmarks.
+    pub total_insns: u64,
+}
+
+impl Kernel {
+    /// Boots a kernel with the given cost profile and a standard filesystem
+    /// skeleton: `/dev/{null,zero,tty}`, `/bin`, `/tmp`, `/usr`, `/etc`,
+    /// `/home`.
+    ///
+    /// ```
+    /// use ia_kernel::{Kernel, RunOutcome, I486_25};
+    ///
+    /// let mut kernel = Kernel::new(I486_25);
+    /// let image = ia_vm::assemble(
+    ///     ".data\nmsg: .asciz \"hi\"\n.text\nmain:\n li r0, 1\n la r1, msg\n li r2, 2\n sys write\n li r0, 0\n sys exit\n",
+    /// )
+    /// .unwrap();
+    /// kernel.spawn_image(&image, &[b"hello"], b"hello");
+    /// assert_eq!(kernel.run_to_completion(), RunOutcome::AllExited);
+    /// assert_eq!(kernel.console.output_string(), "hi");
+    /// ```
+    #[must_use]
+    pub fn new(profile: MachineProfile) -> Kernel {
+        let clock = Clock::new();
+        let mut fs = Fs::new(clock.now());
+        let now = clock.now();
+        let root = ia_vfs::inode::ROOT_INO;
+        let dev = fs
+            .mkdir(root, b"dev", 0o755, Cred::ROOT, now)
+            .expect("mkdir /dev");
+        fs.mknod_chardev(dev, b"null", DEV_NULL, 0o666, Cred::ROOT, now)
+            .expect("/dev/null");
+        fs.mknod_chardev(dev, b"zero", DEV_ZERO, 0o666, Cred::ROOT, now)
+            .expect("/dev/zero");
+        fs.mknod_chardev(dev, b"tty", DEV_TTY, 0o666, Cred::ROOT, now)
+            .expect("/dev/tty");
+        for d in [&b"bin"[..], b"tmp", b"usr", b"etc", b"home"] {
+            fs.mkdir(
+                root,
+                d,
+                if d == b"tmp" { 0o777 } else { 0o755 },
+                Cred::ROOT,
+                now,
+            )
+            .expect("skeleton dir");
+        }
+        Kernel {
+            fs,
+            clock,
+            profile,
+            console: Console::new(),
+            files: OpenFiles::new(),
+            sockets: SocketTable::new(),
+            procs: HashMap::new(),
+            next_pid: 1,
+            wakeups: Vec::new(),
+            exit_log: HashMap::new(),
+            flocks: HashMap::new(),
+            total_syscalls: 0,
+            total_insns: 0,
+        }
+    }
+
+    // ---- host-side conveniences (the "operator", not the interface) ----
+
+    /// Creates every missing directory along an absolute path.
+    pub fn mkdir_p(&mut self, path: &[u8]) -> Result<Ino, Errno> {
+        let now = self.clock.now();
+        let root = ia_vfs::inode::ROOT_INO;
+        let mut cur = root;
+        for comp in ia_vfs::split_components(path) {
+            cur = match self.fs.resolve(cur, comp, Cred::ROOT) {
+                Ok(r) => r.ino,
+                Err(Errno::ENOENT) => self.fs.mkdir(cur, comp, 0o755, Cred::ROOT, now)?,
+                Err(e) => return Err(e),
+            };
+        }
+        Ok(cur)
+    }
+
+    /// Writes (creating or replacing) a file at an absolute path.
+    pub fn write_file(&mut self, path: &[u8], data: &[u8]) -> Result<Ino, Errno> {
+        let now = self.clock.now();
+        let root = ia_vfs::inode::ROOT_INO;
+        let (dir, base) = self.fs.resolve_parent(root, path, Cred::ROOT)?;
+        let ino = match self.fs.resolve(dir, &base, Cred::ROOT) {
+            Ok(r) => {
+                self.fs.truncate(r.ino, 0, now)?;
+                r.ino
+            }
+            Err(Errno::ENOENT) => self.fs.create_file(dir, &base, 0o644, Cred::ROOT, now)?,
+            Err(e) => return Err(e),
+        };
+        self.fs.write_at(ino, 0, data, now)?;
+        Ok(ino)
+    }
+
+    /// Reads a whole file at an absolute path.
+    pub fn read_file(&mut self, path: &[u8]) -> Result<Vec<u8>, Errno> {
+        let root = ia_vfs::inode::ROOT_INO;
+        let ino = self.fs.resolve(root, path, Cred::ROOT)?.ino;
+        let len = self.fs.get(ino)?.size() as usize;
+        let now = self.clock.now();
+        self.fs.read_at(ino, 0, len, now)
+    }
+
+    /// Installs a program image as an executable file.
+    pub fn install_image(&mut self, path: &[u8], image: &Image) -> Result<Ino, Errno> {
+        let ino = self.write_file(path, &image.to_bytes())?;
+        let now = self.clock.now();
+        self.fs.chmod(ino, 0o755, Cred::ROOT, now)?;
+        Ok(ino)
+    }
+
+    // ---- process management --------------------------------------------
+
+    fn alloc_pid(&mut self) -> Pid {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        pid
+    }
+
+    /// Spawns a process running `image` directly (without going through the
+    /// filesystem), with fds 0/1/2 on the console. Returns the new pid.
+    pub fn spawn_image(&mut self, image: &Image, argv: &[&[u8]], name: &[u8]) -> Pid {
+        let pid = self.alloc_pid();
+        let mut mem = AddressSpace::new(DEFAULT_MEM_SIZE, 0);
+        image.load_into(&mut mem).expect("image fits default space");
+        let mut vm = VmState::new(image.entry, DEFAULT_MEM_SIZE);
+        push_args(&mut vm, &mut mem, argv).expect("argv fits");
+
+        let mut fds = FdTable::new();
+        let tty = self
+            .files
+            .insert(FileKind::Device(DEV_TTY), OpenFlags::new(OpenFlags::O_RDWR));
+        self.files.incref(tty);
+        self.files.incref(tty);
+        for _ in 0..3 {
+            fds.alloc(
+                0,
+                FdEntry {
+                    file: tty,
+                    cloexec: false,
+                },
+            )
+            .expect("empty table");
+        }
+
+        let proc = Process {
+            pid,
+            ppid: 0,
+            pgrp: pid,
+            vm,
+            mem,
+            code: Arc::new(image.code.clone()),
+            state: ProcState::Runnable,
+            pending_trap: None,
+            fds,
+            cwd: ia_vfs::inode::ROOT_INO,
+            root: ia_vfs::inode::ROOT_INO,
+            uid: 0,
+            euid: 0,
+            gid: 0,
+            egid: 0,
+            umask: 0o022,
+            sig: SigState::default(),
+            usage: Usage::default(),
+            itimer: None,
+            name: name.to_vec(),
+            slice_left: 0,
+            priority: 0,
+            select_deadline: None,
+        };
+        self.procs.insert(pid, proc);
+        pid
+    }
+
+    /// Spawns a process from an executable image file in the filesystem.
+    pub fn spawn(&mut self, path: &[u8], argv: &[&[u8]]) -> Result<Pid, Errno> {
+        let bytes = self.read_file(path)?;
+        let image = Image::from_bytes(&bytes)?;
+        let name = path.rsplit(|&c| c == b'/').next().unwrap_or(path).to_vec();
+        Ok(self.spawn_image(&image, argv, &name))
+    }
+
+    /// Borrows a process.
+    pub fn proc(&self, pid: Pid) -> Result<&Process, Errno> {
+        self.procs.get(&pid).ok_or(Errno::ESRCH)
+    }
+
+    /// Mutably borrows a process.
+    pub fn proc_mut(&mut self, pid: Pid) -> Result<&mut Process, Errno> {
+        self.procs.get_mut(&pid).ok_or(Errno::ESRCH)
+    }
+
+    /// Live pids (including zombies), in ascending order.
+    #[must_use]
+    pub fn pids(&self) -> Vec<Pid> {
+        let mut v: Vec<Pid> = self.procs.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of processes that are not zombies.
+    #[must_use]
+    pub fn running_count(&self) -> usize {
+        self.procs
+            .values()
+            .filter(|p| !matches!(p.state, ProcState::Zombie(_)))
+            .count()
+    }
+
+    /// The recorded wait-status of an exited (and reaped) process.
+    #[must_use]
+    pub fn exit_status(&self, pid: Pid) -> Option<u32> {
+        if let Some(p) = self.procs.get(&pid) {
+            if let ProcState::Zombie(st) = p.state {
+                return Some(st);
+            }
+        }
+        self.exit_log.get(&pid).copied()
+    }
+
+    // ---- signals ---------------------------------------------------------
+
+    /// Posts a signal to a process, waking it if blocked or stopped.
+    pub fn post_signal(&mut self, pid: Pid, sig: Signal) -> Result<(), Errno> {
+        let p = self.procs.get_mut(&pid).ok_or(Errno::ESRCH)?;
+        if matches!(p.state, ProcState::Zombie(_)) {
+            return Ok(());
+        }
+        if sig == Signal::SIGKILL {
+            // SIGKILL can be neither caught nor blocked, and it resumes a
+            // stopped process only to kill it: terminate on the spot.
+            self.terminate(pid, ia_abi::signal::wait_status_signaled(sig));
+            self.wakeups.push(WakeEvent::SignalTo(pid));
+            return Ok(());
+        }
+        if sig == Signal::SIGCONT && p.state == ProcState::Stopped {
+            p.state = ProcState::Runnable;
+            // A default-action SIGCONT's whole job was the resume.
+            if matches!(
+                p.sig.action(sig).disposition,
+                ia_abi::SigDisposition::Default
+            ) {
+                self.wakeups.push(WakeEvent::SignalTo(pid));
+                return Ok(());
+            }
+        }
+        p.sig.post(sig);
+        self.wakeups.push(WakeEvent::SignalTo(pid));
+        Ok(())
+    }
+
+    /// Posts a signal to every member of a process group. Returns how many
+    /// processes were signalled.
+    pub fn post_signal_pgrp(&mut self, pgrp: Pid, sig: Signal, sender: Pid) -> usize {
+        let targets: Vec<Pid> = self
+            .procs
+            .values()
+            .filter(|p| p.pgrp == pgrp && p.pid != 0)
+            .filter(|p| self.procs.get(&sender).is_none_or(|s| s.can_signal(p)))
+            .map(|p| p.pid)
+            .collect();
+        let n = targets.len();
+        for t in targets {
+            let _ = self.post_signal(t, sig);
+        }
+        n
+    }
+
+    /// Terminates a process with the given wait-status word: releases its
+    /// descriptors, reparents its children, notifies the parent.
+    pub(crate) fn terminate(&mut self, pid: Pid, status: u32) {
+        let Some(p) = self.procs.get_mut(&pid) else {
+            return;
+        };
+        let ppid = p.ppid;
+        let entries = p.fds.drain();
+        p.state = ProcState::Zombie(status);
+        p.pending_trap = None;
+        for e in entries {
+            self.release_file(e.file);
+        }
+        // Reparent children to "nobody"; auto-reap any zombies among them.
+        let children: Vec<Pid> = self
+            .procs
+            .values()
+            .filter(|c| c.ppid == pid)
+            .map(|c| c.pid)
+            .collect();
+        for c in children {
+            let child = self.procs.get_mut(&c).expect("listed");
+            child.ppid = 0;
+            if let ProcState::Zombie(st) = child.state {
+                self.exit_log.insert(c, st);
+                self.procs.remove(&c);
+            }
+        }
+        if ppid != 0 && self.procs.contains_key(&ppid) {
+            let _ = self.post_signal(ppid, Signal::SIGCHLD);
+            self.wakeups.push(WakeEvent::ChildOf(ppid));
+        } else {
+            // Orphan: nobody will wait; reap immediately.
+            self.exit_log.insert(pid, status);
+            self.procs.remove(&pid);
+        }
+    }
+
+    // ---- open-file plumbing ----------------------------------------------
+
+    /// Drops one descriptor reference to an open file, releasing the
+    /// underlying object when the last reference goes.
+    pub(crate) fn release_file(&mut self, idx: crate::files::FileIdx) {
+        if let Some(last) = self.files.decref(idx) {
+            match last.kind {
+                FileKind::Vnode(ino) => self.fs.decref(ino),
+                FileKind::PipeRead(id) => {
+                    self.fs.pipes.drop_reader(id);
+                    self.wakeups.push(WakeEvent::Pipe(id));
+                }
+                FileKind::PipeWrite(id) => {
+                    self.fs.pipes.drop_writer(id);
+                    self.wakeups.push(WakeEvent::Pipe(id));
+                }
+                FileKind::Device(_) => {}
+                FileKind::Socket(sid) => {
+                    self.sockets.release(sid, &mut self.fs.pipes);
+                    // Peers blocked on this socket's pipes must see hangup.
+                    self.wakeups.push(WakeEvent::Sock(sid));
+                }
+            }
+            if let FileKind::Vnode(ino) = last.kind {
+                self.flock_release(ino);
+            }
+        }
+    }
+
+    pub(crate) fn flock_release(&mut self, ino: Ino) {
+        // Conservative: releasing any descriptor to the inode clears one
+        // shared hold or the exclusive hold.
+        if let Some(st) = self.flocks.get_mut(&ino) {
+            if st.exclusive {
+                st.exclusive = false;
+            } else if st.shared > 0 {
+                st.shared -= 1;
+            }
+            if !st.exclusive && st.shared == 0 {
+                self.flocks.remove(&ino);
+            }
+        }
+    }
+
+    /// Drains accumulated wake events (scheduler use).
+    pub(crate) fn take_wakeups(&mut self) -> Vec<WakeEvent> {
+        std::mem::take(&mut self.wakeups)
+    }
+}
+
+/// Pushes `argv` onto a fresh stack: strings at the top, then the pointer
+/// array, leaving `r0 = argc`, `r1 = &argv[0]` and the stack pointer below.
+pub fn push_args(vm: &mut VmState, mem: &mut AddressSpace, argv: &[&[u8]]) -> Result<(), Errno> {
+    let mut sp = mem.size() as u64;
+    let mut ptrs = Vec::with_capacity(argv.len());
+    for arg in argv {
+        sp -= arg.len() as u64 + 1;
+        mem.write_cstr(sp, arg)?;
+        ptrs.push(sp);
+    }
+    sp &= !7; // align
+    sp -= 8; // NULL terminator
+    mem.write_u64(sp, 0)?;
+    for &p in ptrs.iter().rev() {
+        sp -= 8;
+        mem.write_u64(sp, p)?;
+    }
+    vm.regs[0] = argv.len() as u64;
+    vm.regs[1] = sp;
+    vm.regs[15] = sp;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::I486_25;
+
+    #[test]
+    fn boot_builds_skeleton() {
+        let mut k = Kernel::new(I486_25);
+        for p in [
+            &b"/dev/null"[..],
+            b"/dev/zero",
+            b"/dev/tty",
+            b"/bin",
+            b"/tmp",
+            b"/etc",
+        ] {
+            assert!(
+                k.fs.resolve(ia_vfs::inode::ROOT_INO, p, Cred::ROOT).is_ok(),
+                "{}",
+                String::from_utf8_lossy(p)
+            );
+        }
+        let _ = &mut k;
+    }
+
+    #[test]
+    fn write_read_file_round_trip() {
+        let mut k = Kernel::new(I486_25);
+        k.write_file(b"/etc/motd", b"welcome\n").unwrap();
+        assert_eq!(k.read_file(b"/etc/motd").unwrap(), b"welcome\n");
+        // Overwrite truncates.
+        k.write_file(b"/etc/motd", b"hi").unwrap();
+        assert_eq!(k.read_file(b"/etc/motd").unwrap(), b"hi");
+    }
+
+    #[test]
+    fn mkdir_p_is_idempotent() {
+        let mut k = Kernel::new(I486_25);
+        let a = k.mkdir_p(b"/a/b/c").unwrap();
+        let b = k.mkdir_p(b"/a/b/c").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spawn_image_sets_up_stdio_and_args() {
+        let mut k = Kernel::new(I486_25);
+        let img = ia_vm::assemble("main: halt\n").unwrap();
+        let pid = k.spawn_image(&img, &[b"prog", b"arg1"], b"prog");
+        let p = k.proc(pid).unwrap();
+        assert_eq!(p.vm.regs[0], 2, "argc");
+        let argv0 = p.mem.read_u64(p.vm.regs[1]).unwrap();
+        assert_eq!(p.mem.read_cstr(argv0, 64).unwrap(), b"prog");
+        let argv1 = p.mem.read_u64(p.vm.regs[1] + 8).unwrap();
+        assert_eq!(p.mem.read_cstr(argv1, 64).unwrap(), b"arg1");
+        assert_eq!(p.mem.read_u64(p.vm.regs[1] + 16).unwrap(), 0, "NULL end");
+        for fd in 0..3 {
+            assert!(p.fds.get(fd).is_ok(), "fd {fd} open");
+        }
+    }
+
+    #[test]
+    fn spawn_from_fs_requires_valid_image() {
+        let mut k = Kernel::new(I486_25);
+        k.write_file(b"/bin/bad", b"not an image").unwrap();
+        assert_eq!(k.spawn(b"/bin/bad", &[b"bad"]), Err(Errno::ENOEXEC));
+        let img = ia_vm::assemble("main: halt\n").unwrap();
+        k.install_image(b"/bin/ok", &img).unwrap();
+        assert!(k.spawn(b"/bin/ok", &[b"ok"]).is_ok());
+    }
+
+    #[test]
+    fn post_signal_to_missing_process_is_esrch() {
+        let mut k = Kernel::new(I486_25);
+        assert_eq!(k.post_signal(99, Signal::SIGTERM), Err(Errno::ESRCH));
+    }
+
+    #[test]
+    fn terminate_reparents_and_notifies() {
+        let mut k = Kernel::new(I486_25);
+        let img = ia_vm::assemble("main: halt\n").unwrap();
+        let parent = k.spawn_image(&img, &[b"p"], b"p");
+        let child = k.spawn_image(&img, &[b"c"], b"c");
+        k.proc_mut(child).unwrap().ppid = parent;
+        k.terminate(child, ia_abi::signal::wait_status_exited(3));
+        // Child is a zombie awaiting wait4; parent got SIGCHLD.
+        assert!(matches!(k.proc(child).unwrap().state, ProcState::Zombie(_)));
+        assert!(k
+            .proc(parent)
+            .unwrap()
+            .sig
+            .pending
+            .contains(Signal::SIGCHLD));
+        // Parent dies; the zombie child is auto-reaped.
+        k.terminate(parent, 0);
+        assert!(k.proc(child).is_err());
+        assert_eq!(
+            k.exit_status(child),
+            Some(ia_abi::signal::wait_status_exited(3))
+        );
+    }
+}

@@ -1,0 +1,469 @@
+//! The scheduler: runs processes, dispatches traps through a pluggable
+//! router, delivers signals, and manages blocking.
+//!
+//! The [`SyscallRouter`] trait is the seam where interposition attaches.
+//! With [`KernelRouter`] every trap goes straight to the kernel — Figure
+//! 1-1 of the paper. The `ia-interpose` crate provides a router that sends
+//! registered traps through per-process agent chains first — Figures 1-2
+//! through 1-4.
+
+use ia_abi::signal::{DefaultAction, SigDisposition, Signal};
+use ia_abi::types::SigContext;
+use ia_abi::wire::Wire;
+use ia_abi::{Errno, RawArgs};
+use ia_vm::machine::{step, StepEvent};
+
+use crate::kernel::{Kernel, SysOutcome, WakeEvent};
+use crate::process::{PendingTrap, Pid, ProcState, WaitChannel};
+
+/// Instructions per scheduling slice.
+pub const SLICE: u32 = 100;
+
+/// How a trap reaches an implementation of the system interface.
+pub trait SyscallRouter {
+    /// Dispatches one trap. The default route is the kernel itself.
+    fn route(&mut self, k: &mut Kernel, pid: Pid, nr: u32, args: RawArgs) -> SysOutcome;
+
+    /// Filters a signal about to be delivered to the application — the
+    /// *upward* interposition path. Returning `false` consumes the signal
+    /// without delivering it.
+    fn filter_signal(&mut self, _k: &mut Kernel, _pid: Pid, _sig: Signal) -> bool {
+        true
+    }
+
+    /// Notification that a process has terminated (for per-process state
+    /// cleanup, e.g. agent chains).
+    fn on_process_exit(&mut self, _k: &mut Kernel, _pid: Pid) {}
+}
+
+/// The identity router: every trap goes directly to the kernel.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KernelRouter;
+
+impl SyscallRouter for KernelRouter {
+    fn route(&mut self, k: &mut Kernel, pid: Pid, nr: u32, args: RawArgs) -> SysOutcome {
+        k.syscall(pid, nr, args)
+    }
+}
+
+/// Limits on one `run` invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct RunLimits {
+    /// Maximum instructions (across all processes) before giving up.
+    pub max_steps: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits {
+            max_steps: 2_000_000_000,
+        }
+    }
+}
+
+/// Why `run` returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every process has exited.
+    AllExited,
+    /// Runnable work exists but the step limit was reached.
+    StepLimit,
+    /// Processes remain but all are blocked with nothing to wake them.
+    Deadlock {
+        /// The blocked pids.
+        blocked: Vec<Pid>,
+    },
+    /// Only stopped processes remain (awaiting an external `SIGCONT`).
+    Stalled,
+}
+
+/// Runs the system until every process exits (or a limit/deadlock).
+pub fn run<R: SyscallRouter>(k: &mut Kernel, router: &mut R, limits: RunLimits) -> RunOutcome {
+    let mut steps: u64 = 0;
+    let mut last_pid: Pid = 0;
+    loop {
+        fire_timers(k);
+        apply_wakeups(k);
+
+        let Some(pid) = pick_runnable(k, last_pid) else {
+            // Nobody runnable: maybe time just needs to pass.
+            if let Some(deadline) = earliest_deadline(k) {
+                let now = k.clock.elapsed_ns();
+                if deadline > now {
+                    k.clock.advance_ns(deadline - now);
+                }
+                fire_timers(k);
+                apply_wakeups(k);
+                wake_expired_selects(k);
+                continue;
+            }
+            let blocked: Vec<Pid> = k
+                .procs
+                .values()
+                .filter(|p| matches!(p.state, ProcState::Blocked(_)))
+                .map(|p| p.pid)
+                .collect();
+            if !blocked.is_empty() {
+                return RunOutcome::Deadlock { blocked };
+            }
+            if k.procs
+                .values()
+                .any(|p| matches!(p.state, ProcState::Stopped))
+            {
+                return RunOutcome::Stalled;
+            }
+            return RunOutcome::AllExited;
+        };
+        last_pid = pid;
+
+        // Deliver one pending signal before the process runs.
+        deliver_signals(k, router, pid);
+        if !is_runnable(k, pid) {
+            continue;
+        }
+
+        // A restarted trap takes precedence over stepping the machine.
+        if let Some(trap) = k.procs.get(&pid).and_then(|p| p.pending_trap) {
+            k.procs.get_mut(&pid).expect("exists").pending_trap = None;
+            dispatch(k, router, pid, trap.nr, trap.args, trap.restarts + 1);
+            steps += 1;
+            if steps >= limits.max_steps {
+                return RunOutcome::StepLimit;
+            }
+            continue;
+        }
+
+        // Run one slice.
+        let mut slice = SLICE;
+        while slice > 0 {
+            slice -= 1;
+            steps += 1;
+            let Some(p) = k.procs.get_mut(&pid) else {
+                break;
+            };
+            let code = p.code.clone();
+            let ev = step(&mut p.vm, &mut p.mem, &code);
+            match ev {
+                StepEvent::Continue => {
+                    p.usage.user_insns += 1;
+                    k.total_insns += 1;
+                    k.clock.advance_ns(k.profile.insn_ns);
+                }
+                StepEvent::Syscall { nr, args } => {
+                    p.usage.user_insns += 1;
+                    k.total_insns += 1;
+                    k.clock.advance_ns(k.profile.insn_ns);
+                    dispatch(k, router, pid, nr, args, 0);
+                    break; // end of turn after a trap
+                }
+                StepEvent::Halted => {
+                    // Halt is treated as exit(r0): convenient for small
+                    // hand-written programs and tests.
+                    let status = (p.vm.regs[0] & 0xff) as u8;
+                    k.terminate(pid, ia_abi::signal::wait_status_exited(status));
+                    router.on_process_exit(k, pid);
+                    break;
+                }
+                StepEvent::Fault(sig) => {
+                    handle_fault(k, router, pid, sig);
+                    break;
+                }
+            }
+            if steps >= limits.max_steps {
+                return RunOutcome::StepLimit;
+            }
+        }
+        if slice == 0 {
+            if let Some(p) = k.procs.get_mut(&pid) {
+                p.usage.nivcsw += 1;
+            }
+        }
+        if steps >= limits.max_steps {
+            // Only give up if there is really still work to do.
+            if k.procs
+                .values()
+                .any(|p| matches!(p.state, ProcState::Runnable | ProcState::Blocked(_)))
+            {
+                return RunOutcome::StepLimit;
+            }
+            return RunOutcome::AllExited;
+        }
+    }
+}
+
+fn is_runnable(k: &Kernel, pid: Pid) -> bool {
+    matches!(
+        k.procs.get(&pid).map(|p| p.state),
+        Some(ProcState::Runnable)
+    )
+}
+
+/// Dispatches one trap through the router and applies the outcome.
+fn dispatch<R: SyscallRouter>(
+    k: &mut Kernel,
+    router: &mut R,
+    pid: Pid,
+    nr: u32,
+    args: RawArgs,
+    restarts: u32,
+) {
+    let outcome = router.route(k, pid, nr, args);
+    let Some(p) = k.procs.get_mut(&pid) else {
+        // The process vanished during the call (e.g. killed itself).
+        router.on_process_exit(k, pid);
+        return;
+    };
+    if matches!(p.state, ProcState::Zombie(_)) {
+        router.on_process_exit(k, pid);
+        return;
+    }
+    match outcome {
+        SysOutcome::Done(res) => {
+            p.vm.apply_sysret(res);
+            p.usage.nvcsw += 1;
+        }
+        SysOutcome::NoReturn => {}
+        SysOutcome::Block(ch) => {
+            p.state = ProcState::Blocked(ch);
+            p.pending_trap = Some(PendingTrap { nr, args, restarts });
+            p.usage.nvcsw += 1;
+        }
+    }
+}
+
+/// A fault delivers its signal; if the signal cannot be taken (ignored,
+/// blocked, or default-ignored), the process is killed anyway — re-running
+/// the faulting instruction would spin forever.
+fn handle_fault<R: SyscallRouter>(k: &mut Kernel, router: &mut R, pid: Pid, sig: Signal) {
+    let Some(p) = k.procs.get(&pid) else { return };
+    let action = p.sig.action(sig);
+    let catchable =
+        matches!(action.disposition, SigDisposition::Handler(_)) && !p.sig.mask.contains(sig);
+    if catchable {
+        // Skip the faulting instruction so the handler's sigreturn does not
+        // re-fault: the pc was left at the faulting instruction.
+        let _ = k.post_signal(pid, sig);
+        if let Some(p) = k.procs.get_mut(&pid) {
+            p.vm.pc += 1;
+        }
+        deliver_signals(k, router, pid);
+    } else {
+        k.terminate(pid, ia_abi::signal::wait_status_signaled(sig));
+        router.on_process_exit(k, pid);
+    }
+}
+
+/// Delivers at most one pending unblocked signal to a runnable process.
+fn deliver_signals<R: SyscallRouter>(k: &mut Kernel, router: &mut R, pid: Pid) {
+    loop {
+        let Some(p) = k.procs.get_mut(&pid) else {
+            return;
+        };
+        if matches!(p.state, ProcState::Zombie(_) | ProcState::Stopped) {
+            return;
+        }
+        let Some(sig) = p.sig.deliverable() else {
+            return;
+        };
+        p.sig.pending.remove(sig);
+
+        // The upward interposition path: agents see the signal first.
+        if !router.filter_signal(k, pid, sig) {
+            continue; // suppressed; look for another pending signal
+        }
+        let Some(p) = k.procs.get_mut(&pid) else {
+            return;
+        };
+        p.usage.nsignals += 1;
+        let action = p.sig.action(sig);
+        match action.disposition {
+            SigDisposition::Ignore => continue,
+            SigDisposition::Default => match sig.default_action() {
+                DefaultAction::Ignore | DefaultAction::Continue => continue,
+                DefaultAction::Stop => {
+                    p.state = ProcState::Stopped;
+                    return;
+                }
+                DefaultAction::Terminate => {
+                    k.terminate(pid, ia_abi::signal::wait_status_signaled(sig));
+                    router.on_process_exit(k, pid);
+                    return;
+                }
+            },
+            SigDisposition::Handler(addr) => {
+                // An interrupted blocking call returns EINTR beneath the
+                // handler frame.
+                if p.pending_trap.take().is_some() {
+                    p.vm.apply_sysret(Err(Errno::EINTR));
+                    p.select_deadline = None;
+                }
+                if matches!(p.state, ProcState::Blocked(_)) {
+                    p.state = ProcState::Runnable;
+                }
+                // The mask the context restores: a suspended process goes
+                // back to its pre-sigsuspend mask.
+                let restore_mask = p.sig.suspend_saved.take().unwrap_or(p.sig.mask);
+                let ctx = SigContext {
+                    pc: p.vm.pc,
+                    regs: p.vm.regs,
+                    mask: restore_mask,
+                };
+                let sp = (p.vm.regs[15].saturating_sub(SigContext::WIRE_SIZE as u64)) & !7;
+                if p.mem.write_struct(sp, &ctx).is_err() {
+                    // No room for the frame: the process dies as if the
+                    // signal were uncatchable.
+                    k.terminate(pid, ia_abi::signal::wait_status_signaled(sig));
+                    router.on_process_exit(k, pid);
+                    return;
+                }
+                let mut mask = p.sig.mask.union(action.mask);
+                mask.add(sig);
+                p.sig.mask = mask.blockable();
+                p.vm.regs[15] = sp;
+                p.vm.regs[0] = u64::from(sig.number());
+                p.vm.regs[1] = sp;
+                p.vm.pc = addr;
+                return;
+            }
+        }
+    }
+}
+
+/// Fires expired interval timers.
+fn fire_timers(k: &mut Kernel) {
+    let now = k.clock.elapsed_ns();
+    let expired: Vec<Pid> = k
+        .procs
+        .values()
+        .filter(|p| {
+            !matches!(p.state, ProcState::Zombie(_))
+                && p.itimer.is_some_and(|(deadline, _)| deadline <= now)
+        })
+        .map(|p| p.pid)
+        .collect();
+    for pid in expired {
+        if let Some(p) = k.procs.get_mut(&pid) {
+            if let Some((deadline, interval)) = p.itimer {
+                p.itimer = if interval > 0 {
+                    Some((deadline + interval.max(1), interval))
+                } else {
+                    None
+                };
+            }
+        }
+        let _ = k.post_signal(pid, Signal::SIGALRM);
+    }
+}
+
+/// Moves blocked processes whose wakeup condition fired back to runnable.
+fn apply_wakeups(k: &mut Kernel) {
+    let events = k.take_wakeups();
+    if events.is_empty() {
+        return;
+    }
+    let blocked: Vec<(Pid, WaitChannel)> = k
+        .procs
+        .values()
+        .filter_map(|p| match p.state {
+            ProcState::Blocked(ch) => Some((p.pid, ch)),
+            _ => None,
+        })
+        .collect();
+    for (pid, ch) in blocked {
+        let woken = events.iter().any(|ev| wakes(*ev, ch, pid, k));
+        if woken {
+            if let Some(p) = k.procs.get_mut(&pid) {
+                p.state = ProcState::Runnable;
+            }
+        }
+    }
+}
+
+fn wakes(ev: WakeEvent, ch: WaitChannel, pid: Pid, k: &Kernel) -> bool {
+    match (ev, ch) {
+        (WakeEvent::Pipe(a), WaitChannel::PipeReadable(b) | WaitChannel::PipeWritable(b)) => a == b,
+        (WakeEvent::ChildOf(parent), WaitChannel::Child) => parent == pid,
+        (WakeEvent::SignalTo(target), _) => {
+            // A deliverable signal interrupts any wait.
+            target == pid
+                && k.procs
+                    .get(&pid)
+                    .is_some_and(|p| p.sig.deliverable().is_some())
+        }
+        (WakeEvent::Tty, WaitChannel::TtyInput) => true,
+        (WakeEvent::Sock(_), WaitChannel::SockAccept) => true,
+        // Selects wake conservatively on any I/O-ish event and re-poll.
+        (WakeEvent::Pipe(_) | WakeEvent::Tty | WakeEvent::Sock(_), WaitChannel::Select { .. }) => {
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Wakes selects whose deadline has passed.
+fn wake_expired_selects(k: &mut Kernel) {
+    let now = k.clock.elapsed_ns();
+    let expired: Vec<Pid> = k
+        .procs
+        .values()
+        .filter(|p| {
+            matches!(p.state, ProcState::Blocked(WaitChannel::Select { deadline_ns }) if deadline_ns <= now)
+        })
+        .map(|p| p.pid)
+        .collect();
+    for pid in expired {
+        if let Some(p) = k.procs.get_mut(&pid) {
+            p.state = ProcState::Runnable;
+        }
+    }
+}
+
+/// Earliest future event that pure time passage will trigger.
+fn earliest_deadline(k: &Kernel) -> Option<u64> {
+    let mut best: Option<u64> = None;
+    for p in k.procs.values() {
+        if matches!(p.state, ProcState::Zombie(_)) {
+            continue;
+        }
+        if let Some((deadline, _)) = p.itimer {
+            best = Some(best.map_or(deadline, |b: u64| b.min(deadline)));
+        }
+        if let ProcState::Blocked(WaitChannel::Select { deadline_ns }) = p.state {
+            if deadline_ns != u64::MAX {
+                best = Some(best.map_or(deadline_ns, |b: u64| b.min(deadline_ns)));
+            }
+        }
+    }
+    best
+}
+
+/// Round-robin pick: the lowest runnable pid strictly greater than `last`,
+/// wrapping to the lowest runnable pid.
+fn pick_runnable(k: &Kernel, last: Pid) -> Option<Pid> {
+    let mut first: Option<Pid> = None;
+    let mut next: Option<Pid> = None;
+    for p in k.procs.values() {
+        if !matches!(p.state, ProcState::Runnable) {
+            continue;
+        }
+        if first.is_none_or(|f| p.pid < f) {
+            first = Some(p.pid);
+        }
+        if p.pid > last && next.is_none_or(|n| p.pid < n) {
+            next = Some(p.pid);
+        }
+    }
+    next.or(first)
+}
+
+impl Kernel {
+    /// Convenience: run with the identity router until completion.
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        run(self, &mut KernelRouter, RunLimits::default())
+    }
+
+    /// Convenience: run with a custom router until completion.
+    pub fn run_with<R: SyscallRouter>(&mut self, router: &mut R) -> RunOutcome {
+        run(self, router, RunLimits::default())
+    }
+}

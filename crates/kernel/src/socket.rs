@@ -1,0 +1,336 @@
+//! Unix-domain-style sockets, built on pipe pairs.
+//!
+//! A connection is two pipes, one per direction. `socketpair` creates a
+//! pair directly; `bind`+`listen`+`connect`+`accept` rendezvous through a
+//! socket inode in the filesystem name space.
+
+use std::collections::{HashMap, VecDeque};
+
+use ia_abi::Errno;
+use ia_vfs::{Ino, PipeId, PipeTable};
+
+use crate::files::SockId;
+
+/// State of one socket.
+#[derive(Debug, Clone)]
+pub enum SockState {
+    /// Fresh from `socket(2)`.
+    Unbound,
+    /// Bound to a filesystem name but not yet listening.
+    Bound(Ino),
+    /// Listening; queued connections await `accept`.
+    Listening {
+        /// The bound name.
+        ino: Ino,
+        /// Completed connections: pipes are (client→server, server→client).
+        backlog: VecDeque<(PipeId, PipeId)>,
+        /// Maximum queued connections.
+        limit: usize,
+    },
+    /// Connected; `rx` is read by this socket, `tx` written.
+    Connected {
+        /// Pipe this end reads from.
+        rx: PipeId,
+        /// Pipe this end writes to.
+        tx: PipeId,
+    },
+}
+
+/// One socket.
+#[derive(Debug, Clone)]
+pub struct Socket {
+    /// Protocol state.
+    pub state: SockState,
+}
+
+/// The kernel socket table.
+#[derive(Debug, Default)]
+pub struct SocketTable {
+    socks: HashMap<u64, Socket>,
+    by_ino: HashMap<Ino, SockId>,
+    next: u64,
+}
+
+impl SocketTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> SocketTable {
+        SocketTable::default()
+    }
+
+    /// Creates a fresh socket.
+    pub fn create(&mut self) -> SockId {
+        let id = SockId(self.next);
+        self.next += 1;
+        self.socks.insert(
+            id.0,
+            Socket {
+                state: SockState::Unbound,
+            },
+        );
+        id
+    }
+
+    /// Borrows a socket.
+    pub fn get(&self, id: SockId) -> Result<&Socket, Errno> {
+        self.socks.get(&id.0).ok_or(Errno::EBADF)
+    }
+
+    /// Mutably borrows a socket.
+    pub fn get_mut(&mut self, id: SockId) -> Result<&mut Socket, Errno> {
+        self.socks.get_mut(&id.0).ok_or(Errno::EBADF)
+    }
+
+    /// Binds a socket to a name-space inode created by the caller.
+    pub fn bind(&mut self, id: SockId, ino: Ino) -> Result<(), Errno> {
+        let s = self.get_mut(id)?;
+        match s.state {
+            SockState::Unbound => {
+                s.state = SockState::Bound(ino);
+                self.by_ino.insert(ino, id);
+                Ok(())
+            }
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// Starts listening on a bound socket.
+    pub fn listen(&mut self, id: SockId, backlog: usize) -> Result<(), Errno> {
+        let s = self.get_mut(id)?;
+        match s.state {
+            SockState::Bound(ino) => {
+                s.state = SockState::Listening {
+                    ino,
+                    backlog: VecDeque::new(),
+                    limit: backlog.clamp(1, 128),
+                };
+                Ok(())
+            }
+            SockState::Listening { .. } => Ok(()),
+            _ => Err(Errno::EDESTADDRREQ),
+        }
+    }
+
+    /// Connects `id` to the listener bound at `ino`. Creates the two pipes
+    /// in `pipes` and queues the server side on the listener's backlog.
+    pub fn connect(&mut self, id: SockId, ino: Ino, pipes: &mut PipeTable) -> Result<(), Errno> {
+        let listener = *self.by_ino.get(&ino).ok_or(Errno::ECONNREFUSED)?;
+        {
+            let l = self.get_mut(listener)?;
+            let SockState::Listening { backlog, limit, .. } = &mut l.state else {
+                return Err(Errno::ECONNREFUSED);
+            };
+            if backlog.len() >= *limit {
+                return Err(Errno::ECONNREFUSED);
+            }
+            let c2s = pipes.create();
+            let s2c = pipes.create();
+            // Client reads s2c / writes c2s; server the reverse. Register
+            // both endpoints of each pipe now so neither side sees a
+            // spurious hangup before the other attaches.
+            pipes.add_writer(c2s);
+            pipes.add_reader(c2s);
+            pipes.add_writer(s2c);
+            pipes.add_reader(s2c);
+            backlog.push_back((c2s, s2c));
+            let client = self.get_mut(id)?;
+            match client.state {
+                SockState::Unbound => {
+                    client.state = SockState::Connected { rx: s2c, tx: c2s };
+                    Ok(())
+                }
+                _ => Err(Errno::EISCONN),
+            }
+        }
+    }
+
+    /// Accepts a queued connection, producing a new connected socket.
+    /// `Ok(None)` means the backlog is empty (caller blocks).
+    pub fn accept(&mut self, id: SockId) -> Result<Option<SockId>, Errno> {
+        let l = self.get_mut(id)?;
+        let SockState::Listening { backlog, .. } = &mut l.state else {
+            return Err(Errno::EINVAL);
+        };
+        let Some((c2s, s2c)) = backlog.pop_front() else {
+            return Ok(None);
+        };
+        let conn = SockId(self.next);
+        self.next += 1;
+        self.socks.insert(
+            conn.0,
+            Socket {
+                state: SockState::Connected { rx: c2s, tx: s2c },
+            },
+        );
+        Ok(Some(conn))
+    }
+
+    /// Creates a connected pair (`socketpair(2)`).
+    pub fn pair(&mut self, pipes: &mut PipeTable) -> (SockId, SockId) {
+        let ab = pipes.create();
+        let ba = pipes.create();
+        pipes.add_reader(ab);
+        pipes.add_writer(ab);
+        pipes.add_reader(ba);
+        pipes.add_writer(ba);
+        let a = SockId(self.next);
+        self.next += 1;
+        let b = SockId(self.next);
+        self.next += 1;
+        self.socks.insert(
+            a.0,
+            Socket {
+                state: SockState::Connected { rx: ba, tx: ab },
+            },
+        );
+        self.socks.insert(
+            b.0,
+            Socket {
+                state: SockState::Connected { rx: ab, tx: ba },
+            },
+        );
+        (a, b)
+    }
+
+    /// Releases a socket (last descriptor closed), dropping its pipe
+    /// endpoints.
+    pub fn release(&mut self, id: SockId, pipes: &mut PipeTable) {
+        if let Some(s) = self.socks.remove(&id.0) {
+            match s.state {
+                SockState::Connected { rx, tx } => {
+                    pipes.drop_reader(rx);
+                    pipes.drop_writer(tx);
+                }
+                SockState::Listening { ino, backlog, .. } => {
+                    self.by_ino.remove(&ino);
+                    for (c2s, s2c) in backlog {
+                        pipes.drop_reader(c2s);
+                        pipes.drop_writer(s2c);
+                    }
+                }
+                SockState::Bound(ino) => {
+                    self.by_ino.remove(&ino);
+                }
+                SockState::Unbound => {}
+            }
+        }
+    }
+
+    /// True if a listener has a queued connection ready for `accept`.
+    #[must_use]
+    pub fn acceptable(&self, id: SockId) -> bool {
+        matches!(
+            self.socks.get(&id.0),
+            Some(Socket {
+                state: SockState::Listening { backlog, .. }
+            }) if !backlog.is_empty()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_vfs::pipe::PipeIo;
+
+    #[test]
+    fn socketpair_carries_both_directions() {
+        let mut pipes = PipeTable::new();
+        let mut t = SocketTable::new();
+        let (a, b) = t.pair(&mut pipes);
+        let (SockState::Connected { tx: atx, .. }, SockState::Connected { rx: brx, .. }) = (
+            t.get(a).unwrap().state.clone(),
+            t.get(b).unwrap().state.clone(),
+        ) else {
+            panic!("not connected");
+        };
+        assert_eq!(atx, brx, "a's tx is b's rx");
+        assert_eq!(pipes.get_mut(atx).unwrap().write(b"ping"), PipeIo::Done(4));
+        let mut out = Vec::new();
+        assert_eq!(
+            pipes.get_mut(brx).unwrap().read(&mut out, 8),
+            PipeIo::Done(4)
+        );
+        assert_eq!(out, b"ping");
+    }
+
+    #[test]
+    fn bind_listen_connect_accept_flow() {
+        let mut pipes = PipeTable::new();
+        let mut t = SocketTable::new();
+        let server = t.create();
+        t.bind(server, 42).unwrap();
+        t.listen(server, 5).unwrap();
+        assert!(!t.acceptable(server));
+        assert_eq!(t.accept(server).unwrap(), None, "empty backlog");
+
+        let client = t.create();
+        t.connect(client, 42, &mut pipes).unwrap();
+        assert!(t.acceptable(server));
+        let conn = t.accept(server).unwrap().expect("queued connection");
+
+        // Client → server.
+        let SockState::Connected { tx, .. } = t.get(client).unwrap().state else {
+            panic!()
+        };
+        let SockState::Connected { rx, .. } = t.get(conn).unwrap().state else {
+            panic!()
+        };
+        pipes.get_mut(tx).unwrap().write(b"hi");
+        let mut out = Vec::new();
+        pipes.get_mut(rx).unwrap().read(&mut out, 8);
+        assert_eq!(out, b"hi");
+    }
+
+    #[test]
+    fn connect_to_nonlistener_refused() {
+        let mut pipes = PipeTable::new();
+        let mut t = SocketTable::new();
+        let c = t.create();
+        assert_eq!(t.connect(c, 7, &mut pipes), Err(Errno::ECONNREFUSED));
+        let bound = t.create();
+        t.bind(bound, 7).unwrap();
+        // Bound but not listening.
+        assert_eq!(t.connect(c, 7, &mut pipes), Err(Errno::ECONNREFUSED));
+    }
+
+    #[test]
+    fn double_bind_rejected_and_listen_needs_bind() {
+        let mut t = SocketTable::new();
+        let s = t.create();
+        t.bind(s, 1).unwrap();
+        assert_eq!(t.bind(s, 2), Err(Errno::EINVAL));
+        let u = t.create();
+        assert_eq!(t.listen(u, 4), Err(Errno::EDESTADDRREQ));
+    }
+
+    #[test]
+    fn release_connected_drops_pipe_endpoints() {
+        let mut pipes = PipeTable::new();
+        let mut t = SocketTable::new();
+        let (a, b) = t.pair(&mut pipes);
+        assert_eq!(pipes.len(), 2);
+        t.release(a, &mut pipes);
+        // b now sees hangup on read.
+        let SockState::Connected { rx, .. } = t.get(b).unwrap().state else {
+            panic!()
+        };
+        let mut out = Vec::new();
+        assert_eq!(pipes.get_mut(rx).unwrap().read(&mut out, 4), PipeIo::Hangup);
+        t.release(b, &mut pipes);
+        assert_eq!(pipes.len(), 0);
+    }
+
+    #[test]
+    fn backlog_limit_refuses_extra_connections() {
+        let mut pipes = PipeTable::new();
+        let mut t = SocketTable::new();
+        let server = t.create();
+        t.bind(server, 9).unwrap();
+        t.listen(server, 1).unwrap();
+        let c1 = t.create();
+        t.connect(c1, 9, &mut pipes).unwrap();
+        let c2 = t.create();
+        assert_eq!(t.connect(c2, 9, &mut pipes), Err(Errno::ECONNREFUSED));
+    }
+}

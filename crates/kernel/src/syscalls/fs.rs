@@ -1,0 +1,550 @@
+//! Filesystem-object system calls: names, metadata, and the name space.
+
+use ia_abi::{AccessMode, Errno, FileMode, FileType, OpenFlags, RawArgs, Stat, Timeval};
+use ia_vfs::{Cred, InodeKind};
+
+use super::{done0, SysOutcome};
+use crate::files::{FdEntry, FileKind};
+use crate::kernel::{FlockState, Kernel};
+use crate::process::Pid;
+
+impl Kernel {
+    /// `open(path, flags, mode)`
+    pub(crate) fn sys_open(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let flags = OpenFlags::new(args[1] as u32);
+        let mode = args[2] as u32;
+        let r = self.open_common(pid, args[0], flags, mode);
+        match r {
+            Ok(fd) => SysOutcome::ok1(fd),
+            Err(e) => SysOutcome::err(e),
+        }
+    }
+
+    fn open_common(
+        &mut self,
+        pid: Pid,
+        path_addr: u64,
+        flags: OpenFlags,
+        mode: u32,
+    ) -> Result<u64, Errno> {
+        let path = self.read_path(pid, path_addr)?;
+        let (root, cwd, cred) = self.namei_ctx(pid)?;
+        let now = self.clock.now();
+        let umask = self.proc(pid)?.umask;
+
+        let ino = match self.fs.resolve_rooted(root, cwd, &path, cred) {
+            Ok(r) => {
+                if flags.has(OpenFlags::O_CREAT) && flags.has(OpenFlags::O_EXCL) {
+                    return Err(Errno::EEXIST);
+                }
+                r.ino
+            }
+            Err(Errno::ENOENT) if flags.has(OpenFlags::O_CREAT) => {
+                let (dir, base) = self.fs.resolve_parent_rooted(root, cwd, &path, cred)?;
+                let perm = FileMode::new(mode).masked(umask).perm();
+                self.fs.create_file(dir, &base, perm, cred, now)?
+            }
+            Err(e) => return Err(e),
+        };
+
+        let node = self.fs.get(ino)?;
+        // Permission checks per requested access.
+        if flags.readable() && !node.permits(cred, 4) {
+            return Err(Errno::EACCES);
+        }
+        if flags.writable() && !node.permits(cred, 2) {
+            return Err(Errno::EACCES);
+        }
+        let kind = match &node.kind {
+            InodeKind::Directory(_) => {
+                if flags.writable() {
+                    return Err(Errno::EISDIR);
+                }
+                FileKind::Vnode(ino)
+            }
+            InodeKind::Regular(_) => FileKind::Vnode(ino),
+            InodeKind::CharDevice(dev) => FileKind::Device(*dev),
+            InodeKind::Fifo(attached) => {
+                // Attach (or create) the pipe buffer behind the FIFO.
+                let id = match attached {
+                    Some(id) => *id,
+                    None => {
+                        let id = self.fs.pipes.create();
+                        match &mut self.fs.get_mut(ino)?.kind {
+                            InodeKind::Fifo(slot) => *slot = Some(id),
+                            _ => unreachable!("checked fifo"),
+                        }
+                        id
+                    }
+                };
+                if flags.writable() {
+                    self.fs.pipes.add_writer(id);
+                    FileKind::PipeWrite(id)
+                } else {
+                    self.fs.pipes.add_reader(id);
+                    FileKind::PipeRead(id)
+                }
+            }
+            InodeKind::Symlink(_) => return Err(Errno::ELOOP), // depth exhausted upstream
+            InodeKind::Socket => return Err(Errno::EOPNOTSUPP),
+        };
+
+        if flags.has(OpenFlags::O_TRUNC) && matches!(kind, FileKind::Vnode(_)) {
+            if !flags.writable() {
+                return Err(Errno::EACCES);
+            }
+            if matches!(self.fs.get(ino)?.kind, InodeKind::Regular(_)) {
+                self.fs.truncate(ino, 0, now)?;
+            }
+        }
+
+        if matches!(kind, FileKind::Vnode(_)) {
+            self.fs.incref(ino);
+        }
+        let idx = self.files.insert(kind, flags);
+        let fd = self.proc_mut(pid)?.fds.alloc(
+            0,
+            FdEntry {
+                file: idx,
+                cloexec: false,
+            },
+        );
+        match fd {
+            Ok(fd) => Ok(fd),
+            Err(e) => {
+                self.release_file(idx);
+                Err(e)
+            }
+        }
+    }
+
+    /// `access(path, mode)` — checked against *real* ids, per BSD.
+    pub(crate) fn sys_access(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let path = self.read_path(pid, args[0])?;
+            let p = self.proc(pid)?;
+            let real = Cred::new(p.uid, p.gid);
+            let (root, cwd, _) = self.namei_ctx(pid)?;
+            let ino = self.fs.resolve_rooted(root, cwd, &path, real)?.ino;
+            let node = self.fs.get(ino)?;
+            let m = AccessMode(args[1] as u32);
+            let mut want = 0;
+            if m.wants_read() {
+                want |= 4;
+            }
+            if m.wants_write() {
+                want |= 2;
+            }
+            if m.wants_exec() {
+                want |= 1;
+            }
+            if want != 0 && !node.permits(real, want) {
+                return Err(Errno::EACCES);
+            }
+            Ok(())
+        })();
+        done0(r)
+    }
+
+    /// `stat(path, buf)` / `lstat(path, buf)`
+    pub(crate) fn sys_stat(&mut self, pid: Pid, args: &RawArgs, follow: bool) -> SysOutcome {
+        let r = (|| {
+            let path = self.read_path(pid, args[0])?;
+            let ino = if follow {
+                self.resolve_for(pid, &path)?
+            } else {
+                self.resolve_nofollow_for(pid, &path)?
+            };
+            let st = self.fs.stat(ino)?;
+            self.proc_mut(pid)?.mem.write_struct(args[1], &st)
+        })();
+        done0(r)
+    }
+
+    /// `fstat(fd, buf)`
+    pub(crate) fn sys_fstat(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let entry = self.proc(pid)?.fds.get(args[0])?;
+            let file = self.files.get(entry.file)?;
+            let st = match file.kind {
+                FileKind::Vnode(ino) => self.fs.stat(ino)?,
+                FileKind::PipeRead(id) | FileKind::PipeWrite(id) => {
+                    let len = self.fs.pipes.get(id).map_or(0, ia_vfs::Pipe::len);
+                    Stat {
+                        mode: FileMode::typed(FileType::Fifo, 0o600).bits(),
+                        size: len as u64,
+                        nlink: 1,
+                        blksize: ia_vfs::PIPE_CAPACITY as u32,
+                        ..Stat::default()
+                    }
+                }
+                FileKind::Device(dev) => Stat {
+                    mode: FileMode::typed(FileType::CharDevice, 0o666).bits(),
+                    rdev: dev,
+                    nlink: 1,
+                    ..Stat::default()
+                },
+                FileKind::Socket(_) => Stat {
+                    mode: FileMode::typed(FileType::Socket, 0o600).bits(),
+                    nlink: 1,
+                    ..Stat::default()
+                },
+            };
+            self.proc_mut(pid)?.mem.write_struct(args[1], &st)
+        })();
+        done0(r)
+    }
+
+    /// `link(path, newpath)`
+    pub(crate) fn sys_link(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let old = self.read_path(pid, args[0])?;
+            let new = self.read_path(pid, args[1])?;
+            let target = self.resolve_nofollow_for(pid, &old)?;
+            let (dir, base) = self.resolve_parent_for(pid, &new)?;
+            let cred = self.proc(pid)?.cred();
+            let now = self.clock.now();
+            self.fs.link(dir, &base, target, cred, now)
+        })();
+        done0(r)
+    }
+
+    /// `unlink(path)`
+    pub(crate) fn sys_unlink(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let path = self.read_path(pid, args[0])?;
+            let (dir, base) = self.resolve_parent_for(pid, &path)?;
+            let cred = self.proc(pid)?.cred();
+            let now = self.clock.now();
+            self.fs.unlink(dir, &base, cred, now)
+        })();
+        done0(r)
+    }
+
+    /// `symlink(contents, linkpath)`
+    pub(crate) fn sys_symlink(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let contents = self
+                .proc(pid)?
+                .mem
+                .read_cstr(args[0], ia_abi::types::MAXPATHLEN)?;
+            let link = self.read_path(pid, args[1])?;
+            let (dir, base) = self.resolve_parent_for(pid, &link)?;
+            let cred = self.proc(pid)?.cred();
+            let now = self.clock.now();
+            self.fs
+                .symlink(dir, &base, &contents, cred, now)
+                .map(|_| ())
+        })();
+        done0(r)
+    }
+
+    /// `readlink(path, buf, bufsize)` → bytes copied (no NUL)
+    pub(crate) fn sys_readlink(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let path = self.read_path(pid, args[0])?;
+            let ino = self.resolve_nofollow_for(pid, &path)?;
+            let target = self.fs.readlink(ino)?;
+            let n = target.len().min(args[2] as usize);
+            self.proc_mut(pid)?.mem.write_bytes(args[1], &target[..n])?;
+            Ok([n as u64, 0])
+        })();
+        super::done(r)
+    }
+
+    /// `rename(from, to)`
+    pub(crate) fn sys_rename(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let from = self.read_path(pid, args[0])?;
+            let to = self.read_path(pid, args[1])?;
+            let (fdir, fbase) = self.resolve_parent_for(pid, &from)?;
+            let (tdir, tbase) = self.resolve_parent_for(pid, &to)?;
+            let cred = self.proc(pid)?.cred();
+            let now = self.clock.now();
+            self.fs.rename(fdir, &fbase, tdir, &tbase, cred, now)
+        })();
+        done0(r)
+    }
+
+    /// `mkdir(path, mode)`
+    pub(crate) fn sys_mkdir(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let path = self.read_path(pid, args[0])?;
+            let (dir, base) = self.resolve_parent_for(pid, &path)?;
+            let p = self.proc(pid)?;
+            let perm = FileMode::new(args[1] as u32).masked(p.umask).perm();
+            let cred = p.cred();
+            let now = self.clock.now();
+            self.fs.mkdir(dir, &base, perm, cred, now).map(|_| ())
+        })();
+        done0(r)
+    }
+
+    /// `rmdir(path)`
+    pub(crate) fn sys_rmdir(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let path = self.read_path(pid, args[0])?;
+            let (dir, base) = self.resolve_parent_for(pid, &path)?;
+            let cred = self.proc(pid)?.cred();
+            let now = self.clock.now();
+            self.fs.rmdir(dir, &base, cred, now)
+        })();
+        done0(r)
+    }
+
+    /// `chdir(path)`
+    pub(crate) fn sys_chdir(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let path = self.read_path(pid, args[0])?;
+            let ino = self.resolve_for(pid, &path)?;
+            let node = self.fs.get(ino)?;
+            if node.as_dir().is_none() {
+                return Err(Errno::ENOTDIR);
+            }
+            let cred = self.proc(pid)?.cred();
+            if !node.permits(cred, 1) {
+                return Err(Errno::EACCES);
+            }
+            self.proc_mut(pid)?.cwd = ino;
+            Ok(())
+        })();
+        done0(r)
+    }
+
+    /// `fchdir(fd)`
+    pub(crate) fn sys_fchdir(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let entry = self.proc(pid)?.fds.get(args[0])?;
+            let file = self.files.get(entry.file)?;
+            let FileKind::Vnode(ino) = file.kind else {
+                return Err(Errno::ENOTDIR);
+            };
+            if self.fs.get(ino)?.as_dir().is_none() {
+                return Err(Errno::ENOTDIR);
+            }
+            self.proc_mut(pid)?.cwd = ino;
+            Ok(())
+        })();
+        done0(r)
+    }
+
+    /// `chroot(path)` — superuser only.
+    pub(crate) fn sys_chroot(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            if self.proc(pid)?.euid != 0 {
+                return Err(Errno::EPERM);
+            }
+            let path = self.read_path(pid, args[0])?;
+            let ino = self.resolve_for(pid, &path)?;
+            if self.fs.get(ino)?.as_dir().is_none() {
+                return Err(Errno::ENOTDIR);
+            }
+            let p = self.proc_mut(pid)?;
+            p.root = ino;
+            p.cwd = ino;
+            Ok(())
+        })();
+        done0(r)
+    }
+
+    /// `chmod(path, mode)`
+    pub(crate) fn sys_chmod(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let path = self.read_path(pid, args[0])?;
+            let ino = self.resolve_for(pid, &path)?;
+            let cred = self.proc(pid)?.cred();
+            let now = self.clock.now();
+            self.fs.chmod(ino, args[1] as u32, cred, now)
+        })();
+        done0(r)
+    }
+
+    /// `chown(path, uid, gid)`
+    pub(crate) fn sys_chown(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let path = self.read_path(pid, args[0])?;
+            let ino = self.resolve_for(pid, &path)?;
+            let cred = self.proc(pid)?.cred();
+            let now = self.clock.now();
+            self.fs
+                .chown(ino, args[1] as u32, args[2] as u32, cred, now)
+        })();
+        done0(r)
+    }
+
+    /// `fchmod(fd, mode)`
+    pub(crate) fn sys_fchmod(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let ino = self.vnode_of_fd(pid, args[0])?;
+            let cred = self.proc(pid)?.cred();
+            let now = self.clock.now();
+            self.fs.chmod(ino, args[1] as u32, cred, now)
+        })();
+        done0(r)
+    }
+
+    /// `fchown(fd, uid, gid)`
+    pub(crate) fn sys_fchown(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let ino = self.vnode_of_fd(pid, args[0])?;
+            let cred = self.proc(pid)?.cred();
+            let now = self.clock.now();
+            self.fs
+                .chown(ino, args[1] as u32, args[2] as u32, cred, now)
+        })();
+        done0(r)
+    }
+
+    /// `truncate(path, length)`
+    pub(crate) fn sys_truncate(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let path = self.read_path(pid, args[0])?;
+            let ino = self.resolve_for(pid, &path)?;
+            let cred = self.proc(pid)?.cred();
+            if !self.fs.get(ino)?.permits(cred, 2) {
+                return Err(Errno::EACCES);
+            }
+            let now = self.clock.now();
+            self.fs.truncate(ino, args[1], now)
+        })();
+        done0(r)
+    }
+
+    /// `ftruncate(fd, length)`
+    pub(crate) fn sys_ftruncate(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let entry = self.proc(pid)?.fds.get(args[0])?;
+            let file = self.files.get(entry.file)?;
+            if !file.flags.writable() {
+                return Err(Errno::EINVAL);
+            }
+            let FileKind::Vnode(ino) = file.kind else {
+                return Err(Errno::EINVAL);
+            };
+            let now = self.clock.now();
+            self.fs.truncate(ino, args[1], now)
+        })();
+        done0(r)
+    }
+
+    /// `utimes(path, times)` — `times` points to two `timeval`s, or is NULL
+    /// for "now".
+    pub(crate) fn sys_utimes(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let path = self.read_path(pid, args[0])?;
+            let ino = self.resolve_for(pid, &path)?;
+            let now = self.clock.now();
+            let (atime, mtime) = if args[1] == 0 {
+                (now, now)
+            } else {
+                let mem = &self.proc(pid)?.mem;
+                (
+                    mem.read_struct::<Timeval>(args[1])?,
+                    mem.read_struct::<Timeval>(args[1] + Timeval::WIRE_SIZE_U64)?,
+                )
+            };
+            let cred = self.proc(pid)?.cred();
+            self.fs.utimes(ino, atime, mtime, cred, now)
+        })();
+        done0(r)
+    }
+
+    /// `mknod(path, mode, dev)` — character devices only.
+    pub(crate) fn sys_mknod(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let mode = FileMode::new(args[1] as u32);
+            if mode.file_type() != Some(FileType::CharDevice) {
+                return Err(Errno::EINVAL);
+            }
+            let path = self.read_path(pid, args[0])?;
+            let (dir, base) = self.resolve_parent_for(pid, &path)?;
+            let cred = self.proc(pid)?.cred();
+            let now = self.clock.now();
+            self.fs
+                .mknod_chardev(dir, &base, args[2] as u32, mode.perm(), cred, now)
+                .map(|_| ())
+        })();
+        done0(r)
+    }
+
+    /// `mkfifo(path, mode)`
+    pub(crate) fn sys_mkfifo(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let path = self.read_path(pid, args[0])?;
+            let (dir, base) = self.resolve_parent_for(pid, &path)?;
+            let p = self.proc(pid)?;
+            let perm = FileMode::new(args[1] as u32).masked(p.umask).perm();
+            let cred = p.cred();
+            let now = self.clock.now();
+            self.fs.mkfifo(dir, &base, perm, cred, now).map(|_| ())
+        })();
+        done0(r)
+    }
+
+    /// `umask(mask)` → previous mask
+    pub(crate) fn sys_umask(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        match self.proc_mut(pid) {
+            Ok(p) => {
+                let old = p.umask;
+                p.umask = args[0] as u32 & 0o777;
+                SysOutcome::ok1(u64::from(old))
+            }
+            Err(e) => SysOutcome::err(e),
+        }
+    }
+
+    /// `flock(fd, op)` — advisory whole-file locks. Never blocks: a busy
+    /// lock is `EWOULDBLOCK` even without `LOCK_NB` (documented divergence).
+    pub(crate) fn sys_flock(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        use ia_abi::flags::FlockOp;
+        let r = (|| {
+            let ino = self.vnode_of_fd(pid, args[0])?;
+            let op = args[1] as u32;
+            let mut st = self.flocks.get(&ino).copied().unwrap_or_default();
+            if op & FlockOp::LOCK_UN != 0 {
+                if st.exclusive {
+                    st.exclusive = false;
+                } else {
+                    st.shared = st.shared.saturating_sub(1);
+                }
+            } else if op & FlockOp::LOCK_EX != 0 {
+                if st.exclusive || st.shared > 0 {
+                    return Err(Errno::EWOULDBLOCK);
+                }
+                st.exclusive = true;
+            } else if op & FlockOp::LOCK_SH != 0 {
+                if st.exclusive {
+                    return Err(Errno::EWOULDBLOCK);
+                }
+                st.shared += 1;
+            } else {
+                return Err(Errno::EINVAL);
+            }
+            if st == FlockState::default() {
+                self.flocks.remove(&ino);
+            } else {
+                self.flocks.insert(ino, st);
+            }
+            Ok(())
+        })();
+        done0(r)
+    }
+
+    /// Resolves a descriptor to a filesystem vnode, or `EINVAL`.
+    pub(crate) fn vnode_of_fd(&self, pid: Pid, fd: u64) -> Result<ia_vfs::Ino, Errno> {
+        let entry = self.proc(pid)?.fds.get(fd)?;
+        match self.files.get(entry.file)?.kind {
+            FileKind::Vnode(ino) => Ok(ino),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+}
+
+/// Extension for reading the second of two consecutive timevals.
+trait TimevalExt {
+    const WIRE_SIZE_U64: u64;
+}
+
+impl TimevalExt for Timeval {
+    const WIRE_SIZE_U64: u64 = <Timeval as ia_abi::wire::Wire>::WIRE_SIZE as u64;
+}

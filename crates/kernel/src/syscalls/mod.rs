@@ -1,0 +1,183 @@
+//! The bottom implementation of every system call.
+//!
+//! Each call is a method on [`Kernel`], grouped by subsystem. The single
+//! entry point is [`Kernel::syscall`], which the interposition layer's
+//! downcall path ultimately reaches — the simulated equivalent of the Mach
+//! `htg_unix_syscall()` bottoming out in the 4.3BSD server.
+
+mod fs;
+mod io;
+mod proc;
+mod sig;
+mod sock;
+mod time;
+
+use ia_abi::types::MAXPATHLEN;
+use ia_abi::{Errno, RawArgs, Sysno};
+use ia_vfs::{Cred, Ino};
+
+use crate::kernel::{Kernel, SysOutcome};
+use crate::process::Pid;
+
+impl Kernel {
+    /// Executes a system call at the kernel level and charges its base
+    /// virtual cost. Unknown trap numbers fail with `EINVAL`, as the
+    /// 4.3BSD `nosys` stub did.
+    pub fn syscall(&mut self, pid: Pid, nr: u32, args: RawArgs) -> SysOutcome {
+        let Some(sys) = Sysno::from_u32(nr) else {
+            return SysOutcome::err(Errno::EINVAL);
+        };
+        self.total_syscalls += 1;
+        let cost = self.profile.syscall_base_ns(sys);
+        self.clock.advance_ns(cost);
+        if let Ok(p) = self.proc_mut(pid) {
+            p.usage.sys_ns += cost;
+            p.usage.nsyscalls += 1;
+        } else {
+            return SysOutcome::err(Errno::ESRCH);
+        }
+
+        use Sysno::*;
+        match sys {
+            // fs.rs
+            Open => self.sys_open(pid, &args),
+            Access => self.sys_access(pid, &args),
+            Stat => self.sys_stat(pid, &args, true),
+            Lstat => self.sys_stat(pid, &args, false),
+            Fstat => self.sys_fstat(pid, &args),
+            Link => self.sys_link(pid, &args),
+            Unlink => self.sys_unlink(pid, &args),
+            Symlink => self.sys_symlink(pid, &args),
+            Readlink => self.sys_readlink(pid, &args),
+            Rename => self.sys_rename(pid, &args),
+            Mkdir => self.sys_mkdir(pid, &args),
+            Rmdir => self.sys_rmdir(pid, &args),
+            Chdir => self.sys_chdir(pid, &args),
+            Fchdir => self.sys_fchdir(pid, &args),
+            Chroot => self.sys_chroot(pid, &args),
+            Chmod => self.sys_chmod(pid, &args),
+            Chown => self.sys_chown(pid, &args),
+            Fchmod => self.sys_fchmod(pid, &args),
+            Fchown => self.sys_fchown(pid, &args),
+            Truncate => self.sys_truncate(pid, &args),
+            Ftruncate => self.sys_ftruncate(pid, &args),
+            Utimes => self.sys_utimes(pid, &args),
+            Mknod => self.sys_mknod(pid, &args),
+            Mkfifo => self.sys_mkfifo(pid, &args),
+            Umask => self.sys_umask(pid, &args),
+            Sync => SysOutcome::ok(),
+            Flock => self.sys_flock(pid, &args),
+
+            // io.rs
+            Read => self.sys_read(pid, &args),
+            Write => self.sys_write(pid, &args),
+            Readv => self.sys_readv(pid, &args),
+            Writev => self.sys_writev(pid, &args),
+            Lseek => self.sys_lseek(pid, &args),
+            Close => self.sys_close(pid, &args),
+            Dup => self.sys_dup(pid, &args),
+            Dup2 => self.sys_dup2(pid, &args),
+            Fcntl => self.sys_fcntl(pid, &args),
+            Pipe => self.sys_pipe(pid),
+            Getdirentries => self.sys_getdirentries(pid, &args),
+            Ioctl => self.sys_ioctl(pid, &args),
+            Select => self.sys_select(pid, &args),
+            Fsync => self.sys_fsync(pid, &args),
+            Sbrk => self.sys_sbrk(pid, &args),
+            Getdtablesize => self.sys_getdtablesize(pid),
+
+            // proc.rs
+            Fork | Vfork => self.sys_fork(pid),
+            Execve => self.sys_execve(pid, &args),
+            Exit => self.sys_exit(pid, &args),
+            Wait4 => self.sys_wait4(pid, &args),
+            Getpid => self.sys_getpid(pid),
+            Getppid => self.sys_getppid(pid),
+            Getuid => self.sys_getuid(pid),
+            Geteuid => self.sys_geteuid(pid),
+            Getgid => self.sys_getgid(pid),
+            Getegid => self.sys_getegid(pid),
+            Setuid => self.sys_setuid(pid, &args),
+            Setgid => self.sys_setgid(pid, &args),
+            Setreuid => self.sys_setreuid(pid, &args),
+            Setregid => self.sys_setregid(pid, &args),
+            Getpgrp => self.sys_getpgrp(pid),
+            Setpgid => self.sys_setpgid(pid, &args),
+            Setsid => self.sys_setsid(pid),
+            Getpriority => self.sys_getpriority(pid, &args),
+            Setpriority => self.sys_setpriority(pid, &args),
+
+            // sig.rs
+            Kill => self.sys_kill(pid, &args),
+            Sigaction => self.sys_sigaction(pid, &args),
+            Sigprocmask => self.sys_sigprocmask(pid, &args),
+            Sigpending => self.sys_sigpending(pid),
+            Sigsuspend => self.sys_sigsuspend(pid, &args),
+            Sigreturn => self.sys_sigreturn(pid, &args),
+
+            // time.rs
+            Gettimeofday => self.sys_gettimeofday(pid, &args),
+            Settimeofday => self.sys_settimeofday(pid, &args),
+            Adjtime => self.sys_adjtime(pid, &args),
+            Getitimer => self.sys_getitimer(pid, &args),
+            Setitimer => self.sys_setitimer(pid, &args),
+            Getrusage => self.sys_getrusage(pid, &args),
+
+            // sock.rs
+            Socket => self.sys_socket(pid, &args),
+            Socketpair => self.sys_socketpair(pid, &args),
+            Bind => self.sys_bind(pid, &args),
+            Connect => self.sys_connect(pid, &args),
+            Listen => self.sys_listen(pid, &args),
+            Accept => self.sys_accept(pid, &args),
+        }
+    }
+
+    // ---- shared decode helpers -----------------------------------------
+
+    /// Reads a pathname argument from the calling process's memory.
+    pub(crate) fn read_path(&self, pid: Pid, addr: u64) -> Result<Vec<u8>, Errno> {
+        let p = self.proc(pid)?;
+        let path = p.mem.read_cstr(addr, MAXPATHLEN)?;
+        ia_vfs::path::validate(&path)?;
+        Ok(path)
+    }
+
+    /// The caller's name-space context: (root, cwd, effective credentials).
+    pub(crate) fn namei_ctx(&self, pid: Pid) -> Result<(Ino, Ino, Cred), Errno> {
+        let p = self.proc(pid)?;
+        Ok((p.root, p.cwd, p.cred()))
+    }
+
+    /// Resolves a path in the caller's context, following final symlinks.
+    pub(crate) fn resolve_for(&self, pid: Pid, path: &[u8]) -> Result<Ino, Errno> {
+        let (root, cwd, cred) = self.namei_ctx(pid)?;
+        Ok(self.fs.resolve_rooted(root, cwd, path, cred)?.ino)
+    }
+
+    /// Resolves a path without following a final symlink.
+    pub(crate) fn resolve_nofollow_for(&self, pid: Pid, path: &[u8]) -> Result<Ino, Errno> {
+        let (root, cwd, cred) = self.namei_ctx(pid)?;
+        Ok(self.fs.resolve_nofollow_rooted(root, cwd, path, cred)?.ino)
+    }
+
+    /// Resolves the parent directory and final component of a path.
+    pub(crate) fn resolve_parent_for(
+        &self,
+        pid: Pid,
+        path: &[u8],
+    ) -> Result<(Ino, Vec<u8>), Errno> {
+        let (root, cwd, cred) = self.namei_ctx(pid)?;
+        self.fs.resolve_parent_rooted(root, cwd, path, cred)
+    }
+}
+
+/// Maps a `Result<RetVal-like, Errno>` into a [`SysOutcome`].
+pub(crate) fn done(r: Result<[u64; 2], Errno>) -> SysOutcome {
+    SysOutcome::Done(r)
+}
+
+/// Maps a unit result into a [`SysOutcome`].
+pub(crate) fn done0(r: Result<(), Errno>) -> SysOutcome {
+    SysOutcome::Done(r.map(|()| [0, 0]))
+}

@@ -1,0 +1,155 @@
+//! Signal system calls — the upward half of the interface.
+
+use ia_abi::signal::{SigDisposition, SigSet, SigmaskHow, Signal};
+use ia_abi::types::SigContext;
+use ia_abi::{Errno, RawArgs, SigActionRec};
+
+use super::{done, done0, SysOutcome};
+use crate::kernel::Kernel;
+use crate::process::{Pid, SigAction, WaitChannel};
+
+impl Kernel {
+    /// `kill(pid, sig)` — `pid > 0` targets a process, `0` the caller's
+    /// group, `< -1` the group `|pid|`. `sig == 0` probes permissions only.
+    pub(crate) fn sys_kill(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let target = args[0] as i64;
+        let signo = args[1] as u32;
+        let sig = if signo == 0 {
+            None
+        } else {
+            match Signal::from_u32(signo) {
+                Some(s) => Some(s),
+                None => return SysOutcome::err(Errno::EINVAL),
+            }
+        };
+        let r = (|| {
+            if target > 0 {
+                let t = target as Pid;
+                let dest = self.proc(t)?;
+                let me = self.proc(pid)?;
+                if !me.can_signal(dest) {
+                    return Err(Errno::EPERM);
+                }
+                if let Some(s) = sig {
+                    self.post_signal(t, s)?;
+                }
+                Ok(())
+            } else {
+                let pgrp = if target == 0 {
+                    self.proc(pid)?.pgrp
+                } else {
+                    (-target) as Pid
+                };
+                if let Some(s) = sig {
+                    if self.post_signal_pgrp(pgrp, s, pid) == 0 {
+                        return Err(Errno::ESRCH);
+                    }
+                } else if !self.procs.values().any(|p| p.pgrp == pgrp) {
+                    return Err(Errno::ESRCH);
+                }
+                Ok(())
+            }
+        })();
+        done0(r)
+    }
+
+    /// `sigaction(sig, act, oact)`
+    pub(crate) fn sys_sigaction(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let sig = Signal::from_u32(args[0] as u32).ok_or(Errno::EINVAL)?;
+            let new = if args[1] != 0 {
+                let rec = self.proc(pid)?.mem.read_struct::<SigActionRec>(args[1])?;
+                Some(SigAction {
+                    disposition: SigDisposition::from_u64(rec.handler),
+                    mask: SigSet::from_bits(rec.mask).blockable(),
+                })
+            } else {
+                None
+            };
+            let p = self.proc_mut(pid)?;
+            let old = match new {
+                Some(act) => p.sig.set_action(sig, act)?,
+                None => p.sig.action(sig),
+            };
+            if args[2] != 0 {
+                let rec = SigActionRec {
+                    handler: old.disposition.to_u64(),
+                    mask: old.mask.bits(),
+                    flags: 0,
+                };
+                self.proc_mut(pid)?.mem.write_struct(args[2], &rec)?;
+            }
+            Ok(())
+        })();
+        done0(r)
+    }
+
+    /// `sigprocmask(how, set)` → previous mask in `r0`.
+    ///
+    /// The set is passed by value in the second argument register (4.3BSD's
+    /// `sigsetmask`/`sigblock` convention), not through memory.
+    pub(crate) fn sys_sigprocmask(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let how = SigmaskHow::from_u32(args[0] as u32)?;
+            let set = SigSet::from_bits(args[1] as u32).blockable();
+            let p = self.proc_mut(pid)?;
+            let old = p.sig.mask;
+            p.sig.mask = match how {
+                SigmaskHow::Block => old.union(set),
+                SigmaskHow::Unblock => old.minus(set),
+                SigmaskHow::SetMask => set,
+            };
+            Ok([u64::from(old.bits()), 0])
+        })();
+        done(r)
+    }
+
+    /// `sigpending()` → pending set in `r0`
+    pub(crate) fn sys_sigpending(&mut self, pid: Pid) -> SysOutcome {
+        match self.proc(pid) {
+            Ok(p) => SysOutcome::ok1(u64::from(p.sig.pending.bits())),
+            Err(e) => SysOutcome::err(e),
+        }
+    }
+
+    /// `sigsuspend(mask)` — install `mask`, wait for a signal, restore.
+    ///
+    /// Always "fails" with `EINTR` once a signal has been handled, per BSD.
+    pub(crate) fn sys_sigsuspend(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r: Result<SysOutcome, Errno> = (|| {
+            let p = self.proc_mut(pid)?;
+            let temp = SigSet::from_bits(args[0] as u32).blockable();
+            if p.sig.suspend_saved.is_none() {
+                p.sig.suspend_saved = Some(p.sig.mask);
+                p.sig.mask = temp;
+            }
+            if p.sig.deliverable().is_some() {
+                // The scheduler will deliver it and the restart path
+                // returns EINTR with the saved mask restored after the
+                // handler completes.
+                return Ok(SysOutcome::err(Errno::EINTR));
+            }
+            Ok(SysOutcome::Block(WaitChannel::AnySignal))
+        })();
+        match r {
+            Ok(o) => o,
+            Err(e) => SysOutcome::err(e),
+        }
+    }
+
+    /// `sigreturn(ctx)` — restore the machine context pushed at delivery.
+    pub(crate) fn sys_sigreturn(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r: Result<(), Errno> = (|| {
+            let p = self.proc_mut(pid)?;
+            let ctx = p.mem.read_struct::<SigContext>(args[0])?;
+            p.vm.pc = ctx.pc;
+            p.vm.regs = ctx.regs;
+            p.sig.mask = ctx.mask.blockable();
+            Ok(())
+        })();
+        match r {
+            Ok(()) => SysOutcome::NoReturn,
+            Err(e) => SysOutcome::err(e),
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Socket system calls (unix-domain style, rendezvous through the
+//! filesystem name space).
+
+use ia_abi::{Errno, OpenFlags, RawArgs};
+use ia_vfs::InodeKind;
+
+use super::{done, SysOutcome};
+use crate::files::{FdEntry, FileKind};
+use crate::kernel::{Kernel, WakeEvent};
+use crate::process::{Pid, WaitChannel};
+
+impl Kernel {
+    fn install_sock_fd(&mut self, pid: Pid, sid: crate::files::SockId) -> Result<u64, Errno> {
+        let idx = self
+            .files
+            .insert(FileKind::Socket(sid), OpenFlags::new(OpenFlags::O_RDWR));
+        match self.proc_mut(pid)?.fds.alloc(
+            0,
+            FdEntry {
+                file: idx,
+                cloexec: false,
+            },
+        ) {
+            Ok(fd) => Ok(fd),
+            Err(e) => {
+                self.release_file(idx);
+                Err(e)
+            }
+        }
+    }
+
+    fn sock_of_fd(&self, pid: Pid, fd: u64) -> Result<crate::files::SockId, Errno> {
+        let entry = self.proc(pid)?.fds.get(fd)?;
+        match self.files.get(entry.file)?.kind {
+            FileKind::Socket(sid) => Ok(sid),
+            _ => Err(Errno::ENOTSOCK),
+        }
+    }
+
+    /// `socket(domain, type, protocol)` — one local stream domain exists.
+    pub(crate) fn sys_socket(&mut self, pid: Pid, _args: &RawArgs) -> SysOutcome {
+        let sid = self.sockets.create();
+        match self.install_sock_fd(pid, sid) {
+            Ok(fd) => SysOutcome::ok1(fd),
+            Err(e) => SysOutcome::err(e),
+        }
+    }
+
+    /// `socketpair(domain, type, protocol)` → two connected descriptors.
+    pub(crate) fn sys_socketpair(&mut self, pid: Pid, _args: &RawArgs) -> SysOutcome {
+        let (a, b) = self.sockets.pair(&mut self.fs.pipes);
+        let r = (|| {
+            let fa = self.install_sock_fd(pid, a)?;
+            match self.install_sock_fd(pid, b) {
+                Ok(fb) => Ok([fa, fb]),
+                Err(e) => {
+                    let entry = self.proc_mut(pid)?.fds.remove(fa).expect("just allocated");
+                    self.release_file(entry.file);
+                    Err(e)
+                }
+            }
+        })();
+        done(r)
+    }
+
+    /// `bind(fd, path, 0)` — creates a socket node at `path`.
+    pub(crate) fn sys_bind(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let sid = self.sock_of_fd(pid, args[0])?;
+            let path = self.read_path(pid, args[1])?;
+            let (dir, base) = self.resolve_parent_for(pid, &path)?;
+            let cred = self.proc(pid)?.cred();
+            let umask = self.proc(pid)?.umask;
+            let now = self.clock.now();
+            let ino = self.fs.mksock(dir, &base, 0o777 & !umask, cred, now)?;
+            self.sockets.bind(sid, ino)?;
+            Ok(())
+        })();
+        super::done0(r)
+    }
+
+    /// `connect(fd, path, 0)` — synchronous connect to a listening socket.
+    pub(crate) fn sys_connect(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let sid = self.sock_of_fd(pid, args[0])?;
+            let path = self.read_path(pid, args[1])?;
+            let ino = self.resolve_for(pid, &path)?;
+            if !matches!(self.fs.get(ino)?.kind, InodeKind::Socket) {
+                return Err(Errno::ECONNREFUSED);
+            }
+            let cred = self.proc(pid)?.cred();
+            if !self.fs.get(ino)?.permits(cred, 2) {
+                return Err(Errno::EACCES);
+            }
+            self.sockets.connect(sid, ino, &mut self.fs.pipes)?;
+            // Wake any blocked acceptor.
+            self.wakeups.push(WakeEvent::Sock(sid));
+            Ok(())
+        })();
+        super::done0(r)
+    }
+
+    /// `listen(fd, backlog)`
+    pub(crate) fn sys_listen(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let r = (|| {
+            let sid = self.sock_of_fd(pid, args[0])?;
+            self.sockets.listen(sid, args[1] as usize)
+        })();
+        super::done0(r)
+    }
+
+    /// `accept(fd, addr, addrlen)` — blocks until a connection is queued.
+    pub(crate) fn sys_accept(&mut self, pid: Pid, args: &RawArgs) -> SysOutcome {
+        let sid = match self.sock_of_fd(pid, args[0]) {
+            Ok(s) => s,
+            Err(e) => return SysOutcome::err(e),
+        };
+        match self.sockets.accept(sid) {
+            Ok(Some(conn)) => match self.install_sock_fd(pid, conn) {
+                Ok(fd) => SysOutcome::ok1(fd),
+                Err(e) => SysOutcome::err(e),
+            },
+            Ok(None) => SysOutcome::Block(WaitChannel::SockAccept),
+            Err(e) => SysOutcome::err(e),
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Scheduler-focused tests: stop/continue, fairness, run limits, and the
+//! terminal outcomes.
+
+use ia_abi::signal::Signal;
+use ia_kernel::{run, Kernel, KernelRouter, ProcState, RunLimits, RunOutcome, I486_25};
+
+#[test]
+fn sigstop_stops_and_sigcont_resumes() {
+    // The target spins; the controller stops it, verifies, continues it,
+    // then kills it.
+    let spin = ia_vm::assemble("main: jmp main\n").unwrap();
+    let mut k = Kernel::new(I486_25);
+    let target = k.spawn_image(&spin, &[b"spin"], b"spin");
+
+    // Drive manually: run a bounded slice, then stop the target.
+    let out = run(&mut k, &mut KernelRouter, RunLimits { max_steps: 500 });
+    assert_eq!(out, RunOutcome::StepLimit);
+    k.post_signal(target, Signal::SIGSTOP).unwrap();
+    let out = run(&mut k, &mut KernelRouter, RunLimits { max_steps: 500 });
+    // Only the stopped process remains: the scheduler reports Stalled.
+    assert_eq!(out, RunOutcome::Stalled);
+    assert_eq!(k.proc(target).unwrap().state, ProcState::Stopped);
+
+    k.post_signal(target, Signal::SIGCONT).unwrap();
+    assert_eq!(k.proc(target).unwrap().state, ProcState::Runnable);
+    let out = run(&mut k, &mut KernelRouter, RunLimits { max_steps: 500 });
+    assert_eq!(out, RunOutcome::StepLimit, "spinning again");
+
+    k.post_signal(target, Signal::SIGKILL).unwrap();
+    let out = run(&mut k, &mut KernelRouter, RunLimits { max_steps: 500 });
+    assert_eq!(out, RunOutcome::AllExited);
+}
+
+#[test]
+fn sigkill_kills_even_a_stopped_process() {
+    let spin = ia_vm::assemble("main: jmp main\n").unwrap();
+    let mut k = Kernel::new(I486_25);
+    let target = k.spawn_image(&spin, &[b"spin"], b"spin");
+    k.post_signal(target, Signal::SIGSTOP).unwrap();
+    let _ = run(&mut k, &mut KernelRouter, RunLimits { max_steps: 500 });
+    k.post_signal(target, Signal::SIGKILL).unwrap();
+    assert_eq!(
+        run(&mut k, &mut KernelRouter, RunLimits { max_steps: 500 }),
+        RunOutcome::AllExited
+    );
+    assert_eq!(
+        ia_abi::signal::WaitStatus::decode(k.exit_status(target).unwrap()),
+        Some(ia_abi::signal::WaitStatus::Signaled(Signal::SIGKILL))
+    );
+}
+
+#[test]
+fn scheduler_is_fair_between_cpu_hogs() {
+    // Two pure-compute processes of equal length must finish in the same
+    // run without either starving: both retire all their instructions.
+    let prog = ia_vm::assemble(
+        r#"
+        main:
+            li r5, 2000
+        l:  addi r5, r5, -1
+            jnz r5, l
+            li r0, 0
+            sys exit
+        "#,
+    )
+    .unwrap();
+    let mut k = Kernel::new(I486_25);
+    let a = k.spawn_image(&prog, &[b"a"], b"a");
+    let b = k.spawn_image(&prog, &[b"b"], b"b");
+    assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
+    assert_eq!(k.exit_status(a), Some(0));
+    assert_eq!(k.exit_status(b), Some(0));
+}
+
+#[test]
+fn run_limits_cap_runaway_programs() {
+    let spin = ia_vm::assemble("main: jmp main\n").unwrap();
+    let mut k = Kernel::new(I486_25);
+    k.spawn_image(&spin, &[b"s"], b"s");
+    let before = std::time::Instant::now();
+    let out = run(&mut k, &mut KernelRouter, RunLimits { max_steps: 10_000 });
+    assert_eq!(out, RunOutcome::StepLimit);
+    assert!(before.elapsed().as_secs() < 5, "bounded promptly");
+    assert_eq!(k.total_insns, 10_000);
+}
+
+#[test]
+fn virtual_clock_equals_instructions_plus_syscalls() {
+    // For a pure compute + exit program the virtual time decomposes
+    // exactly: insns * insn_ns + exit base cost.
+    let prog = ia_vm::assemble(
+        r#"
+        main:
+            li r5, 100
+        l:  addi r5, r5, -1
+            jnz r5, l
+            li r0, 0
+            sys exit
+        "#,
+    )
+    .unwrap();
+    let mut k = Kernel::new(I486_25);
+    k.spawn_image(&prog, &[b"c"], b"c");
+    assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
+    let expected =
+        k.total_insns * k.profile.insn_ns + k.profile.syscall_base_ns(ia_abi::Sysno::Exit);
+    assert_eq!(k.clock.elapsed_ns(), expected);
+}

@@ -1,0 +1,1104 @@
+//! The filesystem proper: an inode table plus the `namei`-style resolution
+//! and mutation operations the kernel serves to applications.
+
+use std::collections::{BTreeMap, HashMap};
+
+use ia_abi::{DirEntry, Errno, Stat, Timeval};
+
+use crate::inode::{Cred, Ino, Inode, InodeKind, ROOT_INO};
+use crate::path::{self, is_absolute, split_components};
+use crate::pipe::PipeTable;
+
+/// Maximum symlink expansions in one resolution, per 4.3BSD `MAXSYMLINKS`.
+pub const MAXSYMLINKS: usize = 8;
+
+/// Result of resolving a pathname to an inode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolved {
+    /// The inode the path names.
+    pub ino: Ino,
+}
+
+/// Counters describing the filesystem's current shape, for tests and tools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FsStats {
+    /// Live inodes of any kind.
+    pub inodes: usize,
+    /// Regular files.
+    pub files: usize,
+    /// Directories.
+    pub dirs: usize,
+    /// Symbolic links.
+    pub symlinks: usize,
+    /// Total bytes held in regular files.
+    pub bytes: u64,
+}
+
+/// The in-memory filesystem.
+#[derive(Debug)]
+pub struct Fs {
+    inodes: HashMap<Ino, Inode>,
+    next_ino: Ino,
+    /// Pipe buffers backing `pipe(2)` pairs and named FIFOs.
+    pub pipes: PipeTable,
+}
+
+impl Default for Fs {
+    fn default() -> Self {
+        Self::new(Timeval::default())
+    }
+}
+
+impl Fs {
+    /// Creates a filesystem containing only the root directory, owned by
+    /// root with mode 755.
+    #[must_use]
+    pub fn new(now: Timeval) -> Fs {
+        let mut inodes = HashMap::new();
+        let mut root_map = BTreeMap::new();
+        root_map.insert(b".".to_vec(), ROOT_INO);
+        root_map.insert(b"..".to_vec(), ROOT_INO);
+        let mut root = Inode::new(InodeKind::Directory(root_map), 0o755, Cred::ROOT, now);
+        root.meta.nlink = 2;
+        inodes.insert(ROOT_INO, root);
+        Fs {
+            inodes,
+            next_ino: ROOT_INO + 1,
+            pipes: PipeTable::new(),
+        }
+    }
+
+    // ---- inode access -------------------------------------------------
+
+    /// Borrows an inode. A stale number is the caller's bug surfaced as
+    /// `ENOENT`, matching what a kernel returns for a vanished file.
+    pub fn get(&self, ino: Ino) -> Result<&Inode, Errno> {
+        self.inodes.get(&ino).ok_or(Errno::ENOENT)
+    }
+
+    /// Mutably borrows an inode.
+    pub fn get_mut(&mut self, ino: Ino) -> Result<&mut Inode, Errno> {
+        self.inodes.get_mut(&ino).ok_or(Errno::ENOENT)
+    }
+
+    /// True if the inode is live.
+    #[must_use]
+    pub fn exists(&self, ino: Ino) -> bool {
+        self.inodes.contains_key(&ino)
+    }
+
+    fn alloc(&mut self, inode: Inode) -> Ino {
+        let ino = self.next_ino;
+        self.next_ino += 1;
+        self.inodes.insert(ino, inode);
+        ino
+    }
+
+    /// Registers an open reference so unlinked-but-open files survive.
+    pub fn incref(&mut self, ino: Ino) {
+        if let Some(n) = self.inodes.get_mut(&ino) {
+            n.open_refs += 1;
+        }
+    }
+
+    /// Drops an open reference, reclaiming the inode if it is also
+    /// link-free.
+    pub fn decref(&mut self, ino: Ino) {
+        if let Some(n) = self.inodes.get_mut(&ino) {
+            n.open_refs = n.open_refs.saturating_sub(1);
+            if n.open_refs == 0 && n.meta.nlink == 0 {
+                self.inodes.remove(&ino);
+            }
+        }
+    }
+
+    fn reclaim_if_dead(&mut self, ino: Ino) {
+        if let Some(n) = self.inodes.get(&ino) {
+            if n.meta.nlink == 0 && n.open_refs == 0 {
+                self.inodes.remove(&ino);
+            }
+        }
+    }
+
+    // ---- resolution ---------------------------------------------------
+
+    /// Resolves `path` relative to the directory `start`, following every
+    /// symbolic link (the behaviour of all calls except `lstat`, `readlink`
+    /// and the link-creating calls).
+    pub fn resolve(&self, start: Ino, pth: &[u8], cred: Cred) -> Result<Resolved, Errno> {
+        self.resolve_inner(ROOT_INO, start, pth, cred, true)
+    }
+
+    /// Resolves `path` without following a symlink in the final component
+    /// (for `lstat`, `readlink`, `unlink`, `rename` sources, ...).
+    pub fn resolve_nofollow(&self, start: Ino, pth: &[u8], cred: Cred) -> Result<Resolved, Errno> {
+        self.resolve_inner(ROOT_INO, start, pth, cred, false)
+    }
+
+    /// [`Self::resolve`] with an explicit root directory, for `chroot`ed
+    /// processes: absolute paths (and absolute symlink targets) restart at
+    /// `root` instead of the global root.
+    pub fn resolve_rooted(
+        &self,
+        root: Ino,
+        start: Ino,
+        pth: &[u8],
+        cred: Cred,
+    ) -> Result<Resolved, Errno> {
+        self.resolve_inner(root, start, pth, cred, true)
+    }
+
+    /// [`Self::resolve_nofollow`] with an explicit root directory.
+    pub fn resolve_nofollow_rooted(
+        &self,
+        root: Ino,
+        start: Ino,
+        pth: &[u8],
+        cred: Cred,
+    ) -> Result<Resolved, Errno> {
+        self.resolve_inner(root, start, pth, cred, false)
+    }
+
+    fn resolve_inner(
+        &self,
+        root: Ino,
+        start: Ino,
+        pth: &[u8],
+        cred: Cred,
+        follow_last: bool,
+    ) -> Result<Resolved, Errno> {
+        path::validate(pth)?;
+        let trailing_slash = pth.len() > 1 && pth.ends_with(b"/");
+        let mut cur = if is_absolute(pth) { root } else { start };
+        let mut stack: Vec<Vec<u8>> = split_components(pth)
+            .into_iter()
+            .rev()
+            .map(<[u8]>::to_vec)
+            .collect();
+        let mut expansions = 0usize;
+        while let Some(comp) = stack.pop() {
+            let node = self.get(cur)?;
+            let dir = node.as_dir().ok_or(Errno::ENOTDIR)?;
+            if !node.permits(cred, 1) {
+                return Err(Errno::EACCES);
+            }
+            // A chroot jail holds at its own root: ".." there is itself.
+            let next = if comp == b".." && cur == root {
+                cur
+            } else {
+                *dir.get(comp.as_slice()).ok_or(Errno::ENOENT)?
+            };
+            let next_node = self.get(next)?;
+            let is_last = stack.is_empty();
+            if let InodeKind::Symlink(target) = &next_node.kind {
+                if !is_last || follow_last || trailing_slash {
+                    expansions += 1;
+                    if expansions > MAXSYMLINKS {
+                        return Err(Errno::ELOOP);
+                    }
+                    if is_absolute(target) {
+                        cur = root;
+                    }
+                    for c in split_components(target).into_iter().rev() {
+                        stack.push(c.to_vec());
+                    }
+                    continue;
+                }
+            }
+            cur = next;
+        }
+        if trailing_slash && !matches!(self.get(cur)?.kind, InodeKind::Directory(_)) {
+            return Err(Errno::ENOTDIR);
+        }
+        Ok(Resolved { ino: cur })
+    }
+
+    /// Resolves the *directory part* of `path`, returning the directory's
+    /// inode and the final component, for creation and removal operations.
+    pub fn resolve_parent(
+        &self,
+        start: Ino,
+        pth: &[u8],
+        cred: Cred,
+    ) -> Result<(Ino, Vec<u8>), Errno> {
+        self.resolve_parent_rooted(ROOT_INO, start, pth, cred)
+    }
+
+    /// [`Self::resolve_parent`] with an explicit root directory.
+    pub fn resolve_parent_rooted(
+        &self,
+        root: Ino,
+        start: Ino,
+        pth: &[u8],
+        cred: Cred,
+    ) -> Result<(Ino, Vec<u8>), Errno> {
+        path::validate(pth)?;
+        let (dir_part, base) = path::split_dir_base(pth);
+        let dir = self.resolve_rooted(root, start, &dir_part, cred)?.ino;
+        if !matches!(self.get(dir)?.kind, InodeKind::Directory(_)) {
+            return Err(Errno::ENOTDIR);
+        }
+        Ok((dir, base))
+    }
+
+    fn check_create(&self, dir: Ino, name: &[u8], cred: Cred) -> Result<(), Errno> {
+        if name.is_empty() || name == b"." || name == b".." {
+            return Err(Errno::EEXIST);
+        }
+        if name.len() > ia_abi::types::MAXNAMLEN {
+            return Err(Errno::ENAMETOOLONG);
+        }
+        let d = self.get(dir)?;
+        let map = d.as_dir().ok_or(Errno::ENOTDIR)?;
+        if map.contains_key(name) {
+            return Err(Errno::EEXIST);
+        }
+        if !d.permits(cred, 2) {
+            return Err(Errno::EACCES);
+        }
+        Ok(())
+    }
+
+    fn insert_entry(&mut self, dir: Ino, name: &[u8], ino: Ino, now: Timeval) {
+        let d = self.inodes.get_mut(&dir).expect("checked");
+        d.meta.mtime = now;
+        d.meta.ctime = now;
+        d.as_dir_mut().expect("checked").insert(name.to_vec(), ino);
+    }
+
+    // ---- creation -----------------------------------------------------
+
+    /// Creates an empty regular file. Returns its inode.
+    pub fn create_file(
+        &mut self,
+        dir: Ino,
+        name: &[u8],
+        perm: u32,
+        cred: Cred,
+        now: Timeval,
+    ) -> Result<Ino, Errno> {
+        self.check_create(dir, name, cred)?;
+        let ino = self.alloc(Inode::new(InodeKind::Regular(Vec::new()), perm, cred, now));
+        self.insert_entry(dir, name, ino, now);
+        Ok(ino)
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(
+        &mut self,
+        dir: Ino,
+        name: &[u8],
+        perm: u32,
+        cred: Cred,
+        now: Timeval,
+    ) -> Result<Ino, Errno> {
+        self.check_create(dir, name, cred)?;
+        let mut map = BTreeMap::new();
+        let ino = self.alloc(Inode::new(
+            InodeKind::Directory(map.clone()),
+            perm,
+            cred,
+            now,
+        ));
+        map.insert(b".".to_vec(), ino);
+        map.insert(b"..".to_vec(), dir);
+        self.inodes.get_mut(&ino).expect("fresh").kind = InodeKind::Directory(map);
+        self.insert_entry(dir, name, ino, now);
+        // The child's ".." is a new link to the parent.
+        self.inodes.get_mut(&dir).expect("checked").meta.nlink += 1;
+        Ok(ino)
+    }
+
+    /// Creates a symbolic link holding `target`.
+    pub fn symlink(
+        &mut self,
+        dir: Ino,
+        name: &[u8],
+        target: &[u8],
+        cred: Cred,
+        now: Timeval,
+    ) -> Result<Ino, Errno> {
+        self.check_create(dir, name, cred)?;
+        let ino = self.alloc(Inode::new(
+            InodeKind::Symlink(target.to_vec()),
+            0o777,
+            cred,
+            now,
+        ));
+        self.insert_entry(dir, name, ino, now);
+        Ok(ino)
+    }
+
+    /// Creates a character-device node (superuser only, as `mknod(2)`).
+    pub fn mknod_chardev(
+        &mut self,
+        dir: Ino,
+        name: &[u8],
+        dev: u32,
+        perm: u32,
+        cred: Cred,
+        now: Timeval,
+    ) -> Result<Ino, Errno> {
+        if !cred.is_root() {
+            return Err(Errno::EPERM);
+        }
+        self.check_create(dir, name, cred)?;
+        let ino = self.alloc(Inode::new(InodeKind::CharDevice(dev), perm, cred, now));
+        self.insert_entry(dir, name, ino, now);
+        Ok(ino)
+    }
+
+    /// Creates a named pipe.
+    pub fn mkfifo(
+        &mut self,
+        dir: Ino,
+        name: &[u8],
+        perm: u32,
+        cred: Cred,
+        now: Timeval,
+    ) -> Result<Ino, Errno> {
+        self.check_create(dir, name, cred)?;
+        let ino = self.alloc(Inode::new(InodeKind::Fifo(None), perm, cred, now));
+        self.insert_entry(dir, name, ino, now);
+        Ok(ino)
+    }
+
+    /// Creates a socket node (for `bind` of unix-domain-style sockets).
+    pub fn mksock(
+        &mut self,
+        dir: Ino,
+        name: &[u8],
+        perm: u32,
+        cred: Cred,
+        now: Timeval,
+    ) -> Result<Ino, Errno> {
+        self.check_create(dir, name, cred)?;
+        let ino = self.alloc(Inode::new(InodeKind::Socket, perm, cred, now));
+        self.insert_entry(dir, name, ino, now);
+        Ok(ino)
+    }
+
+    /// Creates an additional hard link `name` in `dir` to the existing
+    /// inode `target`. Directories cannot be multiply linked.
+    pub fn link(
+        &mut self,
+        dir: Ino,
+        name: &[u8],
+        target: Ino,
+        cred: Cred,
+        now: Timeval,
+    ) -> Result<(), Errno> {
+        if matches!(self.get(target)?.kind, InodeKind::Directory(_)) {
+            return Err(Errno::EPERM);
+        }
+        self.check_create(dir, name, cred)?;
+        self.insert_entry(dir, name, target, now);
+        let t = self.inodes.get_mut(&target).expect("checked");
+        t.meta.nlink += 1;
+        t.meta.ctime = now;
+        Ok(())
+    }
+
+    // ---- removal ------------------------------------------------------
+
+    /// Removes the non-directory entry `name` from `dir`.
+    pub fn unlink(&mut self, dir: Ino, name: &[u8], cred: Cred, now: Timeval) -> Result<(), Errno> {
+        if name == b"." || name == b".." || name.is_empty() {
+            return Err(Errno::EINVAL);
+        }
+        let d = self.get(dir)?;
+        let map = d.as_dir().ok_or(Errno::ENOTDIR)?;
+        let target = *map.get(name).ok_or(Errno::ENOENT)?;
+        if !d.permits(cred, 2) {
+            return Err(Errno::EACCES);
+        }
+        if matches!(self.get(target)?.kind, InodeKind::Directory(_)) {
+            return Err(Errno::EPERM);
+        }
+        let d = self.inodes.get_mut(&dir).expect("checked");
+        d.as_dir_mut().expect("checked").remove(name);
+        d.meta.mtime = now;
+        d.meta.ctime = now;
+        let t = self.inodes.get_mut(&target).expect("checked");
+        t.meta.nlink = t.meta.nlink.saturating_sub(1);
+        t.meta.ctime = now;
+        self.reclaim_if_dead(target);
+        Ok(())
+    }
+
+    /// Removes the empty directory `name` from `dir`.
+    pub fn rmdir(&mut self, dir: Ino, name: &[u8], cred: Cred, now: Timeval) -> Result<(), Errno> {
+        if name == b"." {
+            return Err(Errno::EINVAL);
+        }
+        if name == b".." || name.is_empty() {
+            return Err(Errno::ENOTEMPTY);
+        }
+        let d = self.get(dir)?;
+        let map = d.as_dir().ok_or(Errno::ENOTDIR)?;
+        let target = *map.get(name).ok_or(Errno::ENOENT)?;
+        if target == ROOT_INO {
+            return Err(Errno::EBUSY);
+        }
+        if !d.permits(cred, 2) {
+            return Err(Errno::EACCES);
+        }
+        let t = self.get(target)?;
+        let tmap = t.as_dir().ok_or(Errno::ENOTDIR)?;
+        if tmap.keys().any(|k| k != b"." && k != b"..") {
+            return Err(Errno::ENOTEMPTY);
+        }
+        let d = self.inodes.get_mut(&dir).expect("checked");
+        d.as_dir_mut().expect("checked").remove(name);
+        d.meta.mtime = now;
+        d.meta.ctime = now;
+        d.meta.nlink = d.meta.nlink.saturating_sub(1); // child's ".." is gone
+        let t = self.inodes.get_mut(&target).expect("checked");
+        t.meta.nlink = 0;
+        self.reclaim_if_dead(target);
+        Ok(())
+    }
+
+    // ---- rename -------------------------------------------------------
+
+    /// True if `anc` is `node` itself or an ancestor of `node`.
+    fn is_same_or_ancestor(&self, anc: Ino, node: Ino) -> Result<bool, Errno> {
+        let mut cur = node;
+        loop {
+            if cur == anc {
+                return Ok(true);
+            }
+            let parent = match self.get(cur)?.as_dir() {
+                Some(map) => *map.get(b"..".as_slice()).unwrap_or(&cur),
+                None => return Ok(false),
+            };
+            if parent == cur {
+                return Ok(false); // reached the root
+            }
+            cur = parent;
+        }
+    }
+
+    /// Renames `(from_dir, from_name)` to `(to_dir, to_name)` with 4.3BSD
+    /// semantics: an existing target of compatible type is replaced
+    /// atomically; a directory cannot be moved under itself.
+    pub fn rename(
+        &mut self,
+        from_dir: Ino,
+        from_name: &[u8],
+        to_dir: Ino,
+        to_name: &[u8],
+        cred: Cred,
+        now: Timeval,
+    ) -> Result<(), Errno> {
+        for n in [from_name, to_name] {
+            if n.is_empty() || n == b"." || n == b".." {
+                return Err(Errno::EINVAL);
+            }
+        }
+        let src = {
+            let d = self.get(from_dir)?;
+            let map = d.as_dir().ok_or(Errno::ENOTDIR)?;
+            if !d.permits(cred, 2) {
+                return Err(Errno::EACCES);
+            }
+            *map.get(from_name).ok_or(Errno::ENOENT)?
+        };
+        {
+            let d = self.get(to_dir)?;
+            d.as_dir().ok_or(Errno::ENOTDIR)?;
+            if !d.permits(cred, 2) {
+                return Err(Errno::EACCES);
+            }
+        }
+        let src_is_dir = matches!(self.get(src)?.kind, InodeKind::Directory(_));
+        if src_is_dir && self.is_same_or_ancestor(src, to_dir)? {
+            return Err(Errno::EINVAL);
+        }
+        // Same entry: rename("a", "a") succeeds as a no-op.
+        let existing = self
+            .get(to_dir)?
+            .as_dir()
+            .expect("checked")
+            .get(to_name)
+            .copied();
+        if existing == Some(src) {
+            return Ok(());
+        }
+        if let Some(old) = existing {
+            let old_is_dir = matches!(self.get(old)?.kind, InodeKind::Directory(_));
+            match (src_is_dir, old_is_dir) {
+                (true, false) => return Err(Errno::ENOTDIR),
+                (false, true) => return Err(Errno::EISDIR),
+                (true, true) => self.rmdir(to_dir, to_name, cred, now)?,
+                (false, false) => self.unlink(to_dir, to_name, cred, now)?,
+            }
+        }
+        // Detach from the source directory.
+        {
+            let d = self.inodes.get_mut(&from_dir).expect("checked");
+            d.as_dir_mut().expect("checked").remove(from_name);
+            d.meta.mtime = now;
+            d.meta.ctime = now;
+        }
+        self.insert_entry(to_dir, to_name, src, now);
+        if src_is_dir && from_dir != to_dir {
+            // Fix the child's ".." and both parents' link counts.
+            self.inodes
+                .get_mut(&src)
+                .expect("checked")
+                .as_dir_mut()
+                .expect("src is dir")
+                .insert(b"..".to_vec(), to_dir);
+            self.inodes.get_mut(&from_dir).expect("checked").meta.nlink -= 1;
+            self.inodes.get_mut(&to_dir).expect("checked").meta.nlink += 1;
+        }
+        Ok(())
+    }
+
+    // ---- data I/O -----------------------------------------------------
+
+    /// Reads up to `len` bytes at `off` from a regular file.
+    pub fn read_at(
+        &mut self,
+        ino: Ino,
+        off: u64,
+        len: usize,
+        now: Timeval,
+    ) -> Result<Vec<u8>, Errno> {
+        let n = self.get_mut(ino)?;
+        let data = n.as_file().ok_or(Errno::EINVAL)?;
+        let off = off as usize;
+        let out = if off >= data.len() {
+            Vec::new()
+        } else {
+            data[off..(off + len).min(data.len())].to_vec()
+        };
+        n.meta.atime = now;
+        Ok(out)
+    }
+
+    /// Writes `data` at `off` in a regular file, zero-filling any hole.
+    pub fn write_at(
+        &mut self,
+        ino: Ino,
+        off: u64,
+        data: &[u8],
+        now: Timeval,
+    ) -> Result<usize, Errno> {
+        let n = self.get_mut(ino)?;
+        let file = n.as_file_mut().ok_or(Errno::EINVAL)?;
+        let off = off as usize;
+        if off > file.len() {
+            file.resize(off, 0);
+        }
+        let end = off + data.len();
+        if end > file.len() {
+            file.resize(end, 0);
+        }
+        file[off..end].copy_from_slice(data);
+        n.meta.mtime = now;
+        n.meta.ctime = now;
+        Ok(data.len())
+    }
+
+    /// Truncates (or extends with zeros) a regular file to `len` bytes.
+    pub fn truncate(&mut self, ino: Ino, len: u64, now: Timeval) -> Result<(), Errno> {
+        let n = self.get_mut(ino)?;
+        match &mut n.kind {
+            InodeKind::Regular(d) => {
+                d.resize(len as usize, 0);
+                n.meta.mtime = now;
+                n.meta.ctime = now;
+                Ok(())
+            }
+            InodeKind::Directory(_) => Err(Errno::EISDIR),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    // ---- metadata -----------------------------------------------------
+
+    /// `stat` for an inode.
+    pub fn stat(&self, ino: Ino) -> Result<Stat, Errno> {
+        Ok(self.get(ino)?.stat(ino))
+    }
+
+    /// Changes permission bits. Only the owner or the superuser may.
+    pub fn chmod(&mut self, ino: Ino, perm: u32, cred: Cred, now: Timeval) -> Result<(), Errno> {
+        let n = self.get_mut(ino)?;
+        if !cred.is_root() && cred.uid != n.meta.uid {
+            return Err(Errno::EPERM);
+        }
+        n.meta.perm = perm & 0o7777;
+        n.meta.ctime = now;
+        Ok(())
+    }
+
+    /// Changes ownership. 4.3BSD restricts this to the superuser.
+    pub fn chown(
+        &mut self,
+        ino: Ino,
+        uid: u32,
+        gid: u32,
+        cred: Cred,
+        now: Timeval,
+    ) -> Result<(), Errno> {
+        let n = self.get_mut(ino)?;
+        if !cred.is_root() {
+            return Err(Errno::EPERM);
+        }
+        if uid != u32::MAX {
+            n.meta.uid = uid;
+        }
+        if gid != u32::MAX {
+            n.meta.gid = gid;
+        }
+        n.meta.ctime = now;
+        Ok(())
+    }
+
+    /// Sets access and modification times (`utimes(2)`).
+    pub fn utimes(
+        &mut self,
+        ino: Ino,
+        atime: Timeval,
+        mtime: Timeval,
+        cred: Cred,
+        now: Timeval,
+    ) -> Result<(), Errno> {
+        let n = self.get_mut(ino)?;
+        if !cred.is_root() && cred.uid != n.meta.uid {
+            return Err(Errno::EPERM);
+        }
+        n.meta.atime = atime;
+        n.meta.mtime = mtime;
+        n.meta.ctime = now;
+        Ok(())
+    }
+
+    /// Reads a symlink's target.
+    pub fn readlink(&self, ino: Ino) -> Result<Vec<u8>, Errno> {
+        match &self.get(ino)?.kind {
+            InodeKind::Symlink(t) => Ok(t.clone()),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// Lists a directory as `getdirentries` records (including `.`/`..`),
+    /// in deterministic byte order.
+    pub fn readdir(&self, ino: Ino) -> Result<Vec<DirEntry>, Errno> {
+        let map = self.get(ino)?.as_dir().ok_or(Errno::ENOTDIR)?;
+        Ok(map
+            .iter()
+            .map(|(name, &i)| DirEntry::new(i, name.clone()))
+            .collect())
+    }
+
+    /// Shape counters for tests and tools.
+    #[must_use]
+    pub fn stats(&self) -> FsStats {
+        let mut s = FsStats {
+            inodes: self.inodes.len(),
+            ..FsStats::default()
+        };
+        for n in self.inodes.values() {
+            match &n.kind {
+                InodeKind::Regular(d) => {
+                    s.files += 1;
+                    s.bytes += d.len() as u64;
+                }
+                InodeKind::Directory(_) => s.dirs += 1,
+                InodeKind::Symlink(_) => s.symlinks += 1,
+                _ => {}
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NOW: Timeval = Timeval { sec: 500, usec: 0 };
+    const U: Cred = Cred { uid: 100, gid: 100 };
+
+    fn fs() -> Fs {
+        Fs::new(NOW)
+    }
+
+    fn mk(fs: &mut Fs, p: &[u8]) -> Ino {
+        let (d, b) = fs.resolve_parent(ROOT_INO, p, Cred::ROOT).unwrap();
+        fs.create_file(d, &b, 0o644, Cred::ROOT, NOW).unwrap()
+    }
+
+    fn mkd(fs: &mut Fs, p: &[u8]) -> Ino {
+        let (d, b) = fs.resolve_parent(ROOT_INO, p, Cred::ROOT).unwrap();
+        fs.mkdir(d, &b, 0o755, Cred::ROOT, NOW).unwrap()
+    }
+
+    #[test]
+    fn root_resolves_to_itself() {
+        let f = fs();
+        assert_eq!(f.resolve(ROOT_INO, b"/", Cred::ROOT).unwrap().ino, ROOT_INO);
+        assert_eq!(
+            f.resolve(ROOT_INO, b"/.", Cred::ROOT).unwrap().ino,
+            ROOT_INO
+        );
+        assert_eq!(
+            f.resolve(ROOT_INO, b"/..", Cred::ROOT).unwrap().ino,
+            ROOT_INO
+        );
+    }
+
+    #[test]
+    fn create_and_resolve_nested() {
+        let mut f = fs();
+        mkd(&mut f, b"/usr");
+        mkd(&mut f, b"/usr/bin");
+        let file = mk(&mut f, b"/usr/bin/cc");
+        assert_eq!(
+            f.resolve(ROOT_INO, b"/usr/bin/cc", Cred::ROOT).unwrap().ino,
+            file
+        );
+        assert_eq!(
+            f.resolve(ROOT_INO, b"/usr/./bin/../bin/cc", Cred::ROOT)
+                .unwrap()
+                .ino,
+            file
+        );
+    }
+
+    #[test]
+    fn relative_resolution_from_cwd() {
+        let mut f = fs();
+        let usr = mkd(&mut f, b"/usr");
+        let file = mk(&mut f, b"/usr/motd");
+        assert_eq!(f.resolve(usr, b"motd", Cred::ROOT).unwrap().ino, file);
+        assert_eq!(
+            f.resolve(usr, b"../usr/motd", Cred::ROOT).unwrap().ino,
+            file
+        );
+    }
+
+    #[test]
+    fn missing_component_is_enoent_and_nondir_is_enotdir() {
+        let mut f = fs();
+        mk(&mut f, b"/file");
+        assert_eq!(
+            f.resolve(ROOT_INO, b"/nope", Cred::ROOT),
+            Err(Errno::ENOENT)
+        );
+        assert_eq!(
+            f.resolve(ROOT_INO, b"/file/sub", Cred::ROOT),
+            Err(Errno::ENOTDIR)
+        );
+        assert_eq!(
+            f.resolve(ROOT_INO, b"/file/", Cred::ROOT),
+            Err(Errno::ENOTDIR)
+        );
+    }
+
+    #[test]
+    fn symlinks_follow_and_nofollow() {
+        let mut f = fs();
+        let file = mk(&mut f, b"/real");
+        let link = f
+            .symlink(ROOT_INO, b"ln", b"/real", Cred::ROOT, NOW)
+            .unwrap();
+        assert_eq!(f.resolve(ROOT_INO, b"/ln", Cred::ROOT).unwrap().ino, file);
+        assert_eq!(
+            f.resolve_nofollow(ROOT_INO, b"/ln", Cred::ROOT)
+                .unwrap()
+                .ino,
+            link
+        );
+    }
+
+    #[test]
+    fn relative_symlink_resolves_from_its_directory() {
+        let mut f = fs();
+        mkd(&mut f, b"/a");
+        let t = mk(&mut f, b"/a/target");
+        let (d, b) = f.resolve_parent(ROOT_INO, b"/a/ln", Cred::ROOT).unwrap();
+        f.symlink(d, &b, b"target", Cred::ROOT, NOW).unwrap();
+        assert_eq!(f.resolve(ROOT_INO, b"/a/ln", Cred::ROOT).unwrap().ino, t);
+    }
+
+    #[test]
+    fn symlink_loop_is_eloop() {
+        let mut f = fs();
+        f.symlink(ROOT_INO, b"x", b"/y", Cred::ROOT, NOW).unwrap();
+        f.symlink(ROOT_INO, b"y", b"/x", Cred::ROOT, NOW).unwrap();
+        assert_eq!(f.resolve(ROOT_INO, b"/x", Cred::ROOT), Err(Errno::ELOOP));
+    }
+
+    #[test]
+    fn symlink_chain_within_limit_resolves() {
+        let mut f = fs();
+        let t = mk(&mut f, b"/t");
+        let mut prev = b"/t".to_vec();
+        for i in 0..MAXSYMLINKS {
+            let name = format!("l{i}");
+            f.symlink(ROOT_INO, name.as_bytes(), &prev, Cred::ROOT, NOW)
+                .unwrap();
+            prev = format!("/l{i}").into_bytes();
+        }
+        assert_eq!(f.resolve(ROOT_INO, &prev, Cred::ROOT).unwrap().ino, t);
+    }
+
+    #[test]
+    fn search_permission_enforced() {
+        let mut f = fs();
+        let d = mkd(&mut f, b"/locked");
+        mk(&mut f, b"/locked/secret");
+        f.chmod(d, 0o700, Cred::ROOT, NOW).unwrap();
+        assert_eq!(
+            f.resolve(ROOT_INO, b"/locked/secret", U),
+            Err(Errno::EACCES)
+        );
+        assert!(f.resolve(ROOT_INO, b"/locked/secret", Cred::ROOT).is_ok());
+    }
+
+    #[test]
+    fn hard_links_share_data_and_count() {
+        let mut f = fs();
+        let ino = mk(&mut f, b"/a");
+        f.write_at(ino, 0, b"shared", NOW).unwrap();
+        f.link(ROOT_INO, b"b", ino, Cred::ROOT, NOW).unwrap();
+        assert_eq!(f.get(ino).unwrap().meta.nlink, 2);
+        let via_b = f.resolve(ROOT_INO, b"/b", Cred::ROOT).unwrap().ino;
+        assert_eq!(via_b, ino);
+        f.unlink(ROOT_INO, b"a", Cred::ROOT, NOW).unwrap();
+        assert_eq!(f.get(ino).unwrap().meta.nlink, 1);
+        assert_eq!(f.read_at(ino, 0, 16, NOW).unwrap(), b"shared");
+        f.unlink(ROOT_INO, b"b", Cred::ROOT, NOW).unwrap();
+        assert!(!f.exists(ino), "reclaimed at zero links");
+    }
+
+    #[test]
+    fn unlinked_but_open_file_survives() {
+        let mut f = fs();
+        let ino = mk(&mut f, b"/tmpfile");
+        f.write_at(ino, 0, b"data", NOW).unwrap();
+        f.incref(ino);
+        f.unlink(ROOT_INO, b"tmpfile", Cred::ROOT, NOW).unwrap();
+        assert!(f.exists(ino), "open reference keeps it alive");
+        assert_eq!(f.read_at(ino, 0, 4, NOW).unwrap(), b"data");
+        f.decref(ino);
+        assert!(!f.exists(ino));
+    }
+
+    #[test]
+    fn link_to_directory_rejected() {
+        let mut f = fs();
+        let d = mkd(&mut f, b"/d");
+        assert_eq!(
+            f.link(ROOT_INO, b"d2", d, Cred::ROOT, NOW),
+            Err(Errno::EPERM)
+        );
+    }
+
+    #[test]
+    fn unlink_directory_rejected() {
+        let mut f = fs();
+        mkd(&mut f, b"/d");
+        assert_eq!(f.unlink(ROOT_INO, b"d", Cred::ROOT, NOW), Err(Errno::EPERM));
+    }
+
+    #[test]
+    fn rmdir_requires_empty() {
+        let mut f = fs();
+        mkd(&mut f, b"/d");
+        mk(&mut f, b"/d/f");
+        assert_eq!(
+            f.rmdir(ROOT_INO, b"d", Cred::ROOT, NOW),
+            Err(Errno::ENOTEMPTY)
+        );
+        f.unlink(
+            f.resolve(ROOT_INO, b"/d", Cred::ROOT).unwrap().ino,
+            b"f",
+            Cred::ROOT,
+            NOW,
+        )
+        .unwrap();
+        assert!(f.rmdir(ROOT_INO, b"d", Cred::ROOT, NOW).is_ok());
+        assert_eq!(f.resolve(ROOT_INO, b"/d", Cred::ROOT), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn mkdir_updates_parent_nlink() {
+        let mut f = fs();
+        let before = f.get(ROOT_INO).unwrap().meta.nlink;
+        mkd(&mut f, b"/sub");
+        assert_eq!(f.get(ROOT_INO).unwrap().meta.nlink, before + 1);
+        f.rmdir(ROOT_INO, b"sub", Cred::ROOT, NOW).unwrap();
+        assert_eq!(f.get(ROOT_INO).unwrap().meta.nlink, before);
+    }
+
+    #[test]
+    fn rename_moves_and_replaces() {
+        let mut f = fs();
+        let a = mk(&mut f, b"/a");
+        mk(&mut f, b"/b");
+        f.rename(ROOT_INO, b"a", ROOT_INO, b"b", Cred::ROOT, NOW)
+            .unwrap();
+        assert_eq!(f.resolve(ROOT_INO, b"/b", Cred::ROOT).unwrap().ino, a);
+        assert_eq!(f.resolve(ROOT_INO, b"/a", Cred::ROOT), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn rename_directory_updates_dotdot() {
+        let mut f = fs();
+        let d1 = mkd(&mut f, b"/d1");
+        let d2 = mkd(&mut f, b"/d2");
+        let sub = mkd(&mut f, b"/d1/sub");
+        f.rename(d1, b"sub", d2, b"sub", Cred::ROOT, NOW).unwrap();
+        assert_eq!(
+            f.resolve(ROOT_INO, b"/d2/sub", Cred::ROOT).unwrap().ino,
+            sub
+        );
+        assert_eq!(
+            f.resolve(ROOT_INO, b"/d2/sub/..", Cred::ROOT).unwrap().ino,
+            d2
+        );
+        // nlink moved from d1 to d2.
+        assert_eq!(f.get(d1).unwrap().meta.nlink, 2);
+        assert_eq!(f.get(d2).unwrap().meta.nlink, 3);
+    }
+
+    #[test]
+    fn rename_into_own_subtree_rejected() {
+        let mut f = fs();
+        let d = mkd(&mut f, b"/d");
+        let sub = mkd(&mut f, b"/d/sub");
+        assert_eq!(
+            f.rename(ROOT_INO, b"d", sub, b"oops", Cred::ROOT, NOW),
+            Err(Errno::EINVAL)
+        );
+        assert_eq!(
+            f.rename(ROOT_INO, b"d", d, b"self", Cred::ROOT, NOW),
+            Err(Errno::EINVAL)
+        );
+    }
+
+    #[test]
+    fn rename_type_mismatches() {
+        let mut f = fs();
+        mk(&mut f, b"/file");
+        mkd(&mut f, b"/dir");
+        assert_eq!(
+            f.rename(ROOT_INO, b"file", ROOT_INO, b"dir", Cred::ROOT, NOW),
+            Err(Errno::EISDIR)
+        );
+        assert_eq!(
+            f.rename(ROOT_INO, b"dir", ROOT_INO, b"file", Cred::ROOT, NOW),
+            Err(Errno::ENOTDIR)
+        );
+    }
+
+    #[test]
+    fn rename_onto_self_is_noop() {
+        let mut f = fs();
+        let a = mk(&mut f, b"/a");
+        f.rename(ROOT_INO, b"a", ROOT_INO, b"a", Cred::ROOT, NOW)
+            .unwrap();
+        assert_eq!(f.resolve(ROOT_INO, b"/a", Cred::ROOT).unwrap().ino, a);
+    }
+
+    #[test]
+    fn rename_dir_onto_empty_dir_replaces() {
+        let mut f = fs();
+        let d1 = mkd(&mut f, b"/d1");
+        mkd(&mut f, b"/d2");
+        f.rename(ROOT_INO, b"d1", ROOT_INO, b"d2", Cred::ROOT, NOW)
+            .unwrap();
+        assert_eq!(f.resolve(ROOT_INO, b"/d2", Cred::ROOT).unwrap().ino, d1);
+    }
+
+    #[test]
+    fn write_extends_and_zero_fills() {
+        let mut f = fs();
+        let ino = mk(&mut f, b"/f");
+        f.write_at(ino, 4, b"xy", NOW).unwrap();
+        assert_eq!(f.read_at(ino, 0, 16, NOW).unwrap(), b"\0\0\0\0xy");
+        f.write_at(ino, 0, b"AB", NOW).unwrap();
+        assert_eq!(f.read_at(ino, 0, 16, NOW).unwrap(), b"AB\0\0xy");
+    }
+
+    #[test]
+    fn read_past_eof_is_empty() {
+        let mut f = fs();
+        let ino = mk(&mut f, b"/f");
+        f.write_at(ino, 0, b"abc", NOW).unwrap();
+        assert!(f.read_at(ino, 10, 5, NOW).unwrap().is_empty());
+        assert_eq!(f.read_at(ino, 2, 5, NOW).unwrap(), b"c");
+    }
+
+    #[test]
+    fn truncate_shrinks_and_extends() {
+        let mut f = fs();
+        let ino = mk(&mut f, b"/f");
+        f.write_at(ino, 0, b"hello world", NOW).unwrap();
+        f.truncate(ino, 5, NOW).unwrap();
+        assert_eq!(f.read_at(ino, 0, 64, NOW).unwrap(), b"hello");
+        f.truncate(ino, 8, NOW).unwrap();
+        assert_eq!(f.read_at(ino, 0, 64, NOW).unwrap(), b"hello\0\0\0");
+    }
+
+    #[test]
+    fn chmod_chown_permission_rules() {
+        let mut f = fs();
+        let ino = mk(&mut f, b"/f");
+        f.chown(ino, U.uid, U.gid, Cred::ROOT, NOW).unwrap();
+        assert!(f.chmod(ino, 0o600, U, NOW).is_ok(), "owner may chmod");
+        let other = Cred::new(200, 200);
+        assert_eq!(f.chmod(ino, 0o777, other, NOW), Err(Errno::EPERM));
+        assert_eq!(f.chown(ino, 1, 1, U, NOW), Err(Errno::EPERM));
+    }
+
+    #[test]
+    fn readdir_is_sorted_and_includes_dots() {
+        let mut f = fs();
+        mk(&mut f, b"/zeta");
+        mk(&mut f, b"/alpha");
+        let names: Vec<Vec<u8>> = f
+            .readdir(ROOT_INO)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                b".".to_vec(),
+                b"..".to_vec(),
+                b"alpha".to_vec(),
+                b"zeta".to_vec()
+            ]
+        );
+    }
+
+    #[test]
+    fn create_in_unwritable_dir_denied() {
+        let mut f = fs();
+        let d = mkd(&mut f, b"/ro");
+        f.chmod(d, 0o555, Cred::ROOT, NOW).unwrap();
+        assert_eq!(f.create_file(d, b"f", 0o644, U, NOW), Err(Errno::EACCES));
+    }
+
+    #[test]
+    fn stats_counts_shapes() {
+        let mut f = fs();
+        mkd(&mut f, b"/d");
+        let ino = mk(&mut f, b"/f");
+        f.write_at(ino, 0, b"1234", NOW).unwrap();
+        f.symlink(ROOT_INO, b"l", b"/f", Cred::ROOT, NOW).unwrap();
+        let s = f.stats();
+        assert_eq!(s.dirs, 2);
+        assert_eq!(s.files, 1);
+        assert_eq!(s.symlinks, 1);
+        assert_eq!(s.bytes, 4);
+    }
+}

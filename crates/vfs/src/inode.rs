@@ -1,0 +1,305 @@
+//! Inodes: the on-"disk" objects of the filesystem.
+
+use std::collections::BTreeMap;
+
+use ia_abi::{FileMode, FileType, Stat, Timeval};
+
+use crate::pipe::PipeId;
+
+/// Inode number. Inode 0 is never allocated; the root directory is inode 2,
+/// as tradition demands.
+pub type Ino = u64;
+
+/// The root directory's inode number.
+pub const ROOT_INO: Ino = 2;
+
+/// Credentials a caller presents for permission checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cred {
+    /// Effective user id.
+    pub uid: u32,
+    /// Effective group id.
+    pub gid: u32,
+}
+
+impl Cred {
+    /// The superuser.
+    pub const ROOT: Cred = Cred { uid: 0, gid: 0 };
+
+    /// Builds credentials.
+    #[must_use]
+    pub fn new(uid: u32, gid: u32) -> Cred {
+        Cred { uid, gid }
+    }
+
+    /// True for the superuser, who bypasses permission bits.
+    #[must_use]
+    pub fn is_root(self) -> bool {
+        self.uid == 0
+    }
+}
+
+/// Metadata common to every inode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeMeta {
+    /// Permission bits (the nine rwx bits plus setuid/setgid).
+    pub perm: u32,
+    /// Owning user.
+    pub uid: u32,
+    /// Owning group.
+    pub gid: u32,
+    /// Hard-link count.
+    pub nlink: u32,
+    /// Last access.
+    pub atime: Timeval,
+    /// Last data modification.
+    pub mtime: Timeval,
+    /// Last status change.
+    pub ctime: Timeval,
+}
+
+impl NodeMeta {
+    fn new(perm: u32, cred: Cred, now: Timeval) -> NodeMeta {
+        NodeMeta {
+            perm,
+            uid: cred.uid,
+            gid: cred.gid,
+            nlink: 1,
+            atime: now,
+            mtime: now,
+            ctime: now,
+        }
+    }
+}
+
+/// Type-specific inode payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InodeKind {
+    /// Regular file contents.
+    Regular(Vec<u8>),
+    /// Directory entries, name → inode, kept sorted for deterministic
+    /// `getdirentries` order.
+    Directory(BTreeMap<Vec<u8>, Ino>),
+    /// Symbolic link target (uninterpreted bytes).
+    Symlink(Vec<u8>),
+    /// Character device, identified by its device number.
+    CharDevice(u32),
+    /// Named pipe. The pipe buffer is attached on first open.
+    Fifo(Option<PipeId>),
+    /// Socket node (bound unix-domain-style sockets).
+    Socket,
+}
+
+impl InodeKind {
+    /// The corresponding file type.
+    #[must_use]
+    pub fn file_type(&self) -> FileType {
+        match self {
+            InodeKind::Regular(_) => FileType::Regular,
+            InodeKind::Directory(_) => FileType::Directory,
+            InodeKind::Symlink(_) => FileType::Symlink,
+            InodeKind::CharDevice(_) => FileType::CharDevice,
+            InodeKind::Fifo(_) => FileType::Fifo,
+            InodeKind::Socket => FileType::Socket,
+        }
+    }
+}
+
+/// An inode: metadata plus payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inode {
+    /// Common metadata.
+    pub meta: NodeMeta,
+    /// Payload.
+    pub kind: InodeKind,
+    /// Open references held by the kernel; an unlinked inode is reclaimed
+    /// only when both `meta.nlink` and this count reach zero.
+    pub open_refs: u32,
+}
+
+impl Inode {
+    /// Creates an inode owned by `cred` with the given permissions.
+    #[must_use]
+    pub fn new(kind: InodeKind, perm: u32, cred: Cred, now: Timeval) -> Inode {
+        let mut meta = NodeMeta::new(perm, cred, now);
+        if matches!(kind, InodeKind::Directory(_)) {
+            // "." counts as a link to the directory itself.
+            meta.nlink = 2;
+        }
+        Inode {
+            meta,
+            kind,
+            open_refs: 0,
+        }
+    }
+
+    /// The file type.
+    #[must_use]
+    pub fn file_type(&self) -> FileType {
+        self.kind.file_type()
+    }
+
+    /// Size reported by `stat`: data length for files, target length for
+    /// symlinks, entry-count-scaled size for directories.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        match &self.kind {
+            InodeKind::Regular(d) => d.len() as u64,
+            InodeKind::Symlink(t) => t.len() as u64,
+            InodeKind::Directory(map) => (map.len() as u64 + 2) * 16,
+            _ => 0,
+        }
+    }
+
+    /// Fills a `stat` record for this inode.
+    #[must_use]
+    pub fn stat(&self, ino: Ino) -> Stat {
+        let rdev = match self.kind {
+            InodeKind::CharDevice(d) => d,
+            _ => 0,
+        };
+        let size = self.size();
+        Stat {
+            dev: 0,
+            ino,
+            mode: FileMode::typed(self.file_type(), self.meta.perm).bits(),
+            nlink: self.meta.nlink,
+            uid: self.meta.uid,
+            gid: self.meta.gid,
+            rdev,
+            size,
+            atime: self.meta.atime,
+            mtime: self.meta.mtime,
+            ctime: self.meta.ctime,
+            blksize: 8192,
+            blocks: size.div_ceil(512),
+        }
+    }
+
+    /// Permission check against `cred`: `want` is a 3-bit rwx mask (4=read,
+    /// 2=write, 1=exec). Follows the BSD rule: owner bits if uid matches,
+    /// else group bits if gid matches, else other bits. Root bypasses read
+    /// and write checks, and passes exec if any exec bit is set.
+    #[must_use]
+    pub fn permits(&self, cred: Cred, want: u32) -> bool {
+        if cred.is_root() {
+            if want & 1 != 0 && !matches!(self.kind, InodeKind::Directory(_)) {
+                return self.meta.perm & 0o111 != 0;
+            }
+            return true;
+        }
+        let bits = if cred.uid == self.meta.uid {
+            (self.meta.perm >> 6) & 0o7
+        } else if cred.gid == self.meta.gid {
+            (self.meta.perm >> 3) & 0o7
+        } else {
+            self.meta.perm & 0o7
+        };
+        bits & want == want
+    }
+
+    /// Borrows the directory map, or `None` for non-directories.
+    #[must_use]
+    pub fn as_dir(&self) -> Option<&BTreeMap<Vec<u8>, Ino>> {
+        match &self.kind {
+            InodeKind::Directory(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows the directory map.
+    pub fn as_dir_mut(&mut self) -> Option<&mut BTreeMap<Vec<u8>, Ino>> {
+        match &mut self.kind {
+            InodeKind::Directory(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrows regular-file data.
+    #[must_use]
+    pub fn as_file(&self) -> Option<&Vec<u8>> {
+        match &self.kind {
+            InodeKind::Regular(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows regular-file data.
+    pub fn as_file_mut(&mut self) -> Option<&mut Vec<u8>> {
+        match &mut self.kind {
+            InodeKind::Regular(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NOW: Timeval = Timeval { sec: 100, usec: 0 };
+
+    #[test]
+    fn directories_start_with_two_links() {
+        let d = Inode::new(
+            InodeKind::Directory(BTreeMap::new()),
+            0o755,
+            Cred::ROOT,
+            NOW,
+        );
+        assert_eq!(d.meta.nlink, 2);
+        let f = Inode::new(InodeKind::Regular(vec![]), 0o644, Cred::ROOT, NOW);
+        assert_eq!(f.meta.nlink, 1);
+    }
+
+    #[test]
+    fn permission_bit_selection() {
+        let owner = Cred::new(10, 20);
+        let group = Cred::new(11, 20);
+        let other = Cred::new(12, 21);
+        let f = Inode::new(InodeKind::Regular(vec![]), 0o640, owner, NOW);
+        assert!(f.permits(owner, 4));
+        assert!(f.permits(owner, 2));
+        assert!(f.permits(group, 4));
+        assert!(!f.permits(group, 2));
+        assert!(!f.permits(other, 4));
+    }
+
+    #[test]
+    fn owner_bits_shadow_group_bits() {
+        // BSD rule: if you are the owner, *only* owner bits apply — even if
+        // the group bits would have granted more.
+        let owner = Cred::new(10, 20);
+        let f = Inode::new(InodeKind::Regular(vec![]), 0o040, owner, NOW);
+        assert!(
+            !f.permits(owner, 4),
+            "owner denied even though group could read"
+        );
+    }
+
+    #[test]
+    fn root_bypasses_rw_but_not_exec() {
+        let f = Inode::new(InodeKind::Regular(vec![]), 0o000, Cred::new(10, 10), NOW);
+        assert!(f.permits(Cred::ROOT, 4));
+        assert!(f.permits(Cred::ROOT, 2));
+        assert!(!f.permits(Cred::ROOT, 1), "no exec bit anywhere");
+        let x = Inode::new(InodeKind::Regular(vec![]), 0o100, Cred::new(10, 10), NOW);
+        assert!(x.permits(Cred::ROOT, 1));
+    }
+
+    #[test]
+    fn stat_reflects_kind() {
+        let f = Inode::new(
+            InodeKind::Regular(b"hello".to_vec()),
+            0o644,
+            Cred::ROOT,
+            NOW,
+        );
+        let st = f.stat(5);
+        assert_eq!(st.ino, 5);
+        assert_eq!(st.size, 5);
+        assert_eq!(FileType::from_mode_bits(st.mode), Some(FileType::Regular));
+        let d = Inode::new(InodeKind::CharDevice(3), 0o666, Cred::ROOT, NOW);
+        assert_eq!(d.stat(6).rdev, 3);
+    }
+}

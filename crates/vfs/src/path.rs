@@ -1,0 +1,155 @@
+//! Pathname utilities shared by the filesystem, the kernel, and the
+//! toolkit's pathname layer.
+//!
+//! Paths are byte strings, as on a real BSD system: the filesystem imposes
+//! no character-set policy beyond "no NUL, `/` separates components".
+
+use ia_abi::types::MAXPATHLEN;
+use ia_abi::Errno;
+
+/// True if `path` begins at the root.
+#[must_use]
+pub fn is_absolute(path: &[u8]) -> bool {
+    path.first() == Some(&b'/')
+}
+
+/// Splits a path into its non-empty components. Repeated and trailing
+/// slashes vanish; `.` and `..` are preserved (resolution handles them,
+/// since `..` through a symlink is position-dependent).
+#[must_use]
+pub fn split_components(path: &[u8]) -> Vec<&[u8]> {
+    path.split(|&c| c == b'/')
+        .filter(|c| !c.is_empty() && *c != b".")
+        .collect()
+}
+
+/// Validates a raw pathname as the kernel's `namei` would: non-empty, no
+/// NUL bytes, within `MAXPATHLEN`.
+pub fn validate(path: &[u8]) -> Result<(), Errno> {
+    if path.is_empty() {
+        return Err(Errno::ENOENT);
+    }
+    if path.len() > MAXPATHLEN {
+        return Err(Errno::ENAMETOOLONG);
+    }
+    if path.contains(&0) {
+        return Err(Errno::EINVAL);
+    }
+    Ok(())
+}
+
+/// Lexically normalizes an *absolute* path: collapses `.`, empty components
+/// and `..` (which cannot escape the root). Useful for display and for
+/// agents that rewrite the name space (e.g. `union`), not for resolution —
+/// lexical `..` handling is wrong in the presence of symlinks.
+#[must_use]
+pub fn normalize(path: &[u8]) -> Vec<u8> {
+    let mut stack: Vec<&[u8]> = Vec::new();
+    for comp in path.split(|&c| c == b'/') {
+        match comp {
+            b"" | b"." => {}
+            b".." => {
+                stack.pop();
+            }
+            c => stack.push(c),
+        }
+    }
+    let mut out = vec![b'/'];
+    for (i, c) in stack.iter().enumerate() {
+        if i > 0 {
+            out.push(b'/');
+        }
+        out.extend_from_slice(c);
+    }
+    out
+}
+
+/// Joins a base directory path and a (possibly absolute) name, the rule a
+/// kernel applies with the process's working directory.
+#[must_use]
+pub fn join(base: &[u8], name: &[u8]) -> Vec<u8> {
+    if is_absolute(name) {
+        return name.to_vec();
+    }
+    let mut out = base.to_vec();
+    if out.last() != Some(&b'/') {
+        out.push(b'/');
+    }
+    out.extend_from_slice(name);
+    out
+}
+
+/// Splits a path into `(directory-part, final-component)` lexically, as
+/// `dirname`/`basename` would. The directory part of `"f"` is `"."`.
+#[must_use]
+pub fn split_dir_base(path: &[u8]) -> (Vec<u8>, Vec<u8>) {
+    // Strip trailing slashes (but keep a lone root).
+    let mut end = path.len();
+    while end > 1 && path[end - 1] == b'/' {
+        end -= 1;
+    }
+    let p = &path[..end];
+    match p.iter().rposition(|&c| c == b'/') {
+        None => (b".".to_vec(), p.to_vec()),
+        Some(0) => (b"/".to_vec(), p[1..].to_vec()),
+        Some(i) => (p[..i].to_vec(), p[i + 1..].to_vec()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_detection() {
+        assert!(is_absolute(b"/a/b"));
+        assert!(!is_absolute(b"a/b"));
+        assert!(!is_absolute(b""));
+    }
+
+    #[test]
+    fn split_skips_empty_and_dot() {
+        let comps = split_components(b"//a/./b///c/");
+        assert_eq!(comps, vec![b"a".as_ref(), b"b".as_ref(), b"c".as_ref()]);
+        assert!(split_components(b"/").is_empty());
+    }
+
+    #[test]
+    fn split_preserves_dotdot() {
+        let comps = split_components(b"/a/../b");
+        assert_eq!(comps, vec![b"a".as_ref(), b"..".as_ref(), b"b".as_ref()]);
+    }
+
+    #[test]
+    fn normalize_collapses() {
+        assert_eq!(normalize(b"/a/b/../c/./d//"), b"/a/c/d");
+        assert_eq!(normalize(b"/../.."), b"/");
+        assert_eq!(normalize(b"/"), b"/");
+    }
+
+    #[test]
+    fn join_respects_absolute_names() {
+        assert_eq!(join(b"/home/me", b"f.txt"), b"/home/me/f.txt");
+        assert_eq!(join(b"/home/me/", b"f.txt"), b"/home/me/f.txt");
+        assert_eq!(join(b"/home/me", b"/etc/passwd"), b"/etc/passwd");
+    }
+
+    #[test]
+    fn validate_rules() {
+        assert_eq!(validate(b""), Err(Errno::ENOENT));
+        assert_eq!(validate(b"a\0b"), Err(Errno::EINVAL));
+        assert_eq!(
+            validate(&vec![b'a'; MAXPATHLEN + 1]),
+            Err(Errno::ENAMETOOLONG)
+        );
+        assert_eq!(validate(b"/ok"), Ok(()));
+    }
+
+    #[test]
+    fn dir_base_split() {
+        assert_eq!(split_dir_base(b"/a/b/c"), (b"/a/b".to_vec(), b"c".to_vec()));
+        assert_eq!(split_dir_base(b"/a"), (b"/".to_vec(), b"a".to_vec()));
+        assert_eq!(split_dir_base(b"plain"), (b".".to_vec(), b"plain".to_vec()));
+        assert_eq!(split_dir_base(b"/a/b/"), (b"/a".to_vec(), b"b".to_vec()));
+    }
+}

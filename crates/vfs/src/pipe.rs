@@ -1,0 +1,293 @@
+//! Pipe buffers.
+//!
+//! A [`Pipe`] is the byte channel behind both anonymous `pipe(2)` pairs and
+//! named FIFOs: a bounded ring buffer plus reader/writer endpoint counts.
+//! The buffer itself never blocks — it reports `WouldBlock`, and the kernel
+//! turns that into scheduling.
+
+use std::collections::VecDeque;
+
+/// Capacity of a pipe buffer, matching the historical 4.3BSD 4 KB pipe size.
+pub const PIPE_CAPACITY: usize = 4096;
+
+/// Identifier of a pipe buffer within a [`PipeTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PipeId(pub u64);
+
+/// Outcome of a non-blocking pipe transfer attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipeIo {
+    /// Bytes moved.
+    Done(usize),
+    /// Nothing could move now; caller should block and retry.
+    WouldBlock,
+    /// Reading: all writers gone and buffer drained (EOF).
+    /// Writing: all readers gone (the kernel raises `SIGPIPE`/`EPIPE`).
+    Hangup,
+}
+
+/// A single pipe: ring buffer plus endpoint accounting.
+#[derive(Debug, Clone)]
+pub struct Pipe {
+    buf: VecDeque<u8>,
+    readers: u32,
+    writers: u32,
+}
+
+impl Pipe {
+    fn new() -> Pipe {
+        Pipe {
+            buf: VecDeque::with_capacity(PIPE_CAPACITY),
+            readers: 0,
+            writers: 0,
+        }
+    }
+
+    /// Bytes currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no bytes are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Free space remaining.
+    #[must_use]
+    pub fn space(&self) -> usize {
+        PIPE_CAPACITY - self.buf.len()
+    }
+
+    /// Live read endpoints.
+    #[must_use]
+    pub fn readers(&self) -> u32 {
+        self.readers
+    }
+
+    /// Live write endpoints.
+    #[must_use]
+    pub fn writers(&self) -> u32 {
+        self.writers
+    }
+
+    /// Attempts to read up to `want` bytes into `out`.
+    pub fn read(&mut self, out: &mut Vec<u8>, want: usize) -> PipeIo {
+        if self.buf.is_empty() {
+            return if self.writers == 0 {
+                PipeIo::Hangup
+            } else {
+                PipeIo::WouldBlock
+            };
+        }
+        let n = want.min(self.buf.len());
+        out.extend(self.buf.drain(..n));
+        PipeIo::Done(n)
+    }
+
+    /// Attempts to write as much of `data` as fits.
+    ///
+    /// 4.3BSD semantics: writes of at most the pipe capacity are atomic — if
+    /// the whole datum does not fit, nothing is transferred and the writer
+    /// blocks. Larger writes transfer in capacity-sized pieces.
+    pub fn write(&mut self, data: &[u8]) -> PipeIo {
+        if self.readers == 0 {
+            return PipeIo::Hangup;
+        }
+        if data.is_empty() {
+            return PipeIo::Done(0);
+        }
+        if data.len() <= PIPE_CAPACITY {
+            if self.space() < data.len() {
+                return PipeIo::WouldBlock;
+            }
+            self.buf.extend(data);
+            PipeIo::Done(data.len())
+        } else {
+            let n = self.space().min(data.len());
+            if n == 0 {
+                return PipeIo::WouldBlock;
+            }
+            self.buf.extend(&data[..n]);
+            PipeIo::Done(n)
+        }
+    }
+}
+
+/// The table of live pipe buffers.
+///
+/// Entries are reference-counted by endpoint: the kernel registers reader
+/// and writer endpoints as descriptors are created, duplicated and closed,
+/// and the buffer is reclaimed when both counts reach zero.
+#[derive(Debug, Default)]
+pub struct PipeTable {
+    pipes: std::collections::HashMap<u64, Pipe>,
+    next: u64,
+}
+
+impl PipeTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> PipeTable {
+        PipeTable::default()
+    }
+
+    /// Allocates a fresh pipe with zero endpoints.
+    pub fn create(&mut self) -> PipeId {
+        let id = self.next;
+        self.next += 1;
+        self.pipes.insert(id, Pipe::new());
+        PipeId(id)
+    }
+
+    /// Number of live pipes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pipes.len()
+    }
+
+    /// True when no pipes are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pipes.is_empty()
+    }
+
+    /// Borrows a pipe.
+    #[must_use]
+    pub fn get(&self, id: PipeId) -> Option<&Pipe> {
+        self.pipes.get(&id.0)
+    }
+
+    /// Mutably borrows a pipe.
+    pub fn get_mut(&mut self, id: PipeId) -> Option<&mut Pipe> {
+        self.pipes.get_mut(&id.0)
+    }
+
+    /// Registers a new read endpoint.
+    pub fn add_reader(&mut self, id: PipeId) {
+        if let Some(p) = self.pipes.get_mut(&id.0) {
+            p.readers += 1;
+        }
+    }
+
+    /// Registers a new write endpoint.
+    pub fn add_writer(&mut self, id: PipeId) {
+        if let Some(p) = self.pipes.get_mut(&id.0) {
+            p.writers += 1;
+        }
+    }
+
+    /// Drops a read endpoint, reclaiming the buffer if it was the last
+    /// endpoint of either kind.
+    pub fn drop_reader(&mut self, id: PipeId) {
+        if let Some(p) = self.pipes.get_mut(&id.0) {
+            p.readers = p.readers.saturating_sub(1);
+            if p.readers == 0 && p.writers == 0 {
+                self.pipes.remove(&id.0);
+            }
+        }
+    }
+
+    /// Drops a write endpoint, reclaiming the buffer if it was the last.
+    pub fn drop_writer(&mut self, id: PipeId) {
+        if let Some(p) = self.pipes.get_mut(&id.0) {
+            p.writers = p.writers.saturating_sub(1);
+            if p.readers == 0 && p.writers == 0 {
+                self.pipes.remove(&id.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with_endpoints() -> (PipeTable, PipeId) {
+        let mut t = PipeTable::new();
+        let id = t.create();
+        t.add_reader(id);
+        t.add_writer(id);
+        (t, id)
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let (mut t, id) = table_with_endpoints();
+        let p = t.get_mut(id).unwrap();
+        assert_eq!(p.write(b"hello"), PipeIo::Done(5));
+        let mut out = Vec::new();
+        assert_eq!(p.read(&mut out, 16), PipeIo::Done(5));
+        assert_eq!(out, b"hello");
+    }
+
+    #[test]
+    fn empty_pipe_with_writer_blocks_reader() {
+        let (mut t, id) = table_with_endpoints();
+        let p = t.get_mut(id).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(p.read(&mut out, 1), PipeIo::WouldBlock);
+    }
+
+    #[test]
+    fn eof_when_writers_gone() {
+        let (mut t, id) = table_with_endpoints();
+        let _ = t.get_mut(id).unwrap().write(b"x");
+        t.drop_writer(id);
+        let p = t.get_mut(id).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(p.read(&mut out, 4), PipeIo::Done(1));
+        assert_eq!(p.read(&mut out, 4), PipeIo::Hangup);
+    }
+
+    #[test]
+    fn write_to_readerless_pipe_hangs_up() {
+        let (mut t, id) = table_with_endpoints();
+        t.drop_reader(id);
+        assert_eq!(t.get_mut(id).unwrap().write(b"x"), PipeIo::Hangup);
+    }
+
+    #[test]
+    fn small_writes_are_atomic() {
+        let (mut t, id) = table_with_endpoints();
+        let p = t.get_mut(id).unwrap();
+        let fill = vec![0u8; PIPE_CAPACITY - 10];
+        assert_eq!(p.write(&fill), PipeIo::Done(PIPE_CAPACITY - 10));
+        // A 20-byte write does not fit: nothing is transferred.
+        assert_eq!(p.write(&[1u8; 20]), PipeIo::WouldBlock);
+        assert_eq!(p.len(), PIPE_CAPACITY - 10);
+    }
+
+    #[test]
+    fn huge_writes_transfer_partially() {
+        let (mut t, id) = table_with_endpoints();
+        let p = t.get_mut(id).unwrap();
+        let big = vec![7u8; PIPE_CAPACITY * 2];
+        assert_eq!(p.write(&big), PipeIo::Done(PIPE_CAPACITY));
+        assert_eq!(p.write(&big), PipeIo::WouldBlock);
+    }
+
+    #[test]
+    fn buffer_reclaimed_when_endpoints_gone() {
+        let (mut t, id) = table_with_endpoints();
+        assert_eq!(t.len(), 1);
+        t.drop_reader(id);
+        assert_eq!(t.len(), 1, "writer still live");
+        t.drop_writer(id);
+        assert_eq!(t.len(), 0);
+        assert!(t.get(id).is_none());
+    }
+
+    #[test]
+    fn dup_endpoints_keep_pipe_alive() {
+        let (mut t, id) = table_with_endpoints();
+        t.add_reader(id); // dup of the read end
+        t.drop_reader(id);
+        t.drop_writer(id);
+        assert_eq!(t.len(), 1, "dup'd reader still holds the pipe");
+        t.drop_reader(id);
+        assert_eq!(t.len(), 0);
+    }
+}

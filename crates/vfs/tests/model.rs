@@ -1,0 +1,295 @@
+//! Model-based property test: the filesystem against a flat-map oracle.
+//!
+//! Random operation sequences are applied to both the real [`Fs`] and a
+//! trivially-correct model (a `BTreeMap` of paths); after every step the
+//! visible state must agree: which paths exist, what kind they are, and
+//! what the files contain.
+
+use std::collections::BTreeMap;
+
+use ia_abi::Timeval;
+use ia_vfs::inode::ROOT_INO;
+use ia_vfs::{Cred, Fs, InodeKind};
+use proptest::prelude::*;
+
+const NOW: Timeval = Timeval { sec: 1, usec: 0 };
+
+#[derive(Debug, Clone)]
+enum Op {
+    CreateFile(usize),
+    Mkdir(usize),
+    Unlink(usize),
+    Rmdir(usize),
+    Write(usize, Vec<u8>),
+    Rename(usize, usize),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Node {
+    File(Vec<u8>),
+    Dir,
+}
+
+/// The candidate path pool: a couple of nesting levels over fixed names.
+fn paths() -> Vec<Vec<u8>> {
+    let mut v: Vec<Vec<u8>> = Vec::new();
+    for a in ["a", "b", "c"] {
+        v.push(format!("/{a}").into_bytes());
+        for b in ["x", "y"] {
+            v.push(format!("/{a}/{b}").into_bytes());
+            v.push(format!("/{a}/{b}/leaf").into_bytes());
+        }
+    }
+    v
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let idx = 0..paths().len();
+    prop_oneof![
+        idx.clone().prop_map(Op::CreateFile),
+        idx.clone().prop_map(Op::Mkdir),
+        idx.clone().prop_map(Op::Unlink),
+        idx.clone().prop_map(Op::Rmdir),
+        (idx.clone(), proptest::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(i, d)| Op::Write(i, d)),
+        (idx.clone(), idx).prop_map(|(a, b)| Op::Rename(a, b)),
+    ]
+}
+
+struct Model {
+    nodes: BTreeMap<Vec<u8>, Node>,
+}
+
+impl Model {
+    fn new() -> Model {
+        Model {
+            nodes: BTreeMap::new(),
+        }
+    }
+
+    fn parent_exists(&self, path: &[u8]) -> bool {
+        let parent = match path.iter().rposition(|&c| c == b'/') {
+            Some(0) => return true, // parent is the root
+            Some(i) => &path[..i],
+            None => return false,
+        };
+        matches!(self.nodes.get(parent), Some(Node::Dir))
+    }
+
+    fn has_children(&self, path: &[u8]) -> bool {
+        let mut prefix = path.to_vec();
+        prefix.push(b'/');
+        self.nodes.keys().any(|k| k.starts_with(&prefix))
+    }
+
+    fn create_file(&mut self, p: &[u8]) -> bool {
+        if self.parent_exists(p) && !self.nodes.contains_key(p) {
+            self.nodes.insert(p.to_vec(), Node::File(Vec::new()));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn mkdir(&mut self, p: &[u8]) -> bool {
+        if self.parent_exists(p) && !self.nodes.contains_key(p) {
+            self.nodes.insert(p.to_vec(), Node::Dir);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn unlink(&mut self, p: &[u8]) -> bool {
+        if matches!(self.nodes.get(p), Some(Node::File(_))) {
+            self.nodes.remove(p);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn rmdir(&mut self, p: &[u8]) -> bool {
+        if matches!(self.nodes.get(p), Some(Node::Dir)) && !self.has_children(p) {
+            self.nodes.remove(p);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn write(&mut self, p: &[u8], data: &[u8]) -> bool {
+        match self.nodes.get_mut(p) {
+            Some(Node::File(contents)) => {
+                *contents = data.to_vec();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn rename(&mut self, from: &[u8], to: &[u8]) -> bool {
+        if from == to {
+            return self.nodes.contains_key(from);
+        }
+        // Refuse moving a dir into its own subtree.
+        let mut from_prefix = from.to_vec();
+        from_prefix.push(b'/');
+        if to.starts_with(&from_prefix) {
+            return false;
+        }
+        let src = match self.nodes.get(from) {
+            Some(s) => s.clone(),
+            None => return false,
+        };
+        if !self.parent_exists(to) {
+            return false;
+        }
+        match (&src, self.nodes.get(to)) {
+            (Node::File(_), Some(Node::Dir)) => return false,
+            (Node::Dir, Some(Node::File(_))) => return false,
+            (Node::Dir, Some(Node::Dir)) if self.has_children(to) => return false,
+            _ => {}
+        }
+        // Move the node and (for dirs) its whole subtree.
+        let moved: Vec<(Vec<u8>, Node)> = self
+            .nodes
+            .range(from.to_vec()..)
+            .take_while(|(k, _)| k.as_slice() == from || k.starts_with(&from_prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        self.nodes.remove(to);
+        for (k, _) in &moved {
+            self.nodes.remove(k);
+        }
+        for (k, v) in moved {
+            let mut nk = to.to_vec();
+            nk.extend_from_slice(&k[from.len()..]);
+            self.nodes.insert(nk, v);
+        }
+        true
+    }
+}
+
+fn fs_apply(fs: &mut Fs, op: &Op) -> bool {
+    let pool = paths();
+    let cred = Cred::ROOT;
+    let resolve_parent = |fs: &Fs, p: &[u8]| fs.resolve_parent(ROOT_INO, p, cred);
+    match op {
+        Op::CreateFile(i) => resolve_parent(fs, &pool[*i])
+            .and_then(|(d, b)| fs.create_file(d, &b, 0o644, cred, NOW))
+            .is_ok(),
+        Op::Mkdir(i) => resolve_parent(fs, &pool[*i])
+            .and_then(|(d, b)| fs.mkdir(d, &b, 0o755, cred, NOW))
+            .is_ok(),
+        Op::Unlink(i) => resolve_parent(fs, &pool[*i])
+            .and_then(|(d, b)| fs.unlink(d, &b, cred, NOW))
+            .is_ok(),
+        Op::Rmdir(i) => resolve_parent(fs, &pool[*i])
+            .and_then(|(d, b)| fs.rmdir(d, &b, cred, NOW))
+            .is_ok(),
+        Op::Write(i, data) => (|| {
+            let ino = fs.resolve(ROOT_INO, &pool[*i], cred)?.ino;
+            fs.truncate(ino, 0, NOW)?;
+            fs.write_at(ino, 0, data, NOW)?;
+            Ok::<_, ia_abi::Errno>(())
+        })()
+        .is_ok(),
+        Op::Rename(a, b) => (|| {
+            let (fd, fb) = resolve_parent(fs, &pool[*a])?;
+            let (td, tb) = resolve_parent(fs, &pool[*b])?;
+            fs.rename(fd, &fb, td, &tb, cred, NOW)
+        })()
+        .is_ok(),
+    }
+}
+
+fn model_apply(m: &mut Model, op: &Op) -> bool {
+    let pool = paths();
+    match op {
+        Op::CreateFile(i) => m.create_file(&pool[*i]),
+        Op::Mkdir(i) => m.mkdir(&pool[*i]),
+        Op::Unlink(i) => m.unlink(&pool[*i]),
+        Op::Rmdir(i) => m.rmdir(&pool[*i]),
+        Op::Write(i, d) => m.write(&pool[*i], d),
+        Op::Rename(a, b) => m.rename(&pool[*a], &pool[*b]),
+    }
+}
+
+fn check_agreement(fs: &mut Fs, m: &Model) {
+    for p in paths() {
+        let real = fs.resolve(ROOT_INO, &p, Cred::ROOT).ok().map(|r| r.ino);
+        let model = m.nodes.get(&p);
+        match (real, model) {
+            (None, None) => {}
+            (Some(ino), Some(Node::Dir)) => {
+                assert!(
+                    matches!(fs.get(ino).unwrap().kind, InodeKind::Directory(_)),
+                    "{}: model says dir",
+                    String::from_utf8_lossy(&p)
+                );
+            }
+            (Some(ino), Some(Node::File(data))) => {
+                let node = fs.get(ino).unwrap();
+                assert!(
+                    matches!(node.kind, InodeKind::Regular(_)),
+                    "{}: model says file",
+                    String::from_utf8_lossy(&p)
+                );
+                let got = fs.read_at(ino, 0, 1 << 16, NOW).unwrap();
+                assert_eq!(&got, data, "{}", String::from_utf8_lossy(&p));
+            }
+            (real, model) => panic!(
+                "{}: fs={real:?} model={model:?}",
+                String::from_utf8_lossy(&p)
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fs_agrees_with_flat_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut fs = Fs::new(NOW);
+        let mut model = Model::new();
+        for (step, op) in ops.iter().enumerate() {
+            let real_ok = fs_apply(&mut fs, op);
+            let model_ok = model_apply(&mut model, op);
+            prop_assert_eq!(real_ok, model_ok, "step {} op {:?}", step, op);
+            check_agreement(&mut fs, &model);
+        }
+    }
+
+    /// Link counts never underflow and directory nlink equals 2 + its
+    /// subdirectory count, after arbitrary operation sequences.
+    #[test]
+    fn directory_link_counts_stay_consistent(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut fs = Fs::new(NOW);
+        for op in &ops {
+            let _ = fs_apply(&mut fs, op);
+        }
+        for p in paths() {
+            if let Ok(r) = fs.resolve(ROOT_INO, &p, Cred::ROOT) {
+                let node = fs.get(r.ino).unwrap();
+                if let InodeKind::Directory(map) = &node.kind {
+                    let subdirs = map
+                        .iter()
+                        .filter(|(name, &ino)| {
+                            name.as_slice() != b"."
+                                && name.as_slice() != b".."
+                                && matches!(fs.get(ino).unwrap().kind, InodeKind::Directory(_))
+                        })
+                        .count() as u32;
+                    prop_assert_eq!(
+                        node.meta.nlink,
+                        2 + subdirs,
+                        "{}",
+                        String::from_utf8_lossy(&p)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for pipe buffers: FIFO ordering against an oracle,
+//! capacity discipline, and endpoint-lifecycle invariants.
+
+use ia_vfs::pipe::PipeIo;
+use ia_vfs::{PipeTable, PIPE_CAPACITY};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum PipeOp {
+    Write(Vec<u8>),
+    Read(usize),
+    AddReader,
+    AddWriter,
+    DropReader,
+    DropWriter,
+}
+
+fn op() -> impl Strategy<Value = PipeOp> {
+    prop_oneof![
+        4 => proptest::collection::vec(any::<u8>(), 0..300).prop_map(PipeOp::Write),
+        4 => (0usize..300).prop_map(PipeOp::Read),
+        1 => Just(PipeOp::AddReader),
+        1 => Just(PipeOp::AddWriter),
+        1 => Just(PipeOp::DropReader),
+        1 => Just(PipeOp::DropWriter),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Bytes come out exactly in the order they went in, regardless of the
+    /// interleaving of reads, writes and endpoint churn.
+    #[test]
+    fn fifo_order_matches_oracle(ops in proptest::collection::vec(op(), 1..60)) {
+        let mut t = PipeTable::new();
+        let id = t.create();
+        t.add_reader(id);
+        t.add_writer(id);
+        let mut readers: u32 = 1;
+        let mut writers: u32 = 1;
+        let mut sent: Vec<u8> = Vec::new();
+        let mut received: Vec<u8> = Vec::new();
+        let mut accepted = 0usize;
+
+        for o in ops {
+            // Once the pipe is reclaimed, stop (both endpoint classes gone).
+            if t.get(id).is_none() {
+                break;
+            }
+            match o {
+                PipeOp::Write(data) => {
+                    match t.get_mut(id).unwrap().write(&data) {
+                        PipeIo::Done(n) => {
+                            sent.extend_from_slice(&data[..n]);
+                            accepted += n;
+                        }
+                        PipeIo::WouldBlock => {
+                            // Nothing may have been transferred.
+                        }
+                        PipeIo::Hangup => prop_assert_eq!(readers, 0),
+                    }
+                }
+                PipeOp::Read(n) => {
+                    let mut out = Vec::new();
+                    match t.get_mut(id).unwrap().read(&mut out, n) {
+                        PipeIo::Done(k) => {
+                            prop_assert_eq!(out.len(), k);
+                            received.extend_from_slice(&out);
+                        }
+                        PipeIo::WouldBlock => prop_assert!(writers > 0),
+                        PipeIo::Hangup => prop_assert_eq!(writers, 0),
+                    }
+                }
+                PipeOp::AddReader => {
+                    t.add_reader(id);
+                    readers += 1;
+                }
+                PipeOp::AddWriter => {
+                    t.add_writer(id);
+                    writers += 1;
+                }
+                PipeOp::DropReader => {
+                    if readers > 0 {
+                        t.drop_reader(id);
+                        readers -= 1;
+                    }
+                }
+                PipeOp::DropWriter => {
+                    if writers > 0 {
+                        t.drop_writer(id);
+                        writers -= 1;
+                    }
+                }
+            }
+            if let Some(p) = t.get(id) {
+                prop_assert!(p.len() <= PIPE_CAPACITY);
+                prop_assert_eq!(p.len(), accepted - received.len());
+            }
+        }
+        prop_assert!(received.len() <= sent.len());
+        prop_assert_eq!(&received[..], &sent[..received.len()], "FIFO order");
+    }
+
+    /// Writes never exceed capacity, and sub-capacity writes are atomic:
+    /// either everything transfers or nothing does.
+    #[test]
+    fn atomicity_of_small_writes(pre in 0usize..PIPE_CAPACITY, n in 1usize..PIPE_CAPACITY) {
+        let mut t = PipeTable::new();
+        let id = t.create();
+        t.add_reader(id);
+        t.add_writer(id);
+        let p = t.get_mut(id).unwrap();
+        assert_eq!(p.write(&vec![1; pre]), PipeIo::Done(pre));
+        match p.write(&vec![2; n]) {
+            PipeIo::Done(k) => {
+                prop_assert_eq!(k, n, "full transfer when it fits");
+                prop_assert!(pre + n <= PIPE_CAPACITY);
+            }
+            PipeIo::WouldBlock => {
+                prop_assert!(pre + n > PIPE_CAPACITY, "refused only when it would not fit");
+                prop_assert_eq!(p.len(), pre, "nothing partially transferred");
+            }
+            PipeIo::Hangup => prop_assert!(false, "readers exist"),
+        }
+    }
+}

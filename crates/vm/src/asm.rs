@@ -1,0 +1,639 @@
+//! A two-pass assembler for the simulated machine.
+//!
+//! The language is deliberately old-school; a program that writes a
+//! greeting and exits:
+//!
+//! ```text
+//! .data
+//! msg:    .asciz "hello, world\n"
+//! .text
+//! main:
+//!     li      r0, 1           ; fd = stdout
+//!     la      r1, msg         ; buf
+//!     li      r2, 13          ; count
+//!     sys     write
+//!     li      r0, 0
+//!     sys     exit
+//! ```
+//!
+//! Registers are `r0`..`r15` with aliases `sp` (= `r15`) and `nr` (= `r7`).
+//! `ld`/`st` use `offset(base)` addressing. `sys NAME` is sugar for loading
+//! the syscall number into `r7` and trapping; `push`/`pop` expand to the
+//! usual stack sequences. Labels in `.data` are referenced with `la`.
+//! The entry point is the label `main` (or `_start`), defaulting to 0.
+
+use std::collections::HashMap;
+
+use crate::image::{Image, DATA_BASE};
+use crate::insn::Insn;
+
+/// An assembly-time error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// A not-yet-resolved operand in the first pass.
+#[derive(Debug, Clone)]
+enum Pending {
+    Ready(Insn),
+    /// `la rd, label` — becomes `Li(rd, addr)`.
+    La(u8, String),
+    /// Jump/call with a label target; the constructor rebuilds the insn.
+    Branch(BranchKind, Option<u8>, String),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BranchKind {
+    Jmp,
+    Jz,
+    Jnz,
+    Call,
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<u8, AsmError> {
+    let t = tok.trim();
+    match t {
+        "sp" => return Ok(15),
+        "nr" => return Ok(7),
+        _ => {}
+    }
+    if let Some(num) = t.strip_prefix('r') {
+        if let Ok(n) = num.parse::<u8>() {
+            if n < 16 {
+                return Ok(n);
+            }
+        }
+    }
+    err(line, format!("bad register `{t}`"))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let t = tok.trim();
+    if let Some(rest) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        return u64::from_str_radix(rest, 16)
+            .map(|v| v as i64)
+            .or_else(|_| err(line, format!("bad hex immediate `{t}`")));
+    }
+    if let Some(rest) = t.strip_prefix("-0x") {
+        return u64::from_str_radix(rest, 16)
+            .map(|v| -(v as i64))
+            .or_else(|_| err(line, format!("bad hex immediate `{t}`")));
+    }
+    if t.len() == 3 && t.starts_with('\'') && t.ends_with('\'') {
+        return Ok(t.as_bytes()[1] as i64);
+    }
+    t.parse::<i64>()
+        .or_else(|_| err(line, format!("bad immediate `{t}`")))
+}
+
+/// Parses `off(base)` or `(base)`.
+fn parse_mem(tok: &str, line: usize) -> Result<(u8, i64), AsmError> {
+    let t = tok.trim();
+    let open = t.find('(').ok_or_else(|| AsmError {
+        line,
+        msg: format!("expected off(base), got `{t}`"),
+    })?;
+    if !t.ends_with(')') {
+        return err(line, format!("expected off(base), got `{t}`"));
+    }
+    let off = if open == 0 {
+        0
+    } else {
+        parse_imm(&t[..open], line)?
+    };
+    let base = parse_reg(&t[open + 1..t.len() - 1], line)?;
+    Ok((base, off))
+}
+
+fn unescape(s: &str, line: usize) -> Result<Vec<u8>, AsmError> {
+    let mut out = Vec::new();
+    let mut chars = s.bytes();
+    while let Some(c) = chars.next() {
+        if c != b'\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some(b'n') => out.push(b'\n'),
+            Some(b't') => out.push(b'\t'),
+            Some(b'0') => out.push(0),
+            Some(b'\\') => out.push(b'\\'),
+            Some(b'"') => out.push(b'"'),
+            other => return err(line, format!("bad escape `\\{:?}`", other.map(char::from))),
+        }
+    }
+    Ok(out)
+}
+
+fn split_operands(rest: &str) -> Vec<String> {
+    // Split on commas that are not inside a string literal.
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for ch in rest.chars() {
+        match ch {
+            '"' if !prev_backslash => {
+                in_str = !in_str;
+                cur.push(ch);
+            }
+            ',' if !in_str => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(ch),
+        }
+        prev_backslash = ch == '\\' && !prev_backslash;
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> &str {
+    // ';' or '#' starts a comment unless inside a string literal.
+    let mut in_str = false;
+    let mut prev_backslash = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            '"' if !prev_backslash => in_str = !in_str,
+            ';' | '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_backslash = ch == '\\' && !prev_backslash;
+    }
+    line
+}
+
+/// Assembles source text into an [`Image`].
+///
+/// ```
+/// let image = ia_vm::assemble("main:\n li r0, 0\n sys exit\n").unwrap();
+/// assert_eq!(image.code.len(), 3); // li, li (sys number), trap
+/// let bytes = image.to_bytes();
+/// assert_eq!(ia_vm::Image::from_bytes(&bytes).unwrap(), image);
+/// ```
+pub fn assemble(src: &str) -> Result<Image, AsmError> {
+    let mut section = Section::Text;
+    let mut pending: Vec<Pending> = Vec::new();
+    let mut data: Vec<u8> = Vec::new();
+    let mut text_labels: HashMap<String, u64> = HashMap::new();
+    let mut data_labels: HashMap<String, u64> = HashMap::new();
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let mut body = strip_comment(raw).trim();
+
+        // Labels (possibly several) at the start of the line.
+        while let Some(colon) = body.find(':') {
+            let (label, rest) = body.split_at(colon);
+            let label = label.trim();
+            if label.is_empty()
+                || !label
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+                || label.contains(char::is_whitespace)
+            {
+                break; // not a label — e.g. a ':' inside an operand (none exist today)
+            }
+            let dup = match section {
+                Section::Text => text_labels
+                    .insert(label.to_string(), pending.len() as u64)
+                    .is_some(),
+                Section::Data => data_labels
+                    .insert(label.to_string(), data.len() as u64)
+                    .is_some(),
+            };
+            if dup {
+                return err(line, format!("duplicate label `{label}`"));
+            }
+            body = rest[1..].trim();
+        }
+        if body.is_empty() {
+            continue;
+        }
+
+        let (op, rest) = match body.find(char::is_whitespace) {
+            Some(i) => (&body[..i], body[i..].trim()),
+            None => (body, ""),
+        };
+        let ops = split_operands(rest);
+
+        // Directives.
+        if let Some(directive) = op.strip_prefix('.') {
+            match directive {
+                "text" => section = Section::Text,
+                "data" => section = Section::Data,
+                "asciz" | "ascii" => {
+                    if section != Section::Data {
+                        return err(line, "string data outside .data");
+                    }
+                    for o in &ops {
+                        if o.len() < 2 || !o.starts_with('"') || !o.ends_with('"') {
+                            return err(line, format!("expected string literal, got `{o}`"));
+                        }
+                        data.extend(unescape(&o[1..o.len() - 1], line)?);
+                        if directive == "asciz" {
+                            data.push(0);
+                        }
+                    }
+                }
+                "byte" => {
+                    for o in &ops {
+                        data.push(parse_imm(o, line)? as u8);
+                    }
+                }
+                "quad" => {
+                    for o in &ops {
+                        data.extend((parse_imm(o, line)? as u64).to_le_bytes());
+                    }
+                }
+                "space" => {
+                    let n = parse_imm(ops.first().map_or("", String::as_str), line)?;
+                    data.extend(std::iter::repeat_n(0u8, n as usize));
+                }
+                "align" => {
+                    let n = parse_imm(ops.first().map_or("", String::as_str), line)? as usize;
+                    if n == 0 || !n.is_power_of_two() {
+                        return err(line, ".align must be a power of two");
+                    }
+                    while !data.len().is_multiple_of(n) {
+                        data.push(0);
+                    }
+                }
+                other => return err(line, format!("unknown directive `.{other}`")),
+            }
+            continue;
+        }
+
+        if section != Section::Text {
+            return err(line, "instruction outside .text");
+        }
+
+        macro_rules! want {
+            ($n:expr) => {
+                if ops.len() != $n {
+                    return err(
+                        line,
+                        format!("`{op}` takes {} operand(s), got {}", $n, ops.len()),
+                    );
+                }
+            };
+        }
+        macro_rules! alu3 {
+            ($v:ident) => {{
+                want!(3);
+                pending.push(Pending::Ready(Insn::$v(
+                    parse_reg(&ops[0], line)?,
+                    parse_reg(&ops[1], line)?,
+                    parse_reg(&ops[2], line)?,
+                )));
+            }};
+        }
+
+        match op {
+            "li" => {
+                want!(2);
+                pending.push(Pending::Ready(Insn::Li(
+                    parse_reg(&ops[0], line)?,
+                    parse_imm(&ops[1], line)? as u64,
+                )));
+            }
+            "la" => {
+                want!(2);
+                pending.push(Pending::La(parse_reg(&ops[0], line)?, ops[1].clone()));
+            }
+            "mov" => {
+                want!(2);
+                pending.push(Pending::Ready(Insn::Mov(
+                    parse_reg(&ops[0], line)?,
+                    parse_reg(&ops[1], line)?,
+                )));
+            }
+            "ld" | "ldb" => {
+                want!(2);
+                let rd = parse_reg(&ops[0], line)?;
+                let (base, off) = parse_mem(&ops[1], line)?;
+                pending.push(Pending::Ready(if op == "ld" {
+                    Insn::Ld(rd, base, off)
+                } else {
+                    Insn::Ldb(rd, base, off)
+                }));
+            }
+            "st" | "stb" => {
+                want!(2);
+                let rs = parse_reg(&ops[0], line)?;
+                let (base, off) = parse_mem(&ops[1], line)?;
+                pending.push(Pending::Ready(if op == "st" {
+                    Insn::St(base, rs, off)
+                } else {
+                    Insn::Stb(base, rs, off)
+                }));
+            }
+            "add" => alu3!(Add),
+            "sub" => alu3!(Sub),
+            "mul" => alu3!(Mul),
+            "div" => alu3!(Div),
+            "rem" => alu3!(Rem),
+            "and" => alu3!(And),
+            "or" => alu3!(Or),
+            "xor" => alu3!(Xor),
+            "shl" => alu3!(Shl),
+            "shr" => alu3!(Shr),
+            "sltu" => alu3!(Sltu),
+            "slt" => alu3!(Slt),
+            "seq" => alu3!(Seq),
+            "addi" => {
+                want!(3);
+                pending.push(Pending::Ready(Insn::Addi(
+                    parse_reg(&ops[0], line)?,
+                    parse_reg(&ops[1], line)?,
+                    parse_imm(&ops[2], line)?,
+                )));
+            }
+            "jmp" => {
+                want!(1);
+                pending.push(Pending::Branch(BranchKind::Jmp, None, ops[0].clone()));
+            }
+            "jz" | "jnz" => {
+                want!(2);
+                let r = parse_reg(&ops[0], line)?;
+                let kind = if op == "jz" {
+                    BranchKind::Jz
+                } else {
+                    BranchKind::Jnz
+                };
+                pending.push(Pending::Branch(kind, Some(r), ops[1].clone()));
+            }
+            "call" => {
+                want!(1);
+                pending.push(Pending::Branch(BranchKind::Call, None, ops[0].clone()));
+            }
+            "ret" => {
+                want!(0);
+                pending.push(Pending::Ready(Insn::Ret));
+            }
+            "sys" => {
+                if ops.len() > 1 {
+                    return err(line, "`sys` takes at most one operand");
+                }
+                if let Some(name) = ops.first() {
+                    let nr = match ia_abi::sysno::ALL_SYSCALLS
+                        .iter()
+                        .find(|s| s.name() == name)
+                    {
+                        Some(s) => s.number(),
+                        None => match name.parse::<u32>() {
+                            Ok(n) => n,
+                            Err(_) => return err(line, format!("unknown syscall `{name}`")),
+                        },
+                    };
+                    pending.push(Pending::Ready(Insn::Li(7, u64::from(nr))));
+                }
+                pending.push(Pending::Ready(Insn::Sys));
+            }
+            "push" => {
+                want!(1);
+                let r = parse_reg(&ops[0], line)?;
+                pending.push(Pending::Ready(Insn::Addi(15, 15, -8)));
+                pending.push(Pending::Ready(Insn::St(15, r, 0)));
+            }
+            "pop" => {
+                want!(1);
+                let r = parse_reg(&ops[0], line)?;
+                pending.push(Pending::Ready(Insn::Ld(r, 15, 0)));
+                pending.push(Pending::Ready(Insn::Addi(15, 15, 8)));
+            }
+            "halt" => {
+                want!(0);
+                pending.push(Pending::Ready(Insn::Halt));
+            }
+            "nop" => {
+                want!(0);
+                pending.push(Pending::Ready(Insn::Nop));
+            }
+            other => return err(line, format!("unknown instruction `{other}`")),
+        }
+    }
+
+    // Second pass: resolve labels.
+    let lookup_text = |name: &str| text_labels.get(name).copied();
+    let mut code = Vec::with_capacity(pending.len());
+    for p in pending {
+        match p {
+            Pending::Ready(i) => code.push(i),
+            Pending::La(rd, label) => {
+                let off = data_labels.get(&label).copied().ok_or_else(|| AsmError {
+                    line: 0,
+                    msg: format!("undefined data label `{label}`"),
+                })?;
+                code.push(Insn::Li(rd, DATA_BASE + off));
+            }
+            Pending::Branch(kind, reg, label) => {
+                let target = lookup_text(&label).ok_or_else(|| AsmError {
+                    line: 0,
+                    msg: format!("undefined code label `{label}`"),
+                })?;
+                code.push(match kind {
+                    BranchKind::Jmp => Insn::Jmp(target),
+                    BranchKind::Jz => Insn::Jz(reg.expect("jz has reg"), target),
+                    BranchKind::Jnz => Insn::Jnz(reg.expect("jnz has reg"), target),
+                    BranchKind::Call => Insn::Call(target),
+                });
+            }
+        }
+    }
+
+    let entry = text_labels
+        .get("main")
+        .or_else(|| text_labels.get("_start"))
+        .copied()
+        .unwrap_or(0);
+
+    Ok(Image { entry, code, data })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{step, StepEvent, VmState};
+    use crate::mem::AddressSpace;
+
+    fn exec_until_trap(img: &Image) -> (VmState, AddressSpace, StepEvent) {
+        let mut vm = VmState::new(img.entry, 1 << 16);
+        let mut mem = AddressSpace::new(1 << 16, 0);
+        img.load_into(&mut mem).unwrap();
+        loop {
+            let ev = step(&mut vm, &mut mem, &img.code);
+            if ev != StepEvent::Continue {
+                return (vm, mem, ev);
+            }
+        }
+    }
+
+    #[test]
+    fn hello_write_traps_with_data_address() {
+        let img = assemble(
+            r#"
+            .data
+            msg: .asciz "hi\n"
+            .text
+            main:
+                li  r0, 1
+                la  r1, msg
+                li  r2, 3
+                sys write
+            "#,
+        )
+        .unwrap();
+        let (_, mem, ev) = exec_until_trap(&img);
+        match ev {
+            StepEvent::Syscall { nr, args } => {
+                assert_eq!(nr, 4);
+                assert_eq!(args[0], 1);
+                assert_eq!(args[2], 3);
+                assert_eq!(mem.read_cstr(args[1], 16).unwrap(), b"hi\n");
+            }
+            other => panic!("expected syscall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labels_loops_and_arithmetic() {
+        // Computes 10! in r3 then halts.
+        let img = assemble(
+            r#"
+            main:
+                li r0, 10
+                li r3, 1
+            loop:
+                jz r0, done
+                mul r3, r3, r0
+                addi r0, r0, -1
+                jmp loop
+            done:
+                halt
+            "#,
+        )
+        .unwrap();
+        let (vm, _, ev) = exec_until_trap(&img);
+        assert_eq!(ev, StepEvent::Halted);
+        assert_eq!(vm.regs[3], 3_628_800);
+    }
+
+    #[test]
+    fn push_pop_call_ret_pseudo_ops() {
+        let img = assemble(
+            r#"
+            main:
+                li r0, 5
+                push r0
+                li r0, 0
+                call getit
+                pop r2
+                halt
+            getit:
+                ld r1, 8(sp)    ; past return address
+                ret
+            "#,
+        )
+        .unwrap();
+        let (vm, _, ev) = exec_until_trap(&img);
+        assert_eq!(ev, StepEvent::Halted);
+        assert_eq!(vm.regs[1], 5, "callee read the pushed argument");
+        assert_eq!(vm.regs[2], 5, "pop restored it");
+    }
+
+    #[test]
+    fn data_directives() {
+        let img = assemble(
+            r#"
+            .data
+            bytes: .byte 1, 2, 0xff
+            .align 8
+            words: .quad 7, -1
+            hole:  .space 4
+            tail:  .asciz "end"
+            .text
+            main: halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(&img.data[0..3], &[1, 2, 0xff]);
+        assert_eq!(&img.data[8..16], &7u64.to_le_bytes());
+        assert_eq!(&img.data[16..24], &u64::MAX.to_le_bytes());
+        assert_eq!(&img.data[28..32], b"end\0");
+    }
+
+    #[test]
+    fn comments_and_both_comment_chars() {
+        let img = assemble("main: li r0, 1 ; trailing\n# whole line\n halt\n").unwrap();
+        assert_eq!(img.code.len(), 2);
+    }
+
+    #[test]
+    fn semicolon_inside_string_is_not_a_comment() {
+        let img = assemble(".data\ns: .asciz \"a;b#c\"\n.text\nmain: halt\n").unwrap();
+        assert_eq!(img.data, b"a;b#c\0");
+    }
+
+    #[test]
+    fn entry_defaults_and_main() {
+        let img = assemble("nop\nmain: halt\n").unwrap();
+        assert_eq!(img.entry, 1);
+        let img = assemble("nop\nhalt\n").unwrap();
+        assert_eq!(img.entry, 0);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("main:\n bogus r0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = assemble("li r99, 1\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = assemble("jmp nowhere\n").unwrap_err();
+        assert!(e.msg.contains("undefined code label"));
+        let e = assemble("main: halt\nmain: halt\n").unwrap_err();
+        assert!(e.msg.contains("duplicate label"));
+    }
+
+    #[test]
+    fn sys_by_number_and_by_name_agree() {
+        let a = assemble("sys 116\n").unwrap();
+        let b = assemble("sys gettimeofday\n").unwrap();
+        assert_eq!(a.code, b.code);
+    }
+
+    #[test]
+    fn assembled_image_round_trips_through_bytes() {
+        let img = assemble("main: li r0, 1\n sys exit\n").unwrap();
+        let back = Image::from_bytes(&img.to_bytes()).unwrap();
+        assert_eq!(back, img);
+    }
+}

@@ -1,0 +1,331 @@
+//! A programmatic assembler: build images from Rust without writing
+//! assembly text. The benchmark workloads use this to generate programs
+//! with precisely controlled syscall mixes.
+
+use std::collections::HashMap;
+
+use ia_abi::Sysno;
+
+use crate::image::{Image, DATA_BASE};
+use crate::insn::{Insn, Reg};
+
+/// A forward-referenceable code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Incremental image builder with label fix-ups.
+///
+/// ```
+/// use ia_vm::ProgramBuilder;
+/// use ia_abi::Sysno;
+///
+/// let mut b = ProgramBuilder::new();
+/// let msg = b.data_asciz(b"hello\n");
+/// b.li(0, 1);          // fd
+/// b.la(1, msg);        // buf
+/// b.li(2, 6);          // len
+/// b.sys(Sysno::Write);
+/// b.li(0, 0);
+/// b.sys(Sysno::Exit);
+/// let image = b.build();
+/// assert!(image.code.len() >= 8);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    code: Vec<Insn>,
+    data: Vec<u8>,
+    entry: u64,
+    labels: HashMap<Label, u64>,
+    fixups: Vec<(usize, Label)>,
+    next_label: usize,
+}
+
+impl ProgramBuilder {
+    /// A fresh, empty builder.
+    #[must_use]
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    // ---- data segment ---------------------------------------------------
+
+    /// Appends raw bytes to the data segment, returning their absolute
+    /// address.
+    pub fn data_bytes(&mut self, bytes: &[u8]) -> u64 {
+        let addr = DATA_BASE + self.data.len() as u64;
+        self.data.extend_from_slice(bytes);
+        addr
+    }
+
+    /// Appends a NUL-terminated string, returning its address.
+    pub fn data_asciz(&mut self, s: &[u8]) -> u64 {
+        let addr = self.data_bytes(s);
+        self.data.push(0);
+        addr
+    }
+
+    /// Reserves `n` zero bytes, returning their address.
+    pub fn data_space(&mut self, n: usize) -> u64 {
+        let addr = DATA_BASE + self.data.len() as u64;
+        self.data.extend(std::iter::repeat_n(0u8, n));
+        addr
+    }
+
+    /// Appends a little-endian u64, returning its address.
+    pub fn data_quad(&mut self, v: u64) -> u64 {
+        self.data_bytes(&v.to_le_bytes())
+    }
+
+    // ---- labels -----------------------------------------------------------
+
+    /// Creates an unbound label for forward references.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Binds `label` to the current code position.
+    pub fn bind(&mut self, label: Label) {
+        let prev = self.labels.insert(label, self.code.len() as u64);
+        assert!(prev.is_none(), "label bound twice");
+    }
+
+    /// Creates a label bound right here.
+    pub fn here(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Marks the current position as the entry point (defaults to 0).
+    pub fn entry_here(&mut self) {
+        self.entry = self.code.len() as u64;
+    }
+
+    // ---- instructions ----------------------------------------------------
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, i: Insn) {
+        self.code.push(i);
+    }
+
+    /// `rd ← imm`
+    pub fn li(&mut self, rd: Reg, v: u64) {
+        self.emit(Insn::Li(rd, v));
+    }
+
+    /// `rd ← address` (address from [`Self::data_asciz`] etc.)
+    pub fn la(&mut self, rd: Reg, addr: u64) {
+        self.emit(Insn::Li(rd, addr));
+    }
+
+    /// `rd ← rs`
+    pub fn mov(&mut self, rd: Reg, rs: Reg) {
+        self.emit(Insn::Mov(rd, rs));
+    }
+
+    /// `rd ← rs + imm`
+    pub fn addi(&mut self, rd: Reg, rs: Reg, imm: i64) {
+        self.emit(Insn::Addi(rd, rs, imm));
+    }
+
+    /// `rd ← mem64[base + off]`
+    pub fn ld(&mut self, rd: Reg, base: Reg, off: i64) {
+        self.emit(Insn::Ld(rd, base, off));
+    }
+
+    /// `mem64[base + off] ← rs`
+    pub fn st(&mut self, base: Reg, rs: Reg, off: i64) {
+        self.emit(Insn::St(base, rs, off));
+    }
+
+    fn branch(&mut self, label: Label, make: impl FnOnce(u64) -> Insn) {
+        if let Some(&t) = self.labels.get(&label) {
+            self.emit(make(t));
+        } else {
+            self.fixups.push((self.code.len(), label));
+            self.emit(make(u64::MAX)); // patched in build()
+        }
+    }
+
+    /// Unconditional jump.
+    pub fn jmp(&mut self, label: Label) {
+        self.branch(label, Insn::Jmp);
+    }
+
+    /// Jump if `rs == 0`.
+    pub fn jz(&mut self, rs: Reg, label: Label) {
+        self.branch(label, move |t| Insn::Jz(rs, t));
+    }
+
+    /// Jump if `rs != 0`.
+    pub fn jnz(&mut self, rs: Reg, label: Label) {
+        self.branch(label, move |t| Insn::Jnz(rs, t));
+    }
+
+    /// Call a labelled procedure.
+    pub fn call(&mut self, label: Label) {
+        self.branch(label, Insn::Call);
+    }
+
+    /// Return from a procedure.
+    pub fn ret(&mut self) {
+        self.emit(Insn::Ret);
+    }
+
+    /// Loads the syscall number and traps.
+    pub fn sys(&mut self, nr: Sysno) {
+        self.li(7, u64::from(nr.number()));
+        self.emit(Insn::Sys);
+    }
+
+    /// Traps with whatever is already in `r7` (for testing unknown numbers).
+    pub fn sys_raw(&mut self) {
+        self.emit(Insn::Sys);
+    }
+
+    /// Stops the machine (tests only; programs should `exit`).
+    pub fn halt(&mut self) {
+        self.emit(Insn::Halt);
+    }
+
+    /// A compute loop burning `n` iterations (2 instructions each), used by
+    /// workloads to model CPU-bound phases.
+    pub fn burn(&mut self, n: u64) {
+        let reg: Reg = 11; // scratch, by convention untouched by helpers
+        self.li(reg, n);
+        let top = self.here();
+        self.emit(Insn::Addi(reg, reg, -1));
+        self.jnz(reg, top);
+    }
+
+    /// Number of instructions emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True if no instructions have been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Resolves fix-ups and produces the image.
+    ///
+    /// # Panics
+    /// Panics if any referenced label was never bound — a builder bug, not a
+    /// runtime condition.
+    #[must_use]
+    pub fn build(mut self) -> Image {
+        for (pos, label) in self.fixups {
+            let target = *self
+                .labels
+                .get(&label)
+                .unwrap_or_else(|| panic!("unbound label {label:?}"));
+            self.code[pos] = match self.code[pos] {
+                Insn::Jmp(_) => Insn::Jmp(target),
+                Insn::Jz(r, _) => Insn::Jz(r, target),
+                Insn::Jnz(r, _) => Insn::Jnz(r, target),
+                Insn::Call(_) => Insn::Call(target),
+                other => other,
+            };
+        }
+        Image {
+            entry: self.entry,
+            code: self.code,
+            data: self.data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{step, StepEvent, VmState};
+    use crate::mem::AddressSpace;
+
+    fn run_to_end(img: &Image) -> (VmState, StepEvent) {
+        let mut vm = VmState::new(img.entry, 1 << 16);
+        let mut mem = AddressSpace::new(1 << 16, 0);
+        img.load_into(&mut mem).unwrap();
+        loop {
+            let ev = step(&mut vm, &mut mem, &img.code);
+            if ev != StepEvent::Continue {
+                return (vm, ev);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_references_are_patched() {
+        let mut b = ProgramBuilder::new();
+        let end = b.new_label();
+        b.li(0, 1);
+        b.jnz(0, end); // forward
+        b.li(0, 99); // skipped
+        b.bind(end);
+        b.halt();
+        let (vm, ev) = run_to_end(&b.build());
+        assert_eq!(ev, StepEvent::Halted);
+        assert_eq!(vm.regs[0], 1);
+    }
+
+    #[test]
+    fn backward_references_resolve_immediately() {
+        let mut b = ProgramBuilder::new();
+        b.li(5, 3);
+        let top = b.here();
+        b.addi(5, 5, -1);
+        b.jnz(5, top);
+        b.halt();
+        let (vm, _) = run_to_end(&b.build());
+        assert_eq!(vm.regs[5], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics_at_build() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.jmp(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn data_helpers_compute_addresses() {
+        let mut b = ProgramBuilder::new();
+        let a = b.data_asciz(b"abc");
+        let q = b.data_quad(77);
+        let s = b.data_space(8);
+        assert_eq!(a, DATA_BASE);
+        assert_eq!(q, DATA_BASE + 4);
+        assert_eq!(s, DATA_BASE + 12);
+        b.halt();
+        let img = b.build();
+        assert_eq!(img.data.len(), 20);
+        assert_eq!(&img.data[..4], b"abc\0");
+    }
+
+    #[test]
+    fn burn_burns() {
+        let mut b = ProgramBuilder::new();
+        b.burn(100);
+        b.halt();
+        let (vm, ev) = run_to_end(&b.build());
+        assert_eq!(ev, StepEvent::Halted);
+        // li + 100 * (addi + jnz) + halt
+        assert_eq!(vm.insns_retired, 1 + 200 + 1);
+    }
+
+    #[test]
+    fn entry_here_moves_entry() {
+        let mut b = ProgramBuilder::new();
+        b.li(0, 1);
+        b.entry_here();
+        b.halt();
+        let img = b.build();
+        assert_eq!(img.entry, 1);
+    }
+}

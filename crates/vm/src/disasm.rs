@@ -1,0 +1,79 @@
+//! Disassembler, for debugging tools and trace output.
+
+use crate::image::Image;
+use crate::insn::Insn;
+
+/// Renders one instruction in assembler syntax.
+#[must_use]
+pub fn disasm_insn(i: &Insn) -> String {
+    use Insn::*;
+    match *i {
+        Li(rd, v) => format!("li r{rd}, {v:#x}"),
+        Mov(rd, rs) => format!("mov r{rd}, r{rs}"),
+        Ld(rd, rs, off) => format!("ld r{rd}, {off}(r{rs})"),
+        St(rd, rs, off) => format!("st r{rs}, {off}(r{rd})"),
+        Ldb(rd, rs, off) => format!("ldb r{rd}, {off}(r{rs})"),
+        Stb(rd, rs, off) => format!("stb r{rs}, {off}(r{rd})"),
+        Add(rd, a, b) => format!("add r{rd}, r{a}, r{b}"),
+        Sub(rd, a, b) => format!("sub r{rd}, r{a}, r{b}"),
+        Mul(rd, a, b) => format!("mul r{rd}, r{a}, r{b}"),
+        Div(rd, a, b) => format!("div r{rd}, r{a}, r{b}"),
+        Rem(rd, a, b) => format!("rem r{rd}, r{a}, r{b}"),
+        Addi(rd, rs, imm) => format!("addi r{rd}, r{rs}, {imm}"),
+        And(rd, a, b) => format!("and r{rd}, r{a}, r{b}"),
+        Or(rd, a, b) => format!("or r{rd}, r{a}, r{b}"),
+        Xor(rd, a, b) => format!("xor r{rd}, r{a}, r{b}"),
+        Shl(rd, a, b) => format!("shl r{rd}, r{a}, r{b}"),
+        Shr(rd, a, b) => format!("shr r{rd}, r{a}, r{b}"),
+        Sltu(rd, a, b) => format!("sltu r{rd}, r{a}, r{b}"),
+        Slt(rd, a, b) => format!("slt r{rd}, r{a}, r{b}"),
+        Seq(rd, a, b) => format!("seq r{rd}, r{a}, r{b}"),
+        Jmp(t) => format!("jmp {t}"),
+        Jz(rs, t) => format!("jz r{rs}, {t}"),
+        Jnz(rs, t) => format!("jnz r{rs}, {t}"),
+        Call(t) => format!("call {t}"),
+        Ret => "ret".to_string(),
+        Sys => "sys".to_string(),
+        Halt => "halt".to_string(),
+        Nop => "nop".to_string(),
+    }
+}
+
+/// Produces a full listing of an image: entry, code with indices, and a
+/// data-segment summary.
+#[must_use]
+pub fn disassemble(img: &Image) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "; entry = {}, {} insns, {} data bytes\n",
+        img.entry,
+        img.code.len(),
+        img.data.len()
+    ));
+    for (i, insn) in img.code.iter().enumerate() {
+        let marker = if i as u64 == img.entry { ">" } else { " " };
+        out.push_str(&format!("{marker}{i:6}: {}\n", disasm_insn(insn)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn listing_marks_entry_and_counts() {
+        let img = assemble("nop\nmain: li r0, 1\n sys exit\n").unwrap();
+        let text = disassemble(&img);
+        assert!(text.contains("entry = 1"));
+        assert!(text.contains(">     1: li r0, 0x1"));
+        assert!(text.contains("sys"));
+    }
+
+    #[test]
+    fn store_prints_source_register_first() {
+        assert_eq!(disasm_insn(&Insn::St(15, 3, 8)), "st r3, 8(r15)");
+        assert_eq!(disasm_insn(&Insn::Ld(3, 15, 8)), "ld r3, 8(r15)");
+    }
+}

@@ -1,0 +1,163 @@
+//! The binary image format — the system's "a.out".
+//!
+//! An image is what `execve(2)` loads: serialized code, initialized data,
+//! and an entry point. Images are ordinary files in the simulated
+//! filesystem, so the *same bytes* run under any agent — the paper's
+//! "unmodified application binaries" property is literal here.
+
+use ia_abi::wire::{Dec, Enc};
+use ia_abi::Errno;
+
+use crate::insn::Insn;
+use crate::mem::AddressSpace;
+
+/// Magic number at the start of every image ("IAVM").
+pub const IMAGE_MAGIC: u32 = 0x4941_564d;
+
+/// Format version.
+pub const IMAGE_VERSION: u32 = 1;
+
+/// Base address where the data segment is loaded.
+pub const DATA_BASE: u64 = 0x1000;
+
+/// Header size: magic, version, entry, code count, data length.
+const HEADER: usize = 4 + 4 + 8 + 4 + 4;
+
+/// A loadable program image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Entry point (code index).
+    pub entry: u64,
+    /// The code segment.
+    pub code: Vec<Insn>,
+    /// Initialized data, loaded at [`DATA_BASE`].
+    pub data: Vec<u8>,
+}
+
+impl Image {
+    /// Serializes the image to its file form.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; HEADER];
+        {
+            let mut e = Enc::new(&mut out);
+            e.u32(IMAGE_MAGIC)
+                .u32(IMAGE_VERSION)
+                .u64(self.entry)
+                .u32(self.code.len() as u32)
+                .u32(self.data.len() as u32);
+        }
+        for insn in &self.code {
+            out.extend_from_slice(&insn.encode());
+        }
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parses an image from file bytes. Any malformation is `ENOEXEC`,
+    /// exactly what `execve` reports for a corrupt binary.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Image, Errno> {
+        let mut d = Dec::new(bytes);
+        let magic = d.u32().map_err(|_| Errno::ENOEXEC)?;
+        let version = d.u32().map_err(|_| Errno::ENOEXEC)?;
+        if magic != IMAGE_MAGIC || version != IMAGE_VERSION {
+            return Err(Errno::ENOEXEC);
+        }
+        let entry = d.u64().map_err(|_| Errno::ENOEXEC)?;
+        let ncode = d.u32().map_err(|_| Errno::ENOEXEC)? as usize;
+        let ndata = d.u32().map_err(|_| Errno::ENOEXEC)? as usize;
+        if bytes.len() != HEADER + ncode * 12 + ndata {
+            return Err(Errno::ENOEXEC);
+        }
+        let mut code = Vec::with_capacity(ncode);
+        for _ in 0..ncode {
+            let raw: [u8; 12] = d
+                .bytes(12)
+                .map_err(|_| Errno::ENOEXEC)?
+                .try_into()
+                .expect("12 bytes");
+            code.push(Insn::decode(&raw).ok_or(Errno::ENOEXEC)?);
+        }
+        let data = d.bytes(ndata).map_err(|_| Errno::ENOEXEC)?.to_vec();
+        if entry as usize > code.len() {
+            return Err(Errno::ENOEXEC);
+        }
+        Ok(Image { entry, code, data })
+    }
+
+    /// Loads the data segment into a cleared address space — the tail end of
+    /// what `execve` does. Returns the initial break (end of data).
+    pub fn load_into(&self, mem: &mut AddressSpace) -> Result<u64, Errno> {
+        let brk0 = DATA_BASE + self.data.len() as u64;
+        mem.clear(brk0);
+        mem.write_bytes(DATA_BASE, &self.data)?;
+        Ok(brk0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Insn::*;
+
+    fn sample() -> Image {
+        Image {
+            entry: 1,
+            code: vec![Nop, Li(0, 42), Sys, Halt],
+            data: b"hello data segment".to_vec(),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let img = sample();
+        let bytes = img.to_bytes();
+        assert_eq!(Image::from_bytes(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn bad_magic_is_enoexec() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] ^= 0xff;
+        assert_eq!(Image::from_bytes(&bytes), Err(Errno::ENOEXEC));
+    }
+
+    #[test]
+    fn truncated_is_enoexec() {
+        let bytes = sample().to_bytes();
+        assert_eq!(
+            Image::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(Errno::ENOEXEC)
+        );
+        assert_eq!(Image::from_bytes(&bytes[..6]), Err(Errno::ENOEXEC));
+        assert_eq!(Image::from_bytes(b""), Err(Errno::ENOEXEC));
+    }
+
+    #[test]
+    fn trailing_garbage_is_enoexec() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert_eq!(Image::from_bytes(&bytes), Err(Errno::ENOEXEC));
+    }
+
+    #[test]
+    fn entry_out_of_range_is_enoexec() {
+        let mut img = sample();
+        img.entry = 99;
+        assert_eq!(Image::from_bytes(&img.to_bytes()), Err(Errno::ENOEXEC));
+    }
+
+    #[test]
+    fn load_places_data_and_sets_break() {
+        let img = sample();
+        let mut mem = AddressSpace::new(1 << 16, 0);
+        mem.write_u64(0x100, 0xdead).unwrap(); // stale bytes to be cleared
+        let brk = img.load_into(&mut mem).unwrap();
+        assert_eq!(brk, DATA_BASE + img.data.len() as u64);
+        assert_eq!(mem.read_u64(0x100).unwrap(), 0, "address space was cleared");
+        assert_eq!(
+            mem.read_bytes(DATA_BASE, img.data.len()).unwrap(),
+            &img.data[..]
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! The instruction set of the simulated machine.
+
+/// A register index, 0..=15. `r15` is the stack pointer by convention.
+pub type Reg = u8;
+
+/// Number of registers.
+pub const NREGS: usize = ia_abi::types::NREGS;
+
+/// The stack-pointer register.
+pub const SP: Reg = 15;
+
+/// One machine instruction.
+///
+/// Jump/call targets are absolute instruction indices into the image's code
+/// segment (the assembler resolves labels to these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insn {
+    /// `rd ← imm`
+    Li(Reg, u64),
+    /// `rd ← rs`
+    Mov(Reg, Reg),
+    /// `rd ← mem64[rs + off]`
+    Ld(Reg, Reg, i64),
+    /// `mem64[rd + off] ← rs`
+    St(Reg, Reg, i64),
+    /// `rd ← mem8[rs + off]` (zero-extended)
+    Ldb(Reg, Reg, i64),
+    /// `mem8[rd + off] ← low byte of rs`
+    Stb(Reg, Reg, i64),
+    /// `rd ← rs + rt` (wrapping)
+    Add(Reg, Reg, Reg),
+    /// `rd ← rs − rt` (wrapping)
+    Sub(Reg, Reg, Reg),
+    /// `rd ← rs × rt` (wrapping)
+    Mul(Reg, Reg, Reg),
+    /// `rd ← rs ÷ rt` (unsigned; division by zero faults)
+    Div(Reg, Reg, Reg),
+    /// `rd ← rs mod rt` (unsigned; division by zero faults)
+    Rem(Reg, Reg, Reg),
+    /// `rd ← rs + imm` (wrapping; imm may be negative)
+    Addi(Reg, Reg, i64),
+    /// `rd ← rs AND rt`
+    And(Reg, Reg, Reg),
+    /// `rd ← rs OR rt`
+    Or(Reg, Reg, Reg),
+    /// `rd ← rs XOR rt`
+    Xor(Reg, Reg, Reg),
+    /// `rd ← rs << (rt mod 64)`
+    Shl(Reg, Reg, Reg),
+    /// `rd ← rs >> (rt mod 64)` (logical)
+    Shr(Reg, Reg, Reg),
+    /// `rd ← (rs < rt)` unsigned
+    Sltu(Reg, Reg, Reg),
+    /// `rd ← (rs < rt)` signed
+    Slt(Reg, Reg, Reg),
+    /// `rd ← (rs == rt)`
+    Seq(Reg, Reg, Reg),
+    /// `pc ← target`
+    Jmp(u64),
+    /// `if rs == 0 then pc ← target`
+    Jz(Reg, u64),
+    /// `if rs != 0 then pc ← target`
+    Jnz(Reg, u64),
+    /// Push return address, `pc ← target`
+    Call(u64),
+    /// Pop return address into `pc`
+    Ret,
+    /// Trap into the system interface: number in `r7`, args in `r0..r5`.
+    Sys,
+    /// Stop the machine. Real programs call `exit(2)`; `Halt` exists for the
+    /// boot shim and for tests.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl Insn {
+    /// Opcode for the 12-byte fixed encoding used by [`crate::image`].
+    #[must_use]
+    pub fn opcode(&self) -> u8 {
+        use Insn::*;
+        match self {
+            Li(..) => 1,
+            Mov(..) => 2,
+            Ld(..) => 3,
+            St(..) => 4,
+            Ldb(..) => 5,
+            Stb(..) => 6,
+            Add(..) => 7,
+            Sub(..) => 8,
+            Mul(..) => 9,
+            Div(..) => 10,
+            Rem(..) => 11,
+            Addi(..) => 12,
+            And(..) => 13,
+            Or(..) => 14,
+            Xor(..) => 15,
+            Shl(..) => 16,
+            Shr(..) => 17,
+            Sltu(..) => 18,
+            Slt(..) => 19,
+            Seq(..) => 20,
+            Jmp(..) => 21,
+            Jz(..) => 22,
+            Jnz(..) => 23,
+            Call(..) => 24,
+            Ret => 25,
+            Sys => 26,
+            Halt => 27,
+            Nop => 28,
+        }
+    }
+
+    /// Encodes to the fixed 12-byte wire form: opcode, a, b, c, imm (u64 LE,
+    /// two's-complement for signed offsets).
+    #[must_use]
+    pub fn encode(&self) -> [u8; 12] {
+        use Insn::*;
+        let (a, b, imm): (u8, u8, u64) = match *self {
+            Li(rd, v) => (rd, 0, v),
+            Mov(rd, rs) => (rd, rs, 0),
+            Ld(rd, rs, off) | Ldb(rd, rs, off) => (rd, rs, off as u64),
+            St(rd, rs, off) | Stb(rd, rs, off) => (rd, rs, off as u64),
+            Add(rd, rs, rt)
+            | Sub(rd, rs, rt)
+            | Mul(rd, rs, rt)
+            | Div(rd, rs, rt)
+            | Rem(rd, rs, rt)
+            | And(rd, rs, rt)
+            | Or(rd, rs, rt)
+            | Xor(rd, rs, rt)
+            | Shl(rd, rs, rt)
+            | Shr(rd, rs, rt)
+            | Sltu(rd, rs, rt)
+            | Slt(rd, rs, rt)
+            | Seq(rd, rs, rt) => (rd, rs, rt as u64),
+            Addi(rd, rs, imm) => (rd, rs, imm as u64),
+            Jmp(t) | Call(t) => (0, 0, t),
+            Jz(rs, t) | Jnz(rs, t) => (rs, 0, t),
+            Ret | Sys | Halt | Nop => (0, 0, 0),
+        };
+        let mut out = [0u8; 12];
+        out[0] = self.opcode();
+        out[1] = a;
+        out[2] = b;
+        out[3] = 0;
+        out[4..12].copy_from_slice(&imm.to_le_bytes());
+        out
+    }
+
+    /// Decodes the fixed 12-byte wire form. Returns `None` for an unknown
+    /// opcode or an out-of-range register (the machine raises `SIGILL`).
+    #[must_use]
+    pub fn decode(bytes: &[u8; 12]) -> Option<Insn> {
+        use Insn::*;
+        let a = bytes[1];
+        let b = bytes[2];
+        if a as usize >= NREGS || b as usize >= NREGS {
+            return None;
+        }
+        let imm = u64::from_le_bytes(bytes[4..12].try_into().expect("12-byte insn"));
+        let simm = imm as i64;
+        let rt = imm as u8;
+        if matches!(bytes[0], 7..=11 | 13..=20) && rt as usize >= NREGS {
+            return None;
+        }
+        Some(match bytes[0] {
+            1 => Li(a, imm),
+            2 => Mov(a, b),
+            3 => Ld(a, b, simm),
+            4 => St(a, b, simm),
+            5 => Ldb(a, b, simm),
+            6 => Stb(a, b, simm),
+            7 => Add(a, b, rt),
+            8 => Sub(a, b, rt),
+            9 => Mul(a, b, rt),
+            10 => Div(a, b, rt),
+            11 => Rem(a, b, rt),
+            12 => Addi(a, b, simm),
+            13 => And(a, b, rt),
+            14 => Or(a, b, rt),
+            15 => Xor(a, b, rt),
+            16 => Shl(a, b, rt),
+            17 => Shr(a, b, rt),
+            18 => Sltu(a, b, rt),
+            19 => Slt(a, b, rt),
+            20 => Seq(a, b, rt),
+            21 => Jmp(imm),
+            22 => Jz(a, imm),
+            23 => Jnz(a, imm),
+            24 => Call(imm),
+            25 => Ret,
+            26 => Sys,
+            27 => Halt,
+            28 => Nop,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Insn> {
+        use Insn::*;
+        vec![
+            Li(3, 0xdead_beef_cafe),
+            Mov(1, 2),
+            Ld(4, 15, -8),
+            St(15, 3, 16),
+            Ldb(0, 1, 0),
+            Stb(1, 0, 255),
+            Add(1, 2, 3),
+            Sub(4, 5, 6),
+            Mul(7, 8, 9),
+            Div(10, 11, 12),
+            Rem(13, 14, 15),
+            Addi(15, 15, -8),
+            And(0, 1, 2),
+            Or(3, 4, 5),
+            Xor(6, 7, 8),
+            Shl(9, 10, 11),
+            Shr(12, 13, 14),
+            Sltu(1, 2, 3),
+            Slt(4, 5, 6),
+            Seq(7, 8, 9),
+            Jmp(1234),
+            Jz(3, 99),
+            Jnz(4, 100),
+            Call(55),
+            Ret,
+            Sys,
+            Halt,
+            Nop,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_instruction() {
+        for insn in samples() {
+            let bytes = insn.encode();
+            assert_eq!(Insn::decode(&bytes), Some(insn), "{insn:?}");
+        }
+    }
+
+    #[test]
+    fn opcodes_are_unique() {
+        let ops: std::collections::HashSet<u8> = samples().iter().map(Insn::opcode).collect();
+        assert_eq!(ops.len(), samples().len());
+    }
+
+    #[test]
+    fn bad_opcode_and_bad_register_decode_to_none() {
+        let mut b = Insn::Nop.encode();
+        b[0] = 250;
+        assert_eq!(Insn::decode(&b), None);
+        let mut b = Insn::Mov(1, 2).encode();
+        b[1] = 16; // register out of range
+        assert_eq!(Insn::decode(&b), None);
+        // Third register (in imm) out of range for ALU ops.
+        let mut b = Insn::Add(1, 2, 3).encode();
+        b[4] = 16;
+        assert_eq!(Insn::decode(&b), None);
+    }
+}

@@ -1,0 +1,395 @@
+//! The interpreter: registers, stepping, traps and faults.
+
+use ia_abi::{RawArgs, Signal, SysResult};
+
+use crate::insn::{Insn, NREGS, SP};
+use crate::mem::AddressSpace;
+
+/// Register carrying the syscall number at a `Sys` trap.
+pub const SYS_NR_REG: usize = 7;
+/// Register receiving the first result of a syscall.
+pub const SYSRET_RV0: usize = 0;
+/// Register receiving the errno (0 on success).
+pub const SYSRET_ERRNO: usize = 1;
+/// Register receiving the second result (`rv[1]`).
+pub const SYSRET_RV1: usize = 2;
+
+/// The CPU state of one process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmState {
+    /// General-purpose registers. `regs[15]` is the stack pointer.
+    pub regs: [u64; NREGS],
+    /// Program counter: index into the code segment.
+    pub pc: u64,
+    /// Set once the machine halts; stepping a halted machine is a no-op.
+    pub halted: bool,
+    /// Instructions retired, for the virtual clock and `getrusage`.
+    pub insns_retired: u64,
+}
+
+impl VmState {
+    /// A machine at `entry` with the stack pointer at the top of `mem_size`.
+    #[must_use]
+    pub fn new(entry: u64, mem_size: usize) -> VmState {
+        let mut regs = [0u64; NREGS];
+        regs[SP as usize] = mem_size as u64;
+        VmState {
+            regs,
+            pc: entry,
+            halted: false,
+            insns_retired: 0,
+        }
+    }
+
+    /// Applies a syscall result to the return registers, the inverse of the
+    /// trap: `r0 ← rv[0]`, `r1 ← errno` (0 on success), `r2 ← rv[1]`.
+    pub fn apply_sysret(&mut self, res: SysResult) {
+        match res {
+            Ok([rv0, rv1]) => {
+                self.regs[SYSRET_RV0] = rv0;
+                self.regs[SYSRET_ERRNO] = 0;
+                self.regs[SYSRET_RV1] = rv1;
+            }
+            Err(e) => {
+                self.regs[SYSRET_RV0] = u64::MAX;
+                self.regs[SYSRET_ERRNO] = u64::from(e.code());
+                self.regs[SYSRET_RV1] = 0;
+            }
+        }
+    }
+
+    /// The trap arguments at a `Sys` instruction: `(number, r0..r5)`.
+    #[must_use]
+    pub fn trap_args(&self) -> (u32, RawArgs) {
+        (
+            self.regs[SYS_NR_REG] as u32,
+            [
+                self.regs[0],
+                self.regs[1],
+                self.regs[2],
+                self.regs[3],
+                self.regs[4],
+                self.regs[5],
+            ],
+        )
+    }
+}
+
+/// The observable outcome of executing one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Ordinary instruction retired.
+    Continue,
+    /// The program executed `Sys`; the kernel must dispatch `(nr, args)`
+    /// and then `apply_sysret`. The pc has already advanced past the trap.
+    Syscall {
+        /// Raw syscall number from `r7`.
+        nr: u32,
+        /// Raw argument registers `r0..r5`.
+        args: RawArgs,
+    },
+    /// The program executed `Halt`.
+    Halted,
+    /// The program faulted; the kernel posts this signal.
+    Fault(Signal),
+}
+
+/// Executes one instruction.
+///
+/// On [`StepEvent::Fault`] the pc is left *at* the faulting instruction so
+/// a handler installed for the signal can inspect it; the kernel's default
+/// action terminates the process anyway.
+pub fn step(vm: &mut VmState, mem: &mut AddressSpace, code: &[Insn]) -> StepEvent {
+    if vm.halted {
+        return StepEvent::Halted;
+    }
+    let Some(&insn) = code.get(vm.pc as usize) else {
+        return StepEvent::Fault(Signal::SIGSEGV);
+    };
+    let next_pc = vm.pc + 1;
+    vm.insns_retired += 1;
+
+    macro_rules! fault {
+        ($sig:expr) => {{
+            vm.insns_retired -= 1;
+            return StepEvent::Fault($sig);
+        }};
+    }
+    macro_rules! memop {
+        ($e:expr) => {
+            match $e {
+                Ok(v) => v,
+                Err(_) => fault!(Signal::SIGSEGV),
+            }
+        };
+    }
+
+    use Insn::*;
+    match insn {
+        Li(rd, v) => vm.regs[rd as usize] = v,
+        Mov(rd, rs) => vm.regs[rd as usize] = vm.regs[rs as usize],
+        Ld(rd, rs, off) => {
+            let addr = vm.regs[rs as usize].wrapping_add(off as u64);
+            vm.regs[rd as usize] = memop!(mem.read_u64(addr));
+        }
+        St(rd, rs, off) => {
+            let addr = vm.regs[rd as usize].wrapping_add(off as u64);
+            memop!(mem.write_u64(addr, vm.regs[rs as usize]));
+        }
+        Ldb(rd, rs, off) => {
+            let addr = vm.regs[rs as usize].wrapping_add(off as u64);
+            vm.regs[rd as usize] = u64::from(memop!(mem.read_u8(addr)));
+        }
+        Stb(rd, rs, off) => {
+            let addr = vm.regs[rd as usize].wrapping_add(off as u64);
+            memop!(mem.write_u8(addr, vm.regs[rs as usize] as u8));
+        }
+        Add(rd, a, b) => {
+            vm.regs[rd as usize] = vm.regs[a as usize].wrapping_add(vm.regs[b as usize])
+        }
+        Sub(rd, a, b) => {
+            vm.regs[rd as usize] = vm.regs[a as usize].wrapping_sub(vm.regs[b as usize])
+        }
+        Mul(rd, a, b) => {
+            vm.regs[rd as usize] = vm.regs[a as usize].wrapping_mul(vm.regs[b as usize])
+        }
+        Div(rd, a, b) => {
+            let d = vm.regs[b as usize];
+            if d == 0 {
+                fault!(Signal::SIGFPE);
+            }
+            vm.regs[rd as usize] = vm.regs[a as usize] / d;
+        }
+        Rem(rd, a, b) => {
+            let d = vm.regs[b as usize];
+            if d == 0 {
+                fault!(Signal::SIGFPE);
+            }
+            vm.regs[rd as usize] = vm.regs[a as usize] % d;
+        }
+        Addi(rd, rs, imm) => vm.regs[rd as usize] = vm.regs[rs as usize].wrapping_add(imm as u64),
+        And(rd, a, b) => vm.regs[rd as usize] = vm.regs[a as usize] & vm.regs[b as usize],
+        Or(rd, a, b) => vm.regs[rd as usize] = vm.regs[a as usize] | vm.regs[b as usize],
+        Xor(rd, a, b) => vm.regs[rd as usize] = vm.regs[a as usize] ^ vm.regs[b as usize],
+        Shl(rd, a, b) => vm.regs[rd as usize] = vm.regs[a as usize] << (vm.regs[b as usize] & 63),
+        Shr(rd, a, b) => vm.regs[rd as usize] = vm.regs[a as usize] >> (vm.regs[b as usize] & 63),
+        Sltu(rd, a, b) => {
+            vm.regs[rd as usize] = u64::from(vm.regs[a as usize] < vm.regs[b as usize])
+        }
+        Slt(rd, a, b) => {
+            vm.regs[rd as usize] =
+                u64::from((vm.regs[a as usize] as i64) < (vm.regs[b as usize] as i64))
+        }
+        Seq(rd, a, b) => {
+            vm.regs[rd as usize] = u64::from(vm.regs[a as usize] == vm.regs[b as usize])
+        }
+        Jmp(t) => {
+            vm.pc = t;
+            return StepEvent::Continue;
+        }
+        Jz(rs, t) => {
+            vm.pc = if vm.regs[rs as usize] == 0 {
+                t
+            } else {
+                next_pc
+            };
+            return StepEvent::Continue;
+        }
+        Jnz(rs, t) => {
+            vm.pc = if vm.regs[rs as usize] != 0 {
+                t
+            } else {
+                next_pc
+            };
+            return StepEvent::Continue;
+        }
+        Call(t) => {
+            let sp = vm.regs[SP as usize].wrapping_sub(8);
+            memop!(mem.write_u64(sp, next_pc));
+            vm.regs[SP as usize] = sp;
+            vm.pc = t;
+            return StepEvent::Continue;
+        }
+        Ret => {
+            let sp = vm.regs[SP as usize];
+            let ra = memop!(mem.read_u64(sp));
+            vm.regs[SP as usize] = sp + 8;
+            vm.pc = ra;
+            return StepEvent::Continue;
+        }
+        Sys => {
+            vm.pc = next_pc;
+            let (nr, args) = vm.trap_args();
+            return StepEvent::Syscall { nr, args };
+        }
+        Halt => {
+            vm.halted = true;
+            return StepEvent::Halted;
+        }
+        Nop => {}
+    }
+    vm.pc = next_pc;
+    StepEvent::Continue
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::AddressSpace;
+    use Insn::*;
+
+    fn run(code: &[Insn], max: usize) -> (VmState, AddressSpace, StepEvent) {
+        let mut vm = VmState::new(0, 4096);
+        let mut mem = AddressSpace::new(4096, 0);
+        let mut last = StepEvent::Continue;
+        for _ in 0..max {
+            last = step(&mut vm, &mut mem, code);
+            if last != StepEvent::Continue {
+                break;
+            }
+        }
+        (vm, mem, last)
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let code = [
+            Li(0, 10),
+            Li(1, 3),
+            Add(2, 0, 1),
+            Sub(3, 0, 1),
+            Mul(4, 0, 1),
+            Div(5, 0, 1),
+            Rem(6, 0, 1),
+            Halt,
+        ];
+        let (vm, _, ev) = run(&code, 100);
+        assert_eq!(ev, StepEvent::Halted);
+        assert_eq!(vm.regs[2], 13);
+        assert_eq!(vm.regs[3], 7);
+        assert_eq!(vm.regs[4], 30);
+        assert_eq!(vm.regs[5], 3);
+        assert_eq!(vm.regs[6], 1);
+    }
+
+    #[test]
+    fn division_by_zero_faults_sigfpe() {
+        let code = [Li(0, 1), Li(1, 0), Div(2, 0, 1)];
+        let (vm, _, ev) = run(&code, 10);
+        assert_eq!(ev, StepEvent::Fault(Signal::SIGFPE));
+        assert_eq!(vm.pc, 2, "pc parked on the faulting instruction");
+    }
+
+    #[test]
+    fn memory_load_store() {
+        let code = [
+            Li(0, 0xfeed),
+            Li(1, 128),
+            St(1, 0, 8), // mem[136] = 0xfeed
+            Ld(2, 1, 8),
+            Halt,
+        ];
+        let (vm, mem, _) = run(&code, 10);
+        assert_eq!(vm.regs[2], 0xfeed);
+        assert_eq!(mem.read_u64(136).unwrap(), 0xfeed);
+    }
+
+    #[test]
+    fn wild_store_faults_sigsegv() {
+        let code = [Li(0, 1), Li(1, 1 << 40), St(1, 0, 0)];
+        let (_, _, ev) = run(&code, 10);
+        assert_eq!(ev, StepEvent::Fault(Signal::SIGSEGV));
+    }
+
+    #[test]
+    fn running_off_the_code_faults() {
+        let code = [Nop];
+        let (_, _, ev) = run(&code, 10);
+        assert_eq!(ev, StepEvent::Fault(Signal::SIGSEGV));
+    }
+
+    #[test]
+    fn branches_and_loop() {
+        // Sum 1..=5 with a countdown loop.
+        let code = [
+            Li(0, 5),     // i = 5
+            Li(1, 0),     // acc
+            Jz(0, 6),     // while i != 0
+            Add(1, 1, 0), //   acc += i
+            Addi(0, 0, -1),
+            Jmp(2),
+            Halt,
+        ];
+        let (vm, _, ev) = run(&code, 100);
+        assert_eq!(ev, StepEvent::Halted);
+        assert_eq!(vm.regs[1], 15);
+    }
+
+    #[test]
+    fn call_and_ret_use_the_stack() {
+        let code = [
+            Call(3), // -> proc
+            Li(5, 99),
+            Halt,
+            Li(4, 7), // proc:
+            Ret,
+        ];
+        let (vm, _, ev) = run(&code, 20);
+        assert_eq!(ev, StepEvent::Halted);
+        assert_eq!(vm.regs[4], 7);
+        assert_eq!(vm.regs[5], 99);
+        assert_eq!(vm.regs[SP as usize], 4096, "stack balanced");
+    }
+
+    #[test]
+    fn sys_raises_trap_with_args_and_advances_pc() {
+        let code = [Li(7, 116), Li(0, 11), Li(1, 22), Sys, Halt];
+        let mut vm = VmState::new(0, 4096);
+        let mut mem = AddressSpace::new(4096, 0);
+        let mut ev = StepEvent::Continue;
+        while ev == StepEvent::Continue {
+            ev = step(&mut vm, &mut mem, &code);
+        }
+        assert_eq!(
+            ev,
+            StepEvent::Syscall {
+                nr: 116,
+                args: [11, 22, 0, 0, 0, 0]
+            }
+        );
+        assert_eq!(vm.pc, 4, "pc past the trap, ready to resume");
+        vm.apply_sysret(Ok([5, 6]));
+        assert_eq!(vm.regs[0], 5);
+        assert_eq!(vm.regs[1], 0);
+        assert_eq!(vm.regs[2], 6);
+        vm.apply_sysret(Err(ia_abi::Errno::ENOENT));
+        assert_eq!(vm.regs[0], u64::MAX);
+        assert_eq!(vm.regs[1], 2);
+    }
+
+    #[test]
+    fn halted_machine_stays_halted() {
+        let code = [Halt];
+        let mut vm = VmState::new(0, 4096);
+        let mut mem = AddressSpace::new(4096, 0);
+        assert_eq!(step(&mut vm, &mut mem, &code), StepEvent::Halted);
+        assert_eq!(step(&mut vm, &mut mem, &code), StepEvent::Halted);
+        assert_eq!(vm.insns_retired, 1);
+    }
+
+    #[test]
+    fn comparison_ops() {
+        let code = [
+            Li(0, 5),
+            Li(1, u64::MAX), // -1 signed
+            Sltu(2, 0, 1),   // 5 < huge (unsigned) = 1
+            Slt(3, 1, 0),    // -1 < 5 (signed) = 1
+            Seq(4, 0, 0),
+            Halt,
+        ];
+        let (vm, _, _) = run(&code, 10);
+        assert_eq!(vm.regs[2], 1);
+        assert_eq!(vm.regs[3], 1);
+        assert_eq!(vm.regs[4], 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # ia-workloads — the paper's benchmark workloads
+//!
+//! Simulated equivalents of the two applications measured in §3.4, plus
+//! the micro-benchmark loops behind Tables 3-4/3-5 and a random-program
+//! generator for property testing:
+//!
+//! * [`scribe`] — "format my dissertation": a single process making
+//!   moderate use of system calls (716 in the paper) dominated by compute,
+//!   run on the VAX 6250 profile for Table 3-2.
+//! * [`make8`] — "make 8 programs": a process tree that fork/execs 64
+//!   tool-chain stages (13,849 syscalls in the paper), run on the i486
+//!   profile for Table 3-3.
+//! * [`micro`] — tight single-call loops for per-syscall costs.
+//! * [`mix`] — seeded random syscall-mix programs.
+//! * [`runner`] — shared measurement harness: run a workload under a
+//!   chosen agent and collect virtual-time statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod make8;
+pub mod micro;
+pub mod mix;
+pub mod runner;
+pub mod scribe;
+
+pub use runner::{run_workload, AgentKind, RunStats, Workload};

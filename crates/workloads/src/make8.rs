@@ -1,0 +1,291 @@
+//! The "make 8 programs" workload (§3.4.1.2, Table 3-3).
+//!
+//! "To do this, Make runs the GNU C compiler, which in turn runs the C
+//! preprocessor, the C code generator, the assembler, and the linker for
+//! each program. This task requires a total of 13,849 system calls,
+//! including 64 fork()/execve() pairs. When run without any agents, it
+//! takes 16.0 seconds of elapsed time" on a 25 MHz i486.
+//!
+//! The simulated build: `/bin/make` reads a Makefile and, for each of the
+//! eight programs, forks a child that execs `/bin/cc`; `cc` in turn
+//! fork/execs seven tool-chain stages — 8 × (1 + 7) = 64 fork/exec pairs.
+//! Each stage reads the source, computes, and writes its output. Run on
+//! [`ia_kernel::I486_25`] to regenerate the table.
+
+use ia_abi::{OpenFlags, Sysno};
+use ia_kernel::Kernel;
+use ia_vm::{Image, ProgramBuilder};
+
+/// Programs built by the Makefile.
+pub const PROGRAMS: u64 = 8;
+/// Tool-chain stages `cc` runs per program.
+pub const STAGES: u64 = 7;
+/// 1 KB reads each stage performs on the source.
+pub const READS_PER_STAGE: u64 = 118;
+/// 1 KB writes each stage performs to its output.
+pub const WRITES_PER_STAGE: u64 = 120;
+/// Compute iterations per stage (2 instructions each).
+pub const BURN_PER_STAGE: u64 = 12_400;
+
+/// The seven stage binaries `cc` runs.
+pub const STAGE_NAMES: [&str; STAGES as usize] = ["cpp", "cc1", "c2", "opt", "as", "crt", "ld"];
+
+/// Fork/exec pairs the build performs: the paper's 64.
+#[must_use]
+pub fn fork_exec_pairs() -> u64 {
+    PROGRAMS * (1 + STAGES)
+}
+
+/// Installs the tool images, sources and Makefile. Returns nothing; run
+/// with [`spawn`].
+pub fn setup(k: &mut Kernel) {
+    k.mkdir_p(b"/usr/src/proj").unwrap();
+    let source = vec![b'c'; 1024 * READS_PER_STAGE as usize];
+    for p in 0..PROGRAMS {
+        k.write_file(format!("/usr/src/proj/prog{p}.c").as_bytes(), &source)
+            .unwrap();
+    }
+    let mut makefile = String::new();
+    for p in 0..PROGRAMS {
+        makefile.push_str(&format!("prog{p}: prog{p}.c\n\tcc prog{p}.c prog{p}\n"));
+    }
+    k.write_file(b"/usr/src/proj/Makefile", makefile.as_bytes())
+        .unwrap();
+
+    let tool = tool_image();
+    for name in STAGE_NAMES {
+        k.install_image(format!("/bin/{name}").as_bytes(), &tool)
+            .unwrap();
+    }
+    k.install_image(b"/bin/cc", &cc_image()).unwrap();
+    k.install_image(b"/bin/make", &make_image()).unwrap();
+}
+
+/// Spawns the build. Returns the `make` pid.
+pub fn spawn(k: &mut Kernel) -> ia_kernel::Pid {
+    k.spawn(b"/bin/make", &[b"make"]).expect("make installed")
+}
+
+/// One generic tool-chain stage: `tool <input> <output>` — read the input,
+/// compute, write the output.
+#[must_use]
+pub fn tool_image() -> Image {
+    let mut b = ProgramBuilder::new();
+    let buf = b.data_space(1024);
+
+    b.entry_here();
+    // r14 = argv base (r1 at entry).
+    b.mov(14, 1);
+    // Open input: argv[1].
+    b.ld(0, 14, 8);
+    b.li(1, 0);
+    b.li(2, 0);
+    b.sys(Sysno::Open);
+    b.mov(12, 0); // input fd
+    for _ in 0..READS_PER_STAGE {
+        b.mov(0, 12);
+        b.la(1, buf);
+        b.li(2, 1024);
+        b.sys(Sysno::Read);
+    }
+    b.mov(0, 12);
+    b.sys(Sysno::Close);
+
+    b.burn(BURN_PER_STAGE);
+
+    // Open output: argv[2].
+    b.ld(0, 14, 16);
+    b.li(
+        1,
+        u64::from(OpenFlags::O_WRONLY | OpenFlags::O_CREAT | OpenFlags::O_TRUNC),
+    );
+    b.li(2, 0o644);
+    b.sys(Sysno::Open);
+    b.mov(12, 0);
+    for _ in 0..WRITES_PER_STAGE {
+        b.mov(0, 12);
+        b.la(1, buf);
+        b.li(2, 1024);
+        b.sys(Sysno::Write);
+    }
+    b.mov(0, 12);
+    b.sys(Sysno::Close);
+    b.li(0, 0);
+    b.sys(Sysno::Exit);
+    b.build()
+}
+
+/// The compiler driver: `cc <input> <output>` — fork/exec each stage in
+/// turn, waiting for each.
+#[must_use]
+pub fn cc_image() -> Image {
+    let mut b = ProgramBuilder::new();
+    let statbuf = b.data_space(128);
+    let stage_paths: Vec<u64> = STAGE_NAMES
+        .iter()
+        .map(|n| b.data_asciz(format!("/bin/{n}").as_bytes()))
+        .collect();
+
+    b.entry_here();
+    b.mov(14, 1); // argv base
+                  // Stat the source once, as compilers do.
+    b.ld(0, 14, 8);
+    b.la(1, statbuf);
+    b.sys(Sysno::Stat);
+    b.ld(0, 14, 8);
+    b.li(1, 4); // R_OK
+    b.sys(Sysno::Access);
+
+    for &stage in &stage_paths {
+        let parent = b.new_label();
+        b.sys(Sysno::Fork);
+        b.jnz(0, parent);
+        // Child: exec the stage with our own argv (it reads [1] and [2]).
+        b.li(0, stage);
+        b.mov(1, 14);
+        b.li(2, 0);
+        b.sys(Sysno::Execve);
+        b.li(0, 127); // exec failed
+        b.sys(Sysno::Exit);
+        b.bind(parent);
+        b.li(0, 0);
+        b.li(1, 0);
+        b.li(2, 0);
+        b.li(3, 0);
+        b.sys(Sysno::Wait4);
+    }
+    b.li(0, 0);
+    b.sys(Sysno::Exit);
+    b.build()
+}
+
+/// The `make` driver: read the Makefile, then build each program through
+/// `cc`.
+#[must_use]
+pub fn make_image() -> Image {
+    let mut b = ProgramBuilder::new();
+    let buf = b.data_space(1024);
+    let statbuf = b.data_space(128);
+    let makefile = b.data_asciz(b"/usr/src/proj/Makefile");
+    let cc = b.data_asciz(b"/bin/cc");
+    let cc_name = b.data_asciz(b"cc");
+    let argv_block = b.data_space(32); // [argv0, argv1, argv2, NULL]
+    let src_paths: Vec<u64> = (0..PROGRAMS)
+        .map(|p| b.data_asciz(format!("/usr/src/proj/prog{p}.c").as_bytes()))
+        .collect();
+    let out_paths: Vec<u64> = (0..PROGRAMS)
+        .map(|p| b.data_asciz(format!("/usr/src/proj/prog{p}").as_bytes()))
+        .collect();
+
+    b.entry_here();
+    // Parse the Makefile.
+    b.la(0, makefile);
+    b.li(1, 0);
+    b.li(2, 0);
+    b.sys(Sysno::Open);
+    b.mov(12, 0);
+    for _ in 0..2 {
+        b.mov(0, 12);
+        b.la(1, buf);
+        b.li(2, 1024);
+        b.sys(Sysno::Read);
+    }
+    b.mov(0, 12);
+    b.sys(Sysno::Close);
+
+    for p in 0..PROGRAMS as usize {
+        // Dependency checks: stat source and (missing) target.
+        b.la(0, src_paths[p]);
+        b.la(1, statbuf);
+        b.sys(Sysno::Stat);
+        b.la(0, out_paths[p]);
+        b.la(1, statbuf);
+        b.sys(Sysno::Stat); // ENOENT: target out of date
+
+        // Assemble argv = ["cc", src, out, NULL] in the data block.
+        b.li(10, cc_name);
+        b.li(11, argv_block);
+        b.st(11, 10, 0);
+        b.li(10, src_paths[p]);
+        b.st(11, 10, 8);
+        b.li(10, out_paths[p]);
+        b.st(11, 10, 16);
+        b.li(10, 0);
+        b.st(11, 10, 24);
+
+        let parent = b.new_label();
+        b.sys(Sysno::Fork);
+        b.jnz(0, parent);
+        // Child: exec cc.
+        b.la(0, cc);
+        b.li(1, argv_block);
+        b.li(2, 0);
+        b.sys(Sysno::Execve);
+        b.li(0, 127);
+        b.sys(Sysno::Exit);
+        b.bind(parent);
+        b.li(0, 0);
+        b.li(1, 0);
+        b.li(2, 0);
+        b.li(3, 0);
+        b.sys(Sysno::Wait4);
+    }
+
+    // Final freshness pass.
+    for &out in out_paths.iter().take(PROGRAMS as usize) {
+        b.la(0, out);
+        b.la(1, statbuf);
+        b.sys(Sysno::Stat);
+    }
+    b.li(0, 0);
+    b.sys(Sysno::Exit);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_kernel::{RunOutcome, I486_25};
+
+    #[test]
+    fn builds_all_objects_with_64_fork_exec_pairs() {
+        assert_eq!(fork_exec_pairs(), 64);
+        let mut k = Kernel::new(I486_25);
+        setup(&mut k);
+        spawn(&mut k);
+        assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
+        for p in 0..PROGRAMS {
+            let out = k
+                .read_file(format!("/usr/src/proj/prog{p}").as_bytes())
+                .unwrap();
+            assert_eq!(out.len() as u64, 1024 * WRITES_PER_STAGE);
+        }
+        assert_eq!(k.running_count(), 0);
+    }
+
+    #[test]
+    fn syscall_count_near_paper() {
+        let mut k = Kernel::new(I486_25);
+        setup(&mut k);
+        spawn(&mut k);
+        assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
+        let calls = k.total_syscalls;
+        assert!(
+            (13_300..=14_400).contains(&calls),
+            "paper: 13,849; got {calls}"
+        );
+    }
+
+    #[test]
+    fn base_runtime_near_paper_on_i486() {
+        let mut k = Kernel::new(I486_25);
+        setup(&mut k);
+        spawn(&mut k);
+        assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
+        let secs = k.clock.elapsed_secs();
+        assert!(
+            (14.0..18.5).contains(&secs),
+            "paper: 16.0 s; got {secs:.1} s"
+        );
+    }
+}

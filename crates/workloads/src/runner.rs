@@ -1,0 +1,190 @@
+//! The measurement harness shared by tests, benches and the `reproduce`
+//! binary: run a workload under a chosen agent, read the virtual clock.
+
+use ia_agents::{DfsTraceAgent, ProfileAgent, TimeSymbolic, Timex, TraceAgent, UnionAgent};
+use ia_interpose::InterposedRouter;
+use ia_kernel::{Kernel, MachineProfile, RunOutcome};
+
+/// Which workload to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Format-my-dissertation (Table 3-2; VAX profile).
+    Scribe,
+    /// Make-8-programs (Table 3-3; i486 profile).
+    Make8,
+}
+
+/// Which agent to interpose, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentKind {
+    /// No interposition (the "None" rows).
+    None,
+    /// The time-shifting agent.
+    Timex,
+    /// The call-tracing agent.
+    Trace,
+    /// Union directories (mounted over the workload's directories).
+    Union,
+    /// The null full-interception symbolic agent.
+    TimeSymbolic,
+    /// File-reference tracing.
+    DfsTrace,
+    /// Call counting.
+    Profile,
+}
+
+impl AgentKind {
+    /// All kinds, table order.
+    pub const TABLE_ROWS: [AgentKind; 4] = [
+        AgentKind::None,
+        AgentKind::Timex,
+        AgentKind::Trace,
+        AgentKind::Union,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AgentKind::None => "None",
+            AgentKind::Timex => "timex",
+            AgentKind::Trace => "trace",
+            AgentKind::Union => "union",
+            AgentKind::TimeSymbolic => "time_symbolic",
+            AgentKind::DfsTrace => "dfs_trace",
+            AgentKind::Profile => "profile",
+        }
+    }
+}
+
+/// What a run produced.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Virtual elapsed seconds.
+    pub virtual_secs: f64,
+    /// Total system calls dispatched at the kernel.
+    pub syscalls: u64,
+    /// Traps intercepted by agents.
+    pub intercepted: u64,
+    /// Traps that bypassed agents (pay-per-use).
+    pub passthrough: u64,
+    /// Scheduler outcome.
+    pub outcome: RunOutcome,
+}
+
+/// Union mount specs used when benchmarking the union agent: overlay the
+/// workload's directories, so most calls traverse the agent.
+fn union_specs(w: Workload) -> Vec<Vec<u8>> {
+    match w {
+        Workload::Scribe => vec![
+            b"/home/mbj/diss=/home/mbj/diss:/usr/lib/scribe".to_vec(),
+            b"/usr/lib/scribe/fonts=/usr/lib/scribe/fonts:/usr/share".to_vec(),
+        ],
+        Workload::Make8 => vec![b"/usr/src/proj=/usr/src/proj:/tmp".to_vec()],
+    }
+}
+
+/// Runs `workload` on `profile` under `agent`, returning the statistics.
+#[must_use]
+pub fn run_workload(workload: Workload, profile: MachineProfile, agent: AgentKind) -> RunStats {
+    let mut k = Kernel::new(profile);
+    let pid = match workload {
+        Workload::Scribe => {
+            crate::scribe::setup(&mut k);
+            k.spawn_image(&crate::scribe::image(), &[b"scribe"], b"scribe")
+        }
+        Workload::Make8 => {
+            crate::make8::setup(&mut k);
+            crate::make8::spawn(&mut k)
+        }
+    };
+
+    let mut router = InterposedRouter::new();
+    match agent {
+        AgentKind::None => {}
+        AgentKind::Timex => {
+            ia_interpose::wrap_process(&mut k, &mut router, pid, Timex::boxed(3600), &[]);
+        }
+        AgentKind::Trace => {
+            let (a, _) = TraceAgent::new();
+            ia_interpose::wrap_process(&mut k, &mut router, pid, Box::new(a), &[]);
+        }
+        AgentKind::Union => {
+            let specs = union_specs(workload);
+            let refs: Vec<&[u8]> = specs.iter().map(Vec::as_slice).collect();
+            ia_interpose::wrap_process(&mut k, &mut router, pid, UnionAgent::boxed(&refs), &[]);
+        }
+        AgentKind::TimeSymbolic => {
+            ia_interpose::wrap_process(&mut k, &mut router, pid, TimeSymbolic::boxed(), &[]);
+        }
+        AgentKind::DfsTrace => {
+            let (a, _) = DfsTraceAgent::new();
+            ia_interpose::wrap_process(&mut k, &mut router, pid, a, &[]);
+        }
+        AgentKind::Profile => {
+            let (a, _) = ProfileAgent::new();
+            ia_interpose::wrap_process(&mut k, &mut router, pid, Box::new(a), &[]);
+        }
+    }
+
+    let outcome = k.run_with(&mut router);
+    RunStats {
+        virtual_secs: k.clock.elapsed_secs(),
+        syscalls: k.total_syscalls,
+        intercepted: router.stats.intercepted,
+        passthrough: router.stats.passthrough,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_kernel::{I486_25, VAX_6250};
+
+    #[test]
+    fn table_3_2_shape_holds() {
+        // Paper: base 151.7 s; timex +0.5 s (0.3%), trace +3.5 s (2.5%),
+        // union +5.0 s (3.5%). Require the ordering and the "practically
+        // negligible" property (all under ~6%).
+        let base = run_workload(Workload::Scribe, VAX_6250, AgentKind::None);
+        assert_eq!(base.outcome, RunOutcome::AllExited);
+        let timex = run_workload(Workload::Scribe, VAX_6250, AgentKind::Timex);
+        let trace = run_workload(Workload::Scribe, VAX_6250, AgentKind::Trace);
+        let union = run_workload(Workload::Scribe, VAX_6250, AgentKind::Union);
+        let s = |r: &RunStats| (r.virtual_secs / base.virtual_secs - 1.0) * 100.0;
+        assert!(s(&timex) > 0.0, "timex adds something: {:.2}%", s(&timex));
+        assert!(
+            s(&timex) < s(&trace) && s(&trace) < s(&union),
+            "ordering timex < trace < union: {:.2} {:.2} {:.2}",
+            s(&timex),
+            s(&trace),
+            s(&union)
+        );
+        assert!(s(&union) < 8.0, "all slowdowns small: {:.2}%", s(&union));
+    }
+
+    #[test]
+    fn table_3_3_shape_holds() {
+        // Paper: base 16.0 s; timex +19%, union +82%, trace +107%.
+        let base = run_workload(Workload::Make8, I486_25, AgentKind::None);
+        assert_eq!(base.outcome, RunOutcome::AllExited);
+        let timex = run_workload(Workload::Make8, I486_25, AgentKind::Timex);
+        let trace = run_workload(Workload::Make8, I486_25, AgentKind::Trace);
+        let union = run_workload(Workload::Make8, I486_25, AgentKind::Union);
+        let s = |r: &RunStats| (r.virtual_secs / base.virtual_secs - 1.0) * 100.0;
+        assert!(
+            s(&timex) > 5.0,
+            "timex slowdown significant on fork-heavy work: {:.1}%",
+            s(&timex)
+        );
+        assert!(
+            s(&timex) < s(&union) && s(&union) < s(&trace),
+            "ordering timex < union < trace: {:.1} {:.1} {:.1}",
+            s(&timex),
+            s(&union),
+            s(&trace)
+        );
+        assert!(s(&trace) > 50.0, "trace slowdown large: {:.1}%", s(&trace));
+    }
+}

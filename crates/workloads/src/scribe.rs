@@ -1,0 +1,205 @@
+//! The "format my dissertation" workload (§3.4.1.1, Table 3-2).
+//!
+//! "This task requires 716 system calls. When run without any agents, it
+//! takes 151.7 seconds of elapsed time" on a VAX 6250.
+//!
+//! The simulated Scribe: one process that reads a dissertation chapter by
+//! chapter, "formats" each chapter (a calibrated compute loop), and writes
+//! the device output — reproducing both the syscall count and the
+//! compute-dominated time profile. Run it on the
+//! [`ia_kernel::VAX_6250`] profile to regenerate the table.
+
+use ia_abi::{OpenFlags, Sysno};
+use ia_kernel::Kernel;
+use ia_vm::{Image, ProgramBuilder};
+
+/// Number of chapters in the simulated dissertation.
+pub const CHAPTERS: u64 = 10;
+/// Reads per chapter (4 KB each).
+pub const READS_PER_CHAPTER: u64 = 12;
+/// Output writes per chapter.
+pub const WRITES_PER_CHAPTER: u64 = 24;
+/// Auxiliary database lookups (fonts, macros) per chapter: stat + open +
+/// read + close.
+pub const AUX_PER_CHAPTER: u64 = 8;
+/// Compute-loop iterations per chapter. Each iteration is 2 instructions;
+/// calibrated so the whole run takes ≈151.7 virtual seconds on the VAX
+/// profile (instruction costs are inflated by `compute_scale`, see
+/// `ia_kernel::clock`).
+pub const BURN_PER_CHAPTER: u64 = 600_000;
+
+/// Syscalls this workload performs, by construction:
+/// per chapter: open+close of the source (2), reads, aux lookups (4 each),
+/// output writes, one gettimeofday; plus: an initial getpid, open+close of
+/// the output file, a final fstat+stat pair, and exit — 716 in all, the
+/// paper's count.
+#[must_use]
+pub fn expected_syscalls() -> u64 {
+    CHAPTERS * (2 + READS_PER_CHAPTER + AUX_PER_CHAPTER * 4 + WRITES_PER_CHAPTER + 1) + 6
+}
+
+/// Installs the dissertation sources and auxiliary files.
+pub fn setup(k: &mut Kernel) {
+    k.mkdir_p(b"/home/mbj/diss").unwrap();
+    k.mkdir_p(b"/usr/lib/scribe/fonts").unwrap();
+    let chapter = vec![b'x'; 4096 * READS_PER_CHAPTER as usize];
+    for c in 0..CHAPTERS {
+        k.write_file(format!("/home/mbj/diss/ch{c}.mss").as_bytes(), &chapter)
+            .unwrap();
+    }
+    for c in 0..CHAPTERS {
+        for a in 0..AUX_PER_CHAPTER {
+            k.write_file(
+                format!("/usr/lib/scribe/fonts/f{c}_{a}.fd").as_bytes(),
+                &vec![b'f'; 512],
+            )
+            .unwrap();
+        }
+    }
+}
+
+/// Builds the Scribe program image.
+#[must_use]
+pub fn image() -> Image {
+    let mut b = ProgramBuilder::new();
+    let buf = b.data_space(4096);
+    let statbuf = b.data_space(128);
+    let out_path = b.data_asciz(b"/home/mbj/diss/thesis.dvi");
+    let tvbuf = b.data_space(16);
+
+    let mut chapter_paths = Vec::new();
+    let mut aux_paths = Vec::new();
+    for c in 0..CHAPTERS {
+        chapter_paths.push(b.data_asciz(format!("/home/mbj/diss/ch{c}.mss").as_bytes()));
+        for a in 0..AUX_PER_CHAPTER {
+            aux_paths.push(b.data_asciz(format!("/usr/lib/scribe/fonts/f{c}_{a}.fd").as_bytes()));
+        }
+    }
+
+    b.entry_here();
+    b.sys(Sysno::Getpid); // Scribe asks for its pid once, for its log name.
+                          // Open the output device file once.
+    b.la(0, out_path);
+    b.li(
+        1,
+        u64::from(OpenFlags::O_WRONLY | OpenFlags::O_CREAT | OpenFlags::O_TRUNC),
+    );
+    b.li(2, 0o644);
+    b.sys(Sysno::Open);
+    b.mov(12, 0); // r12 = output fd
+
+    for c in 0..CHAPTERS as usize {
+        // Open the chapter.
+        b.la(0, chapter_paths[c]);
+        b.li(1, 0);
+        b.li(2, 0);
+        b.sys(Sysno::Open);
+        b.mov(13, 0); // r13 = chapter fd
+                      // Read it.
+        for _ in 0..READS_PER_CHAPTER {
+            b.mov(0, 13);
+            b.la(1, buf);
+            b.li(2, 4096);
+            b.sys(Sysno::Read);
+        }
+        b.mov(0, 13);
+        b.sys(Sysno::Close);
+
+        // Font/macro database lookups.
+        for a in 0..AUX_PER_CHAPTER as usize {
+            let p = aux_paths[c * AUX_PER_CHAPTER as usize + a];
+            b.la(0, p);
+            b.la(1, statbuf);
+            b.sys(Sysno::Stat);
+            b.la(0, p);
+            b.li(1, 0);
+            b.li(2, 0);
+            b.sys(Sysno::Open);
+            b.mov(13, 0);
+            b.mov(0, 13);
+            b.la(1, buf);
+            b.li(2, 512);
+            b.sys(Sysno::Read);
+            b.mov(0, 13);
+            b.sys(Sysno::Close);
+        }
+
+        // "Format" the chapter: the compute-bound phase.
+        b.burn(BURN_PER_CHAPTER);
+
+        // Progress timestamp (Scribe stamps its logs).
+        b.la(0, tvbuf);
+        b.li(1, 0);
+        b.sys(Sysno::Gettimeofday);
+
+        // Emit the formatted output.
+        for _ in 0..WRITES_PER_CHAPTER {
+            b.mov(0, 12);
+            b.la(1, buf);
+            b.li(2, 1024);
+            b.sys(Sysno::Write);
+        }
+    }
+
+    // Final bookkeeping and exit.
+    b.mov(0, 12);
+    b.la(1, statbuf);
+    b.sys(Sysno::Fstat);
+    b.mov(0, 12);
+    b.sys(Sysno::Close);
+    b.la(0, out_path);
+    b.la(1, statbuf);
+    b.sys(Sysno::Stat);
+    b.li(0, 0);
+    b.sys(Sysno::Exit);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_kernel::{RunOutcome, VAX_6250};
+
+    #[test]
+    fn syscall_count_matches_construction() {
+        let mut k = Kernel::new(VAX_6250);
+        setup(&mut k);
+        k.spawn_image(&image(), &[b"scribe"], b"scribe");
+        let before = k.total_syscalls;
+        assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
+        let calls = k.total_syscalls - before;
+        assert_eq!(calls, expected_syscalls(), "construction arithmetic");
+        // The paper's 716: we land close by design.
+        assert!(
+            (660..=780).contains(&calls),
+            "should be near the paper's 716, got {calls}"
+        );
+    }
+
+    #[test]
+    fn base_runtime_near_paper_on_vax() {
+        let mut k = Kernel::new(VAX_6250);
+        setup(&mut k);
+        k.spawn_image(&image(), &[b"scribe"], b"scribe");
+        assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
+        let secs = k.clock.elapsed_secs();
+        assert!(
+            (140.0..165.0).contains(&secs),
+            "paper: 151.7 s; got {secs:.1} s"
+        );
+    }
+
+    #[test]
+    fn output_file_written() {
+        let mut k = Kernel::new(VAX_6250);
+        setup(&mut k);
+        k.spawn_image(&image(), &[b"scribe"], b"scribe");
+        k.run_to_completion();
+        let out = k.read_file(b"/home/mbj/diss/thesis.dvi").unwrap();
+        assert_eq!(
+            out.len() as u64,
+            CHAPTERS * WRITES_PER_CHAPTER * 1024,
+            "all device output landed"
+        );
+    }
+}

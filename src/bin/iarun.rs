@@ -1,0 +1,243 @@
+//! `iarun` — the agent loader as a command: boot the simulated system, run
+//! an image under a stack of agents chosen on the command line.
+//!
+//! ```text
+//! iarun prog.img                                run bare (Figure 1-1)
+//! iarun --trace prog.img                        under the trace agent
+//! iarun --timex +3600 --trace prog.img          stacked agents
+//! iarun --union /u=/a:/b --sandbox prog.img     views + containment
+//! iarun --put host.txt:/etc/data.txt prog.img   preload a file
+//! ```
+//!
+//! Agents listed earlier are wrapped first and therefore sit *lower* in
+//! the chain; the last agent listed sees traps first, as with the paper's
+//! loader invoking loaders.
+
+use std::process::ExitCode;
+
+use interposition_agents::agents::{
+    CryptAgent, ProfileAgent, SandboxAgent, SandboxPolicy, TimeSymbolic, Timex, TraceAgent,
+    UnionAgent, ZipAgent,
+};
+use interposition_agents::interpose::{wrap_process, InterposedRouter};
+use interposition_agents::kernel::{Kernel, I486_25, VAX_6250};
+use interposition_agents::vm::Image;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: iarun [options] <image.img> [args...]\n\
+         \n\
+         agents (stackable; last listed sees traps first):\n\
+         \x20 --timex <±secs>        shift the apparent time of day\n\
+         \x20 --trace                print every call and signal (to stderr at exit)\n\
+         \x20 --profile              per-call counters (printed at exit)\n\
+         \x20 --null                 full-interception pass-through (overhead demo)\n\
+         \x20 --union <v=/a:/b>      union-directory view\n\
+         \x20 --crypt <prefix:key>   transparent encryption under prefix\n\
+         \x20 --zip <prefix>         transparent compression under prefix\n\
+         \x20 --sandbox              locked-down protected environment\n\
+         \n\
+         system:\n\
+         \x20 --vax                  use the VAX 6250 cost profile (default i486)\n\
+         \x20 --put <host:/sim>      copy a host file into the simulated fs\n\
+         \x20 --stdin <text>         queue console input"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut profile = I486_25;
+    let mut puts: Vec<(String, String)> = Vec::new();
+    let mut stdin_text: Option<String> = None;
+    // Agent constructors, applied in order after the process exists.
+    type Wrap = Box<dyn FnOnce(&mut Kernel, &mut InterposedRouter, u32)>;
+    let mut wraps: Vec<Wrap> = Vec::new();
+    let mut image_path: Option<String> = None;
+    let mut prog_args: Vec<Vec<u8>> = Vec::new();
+    let mut reports: Vec<Box<dyn FnOnce()>> = Vec::new();
+
+    while let Some(a) = args.next() {
+        if image_path.is_some() {
+            prog_args.push(a.into_bytes());
+            continue;
+        }
+        match a.as_str() {
+            "--vax" => profile = VAX_6250,
+            "--timex" => {
+                let Some(v) = args
+                    .next()
+                    .and_then(|s| s.trim_start_matches('+').parse::<i64>().ok())
+                else {
+                    return usage();
+                };
+                wraps.push(Box::new(move |k, r, pid| {
+                    wrap_process(k, r, pid, Timex::boxed(v), &[]);
+                }));
+            }
+            "--trace" => {
+                let (agent, handle) = TraceAgent::new();
+                wraps.push(Box::new(move |k, r, pid| {
+                    wrap_process(k, r, pid, Box::new(agent), &[]);
+                }));
+                reports.push(Box::new(move || {
+                    eprintln!("--- trace ---");
+                    eprint!("{}", handle.text());
+                }));
+            }
+            "--profile" => {
+                let (agent, handle) = ProfileAgent::new();
+                wraps.push(Box::new(move |k, r, pid| {
+                    wrap_process(k, r, pid, Box::new(agent), &[]);
+                }));
+                reports.push(Box::new(move || {
+                    eprintln!("--- profile ---");
+                    eprint!("{}", handle.report());
+                }));
+            }
+            "--null" => wraps.push(Box::new(|k, r, pid| {
+                wrap_process(k, r, pid, TimeSymbolic::boxed(), &[]);
+            })),
+            "--union" => {
+                let Some(spec) = args.next() else {
+                    return usage();
+                };
+                wraps.push(Box::new(move |k, r, pid| {
+                    wrap_process(k, r, pid, UnionAgent::boxed(&[spec.as_bytes()]), &[]);
+                }));
+            }
+            "--crypt" => {
+                let Some(spec) = args.next() else {
+                    return usage();
+                };
+                let Some((prefix, key)) = spec.split_once(':') else {
+                    return usage();
+                };
+                let (prefix, key) = (prefix.to_string(), key.to_string());
+                wraps.push(Box::new(move |k, r, pid| {
+                    wrap_process(
+                        k,
+                        r,
+                        pid,
+                        CryptAgent::boxed(prefix.as_bytes(), key.as_bytes()),
+                        &[],
+                    );
+                }));
+            }
+            "--zip" => {
+                let Some(prefix) = args.next() else {
+                    return usage();
+                };
+                wraps.push(Box::new(move |k, r, pid| {
+                    wrap_process(k, r, pid, ZipAgent::boxed(prefix.as_bytes()), &[]);
+                }));
+            }
+            "--sandbox" => {
+                let (agent, handle) = SandboxAgent::new(SandboxPolicy::locked_down());
+                wraps.push(Box::new(move |k, r, pid| {
+                    wrap_process(k, r, pid, agent, &[]);
+                }));
+                reports.push(Box::new(move || {
+                    eprintln!("--- sandbox violations ---");
+                    for v in handle.violations() {
+                        eprintln!(
+                            "  {:<10} {:<30} -> {}",
+                            v.call,
+                            String::from_utf8_lossy(&v.path),
+                            v.result
+                        );
+                    }
+                }));
+            }
+            "--put" => {
+                let Some(spec) = args.next() else {
+                    return usage();
+                };
+                let Some((host, sim)) = spec.split_once(':') else {
+                    return usage();
+                };
+                puts.push((host.to_string(), sim.to_string()));
+            }
+            "--stdin" => {
+                stdin_text = args.next();
+                if stdin_text.is_none() {
+                    return usage();
+                }
+            }
+            "--help" | "-h" => return usage(),
+            other if other.starts_with('-') => {
+                eprintln!("iarun: unknown option {other}");
+                return usage();
+            }
+            path => {
+                image_path = Some(path.to_string());
+                prog_args.push(path.as_bytes().to_vec());
+            }
+        }
+    }
+
+    let Some(image_path) = image_path else {
+        return usage();
+    };
+    let bytes = match std::fs::read(&image_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("iarun: {image_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let image = match Image::from_bytes(&bytes) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("iarun: {image_path}: not a valid image ({e}); try `iasm` first");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut k = Kernel::new(profile);
+    for (host, sim) in puts {
+        match std::fs::read(&host) {
+            Ok(data) => {
+                if sim.rfind('/').map_or(0, |i| i) > 0 {
+                    let _ = k.mkdir_p(&sim.as_bytes()[..sim.rfind('/').unwrap()]);
+                }
+                if let Err(e) = k.write_file(sim.as_bytes(), &data) {
+                    eprintln!("iarun: --put {sim}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("iarun: --put {host}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(text) = stdin_text {
+        k.console.push_input(text.as_bytes());
+        k.console.set_input_eof();
+    }
+
+    let argv: Vec<&[u8]> = prog_args.iter().map(Vec::as_slice).collect();
+    let name = argv[0].to_vec();
+    let pid = k.spawn_image(&image, &argv, &name);
+    let mut router = InterposedRouter::new();
+    for w in wraps {
+        w(&mut k, &mut router, pid);
+    }
+
+    let outcome = k.run_with(&mut router);
+    print!("{}", k.console.output_string());
+    for r in reports {
+        r();
+    }
+    eprintln!(
+        "[iarun: {outcome:?}; virtual {:.4}s; {} syscalls; {} intercepted]",
+        k.clock.elapsed_secs(),
+        k.total_syscalls,
+        router.stats.intercepted
+    );
+    match k.exit_status(pid).map(ia_abi::signal::WaitStatus::decode) {
+        Some(Some(ia_abi::signal::WaitStatus::Exited(c))) => ExitCode::from(c),
+        _ => ExitCode::FAILURE,
+    }
+}

@@ -1,0 +1,75 @@
+//! `iasm` — assemble simulated-system programs into image files.
+//!
+//! ```text
+//! iasm prog.s -o prog.img      # assemble
+//! iasm -d prog.img             # disassemble an image
+//! ```
+
+use std::process::ExitCode;
+
+use interposition_agents::vm::{assemble, disassemble, Image};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: iasm <source.s> [-o <out.img>]");
+    eprintln!("       iasm -d <image.img>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag, path] if flag == "-d" => {
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("iasm: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Image::from_bytes(&bytes) {
+                Ok(img) => {
+                    print!("{}", disassemble(&img));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("iasm: {path}: not a valid image ({e})");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        [src] | [src, _, _] if !src.starts_with('-') => {
+            let out = match args.as_slice() {
+                [_, o, out] if o == "-o" => out.clone(),
+                [src] => format!("{}.img", src.trim_end_matches(".s")),
+                _ => return usage(),
+            };
+            let text = match std::fs::read_to_string(src) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("iasm: {src}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match assemble(&text) {
+                Ok(img) => {
+                    if let Err(e) = std::fs::write(&out, img.to_bytes()) {
+                        eprintln!("iasm: {out}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!(
+                        "iasm: {out}: {} instructions, {} data bytes, entry {}",
+                        img.code.len(),
+                        img.data.len(),
+                        img.entry
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("iasm: {src}:{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,25 @@
+//! # interposition-agents — facade crate
+//!
+//! Rust reproduction of *"Interposition Agents: Transparently Interposing
+//! User Code at the System Interface"* (Michael B. Jones, SOSP 1993).
+//!
+//! This crate re-exports the whole workspace under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! - [`abi`] — the 4.3BSD-style system interface definition
+//! - [`vfs`] — the in-memory filesystem substrate
+//! - [`vm`] — the register-machine VM and assembler ("binaries")
+//! - [`kernel`] — the simulated 4.3BSD kernel
+//! - [`interpose`] — the system-call interception mechanism
+//! - [`toolkit`] — **the paper's contribution**: the layered agent toolkit
+//! - [`agents`] — agents built with the toolkit (timex, trace, union, ...)
+//! - [`workloads`] — the paper's benchmark workloads
+
+pub use ia_abi as abi;
+pub use ia_agents as agents;
+pub use ia_interpose as interpose;
+pub use ia_kernel as kernel;
+pub use ia_toolkit as toolkit;
+pub use ia_vfs as vfs;
+pub use ia_vm as vm;
+pub use ia_workloads as workloads;

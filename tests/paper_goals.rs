@@ -1,0 +1,62 @@
+//! The paper's four design goals (§2.1) and headline results (§3), as one
+//! executable checklist.
+
+use ia_bench::{table_3_1, table_3_2, table_3_3};
+
+/// Goal 3 — appropriate code size: "the amount of new code necessary to
+/// implement an agent using the toolkit should only be proportional to the
+/// new functionality to be implemented by the agent — not to the size of
+/// the system interface."
+#[test]
+fn goal_appropriate_code_size() {
+    let rows = table_3_1();
+    let timex = rows.iter().find(|r| r.name == "timex").unwrap();
+    let trace = rows.iter().find(|r| r.name == "trace").unwrap();
+    let union = rows.iter().find(|r| r.name == "union").unwrap();
+
+    // timex: two routines' worth of code against a toolkit 20x larger.
+    assert!(timex.toolkit_statements >= 10 * timex.agent_statements);
+    // trace is proportional to the interface; timex is not.
+    assert!(trace.agent_statements >= 5 * timex.agent_statements);
+    // union changes ~40 calls' behaviour yet stays smaller than trace by
+    // leaning on the pathname/directory/descriptor objects.
+    assert!(union.agent_statements < trace.agent_statements);
+    // union reuses strictly more toolkit than the simple agents.
+    assert!(union.toolkit_statements > trace.toolkit_statements);
+}
+
+/// Goal 4 — performance, Table 3-2 shape: on a compute-bound application
+/// the impact is "practically negligible" for every agent.
+#[test]
+fn goal_performance_scribe() {
+    let rows = table_3_2();
+    let base = rows[0].seconds;
+    assert!((140.0..165.0).contains(&base), "paper: 151.7 s, got {base}");
+    for r in &rows[1..] {
+        assert!(
+            r.slowdown_pct < 8.0,
+            "{}: {}% should be negligible",
+            r.agent,
+            r.slowdown_pct
+        );
+    }
+    // Ordering: timex < trace < union.
+    assert!(rows[1].slowdown_pct < rows[2].slowdown_pct);
+    assert!(rows[2].slowdown_pct < rows[3].slowdown_pct);
+}
+
+/// Goal 4 — performance, Table 3-3 shape: on a syscall-bound application
+/// the impact is significant, with timex < union < trace.
+#[test]
+fn goal_performance_make8() {
+    let rows = table_3_3();
+    let base = rows[0].seconds;
+    assert!((14.0..18.5).contains(&base), "paper: 16.0 s, got {base}");
+    let timex = rows.iter().find(|r| r.agent == "timex").unwrap();
+    let trace = rows.iter().find(|r| r.agent == "trace").unwrap();
+    let union = rows.iter().find(|r| r.agent == "union").unwrap();
+    assert!(timex.slowdown_pct > 8.0, "fork/exec tax is visible");
+    assert!(union.slowdown_pct > timex.slowdown_pct);
+    assert!(trace.slowdown_pct > union.slowdown_pct);
+    assert!(trace.slowdown_pct > 60.0, "paper: 107%");
+}

@@ -1,0 +1,104 @@
+//! The paper's §3.1 goal, as executable properties: agents are transparent
+//! to unmodified applications. For arbitrary (seeded random) programs, the
+//! observable behaviour — console output, final filesystem state, exit
+//! status — is identical with and without pass-through agents, and under
+//! stacked agents.
+
+use interposition_agents::agents::{ProfileAgent, TimeSymbolic, TraceAgent};
+use interposition_agents::interpose::{wrap_process, InterposedRouter};
+use interposition_agents::kernel::{Kernel, RunOutcome, I486_25};
+use interposition_agents::workloads::mix;
+use proptest::prelude::*;
+
+/// Observable outcome of a run.
+#[derive(Debug, PartialEq, Eq)]
+struct Observed {
+    console: String,
+    exit_status: Option<u32>,
+    fs_files: usize,
+    fs_bytes: u64,
+}
+
+fn run_mix(seed: u64, ops: usize, agents: &str) -> Observed {
+    let mut k = Kernel::new(I486_25);
+    mix::setup(&mut k);
+    let pid = k.spawn_image(&mix::random_program(seed, ops), &[b"mix"], b"mix");
+    let mut router = InterposedRouter::new();
+    for a in agents.chars() {
+        match a {
+            's' => wrap_process(&mut k, &mut router, pid, TimeSymbolic::boxed(), &[]),
+            'p' => {
+                let (agent, _) = ProfileAgent::new();
+                wrap_process(&mut k, &mut router, pid, Box::new(agent), &[]);
+            }
+            't' => {
+                let (agent, _) = TraceAgent::with_log(b"/dev/null");
+                wrap_process(&mut k, &mut router, pid, Box::new(agent), &[]);
+            }
+            other => panic!("unknown agent tag {other}"),
+        }
+    }
+    let outcome = k.run_with(&mut router);
+    assert_eq!(
+        outcome,
+        RunOutcome::AllExited,
+        "seed {seed} agents {agents}"
+    );
+    let stats = k.fs.stats();
+    Observed {
+        console: k.console.output_string(),
+        exit_status: k.exit_status(pid),
+        // Exclude image files installed at setup: the mix only writes under
+        // /tmp/mix, so global counters are a fair fingerprint.
+        fs_files: stats.files,
+        fs_bytes: stats.bytes,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A full-interception pass-through agent changes nothing observable.
+    #[test]
+    fn null_symbolic_agent_is_transparent(seed in 0u64..5000, ops in 5usize..60) {
+        prop_assert_eq!(run_mix(seed, ops, ""), run_mix(seed, ops, "s"));
+    }
+
+    /// Monitoring agents (profile) are transparent too.
+    #[test]
+    fn profile_agent_is_transparent(seed in 0u64..5000, ops in 5usize..60) {
+        prop_assert_eq!(run_mix(seed, ops, ""), run_mix(seed, ops, "p"));
+    }
+
+    /// Stacks of pass-through agents compose transparently.
+    #[test]
+    fn stacked_agents_are_transparent(seed in 0u64..5000, ops in 5usize..40) {
+        prop_assert_eq!(run_mix(seed, ops, ""), run_mix(seed, ops, "sps"));
+    }
+
+    /// The trace agent perturbs the filesystem only through its own log
+    /// (routed to /dev/null here), so the client view stays identical.
+    #[test]
+    fn trace_agent_preserves_client_behaviour(seed in 0u64..5000, ops in 5usize..40) {
+        prop_assert_eq!(run_mix(seed, ops, ""), run_mix(seed, ops, "t"));
+    }
+}
+
+#[test]
+fn interposition_only_costs_time() {
+    // Same program, same results; strictly more virtual time with agents.
+    let mut plain = Kernel::new(I486_25);
+    mix::setup(&mut plain);
+    plain.spawn_image(&mix::random_program(7, 50), &[b"m"], b"m");
+    plain.run_to_completion();
+
+    let mut k = Kernel::new(I486_25);
+    mix::setup(&mut k);
+    let pid = k.spawn_image(&mix::random_program(7, 50), &[b"m"], b"m");
+    let mut router = InterposedRouter::new();
+    wrap_process(&mut k, &mut router, pid, TimeSymbolic::boxed(), &[]);
+    k.run_with(&mut router);
+
+    assert_eq!(plain.console.output_string(), k.console.output_string());
+    assert!(k.clock.elapsed_ns() > plain.clock.elapsed_ns());
+}
