@@ -1,86 +1,154 @@
-//! Property tests for the wire layer: every structure that crosses the
-//! system interface round-trips through its byte encoding, for arbitrary
-//! field values.
+//! Randomized tests for the wire layer: every structure that crosses the
+//! system interface round-trips through its byte encoding, for seeded
+//! arbitrary field values (in-tree PRNG; no external dependencies).
 
 use ia_abi::signal::{SigSet, Signal};
 use ia_abi::types::{IoVec, ItimerVal, SigContext, NREGS};
 use ia_abi::wire::Wire;
 use ia_abi::{DirEntry, Errno, Rusage, SigActionRec, Stat, Timeval, Timezone};
-use proptest::prelude::*;
+use ia_prng::{run_cases, Prng};
 
-fn tv() -> impl Strategy<Value = Timeval> {
-    (any::<i64>(), 0i64..1_000_000).prop_map(|(sec, usec)| Timeval { sec, usec })
+fn tv(rng: &mut Prng) -> Timeval {
+    Timeval {
+        sec: rng.next_u64() as i64,
+        usec: rng.range_i64(0, 1_000_000),
+    }
 }
 
-proptest! {
-    #[test]
-    fn timeval_round_trips(v in tv()) {
-        prop_assert_eq!(Timeval::decode(&v.to_bytes()).unwrap(), v);
-    }
+#[test]
+fn timeval_round_trips() {
+    run_cases(500, |case, rng| {
+        let v = tv(rng);
+        assert_eq!(Timeval::decode(&v.to_bytes()).unwrap(), v, "case {case}");
+    });
+}
 
-    #[test]
-    fn timeval_micros_round_trip(us in -1_000_000_000_000i64..1_000_000_000_000) {
-        prop_assert_eq!(Timeval::from_micros(us).as_micros(), us);
-    }
+#[test]
+fn timeval_micros_round_trip() {
+    run_cases(500, |case, rng| {
+        let us = rng.range_i64(-1_000_000_000_000, 1_000_000_000_000);
+        assert_eq!(Timeval::from_micros(us).as_micros(), us, "case {case}");
+    });
+}
 
-    #[test]
-    fn timezone_round_trips(mw in any::<i32>(), dst in any::<i32>()) {
-        let v = Timezone { minuteswest: mw, dsttime: dst };
-        prop_assert_eq!(Timezone::decode(&v.to_bytes()).unwrap(), v);
-    }
+#[test]
+fn timezone_round_trips() {
+    run_cases(200, |case, rng| {
+        let v = Timezone {
+            minuteswest: rng.next_u64() as i32,
+            dsttime: rng.next_u64() as i32,
+        };
+        assert_eq!(Timezone::decode(&v.to_bytes()).unwrap(), v, "case {case}");
+    });
+}
 
-    #[test]
-    fn stat_round_trips(
-        dev in any::<u32>(), ino in any::<u64>(), mode in any::<u32>(),
-        nlink in any::<u32>(), uid in any::<u32>(), gid in any::<u32>(),
-        rdev in any::<u32>(), size in any::<u64>(),
-        atime in tv(), mtime in tv(), ctime in tv(),
-        blksize in any::<u32>(), blocks in any::<u64>(),
-    ) {
-        let v = Stat { dev, ino, mode, nlink, uid, gid, rdev, size, atime, mtime, ctime, blksize, blocks };
-        prop_assert_eq!(Stat::decode(&v.to_bytes()).unwrap(), v);
-    }
+#[test]
+fn stat_round_trips() {
+    run_cases(300, |case, rng| {
+        let v = Stat {
+            dev: rng.next_u64() as u32,
+            ino: rng.next_u64(),
+            mode: rng.next_u64() as u32,
+            nlink: rng.next_u64() as u32,
+            uid: rng.next_u64() as u32,
+            gid: rng.next_u64() as u32,
+            rdev: rng.next_u64() as u32,
+            size: rng.next_u64(),
+            atime: tv(rng),
+            mtime: tv(rng),
+            ctime: tv(rng),
+            blksize: rng.next_u64() as u32,
+            blocks: rng.next_u64(),
+        };
+        assert_eq!(Stat::decode(&v.to_bytes()).unwrap(), v, "case {case}");
+    });
+}
 
-    #[test]
-    fn rusage_round_trips(
-        utime in tv(), stime in tv(),
-        maxrss in any::<u64>(), inblock in any::<u64>(), oublock in any::<u64>(),
-        nsignals in any::<u64>(), nvcsw in any::<u64>(), nivcsw in any::<u64>(),
-    ) {
-        let v = Rusage { utime, stime, maxrss, inblock, oublock, nsignals, nvcsw, nivcsw };
-        prop_assert_eq!(Rusage::decode(&v.to_bytes()).unwrap(), v);
-    }
+#[test]
+fn rusage_round_trips() {
+    run_cases(300, |case, rng| {
+        let v = Rusage {
+            utime: tv(rng),
+            stime: tv(rng),
+            maxrss: rng.next_u64(),
+            inblock: rng.next_u64(),
+            oublock: rng.next_u64(),
+            nsignals: rng.next_u64(),
+            nvcsw: rng.next_u64(),
+            nivcsw: rng.next_u64(),
+        };
+        assert_eq!(Rusage::decode(&v.to_bytes()).unwrap(), v, "case {case}");
+    });
+}
 
-    #[test]
-    fn sigaction_round_trips(handler in any::<u64>(), mask in any::<u32>(), flags in any::<u32>()) {
-        let v = SigActionRec { handler, mask, flags };
-        prop_assert_eq!(SigActionRec::decode(&v.to_bytes()).unwrap(), v);
-    }
+#[test]
+fn sigaction_round_trips() {
+    run_cases(300, |case, rng| {
+        let v = SigActionRec {
+            handler: rng.next_u64(),
+            mask: rng.next_u64() as u32,
+            flags: rng.next_u64() as u32,
+        };
+        assert_eq!(
+            SigActionRec::decode(&v.to_bytes()).unwrap(),
+            v,
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn iovec_itimer_round_trip(base in any::<u64>(), len in any::<u64>(), a in tv(), b in tv()) {
-        let v = IoVec { base, len };
-        prop_assert_eq!(IoVec::decode(&v.to_bytes()).unwrap(), v);
-        let it = ItimerVal { interval: a, value: b };
-        prop_assert_eq!(ItimerVal::decode(&it.to_bytes()).unwrap(), it);
-    }
+#[test]
+fn iovec_itimer_round_trip() {
+    run_cases(300, |case, rng| {
+        let v = IoVec {
+            base: rng.next_u64(),
+            len: rng.next_u64(),
+        };
+        assert_eq!(IoVec::decode(&v.to_bytes()).unwrap(), v, "case {case}");
+        let it = ItimerVal {
+            interval: tv(rng),
+            value: tv(rng),
+        };
+        assert_eq!(
+            ItimerVal::decode(&it.to_bytes()).unwrap(),
+            it,
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn sigcontext_round_trips(pc in any::<u64>(), regs in proptest::array::uniform32(any::<u64>()), mask in 0u32..0x8000_0000) {
-        let mut ctx = SigContext { pc, regs: [0; NREGS], mask: SigSet::from_bits(mask) };
-        ctx.regs.copy_from_slice(&regs[..NREGS]);
-        prop_assert_eq!(SigContext::decode(&ctx.to_bytes()).unwrap(), ctx);
-    }
+#[test]
+fn sigcontext_round_trips() {
+    run_cases(300, |case, rng| {
+        let mut ctx = SigContext {
+            pc: rng.next_u64(),
+            regs: [0; NREGS],
+            mask: SigSet::from_bits(rng.below(0x8000_0000) as u32),
+        };
+        for r in &mut ctx.regs {
+            *r = rng.next_u64();
+        }
+        assert_eq!(
+            SigContext::decode(&ctx.to_bytes()).unwrap(),
+            ctx,
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn direntry_streams_round_trip(entries in proptest::collection::vec(
-        (any::<u64>(), proptest::collection::vec(1u8..=255, 1..40)), 0..12
-    )) {
-        let entries: Vec<DirEntry> = entries
-            .into_iter()
-            .map(|(ino, mut name)| {
+#[test]
+fn direntry_streams_round_trip() {
+    run_cases(300, |case, rng| {
+        let entries: Vec<DirEntry> = (0..rng.range_usize(0, 12))
+            .map(|_| {
+                let ino = rng.next_u64();
+                let mut name: Vec<u8> = (0..rng.range_usize(1, 40))
+                    .map(|_| rng.range_u64(1, 256) as u8)
+                    .collect();
                 name.retain(|&c| c != b'/');
-                if name.is_empty() { name.push(b'x'); }
+                if name.is_empty() {
+                    name.push(b'x');
+                }
                 DirEntry::new(ino, name)
             })
             .collect();
@@ -88,43 +156,79 @@ proptest! {
         for e in &entries {
             e.encode_to(&mut buf);
         }
-        prop_assert_eq!(DirEntry::decode_stream(&buf).unwrap(), entries);
-    }
+        assert_eq!(
+            DirEntry::decode_stream(&buf).unwrap(),
+            entries,
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn truncated_decodes_fail_not_panic(bytes in proptest::collection::vec(any::<u8>(), 0..40)) {
+#[test]
+fn truncated_decodes_fail_not_panic() {
+    run_cases(500, |case, rng| {
+        let len = rng.range_usize(0, 40);
+        let bytes = rng.bytes(len);
         // Short random buffers must error cleanly for fixed-size structs.
         if bytes.len() < Stat::WIRE_SIZE {
-            prop_assert!(Stat::decode(&bytes).is_err());
+            assert!(Stat::decode(&bytes).is_err(), "case {case}");
         }
         // DirEntry decoding of arbitrary bytes never panics.
         let _ = DirEntry::decode_stream(&bytes);
-    }
+    });
+}
 
-    #[test]
-    fn sigset_ops_behave_like_sets(a in 0u32..0x8000_0000, b in 0u32..0x8000_0000) {
+#[test]
+fn sigset_ops_behave_like_sets() {
+    run_cases(500, |case, rng| {
+        let a = rng.below(0x8000_0000) as u32;
+        let b = rng.below(0x8000_0000) as u32;
         let sa = SigSet::from_bits(a);
         let sb = SigSet::from_bits(b);
-        prop_assert_eq!(sa.union(sb).bits(), (a | b) & 0x7fff_ffff);
-        prop_assert_eq!(sa.minus(sb).bits(), (a & !b) & 0x7fff_ffff);
+        assert_eq!(sa.union(sb).bits(), (a | b) & 0x7fff_ffff, "case {case}");
+        assert_eq!(sa.minus(sb).bits(), (a & !b) & 0x7fff_ffff, "case {case}");
         for sig in ia_abi::signal::ALL_SIGNALS {
-            prop_assert_eq!(sa.union(sb).contains(*sig), sa.contains(*sig) || sb.contains(*sig));
+            assert_eq!(
+                sa.union(sb).contains(*sig),
+                sa.contains(*sig) || sb.contains(*sig),
+                "case {case}"
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn errno_code_round_trips(code in 1u32..=69) {
+#[test]
+fn errno_code_round_trips() {
+    for code in 1u32..=69 {
         let e = Errno::from_code(code).unwrap();
-        prop_assert_eq!(e.code(), code);
-        prop_assert!(!e.name().is_empty());
+        assert_eq!(e.code(), code);
+        assert!(!e.name().is_empty());
     }
+}
 
-    #[test]
-    fn wait_status_encodings_disjoint(code in any::<u8>(), signo in 1u32..=31) {
-        use ia_abi::signal::{wait_status_exited, wait_status_signaled, wait_status_stopped, WaitStatus};
+#[test]
+fn wait_status_encodings_disjoint() {
+    use ia_abi::signal::{
+        wait_status_exited, wait_status_signaled, wait_status_stopped, WaitStatus,
+    };
+    run_cases(300, |case, rng| {
+        let code = rng.next_u64() as u8;
+        let signo = rng.range_u64(1, 32) as u32;
         let sig = Signal::from_u32(signo).unwrap();
-        prop_assert_eq!(WaitStatus::decode(wait_status_exited(code)), Some(WaitStatus::Exited(code)));
-        prop_assert_eq!(WaitStatus::decode(wait_status_signaled(sig)), Some(WaitStatus::Signaled(sig)));
-        prop_assert_eq!(WaitStatus::decode(wait_status_stopped(sig)), Some(WaitStatus::Stopped(sig)));
-    }
+        assert_eq!(
+            WaitStatus::decode(wait_status_exited(code)),
+            Some(WaitStatus::Exited(code)),
+            "case {case}"
+        );
+        assert_eq!(
+            WaitStatus::decode(wait_status_signaled(sig)),
+            Some(WaitStatus::Signaled(sig)),
+            "case {case}"
+        );
+        assert_eq!(
+            WaitStatus::decode(wait_status_stopped(sig)),
+            Some(WaitStatus::Stopped(sig)),
+            "case {case}"
+        );
+    });
 }

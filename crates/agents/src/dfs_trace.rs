@@ -24,10 +24,9 @@ use ia_toolkit::{
     obj_ref, DefaultPathname, FsAgent, ObjRef, OpenObject, PathIntent, Pathname, PathnameSet,
     Scratch, SymCtx, Symbolic,
 };
-use serde::{Deserialize, Serialize};
 
 /// Operation codes, after DFSTrace's record types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 #[repr(u8)]
 pub enum TraceOp {
@@ -71,7 +70,7 @@ impl TraceOp {
 }
 
 /// One trace record.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Virtual time, seconds.
     pub sec: i64,
@@ -591,7 +590,7 @@ mod tests {
 
 /// Per-path statistics extracted from a trace — the analysis the Coda
 /// project ran over DFSTrace logs to characterize filesystem workloads.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PathStats {
     /// Successful opens.
     pub opens: u64,
@@ -677,8 +676,7 @@ pub fn analyze(records: &[TraceRecord]) -> TraceAnalysis {
         ..TraceAnalysis::default()
     };
     if let (Some(first), Some(last)) = (records.first(), records.last()) {
-        a.duration_us =
-            (last.sec * 1_000_000 + last.usec) - (first.sec * 1_000_000 + first.usec);
+        a.duration_us = (last.sec * 1_000_000 + last.usec) - (first.sec * 1_000_000 + first.usec);
     }
     for r in records {
         if r.errno != 0 {

@@ -4,8 +4,8 @@
 //! * agent chain depth (stacking cost per layer),
 //! * the symbolic decoding layer vs raw numeric interposition.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ia_abi::RawArgs;
+use ia_bench::harness::case;
 use ia_interpose::{Agent, InterestSet, InterposedRouter, SysCtx};
 use ia_kernel::{Kernel, RunOutcome, SysOutcome, I486_25};
 
@@ -46,22 +46,17 @@ fn run_mix(agents: usize, symbolic: bool, narrow: bool) -> u64 {
     k.clock.elapsed_ns()
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation");
-    g.sample_size(20);
-    g.bench_function("no_agent", |b| b.iter(|| run_mix(0, false, false)));
-    g.bench_function("narrow_interests_pay_per_use", |b| {
-        b.iter(|| run_mix(1, false, true));
+fn main() {
+    const GROUP: &str = "ablation";
+    case(GROUP, "no_agent", 20, || run_mix(0, false, false));
+    case(GROUP, "narrow_interests_pay_per_use", 20, || {
+        run_mix(1, false, true)
     });
-    g.bench_function("raw_numeric_agent", |b| b.iter(|| run_mix(1, false, false)));
-    g.bench_function("symbolic_agent", |b| b.iter(|| run_mix(1, true, false)));
+    case(GROUP, "raw_numeric_agent", 20, || run_mix(1, false, false));
+    case(GROUP, "symbolic_agent", 20, || run_mix(1, true, false));
     for depth in [2usize, 4] {
-        g.bench_function(format!("symbolic_chain_depth_{depth}"), |b| {
-            b.iter(|| run_mix(depth, true, false));
+        case(GROUP, &format!("symbolic_chain_depth_{depth}"), 20, || {
+            run_mix(depth, true, false)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,20 +1,14 @@
-//! Criterion bench for the §3.5.2 comparison: the file-intensive workload
-//! with and without dfs_trace file-reference tracing.
+//! Host wall-clock bench for the §3.5.2 comparison: the file-intensive
+//! workload with and without dfs_trace file-reference tracing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ia_bench::harness::case;
 use ia_kernel::I486_25;
 use ia_workloads::{run_workload, AgentKind, Workload};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dfs_trace_comparison");
-    g.sample_size(10);
+fn main() {
     for agent in [AgentKind::None, AgentKind::DfsTrace, AgentKind::Profile] {
-        g.bench_function(agent.name(), |b| {
-            b.iter(|| run_workload(Workload::Make8, I486_25, agent).virtual_secs);
+        case("dfs_trace_comparison", agent.name(), 10, || {
+            run_workload(Workload::Make8, I486_25, agent).virtual_secs
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,25 +1,17 @@
-//! Criterion bench for Table 3-2: the dissertation-formatting workload
-//! under each agent (host wall-clock of the whole simulation; the virtual
-//! times are printed by `reproduce`).
+//! Host wall-clock bench for Table 3-2: the dissertation-formatting
+//! workload under each agent (the virtual times are printed by
+//! `reproduce`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ia_bench::harness::case;
 use ia_kernel::VAX_6250;
 use ia_workloads::{run_workload, AgentKind, Workload};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table_3_2_scribe");
-    g.sample_size(10);
+fn main() {
     for agent in AgentKind::TABLE_ROWS {
-        g.bench_function(agent.name(), |b| {
-            b.iter(|| {
-                let stats = run_workload(Workload::Scribe, VAX_6250, agent);
-                assert_eq!(stats.outcome, ia_kernel::RunOutcome::AllExited);
-                stats.virtual_secs
-            });
+        case("table_3_2_scribe", agent.name(), 10, || {
+            let stats = run_workload(Workload::Scribe, VAX_6250, agent);
+            assert_eq!(stats.outcome, ia_kernel::RunOutcome::AllExited);
+            stats.virtual_secs
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,24 +1,16 @@
-//! Criterion bench for Table 3-3: the make-8-programs workload under each
-//! agent.
+//! Host wall-clock bench for Table 3-3: the make-8-programs workload
+//! under each agent.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ia_bench::harness::case;
 use ia_kernel::I486_25;
 use ia_workloads::{run_workload, AgentKind, Workload};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table_3_3_make8");
-    g.sample_size(10);
+fn main() {
     for agent in AgentKind::TABLE_ROWS {
-        g.bench_function(agent.name(), |b| {
-            b.iter(|| {
-                let stats = run_workload(Workload::Make8, I486_25, agent);
-                assert_eq!(stats.outcome, ia_kernel::RunOutcome::AllExited);
-                stats.virtual_secs
-            });
+        case("table_3_3_make8", agent.name(), 10, || {
+            let stats = run_workload(Workload::Make8, I486_25, agent);
+            assert_eq!(stats.outcome, ia_kernel::RunOutcome::AllExited);
+            stats.virtual_secs
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

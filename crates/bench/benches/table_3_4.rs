@@ -1,53 +1,55 @@
-//! Criterion bench for Table 3-4's low-level operations, measured on the
-//! host against the Rust substrate: direct kernel dispatch, routed
-//! dispatch with a pass-through agent (the intercept), and stacked
-//! downcalls.
+//! Host wall-clock bench for Table 3-4's low-level operations, measured
+//! against the Rust substrate: direct kernel dispatch, routed dispatch
+//! with a pass-through agent (the intercept), and stacked downcalls.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ia_agents::TimeSymbolic;
+use ia_bench::harness::case;
 use ia_interpose::InterposedRouter;
 use ia_kernel::{Kernel, SyscallRouter, I486_25};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let img = ia_vm::assemble("main: halt\n").unwrap();
     let nr = ia_abi::Sysno::Getpid.number();
+    const GROUP: &str = "table_3_4_low_level";
+    const SAMPLES: usize = 30;
 
-    let mut g = c.benchmark_group("table_3_4_low_level");
-
-    g.bench_function("kernel_syscall_direct", |b| {
+    {
         let mut k = Kernel::new(I486_25);
         let pid = k.spawn_image(&img, &[b"m"], b"m");
-        b.iter(|| k.syscall(pid, nr, [0; 6]));
-    });
+        case(GROUP, "kernel_syscall_direct", SAMPLES, || {
+            k.syscall(pid, nr, [0; 6])
+        });
+    }
 
-    g.bench_function("intercepted_one_agent", |b| {
+    {
         let mut k = Kernel::new(I486_25);
         let pid = k.spawn_image(&img, &[b"m"], b"m");
         let mut router = InterposedRouter::new();
         router.push_agent(pid, TimeSymbolic::boxed());
-        b.iter(|| router.route(&mut k, pid, nr, [0; 6]));
-    });
+        case(GROUP, "intercepted_one_agent", SAMPLES, || {
+            router.route(&mut k, pid, nr, [0; 6])
+        });
+    }
 
-    g.bench_function("intercepted_three_agents", |b| {
+    {
         let mut k = Kernel::new(I486_25);
         let pid = k.spawn_image(&img, &[b"m"], b"m");
         let mut router = InterposedRouter::new();
         for _ in 0..3 {
             router.push_agent(pid, TimeSymbolic::boxed());
         }
-        b.iter(|| router.route(&mut k, pid, nr, [0; 6]));
-    });
+        case(GROUP, "intercepted_three_agents", SAMPLES, || {
+            router.route(&mut k, pid, nr, [0; 6])
+        });
+    }
 
-    g.bench_function("passthrough_uninterested_agent", |b| {
+    {
         let mut k = Kernel::new(I486_25);
         let pid = k.spawn_image(&img, &[b"m"], b"m");
         let mut router = InterposedRouter::new();
         router.push_agent(pid, ia_agents::Timex::boxed(1)); // narrow interests
-        b.iter(|| router.route(&mut k, pid, nr, [0; 6]));
-    });
-
-    g.finish();
+        case(GROUP, "passthrough_uninterested_agent", SAMPLES, || {
+            router.route(&mut k, pid, nr, [0; 6])
+        });
+    }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

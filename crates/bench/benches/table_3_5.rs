@@ -1,9 +1,8 @@
-//! Criterion bench for Table 3-5: each micro syscall loop with and without
-//! the time_symbolic agent (host wall-clock; virtual µs printed by
-//! `reproduce`).
+//! Host wall-clock bench for Table 3-5: each micro syscall loop with and
+//! without the time_symbolic agent (virtual µs printed by `reproduce`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ia_agents::TimeSymbolic;
+use ia_bench::harness::case;
 use ia_interpose::InterposedRouter;
 use ia_kernel::{Kernel, I486_25};
 use ia_workloads::micro::{self, MicroCall};
@@ -20,24 +19,24 @@ fn run(call: MicroCall, with_agent: bool) -> u64 {
     k.clock.elapsed_ns()
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table_3_5_syscalls");
-    g.sample_size(10);
+fn main() {
     for call in [
         MicroCall::Getpid,
         MicroCall::Read1k,
         MicroCall::Stat,
         MicroCall::ForkWaitExit,
     ] {
-        g.bench_function(format!("{}_without", call.name()), |b| {
-            b.iter(|| run(call, false));
-        });
-        g.bench_function(format!("{}_with_agent", call.name()), |b| {
-            b.iter(|| run(call, true));
-        });
+        case(
+            "table_3_5_syscalls",
+            &format!("{}_without", call.name()),
+            10,
+            || run(call, false),
+        );
+        case(
+            "table_3_5_syscalls",
+            &format!("{}_with_agent", call.name()),
+            10,
+            || run(call, true),
+        );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -4,16 +4,29 @@
 //! ```text
 //! cargo run -p ia-bench --release --bin reproduce            # everything
 //! cargo run -p ia-bench --release --bin reproduce table-3-2  # one table
+//! cargo run -p ia-bench --release --bin reproduce -- --json  # BENCH_1.json
 //! ```
 
 use ia_bench::{
-    ablation_pay_per_use, dfs_trace_comparison, render_ablation, render_dfs, render_table_3_1,
-    render_table_3_4, render_table_3_5, render_timing, table_3_1, table_3_2, table_3_3,
-    table_3_4, table_3_5,
+    ablation_pay_per_use, dfs_trace_comparison, hostbench, render_ablation, render_dfs,
+    render_table_3_1, render_table_3_4, render_table_3_5, render_timing, table_3_1, table_3_2,
+    table_3_3, table_3_4, table_3_5,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--json") {
+        // Host-throughput mode: measure the interpreter hot path under both
+        // schedulers and emit the machine-readable baseline.
+        let json = hostbench::render_json(&hostbench::run_all());
+        print!("{json}");
+        if let Err(e) = std::fs::write("BENCH_1.json", &json) {
+            eprintln!("warning: could not write BENCH_1.json: {e}");
+        }
+        return;
+    }
+
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
 
     println!("Interposition Agents (Jones, SOSP '93) — reproduction report");

@@ -2,8 +2,8 @@
 //!
 //! Each function reproduces one table from §3 of *Interposition Agents*;
 //! the `reproduce` binary prints them in the paper's layout, and the
-//! Criterion benches under `benches/` measure the same scenarios in host
-//! wall-clock time.
+//! benches under `benches/` (built on [`harness`]) measure the same
+//! scenarios in host wall-clock time.
 //!
 //! | Function | Paper table |
 //! |---|---|
@@ -16,6 +16,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
+pub mod hostbench;
 
 use std::fmt::Write as _;
 
@@ -631,7 +634,10 @@ pub fn ablation_pay_per_use() -> Vec<AblationRow> {
 #[must_use]
 pub fn render_ablation(rows: &[AblationRow]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Ablation: pay-per-use interception (make-8-programs, i486)");
+    let _ = writeln!(
+        out,
+        "Ablation: pay-per-use interception (make-8-programs, i486)"
+    );
     let _ = writeln!(
         out,
         "(the design choice behind §3.4.2: \"agent overheads are of a pay-per-use nature\")\n"

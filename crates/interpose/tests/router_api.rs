@@ -91,7 +91,11 @@ fn per_process_chains_are_independent() {
     r.push_agent(p1, Box::new(Tag(100)));
 
     assert_eq!(getpid_via(&mut k, &mut r, p1), u64::from(p1) + 100);
-    assert_eq!(getpid_via(&mut k, &mut r, p2), u64::from(p2), "p2 unaffected");
+    assert_eq!(
+        getpid_via(&mut k, &mut r, p2),
+        u64::from(p2),
+        "p2 unaffected"
+    );
     assert_eq!(r.stats.unmanaged, 1);
 }
 
@@ -175,7 +179,9 @@ fn router_delivers_replacement_signals() {
     k.run_to_completion();
     assert_eq!(
         ia_abi::signal::WaitStatus::decode(k.exit_status(pid).unwrap()),
-        Some(ia_abi::signal::WaitStatus::Signaled(ia_abi::Signal::SIGTERM))
+        Some(ia_abi::signal::WaitStatus::Signaled(
+            ia_abi::Signal::SIGTERM
+        ))
     );
 
     // With the agent: SIGTERM becomes SIGUSR2, the handler exits 42.

@@ -2,7 +2,8 @@
 //! and socket tables, the console and the virtual clock, and implements the
 //! bottom instance of the system interface.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use ia_abi::signal::Signal;
@@ -71,6 +72,25 @@ pub(crate) struct FlockState {
     pub exclusive: bool,
 }
 
+/// Host-side counters over the scheduler hot path. These measure the
+/// *simulator's* work, not the simulated machine's — they are not part of
+/// the virtual-time model and never influence it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Execution bursts handed to the VM (`run_slice` calls).
+    pub slices: u64,
+    /// Top-of-loop scheduler iterations.
+    pub sched_iterations: u64,
+    /// Traps dispatched through the router.
+    pub trap_dispatches: u64,
+    /// Wakeup-event scans over the blocked set.
+    pub wakeup_scans: u64,
+    /// Interval-timer expirations fired.
+    pub timer_fires: u64,
+    /// Idle clock advances to the next deadline.
+    pub idle_advances: u64,
+}
+
 /// The simulated 4.3BSD kernel.
 #[derive(Debug)]
 pub struct Kernel {
@@ -91,6 +111,20 @@ pub struct Kernel {
     pub(crate) wakeups: Vec<WakeEvent>,
     pub(crate) exit_log: HashMap<Pid, u32>,
     pub(crate) flocks: HashMap<Ino, FlockState>,
+    /// Pids currently `Runnable`, maintained on every state transition so
+    /// the scheduler's round-robin pick is a range query, not a scan.
+    pub(crate) run_queue: BTreeSet<Pid>,
+    /// Pids currently `Blocked`, so wakeup scans touch only waiters.
+    pub(crate) blocked_queue: BTreeSet<Pid>,
+    /// Min-heap of `(deadline_ns, pid)` interval-timer expirations.
+    /// Entries are lazily invalidated: an entry is live only while the
+    /// process's `itimer` still carries the same deadline.
+    pub(crate) timer_heap: BinaryHeap<Reverse<(u64, Pid)>>,
+    /// Min-heap of `(deadline_ns, pid)` blocked-`select` timeouts, lazily
+    /// invalidated against the process's actual wait channel.
+    pub(crate) select_heap: BinaryHeap<Reverse<(u64, Pid)>>,
+    /// Scheduler hot-path counters (host-side; see [`PerfCounters`]).
+    pub perf: PerfCounters,
     /// Total syscalls dispatched at the kernel level, for reports.
     pub total_syscalls: u64,
     /// Total user instructions retired across all processes, for reports
@@ -152,6 +186,11 @@ impl Kernel {
             wakeups: Vec::new(),
             exit_log: HashMap::new(),
             flocks: HashMap::new(),
+            run_queue: BTreeSet::new(),
+            blocked_queue: BTreeSet::new(),
+            timer_heap: BinaryHeap::new(),
+            select_heap: BinaryHeap::new(),
+            perf: PerfCounters::default(),
             total_syscalls: 0,
             total_insns: 0,
         }
@@ -268,6 +307,7 @@ impl Kernel {
             select_deadline: None,
         };
         self.procs.insert(pid, proc);
+        self.run_queue.insert(pid);
         pid
     }
 
@@ -334,6 +374,7 @@ impl Kernel {
         }
         if sig == Signal::SIGCONT && p.state == ProcState::Stopped {
             p.state = ProcState::Runnable;
+            self.run_queue.insert(pid);
             // A default-action SIGCONT's whole job was the resume.
             if matches!(
                 p.sig.action(sig).disposition,
@@ -375,6 +416,8 @@ impl Kernel {
         let entries = p.fds.drain();
         p.state = ProcState::Zombie(status);
         p.pending_trap = None;
+        self.run_queue.remove(&pid);
+        self.blocked_queue.remove(&pid);
         for e in entries {
             self.release_file(e.file);
         }

@@ -208,6 +208,45 @@ impl Process {
         self.euid == 0 || self.euid == other.euid || self.uid == other.uid
     }
 
+    /// Builds the `fork` child: identical machine state and descriptors,
+    /// but the address space is duplicated through
+    /// [`AddressSpace::fork_clone`], which copies only the regions the
+    /// parent has actually written instead of the whole space. The child
+    /// starts runnable with fresh usage counters, no timer, no pending
+    /// signals, and a 0 return value in its registers.
+    #[must_use]
+    pub fn fork_child(&self, child_pid: Pid) -> Process {
+        let mut vm = self.vm.clone();
+        vm.apply_sysret(Ok([0, 0]));
+        let mut sig = self.sig.clone();
+        sig.pending = SigSet::EMPTY;
+        Process {
+            pid: child_pid,
+            ppid: self.pid,
+            pgrp: self.pgrp,
+            vm,
+            mem: self.mem.fork_clone(),
+            code: Arc::clone(&self.code),
+            state: ProcState::Runnable,
+            pending_trap: None,
+            fds: self.fds.clone(),
+            cwd: self.cwd,
+            root: self.root,
+            uid: self.uid,
+            euid: self.euid,
+            gid: self.gid,
+            egid: self.egid,
+            umask: self.umask,
+            sig,
+            usage: Usage::default(),
+            itimer: None,
+            name: self.name.clone(),
+            slice_left: 0,
+            priority: self.priority,
+            select_deadline: None,
+        }
+    }
+
     /// Converts the usage counters to the wire `Rusage`, given the profile's
     /// per-instruction cost for user time.
     #[must_use]

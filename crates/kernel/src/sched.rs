@@ -6,12 +6,28 @@
 //! 1-1 of the paper. The `ia-interpose` crate provides a router that sends
 //! registered traps through per-process agent chains first — Figures 1-2
 //! through 1-4.
+//!
+//! Two schedulers share all trap/signal machinery:
+//!
+//! * [`run`] — the hot path. Each turn executes a whole slice through
+//!   [`run_slice`] with the process borrowed once, charges the virtual
+//!   clock once by the batched retired count (bit-identical to per-insn
+//!   charging, since the per-instruction cost is a constant), and finds
+//!   the next process / next deadline through the kernel's runnable set
+//!   and timer heaps instead of scanning every process.
+//! * [`run_legacy`] — the original per-instruction, scan-everything loop,
+//!   kept verbatim as the reference implementation. The differential
+//!   tests in `crates/bench` run workloads under both and require
+//!   identical virtual-clock totals, console output and syscall counts;
+//!   `reproduce --json` uses it as the measured baseline.
+
+use std::cmp::Reverse;
 
 use ia_abi::signal::{DefaultAction, SigDisposition, Signal};
 use ia_abi::types::SigContext;
 use ia_abi::wire::Wire;
 use ia_abi::{Errno, RawArgs};
-use ia_vm::machine::{step, StepEvent};
+use ia_vm::machine::{run_slice, step, SliceEnd, StepEvent};
 
 use crate::kernel::{Kernel, SysOutcome, WakeEvent};
 use crate::process::{PendingTrap, Pid, ProcState, WaitChannel};
@@ -70,7 +86,7 @@ pub enum RunOutcome {
     StepLimit,
     /// Processes remain but all are blocked with nothing to wake them.
     Deadlock {
-        /// The blocked pids.
+        /// The blocked pids, in ascending order.
         blocked: Vec<Pid>,
     },
     /// Only stopped processes remain (awaiting an external `SIGCONT`).
@@ -78,10 +94,17 @@ pub enum RunOutcome {
 }
 
 /// Runs the system until every process exits (or a limit/deadlock).
+///
+/// Each turn borrows the chosen process once and executes a whole slice
+/// through [`run_slice`]; accounting (virtual clock, `user_insns`, total
+/// instruction count) is charged once per slice by the batched retired
+/// count. Scheduling decisions read the kernel's maintained runnable set
+/// and deadline heaps, so a turn costs O(log procs) rather than O(procs).
 pub fn run<R: SyscallRouter>(k: &mut Kernel, router: &mut R, limits: RunLimits) -> RunOutcome {
     let mut steps: u64 = 0;
     let mut last_pid: Pid = 0;
     loop {
+        k.perf.sched_iterations += 1;
         fire_timers(k);
         apply_wakeups(k);
 
@@ -91,6 +114,7 @@ pub fn run<R: SyscallRouter>(k: &mut Kernel, router: &mut R, limits: RunLimits) 
                 let now = k.clock.elapsed_ns();
                 if deadline > now {
                     k.clock.advance_ns(deadline - now);
+                    k.perf.idle_advances += 1;
                 }
                 fire_timers(k);
                 apply_wakeups(k);
@@ -98,10 +122,15 @@ pub fn run<R: SyscallRouter>(k: &mut Kernel, router: &mut R, limits: RunLimits) 
                 continue;
             }
             let blocked: Vec<Pid> = k
-                .procs
-                .values()
-                .filter(|p| matches!(p.state, ProcState::Blocked(_)))
-                .map(|p| p.pid)
+                .blocked_queue
+                .iter()
+                .copied()
+                .filter(|pid| {
+                    matches!(
+                        k.procs.get(pid).map(|p| p.state),
+                        Some(ProcState::Blocked(_))
+                    )
+                })
                 .collect();
             if !blocked.is_empty() {
                 return RunOutcome::Deadlock { blocked };
@@ -133,7 +162,137 @@ pub fn run<R: SyscallRouter>(k: &mut Kernel, router: &mut R, limits: RunLimits) 
             continue;
         }
 
-        // Run one slice.
+        // Run one slice as a single burst. The budget never exceeds the
+        // remaining step allowance, so the legacy mid-slice limit check
+        // falls out of the `Expired` arm below.
+        let budget = u64::from(SLICE).min(limits.max_steps.saturating_sub(steps).max(1));
+        let Some(p) = k.procs.get_mut(&pid) else {
+            steps += 1;
+            if steps >= limits.max_steps {
+                return limit_outcome(k);
+            }
+            continue;
+        };
+        let res = run_slice(&mut p.vm, &mut p.mem, &p.code, budget);
+        p.usage.user_insns += res.retired;
+        k.perf.slices += 1;
+        k.total_insns += res.retired;
+        k.clock.advance_ns(res.retired * k.profile.insn_ns);
+
+        // A trailing halt or fault consumed a scheduler step without
+        // retiring an instruction (the legacy loop counted the attempt).
+        let iterations =
+            res.retired + u64::from(matches!(res.end, SliceEnd::Halted | SliceEnd::Fault(_)));
+        steps += iterations;
+        let full_slice = iterations == u64::from(SLICE);
+
+        match res.end {
+            SliceEnd::Expired => {
+                if steps >= limits.max_steps {
+                    // The legacy loop returned from inside the slice here,
+                    // before the involuntary-switch accounting.
+                    return RunOutcome::StepLimit;
+                }
+                if let Some(p) = k.procs.get_mut(&pid) {
+                    p.usage.nivcsw += 1;
+                }
+                continue;
+            }
+            SliceEnd::Syscall { nr, args } => {
+                dispatch(k, router, pid, nr, args, 0);
+            }
+            SliceEnd::Halted => {
+                // Halt is treated as exit(r0): convenient for small
+                // hand-written programs and tests.
+                let status = k
+                    .procs
+                    .get(&pid)
+                    .map(|p| (p.vm.regs[0] & 0xff) as u8)
+                    .unwrap_or(0);
+                k.terminate(pid, ia_abi::signal::wait_status_exited(status));
+                router.on_process_exit(k, pid);
+            }
+            SliceEnd::Fault(sig) => {
+                handle_fault(k, router, pid, sig);
+            }
+        }
+        if full_slice {
+            if let Some(p) = k.procs.get_mut(&pid) {
+                p.usage.nivcsw += 1;
+            }
+        }
+        if steps >= limits.max_steps {
+            return limit_outcome(k);
+        }
+    }
+}
+
+/// The original per-instruction scheduler, kept as the reference
+/// implementation: one [`step`] per loop iteration, full process-table
+/// scans for picking, timers and wakeups. Differential tests assert that
+/// [`run`] is observationally identical to this; `reproduce --json`
+/// measures it as the baseline.
+pub fn run_legacy<R: SyscallRouter>(
+    k: &mut Kernel,
+    router: &mut R,
+    limits: RunLimits,
+) -> RunOutcome {
+    let mut steps: u64 = 0;
+    let mut last_pid: Pid = 0;
+    loop {
+        fire_timers_legacy(k);
+        apply_wakeups_legacy(k);
+
+        let Some(pid) = pick_runnable_legacy(k, last_pid) else {
+            // Nobody runnable: maybe time just needs to pass.
+            if let Some(deadline) = earliest_deadline_legacy(k) {
+                let now = k.clock.elapsed_ns();
+                if deadline > now {
+                    k.clock.advance_ns(deadline - now);
+                }
+                fire_timers_legacy(k);
+                apply_wakeups_legacy(k);
+                wake_expired_selects_legacy(k);
+                continue;
+            }
+            let mut blocked: Vec<Pid> = k
+                .procs
+                .values()
+                .filter(|p| matches!(p.state, ProcState::Blocked(_)))
+                .map(|p| p.pid)
+                .collect();
+            blocked.sort_unstable();
+            if !blocked.is_empty() {
+                return RunOutcome::Deadlock { blocked };
+            }
+            if k.procs
+                .values()
+                .any(|p| matches!(p.state, ProcState::Stopped))
+            {
+                return RunOutcome::Stalled;
+            }
+            return RunOutcome::AllExited;
+        };
+        last_pid = pid;
+
+        // Deliver one pending signal before the process runs.
+        deliver_signals(k, router, pid);
+        if !is_runnable(k, pid) {
+            continue;
+        }
+
+        // A restarted trap takes precedence over stepping the machine.
+        if let Some(trap) = k.procs.get(&pid).and_then(|p| p.pending_trap) {
+            k.procs.get_mut(&pid).expect("exists").pending_trap = None;
+            dispatch(k, router, pid, trap.nr, trap.args, trap.restarts + 1);
+            steps += 1;
+            if steps >= limits.max_steps {
+                return RunOutcome::StepLimit;
+            }
+            continue;
+        }
+
+        // Run one slice, an instruction at a time.
         let mut slice = SLICE;
         while slice > 0 {
             slice -= 1;
@@ -179,16 +338,21 @@ pub fn run<R: SyscallRouter>(k: &mut Kernel, router: &mut R, limits: RunLimits) 
             }
         }
         if steps >= limits.max_steps {
-            // Only give up if there is really still work to do.
-            if k.procs
-                .values()
-                .any(|p| matches!(p.state, ProcState::Runnable | ProcState::Blocked(_)))
-            {
-                return RunOutcome::StepLimit;
-            }
-            return RunOutcome::AllExited;
+            return limit_outcome(k);
         }
     }
+}
+
+/// Step-limit epilogue shared by both schedulers: only give up if there is
+/// really still work to do.
+fn limit_outcome(k: &Kernel) -> RunOutcome {
+    if k.procs
+        .values()
+        .any(|p| matches!(p.state, ProcState::Runnable | ProcState::Blocked(_)))
+    {
+        return RunOutcome::StepLimit;
+    }
+    RunOutcome::AllExited
 }
 
 fn is_runnable(k: &Kernel, pid: Pid) -> bool {
@@ -207,6 +371,7 @@ fn dispatch<R: SyscallRouter>(
     args: RawArgs,
     restarts: u32,
 ) {
+    k.perf.trap_dispatches += 1;
     let outcome = router.route(k, pid, nr, args);
     let Some(p) = k.procs.get_mut(&pid) else {
         // The process vanished during the call (e.g. killed itself).
@@ -227,6 +392,13 @@ fn dispatch<R: SyscallRouter>(
             p.state = ProcState::Blocked(ch);
             p.pending_trap = Some(PendingTrap { nr, args, restarts });
             p.usage.nvcsw += 1;
+            k.run_queue.remove(&pid);
+            k.blocked_queue.insert(pid);
+            if let WaitChannel::Select { deadline_ns } = ch {
+                if deadline_ns != u64::MAX {
+                    k.select_heap.push(Reverse((deadline_ns, pid)));
+                }
+            }
         }
     }
 }
@@ -282,6 +454,8 @@ fn deliver_signals<R: SyscallRouter>(k: &mut Kernel, router: &mut R, pid: Pid) {
                 DefaultAction::Ignore | DefaultAction::Continue => continue,
                 DefaultAction::Stop => {
                     p.state = ProcState::Stopped;
+                    k.run_queue.remove(&pid);
+                    k.blocked_queue.remove(&pid);
                     return;
                 }
                 DefaultAction::Terminate => {
@@ -299,7 +473,10 @@ fn deliver_signals<R: SyscallRouter>(k: &mut Kernel, router: &mut R, pid: Pid) {
                 }
                 if matches!(p.state, ProcState::Blocked(_)) {
                     p.state = ProcState::Runnable;
+                    k.blocked_queue.remove(&pid);
+                    k.run_queue.insert(pid);
                 }
+                let p = k.procs.get_mut(&pid).expect("present above");
                 // The mask the context restores: a suspended process goes
                 // back to its pre-sigsuspend mask.
                 let restore_mask = p.sig.suspend_saved.take().unwrap_or(p.sig.mask);
@@ -329,8 +506,57 @@ fn deliver_signals<R: SyscallRouter>(k: &mut Kernel, router: &mut R, pid: Pid) {
     }
 }
 
-/// Fires expired interval timers.
+/// True while `(deadline, pid)` is the live arming of `pid`'s interval
+/// timer; stale heap entries fail this and are discarded lazily.
+fn timer_entry_armed(k: &Kernel, deadline: u64, pid: Pid) -> bool {
+    k.procs.get(&pid).is_some_and(|p| {
+        !matches!(p.state, ProcState::Zombie(_)) && p.itimer.is_some_and(|(d, _)| d == deadline)
+    })
+}
+
+/// True while `(deadline, pid)` matches a live timed select.
+fn select_entry_waiting(k: &Kernel, deadline: u64, pid: Pid) -> bool {
+    k.procs.get(&pid).is_some_and(|p| {
+        matches!(p.state, ProcState::Blocked(WaitChannel::Select { deadline_ns })
+            if deadline_ns == deadline)
+    })
+}
+
+/// Fires expired interval timers from the deadline heap.
+///
+/// An overdue periodic timer fires once and is rescheduled *past* `now`,
+/// preserving its phase: `next = deadline + interval * periods_elapsed`.
+/// (The legacy rearm advanced by a single period regardless of how far
+/// behind the timer was, so a long slice could leave the deadline still in
+/// the past and refire it once per scheduler pass until it caught up.)
 fn fire_timers(k: &mut Kernel) {
+    let now = k.clock.elapsed_ns();
+    while let Some(&Reverse((deadline, pid))) = k.timer_heap.peek() {
+        if !timer_entry_armed(k, deadline, pid) {
+            k.timer_heap.pop();
+            continue;
+        }
+        if deadline > now {
+            break;
+        }
+        k.timer_heap.pop();
+        let p = k.procs.get_mut(&pid).expect("armed entry");
+        let (_, interval) = p.itimer.expect("armed entry");
+        if interval > 0 {
+            let next = deadline + interval * ((now - deadline) / interval + 1);
+            p.itimer = Some((next, interval));
+            k.timer_heap.push(Reverse((next, pid)));
+        } else {
+            p.itimer = None;
+        }
+        k.perf.timer_fires += 1;
+        let _ = k.post_signal(pid, Signal::SIGALRM);
+    }
+}
+
+/// Legacy timer pass: scans every process; an overdue periodic timer is
+/// rearmed one period past its old deadline (possibly still in the past).
+fn fire_timers_legacy(k: &mut Kernel) {
     let now = k.clock.elapsed_ns();
     let expired: Vec<Pid> = k
         .procs
@@ -345,7 +571,9 @@ fn fire_timers(k: &mut Kernel) {
         if let Some(p) = k.procs.get_mut(&pid) {
             if let Some((deadline, interval)) = p.itimer {
                 p.itimer = if interval > 0 {
-                    Some((deadline + interval.max(1), interval))
+                    let next = deadline + interval.max(1);
+                    k.timer_heap.push(Reverse((next, pid)));
+                    Some((next, interval))
                 } else {
                     None
                 };
@@ -356,7 +584,35 @@ fn fire_timers(k: &mut Kernel) {
 }
 
 /// Moves blocked processes whose wakeup condition fired back to runnable.
+/// Only current waiters (the blocked queue) are examined.
 fn apply_wakeups(k: &mut Kernel) {
+    let events = k.take_wakeups();
+    if events.is_empty() {
+        return;
+    }
+    k.perf.wakeup_scans += 1;
+    let blocked: Vec<(Pid, WaitChannel)> = k
+        .blocked_queue
+        .iter()
+        .filter_map(|&pid| match k.procs.get(&pid).map(|p| p.state) {
+            Some(ProcState::Blocked(ch)) => Some((pid, ch)),
+            _ => None,
+        })
+        .collect();
+    for (pid, ch) in blocked {
+        let woken = events.iter().any(|ev| wakes(*ev, ch, pid, k));
+        if woken {
+            if let Some(p) = k.procs.get_mut(&pid) {
+                p.state = ProcState::Runnable;
+            }
+            k.blocked_queue.remove(&pid);
+            k.run_queue.insert(pid);
+        }
+    }
+}
+
+/// Legacy wakeup pass: scans the whole process table for waiters.
+fn apply_wakeups_legacy(k: &mut Kernel) {
     let events = k.take_wakeups();
     if events.is_empty() {
         return;
@@ -375,6 +631,8 @@ fn apply_wakeups(k: &mut Kernel) {
             if let Some(p) = k.procs.get_mut(&pid) {
                 p.state = ProcState::Runnable;
             }
+            k.blocked_queue.remove(&pid);
+            k.run_queue.insert(pid);
         }
     }
 }
@@ -400,8 +658,28 @@ fn wakes(ev: WakeEvent, ch: WaitChannel, pid: Pid, k: &Kernel) -> bool {
     }
 }
 
-/// Wakes selects whose deadline has passed.
+/// Wakes selects whose deadline has passed, from the deadline heap.
 fn wake_expired_selects(k: &mut Kernel) {
+    let now = k.clock.elapsed_ns();
+    while let Some(&Reverse((deadline, pid))) = k.select_heap.peek() {
+        if !select_entry_waiting(k, deadline, pid) {
+            k.select_heap.pop();
+            continue;
+        }
+        if deadline > now {
+            break;
+        }
+        k.select_heap.pop();
+        if let Some(p) = k.procs.get_mut(&pid) {
+            p.state = ProcState::Runnable;
+        }
+        k.blocked_queue.remove(&pid);
+        k.run_queue.insert(pid);
+    }
+}
+
+/// Legacy variant: scans the whole process table for expired selects.
+fn wake_expired_selects_legacy(k: &mut Kernel) {
     let now = k.clock.elapsed_ns();
     let expired: Vec<Pid> = k
         .procs
@@ -415,11 +693,45 @@ fn wake_expired_selects(k: &mut Kernel) {
         if let Some(p) = k.procs.get_mut(&pid) {
             p.state = ProcState::Runnable;
         }
+        k.blocked_queue.remove(&pid);
+        k.run_queue.insert(pid);
     }
 }
 
-/// Earliest future event that pure time passage will trigger.
-fn earliest_deadline(k: &Kernel) -> Option<u64> {
+/// Earliest future event that pure time passage will trigger: the minimum
+/// of the valid tops of the timer and select heaps.
+fn earliest_deadline(k: &mut Kernel) -> Option<u64> {
+    let timer = loop {
+        match k.timer_heap.peek() {
+            None => break None,
+            Some(&Reverse((deadline, pid))) => {
+                if timer_entry_armed(k, deadline, pid) {
+                    break Some(deadline);
+                }
+                k.timer_heap.pop();
+            }
+        }
+    };
+    let select = loop {
+        match k.select_heap.peek() {
+            None => break None,
+            Some(&Reverse((deadline, pid))) => {
+                if select_entry_waiting(k, deadline, pid) {
+                    break Some(deadline);
+                }
+                k.select_heap.pop();
+            }
+        }
+    };
+    match (timer, select) {
+        (Some(t), Some(s)) => Some(t.min(s)),
+        (t, None) => t,
+        (None, s) => s,
+    }
+}
+
+/// Legacy variant: scans every process for timer and select deadlines.
+fn earliest_deadline_legacy(k: &Kernel) -> Option<u64> {
     let mut best: Option<u64> = None;
     for p in k.procs.values() {
         if matches!(p.state, ProcState::Zombie(_)) {
@@ -437,9 +749,28 @@ fn earliest_deadline(k: &Kernel) -> Option<u64> {
     best
 }
 
-/// Round-robin pick: the lowest runnable pid strictly greater than `last`,
-/// wrapping to the lowest runnable pid.
-fn pick_runnable(k: &Kernel, last: Pid) -> Option<Pid> {
+/// Round-robin pick from the runnable queue: the lowest runnable pid
+/// strictly greater than `last`, wrapping to the lowest runnable pid.
+/// Entries that are no longer runnable (which the queue invariants should
+/// prevent) are discarded rather than spun on.
+fn pick_runnable(k: &mut Kernel, last: Pid) -> Option<Pid> {
+    use std::ops::Bound;
+    loop {
+        let cand = k
+            .run_queue
+            .range((Bound::Excluded(last), Bound::Unbounded))
+            .next()
+            .copied()
+            .or_else(|| k.run_queue.iter().next().copied())?;
+        if is_runnable(k, cand) {
+            return Some(cand);
+        }
+        k.run_queue.remove(&cand);
+    }
+}
+
+/// Legacy round-robin pick: full scan of the process table.
+fn pick_runnable_legacy(k: &Kernel, last: Pid) -> Option<Pid> {
     let mut first: Option<Pid> = None;
     let mut next: Option<Pid> = None;
     for p in k.procs.values() {
@@ -465,5 +796,122 @@ impl Kernel {
     /// Convenience: run with a custom router until completion.
     pub fn run_with<R: SyscallRouter>(&mut self, router: &mut R) -> RunOutcome {
         run(self, router, RunLimits::default())
+    }
+
+    /// Convenience: run under the legacy reference scheduler.
+    pub fn run_to_completion_legacy(&mut self) -> RunOutcome {
+        run_legacy(self, &mut KernelRouter, RunLimits::default())
+    }
+
+    /// Convenience: run a custom router under the legacy reference
+    /// scheduler.
+    pub fn run_with_legacy<R: SyscallRouter>(&mut self, router: &mut R) -> RunOutcome {
+        run_legacy(self, router, RunLimits::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::I486_25;
+
+    fn kernel_with_idle_proc() -> (Kernel, Pid) {
+        let mut k = Kernel::new(I486_25);
+        let img = ia_vm::assemble("main: halt\n").unwrap();
+        let pid = k.spawn_image(&img, &[b"idle"], b"idle");
+        (k, pid)
+    }
+
+    fn arm_timer(k: &mut Kernel, pid: Pid, deadline: u64, interval: u64) {
+        k.procs.get_mut(&pid).unwrap().itimer = Some((deadline, interval));
+        k.timer_heap.push(Reverse((deadline, pid)));
+    }
+
+    #[test]
+    fn overdue_periodic_timer_fires_once_and_reschedules_past_now() {
+        let (mut k, pid) = kernel_with_idle_proc();
+        arm_timer(&mut k, pid, 1_000, 100);
+        // The clock raced 9½ periods past the deadline (e.g. a long slice).
+        k.clock.advance_ns(1_950);
+        fire_timers(&mut k);
+        // One SIGALRM, and the rearm lands on the next phase-aligned tick
+        // strictly in the future — not `deadline + interval`, which would
+        // still be in the past and refire on every scheduler pass.
+        assert_eq!(k.perf.timer_fires, 1);
+        assert!(k.proc(pid).unwrap().sig.pending.contains(Signal::SIGALRM));
+        assert_eq!(k.proc(pid).unwrap().itimer, Some((2_000, 100)));
+        // A second pass at the same instant fires nothing.
+        fire_timers(&mut k);
+        assert_eq!(k.perf.timer_fires, 1);
+    }
+
+    #[test]
+    fn on_time_periodic_timer_rearm_matches_legacy() {
+        let (mut k, pid) = kernel_with_idle_proc();
+        arm_timer(&mut k, pid, 1_000, 250);
+        k.clock.advance_ns(1_000); // exactly at the deadline
+        fire_timers(&mut k);
+        assert_eq!(k.proc(pid).unwrap().itimer, Some((1_250, 250)));
+    }
+
+    #[test]
+    fn one_shot_timer_fires_and_clears() {
+        let (mut k, pid) = kernel_with_idle_proc();
+        arm_timer(&mut k, pid, 500, 0);
+        k.clock.advance_ns(700);
+        fire_timers(&mut k);
+        assert_eq!(k.proc(pid).unwrap().itimer, None);
+        assert_eq!(k.perf.timer_fires, 1);
+        assert!(k.timer_heap.is_empty() || earliest_deadline(&mut k).is_none());
+    }
+
+    #[test]
+    fn cancelled_timer_entry_is_discarded_lazily() {
+        let (mut k, pid) = kernel_with_idle_proc();
+        arm_timer(&mut k, pid, 900, 0);
+        // The process disarms the timer; the heap entry goes stale.
+        k.procs.get_mut(&pid).unwrap().itimer = None;
+        k.clock.advance_ns(2_000);
+        fire_timers(&mut k);
+        assert_eq!(k.perf.timer_fires, 0);
+        assert!(!k.proc(pid).unwrap().sig.pending.contains(Signal::SIGALRM));
+        assert!(k.timer_heap.is_empty());
+    }
+
+    #[test]
+    fn run_queue_tracks_process_lifecycle() {
+        let (mut k, pid) = kernel_with_idle_proc();
+        assert!(k.run_queue.contains(&pid));
+        let outcome = k.run_to_completion();
+        assert_eq!(outcome, RunOutcome::AllExited);
+        assert!(!k.run_queue.contains(&pid));
+        assert!(k.blocked_queue.is_empty());
+    }
+
+    #[test]
+    fn sliced_and_legacy_schedulers_agree_on_accounting() {
+        // A compute loop with a couple of traps, run to completion under
+        // both schedulers: the virtual clock, instruction totals and
+        // rusage-visible counters must be bit-identical.
+        let src = "
+main:   li r1, 2500
+loop:   addi r1, r1, -1
+        sys getpid
+        jnz r1, loop
+        halt
+";
+        let img = ia_vm::assemble(src).unwrap();
+        let run_one = |legacy: bool| {
+            let mut k = Kernel::new(I486_25);
+            k.spawn_image(&img, &[b"spin"], b"spin");
+            let outcome = if legacy {
+                k.run_to_completion_legacy()
+            } else {
+                k.run_to_completion()
+            };
+            assert_eq!(outcome, RunOutcome::AllExited);
+            (k.clock.elapsed_ns(), k.total_insns, k.total_syscalls)
+        };
+        assert_eq!(run_one(true), run_one(false));
     }
 }

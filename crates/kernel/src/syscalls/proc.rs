@@ -9,7 +9,7 @@ use ia_vm::{Image, VmState};
 
 use super::{done, SysOutcome};
 use crate::kernel::{push_args, Kernel, WakeEvent};
-use crate::process::{Pid, ProcState, Usage, WaitChannel};
+use crate::process::{Pid, ProcState, WaitChannel};
 
 /// `wait4` option: don't block.
 pub const WNOHANG: u64 = 1;
@@ -18,33 +18,24 @@ impl Kernel {
     /// `fork()` — duplicate the calling process. Returns the child pid to
     /// the parent; the child resumes with 0 in `r0`.
     pub(crate) fn sys_fork(&mut self, pid: Pid) -> SysOutcome {
-        let parent = match self.proc(pid) {
-            Ok(p) => p.clone(),
-            Err(e) => return SysOutcome::err(e),
-        };
+        if let Err(e) = self.proc(pid) {
+            return SysOutcome::err(e);
+        }
         let child_pid = {
             let p = self.next_pid;
             self.next_pid += 1;
             p
         };
-        let mut child = parent;
-        child.pid = child_pid;
-        child.ppid = pid;
-        child.state = ProcState::Runnable;
-        child.pending_trap = None;
-        child.usage = Usage::default();
-        child.slice_left = 0;
-        child.select_deadline = None;
-        child.itimer = None;
-        child.sig.pending = ia_abi::SigSet::EMPTY;
-        // The child's registers show a 0 return; the parent's get the pid.
-        child.vm.apply_sysret(Ok([0, 0]));
+        // `fork_child` copies only the parent's written memory regions and
+        // gives the child a 0 return value in its registers.
+        let child = self.proc(pid).expect("checked above").fork_child(child_pid);
         // Shared open files gain a reference per inherited descriptor.
         let shared: Vec<_> = child.fds.iter().map(|(_, e)| e.file).collect();
         for f in shared {
             self.files.incref(f);
         }
         self.procs.insert(child_pid, child);
+        self.run_queue.insert(child_pid);
         SysOutcome::Done(Ok([u64::from(child_pid), 0]))
     }
 

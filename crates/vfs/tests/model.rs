@@ -8,9 +8,9 @@
 use std::collections::BTreeMap;
 
 use ia_abi::Timeval;
+use ia_prng::{run_cases, Prng};
 use ia_vfs::inode::ROOT_INO;
 use ia_vfs::{Cred, Fs, InodeKind};
-use proptest::prelude::*;
 
 const NOW: Timeval = Timeval { sec: 1, usec: 0 };
 
@@ -43,17 +43,20 @@ fn paths() -> Vec<Vec<u8>> {
     v
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    let idx = 0..paths().len();
-    prop_oneof![
-        idx.clone().prop_map(Op::CreateFile),
-        idx.clone().prop_map(Op::Mkdir),
-        idx.clone().prop_map(Op::Unlink),
-        idx.clone().prop_map(Op::Rmdir),
-        (idx.clone(), proptest::collection::vec(any::<u8>(), 0..32))
-            .prop_map(|(i, d)| Op::Write(i, d)),
-        (idx.clone(), idx).prop_map(|(a, b)| Op::Rename(a, b)),
-    ]
+fn gen_op(rng: &mut Prng) -> Op {
+    let n = paths().len();
+    match rng.below(6) {
+        0 => Op::CreateFile(rng.range_usize(0, n)),
+        1 => Op::Mkdir(rng.range_usize(0, n)),
+        2 => Op::Unlink(rng.range_usize(0, n)),
+        3 => Op::Rmdir(rng.range_usize(0, n)),
+        4 => {
+            let i = rng.range_usize(0, n);
+            let dlen = rng.range_usize(0, 32);
+            Op::Write(i, rng.bytes(dlen))
+        }
+        _ => Op::Rename(rng.range_usize(0, n), rng.range_usize(0, n)),
+    }
 }
 
 struct Model {
@@ -247,25 +250,27 @@ fn check_agreement(fs: &mut Fs, m: &Model) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn fs_agrees_with_flat_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+#[test]
+fn fs_agrees_with_flat_model() {
+    run_cases(64, |case, rng| {
+        let ops: Vec<Op> = (0..rng.range_usize(1, 80)).map(|_| gen_op(rng)).collect();
         let mut fs = Fs::new(NOW);
         let mut model = Model::new();
         for (step, op) in ops.iter().enumerate() {
             let real_ok = fs_apply(&mut fs, op);
             let model_ok = model_apply(&mut model, op);
-            prop_assert_eq!(real_ok, model_ok, "step {} op {:?}", step, op);
+            assert_eq!(real_ok, model_ok, "case {case} step {step} op {op:?}");
             check_agreement(&mut fs, &model);
         }
-    }
+    });
+}
 
-    /// Link counts never underflow and directory nlink equals 2 + its
-    /// subdirectory count, after arbitrary operation sequences.
-    #[test]
-    fn directory_link_counts_stay_consistent(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+/// Link counts never underflow and directory nlink equals 2 + its
+/// subdirectory count, after arbitrary operation sequences.
+#[test]
+fn directory_link_counts_stay_consistent() {
+    run_cases(60, |case, rng| {
+        let ops: Vec<Op> = (0..rng.range_usize(1, 60)).map(|_| gen_op(rng)).collect();
         let mut fs = Fs::new(NOW);
         for op in &ops {
             let _ = fs_apply(&mut fs, op);
@@ -282,14 +287,14 @@ proptest! {
                                 && matches!(fs.get(ino).unwrap().kind, InodeKind::Directory(_))
                         })
                         .count() as u32;
-                    prop_assert_eq!(
+                    assert_eq!(
                         node.meta.nlink,
                         2 + subdirs,
-                        "{}",
+                        "case {case} {}",
                         String::from_utf8_lossy(&p)
                     );
                 }
             }
         }
-    }
+    });
 }

@@ -1,9 +1,10 @@
-//! Property tests for pipe buffers: FIFO ordering against an oracle,
-//! capacity discipline, and endpoint-lifecycle invariants.
+//! Randomized tests for pipe buffers: FIFO ordering against an oracle,
+//! capacity discipline, and endpoint-lifecycle invariants (in-tree seeded
+//! PRNG; no external dependencies).
 
+use ia_prng::{run_cases, Prng};
 use ia_vfs::pipe::PipeIo;
 use ia_vfs::{PipeTable, PIPE_CAPACITY};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum PipeOp {
@@ -15,24 +16,27 @@ enum PipeOp {
     DropWriter,
 }
 
-fn op() -> impl Strategy<Value = PipeOp> {
-    prop_oneof![
-        4 => proptest::collection::vec(any::<u8>(), 0..300).prop_map(PipeOp::Write),
-        4 => (0usize..300).prop_map(PipeOp::Read),
-        1 => Just(PipeOp::AddReader),
-        1 => Just(PipeOp::AddWriter),
-        1 => Just(PipeOp::DropReader),
-        1 => Just(PipeOp::DropWriter),
-    ]
+fn op(rng: &mut Prng) -> PipeOp {
+    // Weights 4:4:1:1:1:1, as the original proptest strategy had.
+    match rng.below(12) {
+        0..=3 => {
+            let n = rng.range_usize(0, 300);
+            PipeOp::Write(rng.bytes(n))
+        }
+        4..=7 => PipeOp::Read(rng.range_usize(0, 300)),
+        8 => PipeOp::AddReader,
+        9 => PipeOp::AddWriter,
+        10 => PipeOp::DropReader,
+        _ => PipeOp::DropWriter,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Bytes come out exactly in the order they went in, regardless of the
-    /// interleaving of reads, writes and endpoint churn.
-    #[test]
-    fn fifo_order_matches_oracle(ops in proptest::collection::vec(op(), 1..60)) {
+/// Bytes come out exactly in the order they went in, regardless of the
+/// interleaving of reads, writes and endpoint churn.
+#[test]
+fn fifo_order_matches_oracle() {
+    run_cases(128, |case, rng| {
+        let ops: Vec<PipeOp> = (0..rng.range_usize(1, 60)).map(|_| op(rng)).collect();
         let mut t = PipeTable::new();
         let id = t.create();
         t.add_reader(id);
@@ -49,27 +53,25 @@ proptest! {
                 break;
             }
             match o {
-                PipeOp::Write(data) => {
-                    match t.get_mut(id).unwrap().write(&data) {
-                        PipeIo::Done(n) => {
-                            sent.extend_from_slice(&data[..n]);
-                            accepted += n;
-                        }
-                        PipeIo::WouldBlock => {
-                            // Nothing may have been transferred.
-                        }
-                        PipeIo::Hangup => prop_assert_eq!(readers, 0),
+                PipeOp::Write(data) => match t.get_mut(id).unwrap().write(&data) {
+                    PipeIo::Done(n) => {
+                        sent.extend_from_slice(&data[..n]);
+                        accepted += n;
                     }
-                }
+                    PipeIo::WouldBlock => {
+                        // Nothing may have been transferred.
+                    }
+                    PipeIo::Hangup => assert_eq!(readers, 0, "case {case}"),
+                },
                 PipeOp::Read(n) => {
                     let mut out = Vec::new();
                     match t.get_mut(id).unwrap().read(&mut out, n) {
                         PipeIo::Done(k) => {
-                            prop_assert_eq!(out.len(), k);
+                            assert_eq!(out.len(), k, "case {case}");
                             received.extend_from_slice(&out);
                         }
-                        PipeIo::WouldBlock => prop_assert!(writers > 0),
-                        PipeIo::Hangup => prop_assert_eq!(writers, 0),
+                        PipeIo::WouldBlock => assert!(writers > 0, "case {case}"),
+                        PipeIo::Hangup => assert_eq!(writers, 0, "case {case}"),
                     }
                 }
                 PipeOp::AddReader => {
@@ -94,18 +96,26 @@ proptest! {
                 }
             }
             if let Some(p) = t.get(id) {
-                prop_assert!(p.len() <= PIPE_CAPACITY);
-                prop_assert_eq!(p.len(), accepted - received.len());
+                assert!(p.len() <= PIPE_CAPACITY, "case {case}");
+                assert_eq!(p.len(), accepted - received.len(), "case {case}");
             }
         }
-        prop_assert!(received.len() <= sent.len());
-        prop_assert_eq!(&received[..], &sent[..received.len()], "FIFO order");
-    }
+        assert!(received.len() <= sent.len(), "case {case}");
+        assert_eq!(
+            &received[..],
+            &sent[..received.len()],
+            "case {case}: FIFO order"
+        );
+    });
+}
 
-    /// Writes never exceed capacity, and sub-capacity writes are atomic:
-    /// either everything transfers or nothing does.
-    #[test]
-    fn atomicity_of_small_writes(pre in 0usize..PIPE_CAPACITY, n in 1usize..PIPE_CAPACITY) {
+/// Writes never exceed capacity, and sub-capacity writes are atomic:
+/// either everything transfers or nothing does.
+#[test]
+fn atomicity_of_small_writes() {
+    run_cases(200, |case, rng| {
+        let pre = rng.range_usize(0, PIPE_CAPACITY);
+        let n = rng.range_usize(1, PIPE_CAPACITY);
         let mut t = PipeTable::new();
         let id = t.create();
         t.add_reader(id);
@@ -114,14 +124,17 @@ proptest! {
         assert_eq!(p.write(&vec![1; pre]), PipeIo::Done(pre));
         match p.write(&vec![2; n]) {
             PipeIo::Done(k) => {
-                prop_assert_eq!(k, n, "full transfer when it fits");
-                prop_assert!(pre + n <= PIPE_CAPACITY);
+                assert_eq!(k, n, "case {case}: full transfer when it fits");
+                assert!(pre + n <= PIPE_CAPACITY, "case {case}");
             }
             PipeIo::WouldBlock => {
-                prop_assert!(pre + n > PIPE_CAPACITY, "refused only when it would not fit");
-                prop_assert_eq!(p.len(), pre, "nothing partially transferred");
+                assert!(
+                    pre + n > PIPE_CAPACITY,
+                    "case {case}: refused only when it would not fit"
+                );
+                assert_eq!(p.len(), pre, "case {case}: nothing partially transferred");
             }
-            PipeIo::Hangup => prop_assert!(false, "readers exist"),
+            PipeIo::Hangup => panic!("case {case}: readers exist"),
         }
-    }
+    });
 }

@@ -94,11 +94,84 @@ pub enum StepEvent {
     Fault(Signal),
 }
 
+/// Why a [`run_slice`] call stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceEnd {
+    /// The instruction budget ran out mid-program; the process is still
+    /// runnable and the scheduler should round-robin.
+    Expired,
+    /// The program trapped with `Sys`; the trap instruction is included in
+    /// [`SliceResult::retired`]. The kernel must dispatch and `apply_sysret`.
+    Syscall {
+        /// Raw syscall number from `r7`.
+        nr: u32,
+        /// Raw argument registers `r0..r5`.
+        args: RawArgs,
+    },
+    /// The program executed `Halt` (not counted in `retired`).
+    Halted,
+    /// The program faulted (not counted in `retired`); the kernel posts
+    /// this signal with the pc parked on the faulting instruction.
+    Fault(Signal),
+}
+
+/// Outcome of running a bounded burst of instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceResult {
+    /// Instructions retired this burst — exactly the events the kernel
+    /// charges to the virtual clock (`Continue`s plus a trailing `Sys`).
+    pub retired: u64,
+    /// Why the burst ended.
+    pub end: SliceEnd,
+}
+
+/// Executes up to `max` instructions in a tight loop, returning to the
+/// caller only on a trap, halt, fault, or an exhausted budget.
+///
+/// This is the interpreter's hot path: the scheduler calls it once per
+/// time slice instead of calling [`step`] per instruction, so `vm`, `mem`
+/// and `code` stay borrowed (and hot in registers) across the whole burst
+/// and the virtual clock can be advanced once by `retired` — bit-identical
+/// to `retired` separate advances, since the per-instruction charge is a
+/// constant number of nanoseconds.
+pub fn run_slice(vm: &mut VmState, mem: &mut AddressSpace, code: &[Insn], max: u64) -> SliceResult {
+    let mut retired = 0u64;
+    while retired < max {
+        match step(vm, mem, code) {
+            StepEvent::Continue => retired += 1,
+            StepEvent::Syscall { nr, args } => {
+                retired += 1;
+                return SliceResult {
+                    retired,
+                    end: SliceEnd::Syscall { nr, args },
+                };
+            }
+            StepEvent::Halted => {
+                return SliceResult {
+                    retired,
+                    end: SliceEnd::Halted,
+                }
+            }
+            StepEvent::Fault(sig) => {
+                return SliceResult {
+                    retired,
+                    end: SliceEnd::Fault(sig),
+                }
+            }
+        }
+    }
+    SliceResult {
+        retired,
+        end: SliceEnd::Expired,
+    }
+}
+
 /// Executes one instruction.
 ///
 /// On [`StepEvent::Fault`] the pc is left *at* the faulting instruction so
 /// a handler installed for the signal can inspect it; the kernel's default
 /// action terminates the process anyway.
+#[inline]
 pub fn step(vm: &mut VmState, mem: &mut AddressSpace, code: &[Insn]) -> StepEvent {
     if vm.halted {
         return StepEvent::Halted;
@@ -375,6 +448,80 @@ mod tests {
         assert_eq!(step(&mut vm, &mut mem, &code), StepEvent::Halted);
         assert_eq!(step(&mut vm, &mut mem, &code), StepEvent::Halted);
         assert_eq!(vm.insns_retired, 1);
+    }
+
+    #[test]
+    fn run_slice_matches_step_by_step() {
+        // A loop with a trap in the middle: slice execution must retire
+        // exactly the instructions the per-step loop charges, and park the
+        // machine in the same state.
+        let code = [
+            Li(7, 20), // getpid-ish number
+            Li(0, 5),  // i = 5
+            Jz(0, 7),
+            Sys,
+            Addi(0, 0, -1),
+            Jmp(2),
+            Nop,
+            Halt,
+        ];
+        let mut a = VmState::new(0, 4096);
+        let mut am = AddressSpace::new(4096, 0);
+        let mut b = VmState::new(0, 4096);
+        let mut bm = AddressSpace::new(4096, 0);
+        let mut a_charged = 0u64;
+        let mut b_charged = 0u64;
+        loop {
+            // Reference: the old per-instruction loop.
+            let ev = step(&mut a, &mut am, &code);
+            match ev {
+                StepEvent::Continue | StepEvent::Syscall { .. } => a_charged += 1,
+                _ => {}
+            }
+            if let StepEvent::Syscall { .. } = ev {
+                a.apply_sysret(Ok([1, 0]));
+            }
+            if matches!(ev, StepEvent::Halted | StepEvent::Fault(_)) {
+                break;
+            }
+        }
+        loop {
+            let r = run_slice(&mut b, &mut bm, &code, 3);
+            b_charged += r.retired;
+            match r.end {
+                SliceEnd::Syscall { .. } => b.apply_sysret(Ok([1, 0])),
+                SliceEnd::Expired => {}
+                SliceEnd::Halted | SliceEnd::Fault(_) => break,
+            }
+        }
+        assert_eq!(a_charged, b_charged);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_slice_stops_on_budget_trap_halt_and_fault() {
+        let code = [Nop, Nop, Nop, Nop, Halt];
+        let mut vm = VmState::new(0, 4096);
+        let mut mem = AddressSpace::new(4096, 0);
+        let r = run_slice(&mut vm, &mut mem, &code, 2);
+        assert_eq!(r.retired, 2);
+        assert_eq!(r.end, SliceEnd::Expired);
+        let r = run_slice(&mut vm, &mut mem, &code, 100);
+        assert_eq!(r.retired, 2, "halt not counted");
+        assert_eq!(r.end, SliceEnd::Halted);
+
+        let code = [Li(7, 9), Sys, Halt];
+        let mut vm = VmState::new(0, 4096);
+        let r = run_slice(&mut vm, &mut mem, &code, 100);
+        assert_eq!(r.retired, 2, "trap instruction counted");
+        assert!(matches!(r.end, SliceEnd::Syscall { nr: 9, .. }));
+
+        let code = [Li(0, 1), Li(1, 0), Div(2, 0, 1)];
+        let mut vm = VmState::new(0, 4096);
+        let r = run_slice(&mut vm, &mut mem, &code, 100);
+        assert_eq!(r.retired, 2, "faulting instruction not counted");
+        assert_eq!(r.end, SliceEnd::Fault(Signal::SIGFPE));
+        assert_eq!(vm.pc, 2, "pc parked on the faulting instruction");
     }
 
     #[test]

@@ -13,11 +13,21 @@ use ia_abi::Errno;
 pub const DEFAULT_MEM_SIZE: usize = 1 << 20;
 
 /// A process's data/stack address space.
+///
+/// Writes are tracked with two high-water marks — the top of the dirty
+/// data region and the bottom of the dirty stack region — so `fork` and
+/// `execve` touch only the bytes a process has actually used instead of
+/// the whole space. Reads of never-written memory return zeros either
+/// way, so the marks are invisible to programs.
 #[derive(Debug, Clone)]
 pub struct AddressSpace {
     mem: Vec<u8>,
     /// Current program break (top of the data/heap region).
     brk: u64,
+    /// Exclusive end of the dirty low (data/heap) region.
+    data_hwm: usize,
+    /// Inclusive start of the dirty high (stack) region.
+    stack_lwm: usize,
 }
 
 impl AddressSpace {
@@ -28,6 +38,42 @@ impl AddressSpace {
         AddressSpace {
             mem: vec![0; size],
             brk: brk0,
+            data_hwm: 0,
+            stack_lwm: size,
+        }
+    }
+
+    /// First byte of the stack octant (the top eighth of the space) — the
+    /// same boundary `sbrk` refuses to cross.
+    fn stack_boundary(&self) -> usize {
+        self.mem.len() - self.mem.len() / 8
+    }
+
+    /// Bytes a copy of this space must actually transfer (dirty regions).
+    #[must_use]
+    pub fn live_bytes(&self) -> usize {
+        let lwm = self.stack_lwm.max(self.data_hwm);
+        self.data_hwm + (self.mem.len() - lwm)
+    }
+
+    /// A copy for `fork`: same size, break and contents, but only the
+    /// dirty data and stack regions are transferred; the rest of the
+    /// child's space is freshly zeroed (which the allocator provides
+    /// without touching pages). Never-written parent bytes are zero by
+    /// construction, so the child is byte-for-byte identical to a full
+    /// clone.
+    #[must_use]
+    pub fn fork_clone(&self) -> AddressSpace {
+        let mut mem = vec![0u8; self.mem.len()];
+        let hwm = self.data_hwm;
+        mem[..hwm].copy_from_slice(&self.mem[..hwm]);
+        let lwm = self.stack_lwm.max(hwm);
+        mem[lwm..].copy_from_slice(&self.mem[lwm..]);
+        AddressSpace {
+            mem,
+            brk: self.brk,
+            data_hwm: self.data_hwm,
+            stack_lwm: self.stack_lwm,
         }
     }
 
@@ -62,10 +108,16 @@ impl AddressSpace {
         Ok(old)
     }
 
-    /// Zeroes the whole space and resets the break — what `execve` does.
+    /// Zeroes the space and resets the break — what `execve` does. Only
+    /// the dirty regions are touched; everything else is still zero.
     pub fn clear(&mut self, brk0: u64) {
-        self.mem.fill(0);
+        let hwm = self.data_hwm;
+        self.mem[..hwm].fill(0);
+        let lwm = self.stack_lwm.max(hwm);
+        self.mem[lwm..].fill(0);
         self.brk = brk0;
+        self.data_hwm = 0;
+        self.stack_lwm = self.mem.len();
     }
 
     fn check(&self, addr: u64, len: usize) -> Result<usize, Errno> {
@@ -83,10 +135,19 @@ impl AddressSpace {
         Ok(&self.mem[a..a + len])
     }
 
-    /// Writes `data` at `addr`.
+    /// Writes `data` at `addr`. This is the single choke point every
+    /// mutation goes through, so it is where the dirty marks are kept.
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), Errno> {
         let a = self.check(addr, data.len())?;
-        self.mem[a..a + data.len()].copy_from_slice(data);
+        let e = a + data.len();
+        self.mem[a..e].copy_from_slice(data);
+        if a < self.stack_boundary() {
+            if e > self.data_hwm {
+                self.data_hwm = e;
+            }
+        } else if a < self.stack_lwm {
+            self.stack_lwm = a;
+        }
         Ok(())
     }
 
@@ -207,5 +268,51 @@ mod tests {
         m.clear(2048);
         assert_eq!(m.read_u64(0).unwrap(), 0);
         assert_eq!(m.brk(), 2048);
+    }
+
+    #[test]
+    fn fork_clone_is_byte_identical_but_bounded() {
+        let mut m = AddressSpace::new(1 << 16, 1024);
+        assert_eq!(m.live_bytes(), 0);
+        m.write_u64(100, 0xdead).unwrap();
+        m.write_u64((1 << 16) - 16, 0xbeef).unwrap(); // stack octant
+        let c = m.fork_clone();
+        assert_eq!(c.brk(), m.brk());
+        assert_eq!(c.size(), m.size());
+        for addr in [0u64, 100, 5000, (1 << 16) - 16, (1 << 16) - 8] {
+            assert_eq!(c.read_u64(addr).unwrap(), m.read_u64(addr).unwrap());
+        }
+        // Only the two dirty regions count as live.
+        assert_eq!(m.live_bytes(), 108 + 16);
+        // The clone tracks its own writes from the inherited marks.
+        let mut c = c;
+        c.write_u64(200, 7).unwrap();
+        assert_eq!(c.live_bytes(), 208 + 16);
+    }
+
+    #[test]
+    fn clear_after_writes_leaves_no_residue() {
+        let mut m = AddressSpace::new(1 << 16, 0);
+        m.write_bytes(4000, &[0xff; 64]).unwrap();
+        m.write_u8((1 << 16) - 1, 0xff).unwrap();
+        m.clear(512);
+        for addr in (0..(1 << 16)).step_by(4096) {
+            assert_eq!(m.read_u8(addr as u64).unwrap(), 0);
+        }
+        assert_eq!(m.read_u8((1 << 16) - 1).unwrap(), 0);
+        assert_eq!(m.live_bytes(), 0);
+    }
+
+    #[test]
+    fn straddling_write_is_covered_by_fork() {
+        let size = 1 << 13; // boundary at 7168
+        let mut m = AddressSpace::new(size, 0);
+        let boundary = (size - size / 8) as u64;
+        m.write_bytes(boundary - 4, &[9; 8]).unwrap(); // straddles
+        let c = m.fork_clone();
+        assert_eq!(
+            c.read_bytes(boundary - 4, 8).unwrap(),
+            m.read_bytes(boundary - 4, 8).unwrap()
+        );
     }
 }

@@ -1,73 +1,102 @@
-//! Property tests for the machine substrate: instruction encoding, image
+//! Randomized tests for the machine substrate: instruction encoding, image
 //! serialization, assembler/disassembler consistency, and interpreter
-//! determinism.
+//! determinism. Inputs are generated with the in-tree seeded PRNG so the
+//! suite needs no external dependencies and every failure reproduces.
 
+use ia_prng::{run_cases, Prng};
 use ia_vm::{assemble, disassemble, AddressSpace, Image, Insn, VmState};
-use proptest::prelude::*;
 
-fn reg() -> impl Strategy<Value = u8> {
-    0u8..16
+fn reg(rng: &mut Prng) -> u8 {
+    rng.below(16) as u8
 }
 
-fn insn() -> impl Strategy<Value = Insn> {
-    prop_oneof![
-        (reg(), any::<u64>()).prop_map(|(r, v)| Insn::Li(r, v)),
-        (reg(), reg()).prop_map(|(a, b)| Insn::Mov(a, b)),
-        (reg(), reg(), -1024i64..1024).prop_map(|(a, b, o)| Insn::Ld(a, b, o)),
-        (reg(), reg(), -1024i64..1024).prop_map(|(a, b, o)| Insn::St(a, b, o)),
-        (reg(), reg(), -1024i64..1024).prop_map(|(a, b, o)| Insn::Ldb(a, b, o)),
-        (reg(), reg(), -1024i64..1024).prop_map(|(a, b, o)| Insn::Stb(a, b, o)),
-        (reg(), reg(), reg()).prop_map(|(a, b, c)| Insn::Add(a, b, c)),
-        (reg(), reg(), reg()).prop_map(|(a, b, c)| Insn::Sub(a, b, c)),
-        (reg(), reg(), reg()).prop_map(|(a, b, c)| Insn::Mul(a, b, c)),
-        (reg(), reg(), reg()).prop_map(|(a, b, c)| Insn::Div(a, b, c)),
-        (reg(), reg(), reg()).prop_map(|(a, b, c)| Insn::Rem(a, b, c)),
-        (reg(), reg(), any::<i64>()).prop_map(|(a, b, i)| Insn::Addi(a, b, i)),
-        (reg(), reg(), reg()).prop_map(|(a, b, c)| Insn::And(a, b, c)),
-        (reg(), reg(), reg()).prop_map(|(a, b, c)| Insn::Or(a, b, c)),
-        (reg(), reg(), reg()).prop_map(|(a, b, c)| Insn::Xor(a, b, c)),
-        (reg(), reg(), reg()).prop_map(|(a, b, c)| Insn::Shl(a, b, c)),
-        (reg(), reg(), reg()).prop_map(|(a, b, c)| Insn::Shr(a, b, c)),
-        (reg(), reg(), reg()).prop_map(|(a, b, c)| Insn::Sltu(a, b, c)),
-        (reg(), reg(), reg()).prop_map(|(a, b, c)| Insn::Slt(a, b, c)),
-        (reg(), reg(), reg()).prop_map(|(a, b, c)| Insn::Seq(a, b, c)),
-        (0u64..4096).prop_map(Insn::Jmp),
-        (reg(), 0u64..4096).prop_map(|(r, t)| Insn::Jz(r, t)),
-        (reg(), 0u64..4096).prop_map(|(r, t)| Insn::Jnz(r, t)),
-        (0u64..4096).prop_map(Insn::Call),
-        Just(Insn::Ret),
-        Just(Insn::Sys),
-        Just(Insn::Halt),
-        Just(Insn::Nop),
-    ]
+fn off(rng: &mut Prng) -> i64 {
+    rng.range_i64(-1024, 1024)
 }
 
-proptest! {
-    #[test]
-    fn instruction_encoding_round_trips(i in insn()) {
-        prop_assert_eq!(Insn::decode(&i.encode()), Some(i));
+fn insn(rng: &mut Prng) -> Insn {
+    let (a, b, c) = (reg(rng), reg(rng), reg(rng));
+    match rng.below(28) {
+        0 => Insn::Li(a, rng.next_u64()),
+        1 => Insn::Mov(a, b),
+        2 => Insn::Ld(a, b, off(rng)),
+        3 => Insn::St(a, b, off(rng)),
+        4 => Insn::Ldb(a, b, off(rng)),
+        5 => Insn::Stb(a, b, off(rng)),
+        6 => Insn::Add(a, b, c),
+        7 => Insn::Sub(a, b, c),
+        8 => Insn::Mul(a, b, c),
+        9 => Insn::Div(a, b, c),
+        10 => Insn::Rem(a, b, c),
+        11 => Insn::Addi(a, b, rng.next_u64() as i64),
+        12 => Insn::And(a, b, c),
+        13 => Insn::Or(a, b, c),
+        14 => Insn::Xor(a, b, c),
+        15 => Insn::Shl(a, b, c),
+        16 => Insn::Shr(a, b, c),
+        17 => Insn::Sltu(a, b, c),
+        18 => Insn::Slt(a, b, c),
+        19 => Insn::Seq(a, b, c),
+        20 => Insn::Jmp(rng.below(4096)),
+        21 => Insn::Jz(a, rng.below(4096)),
+        22 => Insn::Jnz(a, rng.below(4096)),
+        23 => Insn::Call(rng.below(4096)),
+        24 => Insn::Ret,
+        25 => Insn::Sys,
+        26 => Insn::Halt,
+        _ => Insn::Nop,
     }
+}
 
-    #[test]
-    fn image_serialization_round_trips(
-        code in proptest::collection::vec(insn(), 0..200),
-        data in proptest::collection::vec(any::<u8>(), 0..500),
-    ) {
-        let entry = if code.is_empty() { 0 } else { (code.len() / 2) as u64 };
+fn code(rng: &mut Prng, lo: usize, hi: usize) -> Vec<Insn> {
+    (0..rng.range_usize(lo, hi)).map(|_| insn(rng)).collect()
+}
+
+#[test]
+fn instruction_encoding_round_trips() {
+    run_cases(2000, |case, rng| {
+        let i = insn(rng);
+        assert_eq!(Insn::decode(&i.encode()), Some(i), "case {case}: {i:?}");
+    });
+}
+
+#[test]
+fn image_serialization_round_trips() {
+    run_cases(200, |case, rng| {
+        let code = code(rng, 0, 200);
+        let dlen = rng.range_usize(0, 500);
+        let data = rng.bytes(dlen);
+        let entry = if code.is_empty() {
+            0
+        } else {
+            (code.len() / 2) as u64
+        };
         let img = Image { entry, code, data };
-        prop_assert_eq!(Image::from_bytes(&img.to_bytes()).unwrap(), img);
-    }
+        assert_eq!(
+            Image::from_bytes(&img.to_bytes()).unwrap(),
+            img,
+            "case {case}"
+        );
+    });
+}
 
-    #[test]
-    fn arbitrary_bytes_never_panic_the_image_parser(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+#[test]
+fn arbitrary_bytes_never_panic_the_image_parser() {
+    run_cases(500, |_, rng| {
+        let len = rng.range_usize(0, 600);
+        let bytes = rng.bytes(len);
         let _ = Image::from_bytes(&bytes);
-    }
+    });
+}
 
-    #[test]
-    fn interpreter_is_deterministic(
-        code in proptest::collection::vec(insn(), 1..120),
-        seed_regs in proptest::array::uniform16(any::<u64>()),
-    ) {
+#[test]
+fn interpreter_is_deterministic() {
+    run_cases(100, |case, rng| {
+        let code = code(rng, 1, 120);
+        let mut seed_regs = [0u64; 16];
+        for r in &mut seed_regs {
+            *r = rng.next_u64();
+        }
         let run = || {
             let mut vm = VmState::new(0, 1 << 14);
             vm.regs = seed_regs;
@@ -88,21 +117,33 @@ proptest! {
             }
             (vm.regs, vm.pc, vm.insns_retired, trace)
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run(), "case {case}");
+    });
+}
 
-    #[test]
-    fn disassembler_covers_every_instruction(code in proptest::collection::vec(insn(), 1..60)) {
-        let img = Image { entry: 0, code: code.clone(), data: vec![] };
+#[test]
+fn disassembler_covers_every_instruction() {
+    run_cases(200, |case, rng| {
+        let code = code(rng, 1, 60);
+        let img = Image {
+            entry: 0,
+            code: code.clone(),
+            data: vec![],
+        };
         let listing = disassemble(&img);
         // One line per instruction plus the header.
-        prop_assert_eq!(listing.lines().count(), code.len() + 1);
-    }
+        assert_eq!(listing.lines().count(), code.len() + 1, "case {case}");
+    });
+}
 
-    /// Programs assembled from generated `li`/`add` pipelines compute what
-    /// they should: the assembler, encoder and interpreter agree end to end.
-    #[test]
-    fn assemble_run_computes_sum(values in proptest::collection::vec(0u64..1_000_000, 1..20)) {
+/// Programs assembled from generated `li`/`add` pipelines compute what
+/// they should: the assembler, encoder and interpreter agree end to end.
+#[test]
+fn assemble_run_computes_sum() {
+    run_cases(50, |case, rng| {
+        let values: Vec<u64> = (0..rng.range_usize(1, 20))
+            .map(|_| rng.below(1_000_000))
+            .collect();
         let mut src = String::from("main:\n li r1, 0\n");
         for v in &values {
             src.push_str(&format!(" li r2, {v}\n add r1, r1, r2\n"));
@@ -118,9 +159,9 @@ proptest! {
             match ia_vm::machine::step(&mut vm, &mut mem, &img.code) {
                 ia_vm::StepEvent::Continue => {}
                 ia_vm::StepEvent::Halted => break,
-                other => prop_assert!(false, "unexpected {other:?}"),
+                other => panic!("case {case}: unexpected {other:?}"),
             }
         }
-        prop_assert_eq!(vm.regs[1], values.iter().sum::<u64>());
-    }
+        assert_eq!(vm.regs[1], values.iter().sum::<u64>(), "case {case}");
+    });
 }

@@ -24,4 +24,4 @@ pub mod mix;
 pub mod runner;
 pub mod scribe;
 
-pub use runner::{run_workload, AgentKind, RunStats, Workload};
+pub use runner::{run_workload, run_workload_with, AgentKind, RunStats, SchedKind, Workload};

@@ -8,9 +8,8 @@
 
 use ia_abi::{OpenFlags, Sysno};
 use ia_kernel::Kernel;
+use ia_prng::Prng;
 use ia_vm::{Image, ProgramBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Operations the generator may emit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +31,7 @@ enum Op {
 /// markers to the console, and exits 0.
 #[must_use]
 pub fn random_program(seed: u64, ops: usize) -> Image {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Prng::new(seed);
     let mut b = ProgramBuilder::new();
     let buf = b.data_space(256);
     let statbuf = b.data_space(128);
@@ -52,7 +51,7 @@ pub fn random_program(seed: u64, ops: usize) -> Image {
 
     b.entry_here();
     for _ in 0..ops {
-        let op = match rng.gen_range(0..9u32) {
+        let op = match rng.below(9) {
             0 => Op::WriteConsole,
             1 => Op::CreateWriteClose,
             2 => Op::OpenReadClose,
@@ -63,8 +62,8 @@ pub fn random_program(seed: u64, ops: usize) -> Image {
             7 => Op::LinkUnlink,
             _ => Op::Burn,
         };
-        let f = rng.gen_range(0..paths.len());
-        let (payload, plen) = payloads[rng.gen_range(0..payloads.len())];
+        let f = rng.range_usize(0, paths.len());
+        let (payload, plen) = *rng.pick(&payloads);
         match op {
             Op::WriteConsole => {
                 b.li(0, 1);
@@ -131,7 +130,7 @@ pub fn random_program(seed: u64, ops: usize) -> Image {
                 b.la(0, link_path);
                 b.sys(Sysno::Unlink);
             }
-            Op::Burn => b.burn(rng.gen_range(5..50)),
+            Op::Burn => b.burn(rng.range_u64(5, 50)),
         }
     }
     b.li(0, 0);

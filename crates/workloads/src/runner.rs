@@ -57,11 +57,24 @@ impl AgentKind {
     }
 }
 
+/// Which scheduler drives a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedKind {
+    /// The sliced hot-path scheduler (`ia_kernel::run`).
+    Sliced,
+    /// The per-instruction reference scheduler (`ia_kernel::run_legacy`).
+    Legacy,
+}
+
 /// What a run produced.
 #[derive(Debug, Clone)]
 pub struct RunStats {
     /// Virtual elapsed seconds.
     pub virtual_secs: f64,
+    /// Virtual elapsed nanoseconds — exact, for differential comparison.
+    pub virtual_ns: u64,
+    /// Total instructions retired across all processes.
+    pub total_insns: u64,
     /// Total system calls dispatched at the kernel.
     pub syscalls: u64,
     /// Traps intercepted by agents.
@@ -70,6 +83,8 @@ pub struct RunStats {
     pub passthrough: u64,
     /// Scheduler outcome.
     pub outcome: RunOutcome,
+    /// Everything the workload wrote to the console.
+    pub console: Vec<u8>,
 }
 
 /// Union mount specs used when benchmarking the union agent: overlay the
@@ -87,6 +102,19 @@ fn union_specs(w: Workload) -> Vec<Vec<u8>> {
 /// Runs `workload` on `profile` under `agent`, returning the statistics.
 #[must_use]
 pub fn run_workload(workload: Workload, profile: MachineProfile, agent: AgentKind) -> RunStats {
+    run_workload_with(workload, profile, agent, SchedKind::Sliced)
+}
+
+/// [`run_workload`] with an explicit scheduler choice — the seam the
+/// differential tests and the baseline benchmark use to compare the sliced
+/// scheduler against the per-instruction reference implementation.
+#[must_use]
+pub fn run_workload_with(
+    workload: Workload,
+    profile: MachineProfile,
+    agent: AgentKind,
+    sched: SchedKind,
+) -> RunStats {
     let mut k = Kernel::new(profile);
     let pid = match workload {
         Workload::Scribe => {
@@ -127,13 +155,19 @@ pub fn run_workload(workload: Workload, profile: MachineProfile, agent: AgentKin
         }
     }
 
-    let outcome = k.run_with(&mut router);
+    let outcome = match sched {
+        SchedKind::Sliced => k.run_with(&mut router),
+        SchedKind::Legacy => k.run_with_legacy(&mut router),
+    };
     RunStats {
         virtual_secs: k.clock.elapsed_secs(),
+        virtual_ns: k.clock.elapsed_ns(),
+        total_insns: k.total_insns,
         syscalls: k.total_syscalls,
         intercepted: router.stats.intercepted,
         passthrough: router.stats.passthrough,
         outcome,
+        console: k.console.output().to_vec(),
     }
 }
 

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Full CI gate: formatting, lints, tier-1 tests, and the host-throughput
+# benchmark artifact. Mirrors .github/workflows/ci.yml so the same checks
+# run locally.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets --release -- -D warnings
+./scripts/tier1.sh
+cargo run --release -p ia-bench --bin reproduce -- --json

@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Tier-1 verification (see ROADMAP.md): the release build plus the test
+# suite, with no registry access required.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo test -q --workspace --release

@@ -27,7 +27,7 @@ impl Agent for FaultInjector {
     }
     fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
         self.counter += 1;
-        if self.counter % self.every == 0 {
+        if self.counter.is_multiple_of(self.every) {
             self.injected.set(self.injected.get() + 1);
             return SysOutcome::Done(Err(self.errno));
         }

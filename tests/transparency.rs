@@ -4,11 +4,11 @@
 //! status — is identical with and without pass-through agents, and under
 //! stacked agents.
 
+use ia_prng::run_cases;
 use interposition_agents::agents::{ProfileAgent, TimeSymbolic, TraceAgent};
 use interposition_agents::interpose::{wrap_process, InterposedRouter};
 use interposition_agents::kernel::{Kernel, RunOutcome, I486_25};
 use interposition_agents::workloads::mix;
-use proptest::prelude::*;
 
 /// Observable outcome of a run.
 #[derive(Debug, PartialEq, Eq)]
@@ -55,33 +55,61 @@ fn run_mix(seed: u64, ops: usize, agents: &str) -> Observed {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// A full-interception pass-through agent changes nothing observable.
+#[test]
+fn null_symbolic_agent_is_transparent() {
+    run_cases(24, |case, rng| {
+        let seed = rng.below(5000);
+        let ops = rng.range_usize(5, 60);
+        assert_eq!(
+            run_mix(seed, ops, ""),
+            run_mix(seed, ops, "s"),
+            "case {case}"
+        );
+    });
+}
 
-    /// A full-interception pass-through agent changes nothing observable.
-    #[test]
-    fn null_symbolic_agent_is_transparent(seed in 0u64..5000, ops in 5usize..60) {
-        prop_assert_eq!(run_mix(seed, ops, ""), run_mix(seed, ops, "s"));
-    }
+/// Monitoring agents (profile) are transparent too.
+#[test]
+fn profile_agent_is_transparent() {
+    run_cases(24, |case, rng| {
+        let seed = rng.below(5000);
+        let ops = rng.range_usize(5, 60);
+        assert_eq!(
+            run_mix(seed, ops, ""),
+            run_mix(seed, ops, "p"),
+            "case {case}"
+        );
+    });
+}
 
-    /// Monitoring agents (profile) are transparent too.
-    #[test]
-    fn profile_agent_is_transparent(seed in 0u64..5000, ops in 5usize..60) {
-        prop_assert_eq!(run_mix(seed, ops, ""), run_mix(seed, ops, "p"));
-    }
+/// Stacks of pass-through agents compose transparently.
+#[test]
+fn stacked_agents_are_transparent() {
+    run_cases(24, |case, rng| {
+        let seed = rng.below(5000);
+        let ops = rng.range_usize(5, 40);
+        assert_eq!(
+            run_mix(seed, ops, ""),
+            run_mix(seed, ops, "sps"),
+            "case {case}"
+        );
+    });
+}
 
-    /// Stacks of pass-through agents compose transparently.
-    #[test]
-    fn stacked_agents_are_transparent(seed in 0u64..5000, ops in 5usize..40) {
-        prop_assert_eq!(run_mix(seed, ops, ""), run_mix(seed, ops, "sps"));
-    }
-
-    /// The trace agent perturbs the filesystem only through its own log
-    /// (routed to /dev/null here), so the client view stays identical.
-    #[test]
-    fn trace_agent_preserves_client_behaviour(seed in 0u64..5000, ops in 5usize..40) {
-        prop_assert_eq!(run_mix(seed, ops, ""), run_mix(seed, ops, "t"));
-    }
+/// The trace agent perturbs the filesystem only through its own log
+/// (routed to /dev/null here), so the client view stays identical.
+#[test]
+fn trace_agent_preserves_client_behaviour() {
+    run_cases(24, |case, rng| {
+        let seed = rng.below(5000);
+        let ops = rng.range_usize(5, 40);
+        assert_eq!(
+            run_mix(seed, ops, ""),
+            run_mix(seed, ops, "t"),
+            "case {case}"
+        );
+    });
 }
 
 #[test]
