@@ -8,7 +8,8 @@
 //! [`OpenObject`] needs, since clients read and write at arbitrary
 //! offsets.
 
-use ia_abi::{Sysno, Whence};
+use ia_abi::wire::Wire;
+use ia_abi::{Errno, OpenFlags, Stat, Sysno, Whence};
 use ia_kernel::SysOutcome;
 use ia_toolkit::{
     obj_ref, DefaultPathname, FsAgent, ObjRef, OpenObject, PathIntent, Pathname, PathnameSet,
@@ -91,6 +92,7 @@ impl Pathname for CryptPathname {
             SysOutcome::Done(Ok(_)) => Some(obj_ref(CryptObject {
                 key: self.key.clone(),
                 pos: 0,
+                append: OpenFlags::new(flags as u32).has(OpenFlags::O_APPEND),
                 scratch: self.inner.scratch().clone(),
             })),
             _ => None,
@@ -104,7 +106,22 @@ impl Pathname for CryptPathname {
 struct CryptObject {
     key: Vec<u8>,
     pos: u64,
+    /// `O_APPEND`: the kernel writes at end-of-file regardless of `pos`,
+    /// so the keystream offset must come from the live file size.
+    append: bool,
     scratch: Scratch,
+}
+
+impl CryptObject {
+    /// Current size of the underlying file, via an `fstat` downcall.
+    fn file_size(&self, ctx: &mut SymCtx<'_, '_>, fd: u64) -> Result<u64, Errno> {
+        let statbuf = self.scratch.write(ctx, &[0u8; Stat::WIRE_SIZE])?;
+        match ctx.down_args(Sysno::Fstat, [fd, statbuf, 0, 0, 0, 0]) {
+            SysOutcome::Done(Ok(_)) => Ok(ctx.read_struct::<Stat>(statbuf)?.size),
+            SysOutcome::Done(Err(e)) => Err(e),
+            _ => Err(Errno::EIO),
+        }
+    }
 }
 
 impl OpenObject for CryptObject {
@@ -133,14 +150,24 @@ impl OpenObject for CryptObject {
             Ok(d) => d,
             Err(e) => return SysOutcome::Done(Err(e)),
         };
-        apply_keystream(&self.key, self.pos, &mut data);
+        // Appending writes land at end-of-file, not at the tracked
+        // position, so key the stream off the live size there.
+        let pos = if self.append {
+            match self.file_size(ctx, fd) {
+                Ok(sz) => sz,
+                Err(e) => return SysOutcome::Done(Err(e)),
+            }
+        } else {
+            self.pos
+        };
+        apply_keystream(&self.key, pos, &mut data);
         let staged = match self.scratch.write(ctx, &data) {
             Ok(a) => a,
             Err(e) => return SysOutcome::Done(Err(e)),
         };
         let out = ctx.down_args(Sysno::Write, [fd, staged, nbyte, 0, 0, 0]);
         if let SysOutcome::Done(Ok([n, _])) = out {
-            self.pos += n;
+            self.pos = pos + n;
         }
         out
     }
@@ -159,6 +186,7 @@ impl OpenObject for CryptObject {
         Box::new(CryptObject {
             key: self.key.clone(),
             pos: self.pos,
+            append: self.append,
             scratch: self.scratch.deep_clone(),
         })
     }

@@ -1,0 +1,228 @@
+//! The `conform` driver: seeded conformance sweeps, fault-injection
+//! schedules, failure shrinking, `.conf` repro files, and replay.
+//!
+//! ```text
+//! conform --seeds 200                 # sweep seeds 0..200
+//! conform --seeds 50 --start 1000     # sweep seeds 1000..1050
+//! conform --replay repro.conf         # re-run one repro file
+//! conform --demo-mutant               # show a caught+shrunk divergence
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ia_conform::{
+    check_faults, check_program, run_fault_case, sample, shrink, OpSet, Program, Repro,
+};
+use ia_prng::Prng;
+
+struct Options {
+    seeds: u64,
+    start: u64,
+    ops_min: usize,
+    ops_max: usize,
+    fault_every: u64,
+    out: PathBuf,
+    replay: Option<PathBuf>,
+    demo_mutant: bool,
+}
+
+impl Options {
+    fn parse() -> Result<Options, String> {
+        let mut o = Options {
+            seeds: 100,
+            start: 0,
+            ops_min: 4,
+            ops_max: 40,
+            fault_every: 10,
+            out: PathBuf::from("target/conform"),
+            replay: None,
+            demo_mutant: false,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut num = |name: &str| -> Result<u64, String> {
+                args.next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("{name} needs a numeric argument"))
+            };
+            match a.as_str() {
+                "--seeds" => o.seeds = num("--seeds")?,
+                "--start" => o.start = num("--start")?,
+                "--ops-min" => o.ops_min = num("--ops-min")? as usize,
+                "--ops-max" => o.ops_max = num("--ops-max")? as usize,
+                "--fault-every" => o.fault_every = num("--fault-every")?.max(1),
+                "--out" => o.out = PathBuf::from(args.next().ok_or("--out needs a path")?),
+                "--replay" => {
+                    o.replay = Some(PathBuf::from(args.next().ok_or("--replay needs a path")?))
+                }
+                "--demo-mutant" => o.demo_mutant = true,
+                "--help" | "-h" => {
+                    println!(
+                        "usage: conform [--seeds N] [--start S] [--ops-min A] [--ops-max B]\n\
+                         \u{20}              [--fault-every K] [--out DIR] [--replay FILE] [--demo-mutant]"
+                    );
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown argument {other}")),
+            }
+        }
+        if o.ops_min == 0 || o.ops_max < o.ops_min {
+            return Err("need 0 < ops-min <= ops-max".into());
+        }
+        Ok(o)
+    }
+}
+
+/// Writes a repro file and prints where, plus the shrunken listing.
+fn report_failure(out: &Path, tag: &str, repro: &Repro, detail: &str) {
+    println!("FAIL [{tag}] {detail}");
+    let shrunk = &repro.program;
+    println!(
+        "  shrunk to {} ops / {} instructions:",
+        shrunk.ops.len(),
+        shrunk.compile().code.len()
+    );
+    for op in &shrunk.ops {
+        println!("    {op:?}");
+    }
+    if let Err(e) = std::fs::create_dir_all(out) {
+        println!("  (cannot create {}: {e})", out.display());
+        return;
+    }
+    let path = out.join(format!("{tag}.conf"));
+    match std::fs::write(&path, repro.to_conf(&[detail])) {
+        Ok(()) => println!("  repro written to {}", path.display()),
+        Err(e) => println!("  (cannot write {}: {e})", path.display()),
+    }
+}
+
+fn replay(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let repro = Repro::from_conf(&text)?;
+    println!(
+        "replaying {}: seed {}, {} ops{}",
+        path.display(),
+        repro.program.seed,
+        repro.program.ops.len(),
+        repro.fault.map(|f| format!(", {f}")).unwrap_or_default()
+    );
+    println!("{}", ia_vm::disassemble(&repro.program.compile()));
+    let verdict = match repro.fault {
+        Some(case) => run_fault_case(&repro.program, case),
+        None => check_program(&repro.program),
+    };
+    match verdict {
+        Ok(()) => {
+            println!("PASS: no divergence on replay");
+            Ok(())
+        }
+        Err(d) => Err(d),
+    }
+}
+
+/// The acceptance demo: wrap a deliberately broken agent, catch it, and
+/// shrink the evidence to a tiny listing.
+fn demo_mutant(out: &Path) -> Result<(), String> {
+    use ia_conform::check_client_equiv;
+    use ia_conform::mutant::ConsoleDropMutant;
+    let mut failing =
+        |p: &Program| check_client_equiv(p, || vec![ConsoleDropMutant::boxed(2)], true).is_err();
+    let broken = (0..256)
+        .map(|seed| sample(seed, 30, OpSet::ALL))
+        .find(|p| failing(p))
+        .ok_or("mutant never caught — oracle is broken")?;
+    let detail = check_client_equiv(&broken, || vec![ConsoleDropMutant::boxed(2)], true)
+        .expect_err("just failed");
+    println!("mutant caught on seed {}: {detail}", broken.seed);
+    let small = shrink(&broken, &mut failing);
+    let repro = Repro {
+        program: small.clone(),
+        fault: None,
+    };
+    report_failure(out, "demo-mutant", &repro, &detail);
+    println!("{}", ia_vm::disassemble(&small.compile()));
+    let insns = small.compile().code.len();
+    if insns > 30 {
+        return Err(format!("shrunk repro still {insns} instructions"));
+    }
+    println!("OK: caught and shrunk to {insns} instructions");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let o = match Options::parse() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("conform: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &o.replay {
+        return match replay(path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(d) => {
+                println!("FAIL: {d}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if o.demo_mutant {
+        return match demo_mutant(&o.out) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(d) => {
+                println!("FAIL: {d}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut failures = 0u64;
+    let mut fault_cases = 0u64;
+    for seed in o.start..o.start + o.seeds {
+        let mut rng = Prng::new(seed);
+        let nops = rng.range_usize(o.ops_min, o.ops_max + 1);
+        let program = sample(seed, nops, OpSet::ALL);
+
+        if let Err(detail) = check_program(&program) {
+            failures += 1;
+            let mut failing = |p: &Program| check_program(p).is_err();
+            let small = shrink(&program, &mut failing);
+            let repro = Repro {
+                program: small,
+                fault: None,
+            };
+            report_failure(&o.out, &format!("seed-{seed}"), &repro, &detail);
+            continue;
+        }
+
+        if seed % o.fault_every == 0 {
+            fault_cases += ia_conform::fault_schedule(&program).len() as u64;
+            if let Err((case, detail)) = check_faults(&program) {
+                failures += 1;
+                let mut failing = |p: &Program| run_fault_case(p, case).is_err();
+                let small = shrink(&program, &mut failing);
+                let repro = Repro {
+                    program: small,
+                    fault: Some(case),
+                };
+                report_failure(&o.out, &format!("seed-{seed}-fault"), &repro, &detail);
+            }
+        }
+    }
+    println!(
+        "conform: {} seeds ({}..{}), {} fault cases, {} failures",
+        o.seeds,
+        o.start,
+        o.start + o.seeds,
+        fault_cases,
+        failures
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,40 @@
+//! # ia-conform — deterministic syscall fuzzing + differential conformance
+//!
+//! The paper's central claim is *transparency*: an unmodified program
+//! behaves identically with and without interposition agents (§3.1).
+//! This crate turns that claim into systematic coverage:
+//!
+//! 1. [`gen`] — a seeded random-program generator over the full syscall
+//!    surface (files, pipes, fork/exec/wait, signals, itimers, select,
+//!    sockets, chdir/permissions) whose output always terminates, even
+//!    under injected errors.
+//! 2. [`oracle`] — a differential executor running each program under
+//!    {bare, pass-through, stacked} agents × {sliced, legacy} schedulers
+//!    and asserting the observables agree.
+//! 3. [`fault`] — systematic error injection at each interception point,
+//!    asserting the kernel stays consistent (no leaked descriptors or
+//!    pipes, wait converges, scheduler queues sane).
+//! 4. [`shrink`] + [`trace`] — on failure, ddmin minimization and a
+//!    replayable `.conf` file, so a CI failure reproduces locally with
+//!    `cargo run -p ia-conform -- --replay file.conf`.
+//!
+//! [`mutant`] holds deliberately broken agents proving the oracle and
+//! shrinker actually work.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod gen;
+pub mod mutant;
+pub mod oracle;
+pub mod shrink;
+pub mod trace;
+
+pub use fault::{check_faults, fault_schedule, run_fault_case, FaultCase, FaultInjector};
+pub use gen::{sample, ConfOp, OpSet, Program};
+pub use oracle::{
+    check_client_equiv, check_program, run_config, run_stack, Observation, SchedKind, StackKind,
+};
+pub use shrink::shrink;
+pub use trace::Repro;

@@ -1,0 +1,121 @@
+//! Deliberately broken agents, used to prove the oracle has teeth.
+//!
+//! A conformance harness that never fails is indistinguishable from one
+//! that checks nothing. These mutants violate transparency in targeted
+//! ways; the crate's tests (and `conform --demo-mutant`) assert the
+//! oracle catches them and the shrinker reduces the evidence to a
+//! handful of instructions.
+
+use ia_abi::{RawArgs, Sysno};
+use ia_interpose::{Agent, InterestSet, SysCtx};
+use ia_kernel::SysOutcome;
+
+/// Swallows every `every`-th console write: claims success, writes
+/// nothing. The canonical "skip a path, fake the result" bug.
+pub struct ConsoleDropMutant {
+    every: u64,
+    counter: u64,
+}
+
+impl ConsoleDropMutant {
+    /// Boxed mutant dropping every `every`-th console write.
+    #[must_use]
+    pub fn boxed(every: u64) -> Box<dyn Agent> {
+        Box::new(ConsoleDropMutant {
+            every: every.max(1),
+            counter: 0,
+        })
+    }
+}
+
+impl Agent for ConsoleDropMutant {
+    fn name(&self) -> &'static str {
+        "mutant-console-drop"
+    }
+    fn interests(&self) -> InterestSet {
+        InterestSet::of(&[Sysno::Write])
+    }
+    fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
+        if args[0] == 1 {
+            self.counter += 1;
+            if self.counter.is_multiple_of(self.every) {
+                // Pretend the bytes went out.
+                return SysOutcome::Done(Ok([args[2], 0]));
+            }
+        }
+        ctx.down(nr, args)
+    }
+    fn clone_box(&self) -> Box<dyn Agent> {
+        Box::new(ConsoleDropMutant {
+            every: self.every,
+            counter: self.counter,
+        })
+    }
+}
+
+/// Masks `open` errors: reports fd 0 instead of the errno. Models a
+/// skipped errno path at the interception layer.
+pub struct ErrnoMaskMutant;
+
+impl ErrnoMaskMutant {
+    /// Boxed errno-masking mutant.
+    #[must_use]
+    pub fn boxed() -> Box<dyn Agent> {
+        Box::new(ErrnoMaskMutant)
+    }
+}
+
+impl Agent for ErrnoMaskMutant {
+    fn name(&self) -> &'static str {
+        "mutant-errno-mask"
+    }
+    fn interests(&self) -> InterestSet {
+        InterestSet::of(&[Sysno::Open])
+    }
+    fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
+        match ctx.down(nr, args) {
+            SysOutcome::Done(Err(_)) => SysOutcome::Done(Ok([0, 0])),
+            other => other,
+        }
+    }
+    fn clone_box(&self) -> Box<dyn Agent> {
+        Box::new(ErrnoMaskMutant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{sample, OpSet, Program};
+    use crate::oracle::check_client_equiv;
+    use crate::shrink::shrink;
+
+    fn caught_and_shrunk(mk: fn() -> Box<dyn Agent>) -> Program {
+        // Find a seed the mutant actually breaks, then minimize it.
+        let mut failing = |p: &Program| check_client_equiv(p, || vec![mk()], true).is_err();
+        let broken = (0..64)
+            .map(|seed| sample(seed, 30, OpSet::ALL))
+            .find(|p| failing(p))
+            .expect("mutant was never caught in 64 seeds");
+        shrink(&broken, &mut failing)
+    }
+
+    #[test]
+    fn console_drop_mutant_is_caught_and_shrinks_small() {
+        let small = caught_and_shrunk(|| ConsoleDropMutant::boxed(1));
+        // 1-minimal: a single op suffices to expose a dropped write.
+        assert_eq!(small.ops.len(), 1, "{:?}", small.ops);
+        let insns = small.compile().code.len();
+        assert!(
+            insns <= 30,
+            "repro is {insns} instructions: {:?}",
+            small.ops
+        );
+    }
+
+    #[test]
+    fn errno_mask_mutant_is_caught() {
+        let small = caught_and_shrunk(ErrnoMaskMutant::boxed);
+        assert!(small.ops.len() <= 2, "{:?}", small.ops);
+    }
+}

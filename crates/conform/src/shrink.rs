@@ -1,0 +1,120 @@
+//! Delta-debugging minimization of failing programs.
+//!
+//! Classic ddmin over the op list: try dropping ever-finer chunks,
+//! keeping any reduction that still fails, until no single op can be
+//! removed. A follow-up canonicalization pass then tries to replace each
+//! surviving op with a structurally simpler one (an `Echo`, a one-file
+//! read, ...) that still fails, so the repro is small in *instructions*,
+//! not just in op count. The predicate re-runs the full oracle each
+//! probe, so the result is a genuine 1-minimal reproducer, not a
+//! syntactic guess.
+
+use crate::gen::{ConfOp, Program};
+
+/// Replacement candidates for canonicalization, simplest first.
+const SIMPLE: &[ConfOp] = &[
+    ConfOp::Echo { payload: 0 },
+    ConfOp::QueryIds,
+    ConfOp::ReadEcho { file: 0 },
+    ConfOp::CreateWrite {
+        file: 0,
+        payload: 0,
+    },
+];
+
+/// Minimizes `program` while `failing` stays true. `failing(program)`
+/// must hold on entry; the returned program also satisfies it, and no
+/// single-op removal from the result does.
+pub fn shrink(program: &Program, failing: &mut dyn FnMut(&Program) -> bool) -> Program {
+    debug_assert!(failing(program), "shrink needs a failing input");
+    let mut ops = program.ops.clone();
+    let with = |ops: &[crate::gen::ConfOp]| Program {
+        seed: program.seed,
+        ops: ops.to_vec(),
+    };
+
+    let mut n = 2usize;
+    while ops.len() >= 2 {
+        let chunk = ops.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < ops.len() {
+            let stop = (start + chunk).min(ops.len());
+            let mut candidate = ops[..start].to_vec();
+            candidate.extend_from_slice(&ops[stop..]);
+            if failing(&with(&candidate)) {
+                ops = candidate;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = stop;
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break;
+            }
+            n = (n * 2).min(ops.len());
+        }
+    }
+
+    // Canonicalize: swap each op for the simplest stand-in that keeps the
+    // failure alive (a 46-instruction SocketEcho often reduces to a
+    // 4-instruction Echo).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..ops.len() {
+            for cand in SIMPLE {
+                if ops[i] == *cand {
+                    break;
+                }
+                let mut trial = ops.clone();
+                trial[i] = *cand;
+                if failing(&with(&trial)) {
+                    ops = trial;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    with(&ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{sample, ConfOp, OpSet};
+
+    #[test]
+    fn shrinks_to_the_single_guilty_op() {
+        // Failure := "the program contains a KillHandler op".
+        let mut p = sample(2, 40, OpSet::ALL);
+        p.ops.retain(|o| !matches!(o, ConfOp::KillHandler));
+        p.ops.insert(17, ConfOp::KillHandler);
+        let mut failing = |q: &Program| q.ops.iter().any(|o| matches!(o, ConfOp::KillHandler));
+        let small = shrink(&p, &mut failing);
+        assert_eq!(small.ops, vec![ConfOp::KillHandler]);
+    }
+
+    #[test]
+    fn shrinks_interacting_pairs() {
+        // Failure := an Echo appears somewhere after a Burn.
+        let p = sample(8, 60, OpSet::ALL);
+        let mut failing = |q: &Program| {
+            let first_burn = q.ops.iter().position(|o| matches!(o, ConfOp::Burn { .. }));
+            match first_burn {
+                Some(i) => q.ops[i..].iter().any(|o| matches!(o, ConfOp::Echo { .. })),
+                None => false,
+            }
+        };
+        if !failing(&p) {
+            return; // seed didn't produce the pattern; nothing to test
+        }
+        let small = shrink(&p, &mut failing);
+        assert_eq!(small.ops.len(), 2, "{:?}", small.ops);
+        assert!(matches!(small.ops[0], ConfOp::Burn { .. }));
+        assert!(matches!(small.ops[1], ConfOp::Echo { .. }));
+    }
+}

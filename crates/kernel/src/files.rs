@@ -121,6 +121,14 @@ impl OpenFiles {
     pub fn live(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
+
+    /// Iterates live entries with their table indices.
+    pub fn iter(&self) -> impl Iterator<Item = (FileIdx, &OpenFile)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|f| (i, f)))
+    }
 }
 
 /// One process's descriptor slot.

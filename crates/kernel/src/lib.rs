@@ -21,6 +21,7 @@ pub mod files;
 pub mod kernel;
 pub mod process;
 pub mod sched;
+pub mod snapshot;
 pub mod socket;
 mod syscalls;
 
@@ -30,4 +31,5 @@ pub use files::{FdEntry, FdTable, FileKind, OpenFile, OpenFiles, SockId, FD_TABL
 pub use kernel::{push_args, Kernel, PerfCounters, SysOutcome, WakeEvent};
 pub use process::{PendingTrap, Pid, ProcState, Process, SigAction, SigState, Usage, WaitChannel};
 pub use sched::{run, run_legacy, KernelRouter, RunLimits, RunOutcome, SyscallRouter, SLICE};
+pub use snapshot::{ClientView, Observable};
 pub use socket::{SockState, Socket, SocketTable};

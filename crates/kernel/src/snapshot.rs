@@ -1,0 +1,238 @@
+//! Observable-state snapshots and kernel invariant checks.
+//!
+//! The transparency claim of the paper (§3.1) is a statement about what a
+//! client — or anyone inspecting the machine afterwards — can observe. This
+//! module defines that observation precisely, so differential tests
+//! (`ia-conform`, `tests/transparency.rs`) compare a single well-defined
+//! value instead of each picking its own ad-hoc subset of kernel state.
+//!
+//! Two granularities:
+//!
+//! * [`Observable`] — everything, including the virtual clock and executed
+//!   instruction count. Two runs of the *same* configuration under
+//!   different schedulers must agree on all of it.
+//! * [`ClientView`] — what an application (or user diffing the disk
+//!   afterwards) can see: console bytes, exit statuses, and filesystem
+//!   content. Runs with and without pass-through agents must agree on
+//!   this, while clocks legitimately differ by the interposition overhead.
+
+use std::collections::BTreeMap;
+
+use crate::kernel::Kernel;
+use crate::process::{Pid, ProcState};
+
+/// Complete observable machine state after (or during) a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observable {
+    /// Everything a client could observe.
+    pub client: ClientView,
+    /// Virtual nanoseconds elapsed.
+    pub clock_ns: u64,
+    /// Client instructions executed.
+    pub total_insns: u64,
+    /// Syscalls dispatched (including agent downcalls).
+    pub total_syscalls: u64,
+}
+
+/// The client-visible portion of machine state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientView {
+    /// Raw console output bytes.
+    pub console: Vec<u8>,
+    /// Wait-status word of every process that ever exited, by pid.
+    pub exit_statuses: BTreeMap<Pid, u32>,
+    /// Content digest of the reachable filesystem tree (timestamp-free;
+    /// see `Fs::content_digest`).
+    pub vfs_digest: u64,
+    /// Regular-file count.
+    pub fs_files: usize,
+    /// Total regular-file bytes.
+    pub fs_bytes: u64,
+}
+
+impl Kernel {
+    /// Snapshots the full observable state.
+    #[must_use]
+    pub fn observable(&self) -> Observable {
+        Observable {
+            client: self.client_view(),
+            clock_ns: self.clock.elapsed_ns(),
+            total_insns: self.total_insns,
+            total_syscalls: self.total_syscalls,
+        }
+    }
+
+    /// Snapshots the client-visible state only.
+    #[must_use]
+    pub fn client_view(&self) -> ClientView {
+        let stats = self.fs.stats();
+        ClientView {
+            console: self.console.output().to_vec(),
+            exit_statuses: self.exit_statuses(),
+            vfs_digest: self.fs.content_digest(),
+            fs_files: stats.files,
+            fs_bytes: stats.bytes,
+        }
+    }
+
+    /// Wait-status of every exited process (reaped or zombie), by pid.
+    #[must_use]
+    pub fn exit_statuses(&self) -> BTreeMap<Pid, u32> {
+        let mut m: BTreeMap<Pid, u32> = self.exit_log.iter().map(|(&p, &s)| (p, s)).collect();
+        for p in self.procs.values() {
+            if let ProcState::Zombie(st) = p.state {
+                m.insert(p.pid, st);
+            }
+        }
+        m
+    }
+
+    /// Structural invariants that must hold at any scheduler quiescent
+    /// point, regardless of what programs or agents did. Returns a
+    /// description of each violation; an empty vector means consistent.
+    #[must_use]
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+
+        // Scheduler queues and process states must agree.
+        for &pid in &self.run_queue {
+            match self.procs.get(&pid).map(|p| &p.state) {
+                Some(ProcState::Runnable) => {}
+                other => bad.push(format!("run_queue pid {pid} has state {other:?}")),
+            }
+        }
+        for &pid in &self.blocked_queue {
+            match self.procs.get(&pid).map(|p| &p.state) {
+                Some(ProcState::Blocked(_)) => {}
+                other => bad.push(format!("blocked_queue pid {pid} has state {other:?}")),
+            }
+        }
+        for p in self.procs.values() {
+            match p.state {
+                ProcState::Runnable if !self.run_queue.contains(&p.pid) => {
+                    bad.push(format!("runnable pid {} missing from run_queue", p.pid));
+                }
+                ProcState::Blocked(_) if !self.blocked_queue.contains(&p.pid) => {
+                    bad.push(format!("blocked pid {} missing from blocked_queue", p.pid));
+                }
+                ProcState::Zombie(_) if p.fds.iter().count() != 0 => {
+                    bad.push(format!("zombie pid {} still holds descriptors", p.pid));
+                }
+                _ => {}
+            }
+        }
+
+        // Every descriptor must reference a live open-file entry, and the
+        // per-entry refcount must equal the number of descriptors (across
+        // all processes) pointing at it.
+        let mut referenced: BTreeMap<usize, u32> = BTreeMap::new();
+        for p in self.procs.values() {
+            for (_, e) in p.fds.iter() {
+                *referenced.entry(e.file).or_insert(0) += 1;
+                if self.files.get(e.file).is_err() {
+                    bad.push(format!("pid {} fd references dead file {}", p.pid, e.file));
+                }
+            }
+        }
+        for (idx, f) in self.files.iter() {
+            let held = referenced.get(&idx).copied().unwrap_or(0);
+            if f.refs != held {
+                bad.push(format!(
+                    "open file {idx} refcount {} but {held} descriptors point at it",
+                    f.refs
+                ));
+            }
+        }
+        bad
+    }
+
+    /// Invariants that must hold once every process has exited: nothing
+    /// may leak. Returns violation descriptions, empty when clean.
+    #[must_use]
+    pub fn check_quiescent(&self) -> Vec<String> {
+        let mut bad = self.check_invariants();
+        if self.running_count() != 0 {
+            bad.push(format!("{} processes still running", self.running_count()));
+        }
+        if self.files.live() != 0 {
+            bad.push(format!("{} open files leaked", self.files.live()));
+        }
+        if !self.fs.pipes.is_empty() {
+            bad.push(format!("{} pipes leaked", self.fs.pipes.len()));
+        }
+        if self.sockets.live() != 0 {
+            bad.push(format!("{} sockets leaked", self.sockets.live()));
+        }
+        if !self.run_queue.is_empty() || !self.blocked_queue.is_empty() {
+            bad.push(format!(
+                "scheduler queues not empty: run={:?} blocked={:?}",
+                self.run_queue, self.blocked_queue
+            ));
+        }
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::clock::I486_25;
+    use crate::kernel::Kernel;
+    use crate::sched::RunOutcome;
+    use ia_vm::assemble;
+
+    #[test]
+    fn fresh_kernel_is_consistent_and_quiescent() {
+        let k = Kernel::new(I486_25);
+        assert!(k.check_invariants().is_empty());
+        assert!(k.check_quiescent().is_empty());
+    }
+
+    #[test]
+    fn observable_captures_console_exits_and_digest() {
+        let src = r#"
+            .data
+            msg:  .asciz "hi"
+            path: .asciz "/tmp/out"
+            .text
+            main:
+                la r0, path
+                li r1, 0x601   ; O_WRONLY|O_CREAT|O_TRUNC
+                li r2, 420
+                sys open
+                la r1, msg
+                li r2, 2
+                sys write
+                li r0, 1
+                la r1, msg
+                li r2, 2
+                sys write
+                li r0, 7
+                sys exit
+        "#;
+        let mut k = Kernel::new(I486_25);
+        k.mkdir_p(b"/tmp").unwrap();
+        let img = assemble(src).unwrap();
+        let pid = k.spawn_image(&img, &[b"t"], b"t");
+        assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
+        assert!(k.check_quiescent().is_empty(), "{:?}", k.check_quiescent());
+
+        let obs = k.observable();
+        assert_eq!(obs.client.console, b"hi");
+        assert_eq!(
+            obs.client.exit_statuses.get(&pid),
+            Some(&ia_abi::signal::wait_status_exited(7))
+        );
+
+        // Same program, fresh kernel: identical client view, and the digest
+        // actually covers the file written above.
+        let mut k2 = Kernel::new(I486_25);
+        k2.mkdir_p(b"/tmp").unwrap();
+        k2.spawn_image(&img, &[b"t"], b"t");
+        assert_eq!(k2.run_to_completion(), RunOutcome::AllExited);
+        assert_eq!(k2.client_view(), obs.client);
+
+        k2.write_file(b"/tmp/out", b"ha").unwrap();
+        assert_ne!(k2.client_view().vfs_digest, obs.client.vfs_digest);
+        assert_eq!(k2.client_view().fs_bytes, obs.client.fs_bytes);
+    }
+}

@@ -58,6 +58,12 @@ impl SocketTable {
         SocketTable::default()
     }
 
+    /// Number of live sockets (created and not yet released).
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.socks.len()
+    }
+
     /// Creates a fresh socket.
     pub fn create(&mut self) -> SockId {
         let id = SockId(self.next);

@@ -715,6 +715,75 @@ impl Fs {
         }
         s
     }
+
+    /// A deterministic digest over everything a client can observe in the
+    /// tree reachable from the root: paths, node types, permission bits,
+    /// ownership, link counts, file contents and symlink targets.
+    ///
+    /// Timestamps are deliberately excluded — they track the virtual clock,
+    /// which advances differently under interposition, so including them
+    /// would make every transparency comparison fail vacuously. Unlinked
+    /// inodes kept alive only by open descriptors are unreachable by name
+    /// and therefore also excluded.
+    #[must_use]
+    pub fn content_digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        self.digest_walk(&mut Vec::new(), ROOT_INO, &mut h);
+        h
+    }
+
+    fn digest_walk(&self, path: &mut Vec<u8>, ino: Ino, h: &mut u64) {
+        let Ok(node) = self.get(ino) else { return };
+        fnv_mix(h, path);
+        fnv_mix(h, &[0]);
+        fnv_mix(h, &node.meta.perm.to_le_bytes());
+        fnv_mix(h, &node.meta.uid.to_le_bytes());
+        fnv_mix(h, &node.meta.gid.to_le_bytes());
+        fnv_mix(h, &node.meta.nlink.to_le_bytes());
+        match &node.kind {
+            InodeKind::Regular(data) => {
+                fnv_mix(h, b"F");
+                fnv_mix(h, &(data.len() as u64).to_le_bytes());
+                fnv_mix(h, data);
+            }
+            InodeKind::Directory(entries) => {
+                fnv_mix(h, b"D");
+                // BTreeMap iteration is already deterministic byte order.
+                for (name, &child) in entries {
+                    if name.as_slice() == b"." || name.as_slice() == b".." {
+                        continue;
+                    }
+                    let saved = path.len();
+                    path.push(b'/');
+                    path.extend_from_slice(name);
+                    self.digest_walk(path, child, h);
+                    path.truncate(saved);
+                }
+            }
+            InodeKind::Symlink(target) => {
+                fnv_mix(h, b"L");
+                fnv_mix(h, target);
+            }
+            InodeKind::CharDevice(dev) => {
+                fnv_mix(h, b"C");
+                fnv_mix(h, &dev.to_le_bytes());
+            }
+            InodeKind::Fifo(_) => fnv_mix(h, b"P"),
+            InodeKind::Socket => fnv_mix(h, b"S"),
+        }
+    }
+}
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into an FNV-1a 64-bit state.
+fn fnv_mix(h: &mut u64, bytes: &[u8]) {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
 }
 
 #[cfg(test)]
@@ -1100,5 +1169,48 @@ mod tests {
         assert_eq!(s.files, 1);
         assert_eq!(s.symlinks, 1);
         assert_eq!(s.bytes, 4);
+    }
+
+    #[test]
+    fn content_digest_sees_bytes_but_not_times() {
+        let mut a = fs();
+        let mut b = fs();
+        for f in [&mut a, &mut b] {
+            mkd(f, b"/d");
+            let ino = mk(f, b"/d/f");
+            f.write_at(ino, 0, b"hello", NOW).unwrap();
+        }
+        assert_eq!(a.content_digest(), b.content_digest());
+
+        // Touching only times leaves the digest fixed...
+        let ino = a.resolve(ROOT_INO, b"/d/f", Cred::ROOT).unwrap().ino;
+        let later = Timeval { sec: 900, usec: 7 };
+        a.utimes(ino, later, later, Cred::ROOT, later).unwrap();
+        assert_eq!(a.content_digest(), b.content_digest());
+
+        // ...but changing one byte of content does not.
+        a.write_at(ino, 0, b"jello", later).unwrap();
+        assert_ne!(a.content_digest(), b.content_digest());
+    }
+
+    #[test]
+    fn content_digest_sees_names_modes_and_links() {
+        let mut a = fs();
+        let base = a.content_digest();
+
+        let ino = mk(&mut a, b"/f");
+        let after_create = a.content_digest();
+        assert_ne!(base, after_create);
+
+        a.chmod(ino, 0o600, Cred::ROOT, NOW).unwrap();
+        let after_chmod = a.content_digest();
+        assert_ne!(after_create, after_chmod);
+
+        a.link(ROOT_INO, b"g", ino, Cred::ROOT, NOW).unwrap();
+        let after_link = a.content_digest();
+        assert_ne!(after_chmod, after_link);
+
+        a.unlink(ROOT_INO, b"g", Cred::ROOT, NOW).unwrap();
+        assert_eq!(a.content_digest(), after_chmod);
     }
 }

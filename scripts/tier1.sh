@@ -7,3 +7,7 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo test -q --workspace --release
+
+# Conformance smoke sweep: differential oracle + fault schedules over
+# generated programs. Failures drop .conf repro files in target/conform.
+cargo run --release -p ia-conform -- --seeds 200

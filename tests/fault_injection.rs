@@ -2,47 +2,15 @@
 //! errors is itself a legitimate use of the interface ("heuristic
 //! evaluations of the target program's behavior", §1.4), and it doubles as
 //! a robustness harness — the system must stay consistent no matter what
-//! errors agents inject.
+//! errors agents inject. The injector itself lives in `ia-conform`, where
+//! the conformance sweeps run it against every interception point; these
+//! tests pin down the fine-grained contract on hand-written clients.
 
+use ia_conform::FaultInjector;
 use interposition_agents::abi::{Errno, RawArgs, Sysno};
 use interposition_agents::interpose::{Agent, InterestSet, InterposedRouter, SysCtx};
 use interposition_agents::kernel::{Kernel, RunOutcome, SysOutcome, I486_25};
 use interposition_agents::vm::assemble;
-
-/// Fails every `n`th intercepted call with a chosen errno.
-struct FaultInjector {
-    every: u64,
-    counter: u64,
-    errno: Errno,
-    target: Sysno,
-    injected: std::rc::Rc<std::cell::Cell<u64>>,
-}
-
-impl Agent for FaultInjector {
-    fn name(&self) -> &'static str {
-        "fault-injector"
-    }
-    fn interests(&self) -> InterestSet {
-        InterestSet::of(&[self.target])
-    }
-    fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
-        self.counter += 1;
-        if self.counter.is_multiple_of(self.every) {
-            self.injected.set(self.injected.get() + 1);
-            return SysOutcome::Done(Err(self.errno));
-        }
-        ctx.down(nr, args)
-    }
-    fn clone_box(&self) -> Box<dyn Agent> {
-        Box::new(FaultInjector {
-            every: self.every,
-            counter: self.counter,
-            errno: self.errno,
-            target: self.target,
-            injected: self.injected.clone(),
-        })
-    }
-}
 
 #[test]
 fn client_observes_injected_read_errors_and_recovers() {
@@ -84,18 +52,9 @@ fn client_observes_injected_read_errors_and_recovers() {
     k.write_file(b"/tmp/data", b"some file data here").unwrap();
     let img = assemble(src).unwrap();
     let pid = k.spawn_image(&img, &[b"r"], b"r");
-    let injected = std::rc::Rc::new(std::cell::Cell::new(0));
+    let (agent, injected) = FaultInjector::boxed(Sysno::Read, 3, Errno::EIO);
     let mut router = InterposedRouter::new();
-    router.push_agent(
-        pid,
-        Box::new(FaultInjector {
-            every: 3,
-            counter: 0,
-            errno: Errno::EIO,
-            target: Sysno::Read,
-            injected: injected.clone(),
-        }),
-    );
+    router.push_agent(pid, agent);
     assert_eq!(k.run_with(&mut router), RunOutcome::AllExited);
     // Every 3rd of 9 reads fails: exactly 3 observed failures.
     assert_eq!(
@@ -132,18 +91,9 @@ fn injected_open_failures_do_not_leak_descriptors() {
     k.write_file(b"/tmp/data", b"x").unwrap();
     let img = assemble(src).unwrap();
     let pid = k.spawn_image(&img, &[b"o"], b"o");
-    let injected = std::rc::Rc::new(std::cell::Cell::new(0));
+    let (agent, injected) = FaultInjector::boxed(Sysno::Open, 2, Errno::ENFILE);
     let mut router = InterposedRouter::new();
-    router.push_agent(
-        pid,
-        Box::new(FaultInjector {
-            every: 2,
-            counter: 0,
-            errno: Errno::ENFILE,
-            target: Sysno::Open,
-            injected: injected.clone(),
-        }),
-    );
+    router.push_agent(pid, agent);
     assert_eq!(k.run_with(&mut router), RunOutcome::AllExited);
     assert_eq!(injected.get(), 10);
     // After exit every open file is released: only the shared tty remains

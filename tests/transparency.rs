@@ -17,6 +17,10 @@ struct Observed {
     exit_status: Option<u32>,
     fs_files: usize,
     fs_bytes: u64,
+    /// Content digest of the whole tree: names, modes, owners, link
+    /// structure, and file *bytes* — counters alone would miss an agent
+    /// that corrupts contents without changing sizes.
+    vfs_digest: u64,
 }
 
 fn run_mix(seed: u64, ops: usize, agents: &str) -> Observed {
@@ -52,6 +56,7 @@ fn run_mix(seed: u64, ops: usize, agents: &str) -> Observed {
         // /tmp/mix, so global counters are a fair fingerprint.
         fs_files: stats.files,
         fs_bytes: stats.bytes,
+        vfs_digest: k.fs.content_digest(),
     }
 }
 
