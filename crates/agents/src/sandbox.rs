@@ -71,6 +71,12 @@ pub struct SandboxPolicy {
     /// When true, denied mutations *pretend to succeed* instead of
     /// returning an error — monitoring-and-emulating mode.
     pub emulate_writes: bool,
+    /// If set, the only system calls the client may issue at all; anything
+    /// outside the set is refused with `EPERM` before its method runs.
+    /// `exit` and `sigreturn` are always allowed (a client that cannot exit
+    /// would spin forever). [`SandboxAgent::from_footprint`] fills this with
+    /// the statically inferred footprint of the binary.
+    pub allowed_calls: Option<InterestSet>,
 }
 
 impl SandboxPolicy {
@@ -161,6 +167,45 @@ impl SandboxAgent {
             })),
             handle,
         )
+    }
+
+    /// Infers a least-privilege policy from the static syscall footprint of
+    /// `image` (see `ia-analyze`): only the calls the binary can provably
+    /// issue are allowed, and fork/exec/socket/kill are denied outright
+    /// when the footprint cannot contain them. Returns the agent, the host
+    /// handle, and the footprint the policy was derived from.
+    ///
+    /// Soundness inherits from the analyzer: the footprint over-approximates
+    /// the dynamic behaviour, so a benign binary is never blocked by the
+    /// allow-list; when the analyzer had to widen to ⊤ (e.g. an indirect
+    /// syscall number) the inferred policy allows everything rather than
+    /// guessing — derive a manual policy for such binaries.
+    #[must_use]
+    pub fn from_footprint(
+        image: &ia_vm::Image,
+    ) -> (Box<Symbolic<Sandbox>>, SandboxHandle, ia_analyze::Footprint) {
+        let fp = ia_analyze::footprint(image);
+        let mut allowed = fp.set;
+        allowed.add_sys(Sysno::Exit);
+        allowed.add_sys(Sysno::Sigreturn);
+        let may = |calls: &[Sysno]| calls.iter().any(|&c| allowed.contains(c.number()));
+        let policy = SandboxPolicy {
+            allowed_calls: Some(allowed),
+            deny_fork: !may(&[Sysno::Fork, Sysno::Vfork]),
+            deny_exec: !may(&[Sysno::Execve]),
+            deny_sockets: !may(&[
+                Sysno::Socket,
+                Sysno::Socketpair,
+                Sysno::Bind,
+                Sysno::Connect,
+                Sysno::Accept,
+                Sysno::Listen,
+            ]),
+            deny_kill_others: !may(&[Sysno::Kill]),
+            ..SandboxPolicy::default()
+        };
+        let (agent, handle) = SandboxAgent::new(policy);
+        (agent, handle, fp)
     }
 
     /// Like [`SandboxAgent::new`], with an interactive decider consulted
@@ -277,6 +322,24 @@ impl SymbolicSyscall for Sandbox {
         // The sandbox must see everything it polices; reads of unhidden
         // files pass through at full interception cost — safety over speed.
         InterestSet::ALL
+    }
+
+    fn intercept(
+        &mut self,
+        _ctx: &mut SymCtx<'_, '_>,
+        nr: u32,
+        _args: ia_abi::RawArgs,
+    ) -> Option<SysOutcome> {
+        let allowed = self.policy.allowed_calls.as_ref()?;
+        // exit and sigreturn are unconditionally permitted: the kernel
+        // retries a refused exit forever, and a handler that cannot
+        // sigreturn wedges the client.
+        if nr == Sysno::Exit.number() || nr == Sysno::Sigreturn.number() || allowed.contains(nr) {
+            return None;
+        }
+        let call = Sysno::from_u32(nr).map_or("syscall", Sysno::name);
+        self.violate(call, b"", "EPERM");
+        Some(SysOutcome::Done(Err(Errno::EPERM)))
     }
 
     fn sys_open(
@@ -670,6 +733,78 @@ mod tests {
         let results: Vec<&str> = handle.violations().iter().map(|v| v.result).collect();
         let results: Vec<String> = results.iter().map(|s| s.to_string()).collect();
         assert_eq!(results, vec!["allowed".to_string(), "EPERM".to_string()]);
+    }
+
+    #[test]
+    fn allowed_calls_blocks_everything_outside_the_set() {
+        // The list permits write but not getpid: the getpid is refused with
+        // EPERM before its method runs, and exit still works.
+        let (k, handle) = run_sandboxed(
+            r#"
+            .data
+            msg: .asciz "ok"
+            .text
+            main:
+                li r0, 1
+                la r1, msg
+                li r2, 2
+                sys write
+                sys getpid
+                mov r0, r1      ; errno of getpid
+                sys exit
+            "#,
+            SandboxPolicy {
+                allowed_calls: Some(InterestSet::of(&[Sysno::Write])),
+                ..SandboxPolicy::default()
+            },
+        );
+        assert_eq!(k.console.output_string(), "ok", "allowed call ran");
+        assert_eq!(
+            k.exit_status(1),
+            Some(ia_abi::signal::wait_status_exited(Errno::EPERM.code() as u8)),
+            "blocked call returned EPERM"
+        );
+        let v = handle.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].call, "getpid");
+        assert_eq!(v[0].result, "EPERM");
+    }
+
+    #[test]
+    fn from_footprint_derives_a_least_privilege_policy() {
+        let img = ia_vm::assemble(
+            r#"
+            .data
+            msg: .asciz "hi"
+            .text
+            main:
+                li r0, 1
+                la r1, msg
+                li r2, 2
+                sys write
+                li r0, 0
+                sys exit
+            "#,
+        )
+        .unwrap();
+        let (agent, _handle, fp) = SandboxAgent::from_footprint(&img);
+        assert!(fp.exact);
+        assert_eq!(fp.syscalls(), vec![Sysno::Exit, Sysno::Write]);
+        let policy = &agent.inner.policy;
+        assert!(policy.deny_fork && policy.deny_exec && policy.deny_sockets);
+        let allowed = policy.allowed_calls.as_ref().unwrap();
+        assert!(allowed.contains(Sysno::Write.number()));
+        assert!(allowed.contains(Sysno::Exit.number()));
+        assert!(!allowed.contains(Sysno::Open.number()));
+
+        // And the binary runs unhindered under its own inferred policy.
+        let mut k = Kernel::new(I486_25);
+        let mut router = InterposedRouter::new();
+        let (agent, handle, _) = SandboxAgent::from_footprint(&img);
+        ia_interpose::spawn_with_agent(&mut k, &mut router, agent, &[], &img, &[b"m"], b"m");
+        assert_eq!(k.run_with(&mut router), RunOutcome::AllExited);
+        assert_eq!(k.console.output_string(), "hi");
+        assert!(handle.violations().is_empty(), "no false positives");
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Control-flow graph over an image's code segment.
+//!
+//! The graph is built leniently: undecodable slots (which the machine would
+//! fault on with `SIGILL`) terminate a block with no successors, and branch
+//! targets outside the text segment are recorded rather than rejected, so
+//! lints can report them with context.
+
+use ia_vm::Insn;
+
+/// Why an edge exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Ordinary fall-through or jump.
+    Flow,
+    /// `Call` to its target.
+    CallTarget,
+    /// The fall-through after a `Call`, entered on return. The interpreter
+    /// treats this edge specially: the callee may have clobbered every
+    /// register, so the return state is ⊤ (see `interp`).
+    CallReturn,
+}
+
+/// A directed edge to another block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Index of the successor block.
+    pub to: usize,
+    /// Why control can flow there.
+    pub kind: EdgeKind,
+}
+
+/// A maximal straight-line run of instructions.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+    /// Successor edges.
+    pub succs: Vec<Edge>,
+    /// True if control can run off the end of the text segment here
+    /// (`SIGSEGV` at runtime).
+    pub falls_off: bool,
+    /// True if the block ends at an undecodable slot (`SIGILL` at runtime).
+    /// `end` then points just past that slot.
+    pub ends_in_illegal: bool,
+}
+
+/// A branch or call whose target lies outside the text segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadTarget {
+    /// Instruction index of the offending branch.
+    pub at: usize,
+    /// The out-of-range target.
+    pub target: u64,
+}
+
+/// The control-flow graph of one code segment.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks, ordered by `start`.
+    pub blocks: Vec<Block>,
+    /// For each instruction index, the block containing it.
+    pub block_of: Vec<usize>,
+    /// Per-block reachability from the image entry point.
+    pub reachable: Vec<bool>,
+    /// Branches whose target is outside the text segment.
+    pub bad_targets: Vec<BadTarget>,
+}
+
+const EXIT_NR: u64 = ia_abi::Sysno::Exit as u64;
+
+/// True if the `Sys` at index `i` is the `li r7, EXIT; sys` idiom, which
+/// cannot fall through (exit never returns; the kernel retries it forever
+/// even under interposition).
+fn is_exit_idiom(code: &[Option<Insn>], i: usize) -> bool {
+    i > 0 && code[i - 1] == Some(Insn::Li(ia_vm::SYS_NR_REG as u8, EXIT_NR))
+}
+
+/// Control-flow targets of the instruction at `i`: (branch targets,
+/// falls through?).
+fn flow(insn: Option<Insn>, i: usize, code: &[Option<Insn>]) -> (Vec<u64>, bool) {
+    match insn {
+        Some(Insn::Jmp(t)) => (vec![t], false),
+        Some(Insn::Jz(_, t)) | Some(Insn::Jnz(_, t)) => (vec![t], true),
+        Some(Insn::Call(t)) => (vec![t], true),
+        Some(Insn::Ret) | Some(Insn::Halt) | None => (Vec::new(), false),
+        Some(Insn::Sys) => (Vec::new(), !is_exit_idiom(code, i)),
+        Some(_) => (Vec::new(), true),
+    }
+}
+
+/// True if the instruction at `i` ends a basic block.
+fn is_terminator(insn: Option<Insn>) -> bool {
+    matches!(
+        insn,
+        Some(
+            Insn::Jmp(_)
+                | Insn::Jz(..)
+                | Insn::Jnz(..)
+                | Insn::Call(_)
+                | Insn::Ret
+                | Insn::Sys
+                | Insn::Halt
+        ) | None
+    )
+}
+
+impl Cfg {
+    /// Builds the CFG for `code`, computing reachability from `entry`.
+    ///
+    /// `code[i] == None` marks an undecodable instruction slot.
+    #[must_use]
+    pub fn build(code: &[Option<Insn>], entry: usize) -> Cfg {
+        let n = code.len();
+        // Pass 1: leaders. Index 0, the entry, every in-range branch/call
+        // target, and the instruction after every terminator.
+        let mut leader = vec![false; n.max(1)];
+        if n > 0 {
+            leader[0] = true;
+            if entry < n {
+                leader[entry] = true;
+            }
+            for (i, insn) in code.iter().enumerate() {
+                let (targets, _) = flow(*insn, i, code);
+                for t in targets {
+                    if (t as usize as u64) == t && (t as usize) < n {
+                        leader[t as usize] = true;
+                    }
+                }
+                if is_terminator(*insn) && i + 1 < n {
+                    leader[i + 1] = true;
+                }
+            }
+        }
+
+        // Pass 2: blocks and the insn→block map.
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut block_of = vec![0usize; n];
+        for i in 0..n {
+            if leader[i] {
+                blocks.push(Block {
+                    start: i,
+                    end: i, // fixed below
+                    succs: Vec::new(),
+                    falls_off: false,
+                    ends_in_illegal: false,
+                });
+            }
+            block_of[i] = blocks.len() - 1;
+        }
+        let nb = blocks.len();
+        let mut next_start = n;
+        for blk in blocks.iter_mut().rev() {
+            blk.end = next_start;
+            next_start = blk.start;
+        }
+
+        // Pass 3: edges.
+        let mut bad_targets = Vec::new();
+        for blk in blocks.iter_mut() {
+            let last = blk.end - 1;
+            let insn = code[last];
+            let (targets, falls) = flow(insn, last, code);
+            let is_call = matches!(insn, Some(Insn::Call(_)));
+            blk.ends_in_illegal = insn.is_none();
+            for t in &targets {
+                if (*t as usize as u64) == *t && (*t as usize) < n {
+                    blk.succs.push(Edge {
+                        to: block_of[*t as usize],
+                        kind: if is_call {
+                            EdgeKind::CallTarget
+                        } else {
+                            EdgeKind::Flow
+                        },
+                    });
+                } else {
+                    bad_targets.push(BadTarget {
+                        at: last,
+                        target: *t,
+                    });
+                }
+            }
+            if falls {
+                if last + 1 < n {
+                    blk.succs.push(Edge {
+                        to: block_of[last + 1],
+                        kind: if is_call {
+                            EdgeKind::CallReturn
+                        } else {
+                            EdgeKind::Flow
+                        },
+                    });
+                } else {
+                    blk.falls_off = true;
+                }
+            }
+        }
+
+        // Pass 4: reachability from entry.
+        let mut cfg = Cfg {
+            blocks,
+            block_of,
+            reachable: vec![false; nb],
+            bad_targets,
+        };
+        if entry < n {
+            cfg.reachable = cfg.reachable_from(&[cfg.block_of[entry]]);
+        }
+        cfg
+    }
+
+    /// Blocks reachable from any of `roots` (block indices).
+    #[must_use]
+    pub fn reachable_from(&self, roots: &[usize]) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut work: Vec<usize> = roots
+            .iter()
+            .copied()
+            .filter(|&r| r < self.blocks.len())
+            .collect();
+        while let Some(b) = work.pop() {
+            if std::mem::replace(&mut seen[b], true) {
+                continue;
+            }
+            for e in &self.blocks[b].succs {
+                if !seen[e.to] {
+                    work.push(e.to);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_vm::Insn::*;
+
+    fn decoded(code: Vec<Insn>) -> Vec<Option<Insn>> {
+        code.into_iter().map(Some).collect()
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let code = decoded(vec![Li(0, 1), Li(1, 2), Halt]);
+        let cfg = Cfg::build(&code, 0);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!((cfg.blocks[0].start, cfg.blocks[0].end), (0, 3));
+        assert!(cfg.blocks[0].succs.is_empty());
+        assert!(!cfg.blocks[0].falls_off);
+    }
+
+    #[test]
+    fn branches_split_blocks_and_both_arms_are_successors() {
+        // 0: jz r0, 3 / 1: li r1,1 / 2: jmp 4 / 3: li r1,2 / 4: halt
+        let code = decoded(vec![Jz(0, 3), Li(1, 1), Jmp(4), Li(1, 2), Halt]);
+        let cfg = Cfg::build(&code, 0);
+        assert_eq!(cfg.blocks.len(), 4);
+        let b0 = &cfg.blocks[cfg.block_of[0]];
+        let mut tos: Vec<usize> = b0.succs.iter().map(|e| e.to).collect();
+        tos.sort_unstable();
+        assert_eq!(tos, vec![cfg.block_of[1], cfg.block_of[3]]);
+        assert!(cfg.reachable.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn call_edges_are_typed_and_unreachable_blocks_detected() {
+        // 0: call 3 / 1: halt / 2: nop (unreachable) / 3: ret
+        let code = decoded(vec![Call(3), Halt, Nop, Ret]);
+        let cfg = Cfg::build(&code, 0);
+        let b0 = &cfg.blocks[cfg.block_of[0]];
+        assert!(b0
+            .succs
+            .iter()
+            .any(|e| e.kind == EdgeKind::CallTarget && e.to == cfg.block_of[3]));
+        assert!(b0
+            .succs
+            .iter()
+            .any(|e| e.kind == EdgeKind::CallReturn && e.to == cfg.block_of[1]));
+        assert!(!cfg.reachable[cfg.block_of[2]], "nop island unreachable");
+    }
+
+    #[test]
+    fn sys_falls_through_except_the_exit_idiom() {
+        let code = decoded(vec![Sys, Li(7, 1), Sys, Nop]);
+        let cfg = Cfg::build(&code, 0);
+        // First sys (index 0) falls through into the li block.
+        let b0 = &cfg.blocks[cfg.block_of[0]];
+        assert_eq!(b0.succs.len(), 1);
+        // The `li r7,1; sys` pair at 1-2 has no successors: exit(2) does not
+        // return, so the trailing nop is unreachable.
+        let b1 = &cfg.blocks[cfg.block_of[2]];
+        assert!(b1.succs.is_empty());
+        assert!(!cfg.reachable[cfg.block_of[3]]);
+    }
+
+    #[test]
+    fn bad_targets_and_fall_off_are_recorded() {
+        let code = decoded(vec![Jz(0, 99), Nop]);
+        let cfg = Cfg::build(&code, 0);
+        assert_eq!(cfg.bad_targets, vec![BadTarget { at: 0, target: 99 }]);
+        assert!(cfg.blocks[cfg.block_of[1]].falls_off);
+    }
+
+    #[test]
+    fn undecodable_slot_ends_its_block_with_no_successors() {
+        let code = vec![Some(Li(0, 1)), None, Some(Halt)];
+        let cfg = Cfg::build(&code, 0);
+        let b0 = &cfg.blocks[cfg.block_of[1]];
+        assert!(b0.ends_in_illegal);
+        assert!(b0.succs.is_empty());
+        assert!(!cfg.reachable[cfg.block_of[2]]);
+    }
+}

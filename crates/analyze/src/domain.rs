@@ -1,0 +1,244 @@
+//! The abstract value domain: constants, intervals, and ⊤.
+//!
+//! Precision goal: resolve `li r7, N; sys` exactly and keep small joined
+//! sets (e.g. a conditional choosing between two numbers) enumerable.
+//! Everything the domain cannot prove collapses to [`AbsVal::Top`] — the
+//! analysis may over-approximate but must never under-approximate.
+
+/// Abstract 64-bit value: a known constant, an inclusive interval, or ⊤.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Exactly this value.
+    Const(u64),
+    /// Any value in `lo..=hi` (`lo < hi` by construction).
+    Range(u64, u64),
+    /// Any value at all.
+    Top,
+}
+
+// These are abstract transfer functions, not the wrapping machine arithmetic
+// the `std::ops` traits would suggest; keeping the mnemonic names mirrors the
+// instruction set (`Add` → `add`) without implying operator semantics.
+#[allow(clippy::should_implement_trait)]
+impl AbsVal {
+    /// Interval constructor, normalizing a degenerate interval to a
+    /// constant.
+    #[must_use]
+    pub fn range(lo: u64, hi: u64) -> AbsVal {
+        if lo == hi {
+            AbsVal::Const(lo)
+        } else {
+            AbsVal::Range(lo.min(hi), lo.max(hi))
+        }
+    }
+
+    /// Interval bounds, if the value is not ⊤.
+    #[must_use]
+    pub fn bounds(self) -> Option<(u64, u64)> {
+        match self {
+            AbsVal::Const(v) => Some((v, v)),
+            AbsVal::Range(lo, hi) => Some((lo, hi)),
+            AbsVal::Top => None,
+        }
+    }
+
+    /// Least upper bound (interval hull).
+    #[must_use]
+    pub fn join(self, other: AbsVal) -> AbsVal {
+        match (self.bounds(), other.bounds()) {
+            (Some((a, b)), Some((c, d))) => AbsVal::range(a.min(c), b.max(d)),
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// Binary op with exact transfer for constants and checked interval
+    /// arithmetic; any possible wrap collapses to ⊤.
+    fn checked2(
+        self,
+        other: AbsVal,
+        exact: impl Fn(u64, u64) -> u64,
+        check: impl Fn(u64, u64) -> Option<u64>,
+    ) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Const(a), AbsVal::Const(b)) => AbsVal::Const(exact(a, b)),
+            _ => match (self.bounds(), other.bounds()) {
+                (Some((a, b)), Some((c, d))) => match (check(a, c), check(b, d)) {
+                    (Some(lo), Some(hi)) => AbsVal::range(lo, hi),
+                    _ => AbsVal::Top,
+                },
+                _ => AbsVal::Top,
+            },
+        }
+    }
+
+    /// `self + other` (wrapping semantics, interval-checked).
+    #[must_use]
+    pub fn add(self, other: AbsVal) -> AbsVal {
+        self.checked2(other, u64::wrapping_add, u64::checked_add)
+    }
+
+    /// `self - other`. Interval bounds survive only when the whole interval
+    /// stays non-negative.
+    #[must_use]
+    pub fn sub(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Const(a), AbsVal::Const(b)) => AbsVal::Const(a.wrapping_sub(b)),
+            _ => match (self.bounds(), other.bounds()) {
+                // [a,b] - [c,d] ⊆ [a-d, b-c] when a >= d (no borrow anywhere).
+                (Some((a, b)), Some((c, d))) if a >= d => AbsVal::range(a - d, b - c),
+                _ => AbsVal::Top,
+            },
+        }
+    }
+
+    /// `self + imm` for a signed immediate (the `Addi` form).
+    #[must_use]
+    pub fn add_signed(self, imm: i64) -> AbsVal {
+        if imm >= 0 {
+            self.add(AbsVal::Const(imm as u64))
+        } else {
+            self.sub(AbsVal::Const(imm.unsigned_abs()))
+        }
+    }
+
+    /// `self * other`.
+    #[must_use]
+    pub fn mul(self, other: AbsVal) -> AbsVal {
+        self.checked2(other, u64::wrapping_mul, u64::checked_mul)
+    }
+
+    /// `self / other` (unsigned). Division by a possibly-zero divisor is ⊤
+    /// for the value; the fault itself is a separate lint.
+    #[must_use]
+    pub fn div(self, other: AbsVal) -> AbsVal {
+        match (self.bounds(), other.bounds()) {
+            (Some((a, b)), Some((c, d))) if c > 0 => AbsVal::range(a / d, b / c),
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// `self % other` (unsigned).
+    #[must_use]
+    pub fn rem(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Const(a), AbsVal::Const(b)) if b != 0 => AbsVal::Const(a % b),
+            _ => match other.bounds() {
+                Some((c, d)) if c > 0 => AbsVal::range(0, d - 1),
+                _ => AbsVal::Top,
+            },
+        }
+    }
+
+    /// Bitwise AND: `x & m <= min(hi_x, hi_m)` bounds the result.
+    #[must_use]
+    pub fn and(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Const(a), AbsVal::Const(b)) => AbsVal::Const(a & b),
+            _ => match (self.bounds(), other.bounds()) {
+                (Some((_, b)), Some((_, d))) => AbsVal::range(0, b.min(d)),
+                (Some((_, b)), None) | (None, Some((_, b))) => AbsVal::range(0, b),
+                _ => AbsVal::Top,
+            },
+        }
+    }
+
+    /// Bitwise OR.
+    #[must_use]
+    pub fn or(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Const(a), AbsVal::Const(b)) => AbsVal::Const(a | b),
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// Bitwise XOR.
+    #[must_use]
+    pub fn xor(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Const(a), AbsVal::Const(b)) => AbsVal::Const(a ^ b),
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// `self << (other & 63)`.
+    #[must_use]
+    pub fn shl(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Const(a), AbsVal::Const(b)) => AbsVal::Const(a << (b & 63)),
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// `self >> (other & 63)` (logical).
+    #[must_use]
+    pub fn shr(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Const(a), AbsVal::Const(b)) => AbsVal::Const(a >> (b & 63)),
+            (_, AbsVal::Const(b)) => match self.bounds() {
+                Some((lo, hi)) => AbsVal::range(lo >> (b & 63), hi >> (b & 63)),
+                None => AbsVal::Top,
+            },
+            _ => AbsVal::Top,
+        }
+    }
+
+    /// Comparison result: exact for constants, else the boolean interval.
+    #[must_use]
+    pub fn cmp_result(self, other: AbsVal, op: impl Fn(u64, u64) -> bool) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Const(a), AbsVal::Const(b)) => AbsVal::Const(u64::from(op(a, b))),
+            _ => AbsVal::range(0, 1),
+        }
+    }
+
+    /// True if this value is provably zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == AbsVal::Const(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AbsVal::*;
+
+    #[test]
+    fn join_builds_hulls() {
+        assert_eq!(Const(3).join(Const(3)), Const(3));
+        assert_eq!(Const(3).join(Const(5)), Range(3, 5));
+        assert_eq!(Range(1, 4).join(Const(9)), Range(1, 9));
+        assert_eq!(Top.join(Const(1)), Top);
+    }
+
+    #[test]
+    fn arithmetic_is_exact_on_constants_and_sound_on_intervals() {
+        assert_eq!(Const(7).add(Const(3)), Const(10));
+        assert_eq!(Const(u64::MAX).add(Const(1)), Const(0), "wrapping");
+        assert_eq!(Range(1, 2).add(Const(10)), Range(11, 12));
+        assert_eq!(Range(0, u64::MAX).add(Const(1)), Top, "possible wrap");
+        assert_eq!(Const(10).sub(Const(4)), Const(6));
+        assert_eq!(Range(5, 8).sub(Range(1, 2)), Range(3, 7));
+        assert_eq!(Range(1, 8).sub(Range(1, 2)), Top, "possible borrow");
+        assert_eq!(Const(6).add_signed(-2), Const(4));
+        assert_eq!(Const(6).mul(Const(7)), Const(42));
+        assert_eq!(Const(9).div(Const(2)), Const(4));
+        assert_eq!(Range(8, 9).rem(Const(4)), Range(0, 3));
+        assert_eq!(Top.div(Const(2)), Top);
+    }
+
+    #[test]
+    fn bit_ops_bound_what_they_can() {
+        assert_eq!(Const(0xf0).and(Const(0x1f)), Const(0x10));
+        assert_eq!(Top.and(Const(0xff)), Range(0, 0xff), "mask bounds ⊤");
+        assert_eq!(Const(1).shl(Const(3)), Const(8));
+        assert_eq!(Range(16, 32).shr(Const(4)), Range(1, 2));
+        assert_eq!(Top.or(Const(1)), Top);
+    }
+
+    #[test]
+    fn comparisons_yield_booleans() {
+        assert_eq!(Const(1).cmp_result(Const(2), |a, b| a < b), Const(1));
+        assert_eq!(Top.cmp_result(Const(2), |a, b| a < b), Range(0, 1));
+    }
+}

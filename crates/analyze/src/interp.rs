@@ -1,0 +1,472 @@
+//! Flow-sensitive abstract interpretation over the CFG.
+//!
+//! Each basic block gets an abstract register state (one [`AbsVal`] per
+//! register plus a "definitely written" mask). A worklist pass runs the
+//! transfer function to a fixpoint, widening to ⊤ when a block's input keeps
+//! changing; a final recording pass then resolves the possible values of
+//! `r7` at every reachable `SYS` site and collects value-level findings.
+//!
+//! Soundness contract: every concrete execution's register values are
+//! contained in the abstract values computed here. The transfer functions
+//! mirror `ia_vm::machine::step` exactly (wrapping arithmetic, shift
+//! masking, unsigned division); anything not provable collapses to ⊤.
+
+use crate::cfg::{Cfg, EdgeKind};
+use crate::domain::AbsVal;
+use ia_vm::{Insn, DATA_BASE, SYS_NR_REG};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Number of joins a block tolerates before widening kicks in.
+const WIDEN_LIMIT: usize = 12;
+
+/// Abstract machine state at a program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegState {
+    /// One abstract value per register.
+    pub regs: [AbsVal; 16],
+    /// Bit `r` set ⇔ register `r` has definitely been written on every path
+    /// reaching this point (used for the read-of-unwritten lint).
+    pub written: u16,
+}
+
+impl RegState {
+    /// State at process entry: the loader zeroes registers, then the kernel
+    /// seeds `r0`/`r1` (argc/argv) and `r15` (stack pointer).
+    #[must_use]
+    pub fn at_entry() -> RegState {
+        let mut regs = [AbsVal::Const(0); 16];
+        regs[0] = AbsVal::Top;
+        regs[1] = AbsVal::Top;
+        regs[15] = AbsVal::Top;
+        RegState {
+            regs,
+            written: 1 | (1 << 1) | (1 << 15),
+        }
+    }
+
+    /// The no-information state: every register may hold anything and counts
+    /// as written. Used for call returns and for signal-handler analysis.
+    #[must_use]
+    pub fn top() -> RegState {
+        RegState {
+            regs: [AbsVal::Top; 16],
+            written: u16::MAX,
+        }
+    }
+
+    /// Pointwise join; writtenness is the intersection (a register is
+    /// definitely-written only if written on both paths).
+    #[must_use]
+    pub fn join(&self, other: &RegState) -> RegState {
+        let mut regs = [AbsVal::Top; 16];
+        for (i, slot) in regs.iter_mut().enumerate() {
+            *slot = self.regs[i].join(other.regs[i]);
+        }
+        RegState {
+            regs,
+            written: self.written & other.written,
+        }
+    }
+}
+
+/// Possible syscall numbers at one `SYS` site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyscallSet {
+    /// `r7` (truncated to `u32` like the machine's trap path) is one of
+    /// these values.
+    Exact(Vec<u32>),
+    /// `r7` could not be bounded: any syscall number is possible.
+    Top,
+}
+
+/// One reachable `SYS` instruction and what it can invoke.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SysSite {
+    /// Instruction index of the `SYS`.
+    pub at: usize,
+    /// Resolved syscall numbers.
+    pub nrs: SyscallSet,
+}
+
+/// A value-level fact discovered during the recording pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueFinding {
+    /// `div`/`rem` whose divisor is provably zero (`SIGFPE` at runtime).
+    DivByZero {
+        /// Instruction index.
+        at: usize,
+        /// The divisor register.
+        reg: u8,
+    },
+    /// A store whose address is provably below [`DATA_BASE`] — inside the
+    /// unmapped guard region that shields the text segment's address range.
+    StoreBelowData {
+        /// Instruction index.
+        at: usize,
+        /// The provable store address (or interval high bound).
+        addr: u64,
+    },
+    /// A register read on a path where it was never written.
+    ReadUnwritten {
+        /// Instruction index.
+        at: usize,
+        /// The register read.
+        reg: u8,
+    },
+}
+
+/// Result of one abstract-interpretation phase.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Fixpoint in-state per block; `None` for blocks not reached from the
+    /// phase's roots.
+    pub in_states: Vec<Option<RegState>>,
+    /// Every reached `SYS` site with its resolved numbers.
+    pub sites: Vec<SysSite>,
+    /// Value-level findings from the recording pass.
+    pub findings: Vec<ValueFinding>,
+}
+
+/// Converts an abstract `r7` into the site's syscall-number set, applying
+/// the machine's `u64 → u32` truncation per enumerated value.
+fn site_values(v: AbsVal) -> SyscallSet {
+    match v.bounds() {
+        Some((lo, hi)) if hi - lo <= 255 => {
+            SyscallSet::Exact((lo..=hi).map(|x| x as u32).collect())
+        }
+        _ => SyscallSet::Top,
+    }
+}
+
+/// Records reads/writes and findings during the final pass; absent during
+/// fixpointing.
+struct Recorder {
+    sites: Vec<SysSite>,
+    findings: Vec<ValueFinding>,
+    /// Dedup for read-unwritten warnings: (insn index, reg).
+    seen_reads: BTreeSet<(usize, u8)>,
+}
+
+/// Applies one instruction to `st`. `rec` is `Some` only in the recording
+/// pass.
+fn transfer(insn: Insn, at: usize, st: &mut RegState, rec: &mut Option<&mut Recorder>) {
+    use Insn::*;
+    let read = |st: &RegState, r: u8, rec: &mut Option<&mut Recorder>| -> AbsVal {
+        if let Some(rec) = rec {
+            if st.written & (1 << r) == 0 && rec.seen_reads.insert((at, r)) {
+                rec.findings
+                    .push(ValueFinding::ReadUnwritten { at, reg: r });
+            }
+        }
+        st.regs[r as usize]
+    };
+    let write = |st: &mut RegState, r: u8, v: AbsVal| {
+        st.regs[r as usize] = v;
+        st.written |= 1 << r;
+    };
+    match insn {
+        Li(rd, v) => write(st, rd, AbsVal::Const(v)),
+        Mov(rd, rs) => {
+            let v = read(st, rs, rec);
+            write(st, rd, v);
+        }
+        Ld(rd, rs, _) => {
+            read(st, rs, rec);
+            write(st, rd, AbsVal::Top);
+        }
+        Ldb(rd, rs, _) => {
+            read(st, rs, rec);
+            write(st, rd, AbsVal::range(0, 255));
+        }
+        St(rd, rs, off) | Stb(rd, rs, off) => {
+            let base = read(st, rd, rec);
+            read(st, rs, rec);
+            if let Some(rec) = rec {
+                let addr = base.add_signed(off);
+                if let Some((_, hi)) = addr.bounds() {
+                    if hi < DATA_BASE {
+                        rec.findings
+                            .push(ValueFinding::StoreBelowData { at, addr: hi });
+                    }
+                }
+            }
+        }
+        Add(rd, rs, rt)
+        | Sub(rd, rs, rt)
+        | Mul(rd, rs, rt)
+        | And(rd, rs, rt)
+        | Or(rd, rs, rt)
+        | Xor(rd, rs, rt)
+        | Shl(rd, rs, rt)
+        | Shr(rd, rs, rt)
+        | Sltu(rd, rs, rt)
+        | Slt(rd, rs, rt)
+        | Seq(rd, rs, rt) => {
+            let a = read(st, rs, rec);
+            let b = read(st, rt, rec);
+            let v = match insn {
+                Add(..) => a.add(b),
+                Sub(..) => a.sub(b),
+                Mul(..) => a.mul(b),
+                And(..) => a.and(b),
+                Or(..) => a.or(b),
+                Xor(..) => a.xor(b),
+                Shl(..) => a.shl(b),
+                Shr(..) => a.shr(b),
+                Sltu(..) => a.cmp_result(b, |x, y| x < y),
+                Slt(..) => a.cmp_result(b, |x, y| (x as i64) < (y as i64)),
+                Seq(..) => a.cmp_result(b, |x, y| x == y),
+                _ => unreachable!(),
+            };
+            write(st, rd, v);
+        }
+        Div(rd, rs, rt) | Rem(rd, rs, rt) => {
+            let a = read(st, rs, rec);
+            let b = read(st, rt, rec);
+            if b.is_zero() {
+                if let Some(rec) = rec {
+                    rec.findings.push(ValueFinding::DivByZero { at, reg: rt });
+                }
+            }
+            let v = if matches!(insn, Div(..)) {
+                a.div(b)
+            } else {
+                a.rem(b)
+            };
+            write(st, rd, v);
+        }
+        Addi(rd, rs, imm) => {
+            let v = read(st, rs, rec).add_signed(imm);
+            write(st, rd, v);
+        }
+        Jz(rs, _) | Jnz(rs, _) => {
+            read(st, rs, rec);
+        }
+        Jmp(_) => {}
+        Call(_) => {
+            // Pushes the return address at sp-8 and decrements sp. The
+            // CallReturn edge resets everything to ⊤ anyway.
+            let sp = st.regs[15].add_signed(-8);
+            write(st, 15, sp);
+        }
+        Ret => {
+            let sp = st.regs[15].add_signed(8);
+            write(st, 15, sp);
+        }
+        Sys => {
+            let nr = read(st, SYS_NR_REG as u8, rec);
+            if let Some(rec) = rec {
+                rec.sites.push(SysSite {
+                    at,
+                    nrs: site_values(nr),
+                });
+            }
+            // SYSRET clobbers r0 (rv0), r1 (errno), r2 (rv1).
+            write(st, 0, AbsVal::Top);
+            write(st, 1, AbsVal::Top);
+            write(st, 2, AbsVal::Top);
+        }
+        Halt | Nop => {}
+    }
+}
+
+/// Runs one block's instructions over `st`, stopping early at an
+/// undecodable slot (the machine faults there).
+fn transfer_block(
+    code: &[Option<Insn>],
+    start: usize,
+    end: usize,
+    st: &mut RegState,
+    rec: &mut Option<&mut Recorder>,
+) {
+    for (i, slot) in code.iter().enumerate().take(end).skip(start) {
+        match slot {
+            Some(insn) => transfer(*insn, i, st, rec),
+            None => break,
+        }
+    }
+}
+
+/// Runs the worklist fixpoint from `roots` (block index, entry state), then
+/// a recording pass with the fixed in-states.
+#[must_use]
+pub fn run(code: &[Option<Insn>], cfg: &Cfg, roots: &[(usize, RegState)]) -> Analysis {
+    let nb = cfg.blocks.len();
+    let mut in_states: Vec<Option<RegState>> = vec![None; nb];
+    let mut join_counts = vec![0usize; nb];
+    let mut work: VecDeque<usize> = VecDeque::new();
+
+    let merge = |b: usize,
+                 incoming: RegState,
+                 in_states: &mut Vec<Option<RegState>>,
+                 join_counts: &mut Vec<usize>,
+                 work: &mut VecDeque<usize>| {
+        let merged = match &in_states[b] {
+            None => incoming,
+            Some(old) => {
+                let mut m = old.join(&incoming);
+                if m == *old {
+                    return;
+                }
+                join_counts[b] += 1;
+                if join_counts[b] > WIDEN_LIMIT {
+                    // Widen: any register still changing goes straight
+                    // to ⊤ so the chain terminates.
+                    for r in 0..16 {
+                        if m.regs[r] != old.regs[r] {
+                            m.regs[r] = AbsVal::Top;
+                        }
+                    }
+                }
+                m
+            }
+        };
+        in_states[b] = Some(merged);
+        work.push_back(b);
+    };
+
+    for (b, st) in roots {
+        if *b < nb {
+            merge(*b, st.clone(), &mut in_states, &mut join_counts, &mut work);
+        }
+    }
+
+    while let Some(b) = work.pop_front() {
+        let mut out = in_states[b].clone().expect("queued block has a state");
+        let block = &cfg.blocks[b];
+        transfer_block(code, block.start, block.end, &mut out, &mut None);
+        for edge in &block.succs {
+            let st = if edge.kind == EdgeKind::CallReturn {
+                RegState::top()
+            } else {
+                out.clone()
+            };
+            merge(edge.to, st, &mut in_states, &mut join_counts, &mut work);
+        }
+    }
+
+    // Recording pass with the now-fixed in-states.
+    let mut rec = Recorder {
+        sites: Vec::new(),
+        findings: Vec::new(),
+        seen_reads: BTreeSet::new(),
+    };
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        if let Some(in_st) = &in_states[b] {
+            let mut st = in_st.clone();
+            let mut slot = Some(&mut rec);
+            transfer_block(code, block.start, block.end, &mut st, &mut slot);
+        }
+    }
+    rec.sites.sort_by_key(|s| s.at);
+    Analysis {
+        in_states,
+        sites: rec.sites,
+        findings: rec.findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_vm::Insn::*;
+
+    fn analyze(code: Vec<Insn>) -> Analysis {
+        let code: Vec<Option<Insn>> = code.into_iter().map(Some).collect();
+        let cfg = Cfg::build(&code, 0);
+        run(&code, &cfg, &[(cfg.block_of[0], RegState::at_entry())])
+    }
+
+    #[test]
+    fn li_sys_resolves_exactly() {
+        let a = analyze(vec![Li(7, 4), Sys, Halt]);
+        assert_eq!(a.sites.len(), 1);
+        assert_eq!(a.sites[0].nrs, SyscallSet::Exact(vec![4]));
+    }
+
+    #[test]
+    fn joined_branches_enumerate_both_numbers() {
+        // if r0 { r7 = 3 } else { r7 = 4 }; sys
+        let code = vec![
+            Jz(0, 3), // 0
+            Li(7, 3), // 1
+            Jmp(4),   // 2
+            Li(7, 4), // 3
+            Sys,      // 4
+            Halt,     // 5
+        ];
+        let a = analyze(code);
+        assert_eq!(a.sites.len(), 1);
+        assert_eq!(a.sites[0].nrs, SyscallSet::Exact(vec![3, 4]));
+    }
+
+    #[test]
+    fn loaded_syscall_number_widens_to_top() {
+        // r7 ← mem[r15]; sys — the analyzer cannot bound it.
+        let a = analyze(vec![Ld(7, 15, 0), Sys, Halt]);
+        assert_eq!(a.sites[0].nrs, SyscallSet::Top);
+    }
+
+    #[test]
+    fn loops_terminate_via_widening() {
+        // r3 counts up forever; r7 stays constant through the loop.
+        let code = vec![
+            Li(3, 0),      // 0
+            Li(7, 20),     // 1
+            Addi(3, 3, 1), // 2: loop head
+            Sys,           // 3
+            Jmp(2),        // 4
+        ];
+        let a = analyze(code);
+        assert_eq!(a.sites.len(), 1);
+        assert_eq!(
+            a.sites[0].nrs,
+            SyscallSet::Exact(vec![20]),
+            "r7 survives the loop"
+        );
+    }
+
+    #[test]
+    fn call_clobbers_registers_on_return() {
+        // main: li r7,4; call f; sys — the callee may change r7, so the
+        // post-call sys must be ⊤ even though f doesn't touch r7.
+        let code = vec![
+            Li(7, 4), // 0
+            Call(4),  // 1
+            Sys,      // 2
+            Halt,     // 3
+            Ret,      // 4: f
+        ];
+        let a = analyze(code);
+        assert_eq!(a.sites[0].nrs, SyscallSet::Top, "call return is ⊤");
+    }
+
+    #[test]
+    fn value_findings_fire() {
+        let code = vec![
+            Li(1, 10),    // 0
+            Li(2, 0),     // 1
+            Div(3, 1, 2), // 2: divisor r2 is provably zero
+            Li(4, 0x10),  // 3
+            St(5, 4, 0),  // 4: mem[r5+0] ← r4; r5 is unwritten Const(0)
+            Halt,
+        ];
+        let a = analyze(code);
+        assert!(a
+            .findings
+            .contains(&ValueFinding::DivByZero { at: 2, reg: 2 }));
+        assert!(a
+            .findings
+            .contains(&ValueFinding::StoreBelowData { at: 4, addr: 0 }));
+        assert!(a
+            .findings
+            .contains(&ValueFinding::ReadUnwritten { at: 4, reg: 5 }));
+    }
+
+    #[test]
+    fn truncation_to_u32_is_applied() {
+        // r7 = 1<<32 | 3 traps as syscall 3 on the real machine.
+        let a = analyze(vec![Li(7, (1 << 32) | 3), Sys, Halt]);
+        assert_eq!(a.sites[0].nrs, SyscallSet::Exact(vec![3]));
+    }
+}

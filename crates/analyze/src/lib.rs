@@ -1,0 +1,447 @@
+//! # ia-analyze — static analysis of VM images
+//!
+//! The paper's agents decide at *attach time* which system calls they care
+//! about (the interest set). This crate closes the loop from the other side:
+//! it inspects a binary image **before it runs** and infers the set of
+//! system calls the image could ever issue — its static *syscall footprint*
+//! — plus a lint report of defects the machine would punish at runtime
+//! (`SIGILL`, `SIGSEGV`, `SIGFPE`).
+//!
+//! The pipeline:
+//!
+//! 1. **Decode** every 12-byte instruction slot leniently ([`analyze_bytes`]
+//!    tolerates undecodable slots, unlike `Image::from_bytes`).
+//! 2. **CFG** construction with reachability from the entry point
+//!    ([`cfg`]).
+//! 3. **Abstract interpretation** over a constant/interval domain
+//!    ([`domain`], [`interp`]), resolving the possible values of `r7` at
+//!    every `SYS` site.
+//! 4. **Footprint** conversion into an [`InterestSet`] — the same type
+//!    agents register with the router — plus least-privilege policy
+//!    inference (`SandboxAgent::from_footprint` in `ia-agents`).
+//!
+//! Soundness: the analysis *may over-approximate but never
+//! under-approximates*. If `r7` cannot be bounded at some reachable site
+//! (e.g. it was loaded from memory), the footprint widens to "all
+//! syscalls" and `exact` flips off — the result fails closed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod domain;
+pub mod interp;
+pub mod report;
+
+pub use cfg::Cfg;
+pub use domain::AbsVal;
+pub use interp::{RegState, SysSite, SyscallSet, ValueFinding};
+pub use report::{render_json, render_text, Finding, Severity};
+
+use ia_abi::{Errno, Sysno};
+use ia_interpose::InterestSet;
+use ia_kernel::Kernel;
+use ia_vm::{Image, Insn, IMAGE_MAGIC};
+use std::collections::BTreeSet;
+
+/// The inferred static syscall footprint of an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Footprint {
+    /// The footprint as an interest set — directly usable for policy.
+    pub set: InterestSet,
+    /// True if every reachable `SYS` site resolved to concrete numbers.
+    /// False means some site widened to ⊤ and `set` is `ALL` (fail closed).
+    pub exact: bool,
+    /// The enumerated syscall numbers (meaningful only when `exact`).
+    pub nrs: BTreeSet<u32>,
+}
+
+impl Footprint {
+    /// Derives the footprint from resolved `SYS` sites.
+    #[must_use]
+    pub fn from_sites(sites: &[SysSite]) -> Footprint {
+        let mut set = InterestSet::new();
+        let mut nrs = BTreeSet::new();
+        let mut exact = true;
+        for site in sites {
+            match &site.nrs {
+                SyscallSet::Exact(vs) => {
+                    for &v in vs {
+                        nrs.insert(v);
+                        if v < 256 {
+                            set.add(v);
+                        } else {
+                            // InterestSet uses bit 255 as the "and beyond"
+                            // proxy; contains(nr ≥ 256) tests that bit.
+                            set.add(255);
+                        }
+                    }
+                }
+                SyscallSet::Top => {
+                    set = InterestSet::ALL;
+                    exact = false;
+                }
+            }
+        }
+        if !exact {
+            nrs.clear();
+        }
+        Footprint { set, exact, nrs }
+    }
+
+    /// The footprint as symbolic names, where the numbers are known calls.
+    #[must_use]
+    pub fn syscalls(&self) -> Vec<Sysno> {
+        self.nrs
+            .iter()
+            .filter_map(|&v| Sysno::from_u32(v))
+            .collect()
+    }
+}
+
+/// Everything the analyzer learned about one image.
+#[derive(Debug, Clone)]
+pub struct ImageAnalysis {
+    /// Entry point (instruction index).
+    pub entry: usize,
+    /// Lenient decode of the code segment; `None` = undecodable slot.
+    pub code: Vec<Option<Insn>>,
+    /// Data segment length in bytes.
+    pub data_len: usize,
+    /// The control-flow graph (reachability computed from `entry`).
+    pub cfg: Cfg,
+    /// Resolved `SYS` sites used for the footprint. When signal handlers
+    /// force a second phase these include handler-reachable sites.
+    pub sites: Vec<SysSite>,
+    /// Lint findings, errors first.
+    pub findings: Vec<Finding>,
+    /// The inferred syscall footprint.
+    pub footprint: Footprint,
+}
+
+impl ImageAnalysis {
+    /// Number of findings at `severity`.
+    #[must_use]
+    pub fn count(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == severity)
+            .count()
+    }
+
+    /// True if any finding is an error — the image faults on a reachable
+    /// path.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+}
+
+/// Severity for a structural defect: error where reachable, else warning.
+fn sev(reachable: bool) -> Severity {
+    if reachable {
+        Severity::Error
+    } else {
+        Severity::Warning
+    }
+}
+
+/// Analyzes an already-decoded code segment.
+#[must_use]
+pub fn analyze_code(code: Vec<Option<Insn>>, entry: usize, data_len: usize) -> ImageAnalysis {
+    let n = code.len();
+    let cfg = Cfg::build(&code, entry);
+
+    // Phase 1: abstract interpretation from the entry point.
+    let roots = if entry < n {
+        vec![(cfg.block_of[entry], RegState::at_entry())]
+    } else {
+        Vec::new()
+    };
+    let phase1 = interp::run(&code, &cfg, &roots);
+
+    let mut findings = Vec::new();
+
+    if entry >= n {
+        findings.push(Finding {
+            severity: Severity::Error,
+            kind: "fall-off-end",
+            at: None,
+            message: format!(
+                "entry point {entry} is at/past the end of the {n}-insn text segment (SIGSEGV at startup)"
+            ),
+        });
+    }
+
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let reachable = cfg.reachable[b];
+        if block.ends_in_illegal {
+            findings.push(Finding {
+                severity: sev(reachable),
+                kind: "undecodable",
+                at: Some(block.end - 1),
+                message: format!(
+                    "undecodable instruction{} (SIGILL if executed)",
+                    if reachable {
+                        " on a reachable path"
+                    } else {
+                        " in unreachable code"
+                    }
+                ),
+            });
+        }
+        if block.falls_off {
+            findings.push(Finding {
+                severity: sev(reachable),
+                kind: "fall-off-end",
+                at: Some(block.end - 1),
+                message: format!(
+                    "control can run off the end of the text segment{} (SIGSEGV)",
+                    if reachable {
+                        ""
+                    } else {
+                        " (unreachable block)"
+                    }
+                ),
+            });
+        }
+    }
+
+    for bt in &cfg.bad_targets {
+        let reachable = cfg.reachable[cfg.block_of[bt.at]];
+        findings.push(Finding {
+            severity: sev(reachable),
+            kind: "bad-branch-target",
+            at: Some(bt.at),
+            message: format!(
+                "branch target {} is outside the text segment (0..{n}){}",
+                bt.target,
+                if reachable { "" } else { " [unreachable]" }
+            ),
+        });
+    }
+
+    for f in &phase1.findings {
+        findings.push(match *f {
+            ValueFinding::DivByZero { at, reg } => Finding {
+                severity: Severity::Error,
+                kind: "div-by-zero",
+                at: Some(at),
+                message: format!("divisor r{reg} is provably zero here (SIGFPE)"),
+            },
+            ValueFinding::StoreBelowData { at, addr } => Finding {
+                severity: Severity::Warning,
+                kind: "store-below-data",
+                at: Some(at),
+                message: format!(
+                    "store to address {addr:#x}, below the data base {:#x} (guard region)",
+                    ia_vm::DATA_BASE
+                ),
+            },
+            ValueFinding::ReadUnwritten { at, reg } => Finding {
+                severity: Severity::Warning,
+                kind: "read-unwritten",
+                at: Some(at),
+                message: format!("r{reg} is read but never written on some path reaching here"),
+            },
+        });
+    }
+
+    // Unreachable-code warnings, one per contiguous instruction span.
+    let mut span: Option<(usize, usize)> = None;
+    let mut spans = Vec::new();
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        if !cfg.reachable[b] {
+            span = match span {
+                Some((s, _)) => Some((s, block.end)),
+                None => Some((block.start, block.end)),
+            };
+        } else if let Some(sp) = span.take() {
+            spans.push(sp);
+        }
+    }
+    spans.extend(span);
+    for (s, e) in spans {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            kind: "unreachable-code",
+            at: Some(s),
+            message: format!("insns {s}..{e} are unreachable from the entry point"),
+        });
+    }
+
+    // Phase 2: if the program may install a signal handler (or some site
+    // already widened to ⊤), rerun with every block as a root under a ⊤
+    // entry state — a handler can run at any instruction boundary with any
+    // register contents. The footprint comes from this phase; lint
+    // reachability stays with phase 1 (phase 2's pessimism would drown it
+    // in noise).
+    let sigaction = Sysno::Sigaction as u32;
+    let may_install_handler = phase1.sites.iter().any(|s| match &s.nrs {
+        SyscallSet::Top => true,
+        SyscallSet::Exact(vs) => vs.contains(&sigaction),
+    });
+    let sites = if may_install_handler {
+        let roots: Vec<(usize, RegState)> = (0..cfg.blocks.len())
+            .map(|b| (b, RegState::top()))
+            .collect();
+        interp::run(&code, &cfg, &roots).sites
+    } else {
+        phase1.sites
+    };
+
+    let footprint = Footprint::from_sites(&sites);
+    findings.sort_by_key(|f| (f.severity, f.at));
+    ImageAnalysis {
+        entry,
+        code,
+        data_len,
+        cfg,
+        sites,
+        findings,
+        footprint,
+    }
+}
+
+/// Analyzes a parsed image.
+#[must_use]
+pub fn analyze_image(img: &Image) -> ImageAnalysis {
+    analyze_code(
+        img.code.iter().copied().map(Some).collect(),
+        img.entry as usize,
+        img.data.len(),
+    )
+}
+
+/// Lenient image parse + analysis: the header must be well-formed, but
+/// undecodable instruction slots become lint findings instead of `ENOEXEC`
+/// (unlike `Image::from_bytes`, which rejects the whole file).
+pub fn analyze_bytes(bytes: &[u8]) -> Result<ImageAnalysis, Errno> {
+    const HEADER: usize = 4 + 4 + 8 + 4 + 4;
+    if bytes.len() < HEADER {
+        return Err(Errno::ENOEXEC);
+    }
+    let u32at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+    let magic = u32at(0);
+    let version = u32at(4);
+    if magic != IMAGE_MAGIC || version != 1 {
+        return Err(Errno::ENOEXEC);
+    }
+    let entry = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let ncode = u32at(16) as usize;
+    let ndata = u32at(20) as usize;
+    if bytes.len() != HEADER + ncode * 12 + ndata {
+        return Err(Errno::ENOEXEC);
+    }
+    let code: Vec<Option<Insn>> = bytes[HEADER..HEADER + ncode * 12]
+        .chunks_exact(12)
+        .map(|c| Insn::decode(c.try_into().expect("12 bytes")))
+        .collect();
+    let entry = usize::try_from(entry).unwrap_or(usize::MAX);
+    Ok(analyze_code(code, entry, ndata))
+}
+
+/// Convenience: just the footprint of an image.
+#[must_use]
+pub fn footprint(img: &Image) -> Footprint {
+    analyze_image(img).footprint
+}
+
+/// Installs an exec gate on the kernel that refuses (`ENOEXEC`) any image
+/// whose lint report contains errors — `execve` of a binary that provably
+/// faults fails up front instead of at runtime.
+pub fn install_lint_gate(k: &mut Kernel) {
+    k.set_exec_gate(|img| {
+        if analyze_image(img).has_errors() {
+            Err(Errno::ENOEXEC)
+        } else {
+            Ok(())
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_vm::Insn::*;
+
+    fn img(code: Vec<Insn>) -> Image {
+        Image {
+            entry: 0,
+            code,
+            data: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn clean_program_has_no_findings_and_an_exact_footprint() {
+        let a = analyze_image(&img(vec![
+            Li(0, 0),
+            Li(7, Sysno::Getpid as u64),
+            Sys,
+            Li(7, Sysno::Exit as u64),
+            Sys,
+        ]));
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        assert!(a.footprint.exact);
+        assert_eq!(a.footprint.syscalls(), vec![Sysno::Exit, Sysno::Getpid]);
+        assert!(a.footprint.set.contains(Sysno::Getpid as u32));
+        assert!(!a.footprint.set.contains(Sysno::Open as u32));
+    }
+
+    #[test]
+    fn indirect_syscall_number_fails_closed() {
+        // r7 loaded from memory: the footprint must widen to ALL.
+        let a = analyze_image(&img(vec![Ld(7, 15, 0), Sys, Halt]));
+        assert!(!a.footprint.exact);
+        assert_eq!(a.footprint.set, InterestSet::ALL);
+        assert!(a.footprint.nrs.is_empty());
+    }
+
+    #[test]
+    fn sigaction_triggers_handler_phase() {
+        // Installs a handler at insn 5 (li r7,N; sys in dead code from the
+        // entry path's perspective — only the handler phase sees it run).
+        let code = vec![
+            Li(7, Sysno::Sigaction as u64), // 0
+            Sys,                            // 1
+            Li(7, Sysno::Exit as u64),      // 2
+            Sys,                            // 3
+            Nop,                            // 4 (unreachable from entry)
+            Li(7, Sysno::Getpid as u64),    // 5: handler body
+            Sys,                            // 6
+            Ret,                            // 7
+        ];
+        let a = analyze_image(&img(code));
+        assert!(a.footprint.exact);
+        assert!(
+            a.footprint.set.contains(Sysno::Getpid as u32),
+            "handler site included"
+        );
+    }
+
+    #[test]
+    fn lint_errors_surface_and_gate_refuses() {
+        let bad = img(vec![Jmp(99)]);
+        let a = analyze_image(&bad);
+        assert!(a.has_errors());
+        assert!(a.findings.iter().any(|f| f.kind == "bad-branch-target"));
+
+        let mut k = Kernel::new(ia_kernel::I486_25);
+        install_lint_gate(&mut k);
+        k.install_image(b"/bin/bad", &bad).expect("install");
+        let err = k.spawn(b"/bin/bad", &[b"bad"]).expect_err("gated");
+        assert_eq!(err, Errno::ENOEXEC);
+    }
+
+    #[test]
+    fn lenient_parse_reports_undecodable_instead_of_rejecting() {
+        let mut bytes = img(vec![Nop, Nop, Halt]).to_bytes();
+        // Corrupt the second instruction's opcode.
+        bytes[24 + 12] = 0xfe;
+        assert!(Image::from_bytes(&bytes).is_err(), "strict parser rejects");
+        let a = analyze_bytes(&bytes).expect("lenient parser accepts");
+        assert!(a.findings.iter().any(|f| f.kind == "undecodable"));
+        assert!(a.has_errors());
+    }
+}

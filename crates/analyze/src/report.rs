@@ -1,0 +1,220 @@
+//! Lint findings and report rendering (text and JSON).
+
+use crate::interp::SyscallSet;
+use crate::ImageAnalysis;
+use ia_abi::Sysno;
+use ia_vm::{disasm_insn, Insn};
+use std::fmt::Write as _;
+
+/// How bad a finding is. Errors describe code that faults (or jumps into the
+/// void) on a reachable path; warnings are suspicious but survivable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Will fault if the path executes.
+    Error,
+    /// Suspicious, or an error pattern in unreachable code.
+    Warning,
+}
+
+impl Severity {
+    /// Lowercase label used in both renderings.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable machine-readable kind slug (e.g. `"bad-branch-target"`).
+    pub kind: &'static str,
+    /// Instruction index the finding anchors to, if any.
+    pub at: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Renders a ±2-instruction disassembly excerpt around `at`, with a `>`
+/// marker on the offending line.
+fn excerpt(code: &[Option<Insn>], at: usize) -> String {
+    let lo = at.saturating_sub(2);
+    let hi = (at + 3).min(code.len());
+    let mut out = String::new();
+    for (i, slot) in code.iter().enumerate().take(hi).skip(lo) {
+        let text = match slot {
+            Some(insn) => disasm_insn(insn),
+            None => "<undecodable>".to_string(),
+        };
+        let mark = if i == at { '>' } else { ' ' };
+        let _ = writeln!(out, "  {mark} {i:5}: {text}");
+    }
+    out
+}
+
+/// Formats one site's syscall set for humans: names where known.
+fn render_nrs(nrs: &SyscallSet) -> String {
+    match nrs {
+        SyscallSet::Top => "⊤ (any syscall)".to_string(),
+        SyscallSet::Exact(vs) => {
+            let names: Vec<String> = vs
+                .iter()
+                .map(|&v| match Sysno::from_u32(v) {
+                    Some(s) => format!("{}({v})", s.name()),
+                    None => format!("nosys({v})"),
+                })
+                .collect();
+            names.join(", ")
+        }
+    }
+}
+
+/// Renders the full human-readable report.
+#[must_use]
+pub fn render_text(name: &str, a: &ImageAnalysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{name}: {} insns, {} data bytes, entry {}",
+        a.code.len(),
+        a.data_len,
+        a.entry
+    );
+
+    let _ = writeln!(out, "\nsyscall sites ({}):", a.sites.len());
+    for site in &a.sites {
+        let _ = writeln!(out, "  insn {:5}: {}", site.at, render_nrs(&site.nrs));
+    }
+
+    let _ = writeln!(
+        out,
+        "\nfootprint: {}{}",
+        if a.footprint.exact { "" } else { "⊤ — " },
+        render_footprint(a)
+    );
+
+    let errors = a.count(Severity::Error);
+    let warnings = a.count(Severity::Warning);
+    let _ = writeln!(out, "\nfindings: {errors} error(s), {warnings} warning(s)");
+    for f in &a.findings {
+        match f.at {
+            Some(at) => {
+                let _ = writeln!(
+                    out,
+                    "\n{} [{}] at insn {at}: {}",
+                    f.severity.label(),
+                    f.kind,
+                    f.message
+                );
+                out.push_str(&excerpt(&a.code, at));
+            }
+            None => {
+                let _ = writeln!(out, "\n{} [{}]: {}", f.severity.label(), f.kind, f.message);
+            }
+        }
+    }
+    out
+}
+
+/// Short description of the inferred footprint.
+#[must_use]
+pub fn render_footprint(a: &ImageAnalysis) -> String {
+    if !a.footprint.exact {
+        return "all syscalls possible (an indirect syscall number forced the analyzer to widen)"
+            .to_string();
+    }
+    let names: Vec<String> = a
+        .footprint
+        .nrs
+        .iter()
+        .map(|&v| match Sysno::from_u32(v) {
+            Some(s) => s.name().to_string(),
+            None => format!("nosys({v})"),
+        })
+        .collect();
+    names.join(", ")
+}
+
+/// Minimal JSON string escaping.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the report as a stable JSON document (hand-rolled; the workspace
+/// deliberately has no serde dependency).
+#[must_use]
+pub fn render_json(name: &str, a: &ImageAnalysis) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"image\": \"{}\",", esc(name));
+    let _ = writeln!(out, "  \"insns\": {},", a.code.len());
+    let _ = writeln!(out, "  \"data_bytes\": {},", a.data_len);
+    let _ = writeln!(out, "  \"entry\": {},", a.entry);
+    let _ = writeln!(out, "  \"errors\": {},", a.count(Severity::Error));
+    let _ = writeln!(out, "  \"warnings\": {},", a.count(Severity::Warning));
+
+    let _ = writeln!(out, "  \"footprint\": {{");
+    let _ = writeln!(out, "    \"exact\": {},", a.footprint.exact);
+    let nrs: Vec<String> = a.footprint.nrs.iter().map(u32::to_string).collect();
+    let _ = writeln!(out, "    \"numbers\": [{}],", nrs.join(", "));
+    let names: Vec<String> = a
+        .footprint
+        .nrs
+        .iter()
+        .filter_map(|&v| Sysno::from_u32(v))
+        .map(|s| format!("\"{}\"", s.name()))
+        .collect();
+    let _ = writeln!(out, "    \"names\": [{}]", names.join(", "));
+    let _ = writeln!(out, "  }},");
+
+    let _ = writeln!(out, "  \"sites\": [");
+    for (i, site) in a.sites.iter().enumerate() {
+        let nrs = match &site.nrs {
+            SyscallSet::Top => "\"top\"".to_string(),
+            SyscallSet::Exact(vs) => {
+                let vs: Vec<String> = vs.iter().map(u32::to_string).collect();
+                format!("[{}]", vs.join(", "))
+            }
+        };
+        let comma = if i + 1 < a.sites.len() { "," } else { "" };
+        let _ = writeln!(out, "    {{\"at\": {}, \"nrs\": {nrs}}}{comma}", site.at);
+    }
+    let _ = writeln!(out, "  ],");
+
+    let _ = writeln!(out, "  \"findings\": [");
+    for (i, f) in a.findings.iter().enumerate() {
+        let at = match f.at {
+            Some(at) => at.to_string(),
+            None => "null".to_string(),
+        };
+        let comma = if i + 1 < a.findings.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"severity\": \"{}\", \"kind\": \"{}\", \"at\": {at}, \"message\": \"{}\"}}{comma}",
+            f.severity.label(),
+            f.kind,
+            esc(&f.message)
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}

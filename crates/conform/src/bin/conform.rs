@@ -12,7 +12,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use ia_conform::{
-    check_faults, check_program, run_fault_case, sample, shrink, OpSet, Program, Repro,
+    check_faults, check_program, check_soundness, run_fault_case, sample, shrink, OpSet, Program,
+    Repro,
 };
 use ia_prng::Prng;
 
@@ -195,6 +196,18 @@ fn main() -> ExitCode {
                 fault: None,
             };
             report_failure(&o.out, &format!("seed-{seed}"), &repro, &detail);
+            continue;
+        }
+
+        if let Err(detail) = check_soundness(&program) {
+            failures += 1;
+            let mut failing = |p: &Program| check_soundness(p).is_err();
+            let small = shrink(&program, &mut failing);
+            let repro = Repro {
+                program: small,
+                fault: None,
+            };
+            report_failure(&o.out, &format!("seed-{seed}-soundness"), &repro, &detail);
             continue;
         }
 

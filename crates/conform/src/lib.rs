@@ -17,6 +17,9 @@
 //! 4. [`shrink`] + [`trace`] — on failure, ddmin minimization and a
 //!    replayable `.conf` file, so a CI failure reproduces locally with
 //!    `cargo run -p ia-conform -- --replay file.conf`.
+//! 5. [`soundness`] — cross-validation of the `ia-analyze` static
+//!    analyzer: the trap numbers a program actually issues must be a
+//!    subset of its statically inferred footprint, for every seed.
 //!
 //! [`mutant`] holds deliberately broken agents proving the oracle and
 //! shrinker actually work.
@@ -29,6 +32,7 @@ pub mod gen;
 pub mod mutant;
 pub mod oracle;
 pub mod shrink;
+pub mod soundness;
 pub mod trace;
 
 pub use fault::{check_faults, fault_schedule, run_fault_case, FaultCase, FaultInjector};
@@ -37,4 +41,5 @@ pub use oracle::{
     check_client_equiv, check_program, run_config, run_stack, Observation, SchedKind, StackKind,
 };
 pub use shrink::shrink;
+pub use soundness::{check_soundness, static_footprint, SyscallRecorder};
 pub use trace::Repro;

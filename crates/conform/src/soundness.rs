@@ -1,0 +1,129 @@
+//! Soundness cross-validation of the static analyzer: for any generated
+//! program, the set of syscall numbers it *actually issues* at runtime must
+//! be contained in the footprint `ia-analyze` computed for its image before
+//! the run — dynamic trace ⊆ static footprint, over every seed.
+//!
+//! This is the strongest check the analyzer gets: the conformance generator
+//! produces programs with loops, forks, `execve`, signal handlers and
+//! itimers, so any transfer function that under-approximates (a forgotten
+//! register clobber, a wrong join) shows up here as a traced call outside
+//! the footprint.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use ia_abi::{RawArgs, Sysno};
+use ia_analyze::footprint;
+use ia_interpose::{wrap_process, Agent, InterestSet, InterposedRouter, SysCtx};
+use ia_kernel::{run, Kernel, RunLimits, RunOutcome, SysOutcome, I486_25};
+
+use crate::gen::{exec_child_image, Program};
+use crate::oracle::MAX_STEPS;
+
+/// A raw agent that records every trap number the client (and its forked
+/// children, which share the recording set through the cloned `Rc`) issues.
+#[derive(Clone)]
+pub struct SyscallRecorder {
+    nrs: Rc<RefCell<BTreeSet<u32>>>,
+}
+
+impl SyscallRecorder {
+    /// Creates a recorder and a shared handle onto its trap-number set.
+    #[must_use]
+    pub fn new() -> (SyscallRecorder, Rc<RefCell<BTreeSet<u32>>>) {
+        let nrs = Rc::new(RefCell::new(BTreeSet::new()));
+        (SyscallRecorder { nrs: nrs.clone() }, nrs)
+    }
+}
+
+impl Agent for SyscallRecorder {
+    fn name(&self) -> &'static str {
+        "syscall-recorder"
+    }
+
+    fn interests(&self) -> InterestSet {
+        InterestSet::ALL
+    }
+
+    fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
+        self.nrs.borrow_mut().insert(nr);
+        ctx.down(nr, args)
+    }
+
+    fn clone_box(&self) -> Box<dyn Agent> {
+        Box::new(self.clone())
+    }
+}
+
+/// The static footprint a run of `program` must stay inside: the compiled
+/// image's own footprint, plus — when the image may `execve` — the footprint
+/// of the exec'd child image (`/bin/conform-child`).
+#[must_use]
+pub fn static_footprint(program: &Program) -> InterestSet {
+    let image = program.compile();
+    let mut set = footprint(&image).set;
+    if set.contains(Sysno::Execve.number()) {
+        set = set.union(&footprint(&exec_child_image()).set);
+    }
+    set
+}
+
+/// Runs `program` with a recorder wrapped around it and checks that every
+/// trap it issued was predicted by the static footprint.
+pub fn check_soundness(program: &Program) -> Result<(), String> {
+    let set = static_footprint(program);
+
+    let mut k = Kernel::new(I486_25);
+    Program::setup(&mut k);
+    let pid = k.spawn_image(&program.compile(), &[b"conform"], b"conform");
+    let mut router = InterposedRouter::new();
+    let (recorder, traced) = SyscallRecorder::new();
+    wrap_process(&mut k, &mut router, pid, Box::new(recorder), &[]);
+    let outcome = run(
+        &mut k,
+        &mut router,
+        RunLimits {
+            max_steps: MAX_STEPS,
+        },
+    );
+    if outcome != RunOutcome::AllExited {
+        return Err(format!("soundness run did not complete: {outcome:?}"));
+    }
+
+    let traced = traced.borrow();
+    let escaped: Vec<u32> = traced
+        .iter()
+        .copied()
+        .filter(|&nr| !set.contains(nr))
+        .collect();
+    if escaped.is_empty() {
+        Ok(())
+    } else {
+        let names: Vec<String> = escaped
+            .iter()
+            .map(|&nr| match Sysno::from_u32(nr) {
+                Some(s) => format!("{}({nr})", s.name()),
+                None => format!("nosys({nr})"),
+            })
+            .collect();
+        Err(format!(
+            "static footprint missed dynamically issued calls: {} (traced {} distinct, footprint {} numbers)",
+            names.join(", "),
+            traced.len(),
+            set.len(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{sample, OpSet};
+
+    #[test]
+    fn recorder_is_transparent_and_records() {
+        let program = sample(7, 12, OpSet::ALL);
+        check_soundness(&program).unwrap();
+    }
+}

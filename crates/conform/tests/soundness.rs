@@ -1,0 +1,69 @@
+//! Cross-validation of `ia-analyze` against the conformance generator:
+//! for every seeded program, the trap numbers it actually issues at runtime
+//! must be a subset of its statically inferred syscall footprint — and an
+//! image whose syscall number the analyzer *cannot* resolve must widen to
+//! the full interest set (fail closed) rather than guess.
+
+use ia_analyze::footprint;
+use ia_conform::{check_soundness, sample, static_footprint, OpSet};
+use ia_interpose::InterestSet;
+use ia_prng::Prng;
+use ia_vm::{Image, Insn, DATA_BASE};
+
+/// Dynamic trace ⊆ static footprint over a broad seeded sweep covering the
+/// full op set (files, pipes, fork/exec/wait, signals, itimers, sockets).
+#[test]
+fn footprint_contains_trace_over_200_seeds() {
+    for seed in 0..200u64 {
+        let mut rng = Prng::new(seed ^ 0x5eed);
+        let nops = rng.range_usize(4, 31);
+        let program = sample(seed, nops, OpSet::ALL);
+        if let Err(detail) = check_soundness(&program) {
+            panic!("seed {seed}: {detail}");
+        }
+    }
+}
+
+/// The generator's static footprint is meaningfully tighter than "everything"
+/// for small programs — the analysis is not vacuously returning ⊤.
+#[test]
+fn footprints_are_not_vacuous() {
+    let mut some_proper_subset = false;
+    for seed in 0..20u64 {
+        let program = sample(seed, 6, OpSet::ALL);
+        if static_footprint(&program) != InterestSet::ALL {
+            some_proper_subset = true;
+        }
+    }
+    assert!(
+        some_proper_subset,
+        "every footprint was ⊤ — analysis is vacuous"
+    );
+}
+
+/// A deliberately lying image: it advertises nothing statically — the trap
+/// number is loaded from the data segment at runtime — so the analyzer must
+/// widen the footprint to the complete interest set rather than miss the
+/// call it actually makes.
+#[test]
+fn indirect_syscall_number_fails_closed() {
+    let image = Image {
+        entry: 0,
+        code: vec![
+            Insn::Li(6, DATA_BASE),
+            Insn::Ld(7, 6, 0), // r7 := data[0] — unresolvable statically
+            Insn::Sys,
+            Insn::Li(0, 0),
+            Insn::Li(7, ia_abi::Sysno::Exit as u64),
+            Insn::Sys,
+        ],
+        data: (ia_abi::Sysno::Getpid as u64).to_le_bytes().to_vec(),
+    };
+    let fp = footprint(&image);
+    assert!(!fp.exact, "indirect trap number must not claim exactness");
+    assert_eq!(fp.set, InterestSet::ALL, "must widen to ⊤, not guess");
+    assert!(
+        fp.set.contains(ia_abi::Sysno::Getpid as u32),
+        "the call it actually makes is covered"
+    );
+}

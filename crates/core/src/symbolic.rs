@@ -66,6 +66,23 @@ macro_rules! symbolic_calls {
                 SignalVerdict::Deliver
             }
 
+            /// Pre-dispatch veto, consulted for every intercepted trap
+            /// (known or unknown) before its symbolic method runs. Return
+            /// `Some(outcome)` to short-circuit the call — the per-call
+            /// method is never invoked. The default never intervenes.
+            ///
+            /// This is the hook policy agents use to enforce a syscall
+            /// allow-list (e.g. one inferred by `ia-analyze`) uniformly,
+            /// without overriding all ~80 methods.
+            fn intercept(
+                &mut self,
+                ctx: &mut SymCtx<'_, '_>,
+                nr: u32,
+                args: RawArgs,
+            ) -> Option<SysOutcome> {
+                None
+            }
+
             /// A trap number outside the known table.
             fn unknown_syscall(
                 &mut self,
@@ -306,6 +323,9 @@ impl<S: SymbolicSyscall + Clone + 'static> Agent for Symbolic<S> {
         // the results back is the symbolic layer's measured per-call cost.
         let dispatch_cost = sym.profile().symbolic_dispatch_ns;
         sym.charge(dispatch_cost);
+        if let Some(outcome) = self.inner.intercept(&mut sym, nr, args) {
+            return outcome;
+        }
         match Sysno::from_u32(nr) {
             Some(sys) => dispatch_symbolic(&mut self.inner, &mut sym, sys, args),
             None => self.inner.unknown_syscall(&mut sym, nr, args),

@@ -90,6 +90,20 @@ impl InterestSet {
     pub fn len(&self) -> usize {
         self.bits.iter().map(|b| b.count_ones() as usize).sum()
     }
+
+    /// True if every number in `other` is also in `self`.
+    #[must_use]
+    pub fn is_superset(&self, other: &InterestSet) -> bool {
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .all(|(a, b)| a & b == *b)
+    }
+
+    /// Iterates the registered trap numbers in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..256u32).filter(|&nr| self.contains(nr))
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +155,15 @@ mod tests {
         let mut s = InterestSet::new();
         s.add(1000);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn superset_and_iter() {
+        let small = InterestSet::of(&[Sysno::Read, Sysno::Write]);
+        let big = small.union(&InterestSet::of(&[Sysno::Open]));
+        assert!(big.is_superset(&small));
+        assert!(!small.is_superset(&big));
+        assert!(InterestSet::ALL.is_superset(&big));
+        assert_eq!(small.iter().collect::<Vec<_>>(), vec![3, 4]);
     }
 }

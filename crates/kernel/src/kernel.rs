@@ -50,6 +50,23 @@ impl SysOutcome {
     }
 }
 
+/// A host-installed veto over image execution, consulted by [`Kernel::spawn`]
+/// and `execve(2)` after the image parses but before the address space is
+/// touched. Returning an errno refuses the exec with that errno.
+///
+/// The canonical gate is `ia_analyze::install_lint_gate`, which refuses
+/// images whose static lint report contains errors.
+#[derive(Clone)]
+pub struct ExecGate(Arc<ExecGateFn>);
+
+type ExecGateFn = dyn Fn(&Image) -> Result<(), Errno> + Send + Sync;
+
+impl std::fmt::Debug for ExecGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ExecGate(..)")
+    }
+}
+
 /// An event that may unblock parked processes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WakeEvent {
@@ -130,6 +147,8 @@ pub struct Kernel {
     /// Total user instructions retired across all processes, for reports
     /// and for exact loop-overhead subtraction in micro-benchmarks.
     pub total_insns: u64,
+    /// Optional veto over `spawn`/`execve` images (see [`ExecGate`]).
+    pub(crate) exec_gate: Option<ExecGate>,
 }
 
 impl Kernel {
@@ -193,6 +212,30 @@ impl Kernel {
             perf: PerfCounters::default(),
             total_syscalls: 0,
             total_insns: 0,
+            exec_gate: None,
+        }
+    }
+
+    /// Installs an [`ExecGate`]: every subsequent [`Kernel::spawn`] and
+    /// `execve(2)` consults it and fails with the gate's errno if it
+    /// objects. Replaces any previous gate.
+    pub fn set_exec_gate(
+        &mut self,
+        gate: impl Fn(&Image) -> Result<(), Errno> + Send + Sync + 'static,
+    ) {
+        self.exec_gate = Some(ExecGate(Arc::new(gate)));
+    }
+
+    /// Removes the exec gate, if any.
+    pub fn clear_exec_gate(&mut self) {
+        self.exec_gate = None;
+    }
+
+    /// Consults the exec gate (no-op when none is installed).
+    pub(crate) fn check_exec_gate(&self, image: &Image) -> Result<(), Errno> {
+        match &self.exec_gate {
+            Some(ExecGate(f)) => f(image),
+            None => Ok(()),
         }
     }
 
@@ -315,6 +358,7 @@ impl Kernel {
     pub fn spawn(&mut self, path: &[u8], argv: &[&[u8]]) -> Result<Pid, Errno> {
         let bytes = self.read_file(path)?;
         let image = Image::from_bytes(&bytes)?;
+        self.check_exec_gate(&image)?;
         let name = path.rsplit(|&c| c == b'/').next().unwrap_or(path).to_vec();
         Ok(self.spawn_image(&image, argv, &name))
     }

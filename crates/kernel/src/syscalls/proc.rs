@@ -72,6 +72,7 @@ impl Kernel {
             let now = self.clock.now();
             let bytes = self.fs.read_at(ino, 0, size, now)?;
             let image = Image::from_bytes(&bytes)?;
+            self.check_exec_gate(&image)?;
 
             // Decode argv (a NULL-terminated pointer array) before the
             // address space is destroyed.

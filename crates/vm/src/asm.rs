@@ -57,14 +57,16 @@ enum Section {
     Data,
 }
 
-/// A not-yet-resolved operand in the first pass.
+/// A not-yet-resolved operand in the first pass. Label-referencing forms
+/// carry their source line so second-pass resolution errors point at the
+/// referencing instruction, not "line 0".
 #[derive(Debug, Clone)]
 enum Pending {
     Ready(Insn),
     /// `la rd, label` — becomes `Li(rd, addr)`.
-    La(u8, String),
+    La(usize, u8, String),
     /// Jump/call with a label target; the constructor rebuilds the insn.
-    Branch(BranchKind, Option<u8>, String),
+    Branch(usize, BranchKind, Option<u8>, String),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -327,7 +329,7 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
             }
             "la" => {
                 want!(2);
-                pending.push(Pending::La(parse_reg(&ops[0], line)?, ops[1].clone()));
+                pending.push(Pending::La(line, parse_reg(&ops[0], line)?, ops[1].clone()));
             }
             "mov" => {
                 want!(2);
@@ -379,7 +381,7 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
             }
             "jmp" => {
                 want!(1);
-                pending.push(Pending::Branch(BranchKind::Jmp, None, ops[0].clone()));
+                pending.push(Pending::Branch(line, BranchKind::Jmp, None, ops[0].clone()));
             }
             "jz" | "jnz" => {
                 want!(2);
@@ -389,11 +391,16 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
                 } else {
                     BranchKind::Jnz
                 };
-                pending.push(Pending::Branch(kind, Some(r), ops[1].clone()));
+                pending.push(Pending::Branch(line, kind, Some(r), ops[1].clone()));
             }
             "call" => {
                 want!(1);
-                pending.push(Pending::Branch(BranchKind::Call, None, ops[0].clone()));
+                pending.push(Pending::Branch(
+                    line,
+                    BranchKind::Call,
+                    None,
+                    ops[0].clone(),
+                ));
             }
             "ret" => {
                 want!(0);
@@ -442,22 +449,29 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
         }
     }
 
-    // Second pass: resolve labels.
-    let lookup_text = |name: &str| text_labels.get(name).copied();
+    // Second pass: resolve labels. A branch target that is not a defined
+    // label may be a bare instruction index (as the disassembler prints),
+    // so numeric targets reassemble without a label table.
+    let lookup_text = |name: &str| {
+        text_labels
+            .get(name)
+            .copied()
+            .or_else(|| name.parse::<u64>().ok())
+    };
     let mut code = Vec::with_capacity(pending.len());
     for p in pending {
         match p {
             Pending::Ready(i) => code.push(i),
-            Pending::La(rd, label) => {
+            Pending::La(line, rd, label) => {
                 let off = data_labels.get(&label).copied().ok_or_else(|| AsmError {
-                    line: 0,
+                    line,
                     msg: format!("undefined data label `{label}`"),
                 })?;
                 code.push(Insn::Li(rd, DATA_BASE + off));
             }
-            Pending::Branch(kind, reg, label) => {
+            Pending::Branch(line, kind, reg, label) => {
                 let target = lookup_text(&label).ok_or_else(|| AsmError {
-                    line: 0,
+                    line,
                     msg: format!("undefined code label `{label}`"),
                 })?;
                 code.push(match kind {
@@ -617,10 +631,45 @@ mod tests {
         assert_eq!(e.line, 2);
         let e = assemble("li r99, 1\n").unwrap_err();
         assert_eq!(e.line, 1);
-        let e = assemble("jmp nowhere\n").unwrap_err();
-        assert!(e.msg.contains("undefined code label"));
+    }
+
+    #[test]
+    fn undefined_labels_error_with_the_referencing_line() {
+        let e = assemble("main: nop\n nop\n jmp nowhere\n").unwrap_err();
+        assert!(e.msg.contains("undefined code label `nowhere`"), "{e}");
+        assert_eq!(e.line, 3, "error points at the jmp, not line 0");
+
+        let e = assemble("main: nop\n jz r0, gone\n").unwrap_err();
+        assert!(e.msg.contains("undefined code label `gone`"), "{e}");
+        assert_eq!(e.line, 2);
+
+        let e = assemble("main:\n nop\n la r1, missing\n halt\n").unwrap_err();
+        assert!(e.msg.contains("undefined data label `missing`"), "{e}");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn duplicate_labels_error_with_the_second_definition_line() {
         let e = assemble("main: halt\nmain: halt\n").unwrap_err();
-        assert!(e.msg.contains("duplicate label"));
+        assert!(e.msg.contains("duplicate label `main`"), "{e}");
+        assert_eq!(e.line, 2);
+
+        let e = assemble(".data\nx: .byte 1\nx: .byte 2\n.text\nmain: halt\n").unwrap_err();
+        assert!(e.msg.contains("duplicate label `x`"), "{e}");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn numeric_branch_targets_assemble_directly() {
+        // The disassembler prints `jmp 3`; that must reassemble as-is.
+        let img = assemble("jmp 3\njz r1, 0\njnz r2, 7\ncall 1\n").unwrap();
+        assert_eq!(
+            img.code,
+            vec![Insn::Jmp(3), Insn::Jz(1, 0), Insn::Jnz(2, 7), Insn::Call(1)]
+        );
+        // A defined label still wins over its numeric reading.
+        let img = assemble("nop\n3: nop\n jmp 3\n").unwrap();
+        assert_eq!(img.code[2], Insn::Jmp(1), "label `3` beats index 3");
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod mem;
 
 pub use asm::{assemble, AsmError};
 pub use builder::ProgramBuilder;
-pub use disasm::disassemble;
+pub use disasm::{disasm_insn, disassemble};
 pub use image::{Image, DATA_BASE, IMAGE_MAGIC};
 pub use insn::{Insn, Reg};
 pub use machine::{

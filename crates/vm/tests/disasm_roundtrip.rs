@@ -1,0 +1,86 @@
+//! Disassembler round-trip: every instruction variant must survive
+//! encode → decode → disassemble → reassemble with identical bytes, so a
+//! listing is always a faithful, re-executable description of an image.
+
+use ia_prng::Prng;
+use ia_vm::{assemble, disasm_insn, Image, Insn};
+
+/// Draws one random-but-valid instance of every variant, in opcode order.
+fn random_instances(rng: &mut Prng) -> Vec<Insn> {
+    let r = |rng: &mut Prng| rng.below(16) as u8;
+    let imm = |rng: &mut Prng| rng.next_u64();
+    // Signed offsets span the full i64 range, including negatives.
+    let off = |rng: &mut Prng| rng.next_u64() as i64;
+    let target = |rng: &mut Prng| rng.below(1 << 20);
+    use Insn::*;
+    vec![
+        Li(r(rng), imm(rng)),
+        Mov(r(rng), r(rng)),
+        Ld(r(rng), r(rng), off(rng)),
+        St(r(rng), r(rng), off(rng)),
+        Ldb(r(rng), r(rng), off(rng)),
+        Stb(r(rng), r(rng), off(rng)),
+        Add(r(rng), r(rng), r(rng)),
+        Sub(r(rng), r(rng), r(rng)),
+        Mul(r(rng), r(rng), r(rng)),
+        Div(r(rng), r(rng), r(rng)),
+        Rem(r(rng), r(rng), r(rng)),
+        Addi(r(rng), r(rng), off(rng)),
+        And(r(rng), r(rng), r(rng)),
+        Or(r(rng), r(rng), r(rng)),
+        Xor(r(rng), r(rng), r(rng)),
+        Shl(r(rng), r(rng), r(rng)),
+        Shr(r(rng), r(rng), r(rng)),
+        Sltu(r(rng), r(rng), r(rng)),
+        Slt(r(rng), r(rng), r(rng)),
+        Seq(r(rng), r(rng), r(rng)),
+        Jmp(target(rng)),
+        Jz(r(rng), target(rng)),
+        Jnz(r(rng), target(rng)),
+        Call(target(rng)),
+        Ret,
+        Sys,
+        Halt,
+        Nop,
+    ]
+}
+
+#[test]
+fn every_variant_round_trips_through_the_disassembler() {
+    let mut rng = Prng::new(0xd15a_53ed);
+    for round in 0..64 {
+        let code = random_instances(&mut rng);
+        // Sanity: the set really covers every opcode.
+        let opcodes: std::collections::BTreeSet<u8> = code.iter().map(Insn::opcode).collect();
+        assert_eq!(opcodes.len(), 28, "round {round}: all 28 variants present");
+
+        for insn in &code {
+            // encode → decode is identity...
+            let bytes = insn.encode();
+            let decoded = Insn::decode(&bytes).expect("valid instruction decodes");
+            assert_eq!(decoded, *insn, "round {round}");
+            // ...and the disassembly of the decoded form reassembles to the
+            // same instruction, hence the same bytes.
+            let text = disasm_insn(&decoded);
+            let img = assemble(&text)
+                .unwrap_or_else(|e| panic!("round {round}: `{text}` failed to assemble: {e}"));
+            assert_eq!(img.code, vec![*insn], "round {round}: `{text}`");
+            assert_eq!(img.code[0].encode(), bytes, "round {round}: `{text}`");
+        }
+
+        // Whole-image check: a multi-line listing reassembles to an image
+        // with byte-identical code.
+        let original = Image {
+            entry: 0,
+            code: code.clone(),
+            data: Vec::new(),
+        };
+        let listing: String = code
+            .iter()
+            .map(|i| format!("{}\n", disasm_insn(i)))
+            .collect();
+        let back = assemble(&listing).expect("listing reassembles");
+        assert_eq!(back.code, original.code, "round {round}");
+        assert_eq!(back.to_bytes(), original.to_bytes(), "round {round}");
+    }
+}

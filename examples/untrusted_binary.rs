@@ -4,12 +4,18 @@
 //! in monitoring-and-emulating mode so the binary "is unaware of the
 //! restrictions".
 //!
+//! Before anything runs, the binary is statically analyzed: `ia-analyze`
+//! infers its exact syscall footprint, and the sandbox allow-list is that
+//! footprint and nothing more — least privilege derived from the image
+//! itself, not from a human guessing what the tool needs.
+//!
 //! ```text
 //! cargo run --example untrusted_binary
 //! ```
 
+use interposition_agents::abi::Sysno;
 use interposition_agents::agents::{SandboxAgent, SandboxPolicy};
-use interposition_agents::interpose::{spawn_with_agent, InterposedRouter};
+use interposition_agents::interpose::{spawn_with_agent, InterestSet, InterposedRouter};
 use interposition_agents::kernel::{Kernel, I486_25};
 use interposition_agents::vm::assemble;
 
@@ -57,17 +63,49 @@ const MALWARE: &str = r#"
 
 fn main() {
     let image = assemble(MALWARE).expect("assembles");
+
+    // Static analysis first: infer the binary's syscall footprint and the
+    // least-privilege policy it implies. The analysis is exact for this
+    // image, and matches what a human auditing the listing would write down.
+    let (_, _, footprint) = SandboxAgent::from_footprint(&image);
+    assert!(footprint.exact, "footprint fully resolved statically");
+    assert_eq!(
+        footprint.set,
+        InterestSet::of(&[
+            Sysno::Open,
+            Sysno::Unlink,
+            Sysno::Fork,
+            Sysno::Socket,
+            Sysno::Write,
+            Sysno::Exit,
+        ]),
+        "inferred footprint equals the hand-written allow-list"
+    );
+    let names: Vec<&str> = footprint.syscalls().iter().map(|s| s.name()).collect();
+    println!("inferred syscall footprint: {}", names.join(" "));
+    println!(
+        "execve/kill outside the footprint: {}\n",
+        !footprint.set.contains(Sysno::Execve as u32)
+            && !footprint.set.contains(Sysno::Kill as u32)
+    );
+
     let mut k = Kernel::new(I486_25);
     k.write_file(b"/etc/master.passwd", b"root:secret-hash")
         .unwrap();
     k.write_file(b"/etc/rc", b"boot script").unwrap();
 
+    // The running policy composes the inferred allow-list with the
+    // file-space rules: calls outside the footprint are refused outright,
+    // and the calls inside it still go through hide/deny/emulate checks.
+    let mut allowed = footprint.set;
+    allowed.add_sys(Sysno::Sigreturn);
     let policy = SandboxPolicy {
         hidden: vec![b"/etc/master.passwd".to_vec()],
         readonly: vec![b"/etc".to_vec()],
         deny_fork: true,
         deny_sockets: true,
         emulate_writes: true, // lie to the malware: mutations "succeed"
+        allowed_calls: Some(allowed),
         ..SandboxPolicy::default()
     };
     let (agent, monitor) = SandboxAgent::new(policy);

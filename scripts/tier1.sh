@@ -8,6 +8,11 @@ cargo build --release
 cargo test -q
 cargo test -q --workspace --release
 
+# Static analysis gate: every in-tree workload and example image must lint
+# clean (zero errors). The JSON report is kept as a CI artifact.
+cargo run --release --bin ia-lint -- --builtin --json --out target/lint-report.json
+
 # Conformance smoke sweep: differential oracle + fault schedules over
-# generated programs. Failures drop .conf repro files in target/conform.
+# generated programs, plus the static-footprint soundness check per seed.
+# Failures drop .conf repro files in target/conform.
 cargo run --release -p ia-conform -- --seeds 200

@@ -1,0 +1,148 @@
+//! ia-lint — static analysis reports for VM images.
+//!
+//! ```text
+//! usage: ia-lint [--json] [--out FILE] [--builtin] [FILE...]
+//! ```
+//!
+//! Each `FILE` is either an image (`.img`, raw bytes in the IAVM format) or
+//! assembly source (`.ias`, assembled in-memory first). `--builtin` lints
+//! every in-tree workload image (micro/mix/scribe/make8). Exits nonzero if
+//! any analyzed image has lint errors.
+
+use ia_analyze::{analyze_bytes, analyze_image, render_json, render_text, ImageAnalysis, Severity};
+use ia_workloads::{make8, micro, mix, scribe};
+use std::process::ExitCode;
+
+struct Options {
+    json: bool,
+    out: Option<String>,
+    builtin: bool,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        out: None,
+        builtin: false,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--out" => {
+                opts.out = Some(args.next().ok_or("--out needs a path")?);
+            }
+            "--builtin" => opts.builtin = true,
+            "--help" | "-h" => {
+                return Err("usage: ia-lint [--json] [--out FILE] [--builtin] [FILE...]".into())
+            }
+            f if !f.starts_with('-') => opts.files.push(f.to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !opts.builtin && opts.files.is_empty() {
+        return Err("nothing to lint: pass image files or --builtin".into());
+    }
+    Ok(opts)
+}
+
+/// The in-tree workload images, by name.
+fn builtin_images() -> Vec<(String, ia_vm::Image)> {
+    let mut v = Vec::new();
+    for call in micro::MicroCall::ALL {
+        v.push((format!("micro:{}", call.name()), micro::loop_image(call, 4)));
+    }
+    for seed in 1..=4u64 {
+        v.push((format!("mix:seed{seed}"), mix::random_program(seed, 40)));
+    }
+    v.push(("scribe".to_string(), scribe::image()));
+    v.push(("make8:tool".to_string(), make8::tool_image()));
+    v.push(("make8:cc".to_string(), make8::cc_image()));
+    v.push(("make8:make".to_string(), make8::make_image()));
+    v
+}
+
+fn analyze_file(path: &str) -> Result<ImageAnalysis, String> {
+    if path.ends_with(".ias") {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let img = ia_vm::assemble(&src).map_err(|e| format!("{path}: assemble: {e}"))?;
+        Ok(analyze_image(&img))
+    } else {
+        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        analyze_bytes(&bytes).map_err(|e| format!("{path}: not an IAVM image ({e})"))
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut reports: Vec<(String, ImageAnalysis)> = Vec::new();
+    if opts.builtin {
+        for (name, img) in builtin_images() {
+            reports.push((name, analyze_image(&img)));
+        }
+    }
+    for path in &opts.files {
+        match analyze_file(path) {
+            Ok(a) => reports.push((path.clone(), a)),
+            Err(msg) => {
+                eprintln!("ia-lint: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let output = if opts.json {
+        let bodies: Vec<String> = reports
+            .iter()
+            .map(|(name, a)| {
+                // Indent each report two spaces to nest inside the array.
+                render_json(name, a)
+                    .lines()
+                    .map(|l| format!("  {l}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            })
+            .collect();
+        format!("[\n{}\n]\n", bodies.join(",\n"))
+    } else {
+        reports
+            .iter()
+            .map(|(name, a)| render_text(name, a))
+            .collect::<Vec<_>>()
+            .join("\n────────────────────────────────────────\n")
+    };
+
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &output) {
+                eprintln!("ia-lint: write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{output}"),
+    }
+
+    let total_errors: usize = reports.iter().map(|(_, a)| a.count(Severity::Error)).sum();
+    let total_warnings: usize = reports
+        .iter()
+        .map(|(_, a)| a.count(Severity::Warning))
+        .sum();
+    eprintln!(
+        "ia-lint: {} image(s), {total_errors} error(s), {total_warnings} warning(s)",
+        reports.len()
+    );
+    if total_errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

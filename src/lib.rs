@@ -14,9 +14,12 @@
 //! - [`toolkit`] — **the paper's contribution**: the layered agent toolkit
 //! - [`agents`] — agents built with the toolkit (timex, trace, union, ...)
 //! - [`workloads`] — the paper's benchmark workloads
+//! - [`analyze`] — static binary analysis: lints and syscall-footprint
+//!   inference (`ia-lint`)
 
 pub use ia_abi as abi;
 pub use ia_agents as agents;
+pub use ia_analyze as analyze;
 pub use ia_interpose as interpose;
 pub use ia_kernel as kernel;
 pub use ia_toolkit as toolkit;
