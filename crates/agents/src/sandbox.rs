@@ -176,9 +176,11 @@ impl SandboxAgent {
     /// handle, and the footprint the policy was derived from.
     ///
     /// Soundness inherits from the analyzer: the footprint over-approximates
-    /// the dynamic behaviour, so a benign binary is never blocked by the
-    /// allow-list; when the analyzer had to widen to ⊤ (e.g. an indirect
-    /// syscall number) the inferred policy allows everything rather than
+    /// the dynamic behaviour — including control seized through signal
+    /// handlers or corrupted `ret` slots — so a benign binary is never
+    /// blocked by the allow-list; when the analyzer had to widen to ⊤ (an
+    /// indirect syscall number, or a `sigreturn` whose forged context could
+    /// resume anywhere) the inferred policy allows everything rather than
     /// guessing — derive a manual policy for such binaries.
     #[must_use]
     pub fn from_footprint(

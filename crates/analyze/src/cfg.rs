@@ -68,24 +68,28 @@ pub struct Cfg {
     pub bad_targets: Vec<BadTarget>,
 }
 
-const EXIT_NR: u64 = ia_abi::Sysno::Exit as u64;
-
-/// True if the `Sys` at index `i` is the `li r7, EXIT; sys` idiom, which
-/// cannot fall through (exit never returns; the kernel retries it forever
-/// even under interposition).
-fn is_exit_idiom(code: &[Option<Insn>], i: usize) -> bool {
-    i > 0 && code[i - 1] == Some(Insn::Li(ia_vm::SYS_NR_REG as u8, EXIT_NR))
-}
-
-/// Control-flow targets of the instruction at `i`: (branch targets,
-/// falls through?).
-fn flow(insn: Option<Insn>, i: usize, code: &[Option<Insn>]) -> (Vec<u64>, bool) {
+/// Control-flow targets of an instruction: (branch targets, falls
+/// through?).
+///
+/// `Sys` always falls through — even `li r7, exit; sys`. The trap may be
+/// entered from a branch with a different `r7`, and an interposition agent
+/// may veto the exit itself, in which case the kernel resumes the program at
+/// the next instruction. Whether a trailing `sys` is a *provable* exit is a
+/// value question the abstract interpreter answers (see the fall-off-end
+/// lint in `lib.rs`), not a syntactic one.
+///
+/// `Ret` has no successor edges here even though the machine loads the
+/// return address from writable stack memory: a corrupted return slot can
+/// transfer control to any instruction. That hazard is handled by the
+/// pervasive analysis phase (`lib.rs`), which any reachable `Ret` triggers;
+/// modeling it as edges would be both imprecise (every block) and still
+/// wrong (mid-block entry).
+fn flow(insn: Option<Insn>) -> (Vec<u64>, bool) {
     match insn {
         Some(Insn::Jmp(t)) => (vec![t], false),
         Some(Insn::Jz(_, t)) | Some(Insn::Jnz(_, t)) => (vec![t], true),
         Some(Insn::Call(t)) => (vec![t], true),
         Some(Insn::Ret) | Some(Insn::Halt) | None => (Vec::new(), false),
-        Some(Insn::Sys) => (Vec::new(), !is_exit_idiom(code, i)),
         Some(_) => (Vec::new(), true),
     }
 }
@@ -122,7 +126,7 @@ impl Cfg {
                 leader[entry] = true;
             }
             for (i, insn) in code.iter().enumerate() {
-                let (targets, _) = flow(*insn, i, code);
+                let (targets, _) = flow(*insn);
                 for t in targets {
                     if (t as usize as u64) == t && (t as usize) < n {
                         leader[t as usize] = true;
@@ -161,7 +165,7 @@ impl Cfg {
         for blk in blocks.iter_mut() {
             let last = blk.end - 1;
             let insn = code[last];
-            let (targets, falls) = flow(insn, last, code);
+            let (targets, falls) = flow(insn);
             let is_call = matches!(insn, Some(Insn::Call(_)));
             blk.ends_in_illegal = insn.is_none();
             for t in &targets {
@@ -283,17 +287,17 @@ mod tests {
     }
 
     #[test]
-    fn sys_falls_through_except_the_exit_idiom() {
+    fn sys_always_falls_through() {
+        // Even `li r7, exit; sys` falls through: the sys may be entered from
+        // a branch with a different r7, and an interposition agent may veto
+        // the exit, after which the kernel resumes at the next instruction.
         let code = decoded(vec![Sys, Li(7, 1), Sys, Nop]);
         let cfg = Cfg::build(&code, 0);
-        // First sys (index 0) falls through into the li block.
         let b0 = &cfg.blocks[cfg.block_of[0]];
         assert_eq!(b0.succs.len(), 1);
-        // The `li r7,1; sys` pair at 1-2 has no successors: exit(2) does not
-        // return, so the trailing nop is unreachable.
         let b1 = &cfg.blocks[cfg.block_of[2]];
-        assert!(b1.succs.is_empty());
-        assert!(!cfg.reachable[cfg.block_of[3]]);
+        assert_eq!(b1.succs.len(), 1);
+        assert!(cfg.reachable[cfg.block_of[3]], "code after exit is live");
     }
 
     #[test]

@@ -6,6 +6,16 @@
 //! changing; a final recording pass then resolves the possible values of
 //! `r7` at every reachable `SYS` site and collects value-level findings.
 //!
+//! Two entry points: [`run`] analyzes flow along CFG edges from explicit
+//! roots; [`run_pervasive`] additionally assumes control can be seized at
+//! *any instruction boundary* with registers bounded by a caller-supplied
+//! "pervasive" state — the sound model for signal-handler delivery (the
+//! kernel jumps to an arbitrary handler index with the interrupted context's
+//! registers) and for `ret` through a corrupted stack slot (the machine
+//! jumps to whatever index the slot holds, with the registers live at the
+//! `ret`). The pervasive state is joined in before every instruction, not
+//! just at block leaders, because those transfers land mid-block.
+//!
 //! Soundness contract: every concrete execution's register values are
 //! contained in the abstract values computed here. The transfer functions
 //! mirror `ia_vm::machine::step` exactly (wrapping arithmetic, shift
@@ -125,6 +135,12 @@ pub struct Analysis {
     pub sites: Vec<SysSite>,
     /// Value-level findings from the recording pass.
     pub findings: Vec<ValueFinding>,
+    /// Join of the abstract state at *every* reached program point (before
+    /// and after each instruction). This bounds the register contents an
+    /// asynchronous control transfer — signal delivery, or a `ret` through
+    /// a corrupted return slot — can carry into its target. `None` if no
+    /// point was reached.
+    pub point_join: Option<RegState>,
 }
 
 /// Converts an abstract `r7` into the site's syscall-number set, applying
@@ -145,6 +161,18 @@ struct Recorder {
     findings: Vec<ValueFinding>,
     /// Dedup for read-unwritten warnings: (insn index, reg).
     seen_reads: BTreeSet<(usize, u8)>,
+    /// Accumulated join of every program-point state (see
+    /// [`Analysis::point_join`]).
+    point_join: Option<RegState>,
+}
+
+impl Recorder {
+    fn note_point(&mut self, st: &RegState) {
+        self.point_join = Some(match self.point_join.take() {
+            None => st.clone(),
+            Some(pj) => pj.join(st),
+        });
+    }
 }
 
 /// Applies one instruction to `st`. `rec` is `Some` only in the recording
@@ -271,19 +299,33 @@ fn transfer(insn: Insn, at: usize, st: &mut RegState, rec: &mut Option<&mut Reco
 }
 
 /// Runs one block's instructions over `st`, stopping early at an
-/// undecodable slot (the machine faults there).
+/// undecodable slot (the machine faults there). When `pervasive` is set it
+/// is joined in before every instruction — control may enter at any
+/// boundary. The recorder, when present, accumulates the point join at each
+/// boundary (including the one before a faulting slot, where a caught
+/// `SIGILL` hands those registers to a handler).
 fn transfer_block(
     code: &[Option<Insn>],
     start: usize,
     end: usize,
     st: &mut RegState,
+    pervasive: Option<&RegState>,
     rec: &mut Option<&mut Recorder>,
 ) {
     for (i, slot) in code.iter().enumerate().take(end).skip(start) {
+        if let Some(p) = pervasive {
+            *st = st.join(p);
+        }
+        if let Some(rec) = rec.as_deref_mut() {
+            rec.note_point(st);
+        }
         match slot {
             Some(insn) => transfer(*insn, i, st, rec),
-            None => break,
+            None => return,
         }
+    }
+    if let Some(rec) = rec.as_deref_mut() {
+        rec.note_point(st);
     }
 }
 
@@ -291,6 +333,27 @@ fn transfer_block(
 /// a recording pass with the fixed in-states.
 #[must_use]
 pub fn run(code: &[Option<Insn>], cfg: &Cfg, roots: &[(usize, RegState)]) -> Analysis {
+    run_impl(code, cfg, roots, None)
+}
+
+/// Like [`run`], but rooting *every* block with `pervasive` and joining
+/// `pervasive` in before every instruction: the sound model for control
+/// seized at arbitrary instruction boundaries (signal handlers, corrupted
+/// `ret` slots) with register contents bounded by `pervasive`.
+#[must_use]
+pub fn run_pervasive(code: &[Option<Insn>], cfg: &Cfg, pervasive: &RegState) -> Analysis {
+    let roots: Vec<(usize, RegState)> = (0..cfg.blocks.len())
+        .map(|b| (b, pervasive.clone()))
+        .collect();
+    run_impl(code, cfg, &roots, Some(pervasive))
+}
+
+fn run_impl(
+    code: &[Option<Insn>],
+    cfg: &Cfg,
+    roots: &[(usize, RegState)],
+    pervasive: Option<&RegState>,
+) -> Analysis {
     let nb = cfg.blocks.len();
     let mut in_states: Vec<Option<RegState>> = vec![None; nb];
     let mut join_counts = vec![0usize; nb];
@@ -334,7 +397,7 @@ pub fn run(code: &[Option<Insn>], cfg: &Cfg, roots: &[(usize, RegState)]) -> Ana
     while let Some(b) = work.pop_front() {
         let mut out = in_states[b].clone().expect("queued block has a state");
         let block = &cfg.blocks[b];
-        transfer_block(code, block.start, block.end, &mut out, &mut None);
+        transfer_block(code, block.start, block.end, &mut out, pervasive, &mut None);
         for edge in &block.succs {
             let st = if edge.kind == EdgeKind::CallReturn {
                 RegState::top()
@@ -350,12 +413,13 @@ pub fn run(code: &[Option<Insn>], cfg: &Cfg, roots: &[(usize, RegState)]) -> Ana
         sites: Vec::new(),
         findings: Vec::new(),
         seen_reads: BTreeSet::new(),
+        point_join: None,
     };
     for (b, block) in cfg.blocks.iter().enumerate() {
         if let Some(in_st) = &in_states[b] {
             let mut st = in_st.clone();
             let mut slot = Some(&mut rec);
-            transfer_block(code, block.start, block.end, &mut st, &mut slot);
+            transfer_block(code, block.start, block.end, &mut st, pervasive, &mut slot);
         }
     }
     rec.sites.sort_by_key(|s| s.at);
@@ -363,6 +427,7 @@ pub fn run(code: &[Option<Insn>], cfg: &Cfg, roots: &[(usize, RegState)]) -> Ana
         in_states,
         sites: rec.sites,
         findings: rec.findings,
+        point_join: rec.point_join,
     }
 }
 
@@ -461,6 +526,28 @@ mod tests {
         assert!(a
             .findings
             .contains(&ValueFinding::ReadUnwritten { at: 4, reg: 5 }));
+    }
+
+    #[test]
+    fn point_join_bounds_every_program_point() {
+        let a = analyze(vec![Li(7, 4), Li(7, 9), Halt]);
+        let pj = a.point_join.expect("points reached");
+        // r7 is 0 at entry, then 4, then 9: the hull of every point.
+        assert_eq!(pj.regs[7], AbsVal::Range(0, 9));
+    }
+
+    #[test]
+    fn pervasive_entry_reaches_mid_block_with_joined_state() {
+        // Along normal flow the site is Exact([1]); a pervasive entry
+        // directly at the sys carries the pervasive r7 instead, so the site
+        // must widen to the hull even though the li precedes it in-block.
+        let code: Vec<Option<Insn>> = vec![Li(7, 1), Sys, Halt].into_iter().map(Some).collect();
+        let cfg = Cfg::build(&code, 0);
+        let mut p = RegState::at_entry();
+        p.regs[7] = AbsVal::range(0, 46);
+        let a = run_pervasive(&code, &cfg, &p);
+        assert_eq!(a.sites.len(), 1);
+        assert_eq!(a.sites[0].nrs, SyscallSet::Exact((0..=46).collect()));
     }
 
     #[test]

@@ -24,6 +24,27 @@
 //! under-approximates*. If `r7` cannot be bounded at some reachable site
 //! (e.g. it was loaded from memory), the footprint widens to "all
 //! syscalls" and `exact` flips off — the result fails closed.
+//!
+//! Three control-transfer gadgets can move the program counter somewhere no
+//! CFG edge points, and each is accounted for explicitly:
+//!
+//! * **Signal delivery** — the kernel jumps to an arbitrary *instruction
+//!   index* (not block leader) with the interrupted context's registers,
+//!   `r0` = signal number, `r1` = auxiliary value, and a context frame
+//!   pushed below `sp`.
+//! * **`ret` through a corrupted slot** — the return address lives in
+//!   writable stack memory; a store (or a syscall that writes memory) can
+//!   redirect the `ret` to any index, with the registers live at the `ret`.
+//! * **`sigreturn` with a forged context** — restores the pc *and all 16
+//!   registers* from program-controlled memory, so its targets cannot be
+//!   bounded by any join of program states.
+//!
+//! The first two transfer registers that are bounded by the join of all
+//! ordinary program-point states, so [`analyze_code`] handles them with a
+//! *pervasive* re-analysis (see [`interp::run_pervasive`]) rooted at every
+//! instruction under that join, iterated to a fixpoint. The third is
+//! unbounded by construction: a reachable `sigreturn` site forces the
+//! footprint to `ALL` with `exact = false` — fail closed, never guess.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -173,6 +194,22 @@ pub fn analyze_code(code: Vec<Option<Insn>>, entry: usize, data_len: usize) -> I
         });
     }
 
+    // A block whose trailing `sys` provably invokes exit (`r7 == EXIT` on
+    // every path into it, per phase 1) does not return in an un-interposed
+    // run, so control running off the end there is not a fault the image
+    // can reach on its own. An agent that vetoes the exit changes that at
+    // runtime, but the veto is the agent's decision — and the CFG keeps the
+    // fall-through edge regardless, so the *footprint* stays sound. This is
+    // a value judgment, not a syntactic one: a `sys` entered from a branch
+    // with some other `r7` does return, and keeps its finding.
+    let exit_nr = Sysno::Exit as u32;
+    let provably_exits = |at: usize| {
+        phase1.sites.iter().any(|s| {
+            s.at == at
+                && matches!(&s.nrs, SyscallSet::Exact(vs) if vs.as_slice() == [exit_nr].as_slice())
+        })
+    };
+
     for (b, block) in cfg.blocks.iter().enumerate() {
         let reachable = cfg.reachable[b];
         if block.ends_in_illegal {
@@ -190,7 +227,7 @@ pub fn analyze_code(code: Vec<Option<Insn>>, entry: usize, data_len: usize) -> I
                 ),
             });
         }
-        if block.falls_off {
+        if block.falls_off && !provably_exits(block.end - 1) {
             findings.push(Finding {
                 severity: sev(reachable),
                 kind: "fall-off-end",
@@ -270,27 +307,108 @@ pub fn analyze_code(code: Vec<Option<Insn>>, entry: usize, data_len: usize) -> I
         });
     }
 
-    // Phase 2: if the program may install a signal handler (or some site
-    // already widened to ⊤), rerun with every block as a root under a ⊤
-    // entry state — a handler can run at any instruction boundary with any
-    // register contents. The footprint comes from this phase; lint
-    // reachability stays with phase 1 (phase 2's pessimism would drown it
-    // in noise).
+    // Phase 2: account for control transfers no CFG edge models. Ladder,
+    // most to least severe; the footprint comes from the deepest phase that
+    // ran, while lint findings and reachability stay with phase 1 (the
+    // pervasive phase's pessimism would drown them in noise).
+    //
+    // 1. `sigreturn` restores the pc and *all* registers from
+    //    program-controlled memory: nothing bounds where it goes or with
+    //    what, so any site that may invoke it forces the footprint to ALL.
+    // 2. Signal delivery (possible once `sigaction` may run) enters an
+    //    arbitrary instruction index with the interrupted registers; a
+    //    `ret` whose stack slot was corrupted enters an arbitrary index
+    //    with the registers live at the `ret`. Both carry register states
+    //    bounded by the join of all program-point states, so a pervasive
+    //    re-analysis rooted at every instruction under that join (iterated,
+    //    since handler code adds new points) covers them.
+    let may_invoke = |sites: &[SysSite], nr: u32| {
+        sites.iter().any(|s| match &s.nrs {
+            SyscallSet::Top => true,
+            SyscallSet::Exact(vs) => vs.contains(&nr),
+        })
+    };
     let sigaction = Sysno::Sigaction as u32;
-    let may_install_handler = phase1.sites.iter().any(|s| match &s.nrs {
-        SyscallSet::Top => true,
-        SyscallSet::Exact(vs) => vs.contains(&sigaction),
+    let sigreturn = Sysno::Sigreturn as u32;
+    // Any reachable `ret` counts as corruptible: the return slot sits in
+    // writable memory below data the kernel seeded (a depth-0 `ret` pops an
+    // argv pointer), and no store in this machine is provably stack-safe.
+    let reachable_ret = cfg.blocks.iter().enumerate().any(|(b, blk)| {
+        cfg.reachable[b] && code[blk.end - 1] == Some(Insn::Ret)
     });
-    let sites = if may_install_handler {
-        let roots: Vec<(usize, RegState)> = (0..cfg.blocks.len())
-            .map(|b| (b, RegState::top()))
-            .collect();
-        interp::run(&code, &cfg, &roots).sites
+
+    // What delivery scribbles on top of an interrupted context: r0 becomes
+    // the signal number, r1 an auxiliary value, and sp moves down past the
+    // pushed context frame. Applied unconditionally — it only widens.
+    let adjust = |mut st: RegState| {
+        st.regs[0] = st.regs[0].join(AbsVal::range(1, 32));
+        st.regs[1] = AbsVal::Top;
+        st.regs[15] = AbsVal::Top;
+        st.written = u16::MAX;
+        st
+    };
+
+    // Why a phase's sites force the footprint to ALL, if they do.
+    let cause = |sites: &[SysSite]| -> Option<&'static str> {
+        if sites.iter().any(|s| matches!(s.nrs, SyscallSet::Top)) {
+            Some("a syscall number could not be bounded (loaded from memory or otherwise unresolved)")
+        } else if may_invoke(sites, sigreturn) {
+            Some("a reachable site may invoke sigreturn, which resumes at an arbitrary pc with arbitrary registers from a forgeable saved context")
+        } else {
+            None
+        }
+    };
+
+    let mut widened = cause(&phase1.sites);
+    let sites = if widened.is_some() {
+        phase1.sites
+    } else if may_invoke(&phase1.sites, sigaction) || reachable_ret {
+        let mut pervasive = adjust(
+            phase1
+                .point_join
+                .clone()
+                .unwrap_or_else(RegState::at_entry),
+        );
+        // Iterate: the pervasive run reaches new program points (handler
+        // bodies, ret targets) whose states feed back into the bound. The
+        // chain can climb slowly, so after a few rounds give up the
+        // precision and jump to ⊤, which is a fixpoint by construction.
+        let mut rounds = 0;
+        let phase2 = loop {
+            let a = interp::run_pervasive(&code, &cfg, &pervasive);
+            let next = match &a.point_join {
+                Some(pj) => pervasive.join(&adjust(pj.clone())),
+                None => pervasive.clone(),
+            };
+            if next == pervasive {
+                break a;
+            }
+            rounds += 1;
+            pervasive = if rounds >= 4 { RegState::top() } else { next };
+        };
+        // Handler or ret-target code may itself reach a sigreturn (or an
+        // unbounded site) phase 1 never saw; the ladder's first rung
+        // applies to it all the same.
+        widened = cause(&phase2.sites);
+        phase2.sites
     } else {
         phase1.sites
     };
 
-    let footprint = Footprint::from_sites(&sites);
+    let mut footprint = Footprint::from_sites(&sites);
+    if let Some(why) = widened {
+        footprint = Footprint {
+            set: InterestSet::ALL,
+            exact: false,
+            nrs: BTreeSet::new(),
+        };
+        findings.push(Finding {
+            severity: Severity::Warning,
+            kind: "footprint-widened",
+            at: None,
+            message: format!("footprint widened to all syscalls: {why}"),
+        });
+    }
     findings.sort_by_key(|f| (f.severity, f.at));
     ImageAnalysis {
         entry,
@@ -330,7 +448,13 @@ pub fn analyze_bytes(bytes: &[u8]) -> Result<ImageAnalysis, Errno> {
     let entry = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
     let ncode = u32at(16) as usize;
     let ndata = u32at(20) as usize;
-    if bytes.len() != HEADER + ncode * 12 + ndata {
+    // Checked: on 32-bit targets a hostile ncode near u32::MAX would wrap
+    // `ncode * 12` and could make a short file pass the length check.
+    let expected = ncode
+        .checked_mul(12)
+        .and_then(|c| c.checked_add(HEADER))
+        .and_then(|c| c.checked_add(ndata));
+    if expected != Some(bytes.len()) {
         return Err(Errno::ENOEXEC);
     }
     let code: Vec<Option<Insn>> = bytes[HEADER..HEADER + ncode * 12]
@@ -400,15 +524,15 @@ mod tests {
 
     #[test]
     fn sigaction_triggers_handler_phase() {
-        // Installs a handler at insn 5 (li r7,N; sys in dead code from the
-        // entry path's perspective — only the handler phase sees it run).
+        // Installs a handler whose body is an island no CFG edge reaches
+        // (the jmp spins in place) — only the pervasive phase sees it run.
         let code = vec![
             Li(7, Sysno::Sigaction as u64), // 0
             Sys,                            // 1
             Li(7, Sysno::Exit as u64),      // 2
             Sys,                            // 3
-            Nop,                            // 4 (unreachable from entry)
-            Li(7, Sysno::Getpid as u64),    // 5: handler body
+            Jmp(4),                         // 4: spin if the exit is vetoed
+            Li(7, Sysno::Getpid as u64),    // 5: handler body (island)
             Sys,                            // 6
             Ret,                            // 7
         ];
@@ -416,8 +540,102 @@ mod tests {
         assert!(a.footprint.exact);
         assert!(
             a.footprint.set.contains(Sysno::Getpid as u32),
-            "handler site included"
+            "handler site included: {:?}",
+            a.footprint
         );
+    }
+
+    #[test]
+    fn ret_through_corrupted_stack_slot_is_covered() {
+        // The program forges a return address: [sp] ← 4, ret. The CFG has
+        // no edge from the ret to insn 4, but the machine jumps there, so
+        // the "hidden" getpid must land in the footprint anyway.
+        let code = vec![
+            Li(1, 4),                    // 0: forged target = insn 4
+            Addi(15, 15, -8),            // 1
+            St(15, 1, 0),                // 2: [sp] ← 4
+            Ret,                         // 3: pc ← mem[sp] = 4
+            Li(7, Sysno::Getpid as u64), // 4: CFG-unreachable
+            Sys,                         // 5
+            Li(7, Sysno::Exit as u64),   // 6
+            Sys,                         // 7
+        ];
+        let a = analyze_image(&img(code));
+        assert!(
+            a.footprint.set.contains(Sysno::Getpid as u32),
+            "ret-hijacked syscalls are in the footprint: {:?}",
+            a.footprint
+        );
+        assert!(a.footprint.set.contains(Sysno::Exit as u32));
+    }
+
+    #[test]
+    fn branch_into_exit_sys_does_not_hide_the_fall_through() {
+        // `jmp 2` enters the sys with r7 = 0 (not exit), so at runtime the
+        // trap returns and control falls into the code below. The old
+        // syntactic exit idiom pruned that edge and hid the getpid.
+        let code = vec![
+            Jmp(2),                      // 0
+            Li(7, Sysno::Exit as u64),   // 1: skipped
+            Sys,                         // 2: r7 = 0 here
+            Li(7, Sysno::Getpid as u64), // 3
+            Sys,                         // 4
+            Li(7, Sysno::Exit as u64),   // 5
+            Sys,                         // 6
+        ];
+        let a = analyze_image(&img(code));
+        assert!(a.footprint.exact);
+        assert!(
+            a.footprint.set.contains(Sysno::Getpid as u32),
+            "post-sys code is live: {:?}",
+            a.footprint
+        );
+        // The final sys *is* provably exit, so no fall-off-end error.
+        assert!(!a.has_errors(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn sigreturn_forces_footprint_to_all() {
+        // A forged SigContext lets sigreturn resume anywhere with any
+        // registers; nothing short of ALL is sound.
+        let code = vec![
+            Li(7, Sysno::Sigreturn as u64),
+            Sys,
+            Li(7, Sysno::Exit as u64),
+            Sys,
+        ];
+        let a = analyze_image(&img(code));
+        assert!(!a.footprint.exact);
+        assert_eq!(a.footprint.set, InterestSet::ALL);
+        assert!(a.findings.iter().any(|f| f.kind == "footprint-widened"));
+    }
+
+    #[test]
+    fn handler_entry_mid_block_widens_the_site() {
+        // A handler may point directly at insn 3, entering with the
+        // interrupted r7 — e.g. 46 from insn 0 — rather than the 1 the
+        // in-block li suggests. The site must cover the whole point join,
+        // not just the block-local narrowing.
+        let code = vec![
+            Li(7, Sysno::Sigaction as u64), // 0
+            Sys,                            // 1
+            Li(7, Sysno::Exit as u64),      // 2
+            Sys,                            // 3
+        ];
+        let a = analyze_image(&img(code));
+        assert!(a.footprint.exact);
+        assert!(
+            a.footprint.set.contains(Sysno::Getpid as u32),
+            "mid-block entry carries any interrupted r7 in [0, 46]: {:?}",
+            a.footprint
+        );
+    }
+
+    #[test]
+    fn hostile_header_lengths_are_rejected() {
+        let mut bytes = img(vec![Nop, Halt]).to_bytes();
+        bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes()); // ncode
+        assert!(matches!(analyze_bytes(&bytes), Err(Errno::ENOEXEC)));
     }
 
     #[test]

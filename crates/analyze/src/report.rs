@@ -125,7 +125,7 @@ pub fn render_text(name: &str, a: &ImageAnalysis) -> String {
 #[must_use]
 pub fn render_footprint(a: &ImageAnalysis) -> String {
     if !a.footprint.exact {
-        return "all syscalls possible (an indirect syscall number forced the analyzer to widen)"
+        return "all syscalls possible (the analyzer widened; the footprint-widened finding names the cause)"
             .to_string();
     }
     let names: Vec<String> = a

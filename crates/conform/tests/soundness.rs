@@ -5,10 +5,32 @@
 //! the full interest set (fail closed) rather than guess.
 
 use ia_analyze::footprint;
-use ia_conform::{check_soundness, sample, static_footprint, OpSet};
-use ia_interpose::InterestSet;
+use ia_conform::{check_soundness, sample, static_footprint, OpSet, SyscallRecorder};
+use ia_interpose::{wrap_process, InterestSet, InterposedRouter};
+use ia_kernel::{run, Kernel, RunLimits, RunOutcome, I486_25};
 use ia_prng::Prng;
 use ia_vm::{Image, Insn, DATA_BASE};
+
+/// Runs `image` under a trap recorder and asserts every dynamically issued
+/// call was predicted by its static footprint; returns the traced numbers.
+fn assert_trace_within_footprint(image: &Image) -> Vec<u32> {
+    let set = footprint(image).set;
+    let mut k = Kernel::new(I486_25);
+    let pid = k.spawn_image(image, &[b"adversary"], b"adversary");
+    let mut router = InterposedRouter::new();
+    let (recorder, traced) = SyscallRecorder::new();
+    wrap_process(&mut k, &mut router, pid, Box::new(recorder), &[]);
+    let outcome = run(&mut k, &mut router, RunLimits { max_steps: 100_000 });
+    assert_eq!(outcome, RunOutcome::AllExited, "adversary run completes");
+    let traced: Vec<u32> = traced.borrow().iter().copied().collect();
+    for &nr in &traced {
+        assert!(
+            set.contains(nr),
+            "dynamically issued call {nr} escaped the static footprint"
+        );
+    }
+    traced
+}
 
 /// Dynamic trace ⊆ static footprint over a broad seeded sweep covering the
 /// full op set (files, pipes, fork/exec/wait, signals, itimers, sockets).
@@ -65,5 +87,61 @@ fn indirect_syscall_number_fails_closed() {
     assert!(
         fp.set.contains(ia_abi::Sysno::Getpid as u32),
         "the call it actually makes is covered"
+    );
+}
+
+/// An adversarial image that hides a syscall behind a forged return
+/// address: it stores an arbitrary instruction index into the return slot
+/// and `ret`s to it, reaching code no CFG edge touches. The hidden getpid
+/// must both run and be inside the static footprint.
+#[test]
+fn ret_hijack_cannot_hide_syscalls() {
+    let getpid = ia_abi::Sysno::Getpid as u64;
+    let exit = ia_abi::Sysno::Exit as u64;
+    let image = Image {
+        entry: 0,
+        code: vec![
+            Insn::Li(1, 4),          // forged return target = insn 4
+            Insn::Addi(15, 15, -8),  // push a slot
+            Insn::St(15, 1, 0),      // [sp] ← 4
+            Insn::Ret,               // pc ← 4
+            Insn::Li(7, getpid),     // hidden from the CFG
+            Insn::Sys,
+            Insn::Li(7, exit),
+            Insn::Sys,
+        ],
+        data: Vec::new(),
+    };
+    let traced = assert_trace_within_footprint(&image);
+    assert!(
+        traced.contains(&(getpid as u32)),
+        "the hidden call really ran: {traced:?}"
+    );
+}
+
+/// An adversarial image that enters an `li r7, exit; sys` pair from a
+/// branch with `r7 = 0`: the trap is *not* an exit at runtime, control
+/// falls through, and the code below must still be in the footprint.
+#[test]
+fn branch_into_exit_idiom_cannot_hide_the_fall_through() {
+    let getpid = ia_abi::Sysno::Getpid as u64;
+    let exit = ia_abi::Sysno::Exit as u64;
+    let image = Image {
+        entry: 0,
+        code: vec![
+            Insn::Jmp(2),        // enter the sys directly, r7 still 0
+            Insn::Li(7, exit),   // skipped
+            Insn::Sys,           // nosys(0): returns EINVAL and falls through
+            Insn::Li(7, getpid), // "hidden" under the old syntactic idiom
+            Insn::Sys,
+            Insn::Li(7, exit),
+            Insn::Sys,
+        ],
+        data: Vec::new(),
+    };
+    let traced = assert_trace_within_footprint(&image);
+    assert!(
+        traced.contains(&(getpid as u32)),
+        "the fall-through call really ran: {traced:?}"
     );
 }
