@@ -121,34 +121,126 @@ pub fn write_log(records: &[TraceRecord]) -> Vec<u8> {
     out
 }
 
-/// Parses the binary log format.
-pub fn read_log(bytes: &[u8]) -> Result<Vec<TraceRecord>, Errno> {
-    let mut d = Dec::new(bytes);
-    if d.u32()? != LOG_MAGIC || d.u32()? != LOG_VERSION {
-        return Err(Errno::EINVAL);
+/// Why a binary log failed to parse. A torn tail (host snapshot taken
+/// mid-append) is distinguished from outright corruption, and the records
+/// parsed intact before the tear are returned rather than dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogError {
+    /// The stream ends inside the 12-byte header.
+    TruncatedHeader,
+    /// The stream does not begin with [`LOG_MAGIC`].
+    BadMagic(u32),
+    /// The header's version is not [`LOG_VERSION`].
+    BadVersion(u32),
+    /// Record `index` (0-based) carries an op byte outside the vocabulary.
+    BadOp {
+        /// Which record.
+        index: usize,
+        /// The offending byte.
+        op: u8,
+    },
+    /// The stream ends inside record `index`: a torn/truncated tail.
+    /// `recovered` holds every record parsed intact before the tear.
+    TruncatedRecord {
+        /// Which record the stream tore inside.
+        index: usize,
+        /// The intact prefix.
+        recovered: Vec<TraceRecord>,
+    },
+    /// All records parsed but `extra` bytes follow the last one — the
+    /// header under-counts, so records may have been silently lost by the
+    /// writer (or the stream is two logs glued together).
+    TrailingBytes {
+        /// How many unconsumed bytes remain.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::TruncatedHeader => write!(f, "log truncated inside the header"),
+            LogError::BadMagic(m) => write!(f, "bad log magic {m:#010x}"),
+            LogError::BadVersion(v) => write!(f, "unsupported log version {v}"),
+            LogError::BadOp { index, op } => {
+                write!(f, "record {index} has unknown op byte {op}")
+            }
+            LogError::TruncatedRecord { index, recovered } => write!(
+                f,
+                "log truncated inside record {index} ({} intact before the tear)",
+                recovered.len()
+            ),
+            LogError::TrailingBytes { extra } => {
+                write!(f, "{extra} bytes of trailing data after the last record")
+            }
+        }
     }
-    let n = d.u32()? as usize;
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        let sec = d.i64()?;
-        let usec = d.i64()?;
-        let op = TraceOp::from_u8(d.u8()?).ok_or(Errno::EINVAL)?;
-        let plen = d.u32()? as usize;
-        let path = d.bytes(plen)?.to_vec();
-        let p2len = d.u32()? as usize;
-        let path2 = d.bytes(p2len)?.to_vec();
-        let fd = d.i64()?;
-        let errno = d.u32()?;
-        let amount = d.u64()?;
-        out.push(TraceRecord {
-            sec,
-            usec,
-            op,
-            path,
-            path2,
-            fd,
-            errno,
-            amount,
+}
+
+impl std::error::Error for LogError {}
+
+/// Smallest possible record encoding (empty paths), used to bound the
+/// pre-allocation against a hostile header count.
+const MIN_RECORD_BYTES: usize = 8 + 8 + 1 + 4 + 4 + 8 + 4 + 8;
+
+/// Parses the binary log format. On a torn tail the intact prefix is
+/// inside the [`LogError::TruncatedRecord`] error, not discarded.
+pub fn read_log(bytes: &[u8]) -> Result<Vec<TraceRecord>, LogError> {
+    let mut d = Dec::new(bytes);
+    let magic = d.u32().map_err(|_| LogError::TruncatedHeader)?;
+    let version = d.u32().map_err(|_| LogError::TruncatedHeader)?;
+    if magic != LOG_MAGIC {
+        return Err(LogError::BadMagic(magic));
+    }
+    if version != LOG_VERSION {
+        return Err(LogError::BadVersion(version));
+    }
+    let n = d.u32().map_err(|_| LogError::TruncatedHeader)? as usize;
+    // A hostile count cannot force a huge allocation: no valid stream
+    // holds more records than its length divided by the minimum encoding.
+    let mut out = Vec::with_capacity(n.min(bytes.len() / MIN_RECORD_BYTES + 1));
+    for index in 0..n {
+        let torn = |_: Errno| LogError::TruncatedRecord {
+            index,
+            recovered: Vec::new(), // placeholder; filled below
+        };
+        let parsed = (|d: &mut Dec<'_>| -> Result<TraceRecord, LogError> {
+            let sec = d.i64().map_err(torn)?;
+            let usec = d.i64().map_err(torn)?;
+            let op_byte = d.u8().map_err(torn)?;
+            let op = TraceOp::from_u8(op_byte).ok_or(LogError::BadOp { index, op: op_byte })?;
+            let plen = d.u32().map_err(torn)? as usize;
+            let path = d.bytes(plen).map_err(torn)?.to_vec();
+            let p2len = d.u32().map_err(torn)? as usize;
+            let path2 = d.bytes(p2len).map_err(torn)?.to_vec();
+            let fd = d.i64().map_err(torn)?;
+            let errno = d.u32().map_err(torn)?;
+            let amount = d.u64().map_err(torn)?;
+            Ok(TraceRecord {
+                sec,
+                usec,
+                op,
+                path,
+                path2,
+                fd,
+                errno,
+                amount,
+            })
+        })(&mut d);
+        match parsed {
+            Ok(rec) => out.push(rec),
+            Err(LogError::TruncatedRecord { index, .. }) => {
+                return Err(LogError::TruncatedRecord {
+                    index,
+                    recovered: out,
+                })
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if d.remaining() != 0 {
+        return Err(LogError::TrailingBytes {
+            extra: d.remaining(),
         });
     }
     Ok(out)
@@ -531,7 +623,99 @@ mod tests {
         assert!(read_log(&bytes[..8]).is_err());
         let mut corrupt = bytes.clone();
         corrupt[0] ^= 1;
-        assert!(read_log(&corrupt).is_err());
+        assert!(matches!(read_log(&corrupt), Err(LogError::BadMagic(_))));
+    }
+
+    /// One record of every op, with asymmetric fields so truncation can
+    /// never tear at a boundary that happens to re-parse cleanly.
+    fn one_of_each_op() -> Vec<TraceRecord> {
+        (1u8..=24)
+            .map(|v| {
+                let op = TraceOp::from_u8(v).expect("contiguous vocabulary");
+                TraceRecord {
+                    sec: i64::from(v),
+                    usec: i64::from(v) * 7,
+                    op,
+                    path: vec![b'p'; v as usize],
+                    path2: if v % 3 == 0 {
+                        vec![b'q'; v as usize * 2]
+                    } else {
+                        vec![]
+                    },
+                    fd: i64::from(v) - 2,
+                    errno: u32::from(v % 5),
+                    amount: u64::from(v) * 1000,
+                }
+            })
+            .collect()
+    }
+
+    /// Property: for a log holding every record type, *every* proper
+    /// prefix yields a typed truncation error — never a panic, never a
+    /// silently shortened Ok — and the torn-record error hands back the
+    /// intact prefix. Appending garbage is also detected.
+    #[test]
+    fn every_truncation_of_every_record_type_is_a_typed_error() {
+        let records = one_of_each_op();
+        let bytes = write_log(&records);
+
+        // Record the byte offset where each record ends.
+        let mut boundaries = vec![12usize]; // header
+        for r in &records {
+            let len = 8 + 8 + 1 + 4 + r.path.len() + 4 + r.path2.len() + 8 + 4 + 8;
+            boundaries.push(boundaries.last().unwrap() + len);
+        }
+        assert_eq!(*boundaries.last().unwrap(), bytes.len());
+
+        for cut in 0..bytes.len() {
+            let err = read_log(&bytes[..cut]).expect_err("every proper prefix is torn");
+            if cut < 12 {
+                assert_eq!(err, LogError::TruncatedHeader, "cut at {cut}");
+                continue;
+            }
+            // Which record does the cut land inside?
+            let index = boundaries[1..]
+                .iter()
+                .position(|&end| cut < end)
+                .expect("cut before the final boundary");
+            match err {
+                LogError::TruncatedRecord {
+                    index: got,
+                    recovered,
+                } => {
+                    assert_eq!(got, index, "cut at {cut}");
+                    assert_eq!(
+                        recovered,
+                        records[..index],
+                        "intact prefix must be recovered, cut at {cut}"
+                    );
+                }
+                other => panic!("cut at {cut}: unexpected error {other:?}"),
+            }
+        }
+
+        // Full stream parses; one extra byte is trailing garbage.
+        assert_eq!(read_log(&bytes).unwrap(), records);
+        let mut glued = bytes.clone();
+        glued.push(0xAB);
+        assert_eq!(read_log(&glued), Err(LogError::TrailingBytes { extra: 1 }));
+
+        // A bad op byte inside a record is corruption, not truncation.
+        let mut bad = bytes.clone();
+        bad[12 + 8 + 8] = 99; // first record's op byte
+        assert_eq!(read_log(&bad), Err(LogError::BadOp { index: 0, op: 99 }));
+
+        // A hostile count cannot force a huge allocation: header says 4
+        // billion records, stream holds none.
+        let mut hostile = vec![0u8; 12];
+        Enc::new(&mut hostile)
+            .u32(LOG_MAGIC)
+            .u32(LOG_VERSION)
+            .u32(u32::MAX);
+        assert!(matches!(
+            read_log(&hostile),
+            Err(LogError::TruncatedRecord { index: 0, .. })
+        ));
     }
 
     #[test]

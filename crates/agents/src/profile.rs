@@ -114,6 +114,11 @@ impl Agent for ProfileAgent {
     }
 
     fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
+        // Restart accounting rule: one *logical* call = one `calls` tick
+        // (first delivery only) and at most one `errors`/byte tick (the
+        // completing delivery only — intermediate deliveries return
+        // `Block`, which falls through the match below). A call restarted
+        // N times therefore still satisfies `errors[nr] <= calls[nr]`.
         if ctx.restarts == 0 {
             *self.data.borrow_mut().calls.entry(nr).or_default() += 1;
         }
@@ -197,5 +202,146 @@ mod tests {
         assert_eq!(d.calls[&Sysno::Exit.number()], 2);
         assert!(handle.report().contains("write"));
         assert!(handle.total_calls() >= 5);
+    }
+
+    /// Records the largest `ctx.restarts` seen per trap number, to prove
+    /// the scenario below really drives restarted deliveries through the
+    /// agent chain (the regression being guarded: the scheduler used to
+    /// clear `pending_trap` before routing, so chains always saw 0).
+    #[derive(Debug, Clone, Default)]
+    struct RestartProbe {
+        max: Rc<RefCell<BTreeMap<u32, u32>>>,
+    }
+
+    impl Agent for RestartProbe {
+        fn name(&self) -> &'static str {
+            "restart-probe"
+        }
+        fn interests(&self) -> InterestSet {
+            InterestSet::ALL
+        }
+        fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
+            let mut m = self.max.borrow_mut();
+            let e = m.entry(nr).or_default();
+            *e = (*e).max(ctx.restarts);
+            drop(m);
+            ctx.down(nr, args)
+        }
+        fn clone_box(&self) -> Box<dyn Agent> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn restart_heavy_program_counts_each_logical_call_once() {
+        // Parent ignores SIGALRM, installs a real SIGCHLD handler, arms a
+        // periodic 500 µs timer, forks a spinning child, and sigsuspends.
+        // Every SIGALRM wakes the parent (pending + unmasked), is
+        // discarded (SIG_IGN), and the suspended trap is re-dispatched
+        // through the agent chain with restarts+1 — until the child exits
+        // and the SIGCHLD handler terminates the suspend with EINTR.
+        let src = r#"
+            .data
+            igt: .space 16
+            act: .space 16
+            it:  .space 32
+            .text
+            main:
+                jmp setup
+            pad: nop
+            handler:
+                mov r0, r1
+                sys sigreturn
+            setup:
+                ; SIGALRM -> SIG_IGN (handler value 1)
+                li r3, 1
+                la r1, igt
+                st r3, (r1)
+                li r0, 14           ; SIGALRM
+                la r1, igt
+                li r2, 0
+                sys sigaction
+                ; SIGCHLD -> handler (code address 2)
+                li r3, 2
+                la r1, act
+                st r3, (r1)
+                li r0, 20           ; SIGCHLD
+                la r1, act
+                li r2, 0
+                sys sigaction
+                ; periodic itimer: interval.usec = value.usec = 500
+                la r1, it
+                li r3, 500
+                st r3, 8(r1)        ; interval.usec
+                st r3, 24(r1)       ; value.usec
+                li r0, 0
+                la r1, it
+                li r2, 0
+                sys setitimer
+                sys fork
+                jz r0, child
+                ; parent: wait with an empty mask; each ignored SIGALRM
+                ; restarts this trap through the chain
+                li r0, 0
+                sys sigsuspend
+                ; SIGCHLD handler ran -> EINTR; disarm the timer and reap
+                la r1, it
+                li r3, 0
+                st r3, 8(r1)
+                st r3, 24(r1)
+                li r0, 0
+                la r1, it
+                li r2, 0
+                sys setitimer
+                li r0, 0
+                li r1, 0
+                li r2, 0
+                li r3, 0
+                sys wait4
+                li r0, 0
+                sys exit
+            child:
+                ; spin long enough to span several timer periods
+                li r13, 50000
+            spin:
+                addi r13, r13, -1
+                jnz r13, spin
+                li r0, 0
+                sys exit
+        "#;
+        let img = ia_vm::assemble(src).unwrap();
+        let mut k = Kernel::new(I486_25);
+        let pid = k.spawn_image(&img, &[b"r"], b"r");
+        let mut router = InterposedRouter::new();
+        let (agent, handle) = ProfileAgent::new();
+        let probe = RestartProbe::default();
+        let max_restarts = probe.max.clone();
+        ia_interpose::wrap_process(&mut k, &mut router, pid, Box::new(probe), &[]);
+        ia_interpose::wrap_process(&mut k, &mut router, pid, Box::new(agent), &[]);
+        assert_eq!(k.run_with(&mut router), RunOutcome::AllExited);
+
+        let suspend = Sysno::Sigsuspend.number();
+        let seen = max_restarts.borrow().get(&suspend).copied().unwrap_or(0);
+        assert!(
+            seen >= 2,
+            "scenario must drive >=2 restarted sigsuspend deliveries, saw {seen}"
+        );
+
+        let d = handle.snapshot();
+        assert_eq!(
+            d.calls[&suspend], 1,
+            "a restarted call is one logical call (the old plumbing \
+             counted 1 + restarts)"
+        );
+        assert_eq!(d.calls[&Sysno::Fork.number()], 1);
+        assert_eq!(d.calls[&Sysno::Wait4.number()], 1);
+        assert_eq!(d.calls[&Sysno::Setitimer.number()], 2);
+        for (nr, &errs) in &d.errors {
+            let calls = d.calls.get(nr).copied().unwrap_or(0);
+            assert!(
+                errs <= calls,
+                "errors[{nr}] = {errs} exceeds calls[{nr}] = {calls}"
+            );
+        }
     }
 }

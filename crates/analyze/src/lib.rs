@@ -333,9 +333,11 @@ pub fn analyze_code(code: Vec<Option<Insn>>, entry: usize, data_len: usize) -> I
     // Any reachable `ret` counts as corruptible: the return slot sits in
     // writable memory below data the kernel seeded (a depth-0 `ret` pops an
     // argv pointer), and no store in this machine is provably stack-safe.
-    let reachable_ret = cfg.blocks.iter().enumerate().any(|(b, blk)| {
-        cfg.reachable[b] && code[blk.end - 1] == Some(Insn::Ret)
-    });
+    let reachable_ret = cfg
+        .blocks
+        .iter()
+        .enumerate()
+        .any(|(b, blk)| cfg.reachable[b] && code[blk.end - 1] == Some(Insn::Ret));
 
     // What delivery scribbles on top of an interrupted context: r0 becomes
     // the signal number, r1 an auxiliary value, and sp moves down past the
@@ -363,12 +365,7 @@ pub fn analyze_code(code: Vec<Option<Insn>>, entry: usize, data_len: usize) -> I
     let sites = if widened.is_some() {
         phase1.sites
     } else if may_invoke(&phase1.sites, sigaction) || reachable_ret {
-        let mut pervasive = adjust(
-            phase1
-                .point_join
-                .clone()
-                .unwrap_or_else(RegState::at_entry),
-        );
+        let mut pervasive = adjust(phase1.point_join.clone().unwrap_or_else(RegState::at_entry));
         // Iterate: the pervasive run reaches new program points (handler
         // bodies, ret targets) whose states feed back into the bound. The
         // chain can climb slowly, so after a few rounds give up the

@@ -27,7 +27,7 @@ fn main() {
         let mut router = InterposedRouter::new();
         router.push_agent(pid, TimeSymbolic::boxed());
         case(GROUP, "intercepted_one_agent", SAMPLES, || {
-            router.route(&mut k, pid, nr, [0; 6])
+            router.route(&mut k, pid, nr, [0; 6], 0)
         });
     }
 
@@ -39,7 +39,7 @@ fn main() {
             router.push_agent(pid, TimeSymbolic::boxed());
         }
         case(GROUP, "intercepted_three_agents", SAMPLES, || {
-            router.route(&mut k, pid, nr, [0; 6])
+            router.route(&mut k, pid, nr, [0; 6], 0)
         });
     }
 
@@ -49,7 +49,7 @@ fn main() {
         let mut router = InterposedRouter::new();
         router.push_agent(pid, ia_agents::Timex::boxed(1)); // narrow interests
         case(GROUP, "passthrough_uninterested_agent", SAMPLES, || {
-            router.route(&mut k, pid, nr, [0; 6])
+            router.route(&mut k, pid, nr, [0; 6], 0)
         });
     }
 }

@@ -1,0 +1,126 @@
+//! `ia-stats` — the ia-obs observability report tool.
+//!
+//! ```text
+//! cargo run -p ia-bench --release --bin ia-stats              # text report
+//! cargo run -p ia-bench --release --bin ia-stats -- --json    # BENCH_2 JSON
+//! cargo run -p ia-bench --release --bin ia-stats -- --selftest
+//! ```
+//!
+//! The default and `--json` modes run the BENCH_2 measurement (the
+//! paper-§6-shaped per-agent overhead table plus per-layer `getpid()`
+//! attribution) and print it; `--json` prints the same document that
+//! `reproduce --json` writes to `BENCH_2.json`.
+//!
+//! `--selftest` exercises the recorder and metrics invariants end to end
+//! without any workload dependence — tier-1 runs it on every push.
+
+use ia_bench::overhead;
+use ia_obs::report::{json_escape, render_events_text, render_metrics_json};
+use ia_obs::{Event, Obs, Outcome};
+use ia_workloads::runner::{run_workload_observed, AgentKind, SchedKind, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--selftest") {
+        selftest();
+        println!("ia-stats selftest: ok");
+        return;
+    }
+    let b = overhead::run_all();
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", overhead::render_json(&b));
+    } else {
+        print!("{}", overhead::render_text(&b));
+    }
+}
+
+/// Checks the recorder, metrics, and report invariants; panics (non-zero
+/// exit) on any violation.
+fn selftest() {
+    ring_buffer_invariants();
+    layer_attribution_is_exclusive();
+    json_escaper_round_trips();
+    recorder_is_inert_on_a_real_workload();
+}
+
+/// The ring keeps exactly the last `capacity` events, counts what it
+/// dropped, and stamps strictly increasing sequence numbers.
+fn ring_buffer_invariants() {
+    let mut obs = Obs::new();
+    assert!(!obs.is_enabled(), "fresh recorder must start disabled");
+    obs.trap_dispatch(1, 20, 0, 0); // disabled: must be a no-op
+    assert_eq!(obs.recorded(), 0, "disabled recorder recorded an event");
+
+    obs.enable(4);
+    for i in 0..7u32 {
+        obs.trap_dispatch(1, i, 0, u64::from(i) * 10);
+    }
+    let events = obs.events();
+    assert_eq!(events.len(), 4, "ring must hold exactly its capacity");
+    assert_eq!(obs.recorded(), 7);
+    assert_eq!(obs.dropped(), 3);
+    for w in events.windows(2) {
+        assert!(w[0].seq < w[1].seq, "sequence numbers must increase");
+        assert!(w[0].vclock_ns <= w[1].vclock_ns, "vclock must not regress");
+    }
+    match events[0].event {
+        Event::TrapDispatch { nr, .. } => assert_eq!(nr, 3, "oldest surviving event"),
+        ref other => panic!("unexpected event {other:?}"),
+    }
+}
+
+/// Nested layer frames attribute exclusive time: the parent's per-call
+/// cost must not include the child's.
+fn layer_attribution_is_exclusive() {
+    let mut obs = Obs::new();
+    obs.enable(16);
+    // outer runs 100ns total, inner 30ns of it.
+    obs.layer_enter("outer", 1, 3, 1000);
+    obs.layer_enter("inner", 1, 3, 1040);
+    obs.layer_exit("inner", 1, 3, Outcome::Ok, 1070);
+    obs.layer_exit("outer", 1, 3, Outcome::Ok, 1100);
+    let snap = obs.metrics();
+    let stat = |layer: &str| {
+        snap.rows
+            .iter()
+            .find(|(l, nr, _)| l == layer && *nr == 3)
+            .map(|(_, _, s)| s.clone())
+            .unwrap_or_else(|| panic!("missing {layer} row"))
+    };
+    assert_eq!(stat("inner").virt_ns, 30);
+    assert_eq!(stat("outer").virt_ns, 70, "outer must exclude inner's 30ns");
+    assert_eq!(snap.layer_calls("outer"), 1);
+    let json = render_metrics_json(&snap);
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert!(render_events_text(&obs).contains("enter"));
+}
+
+/// The shared JSON escaper covers quotes, backslashes, and control bytes.
+fn json_escaper_round_trips() {
+    assert_eq!(json_escape(r#"a"b"#), r#"a\"b"#);
+    assert_eq!(json_escape(r"a\b"), r"a\\b");
+    assert_eq!(json_escape("a\nb\tc\rd"), r"a\nb\tc\rd");
+    assert_eq!(json_escape("\u{1}"), "\\u0001");
+    assert_eq!(json_escape("plain"), "plain");
+}
+
+/// Enabling the recorder must not perturb the simulation: same virtual
+/// clock and observable state as a bare run.
+fn recorder_is_inert_on_a_real_workload() {
+    let (bare, bare_obs) = run_workload_observed(
+        Workload::Scribe,
+        ia_kernel::VAX_6250,
+        AgentKind::Trace,
+        SchedKind::Sliced,
+        None,
+    );
+    let (rec, rec_obs) = run_workload_observed(
+        Workload::Scribe,
+        ia_kernel::VAX_6250,
+        AgentKind::Trace,
+        SchedKind::Sliced,
+        Some(256),
+    );
+    assert_eq!(bare.virtual_ns, rec.virtual_ns, "recorder moved the clock");
+    assert_eq!(bare_obs, rec_obs, "recorder perturbed observable state");
+}

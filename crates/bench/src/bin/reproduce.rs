@@ -8,7 +8,7 @@
 //! ```
 
 use ia_bench::{
-    ablation_pay_per_use, dfs_trace_comparison, hostbench, render_ablation, render_dfs,
+    ablation_pay_per_use, dfs_trace_comparison, hostbench, overhead, render_ablation, render_dfs,
     render_table_3_1, render_table_3_4, render_table_3_5, render_timing, table_3_1, table_3_2,
     table_3_3, table_3_4, table_3_5,
 };
@@ -23,6 +23,12 @@ fn main() {
         print!("{json}");
         if let Err(e) = std::fs::write("BENCH_1.json", &json) {
             eprintln!("warning: could not write BENCH_1.json: {e}");
+        }
+        // Per-agent syscall overhead table (paper §6 shape), from the
+        // ia-obs metrics registry.
+        let json2 = overhead::render_json(&overhead::run_all());
+        if let Err(e) = std::fs::write("BENCH_2.json", &json2) {
+            eprintln!("warning: could not write BENCH_2.json: {e}");
         }
         return;
     }

@@ -21,6 +21,7 @@ use std::time::Instant;
 use ia_agents::TimeSymbolic;
 use ia_interpose::InterposedRouter;
 use ia_kernel::{Kernel, RunOutcome, I486_25};
+use ia_obs::report::json_escape;
 use ia_vm::{Image, ProgramBuilder};
 use ia_workloads::micro::{self, MicroCall};
 
@@ -124,10 +125,6 @@ pub fn run_all() -> Vec<Scenario> {
     out
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 /// Renders the scenarios (plus sliced-over-legacy speedups) as the
 /// `BENCH_1.json` document. Hand-rolled writer: the workspace is built
 /// offline with no serialization dependency.
@@ -220,5 +217,39 @@ mod tests {
         let opens = j.matches('{').count();
         assert_eq!(opens, j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        // Regression: the old local escaper missed control characters
+        // entirely (and the shared one must keep handling quotes and
+        // backslashes in scenario names).
+        let scenarios = vec![
+            Scenario {
+                name: "odd \"name\"\\with\ncontrols".into(),
+                sched: "legacy",
+                insns: 1,
+                traps: 0,
+                host_secs: 0.1,
+                minsns_per_sec: 0.0,
+                traps_per_sec: 0.0,
+            },
+            Scenario {
+                name: "odd \"name\"\\with\ncontrols".into(),
+                sched: "sliced",
+                insns: 1,
+                traps: 0,
+                host_secs: 0.1,
+                minsns_per_sec: 0.0,
+                traps_per_sec: 0.0,
+            },
+        ];
+        let j = render_json(&scenarios);
+        assert!(j.contains(r#"odd \"name\"\\with\ncontrols"#));
+        assert!(!j.contains('\u{0}'));
+        // No raw newline inside any string literal: every line must end
+        // outside a quote run (cheap proxy: the escaped form appears and
+        // the raw name does not).
+        assert!(!j.contains("odd \"name\"\\with\ncontrols"));
     }
 }

@@ -19,6 +19,7 @@
 
 pub mod harness;
 pub mod hostbench;
+pub mod overhead;
 
 use std::fmt::Write as _;
 
@@ -285,7 +286,7 @@ fn host_interposition_costs() -> (f64, f64) {
     let start = std::time::Instant::now();
     for _ in 0..N {
         use ia_kernel::SyscallRouter;
-        let _ = router.route(&mut k, pid, ia_abi::Sysno::Getpid.number(), [0; 6]);
+        let _ = router.route(&mut k, pid, ia_abi::Sysno::Getpid.number(), [0; 6], 0);
     }
     let routed_ns = start.elapsed().as_nanos() as f64 / f64::from(N);
 

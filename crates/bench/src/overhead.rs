@@ -1,0 +1,368 @@
+//! BENCH_2: the paper-§6-shaped interposition overhead table.
+//!
+//! The paper's evaluation reports the *per-call cost of interposition* —
+//! what one trap costs beneath each kind of agent, beyond the bare kernel
+//! cost. This module reproduces that shape on the simulator: for each
+//! agent configuration (no agent, a null pass-through agent, the call
+//! tracer, the encrypting filesystem, and the sandbox) it measures the
+//! modelled per-call microseconds of `getpid()`, `read()` of 1 KB, and
+//! `write()` of 1 KB, and reports the overhead over the bare row.
+//!
+//! The measurement is virtual-time differencing, exactly as Table 3-5:
+//! run the same micro loop at two lengths, subtract the exact instruction
+//! time, and divide by the iteration delta — program setup, agent startup
+//! and loop overhead all cancel.
+//!
+//! A second section attributes the `getpid()` cost per *layer* using the
+//! ia-obs metrics registry from a recorder-enabled run: exclusive virtual
+//! ns per call for the kernel, the interpose redirection machinery, and
+//! each agent layer.
+
+use ia_agents::{CryptAgent, SandboxAgent, SandboxPolicy, TimeSymbolic, TraceAgent};
+use ia_interpose::{Agent, InterposedRouter};
+use ia_kernel::{Kernel, I486_25};
+use ia_obs::report::json_escape;
+use ia_workloads::micro::{self, MicroCall};
+use std::fmt::Write as _;
+
+/// The agent configurations of the table, in row order.
+pub const CONFIGS: [&str; 5] = ["bare", "pass_through", "trace", "crypt", "sandbox"];
+
+/// The calls of the table, in column order.
+pub const CALLS: [MicroCall; 3] = [MicroCall::Getpid, MicroCall::Read1k, MicroCall::Write1k];
+
+/// Short column label for a table call.
+#[must_use]
+pub fn call_label(call: MicroCall) -> &'static str {
+    match call {
+        MicroCall::Getpid => "getpid",
+        MicroCall::Read1k => "read_1k",
+        MicroCall::Write1k => "write_1k",
+        _ => "?",
+    }
+}
+
+/// One measured cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Column label.
+    pub call: &'static str,
+    /// Modelled µs per call under this configuration.
+    pub us_per_call: f64,
+    /// µs over the bare row's same column (0 for the bare row itself).
+    pub overhead_us: f64,
+}
+
+/// One configuration row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Configuration label.
+    pub config: &'static str,
+    /// One cell per entry of [`CALLS`].
+    pub cells: Vec<Cell>,
+}
+
+/// Per-layer attribution of the `getpid()` cost under one configuration,
+/// from the ia-obs metrics registry.
+#[derive(Debug, Clone)]
+pub struct LayerRow {
+    /// Configuration label.
+    pub config: &'static str,
+    /// Layer name ("kernel", "interpose", or the agent's name).
+    pub layer: String,
+    /// Layer entries observed.
+    pub count: u64,
+    /// Exclusive virtual ns per entry.
+    pub virt_ns_per_call: u64,
+    /// Exclusive host ns per entry (wall time on the measuring machine;
+    /// noisy, reported for scale only).
+    pub host_ns_per_call: u64,
+}
+
+/// The whole BENCH_2 document.
+#[derive(Debug, Clone)]
+pub struct Bench2 {
+    /// The overhead table.
+    pub rows: Vec<Row>,
+    /// Per-layer `getpid()` attribution.
+    pub layers: Vec<LayerRow>,
+}
+
+/// The agent chain for a configuration. Fresh instances per run: agent
+/// state (trace logs, crypt descriptors) must not leak between runs.
+fn agents_for(config: &str) -> Vec<Box<dyn Agent>> {
+    match config {
+        "bare" => vec![],
+        "pass_through" => vec![TimeSymbolic::boxed()],
+        "trace" => vec![Box::new(TraceAgent::with_log(b"/dev/null").0)],
+        "crypt" => vec![CryptAgent::boxed(b"/tmp", b"k3y")],
+        "sandbox" => vec![SandboxAgent::new(SandboxPolicy::default()).0],
+        other => panic!("unknown config {other}"),
+    }
+}
+
+/// Runs the micro loop for `call` under `config`, returning
+/// `(virtual ns, total insns)`; `recorder` optionally enables ia-obs.
+fn run_loop(call: MicroCall, config: &str, n: u64, recorder: Option<usize>) -> (u64, u64, Kernel) {
+    let mut k = Kernel::new(I486_25);
+    if let Some(cap) = recorder {
+        k.obs.enable(cap);
+    }
+    micro::setup(&mut k);
+    let pid = k.spawn_image(&micro::loop_image(call, n), &[b"m"], b"m");
+    let mut router = InterposedRouter::new();
+    for agent in agents_for(config) {
+        ia_interpose::wrap_process(&mut k, &mut router, pid, agent, &[]);
+    }
+    let out = k.run_with(&mut router);
+    assert_eq!(
+        out,
+        ia_kernel::RunOutcome::AllExited,
+        "{config}/{}",
+        call_label(call)
+    );
+    (k.clock.elapsed_ns(), k.total_insns, k)
+}
+
+/// Modelled µs per call by two-length differencing (see module docs).
+fn measure(call: MicroCall, config: &str) -> f64 {
+    let n1 = 64;
+    let n2 = 192;
+    let (e1, i1, _) = run_loop(call, config, n1, None);
+    let (e2, i2, _) = run_loop(call, config, n2, None);
+    let d = e2
+        .saturating_sub(e1)
+        .saturating_sub((i2 - i1) * I486_25.insn_ns);
+    d as f64 / f64::from((n2 - n1) as u32) / 1000.0
+}
+
+/// Measures the full table plus the per-layer attribution section.
+#[must_use]
+pub fn run_all() -> Bench2 {
+    let mut rows: Vec<Row> = Vec::new();
+    for config in CONFIGS {
+        let cells = CALLS
+            .iter()
+            .map(|&call| {
+                let us = measure(call, config);
+                let base = rows.first().map_or(us, |r: &Row| {
+                    r.cells
+                        .iter()
+                        .find(|c| c.call == call_label(call))
+                        .map_or(us, |c| c.us_per_call)
+                });
+                Cell {
+                    call: call_label(call),
+                    us_per_call: us,
+                    overhead_us: us - base,
+                }
+            })
+            .collect();
+        rows.push(Row { config, cells });
+    }
+
+    // Per-layer attribution: one recorder-enabled getpid run per config.
+    let mut layers = Vec::new();
+    let nr = ia_abi::Sysno::Getpid.number();
+    for config in CONFIGS {
+        let (_, _, k) = run_loop(MicroCall::Getpid, config, 256, Some(1024));
+        for (layer, row_nr, stat) in k.obs.metrics().rows {
+            if row_nr != nr || stat.count == 0 {
+                continue;
+            }
+            layers.push(LayerRow {
+                config,
+                layer,
+                count: stat.count,
+                virt_ns_per_call: stat.virt_ns / stat.count,
+                host_ns_per_call: stat.host_ns / stat.count,
+            });
+        }
+    }
+    Bench2 { rows, layers }
+}
+
+/// Renders the §6-shaped table as aligned text.
+#[must_use]
+pub fn render_text(b: &Bench2) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "BENCH_2: per-call interposition overhead, i486 profile (modelled µs/call)"
+    );
+    let _ = write!(s, "{:<14}", "config");
+    for call in CALLS {
+        let _ = write!(s, " {:>10} {:>10}", call_label(call), "(+over)");
+    }
+    s.push('\n');
+    for row in &b.rows {
+        let _ = write!(s, "{:<14}", row.config);
+        for cell in &row.cells {
+            let _ = write!(s, " {:>10.1} {:>+10.1}", cell.us_per_call, cell.overhead_us);
+        }
+        s.push('\n');
+    }
+    let _ = writeln!(
+        s,
+        "\nper-layer getpid() attribution (exclusive virtual ns/call):"
+    );
+    let _ = writeln!(
+        s,
+        "{:<14} {:<14} {:>8} {:>14} {:>12}",
+        "config", "layer", "count", "virt-ns/call", "host-ns/call"
+    );
+    for l in &b.layers {
+        let _ = writeln!(
+            s,
+            "{:<14} {:<14} {:>8} {:>14} {:>12}",
+            l.config, l.layer, l.count, l.virt_ns_per_call, l.host_ns_per_call
+        );
+    }
+    s
+}
+
+/// Renders the `BENCH_2.json` document.
+#[must_use]
+pub fn render_json(b: &Bench2) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"BENCH_2\",\n");
+    s.push_str(
+        "  \"description\": \"per-agent per-call interposition overhead \
+         (paper section 6 shape), modelled microseconds per call\",\n",
+    );
+    s.push_str("  \"machine_profile\": \"i486_25\",\n");
+    s.push_str("  \"calls\": [");
+    for (i, call) in CALLS.iter().enumerate() {
+        let _ = write!(
+            s,
+            "\"{}\"{}",
+            json_escape(call_label(*call)),
+            if i + 1 < CALLS.len() { ", " } else { "" }
+        );
+    }
+    s.push_str("],\n  \"rows\": [\n");
+    for (i, row) in b.rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"config\": \"{}\", \"cells\": [",
+            json_escape(row.config)
+        );
+        for (j, c) in row.cells.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{{\"call\": \"{}\", \"us_per_call\": {:.3}, \"overhead_us\": {:.3}}}{}",
+                json_escape(c.call),
+                c.us_per_call,
+                c.overhead_us,
+                if j + 1 < row.cells.len() { ", " } else { "" }
+            );
+        }
+        let _ = writeln!(s, "]}}{}", if i + 1 < b.rows.len() { "," } else { "" });
+    }
+    s.push_str("  ],\n  \"layers_getpid\": [\n");
+    for (i, l) in b.layers.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"config\": \"{}\", \"layer\": \"{}\", \"count\": {}, \
+             \"virt_ns_per_call\": {}, \"host_ns_per_call\": {}}}{}",
+            json_escape(l.config),
+            json_escape(&l.layer),
+            l.count,
+            l.virt_ns_per_call,
+            l.host_ns_per_call,
+            if i + 1 < b.layers.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench2_has_expected_shape_and_sane_ordering() {
+        let b = run_all();
+        assert_eq!(b.rows.len(), CONFIGS.len());
+        for row in &b.rows {
+            assert_eq!(row.cells.len(), CALLS.len());
+        }
+        let cell = |config: &str, call: &str| {
+            b.rows
+                .iter()
+                .find(|r| r.config == config)
+                .unwrap()
+                .cells
+                .iter()
+                .find(|c| c.call == call)
+                .unwrap()
+                .clone()
+        };
+        // The bare row has zero overhead by construction.
+        for call in CALLS {
+            assert_eq!(cell("bare", call_label(call)).overhead_us, 0.0);
+        }
+        // Every interposed config costs at least the bare configuration
+        // for getpid (the full-interest chains intercept everything).
+        for config in &CONFIGS[1..] {
+            let c = cell(config, "getpid");
+            assert!(
+                c.overhead_us >= 0.0,
+                "{config} getpid overhead {:.3} < 0",
+                c.overhead_us
+            );
+        }
+        // The ALL-interest tracer costs at least the ALL-interest null
+        // agent for getpid; crypt and sandbox register interest only in
+        // the calls they mediate, so pay-per-use makes their getpid row
+        // match the bare row (the paper's §4 bypass argument) — their
+        // overhead shows up in the read/write columns instead.
+        let pass = cell("pass_through", "getpid").us_per_call;
+        assert!(
+            cell("trace", "getpid").us_per_call >= pass - 1e-9,
+            "tracer cheaper than the null agent"
+        );
+        let bare_getpid = cell("bare", "getpid").us_per_call;
+        for config in ["crypt", "sandbox"] {
+            let c = cell(config, "getpid");
+            assert!(
+                c.us_per_call - bare_getpid < pass - bare_getpid + 1e-9,
+                "{config} getpid should ride the pay-per-use bypass"
+            );
+        }
+        // Crypt decrypts on the read path through the agent: its read
+        // overhead must be positive. (Its write path is *cheaper* than
+        // the kernel's — the agent reimplements the call and charges its
+        // own cost model — so the write column is deliberately not
+        // constrained here; EXPERIMENTS.md records the artifact.)
+        assert!(
+            cell("crypt", "read_1k").overhead_us > 0.0,
+            "crypt read overhead should be positive"
+        );
+        // Layer attribution: every config has a kernel layer; the
+        // ALL-interest configs also show the interpose machinery on the
+        // getpid path.
+        for config in CONFIGS {
+            assert!(
+                b.layers
+                    .iter()
+                    .any(|l| l.config == config && l.layer == "kernel"),
+                "{config} missing kernel layer"
+            );
+        }
+        for config in ["pass_through", "trace"] {
+            assert!(
+                b.layers
+                    .iter()
+                    .any(|l| l.config == config && l.layer == "interpose"),
+                "{config} missing interpose layer"
+            );
+        }
+        // JSON document sanity.
+        let j = render_json(&b);
+        assert!(j.contains("\"bench\": \"BENCH_2\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(render_text(&b).contains("per-layer"));
+    }
+}

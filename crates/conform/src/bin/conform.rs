@@ -96,6 +96,14 @@ fn report_failure(out: &Path, tag: &str, repro: &Repro, detail: &str) {
         Ok(()) => println!("  repro written to {}", path.display()),
         Err(e) => println!("  (cannot write {}: {e})", path.display()),
     }
+    // Flight recording of the shrunk repro: the last ia-obs events (trap
+    // dispatches, layer enter/exit, slices, injected faults) beside the
+    // repro, for post-mortem without a replay.
+    let flight_path = out.join(format!("{tag}.flight.txt"));
+    match std::fs::write(&flight_path, ia_conform::flight::record_flight(repro)) {
+        Ok(()) => println!("  flight recording written to {}", flight_path.display()),
+        Err(e) => println!("  (cannot write {}: {e})", flight_path.display()),
+    }
 }
 
 fn replay(path: &Path) -> Result<(), String> {

@@ -67,6 +67,10 @@ impl Agent for FaultInjector {
         self.counter += 1;
         if self.counter.is_multiple_of(self.every) {
             self.injected.set(self.injected.get() + 1);
+            let vnow = ctx.kernel.clock.elapsed_ns();
+            ctx.kernel
+                .obs
+                .fault_injected(ctx.pid, nr, self.errno as u32, vnow);
             return SysOutcome::Done(Err(self.errno));
         }
         ctx.down(nr, args)

@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod flight;
 pub mod gen;
 pub mod mutant;
 pub mod oracle;

@@ -101,11 +101,11 @@ fn ret_hijack_cannot_hide_syscalls() {
     let image = Image {
         entry: 0,
         code: vec![
-            Insn::Li(1, 4),          // forged return target = insn 4
-            Insn::Addi(15, 15, -8),  // push a slot
-            Insn::St(15, 1, 0),      // [sp] ← 4
-            Insn::Ret,               // pc ← 4
-            Insn::Li(7, getpid),     // hidden from the CFG
+            Insn::Li(1, 4),         // forged return target = insn 4
+            Insn::Addi(15, 15, -8), // push a slot
+            Insn::St(15, 1, 0),     // [sp] ← 4
+            Insn::Ret,              // pc ← 4
+            Insn::Li(7, getpid),    // hidden from the CFG
             Insn::Sys,
             Insn::Li(7, exit),
             Insn::Sys,

@@ -124,14 +124,25 @@ pub fn dispatch_chain(
 ) -> SysOutcome {
     for i in 0..chain.len() {
         if chain[i].interests().contains(nr) {
+            // The virtual-call cost is charged before the agent's obs
+            // frame opens: it is paid by the *caller* crossing into the
+            // agent, so it attributes to the calling layer.
             let vcost = kernel.profile.virtual_call_ns;
             kernel.clock.advance_ns(vcost);
             if let Ok(p) = kernel.proc_mut(pid) {
                 p.usage.sys_ns += vcost;
             }
+            let layer = chain[i].name();
+            kernel
+                .obs
+                .layer_enter(layer, pid, nr, kernel.clock.elapsed_ns());
             let (cur, below) = chain.split_at_mut(i + 1);
             let mut ctx = SysCtx::new(kernel, pid, below, restarts);
-            return cur[i].syscall(&mut ctx, nr, args);
+            let out = cur[i].syscall(&mut ctx, nr, args);
+            kernel
+                .obs
+                .layer_exit(layer, pid, nr, out.obs_outcome(), kernel.clock.elapsed_ns());
+            return out;
         }
     }
     kernel.syscall(pid, nr, args)

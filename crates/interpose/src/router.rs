@@ -148,12 +148,14 @@ impl InterposedRouter {
 }
 
 impl SyscallRouter for InterposedRouter {
-    fn route(&mut self, k: &mut Kernel, pid: Pid, nr: u32, args: RawArgs) -> SysOutcome {
-        let restarts = k
-            .proc(pid)
-            .ok()
-            .and_then(|p| p.pending_trap)
-            .map_or(0, |t| t.restarts);
+    fn route(
+        &mut self,
+        k: &mut Kernel,
+        pid: Pid,
+        nr: u32,
+        args: RawArgs,
+        restarts: u32,
+    ) -> SysOutcome {
         let next_pid_before = k.pids().last().copied().unwrap_or(0);
 
         let out = match self.chains.get_mut(&pid) {
@@ -168,12 +170,24 @@ impl SyscallRouter for InterposedRouter {
             }
             Some(chain) => {
                 self.stats.intercepted += 1;
+                // The obs enter comes first so the trap-redirection cost
+                // below is attributed to the "interpose" pseudo-layer.
+                k.obs
+                    .layer_enter("interpose", pid, nr, k.clock.elapsed_ns());
                 let cost = k.profile.intercept_ns;
                 k.clock.advance_ns(cost);
                 if let Ok(p) = k.proc_mut(pid) {
                     p.usage.sys_ns += cost;
                 }
-                dispatch_chain(k, pid, &mut chain.agents, nr, args, restarts)
+                let out = dispatch_chain(k, pid, &mut chain.agents, nr, args, restarts);
+                k.obs.layer_exit(
+                    "interpose",
+                    pid,
+                    nr,
+                    out.obs_outcome(),
+                    k.clock.elapsed_ns(),
+                );
+                out
             }
         };
 

@@ -36,7 +36,7 @@ fn world() -> (Kernel, u32) {
 }
 
 fn getpid_via(k: &mut Kernel, r: &mut InterposedRouter, pid: u32) -> u64 {
-    match r.route(k, pid, Sysno::Getpid.number(), [0; 6]) {
+    match r.route(k, pid, Sysno::Getpid.number(), [0; 6], 0) {
         SysOutcome::Done(Ok([v, _])) => v,
         other => panic!("{other:?}"),
     }
@@ -104,10 +104,10 @@ fn stats_distinguish_intercepted_passthrough_unmanaged() {
     let (mut k, pid) = world();
     let mut r = InterposedRouter::new();
     r.push_agent(pid, Box::new(Tag(1)));
-    let _ = r.route(&mut k, pid, Sysno::Getpid.number(), [0; 6]); // intercepted
-    let _ = r.route(&mut k, pid, Sysno::Getuid.number(), [0; 6]); // passthrough
+    let _ = r.route(&mut k, pid, Sysno::Getpid.number(), [0; 6], 0); // intercepted
+    let _ = r.route(&mut k, pid, Sysno::Getuid.number(), [0; 6], 0); // passthrough
     r.remove_chain(pid);
-    let _ = r.route(&mut k, pid, Sysno::Getgid.number(), [0; 6]); // unmanaged
+    let _ = r.route(&mut k, pid, Sysno::Getgid.number(), [0; 6], 0); // unmanaged
     assert_eq!(r.stats.intercepted, 1);
     assert_eq!(r.stats.passthrough, 1);
     assert_eq!(r.stats.unmanaged, 1);

@@ -37,6 +37,18 @@ impl SysOutcome {
         SysOutcome::Done(Err(e))
     }
 
+    /// The reduced [`ia_obs::Outcome`] mirror of this outcome, for the
+    /// metrics layer-exit hooks (ia-obs cannot name `SysOutcome`).
+    #[must_use]
+    pub fn obs_outcome(&self) -> ia_obs::Outcome {
+        match self {
+            SysOutcome::Done(Ok(_)) => ia_obs::Outcome::Ok,
+            SysOutcome::Done(Err(e)) => ia_obs::Outcome::Err(*e as u32),
+            SysOutcome::NoReturn => ia_obs::Outcome::NoReturn,
+            SysOutcome::Block(_) => ia_obs::Outcome::Block,
+        }
+    }
+
     /// Shorthand for a single-value success.
     #[must_use]
     pub fn ok1(v: u64) -> SysOutcome {
@@ -149,6 +161,9 @@ pub struct Kernel {
     pub total_insns: u64,
     /// Optional veto over `spawn`/`execve` images (see [`ExecGate`]).
     pub(crate) exec_gate: Option<ExecGate>,
+    /// Flight recorder + per-layer metrics (ia-obs). Disabled by default;
+    /// every hook is observably inert (never advances the virtual clock).
+    pub obs: ia_obs::Obs,
 }
 
 impl Kernel {
@@ -213,6 +228,7 @@ impl Kernel {
             total_syscalls: 0,
             total_insns: 0,
             exec_gate: None,
+            obs: ia_obs::Obs::new(),
         }
     }
 

@@ -37,8 +37,18 @@ pub const SLICE: u32 = 100;
 
 /// How a trap reaches an implementation of the system interface.
 pub trait SyscallRouter {
-    /// Dispatches one trap. The default route is the kernel itself.
-    fn route(&mut self, k: &mut Kernel, pid: Pid, nr: u32, args: RawArgs) -> SysOutcome;
+    /// Dispatches one trap. `restarts` counts how many times this same
+    /// logical call has already been dispatched and blocked (0 on first
+    /// delivery) — interposition layers use it to avoid double-counting
+    /// restarted calls. The default route is the kernel itself.
+    fn route(
+        &mut self,
+        k: &mut Kernel,
+        pid: Pid,
+        nr: u32,
+        args: RawArgs,
+        restarts: u32,
+    ) -> SysOutcome;
 
     /// Filters a signal about to be delivered to the application — the
     /// *upward* interposition path. Returning `false` consumes the signal
@@ -57,7 +67,14 @@ pub trait SyscallRouter {
 pub struct KernelRouter;
 
 impl SyscallRouter for KernelRouter {
-    fn route(&mut self, k: &mut Kernel, pid: Pid, nr: u32, args: RawArgs) -> SysOutcome {
+    fn route(
+        &mut self,
+        k: &mut Kernel,
+        pid: Pid,
+        nr: u32,
+        args: RawArgs,
+        _restarts: u32,
+    ) -> SysOutcome {
         k.syscall(pid, nr, args)
     }
 }
@@ -178,6 +195,7 @@ pub fn run<R: SyscallRouter>(k: &mut Kernel, router: &mut R, limits: RunLimits) 
         k.perf.slices += 1;
         k.total_insns += res.retired;
         k.clock.advance_ns(res.retired * k.profile.insn_ns);
+        k.obs.slice(pid, res.retired, k.clock.elapsed_ns());
 
         // A trailing halt or fault consumed a scheduler step without
         // retiring an instruction (the legacy loop counted the attempt).
@@ -363,6 +381,7 @@ fn is_runnable(k: &Kernel, pid: Pid) -> bool {
 }
 
 /// Dispatches one trap through the router and applies the outcome.
+#[inline(never)]
 fn dispatch<R: SyscallRouter>(
     k: &mut Kernel,
     router: &mut R,
@@ -372,7 +391,8 @@ fn dispatch<R: SyscallRouter>(
     restarts: u32,
 ) {
     k.perf.trap_dispatches += 1;
-    let outcome = router.route(k, pid, nr, args);
+    k.obs.trap_dispatch(pid, nr, restarts, k.clock.elapsed_ns());
+    let outcome = router.route(k, pid, nr, args, restarts);
     let Some(p) = k.procs.get_mut(&pid) else {
         // The process vanished during the call (e.g. killed itself).
         router.on_process_exit(k, pid);
@@ -426,6 +446,7 @@ fn handle_fault<R: SyscallRouter>(k: &mut Kernel, router: &mut R, pid: Pid, sig:
 }
 
 /// Delivers at most one pending unblocked signal to a runnable process.
+#[inline(never)]
 fn deliver_signals<R: SyscallRouter>(k: &mut Kernel, router: &mut R, pid: Pid) {
     loop {
         let Some(p) = k.procs.get_mut(&pid) else {
@@ -443,6 +464,8 @@ fn deliver_signals<R: SyscallRouter>(k: &mut Kernel, router: &mut R, pid: Pid) {
         if !router.filter_signal(k, pid, sig) {
             continue; // suppressed; look for another pending signal
         }
+        k.obs
+            .signal_delivered(pid, sig.number(), k.clock.elapsed_ns());
         let Some(p) = k.procs.get_mut(&pid) else {
             return;
         };

@@ -24,6 +24,23 @@ impl Kernel {
     /// virtual cost. Unknown trap numbers fail with `EINVAL`, as the
     /// 4.3BSD `nosys` stub did.
     pub fn syscall(&mut self, pid: Pid, nr: u32, args: RawArgs) -> SysOutcome {
+        if !self.obs.is_enabled() {
+            return self.syscall_inner(pid, nr, args);
+        }
+        self.obs
+            .layer_enter("kernel", pid, nr, self.clock.elapsed_ns());
+        let out = self.syscall_inner(pid, nr, args);
+        self.obs.layer_exit(
+            "kernel",
+            pid,
+            nr,
+            out.obs_outcome(),
+            self.clock.elapsed_ns(),
+        );
+        out
+    }
+
+    fn syscall_inner(&mut self, pid: Pid, nr: u32, args: RawArgs) -> SysOutcome {
         let Some(sys) = Sysno::from_u32(nr) else {
             return SysOutcome::err(Errno::EINVAL);
         };

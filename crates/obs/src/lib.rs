@@ -1,0 +1,553 @@
+//! ia-obs: flight recorder and per-layer syscall metrics.
+//!
+//! The observability layer the paper's §6 evaluation implies but never
+//! names: to report per-call interposition overheads we must attribute
+//! work to individual layers of the agent chain, and to debug conformance
+//! failures we want a replayable record of the last few hundred decisions
+//! the kernel made. Both live here, behind a facade ([`Obs`]) that costs a
+//! single branch when disabled.
+//!
+//! Two sub-systems share one enable switch:
+//!
+//! * a **flight recorder** — a fixed-capacity ring buffer of typed
+//!   [`Event`]s, each stamped with a monotone sequence number and the
+//!   virtual clock at record time. When full, the oldest event is
+//!   overwritten; [`Obs::dropped`] counts the casualties.
+//! * a **metrics registry** — per `(layer, syscall)` counters and
+//!   log2-bucket latency histograms of both *virtual* ns (simulated cost)
+//!   and *host* ns (wall time spent inside the layer). Attribution is
+//!   *exclusive*: time spent in layers below is subtracted out via a frame
+//!   stack, so a pass-through agent shows only its own dispatch cost.
+//!
+//! Invariants the rest of the workspace relies on:
+//!
+//! * **Inertness** — no hook advances the virtual clock, touches kernel
+//!   state, or panics. Enabling the recorder must not change a single
+//!   observable bit of a run (`crates/bench/tests/obs_inert.rs` proves it).
+//! * **Zero-dep** — depends only on `ia-abi` (for syscall names in
+//!   reports) and `std`.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+pub mod report;
+
+/// Process id, mirrored from `ia-kernel` (which this crate cannot depend
+/// on without a cycle).
+pub type Pid = u32;
+
+/// Number of log2 latency buckets: bucket `i` counts samples with
+/// `2^(i-1) <= ns < 2^i` (bucket 0 is exactly 0 ns). 48 buckets cover
+/// ~3.2 days in nanoseconds, far beyond any simulated run.
+pub const HIST_BUCKETS: usize = 48;
+
+/// How a trap left a layer, as seen by the metrics hooks. A reduced
+/// mirror of the kernel's `SysOutcome` (which ia-obs cannot name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Completed with a success value.
+    Ok,
+    /// Completed with the given errno number.
+    Err(u32),
+    /// Blocked; the trap will be re-dispatched on wake.
+    Block,
+    /// Control does not return to the caller (exit, exec replacement).
+    NoReturn,
+}
+
+/// Interned layer identifier; resolve with [`Obs::layer_name`].
+pub type LayerId = u16;
+
+/// One recorded fact. Small and `Copy` so the ring buffer stays flat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A trap entered a layer ("kernel", "interpose", or an agent name).
+    LayerEnter { layer: LayerId, pid: Pid, nr: u32 },
+    /// The matching exit, with how the call resolved.
+    LayerExit {
+        layer: LayerId,
+        pid: Pid,
+        nr: u32,
+        outcome: Outcome,
+    },
+    /// The scheduler dispatched a trap; `restarts` counts prior Block
+    /// outcomes of the same logical call.
+    TrapDispatch { pid: Pid, nr: u32, restarts: u32 },
+    /// The scheduler ran a slice of `retired` instructions for `pid`.
+    Slice { pid: Pid, retired: u64 },
+    /// A signal was delivered (past the agent filter chain) to `pid`.
+    SignalDelivered { pid: Pid, sig: u32 },
+    /// A conformance fault injector forced `nr` to fail with `errno`.
+    FaultInjected { pid: Pid, nr: u32, errno: u32 },
+}
+
+/// An [`Event`] plus its recording context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamped {
+    /// Monotone per-recorder sequence number, starting at 0.
+    pub seq: u64,
+    /// Virtual clock (ns) when the event was recorded.
+    pub vclock_ns: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// Log2 histogram of nanosecond samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist(pub [u64; HIST_BUCKETS]);
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist([0; HIST_BUCKETS])
+    }
+}
+
+impl Hist {
+    /// Bucket index for a sample: 0 for 0 ns, else `ceil(log2(ns)) + 1`
+    /// clamped into range.
+    #[must_use]
+    pub fn bucket(ns: u64) -> usize {
+        (64 - ns.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+
+    fn record(&mut self, ns: u64) {
+        self.0[Self::bucket(ns)] += 1;
+    }
+
+    /// Total samples across all buckets.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.iter().sum()
+    }
+}
+
+/// Counters for one `(layer, syscall)` pair.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallStat {
+    /// Layer entries observed (one per trap delivery, so a call that
+    /// blocks and restarts counts once per delivery).
+    pub count: u64,
+    /// Exclusive virtual ns spent in the layer (children subtracted).
+    pub virt_ns: u64,
+    /// Exclusive host ns spent in the layer (children subtracted).
+    pub host_ns: u64,
+    /// Histogram of per-entry exclusive virtual ns.
+    pub virt_hist: Hist,
+    /// Histogram of per-entry exclusive host ns.
+    pub host_hist: Hist,
+}
+
+/// Sorted, borrow-free copy of the registry for report generation.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// One entry per `(layer name, syscall nr)` with any samples,
+    /// sorted by layer then nr.
+    pub rows: Vec<(String, u32, CallStat)>,
+}
+
+impl MetricsSnapshot {
+    /// Sum of `count` over every row of `layer`.
+    #[must_use]
+    pub fn layer_calls(&self, layer: &str) -> u64 {
+        self.rows
+            .iter()
+            .filter(|(l, _, _)| l == layer)
+            .map(|(_, _, s)| s.count)
+            .sum()
+    }
+}
+
+/// In-flight layer entry used for exclusive attribution.
+#[derive(Debug)]
+struct Frame {
+    layer: LayerId,
+    nr: u32,
+    v_start: u64,
+    h_start: Instant,
+    /// Inclusive virtual ns of completed child frames.
+    child_v: u64,
+    /// Inclusive host ns of completed child frames.
+    child_h: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    // Flight recorder.
+    ring: Vec<Stamped>,
+    cap: usize,
+    head: usize,
+    seq: u64,
+    // Metrics.
+    layers: Vec<&'static str>,
+    stats: BTreeMap<(LayerId, u32), CallStat>,
+    frames: Vec<Frame>,
+}
+
+impl Inner {
+    fn new(capacity: usize) -> Inner {
+        Inner {
+            ring: Vec::with_capacity(capacity.min(4096)),
+            cap: capacity.max(1),
+            head: 0,
+            seq: 0,
+            layers: Vec::new(),
+            stats: BTreeMap::new(),
+            frames: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, name: &'static str) -> LayerId {
+        if let Some(i) = self.layers.iter().position(|l| *l == name) {
+            return i as LayerId;
+        }
+        self.layers.push(name);
+        (self.layers.len() - 1) as LayerId
+    }
+
+    fn push(&mut self, vclock_ns: u64, event: Event) {
+        let stamped = Stamped {
+            seq: self.seq,
+            vclock_ns,
+            event,
+        };
+        self.seq += 1;
+        if self.ring.len() < self.cap {
+            self.ring.push(stamped);
+        } else {
+            self.ring[self.head] = stamped;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+}
+
+/// The facade the kernel and dispatch paths hold. Disabled (the default)
+/// it is a `None` check per hook; enabled it records events and metrics.
+#[derive(Debug, Default)]
+pub struct Obs {
+    inner: Option<Box<Inner>>,
+}
+
+impl Obs {
+    /// A disabled recorder (what `Kernel::new` installs).
+    #[must_use]
+    pub fn new() -> Obs {
+        Obs::default()
+    }
+
+    /// Turns recording on with a ring of `capacity` events (min 1).
+    /// Re-enabling resets all recorded state.
+    pub fn enable(&mut self, capacity: usize) {
+        self.inner = Some(Box::new(Inner::new(capacity)));
+    }
+
+    /// Turns recording off and discards all recorded state.
+    pub fn disable(&mut self) {
+        self.inner = None;
+    }
+
+    /// True when hooks record.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    // ---- hooks (each a no-op when disabled) -----------------------------
+    //
+    // Each hook is an `#[inline]` null-check that tail-calls a `#[cold]`
+    // `#[inline(never)]` worker. The split matters: these sit inside the
+    // scheduler and interpreter hot loops, and inlining the full recording
+    // body there measurably slows the *disabled* configuration through
+    // sheer code growth. Only the one-branch guard may be inlined.
+
+    /// A trap enters `layer` for `pid`/`nr` at virtual time `vnow_ns`.
+    #[inline]
+    pub fn layer_enter(&mut self, layer: &'static str, pid: Pid, nr: u32, vnow_ns: u64) {
+        if self.inner.is_some() {
+            self.layer_enter_slow(layer, pid, nr, vnow_ns);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn layer_enter_slow(&mut self, layer: &'static str, pid: Pid, nr: u32, vnow_ns: u64) {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        let id = inner.intern(layer);
+        inner.push(vnow_ns, Event::LayerEnter { layer: id, pid, nr });
+        inner.frames.push(Frame {
+            layer: id,
+            nr,
+            v_start: vnow_ns,
+            h_start: Instant::now(),
+            child_v: 0,
+            child_h: 0,
+        });
+    }
+
+    /// The matching exit. Records the event and charges the layer's
+    /// *exclusive* virtual/host time to the metrics registry.
+    #[inline]
+    pub fn layer_exit(
+        &mut self,
+        layer: &'static str,
+        pid: Pid,
+        nr: u32,
+        outcome: Outcome,
+        vnow_ns: u64,
+    ) {
+        if self.inner.is_some() {
+            self.layer_exit_slow(layer, pid, nr, outcome, vnow_ns);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn layer_exit_slow(
+        &mut self,
+        layer: &'static str,
+        pid: Pid,
+        nr: u32,
+        outcome: Outcome,
+        vnow_ns: u64,
+    ) {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        let id = inner.intern(layer);
+        inner.push(
+            vnow_ns,
+            Event::LayerExit {
+                layer: id,
+                pid,
+                nr,
+                outcome,
+            },
+        );
+        // Pop the matching frame. Enter/exit calls bracket the dispatch
+        // code structurally, so the top frame is the right one; if the
+        // stack is somehow empty we record the event and skip metrics
+        // rather than panic (hooks must be inert).
+        let Some(frame) = inner.frames.pop() else {
+            return;
+        };
+        let inclusive_v = vnow_ns.saturating_sub(frame.v_start);
+        let inclusive_h = u64::try_from(frame.h_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let excl_v = inclusive_v.saturating_sub(frame.child_v);
+        let excl_h = inclusive_h.saturating_sub(frame.child_h);
+        let stat = inner.stats.entry((frame.layer, frame.nr)).or_default();
+        stat.count += 1;
+        stat.virt_ns += excl_v;
+        stat.host_ns += excl_h;
+        stat.virt_hist.record(excl_v);
+        stat.host_hist.record(excl_h);
+        if let Some(parent) = inner.frames.last_mut() {
+            parent.child_v += inclusive_v;
+            parent.child_h += inclusive_h;
+        }
+    }
+
+    /// The scheduler dispatched a trap (`restarts` > 0 on re-delivery of
+    /// a call that blocked).
+    #[inline]
+    pub fn trap_dispatch(&mut self, pid: Pid, nr: u32, restarts: u32, vnow_ns: u64) {
+        if self.inner.is_some() {
+            self.record_slow(vnow_ns, Event::TrapDispatch { pid, nr, restarts });
+        }
+    }
+
+    /// The scheduler ran `retired` instructions of `pid`.
+    #[inline]
+    pub fn slice(&mut self, pid: Pid, retired: u64, vnow_ns: u64) {
+        if self.inner.is_some() {
+            self.record_slow(vnow_ns, Event::Slice { pid, retired });
+        }
+    }
+
+    /// A signal cleared the agent filter chain and reached `pid`.
+    #[inline]
+    pub fn signal_delivered(&mut self, pid: Pid, sig: u32, vnow_ns: u64) {
+        if self.inner.is_some() {
+            self.record_slow(vnow_ns, Event::SignalDelivered { pid, sig });
+        }
+    }
+
+    /// A fault injector forced `nr` to fail with `errno`.
+    #[inline]
+    pub fn fault_injected(&mut self, pid: Pid, nr: u32, errno: u32, vnow_ns: u64) {
+        if self.inner.is_some() {
+            self.record_slow(vnow_ns, Event::FaultInjected { pid, nr, errno });
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn record_slow(&mut self, vnow_ns: u64, event: Event) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.push(vnow_ns, event);
+        }
+    }
+
+    // ---- readers --------------------------------------------------------
+
+    /// All retained events, oldest first. Empty when disabled.
+    #[must_use]
+    pub fn events(&self) -> Vec<Stamped> {
+        let Some(inner) = self.inner.as_deref() else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(inner.ring.len());
+        out.extend_from_slice(&inner.ring[inner.head..]);
+        out.extend_from_slice(&inner.ring[..inner.head]);
+        out
+    }
+
+    /// Events recorded but overwritten by newer ones.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .as_deref()
+            .map_or(0, |i| i.seq - i.ring.len() as u64)
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.inner.as_deref().map_or(0, |i| i.seq)
+    }
+
+    /// Resolves an interned [`LayerId`] from an event.
+    #[must_use]
+    pub fn layer_name(&self, id: LayerId) -> &'static str {
+        self.inner
+            .as_deref()
+            .and_then(|i| i.layers.get(id as usize).copied())
+            .unwrap_or("?")
+    }
+
+    /// Sorted copy of the metrics registry. Empty when disabled.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let Some(inner) = self.inner.as_deref() else {
+            return MetricsSnapshot::default();
+        };
+        let mut rows: Vec<(String, u32, CallStat)> = inner
+            .stats
+            .iter()
+            .map(|(&(layer, nr), stat)| {
+                let name = inner
+                    .layers
+                    .get(layer as usize)
+                    .copied()
+                    .unwrap_or("?")
+                    .to_owned();
+                (name, nr, stat.clone())
+            })
+            .collect();
+        rows.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        MetricsSnapshot { rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_hooks_record_nothing() {
+        let mut o = Obs::new();
+        o.layer_enter("kernel", 1, 20, 0);
+        o.layer_exit("kernel", 1, 20, Outcome::Ok, 10);
+        o.slice(1, 100, 20);
+        assert!(!o.is_enabled());
+        assert!(o.events().is_empty());
+        assert_eq!(o.recorded(), 0);
+        assert!(o.metrics().rows.is_empty());
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_newest() {
+        let mut o = Obs::new();
+        o.enable(4);
+        for i in 0..10u64 {
+            o.slice(1, i, i * 100);
+        }
+        let ev = o.events();
+        assert_eq!(ev.len(), 4);
+        assert_eq!(o.recorded(), 10);
+        assert_eq!(o.dropped(), 6);
+        // Oldest-first, strictly increasing sequence numbers 6..=9.
+        let seqs: Vec<u64> = ev.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert!(matches!(ev[3].event, Event::Slice { retired: 9, .. }));
+    }
+
+    #[test]
+    fn exclusive_attribution_subtracts_children() {
+        let mut o = Obs::new();
+        o.enable(64);
+        // Outer layer from v=0 to v=100, inner from v=10 to v=90.
+        o.layer_enter("outer", 1, 3, 0);
+        o.layer_enter("inner", 1, 3, 10);
+        o.layer_exit("inner", 1, 3, Outcome::Ok, 90);
+        o.layer_exit("outer", 1, 3, Outcome::Ok, 100);
+        let m = o.metrics();
+        let get = |layer: &str| {
+            m.rows
+                .iter()
+                .find(|(l, nr, _)| l == layer && *nr == 3)
+                .map(|(_, _, s)| s.clone())
+                .unwrap()
+        };
+        let outer = get("outer");
+        let inner = get("inner");
+        assert_eq!(inner.count, 1);
+        assert_eq!(inner.virt_ns, 80);
+        assert_eq!(outer.count, 1);
+        assert_eq!(outer.virt_ns, 20, "outer's exclusive time excludes inner");
+    }
+
+    #[test]
+    fn nested_same_layer_frames_pair_correctly() {
+        let mut o = Obs::new();
+        o.enable(64);
+        o.layer_enter("a", 1, 4, 0);
+        o.layer_enter("a", 1, 4, 5);
+        o.layer_exit("a", 1, 4, Outcome::Err(9), 25);
+        o.layer_exit("a", 1, 4, Outcome::Ok, 40);
+        let m = o.metrics();
+        assert_eq!(m.rows.len(), 1);
+        let (_, _, s) = &m.rows[0];
+        assert_eq!(s.count, 2);
+        assert_eq!(s.virt_ns, 20 + 20);
+        assert_eq!(s.virt_hist.count(), 2);
+    }
+
+    #[test]
+    fn hist_buckets_are_log2() {
+        assert_eq!(Hist::bucket(0), 0);
+        assert_eq!(Hist::bucket(1), 1);
+        assert_eq!(Hist::bucket(2), 2);
+        assert_eq!(Hist::bucket(3), 2);
+        assert_eq!(Hist::bucket(4), 3);
+        assert_eq!(Hist::bucket(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn unbalanced_exit_is_tolerated() {
+        let mut o = Obs::new();
+        o.enable(8);
+        o.layer_exit("kernel", 1, 20, Outcome::Ok, 5);
+        assert_eq!(o.events().len(), 1);
+        assert!(o.metrics().rows.is_empty());
+    }
+
+    #[test]
+    fn reenable_resets() {
+        let mut o = Obs::new();
+        o.enable(8);
+        o.slice(1, 1, 1);
+        o.enable(8);
+        assert_eq!(o.recorded(), 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Report rendering: the shared JSON string escaper (used by every
+//! hand-rolled JSON writer in the workspace) plus text/JSON renderers for
+//! flight-recorder dumps and the metrics registry.
+
+use crate::{Event, MetricsSnapshot, Obs, Outcome};
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+///
+/// Handles the two characters that terminate or escape a literal (`"` and
+/// `\`), the common named controls (`\n`, `\r`, `\t`), and every other
+/// control character below 0x20 as `\u00XX` — the full set RFC 8259
+/// requires. Everything else (including multi-byte UTF-8) passes through.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Human name for a trap number: the `Sysno` name, or `sys#N` for numbers
+/// outside the interface.
+#[must_use]
+pub fn sys_name(nr: u32) -> String {
+    match ia_abi::Sysno::from_u32(nr) {
+        Some(s) => s.name().to_owned(),
+        None => format!("sys#{nr}"),
+    }
+}
+
+fn outcome_str(o: Outcome) -> String {
+    match o {
+        Outcome::Ok => "ok".to_owned(),
+        Outcome::Err(e) => format!("err({e})"),
+        Outcome::Block => "block".to_owned(),
+        Outcome::NoReturn => "noreturn".to_owned(),
+    }
+}
+
+/// Renders the retained flight-recorder events, oldest first, one per
+/// line — the format dumped next to conformance repros.
+#[must_use]
+pub fn render_events_text(obs: &Obs) -> String {
+    let events = obs.events();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# flight recorder: {} retained, {} dropped",
+        events.len(),
+        obs.dropped()
+    );
+    for e in &events {
+        let _ = write!(out, "seq={:<8} v={:>12}ns  ", e.seq, e.vclock_ns);
+        match e.event {
+            Event::LayerEnter { layer, pid, nr } => {
+                let _ = writeln!(
+                    out,
+                    "enter  pid={pid} layer={} nr={}",
+                    obs.layer_name(layer),
+                    sys_name(nr)
+                );
+            }
+            Event::LayerExit {
+                layer,
+                pid,
+                nr,
+                outcome,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "exit   pid={pid} layer={} nr={} outcome={}",
+                    obs.layer_name(layer),
+                    sys_name(nr),
+                    outcome_str(outcome)
+                );
+            }
+            Event::TrapDispatch { pid, nr, restarts } => {
+                let _ = writeln!(
+                    out,
+                    "trap   pid={pid} nr={} restarts={restarts}",
+                    sys_name(nr)
+                );
+            }
+            Event::Slice { pid, retired } => {
+                let _ = writeln!(out, "slice  pid={pid} retired={retired}");
+            }
+            Event::SignalDelivered { pid, sig } => {
+                let _ = writeln!(out, "signal pid={pid} sig={sig}");
+            }
+            Event::FaultInjected { pid, nr, errno } => {
+                let _ = writeln!(out, "fault  pid={pid} nr={} errno={errno}", sys_name(nr));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the metrics registry as an aligned text table: one row per
+/// `(layer, call)` with counts and exclusive virtual/host totals.
+#[must_use]
+pub fn render_metrics_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:<14} {:>10} {:>14} {:>14} {:>12}",
+        "layer", "call", "count", "virt-ns", "virt-ns/call", "host-ns"
+    );
+    for (layer, nr, stat) in &snap.rows {
+        let per_call = stat.virt_ns.checked_div(stat.count).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{:<14} {:<14} {:>10} {:>14} {:>14} {:>12}",
+            layer,
+            sys_name(*nr),
+            stat.count,
+            stat.virt_ns,
+            per_call,
+            stat.host_ns
+        );
+    }
+    out
+}
+
+/// Renders the metrics registry as a JSON array of row objects, including
+/// the non-empty prefix of each log2 histogram.
+#[must_use]
+pub fn render_metrics_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("[\n");
+    for (i, (layer, nr, stat)) in snap.rows.iter().enumerate() {
+        let hist = |h: &crate::Hist| {
+            let last = h.0.iter().rposition(|&c| c != 0).map_or(0, |p| p + 1);
+            let cells: Vec<String> = h.0[..last].iter().map(u64::to_string).collect();
+            format!("[{}]", cells.join(","))
+        };
+        let _ = writeln!(
+            out,
+            "  {{\"layer\": \"{}\", \"call\": \"{}\", \"nr\": {}, \"count\": {}, \"virt_ns\": {}, \"host_ns\": {}, \"virt_hist_log2\": {}, \"host_hist_log2\": {}}}{}",
+            json_escape(layer),
+            json_escape(&sys_name(*nr)),
+            nr,
+            stat.count,
+            stat.virt_ns,
+            stat.host_ns,
+            hist(&stat.virt_hist),
+            hist(&stat.host_hist),
+            if i + 1 == snap.rows.len() { "" } else { "," }
+        );
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    #[test]
+    fn escape_handles_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+        assert_eq!(json_escape("\u{01}\u{1f}"), "\\u0001\\u001f");
+        assert_eq!(json_escape("käse/🦀"), "käse/🦀");
+        // The composed case that broke hostbench: a machine name
+        // containing both a quote and a backslash.
+        assert_eq!(json_escape(r#"i486 "DX\2""#), r#"i486 \"DX\\2\""#);
+    }
+
+    #[test]
+    fn sys_name_falls_back_to_number() {
+        assert_eq!(sys_name(ia_abi::Sysno::Read.number()), "read");
+        assert_eq!(sys_name(9999), "sys#9999");
+    }
+
+    #[test]
+    fn renders_events_and_metrics() {
+        let mut o = Obs::new();
+        o.enable(16);
+        o.trap_dispatch(1, ia_abi::Sysno::Getpid.number(), 0, 100);
+        o.layer_enter("kernel", 1, ia_abi::Sysno::Getpid.number(), 100);
+        o.layer_exit(
+            "kernel",
+            1,
+            ia_abi::Sysno::Getpid.number(),
+            crate::Outcome::Ok,
+            160,
+        );
+        let text = render_events_text(&o);
+        assert!(text.contains("trap   pid=1 nr=getpid restarts=0"));
+        assert!(text.contains("enter  pid=1 layer=kernel nr=getpid"));
+        assert!(text.contains("outcome=ok"));
+        let snap = o.metrics();
+        let table = render_metrics_text(&snap);
+        assert!(table.contains("kernel"));
+        assert!(table.contains("getpid"));
+        let json = render_metrics_json(&snap);
+        assert!(json.contains("\"layer\": \"kernel\""));
+        assert!(json.contains("\"virt_ns\": 60"));
+    }
+}

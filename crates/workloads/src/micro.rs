@@ -20,6 +20,10 @@ pub enum MicroCall {
     Fstat,
     /// `read(fd, buf, 1024)` — sequential 1 KB reads of a large file.
     Read1k,
+    /// `write(fd, buf, 1024)` — sequential 1 KB writes to a scratch file.
+    /// Not part of Table 3-5 ([`MicroCall::ALL`]); used by the BENCH_2
+    /// per-agent overhead table.
+    Write1k,
     /// `stat` of a six-component pathname, as the paper measured.
     Stat,
     /// `open`+`close` of the six-component pathname.
@@ -51,6 +55,7 @@ impl MicroCall {
             MicroCall::Gettimeofday => "gettimeofday()",
             MicroCall::Fstat => "fstat()",
             MicroCall::Read1k => "read() 1K of data",
+            MicroCall::Write1k => "write() 1K of data",
             MicroCall::Stat => "stat()",
             MicroCall::OpenClose => "open() + close()",
             MicroCall::ForkWaitExit => "fork(), wait(), _exit()",
@@ -85,12 +90,21 @@ pub fn loop_image(call: MicroCall, n: u64) -> Image {
     let buf = b.data_space(1152);
     let path = b.data_asciz(SIX_COMPONENT_PATH);
     let true_path = b.data_asciz(b"/bin/true");
+    let wpath = b.data_asciz(b"/tmp/micro.out");
 
     b.entry_here();
     // Open a descriptor for fd-based loops (not counted in the loop).
-    b.la(0, path);
-    b.li(1, 0);
-    b.li(2, 0);
+    // The write loop gets a writable scratch file; everything else reads
+    // the six-component path.
+    if call == MicroCall::Write1k {
+        b.la(0, wpath);
+        b.li(1, 0x601); // O_WRONLY | O_CREAT | O_TRUNC
+        b.li(2, 420);
+    } else {
+        b.la(0, path);
+        b.li(1, 0);
+        b.li(2, 0);
+    }
     b.sys(Sysno::Open);
     b.mov(12, 0);
 
@@ -117,6 +131,12 @@ pub fn loop_image(call: MicroCall, n: u64) -> Image {
             b.la(1, buf);
             b.li(2, 1024);
             b.sys(Sysno::Read);
+        }
+        MicroCall::Write1k => {
+            b.mov(0, 12);
+            b.la(1, buf);
+            b.li(2, 1024);
+            b.sys(Sysno::Write);
         }
         MicroCall::Stat => {
             b.la(0, path);
@@ -176,7 +196,7 @@ mod tests {
 
     #[test]
     fn every_micro_loop_completes() {
-        for call in MicroCall::ALL {
+        for call in MicroCall::ALL.into_iter().chain([MicroCall::Write1k]) {
             let mut k = Kernel::new(I486_25);
             setup(&mut k);
             k.spawn_image(&loop_image(call, 5), &[b"micro"], b"micro");

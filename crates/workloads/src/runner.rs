@@ -3,7 +3,7 @@
 
 use ia_agents::{DfsTraceAgent, ProfileAgent, TimeSymbolic, Timex, TraceAgent, UnionAgent};
 use ia_interpose::InterposedRouter;
-use ia_kernel::{Kernel, MachineProfile, RunOutcome};
+use ia_kernel::{Kernel, MachineProfile, Observable, RunOutcome};
 
 /// Which workload to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,7 +115,24 @@ pub fn run_workload_with(
     agent: AgentKind,
     sched: SchedKind,
 ) -> RunStats {
+    run_workload_observed(workload, profile, agent, sched, None).0
+}
+
+/// Like [`run_workload_with`], but optionally enables the ia-obs flight
+/// recorder (with the given ring capacity) for the whole run and returns
+/// the kernel's final [`Observable`] snapshot alongside the stats — the
+/// seam the recorder-inertness differential test drives.
+pub fn run_workload_observed(
+    workload: Workload,
+    profile: MachineProfile,
+    agent: AgentKind,
+    sched: SchedKind,
+    recorder_capacity: Option<usize>,
+) -> (RunStats, Observable) {
     let mut k = Kernel::new(profile);
+    if let Some(cap) = recorder_capacity {
+        k.obs.enable(cap);
+    }
     let pid = match workload {
         Workload::Scribe => {
             crate::scribe::setup(&mut k);
@@ -159,7 +176,7 @@ pub fn run_workload_with(
         SchedKind::Sliced => k.run_with(&mut router),
         SchedKind::Legacy => k.run_with_legacy(&mut router),
     };
-    RunStats {
+    let stats = RunStats {
         virtual_secs: k.clock.elapsed_secs(),
         virtual_ns: k.clock.elapsed_ns(),
         total_insns: k.total_insns,
@@ -168,7 +185,8 @@ pub fn run_workload_with(
         passthrough: router.stats.passthrough,
         outcome,
         console: k.console.output().to_vec(),
-    }
+    };
+    (stats, k.observable())
 }
 
 #[cfg(test)]

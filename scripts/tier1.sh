@@ -12,7 +12,12 @@ cargo test -q --workspace --release
 # clean (zero errors). The JSON report is kept as a CI artifact.
 cargo run --release --bin ia-lint -- --builtin --json --out target/lint-report.json
 
+# Observability gate: recorder/metrics invariants, the shared JSON
+# escaper, and a recorder-inertness differential on a real workload.
+cargo run --release -p ia-bench --bin ia-stats -- --selftest
+
 # Conformance smoke sweep: differential oracle + fault schedules over
 # generated programs, plus the static-footprint soundness check per seed.
-# Failures drop .conf repro files in target/conform.
+# Failures drop .conf repro files plus .flight.txt recordings in
+# target/conform.
 cargo run --release -p ia-conform -- --seeds 200

@@ -65,7 +65,7 @@ fn every_syscall_passes_through_agents_unchanged() {
             if agent {
                 router.push_agent(pid, TimeSymbolic::boxed());
             }
-            router.route(&mut k, pid, sys.number(), probe_args(sys))
+            router.route(&mut k, pid, sys.number(), probe_args(sys), 0)
         };
         let without = run(false);
         let with = run(true);
