@@ -12,6 +12,8 @@
 //! * [`time_symbolic`] — the null symbolic agent used to measure minimum
 //!   per-call toolkit overhead (Table 3-5's "with agent" column).
 //! * [`profile`] — system call and resource usage monitoring (§2.4).
+//! * [`pass_through`] — a transparent full-coverage observer built on
+//!   vectored upcalls, the floor for batched interception overhead.
 //!
 //! And the agents the paper motivates but did not build (§1.4):
 //!
@@ -33,6 +35,7 @@
 pub mod crypt;
 pub mod dfs_trace;
 pub mod oscompat;
+pub mod pass_through;
 pub mod profile;
 pub mod ramfs;
 pub mod sandbox;
@@ -47,6 +50,7 @@ pub mod zip;
 pub use crypt::CryptAgent;
 pub use dfs_trace::{analyze, DfsTraceAgent, DfsTraceHandle, TraceAnalysis, TraceOp, TraceRecord};
 pub use oscompat::OsCompatAgent;
+pub use pass_through::PassThrough;
 pub use profile::{ProfileAgent, ProfileHandle};
 pub use ramfs::RamFsAgent;
 pub use sandbox::{SandboxAgent, SandboxHandle, SandboxPolicy, Violation};

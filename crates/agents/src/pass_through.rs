@@ -1,0 +1,116 @@
+//! A fully transparent observe-only agent that intercepts *every* call
+//! but accepts them all as vectored upcalls — the cheapest possible
+//! full-coverage interposition, and the benchmark floor for the vectored
+//! upcall machinery (BENCH_2's `pass_through` configuration).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use ia_abi::RawArgs;
+use ia_interpose::{Agent, BatchCall, InterestSet, SysCtx};
+use ia_kernel::SysOutcome;
+
+/// Observes every system call without changing any of them. Declares every
+/// number batchable, so under the vectored-upcall path consecutive
+/// same-number calls reach it as one [`Agent::syscall_batch`]; calls that
+/// still arrive individually (e.g. when stacked under a non-batchable
+/// agent) are passed straight down.
+#[derive(Default)]
+pub struct PassThrough {
+    batches: Rc<Cell<u64>>,
+    calls: Rc<Cell<u64>>,
+}
+
+impl PassThrough {
+    /// A boxed instance, ready for the loader.
+    #[must_use]
+    pub fn boxed() -> Box<PassThrough> {
+        Box::default()
+    }
+
+    /// `(vectored upcalls received, calls observed in them)`. Counters are
+    /// shared across forked clones.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (self.batches.get(), self.calls.get())
+    }
+}
+
+impl Agent for PassThrough {
+    fn name(&self) -> &'static str {
+        "pass_through"
+    }
+
+    fn interests(&self) -> InterestSet {
+        InterestSet::ALL
+    }
+
+    fn batch_interests(&self) -> InterestSet {
+        InterestSet::ALL
+    }
+
+    fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
+        self.calls.set(self.calls.get() + 1);
+        ctx.down(nr, args)
+    }
+
+    fn syscall_batch(&mut self, _ctx: &mut SysCtx<'_>, _nr: u32, calls: &[BatchCall]) {
+        self.batches.set(self.batches.get() + 1);
+        self.calls.set(self.calls.get() + calls.len() as u64);
+    }
+
+    fn clone_box(&self) -> Box<dyn Agent> {
+        Box::new(PassThrough {
+            batches: self.batches.clone(),
+            calls: self.calls.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_interpose::InterposedRouter;
+    use ia_kernel::{Kernel, RunOutcome, I486_25};
+
+    #[test]
+    fn observes_every_call_in_batches_without_changing_behaviour() {
+        // Loop counter lives in r10: syscall returns clobber r0..r2.
+        let src = "
+main:   li r10, 70
+loop:   addi r10, r10, -1
+        sys getpid
+        jnz r10, loop
+        li r0, 0
+        sys exit
+";
+        let img = ia_vm::assemble(src).unwrap();
+
+        let mut bare = Kernel::new(I486_25);
+        bare.spawn_image(&img, &[b"t"], b"t");
+        assert_eq!(bare.run_to_completion(), RunOutcome::AllExited);
+
+        let mut k = Kernel::new(I486_25);
+        let pid = k.spawn_image(&img, &[b"t"], b"t");
+        let mut router = InterposedRouter::new();
+        let agent = PassThrough::boxed();
+        let (batches_c, calls_c) = (agent.batches.clone(), agent.calls.clone());
+        ia_interpose::wrap_process(&mut k, &mut router, pid, agent, &[]);
+        assert_eq!(k.run_with(&mut router), RunOutcome::AllExited);
+
+        // All 70 getpids observed in far fewer upcalls. The final exit is
+        // intercepted but never completes (NoReturn), so it is not part of
+        // any vector.
+        assert_eq!(calls_c.get(), 70);
+        assert!(
+            batches_c.get() <= 5,
+            "vectored: {} upcalls for 70 calls",
+            batches_c.get()
+        );
+        assert_eq!(router.stats.intercepted, 71);
+        assert_eq!(
+            bare.total_syscalls, k.total_syscalls,
+            "behaviour unchanged under the observer"
+        );
+    }
+}

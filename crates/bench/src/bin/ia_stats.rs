@@ -14,9 +14,14 @@
 //! `--selftest` exercises the recorder and metrics invariants end to end
 //! without any workload dependence — tier-1 runs it on every push.
 
+use ia_abi::Sysno;
+use ia_agents::Timex;
 use ia_bench::overhead;
+use ia_interpose::InterposedRouter;
+use ia_kernel::{Kernel, RunOutcome, I486_25};
 use ia_obs::report::{json_escape, render_events_text, render_metrics_json};
 use ia_obs::{Event, Obs, Outcome};
+use ia_workloads::micro::{self, MicroCall};
 use ia_workloads::runner::{run_workload_observed, AgentKind, SchedKind, Workload};
 
 fn main() {
@@ -31,7 +36,36 @@ fn main() {
         print!("{}", overhead::render_json(&b));
     } else {
         print!("{}", overhead::render_text(&b));
+        print!("{}", render_fast_stats());
     }
+}
+
+/// Runs a short probe with the trap fast path on — a `getpid()` loop (not
+/// interposed by the timex chain, so it is answered in the VM loop) and a
+/// `gettimeofday()` loop (interposed, so every call takes the slow path) —
+/// and renders the kernel's per-`(pid, syscall)` hit/miss counters.
+fn render_fast_stats() -> String {
+    let mut k = Kernel::new(I486_25);
+    micro::setup(&mut k);
+    let mut router = InterposedRouter::new();
+    for call in [MicroCall::Getpid, MicroCall::Gettimeofday] {
+        let img = micro::loop_image(call, 256);
+        let pid = k.spawn_image(&img, &[b"probe"], b"probe");
+        ia_interpose::wrap_process(&mut k, &mut router, pid, Timex::boxed(3600), &[]);
+        assert_eq!(k.run_with(&mut router), RunOutcome::AllExited);
+    }
+    let mut s = String::from("\nfast path probe (getpid + gettimeofday loops under timex):\n");
+    s.push_str("  pid  syscall            hits    misses\n");
+    for ((pid, nr), (hits, misses)) in k.fast_stats.rows() {
+        let name = Sysno::from_u32(nr).map_or_else(|| format!("nr{nr}"), |s| format!("{s:?}"));
+        s.push_str(&format!("  {pid:<4} {name:<16} {hits:>6} {misses:>9}\n"));
+    }
+    s.push_str(&format!(
+        "  total: {} answered in the VM loop, {} via full dispatch\n",
+        k.fast_stats.hits(),
+        k.fast_stats.misses()
+    ));
+    s
 }
 
 /// Checks the recorder, metrics, and report invariants; panics (non-zero
@@ -41,6 +75,7 @@ fn selftest() {
     layer_attribution_is_exclusive();
     json_escaper_round_trips();
     recorder_is_inert_on_a_real_workload();
+    no_phantom_interpose_frames_on_bypassed_calls();
 }
 
 /// The ring keeps exactly the last `capacity` events, counts what it
@@ -123,4 +158,39 @@ fn recorder_is_inert_on_a_real_workload() {
     );
     assert_eq!(bare.virtual_ns, rec.virtual_ns, "recorder moved the clock");
     assert_eq!(bare_obs, rec_obs, "recorder perturbed observable state");
+}
+
+/// A call no agent registered interest in must cross zero interposition
+/// machinery: with the recorder on (which itself forces the slow
+/// scheduler path), the flat dispatch table sends it straight to the
+/// kernel, so the ring must contain no `interpose` frame for it.
+fn no_phantom_interpose_frames_on_bypassed_calls() {
+    let mut k = Kernel::new(I486_25);
+    micro::setup(&mut k);
+    let img = micro::loop_image(MicroCall::Getpid, 64);
+    let pid = k.spawn_image(&img, &[b"st"], b"st");
+    let mut router = InterposedRouter::new();
+    // Timex registers interest only in gettimeofday; getpid is bypassed.
+    ia_interpose::wrap_process(&mut k, &mut router, pid, Timex::boxed(60), &[]);
+    k.obs.enable(8192);
+    assert_eq!(k.run_with(&mut router), RunOutcome::AllExited);
+    let getpid = Sysno::Getpid.number();
+    let mut dispatched = 0u64;
+    for ev in k.obs.events() {
+        match ev.event {
+            Event::TrapDispatch { nr, .. } if nr == getpid => dispatched += 1,
+            Event::LayerEnter { layer, nr, .. } | Event::LayerExit { layer, nr, .. } => {
+                assert!(
+                    !(nr == getpid && k.obs.layer_name(layer) == "interpose"),
+                    "bypassed getpid produced a phantom interpose frame"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(dispatched >= 64, "probe loop must actually have run");
+    assert!(
+        router.stats.passthrough >= 64,
+        "bypassed calls must count as passthrough"
+    );
 }

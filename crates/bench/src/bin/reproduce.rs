@@ -5,6 +5,7 @@
 //! cargo run -p ia-bench --release --bin reproduce            # everything
 //! cargo run -p ia-bench --release --bin reproduce table-3-2  # one table
 //! cargo run -p ia-bench --release --bin reproduce -- --json  # BENCH_1.json
+//! cargo run -p ia-bench --release --bin reproduce -- --smoke # CI gate
 //! ```
 
 use ia_bench::{
@@ -13,8 +14,70 @@ use ia_bench::{
     table_3_3, table_3_4, table_3_5,
 };
 
+/// Largest tolerated drop of the smoke scenario's throughput below the
+/// committed baseline before CI fails.
+const SMOKE_TOLERANCE: f64 = 0.20;
+
+/// Extracts the committed `traps_per_sec` of the smoke scenario (sliced
+/// scheduler, fast path on) from the `BENCH_1.json` text. Hand-rolled:
+/// the workspace builds offline with no serialization dependency, and the
+/// document is our own line-per-scenario writer's output.
+fn baseline_traps_per_sec(json: &str) -> Option<f64> {
+    json.lines()
+        .find(|l| {
+            l.contains(&format!("\"name\": \"{}\"", hostbench::SMOKE_SCENARIO))
+                && l.contains("\"sched\": \"sliced\"")
+                && l.contains("\"fast_path\": true")
+        })
+        .and_then(|l| {
+            let rest = l.split("\"traps_per_sec\": ").nth(1)?;
+            rest.trim_end_matches(['}', ',', ' ']).parse().ok()
+        })
+}
+
+/// Compares a fresh run of the smoke scenario against the committed
+/// baseline; exits non-zero on a regression beyond [`SMOKE_TOLERANCE`].
+fn smoke() {
+    let committed = match std::fs::read_to_string("BENCH_1.json") {
+        Ok(text) => baseline_traps_per_sec(&text),
+        Err(e) => {
+            eprintln!("smoke: cannot read BENCH_1.json: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(committed) = committed else {
+        eprintln!(
+            "smoke: no {} (sliced, fast-path) row in BENCH_1.json",
+            hostbench::SMOKE_SCENARIO
+        );
+        std::process::exit(1);
+    };
+    let live = hostbench::run_smoke();
+    let floor = committed * (1.0 - SMOKE_TOLERANCE);
+    println!(
+        "smoke: {} (sliced, fast-path): {:.0} traps/s live vs {:.0} committed (floor {:.0})",
+        hostbench::SMOKE_SCENARIO,
+        live.traps_per_sec,
+        committed,
+        floor,
+    );
+    if live.traps_per_sec < floor {
+        eprintln!(
+            "smoke: FAIL — trap fast path regressed more than {:.0}% below the committed baseline",
+            SMOKE_TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("smoke: ok");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
 
     if args.iter().any(|a| a == "--json") {
         // Host-throughput mode: measure the interpreter hot path under both

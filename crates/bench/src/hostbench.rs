@@ -14,11 +14,17 @@
 //!   reported in Minsns/s;
 //! * a `getpid()` trap loop — trap dispatch overhead, reported in traps/s;
 //! * both repeated beneath an ALL-interest symbolic agent, the worst-case
-//!   interposition configuration of Table 3-4.
+//!   interposition configuration of Table 3-4;
+//! * the trap loop beneath a batchable pass-through observer (vectored
+//!   upcalls) and beneath a stack of three timex agents (flat dispatch
+//!   over a deep chain).
+//!
+//! Every scenario also runs with the trap fast path disabled, so the
+//! committed numbers carry the before/after of the fast-path work.
 
 use std::time::Instant;
 
-use ia_agents::TimeSymbolic;
+use ia_agents::{PassThrough, TimeSymbolic, Timex};
 use ia_interpose::InterposedRouter;
 use ia_kernel::{Kernel, RunOutcome, I486_25};
 use ia_obs::report::json_escape;
@@ -40,6 +46,9 @@ pub struct Scenario {
     pub name: String,
     /// `"sliced"` or `"legacy"`.
     pub sched: &'static str,
+    /// Whether the trap fast path (flat tables, in-loop answers, vectored
+    /// upcalls) was enabled for the run.
+    pub fast_path: bool,
     /// Simulated instructions retired.
     pub insns: u64,
     /// Traps dispatched at the kernel.
@@ -50,6 +59,38 @@ pub struct Scenario {
     pub minsns_per_sec: f64,
     /// Traps per host second.
     pub traps_per_sec: f64,
+}
+
+/// The agent configuration wrapped around a benchmark process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AgentCfg {
+    /// Bare process, no chain.
+    None,
+    /// One ALL-interest symbolic agent (Table 3-4 worst case).
+    AllInterest,
+    /// One batchable full-coverage observer (vectored upcall floor).
+    Observer,
+    /// Three stacked timex agents (deep chain, flat dispatch).
+    Stacked3,
+}
+
+impl AgentCfg {
+    fn install(self, k: &mut Kernel, router: &mut InterposedRouter, pid: ia_kernel::Pid) {
+        match self {
+            AgentCfg::None => {}
+            AgentCfg::AllInterest => {
+                ia_interpose::wrap_process(k, router, pid, TimeSymbolic::boxed(), &[]);
+            }
+            AgentCfg::Observer => {
+                ia_interpose::wrap_process(k, router, pid, PassThrough::boxed(), &[]);
+            }
+            AgentCfg::Stacked3 => {
+                for off in [60, 120, 180] {
+                    ia_interpose::wrap_process(k, router, pid, Timex::boxed(off), &[]);
+                }
+            }
+        }
+    }
 }
 
 fn compute_image(iters: u64) -> Image {
@@ -67,14 +108,13 @@ fn compute_image(iters: u64) -> Image {
     b.build()
 }
 
-fn measure_once(img: &Image, with_agent: bool, legacy: bool) -> (u64, u64, f64) {
+fn measure_once(img: &Image, agent: AgentCfg, legacy: bool, fast: bool) -> (u64, u64, f64) {
     let mut k = Kernel::new(I486_25);
+    k.fast_path = fast;
     micro::setup(&mut k);
     let pid = k.spawn_image(img, &[b"bench"], b"bench");
     let mut router = InterposedRouter::new();
-    if with_agent {
-        ia_interpose::wrap_process(&mut k, &mut router, pid, TimeSymbolic::boxed(), &[]);
-    }
+    agent.install(&mut k, &mut router, pid);
     let t0 = Instant::now();
     let outcome = if legacy {
         k.run_with_legacy(&mut router)
@@ -86,10 +126,10 @@ fn measure_once(img: &Image, with_agent: bool, legacy: bool) -> (u64, u64, f64) 
     (k.total_insns, k.total_syscalls, secs)
 }
 
-fn scenario(name: &str, img: &Image, with_agent: bool, legacy: bool) -> Scenario {
+fn scenario(name: &str, img: &Image, agent: AgentCfg, legacy: bool, fast: bool) -> Scenario {
     let mut best: Option<(u64, u64, f64)> = None;
     for _ in 0..REPS {
-        let r = measure_once(img, with_agent, legacy);
+        let r = measure_once(img, agent, legacy, fast);
         if best.as_ref().is_none_or(|b| r.2 < b.2) {
             best = Some(r);
         }
@@ -98,6 +138,7 @@ fn scenario(name: &str, img: &Image, with_agent: bool, legacy: bool) -> Scenario
     Scenario {
         name: name.to_string(),
         sched: if legacy { "legacy" } else { "sliced" },
+        fast_path: fast,
         insns,
         traps,
         host_secs,
@@ -106,23 +147,47 @@ fn scenario(name: &str, img: &Image, with_agent: bool, legacy: bool) -> Scenario
     }
 }
 
-/// Runs every scenario under both schedulers.
+/// Runs every scenario under both schedulers, and the sliced scheduler
+/// both with and without the trap fast path.
 #[must_use]
 pub fn run_all() -> Vec<Scenario> {
     let compute = compute_image(COMPUTE_ITERS);
     let traps = micro::loop_image(MicroCall::Getpid, TRAP_ITERS);
     let mut out = Vec::new();
     for (loop_name, img, agent) in [
-        ("compute/no_agent", &compute, false),
-        ("compute/all_interest_agent", &compute, true),
-        ("traps/no_agent", &traps, false),
-        ("traps/all_interest_agent", &traps, true),
+        ("compute/no_agent", &compute, AgentCfg::None),
+        (
+            "compute/all_interest_agent",
+            &compute,
+            AgentCfg::AllInterest,
+        ),
+        ("traps/no_agent", &traps, AgentCfg::None),
+        ("traps/all_interest_agent", &traps, AgentCfg::AllInterest),
+        ("traps/pass_through", &traps, AgentCfg::Observer),
+        ("traps/stacked3", &traps, AgentCfg::Stacked3),
     ] {
-        for legacy in [true, false] {
-            out.push(scenario(loop_name, img, agent, legacy));
+        for (legacy, fast) in [(true, false), (false, false), (false, true)] {
+            out.push(scenario(loop_name, img, agent, legacy, fast));
         }
     }
     out
+}
+
+/// The scenario the CI smoke check guards: the bare trap loop on the
+/// fully-enabled hot path (sliced scheduler, fast path on).
+pub const SMOKE_SCENARIO: &str = "traps/no_agent";
+
+/// Measures just [`SMOKE_SCENARIO`] — cheap enough to run on every CI
+/// push and compare against the committed `BENCH_1.json` baseline. Takes
+/// the best of several full measurement rounds: a gate must not trip on a
+/// cold cache or a scheduling hiccup.
+#[must_use]
+pub fn run_smoke() -> Scenario {
+    let traps = micro::loop_image(MicroCall::Getpid, TRAP_ITERS);
+    (0..3)
+        .map(|_| scenario(SMOKE_SCENARIO, &traps, AgentCfg::None, false, true))
+        .min_by(|a, b| a.host_secs.total_cmp(&b.host_secs))
+        .expect("at least one round")
 }
 
 /// Renders the scenarios (plus sliced-over-legacy speedups) as the
@@ -137,9 +202,10 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
     s.push_str("  \"scenarios\": [\n");
     for (i, sc) in scenarios.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"sched\": \"{}\", \"insns\": {}, \"traps\": {}, \"host_secs\": {:.6}, \"minsns_per_sec\": {:.3}, \"traps_per_sec\": {:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"sched\": \"{}\", \"fast_path\": {}, \"insns\": {}, \"traps\": {}, \"host_secs\": {:.6}, \"minsns_per_sec\": {:.3}, \"traps_per_sec\": {:.1}}}{}\n",
             json_escape(&sc.name),
             sc.sched,
+            sc.fast_path,
             sc.insns,
             sc.traps,
             sc.host_secs,
@@ -148,28 +214,53 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
             if i + 1 < scenarios.len() { "," } else { "" },
         ));
     }
-    s.push_str("  ],\n  \"speedup_sliced_over_legacy\": {\n");
     let names: Vec<&String> = {
         let mut v: Vec<&String> = scenarios.iter().map(|s| &s.name).collect();
         v.dedup();
         v
     };
-    for (i, name) in names.iter().enumerate() {
-        let of = |sched: &str| {
-            scenarios
-                .iter()
-                .find(|s| &s.name == *name && s.sched == sched)
-                .expect("both scheds measured")
-        };
-        let speedup = of("legacy").host_secs / of("sliced").host_secs;
-        s.push_str(&format!(
-            "    \"{}\": {:.2}{}\n",
-            json_escape(name),
-            speedup,
-            if i + 1 < names.len() { "," } else { "" },
-        ));
+    let of = |name: &str, sched: &str, fast: bool| {
+        scenarios
+            .iter()
+            .find(|s| s.name == name && s.sched == sched && s.fast_path == fast)
+    };
+    s.push_str("  ],\n");
+    // Both ratios compare runs taken in this same process: sliced over
+    // legacy at the non-fast baseline, and fast over non-fast within the
+    // sliced scheduler.
+    for (section, num, den) in [
+        (
+            "speedup_sliced_over_legacy",
+            ("legacy", false),
+            ("sliced", false),
+        ),
+        (
+            "speedup_fast_over_nofast",
+            ("sliced", false),
+            ("sliced", true),
+        ),
+    ] {
+        let rows: Vec<(&String, f64)> = names
+            .iter()
+            .filter_map(|name| {
+                let slow = of(name, num.0, num.1)?;
+                let quick = of(name, den.0, den.1)?;
+                Some((*name, slow.host_secs / quick.host_secs))
+            })
+            .collect();
+        s.push_str(&format!("  \"{section}\": {{\n"));
+        for (i, (name, speedup)) in rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    \"{}\": {:.2}{}\n",
+                json_escape(name),
+                speedup,
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        let last = section == "speedup_fast_over_nofast";
+        s.push_str(if last { "  }\n" } else { "  },\n" });
     }
-    s.push_str("  }\n}\n");
+    s.push_str("}\n");
     s
 }
 
@@ -194,6 +285,7 @@ mod tests {
             Scenario {
                 name: "compute/no_agent".into(),
                 sched: "legacy",
+                fast_path: false,
                 insns: 100,
                 traps: 1,
                 host_secs: 0.2,
@@ -203,17 +295,33 @@ mod tests {
             Scenario {
                 name: "compute/no_agent".into(),
                 sched: "sliced",
+                fast_path: false,
                 insns: 100,
                 traps: 1,
                 host_secs: 0.05,
                 minsns_per_sec: 0.002,
                 traps_per_sec: 20.0,
             },
+            Scenario {
+                name: "compute/no_agent".into(),
+                sched: "sliced",
+                fast_path: true,
+                insns: 100,
+                traps: 1,
+                host_secs: 0.025,
+                minsns_per_sec: 0.004,
+                traps_per_sec: 40.0,
+            },
         ];
         let j = render_json(&scenarios);
         assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
-        assert_eq!(j.matches("\"name\"").count(), 2);
+        assert_eq!(j.matches("\"name\"").count(), 3);
+        // legacy (0.2) over sliced non-fast (0.05), then non-fast over fast.
+        assert!(j.contains("\"speedup_sliced_over_legacy\""));
         assert!(j.contains("\"compute/no_agent\": 4.00"));
+        assert!(j.contains("\"speedup_fast_over_nofast\""));
+        assert!(j.contains("\"compute/no_agent\": 2.00"));
+        assert!(j.contains("\"fast_path\": true"));
         let opens = j.matches('{').count();
         assert_eq!(opens, j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
@@ -228,6 +336,7 @@ mod tests {
             Scenario {
                 name: "odd \"name\"\\with\ncontrols".into(),
                 sched: "legacy",
+                fast_path: false,
                 insns: 1,
                 traps: 0,
                 host_secs: 0.1,
@@ -237,6 +346,7 @@ mod tests {
             Scenario {
                 name: "odd \"name\"\\with\ncontrols".into(),
                 sched: "sliced",
+                fast_path: false,
                 insns: 1,
                 traps: 0,
                 host_secs: 0.1,

@@ -132,6 +132,9 @@ pub fn fault_schedule(program: &Program) -> Vec<FaultCase> {
 /// client), so nothing else is compared.
 pub fn run_fault_case(program: &Program, case: FaultCase) -> Result<(), String> {
     let mut k = Kernel::new(I486_25);
+    // Force the trap fast path on: injected errors must stay consistent
+    // with flat dispatch and the in-loop answer lane engaged.
+    k.fast_path = true;
     Program::setup(&mut k);
     let pid = k.spawn_image(&program.compile(), &[b"conform"], b"conform");
     let (agent, _injected) = FaultInjector::boxed(case.target, case.every, case.errno);

@@ -11,7 +11,7 @@
 //!   content) must agree, while clocks legitimately differ by the
 //!   interposition overhead.
 
-use ia_agents::{ProfileAgent, TimeSymbolic, TraceAgent};
+use ia_agents::{PassThrough, ProfileAgent, TimeSymbolic, TraceAgent};
 use ia_interpose::{wrap_process, Agent, InterposedRouter};
 use ia_kernel::{run, run_legacy, Kernel, Observable, RunLimits, RunOutcome, I486_25};
 
@@ -37,6 +37,8 @@ pub enum StackKind {
     Bare,
     /// One full-interception pass-through agent.
     Pass,
+    /// One batchable full-coverage observer (vectored upcalls engaged).
+    Batched,
     /// Three stacked pass-through agents (symbolic, profile, trace).
     Stacked,
 }
@@ -48,6 +50,7 @@ impl StackKind {
         match self {
             StackKind::Bare => Vec::new(),
             StackKind::Pass => vec![TimeSymbolic::boxed()],
+            StackKind::Batched => vec![PassThrough::boxed() as Box<dyn Agent>],
             StackKind::Stacked => vec![
                 TimeSymbolic::boxed(),
                 Box::new(ProfileAgent::new().0),
@@ -70,10 +73,23 @@ pub struct Observation {
 }
 
 /// Runs `program` once under `sched` with the given agents wrapped around
-/// the initial process.
+/// the initial process, with the trap fast path on.
 #[must_use]
 pub fn run_config(program: &Program, sched: SchedKind, agents: Vec<Box<dyn Agent>>) -> Observation {
+    run_config_fast(program, sched, true, agents)
+}
+
+/// [`run_config`] with an explicit fast-path knob, for differential runs
+/// against the fully-dispatched slow path.
+#[must_use]
+pub fn run_config_fast(
+    program: &Program,
+    sched: SchedKind,
+    fast: bool,
+    agents: Vec<Box<dyn Agent>>,
+) -> Observation {
     let mut k = Kernel::new(I486_25);
+    k.fast_path = fast;
     Program::setup(&mut k);
     let pid = k.spawn_image(&program.compile(), &[b"conform"], b"conform");
     let mut router = InterposedRouter::new();
@@ -103,6 +119,17 @@ pub fn run_config(program: &Program, sched: SchedKind, agents: Vec<Box<dyn Agent
 #[must_use]
 pub fn run_stack(program: &Program, stack: StackKind, sched: SchedKind) -> Observation {
     run_config(program, sched, stack.agents())
+}
+
+/// Convenience: [`run_config_fast`] with a named pass-through stack.
+#[must_use]
+pub fn run_stack_fast(
+    program: &Program,
+    stack: StackKind,
+    sched: SchedKind,
+    fast: bool,
+) -> Observation {
+    run_config_fast(program, sched, fast, stack.agents())
 }
 
 /// Renders console bytes for an error message, lossily and truncated.
@@ -189,8 +216,10 @@ fn completed(label: &str, o: &Observation) -> Result<(), String> {
     Ok(())
 }
 
-/// The full oracle matrix for one program: three agent stacks × two
-/// schedulers. Per-stack, the schedulers must agree on everything; across
+/// The full oracle matrix for one program: four agent stacks ×
+/// {sliced+fast, sliced, legacy+fast, legacy}. Per-stack, every
+/// configuration must agree on the *complete* observable state (the trap
+/// fast path and both schedulers are bit-identical by design); across
 /// stacks, the client view must agree. Every run must terminate and leave
 /// the kernel leak-free.
 pub fn check_program(program: &Program) -> Result<(), String> {
@@ -198,24 +227,33 @@ pub fn check_program(program: &Program) -> Result<(), String> {
     for (label, stack) in [
         ("bare", StackKind::Bare),
         ("pass", StackKind::Pass),
+        ("batched", StackKind::Batched),
         ("stacked", StackKind::Stacked),
     ] {
-        let sliced = run_stack(program, stack, SchedKind::Sliced);
-        completed(&format!("{label}/sliced"), &sliced)?;
-        let legacy = run_stack(program, stack, SchedKind::Legacy);
-        completed(&format!("{label}/legacy"), &legacy)?;
-        if let Some(d) = describe_diff(
-            &format!("{label}/sliced"),
-            &sliced,
-            &format!("{label}/legacy"),
-            &legacy,
-        ) {
-            return Err(format!("scheduler divergence: {d}"));
+        let mut reference: Option<(String, Observation)> = None;
+        for (cfg, sched, fast) in [
+            ("sliced+fast", SchedKind::Sliced, true),
+            ("sliced", SchedKind::Sliced, false),
+            ("legacy+fast", SchedKind::Legacy, true),
+            ("legacy", SchedKind::Legacy, false),
+        ] {
+            let run_label = format!("{label}/{cfg}");
+            let o = run_stack_fast(program, stack, sched, fast);
+            completed(&run_label, &o)?;
+            match &reference {
+                None => reference = Some((run_label, o)),
+                Some((rlabel, r)) => {
+                    if let Some(d) = describe_diff(rlabel, r, &run_label, &o) {
+                        return Err(format!("scheduler divergence: {d}"));
+                    }
+                }
+            }
         }
+        let (_, sliced_fast) = reference.expect("at least one config ran");
         match &baseline {
-            None => baseline = Some((label, sliced)),
+            None => baseline = Some((label, sliced_fast)),
             Some((blabel, base)) => {
-                if let Some(d) = describe_client_diff(blabel, base, label, &sliced) {
+                if let Some(d) = describe_client_diff(blabel, base, label, &sliced_fast) {
                     return Err(format!("transparency violation: {d}"));
                 }
             }

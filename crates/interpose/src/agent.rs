@@ -1,7 +1,7 @@
 //! The agent contract and the downcall context.
 
 use ia_abi::{RawArgs, Signal};
-use ia_kernel::{Kernel, Pid, SysOutcome};
+use ia_kernel::{BatchCall, Kernel, Pid, SysOutcome};
 
 use crate::interest::InterestSet;
 
@@ -49,6 +49,31 @@ pub trait Agent {
     fn signal_incoming(&mut self, _ctx: &mut SysCtx<'_>, _sig: Signal) -> SignalVerdict {
         SignalVerdict::Deliver
     }
+
+    /// True when [`Agent::interests`] never changes over the agent's
+    /// lifetime. The router compiles fixed-interest chains into a flat
+    /// per-number dispatch table at install time; an agent whose interests
+    /// can vary must return `false` so every trap re-queries `interests()`
+    /// (and the in-loop fast path stays off for its process).
+    fn interests_fixed(&self) -> bool {
+        true
+    }
+
+    /// The trap numbers this agent accepts as *vectored upcalls*: instead
+    /// of one [`Agent::syscall`] per trap, consecutive same-number traps
+    /// are executed directly by the kernel and delivered afterwards as one
+    /// [`Agent::syscall_batch`] with per-element results. A number is
+    /// vectored only when *every* agent on the chain interested in it
+    /// declares it batchable — agents that transform calls must not list
+    /// numbers here, only observers should.
+    fn batch_interests(&self) -> InterestSet {
+        InterestSet::NONE
+    }
+
+    /// A vectored upcall: `calls` are consecutive traps of `nr` the kernel
+    /// already executed, each with its raw arguments and applied result.
+    /// Only invoked for numbers in [`Agent::batch_interests`].
+    fn syscall_batch(&mut self, _ctx: &mut SysCtx<'_>, _nr: u32, _calls: &[BatchCall]) {}
 
     /// Clones the agent for a forked child.
     fn clone_box(&self) -> Box<dyn Agent>;
@@ -124,28 +149,52 @@ pub fn dispatch_chain(
 ) -> SysOutcome {
     for i in 0..chain.len() {
         if chain[i].interests().contains(nr) {
-            // The virtual-call cost is charged before the agent's obs
-            // frame opens: it is paid by the *caller* crossing into the
-            // agent, so it attributes to the calling layer.
-            let vcost = kernel.profile.virtual_call_ns;
-            kernel.clock.advance_ns(vcost);
-            if let Ok(p) = kernel.proc_mut(pid) {
-                p.usage.sys_ns += vcost;
-            }
-            let layer = chain[i].name();
-            kernel
-                .obs
-                .layer_enter(layer, pid, nr, kernel.clock.elapsed_ns());
-            let (cur, below) = chain.split_at_mut(i + 1);
-            let mut ctx = SysCtx::new(kernel, pid, below, restarts);
-            let out = cur[i].syscall(&mut ctx, nr, args);
-            kernel
-                .obs
-                .layer_exit(layer, pid, nr, out.obs_outcome(), kernel.clock.elapsed_ns());
-            return out;
+            return dispatch_chain_from(kernel, pid, chain, i, nr, args, restarts);
         }
     }
     kernel.syscall(pid, nr, args)
+}
+
+/// [`dispatch_chain`] entered directly at agent index `first` — the flat
+/// dispatch table's fast entry. `first` must index the first agent whose
+/// interests contain `nr` (or be past the end for a kernel-direct call);
+/// the charging is identical to the scanning walk because skipped agents
+/// cost nothing.
+pub fn dispatch_chain_from(
+    kernel: &mut Kernel,
+    pid: Pid,
+    chain: &mut [Box<dyn Agent>],
+    first: usize,
+    nr: u32,
+    args: RawArgs,
+    restarts: u32,
+) -> SysOutcome {
+    if first >= chain.len() {
+        return kernel.syscall(pid, nr, args);
+    }
+    debug_assert!(
+        chain[first].interests().contains(nr),
+        "flat table pointed at an uninterested agent"
+    );
+    // The virtual-call cost is charged before the agent's obs
+    // frame opens: it is paid by the *caller* crossing into the
+    // agent, so it attributes to the calling layer.
+    let vcost = kernel.profile.virtual_call_ns;
+    kernel.clock.advance_ns(vcost);
+    if let Ok(p) = kernel.proc_mut(pid) {
+        p.usage.sys_ns += vcost;
+    }
+    let layer = chain[first].name();
+    kernel
+        .obs
+        .layer_enter(layer, pid, nr, kernel.clock.elapsed_ns());
+    let (cur, below) = chain.split_at_mut(first + 1);
+    let mut ctx = SysCtx::new(kernel, pid, below, restarts);
+    let out = cur[first].syscall(&mut ctx, nr, args);
+    kernel
+        .obs
+        .layer_exit(layer, pid, nr, out.obs_outcome(), kernel.clock.elapsed_ns());
+    out
 }
 
 /// Runs the upward signal path through `chain` (top agent closest to the

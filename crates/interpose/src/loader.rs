@@ -23,6 +23,9 @@ pub fn wrap_process(
     mut agent: Box<dyn Agent>,
     agent_args: &[Vec<u8>],
 ) {
+    // Installing an agent mutates the chain: any batched calls must be
+    // observed by the old configuration first.
+    router.flush_pending(k, pid);
     let cost = k.profile.agent_startup_ns;
     k.clock.advance_ns(cost);
     if let Ok(p) = k.proc_mut(pid) {

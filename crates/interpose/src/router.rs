@@ -4,10 +4,16 @@
 use std::collections::HashMap;
 
 use ia_abi::{RawArgs, Signal, Sysno};
-use ia_kernel::{Kernel, Pid, SysOutcome, SyscallRouter};
+use ia_kernel::{BatchCall, FastMode, FastSpec, Kernel, Pid, SysOutcome, SyscallRouter};
 
-use crate::agent::{dispatch_chain, signal_chain, Agent, SysCtx};
+use crate::agent::{dispatch_chain, dispatch_chain_from, signal_chain, Agent, SysCtx};
 use crate::interest::InterestSet;
+
+/// Flat-table entry meaning "no agent interested: call the kernel".
+const KERNEL_DIRECT: u8 = 0xFF;
+
+/// Maximum calls buffered in one vectored upcall before it is flushed.
+pub const BATCH_CAP: usize = 32;
 
 /// Counters describing what the router did, for experiments.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -24,18 +30,120 @@ pub struct RouterStats {
     pub chains_forked: u64,
 }
 
-/// One process's agent chain plus its cached interest union.
+/// Consecutive same-number calls awaiting delivery as one vectored upcall.
+struct PendingBatch {
+    nr: u32,
+    calls: Vec<BatchCall>,
+}
+
+/// One process's agent chain plus everything compiled from it at
+/// install/modify time: the interest union, the flat per-number dispatch
+/// table, the batchable-number set, and any pending vectored upcall.
 struct Chain {
     agents: Vec<Box<dyn Agent>>,
     interest: InterestSet,
+    /// Flat dispatch table: trap number → index of the first interested
+    /// agent, or [`KERNEL_DIRECT`]. Entry 255 also covers all numbers
+    /// ≥ 256 (they share one interest bit). Only trusted while `fixed`.
+    flat: [u8; 256],
+    /// Numbers where every interested agent accepts vectored upcalls.
+    batchable: InterestSet,
+    /// All agents report fixed interests (and the chain is short enough to
+    /// index), so `flat` and `batchable` are trustworthy between mutations.
+    fixed: bool,
+    pending: Option<PendingBatch>,
 }
 
 impl Chain {
+    fn new() -> Chain {
+        Chain {
+            agents: Vec::new(),
+            interest: InterestSet::NONE,
+            flat: [KERNEL_DIRECT; 256],
+            batchable: InterestSet::NONE,
+            fixed: true,
+            pending: None,
+        }
+    }
+
+    /// Recompiles every cached table from the current agent list. Called on
+    /// each chain mutation (install, removal, fork) — this *is* the flat
+    /// table and vDSO invalidation rule: mutation implies recompilation.
     fn recompute(&mut self) {
         self.interest = self
             .agents
             .iter()
             .fold(InterestSet::NONE, |acc, a| acc.union(&a.interests()));
+        self.fixed = self.agents.len() < usize::from(KERNEL_DIRECT)
+            && self.agents.iter().all(|a| a.interests_fixed());
+        self.flat = [KERNEL_DIRECT; 256];
+        self.batchable = InterestSet::NONE;
+        if !self.fixed {
+            return;
+        }
+        for (i, agent) in self.agents.iter().enumerate().rev() {
+            for nr in agent.interests().iter() {
+                self.flat[nr as usize] = i as u8;
+            }
+        }
+        for nr in self.interest.iter() {
+            let all_batch = self
+                .agents
+                .iter()
+                .all(|a| !a.interests().contains(nr) || a.batch_interests().contains(nr));
+            if all_batch {
+                self.batchable.add(nr);
+            }
+        }
+    }
+
+    /// Delivers the pending vectored upcall, if any: charges the single
+    /// amortized interception cost and hands each batch-interested agent
+    /// the recorded calls. Charging order mirrors the per-call intercepted
+    /// path (intercept, then one virtual call per visited agent).
+    fn flush(&mut self, k: &mut Kernel, pid: Pid) {
+        let Some(batch) = self.pending.take() else {
+            return;
+        };
+        let nr = batch.nr;
+        k.obs
+            .layer_enter("interpose", pid, nr, k.clock.elapsed_ns());
+        let cost = k.profile.intercept_ns;
+        k.clock.advance_ns(cost);
+        if let Ok(p) = k.proc_mut(pid) {
+            p.usage.sys_ns += cost;
+        }
+        for i in 0..self.agents.len() {
+            if !self.agents[i].interests().contains(nr)
+                || !self.agents[i].batch_interests().contains(nr)
+            {
+                continue;
+            }
+            let vcost = k.profile.virtual_call_ns;
+            k.clock.advance_ns(vcost);
+            if let Ok(p) = k.proc_mut(pid) {
+                p.usage.sys_ns += vcost;
+            }
+            let layer = self.agents[i].name();
+            k.obs.layer_enter(layer, pid, nr, k.clock.elapsed_ns());
+            let (cur, below) = self.agents.split_at_mut(i + 1);
+            let mut ctx = SysCtx::new(k, pid, below, 0);
+            cur[i].syscall_batch(&mut ctx, nr, &batch.calls);
+            k.obs.layer_exit(
+                layer,
+                pid,
+                nr,
+                SysOutcome::ok().obs_outcome(),
+                k.clock.elapsed_ns(),
+            );
+        }
+        k.obs.layer_exit(
+            "interpose",
+            pid,
+            nr,
+            SysOutcome::ok().obs_outcome(),
+            k.clock.elapsed_ns(),
+        );
     }
 }
 
@@ -71,12 +179,19 @@ impl InterposedRouter {
     /// Pushes an agent on top of `pid`'s chain (the new agent sees traps
     /// first). This is the simulated `task_set_emulation()` registration.
     pub fn push_agent(&mut self, pid: Pid, agent: Box<dyn Agent>) {
-        let chain = self.chains.entry(pid).or_insert(Chain {
-            agents: Vec::new(),
-            interest: InterestSet::NONE,
-        });
+        let chain = self.chains.entry(pid).or_insert_with(Chain::new);
         chain.agents.insert(0, agent);
         chain.recompute();
+    }
+
+    /// Delivers any pending vectored upcall for `pid` immediately. Callers
+    /// that mutate the chain (the loader, tests driving [`Self::with_chain`])
+    /// use this first so agents observe the calls made under the *old*
+    /// chain configuration before it changes.
+    pub fn flush_pending(&mut self, k: &mut Kernel, pid: Pid) {
+        if let Some(chain) = self.chains.get_mut(&pid) {
+            chain.flush(k, pid);
+        }
     }
 
     /// Removes every agent from `pid`'s chain, returning them.
@@ -137,10 +252,8 @@ impl InterposedRouter {
             let mut ctx = SysCtx::new(k, child, below, 0);
             cur[i].init_child(&mut ctx);
         }
-        let mut chain = Chain {
-            agents,
-            interest: InterestSet::NONE,
-        };
+        let mut chain = Chain::new();
+        chain.agents = agents;
         chain.recompute();
         self.chains.insert(child, chain);
         self.stats.chains_forked += 1;
@@ -163,31 +276,75 @@ impl SyscallRouter for InterposedRouter {
                 self.stats.unmanaged += 1;
                 k.syscall(pid, nr, args)
             }
-            Some(chain) if !chain.interest.contains(nr) => {
-                // Pay-per-use: no agent cost at all.
-                self.stats.passthrough += 1;
-                k.syscall(pid, nr, args)
+            Some(chain) if chain.batchable.contains(nr) => {
+                // Vectored upcall path (always on, independent of the fast
+                // path and the scheduler): the kernel executes the call
+                // now; interested agents observe it later, in one batch.
+                if chain.pending.as_ref().is_some_and(|b| b.nr != nr) {
+                    chain.flush(k, pid);
+                }
+                self.stats.intercepted += 1;
+                let out = k.syscall(pid, nr, args);
+                match out {
+                    SysOutcome::Done(res) => {
+                        let batch = chain.pending.get_or_insert_with(|| PendingBatch {
+                            nr,
+                            calls: Vec::new(),
+                        });
+                        batch.calls.push(BatchCall { args, ret: res });
+                        if batch.calls.len() >= BATCH_CAP {
+                            chain.flush(k, pid);
+                        }
+                    }
+                    // Blocked or no-return calls cannot sit in a batch;
+                    // deliver what we have so agents stay ordered.
+                    _ => chain.flush(k, pid),
+                }
+                out
             }
             Some(chain) => {
-                self.stats.intercepted += 1;
-                // The obs enter comes first so the trap-redirection cost
-                // below is attributed to the "interpose" pseudo-layer.
-                k.obs
-                    .layer_enter("interpose", pid, nr, k.clock.elapsed_ns());
-                let cost = k.profile.intercept_ns;
-                k.clock.advance_ns(cost);
-                if let Ok(p) = k.proc_mut(pid) {
-                    p.usage.sys_ns += cost;
+                // Which agent (if any) sees this trap: one indexed load
+                // from the flat table when it is trustworthy, the legacy
+                // interest-union test plus chain walk otherwise.
+                let first = if k.fast_path && chain.fixed {
+                    usize::from(chain.flat[(nr as usize).min(255)])
+                } else if chain.interest.contains(nr) {
+                    0
+                } else {
+                    usize::from(KERNEL_DIRECT)
+                };
+                if first >= chain.agents.len() {
+                    // Pay-per-use: no agent cost at all.
+                    self.stats.passthrough += 1;
+                    k.syscall(pid, nr, args)
+                } else {
+                    // An individually intercepted call must not overtake a
+                    // pending batch: agents observe calls in order.
+                    chain.flush(k, pid);
+                    self.stats.intercepted += 1;
+                    // The obs enter comes first so the trap-redirection cost
+                    // below is attributed to the "interpose" pseudo-layer.
+                    k.obs
+                        .layer_enter("interpose", pid, nr, k.clock.elapsed_ns());
+                    let cost = k.profile.intercept_ns;
+                    k.clock.advance_ns(cost);
+                    if let Ok(p) = k.proc_mut(pid) {
+                        p.usage.sys_ns += cost;
+                    }
+                    let out = if k.fast_path && chain.fixed {
+                        dispatch_chain_from(k, pid, &mut chain.agents, first, nr, args, restarts)
+                    } else {
+                        dispatch_chain(k, pid, &mut chain.agents, nr, args, restarts)
+                    };
+                    k.obs.layer_exit(
+                        "interpose",
+                        pid,
+                        nr,
+                        out.obs_outcome(),
+                        k.clock.elapsed_ns(),
+                    );
+                    out
                 }
-                let out = dispatch_chain(k, pid, &mut chain.agents, nr, args, restarts);
-                k.obs.layer_exit(
-                    "interpose",
-                    pid,
-                    nr,
-                    out.obs_outcome(),
-                    k.clock.elapsed_ns(),
-                );
-                out
             }
         };
 
@@ -224,6 +381,9 @@ impl SyscallRouter for InterposedRouter {
         if chain.agents.is_empty() {
             return true;
         }
+        // Agents must observe batched calls before the signal they might
+        // react to.
+        chain.flush(k, pid);
         self.stats.signals_filtered += 1;
         match signal_chain(k, pid, &mut chain.agents, sig) {
             Some(s) if s == sig => true,
@@ -237,9 +397,74 @@ impl SyscallRouter for InterposedRouter {
     }
 
     fn on_process_exit(&mut self, k: &mut Kernel, pid: Pid) {
-        if self.chains.remove(&pid).is_some() {
+        if let Some(mut chain) = self.chains.remove(&pid) {
+            // Undelivered batched calls are observed before teardown.
+            chain.flush(k, pid);
             // Agent teardown: close logs, flush state, release objects.
             k.clock.advance_ns(k.profile.agent_exit_ns);
+        }
+    }
+
+    fn fast_spec(&mut self, _k: &Kernel, pid: Pid) -> FastSpec {
+        let Some(chain) = self.chains.get(&pid) else {
+            return FastSpec::DIRECT;
+        };
+        if chain.agents.is_empty() {
+            return FastSpec::DIRECT;
+        }
+        if !chain.fixed {
+            return FastSpec::OFF;
+        }
+        let mode = |nr: Sysno| {
+            let nr = nr.number();
+            if !chain.interest.contains(nr) {
+                FastMode::Direct
+            } else if chain.batchable.contains(nr) {
+                FastMode::Collect
+            } else {
+                FastMode::Off
+            }
+        };
+        FastSpec {
+            getpid: mode(Sysno::Getpid),
+            gtod: mode(Sysno::Gettimeofday),
+            pending_nr: chain.pending.as_ref().map(|b| b.nr),
+            pending_len: chain.pending.as_ref().map_or(0, |b| b.calls.len() as u32),
+            batch_cap: BATCH_CAP as u32,
+        }
+    }
+
+    fn note_fast_direct(&mut self, _k: &mut Kernel, pid: Pid, _nr: u32, count: u64) {
+        // Mirrors what `route` would have counted per call: pay-per-use
+        // passthrough under a chain, unmanaged without one. Direct calls
+        // never flush a pending batch — the slow path would not have
+        // flushed on a passthrough either.
+        if self.chains.contains_key(&pid) {
+            self.stats.passthrough += count;
+        } else {
+            self.stats.unmanaged += count;
+        }
+    }
+
+    fn absorb_batch(&mut self, k: &mut Kernel, pid: Pid, nr: u32, calls: &[BatchCall]) {
+        let Some(chain) = self.chains.get_mut(&pid) else {
+            return;
+        };
+        if chain.pending.as_ref().is_some_and(|b| b.nr != nr) {
+            // The lane bails on number changes, so this cannot happen by
+            // construction; flushing keeps it correct anyway.
+            chain.flush(k, pid);
+        }
+        self.stats.intercepted += calls.len() as u64;
+        for call in calls {
+            let batch = chain.pending.get_or_insert_with(|| PendingBatch {
+                nr,
+                calls: Vec::new(),
+            });
+            batch.calls.push(*call);
+            if batch.calls.len() >= BATCH_CAP {
+                chain.flush(k, pid);
+            }
         }
     }
 }

@@ -1,0 +1,172 @@
+//! Directed regression for fast-path invalidation under mid-run chain
+//! mutation.
+//!
+//! The flat dispatch table, the batchable-number set, and the in-loop
+//! answer table are all compiled from the chain; every mutation must
+//! invalidate them and flush any pending vectored upcall under the *old*
+//! configuration. This test drives one client through four chain
+//! configurations in a single run — bare, a batchable observer, a
+//! non-batchable tap stacked on top, and back to the observer alone — and
+//! asserts the complete observable state is bit-identical with the fast
+//! path on, off, and under the legacy scheduler.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use ia_abi::{RawArgs, Sysno};
+use ia_interpose::{wrap_process, Agent, BatchCall, InterestSet, InterposedRouter, SysCtx};
+use ia_kernel::{run, run_legacy, Kernel, Observable, RunLimits, RunOutcome, SysOutcome, I486_25};
+
+/// Batchable full-coverage observer (counts calls seen, per-call or
+/// vectored).
+struct Watcher {
+    calls: Rc<Cell<u64>>,
+    batches: Rc<Cell<u64>>,
+}
+
+impl Agent for Watcher {
+    fn name(&self) -> &'static str {
+        "watcher"
+    }
+    fn interests(&self) -> InterestSet {
+        InterestSet::ALL
+    }
+    fn batch_interests(&self) -> InterestSet {
+        InterestSet::ALL
+    }
+    fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
+        self.calls.set(self.calls.get() + 1);
+        ctx.down(nr, args)
+    }
+    fn syscall_batch(&mut self, _ctx: &mut SysCtx<'_>, _nr: u32, calls: &[BatchCall]) {
+        self.batches.set(self.batches.get() + 1);
+        self.calls.set(self.calls.get() + calls.len() as u64);
+    }
+    fn clone_box(&self) -> Box<dyn Agent> {
+        Box::new(Watcher {
+            calls: self.calls.clone(),
+            batches: self.batches.clone(),
+        })
+    }
+}
+
+/// Non-batchable tap on `getpid` only: stacking it above the watcher must
+/// kill vectored upcalls for getpid until it is removed again.
+struct PidTap;
+
+impl Agent for PidTap {
+    fn name(&self) -> &'static str {
+        "pid-tap"
+    }
+    fn interests(&self) -> InterestSet {
+        InterestSet::of(&[Sysno::Getpid])
+    }
+    fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
+        ctx.down(nr, args)
+    }
+    fn clone_box(&self) -> Box<dyn Agent> {
+        Box::new(PidTap)
+    }
+}
+
+struct MutatedRun {
+    obs: Observable,
+    watcher_calls: u64,
+    watcher_batches: u64,
+    intercepted: u64,
+    unmanaged: u64,
+    fast_hits: u64,
+}
+
+fn run_mutating(fast: bool, legacy: bool) -> MutatedRun {
+    // Loop counter in r10: syscall returns clobber r0..r2.
+    let src = "
+main:   li r10, 400
+loop:   addi r10, r10, -1
+        sys getpid
+        jnz r10, loop
+        li r0, 0
+        sys exit
+";
+    let img = ia_vm::assemble(src).unwrap();
+    let mut k = Kernel::new(I486_25);
+    k.fast_path = fast;
+    let pid = k.spawn_image(&img, &[b"inv"], b"inv");
+    let mut router = InterposedRouter::new();
+    let calls = Rc::new(Cell::new(0));
+    let batches = Rc::new(Cell::new(0));
+
+    let drive = |k: &mut Kernel, router: &mut InterposedRouter, max_steps: u64| {
+        let limits = RunLimits { max_steps };
+        if legacy {
+            run_legacy(k, router, limits)
+        } else {
+            run(k, router, limits)
+        }
+    };
+
+    // Phase 1: bare — with the fast path on, getpid is answered in-loop.
+    assert_eq!(drive(&mut k, &mut router, 150), RunOutcome::StepLimit);
+    // Phase 2: install the batchable observer mid-run.
+    wrap_process(
+        &mut k,
+        &mut router,
+        pid,
+        Box::new(Watcher {
+            calls: calls.clone(),
+            batches: batches.clone(),
+        }),
+        &[],
+    );
+    assert_eq!(drive(&mut k, &mut router, 150), RunOutcome::StepLimit);
+    // Phase 3: stack a non-batchable getpid tap on top — the batchable
+    // set must be recompiled without getpid.
+    wrap_process(&mut k, &mut router, pid, Box::new(PidTap), &[]);
+    assert_eq!(drive(&mut k, &mut router, 150), RunOutcome::StepLimit);
+    // Phase 4: remove the tap mid-run. Any pending vector is delivered
+    // under the old chain before it changes.
+    router.flush_pending(&mut k, pid);
+    let removed = router
+        .with_chain(pid, |agents| {
+            assert_eq!(agents.len(), 2);
+            agents.remove(0)
+        })
+        .expect("chain still installed");
+    assert_eq!(removed.name(), "pid-tap");
+    assert_eq!(drive(&mut k, &mut router, 5_000_000), RunOutcome::AllExited);
+
+    MutatedRun {
+        obs: k.observable(),
+        watcher_calls: calls.get(),
+        watcher_batches: batches.get(),
+        intercepted: router.stats.intercepted,
+        unmanaged: router.stats.unmanaged,
+        fast_hits: k.fast_stats.hits(),
+    }
+}
+
+#[test]
+fn chain_mutation_invalidates_fast_state_identically() {
+    let fast = run_mutating(true, false);
+    let slow = run_mutating(false, false);
+    let legacy = run_mutating(false, true);
+
+    // The run actually exercised every configuration.
+    assert!(
+        fast.watcher_calls > 200,
+        "watcher saw {}",
+        fast.watcher_calls
+    );
+    assert!(fast.watcher_batches > 0, "no vectored upcalls delivered");
+    assert!(fast.intercepted > 0 && fast.unmanaged > 0);
+    assert!(fast.fast_hits > 0, "fast run never used the in-loop lane");
+    assert_eq!(slow.fast_hits, 0, "slow run must not use the lane");
+
+    for (label, other) in [("fast off", &slow), ("legacy", &legacy)] {
+        assert_eq!(fast.obs, other.obs, "observable state diverged vs {label}");
+        assert_eq!(fast.watcher_calls, other.watcher_calls, "vs {label}");
+        assert_eq!(fast.watcher_batches, other.watcher_batches, "vs {label}");
+        assert_eq!(fast.intercepted, other.intercepted, "vs {label}");
+        assert_eq!(fast.unmanaged, other.unmanaged, "vs {label}");
+    }
+}

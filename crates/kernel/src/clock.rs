@@ -208,6 +208,14 @@ impl Clock {
         self.ns += ns;
     }
 
+    /// Current wall-clock epoch in seconds (shifted by `settimeofday`).
+    /// The in-loop fast path uses this to compute `gettimeofday` answers
+    /// incrementally without re-borrowing the clock per call.
+    #[must_use]
+    pub fn epoch_secs(&self) -> i64 {
+        self.epoch_secs
+    }
+
     /// Current wall-clock time as a [`Timeval`] (epoch + elapsed).
     #[must_use]
     pub fn now(&self) -> Timeval {

@@ -120,6 +120,51 @@ pub struct PerfCounters {
     pub idle_advances: u64,
 }
 
+/// Host-side hit/miss counters for the in-loop syscall fast path, keyed by
+/// `(pid, raw syscall number)`. A *hit* is a trap answered inside the VM
+/// loop; a *miss* is a trap on a fast-answerable number that went through
+/// the ordinary dispatcher instead (fast path off, chain interested, other
+/// processes runnable, …). Like [`PerfCounters`], these measure the
+/// simulator, never the simulated machine.
+#[derive(Debug, Clone, Default)]
+pub struct FastPathStats {
+    /// `(pid, raw syscall number) → (hits, misses)`.
+    pub counts: HashMap<(Pid, u32), (u64, u64)>,
+}
+
+impl FastPathStats {
+    /// Records `n` in-loop answers of `nr` for `pid`.
+    pub fn note_hits(&mut self, pid: Pid, nr: u32, n: u64) {
+        self.counts.entry((pid, nr)).or_default().0 += n;
+    }
+
+    /// Records one ordinary dispatch of a fast-answerable number.
+    pub fn note_miss(&mut self, pid: Pid, nr: u32) {
+        self.counts.entry((pid, nr)).or_default().1 += 1;
+    }
+
+    /// Total hits across all processes and numbers.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.counts.values().map(|&(h, _)| h).sum()
+    }
+
+    /// Total misses across all processes and numbers.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.counts.values().map(|&(_, m)| m).sum()
+    }
+
+    /// All counters as `((pid, nr), (hits, misses))` rows, sorted by pid
+    /// then syscall number, for stable reports.
+    #[must_use]
+    pub fn rows(&self) -> Vec<((Pid, u32), (u64, u64))> {
+        let mut v: Vec<_> = self.counts.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+}
+
 /// The simulated 4.3BSD kernel.
 #[derive(Debug)]
 pub struct Kernel {
@@ -164,6 +209,12 @@ pub struct Kernel {
     /// Flight recorder + per-layer metrics (ia-obs). Disabled by default;
     /// every hook is observably inert (never advances the virtual clock).
     pub obs: ia_obs::Obs,
+    /// Enables the trap fast path (flat dispatch tables and the in-loop
+    /// vDSO lane). On by default; the conform oracle turns it off to prove
+    /// the fast and slow paths are bit-identical.
+    pub fast_path: bool,
+    /// Fast-path hit/miss counters (host-side; see [`FastPathStats`]).
+    pub fast_stats: FastPathStats,
 }
 
 impl Kernel {
@@ -229,6 +280,8 @@ impl Kernel {
             total_insns: 0,
             exec_gate: None,
             obs: ia_obs::Obs::new(),
+            fast_path: true,
+            fast_stats: FastPathStats::default(),
         }
     }
 

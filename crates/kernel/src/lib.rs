@@ -29,8 +29,11 @@ pub use clock::{Clock, MachineProfile, EPOCH_SECS, I486_25, VAX_6250};
 pub use console::{Console, DEV_NULL, DEV_TTY, DEV_ZERO};
 pub use files::{FdEntry, FdTable, FileKind, OpenFile, OpenFiles, SockId, FD_TABLE_SIZE};
 pub use ia_obs::{Event as ObsEvent, Obs, Outcome as ObsOutcome, Stamped};
-pub use kernel::{push_args, ExecGate, Kernel, PerfCounters, SysOutcome, WakeEvent};
+pub use ia_vm::machine::{BatchCall, FastMode};
+pub use kernel::{push_args, ExecGate, FastPathStats, Kernel, PerfCounters, SysOutcome, WakeEvent};
 pub use process::{PendingTrap, Pid, ProcState, Process, SigAction, SigState, Usage, WaitChannel};
-pub use sched::{run, run_legacy, KernelRouter, RunLimits, RunOutcome, SyscallRouter, SLICE};
+pub use sched::{
+    run, run_legacy, FastSpec, KernelRouter, RunLimits, RunOutcome, SyscallRouter, SLICE,
+};
 pub use snapshot::{ClientView, Observable};
 pub use socket::{SockState, Socket, SocketTable};

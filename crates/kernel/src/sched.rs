@@ -26,14 +26,62 @@ use std::cmp::Reverse;
 use ia_abi::signal::{DefaultAction, SigDisposition, Signal};
 use ia_abi::types::SigContext;
 use ia_abi::wire::Wire;
-use ia_abi::{Errno, RawArgs};
-use ia_vm::machine::{run_slice, step, SliceEnd, StepEvent};
+use ia_abi::{Errno, RawArgs, Sysno};
+use ia_vm::machine::{
+    run_fast, run_slice, step, BatchCall, FastEnd, FastMode, FastParams, SliceEnd, StepEvent,
+};
 
 use crate::kernel::{Kernel, SysOutcome, WakeEvent};
 use crate::process::{PendingTrap, Pid, ProcState, WaitChannel};
 
 /// Instructions per scheduling slice.
 pub const SLICE: u32 = 100;
+
+/// The per-process answer table for the in-loop syscall fast path — the
+/// router's verdict on which fast-answerable numbers may be answered
+/// inside the VM loop for one process, computed from the installed agent
+/// chain at lane entry (and therefore invalidated for free on any chain
+/// mutation: the next lane entry recomputes it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastSpec {
+    /// How `getpid` may be answered.
+    pub getpid: FastMode,
+    /// How `gettimeofday` may be answered.
+    pub gtod: FastMode,
+    /// Syscall number of the router's pending vectored batch, if any.
+    pub pending_nr: Option<u32>,
+    /// Calls already in the router's pending batch.
+    pub pending_len: u32,
+    /// The router's batch capacity (flush threshold).
+    pub batch_cap: u32,
+}
+
+impl FastSpec {
+    /// Everything off: never answer in the loop.
+    pub const OFF: FastSpec = FastSpec {
+        getpid: FastMode::Off,
+        gtod: FastMode::Off,
+        pending_nr: None,
+        pending_len: 0,
+        batch_cap: u32::MAX,
+    };
+
+    /// Everything answered directly with no agent involvement.
+    pub const DIRECT: FastSpec = FastSpec {
+        getpid: FastMode::Direct,
+        gtod: FastMode::Direct,
+        pending_nr: None,
+        pending_len: 0,
+        batch_cap: u32::MAX,
+    };
+
+    /// True when at least one number is answerable, i.e. entering the
+    /// lane can make progress.
+    #[must_use]
+    pub fn lane_enabled(&self) -> bool {
+        self.getpid != FastMode::Off || self.gtod != FastMode::Off
+    }
+}
 
 /// How a trap reaches an implementation of the system interface.
 pub trait SyscallRouter {
@@ -60,6 +108,23 @@ pub trait SyscallRouter {
     /// Notification that a process has terminated (for per-process state
     /// cleanup, e.g. agent chains).
     fn on_process_exit(&mut self, _k: &mut Kernel, _pid: Pid) {}
+
+    /// The in-loop fast-path answer table for `pid`, consulted at each lane
+    /// entry. The conservative default keeps everything on the ordinary
+    /// dispatch path.
+    fn fast_spec(&mut self, _k: &Kernel, _pid: Pid) -> FastSpec {
+        FastSpec::OFF
+    }
+
+    /// Notification that `count` traps of `nr` from `pid` were answered
+    /// in-loop in [`FastMode::Direct`] — the router reconciles its
+    /// pay-per-use counters so fast and slow runs report identically.
+    fn note_fast_direct(&mut self, _k: &mut Kernel, _pid: Pid, _nr: u32, _count: u64) {}
+
+    /// Hands the router the calls answered in-loop in [`FastMode::Collect`]
+    /// so it can extend (and, at capacity, flush) its pending vectored
+    /// batch exactly as if each call had been routed individually.
+    fn absorb_batch(&mut self, _k: &mut Kernel, _pid: Pid, _nr: u32, _calls: &[BatchCall]) {}
 }
 
 /// The identity router: every trap goes directly to the kernel.
@@ -76,6 +141,11 @@ impl SyscallRouter for KernelRouter {
         _restarts: u32,
     ) -> SysOutcome {
         k.syscall(pid, nr, args)
+    }
+
+    fn fast_spec(&mut self, _k: &Kernel, _pid: Pid) -> FastSpec {
+        // No agents anywhere: fast-answerable numbers are always direct.
+        FastSpec::DIRECT
     }
 }
 
@@ -177,6 +247,31 @@ pub fn run<R: SyscallRouter>(k: &mut Kernel, router: &mut R, limits: RunLimits) 
                 return RunOutcome::StepLimit;
             }
             continue;
+        }
+
+        // The in-loop fast path: when this is the only runnable process,
+        // nothing is observing, and no timer or timed select could fire
+        // mid-burst, traps with a fast answer table entry are handled
+        // inside the VM loop — no scheduler round, no dispatcher — with
+        // accounting bit-identical to the ordinary turns below.
+        if k.fast_path
+            && !k.obs.is_enabled()
+            && k.run_queue.len() == 1
+            && k.timer_heap.is_empty()
+            && k.select_heap.is_empty()
+        {
+            let spec = router.fast_spec(k, pid);
+            if spec.lane_enabled() {
+                let (used, ret) = fast_lane(k, router, pid, spec, limits.max_steps - steps);
+                steps += used;
+                if let Some(out) = ret {
+                    return out;
+                }
+                if steps >= limits.max_steps {
+                    return limit_outcome(k);
+                }
+                continue;
+            }
         }
 
         // Run one slice as a single burst. The budget never exceeds the
@@ -361,6 +456,107 @@ pub fn run_legacy<R: SyscallRouter>(
     }
 }
 
+/// One fast-lane burst: runs [`run_fast`] on the chosen process and applies
+/// its totals to the kernel exactly as the equivalent sequence of ordinary
+/// turns would have (clock, rusage counters, syscall totals), then routes
+/// the router-visible effects through [`SyscallRouter::note_fast_direct`]
+/// and [`SyscallRouter::absorb_batch`] and dispatches any trailing event.
+///
+/// Returns `(steps_consumed, Some(outcome))` to end the run, or
+/// `(steps_consumed, None)` to continue the outer loop (the caller still
+/// performs the step-limit check, mirroring the ordinary turn epilogue).
+fn fast_lane<R: SyscallRouter>(
+    k: &mut Kernel,
+    router: &mut R,
+    pid: Pid,
+    spec: FastSpec,
+    remaining: u64,
+) -> (u64, Option<RunOutcome>) {
+    let params = FastParams {
+        slice: SLICE,
+        remaining,
+        insn_ns: k.profile.insn_ns,
+        clock_base_ns: k.clock.elapsed_ns(),
+        epoch_secs: k.clock.epoch_secs(),
+        pid: u64::from(pid),
+        getpid: spec.getpid,
+        gtod: spec.gtod,
+        getpid_cost_ns: k.profile.syscall_base_ns(Sysno::Getpid),
+        gtod_cost_ns: k.profile.syscall_base_ns(Sysno::Gettimeofday),
+        pending_nr: spec.pending_nr,
+        pending_len: spec.pending_len,
+        batch_cap: spec.batch_cap,
+    };
+    let Some(p) = k.procs.get_mut(&pid) else {
+        // Mirrors the ordinary missing-process turn: one step, move on.
+        return (1, None);
+    };
+    let run = run_fast(&mut p.vm, &mut p.mem, &p.code, &params);
+    p.usage.user_insns += run.retired;
+    p.usage.sys_ns += run.cost_ns;
+    p.usage.nsyscalls += run.answered;
+    p.usage.nvcsw += run.answered;
+    p.usage.nivcsw += run.full_turns;
+    k.perf.slices += 1;
+    k.total_insns += run.retired;
+    k.total_syscalls += run.answered;
+    k.clock
+        .advance_ns(run.retired * k.profile.insn_ns + run.cost_ns);
+
+    if run.direct_getpid > 0 {
+        let nr = Sysno::Getpid.number();
+        k.fast_stats.note_hits(pid, nr, run.direct_getpid);
+        router.note_fast_direct(k, pid, nr, run.direct_getpid);
+    }
+    if run.direct_gtod > 0 {
+        let nr = Sysno::Gettimeofday.number();
+        k.fast_stats.note_hits(pid, nr, run.direct_gtod);
+        router.note_fast_direct(k, pid, nr, run.direct_gtod);
+    }
+    if !run.collected.is_empty() {
+        k.fast_stats
+            .note_hits(pid, run.collected_nr, run.collected.len() as u64);
+        router.absorb_batch(k, pid, run.collected_nr, &run.collected);
+    }
+
+    let charge_trailing_nivcsw = |k: &mut Kernel| {
+        if let Some(p) = k.procs.get_mut(&pid) {
+            p.usage.nivcsw += 1;
+        }
+    };
+    match run.end {
+        FastEnd::Trap { nr, args } => {
+            dispatch(k, router, pid, nr, args, 0);
+            if run.end_turn_full {
+                charge_trailing_nivcsw(k);
+            }
+            (run.steps, None)
+        }
+        FastEnd::Halted => {
+            let status = k
+                .procs
+                .get(&pid)
+                .map(|p| (p.vm.regs[0] & 0xff) as u8)
+                .unwrap_or(0);
+            k.terminate(pid, ia_abi::signal::wait_status_exited(status));
+            router.on_process_exit(k, pid);
+            if run.end_turn_full {
+                charge_trailing_nivcsw(k);
+            }
+            (run.steps, None)
+        }
+        FastEnd::Fault(sig) => {
+            handle_fault(k, router, pid, sig);
+            if run.end_turn_full {
+                charge_trailing_nivcsw(k);
+            }
+            (run.steps, None)
+        }
+        FastEnd::StepLimit => (run.steps, Some(limit_outcome(k))),
+        FastEnd::CapBail => (run.steps, None),
+    }
+}
+
 /// Step-limit epilogue shared by both schedulers: only give up if there is
 /// really still work to do.
 fn limit_outcome(k: &Kernel) -> RunOutcome {
@@ -391,6 +587,11 @@ fn dispatch<R: SyscallRouter>(
     restarts: u32,
 ) {
     k.perf.trap_dispatches += 1;
+    if nr == Sysno::Getpid.number() || nr == Sysno::Gettimeofday.number() {
+        // A fast-answerable number took the ordinary path (fast path off,
+        // lane gate closed, mid-lane bail, or a legacy run): a miss.
+        k.fast_stats.note_miss(pid, nr);
+    }
     k.obs.trap_dispatch(pid, nr, restarts, k.clock.elapsed_ns());
     let outcome = router.route(k, pid, nr, args, restarts);
     let Some(p) = k.procs.get_mut(&pid) else {

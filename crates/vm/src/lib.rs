@@ -41,6 +41,7 @@ pub use disasm::{disasm_insn, disassemble};
 pub use image::{Image, DATA_BASE, IMAGE_MAGIC};
 pub use insn::{Insn, Reg};
 pub use machine::{
-    SliceEnd, SliceResult, StepEvent, VmState, SYSRET_ERRNO, SYSRET_RV0, SYSRET_RV1, SYS_NR_REG,
+    BatchCall, FastEnd, FastMode, FastParams, FastRun, SliceEnd, SliceResult, StepEvent, VmState,
+    SYSRET_ERRNO, SYSRET_RV0, SYSRET_RV1, SYS_NR_REG,
 };
 pub use mem::{AddressSpace, DEFAULT_MEM_SIZE};

@@ -8,4 +8,7 @@ cd "$(dirname "$0")/.."
 cargo fmt --all --check
 cargo clippy --workspace --all-targets --release -- -D warnings
 ./scripts/tier1.sh
+# Bench smoke check: the trap fast path must stay within 20% of the
+# committed BENCH_1 baseline. Runs before --json below rewrites the file.
+cargo run --release -p ia-bench --bin reproduce -- --smoke
 cargo run --release -p ia-bench --bin reproduce -- --json
