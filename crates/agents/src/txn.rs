@@ -10,71 +10,58 @@
 //! could occur within another, transparently providing nested
 //! transactions."
 //!
-//! Mechanics: copy-on-write shadow files under a private directory. A
-//! write-open copies the original to a shadow and redirects; reads of
-//! modified files see the shadow; `unlink` becomes a whiteout; metadata
-//! changes are queued. At the root client's `exit`, the recorded decision
-//! ([`TxnHandle::set_commit`] / default abort) is applied *through
-//! downcalls* — so a txn agent stacked above another txn agent commits
-//! into the outer transaction: nesting falls out of interposition.
+//! Mechanics: **branch at begin, merge or rewind at end**, built on the
+//! versioned VFS. `init` captures the filesystem tree with an O(1)
+//! [`ia_vfs::FsSnapshot`] (structural sharing — nothing is copied). The
+//! client then mutates the *real* tree in place: every read transparently
+//! sees uncommitted state, directory listings included, with zero
+//! per-syscall overhead — no interception, no shadow files, no undo log.
+//! At the root client's `exit`, commit is a no-op (the mutations are
+//! already the tree) and abort rewinds the tree to the begin snapshot via
+//! `Kernel::rollback_fs`, reconciling live descriptors.
 //!
-//! Scope note (documented divergence): directory *listings* do not show
-//! uncommitted creations/whiteouts, and `mkdir`/`rmdir` pass through
-//! untransacted.
+//! Nesting composes by snapshot ordering: each agent rewinds to *its own*
+//! begin capture, so an outer abort discards an inner commit — the inner
+//! transaction committed into a world the outer one then threw away.
+//!
+//! Scope note (documented divergence): the transaction brackets the whole
+//! filesystem tree, not just the session's own writes — an abort also
+//! rewinds concurrent writes by processes outside the session. The paper's
+//! per-session shadowing traded that isolation for copy costs; the
+//! branch-based design trades it back for O(1) begin and true read
+//! transparency.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use ia_abi::{Errno, OpenFlags, Stat, Sysno};
 use ia_interpose::InterestSet;
 use ia_kernel::SysOutcome;
-use ia_toolkit::{Scratch, SymCtx, Symbolic, SymbolicSyscall};
+use ia_toolkit::{SymCtx, Symbolic, SymbolicSyscall};
+use ia_vfs::inode::ROOT_INO;
+use ia_vfs::{Fs, FsSnapshot, Ino};
 
 /// Commit-or-abort decision for the transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Decision {
-    /// Apply all recorded changes at the end.
+    /// Keep all changes made during the session.
     Commit,
-    /// Discard all recorded changes (the safe default).
+    /// Rewind the tree to the begin snapshot (the safe default).
+    #[default]
     Abort,
 }
 
-/// A queued metadata change, replayed on commit.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum MetaOp {
-    Chmod(Vec<u8>, u64),
-    Chown(Vec<u8>, u64, u64),
-    Utimes(Vec<u8>, u64),
-}
-
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct TxnState {
-    shadow_root: Vec<u8>,
-    /// real path → shadow path
-    modified: BTreeMap<Vec<u8>, Vec<u8>>,
-    /// whiteouts
-    deleted: BTreeSet<Vec<u8>>,
-    meta_ops: Vec<MetaOp>,
+    /// The O(1) tree capture taken at `init`.
+    begin: Option<FsSnapshot>,
     decision: Decision,
     finished: Option<Decision>,
-    next_shadow: u64,
     root_pid: Option<u32>,
-}
-
-impl Default for TxnState {
-    fn default() -> Self {
-        TxnState {
-            shadow_root: b"/tmp/.txn".to_vec(),
-            modified: BTreeMap::new(),
-            deleted: BTreeSet::new(),
-            meta_ops: Vec::new(),
-            decision: Decision::Abort,
-            finished: None,
-            next_shadow: 0,
-            root_pid: None,
-        }
-    }
+    /// Paths whose content changed during the session (diffed at end).
+    modified: Vec<Vec<u8>>,
+    /// Paths removed during the session (diffed at end).
+    deleted: Vec<Vec<u8>>,
 }
 
 /// Host-side control of the transaction.
@@ -94,16 +81,18 @@ impl TxnHandle {
         self.state.borrow_mut().decision = Decision::Abort;
     }
 
-    /// Paths with uncommitted modifications.
+    /// Paths the session modified or created, diffed against the begin
+    /// snapshot when the session ended (empty until then).
     #[must_use]
     pub fn modified_paths(&self) -> Vec<Vec<u8>> {
-        self.state.borrow().modified.keys().cloned().collect()
+        self.state.borrow().modified.clone()
     }
 
-    /// Paths with uncommitted whiteouts.
+    /// Paths the session removed, diffed against the begin snapshot when
+    /// the session ended (empty until then).
     #[must_use]
     pub fn deleted_paths(&self) -> Vec<Vec<u8>> {
-        self.state.borrow().deleted.iter().cloned().collect()
+        self.state.borrow().deleted.clone()
     }
 
     /// The decision that was actually applied, once the session ended.
@@ -117,7 +106,6 @@ impl TxnHandle {
 #[derive(Clone)]
 pub struct Txn {
     state: Rc<RefCell<TxnState>>,
-    scratch: Scratch,
 }
 
 /// Public constructor pairing agent and handle.
@@ -132,192 +120,82 @@ impl TxnAgent {
         (
             Box::new(Symbolic::new(Txn {
                 state: handle.state.clone(),
-                scratch: Scratch::new(),
             })),
             handle,
         )
     }
 }
 
+/// Flattens a tree into `path → (ino of a dir | file content digest)`
+/// for the end-of-session diff. Regular files record a cheap content key
+/// (length + chunk pointers compare first via `FileContent`'s `Eq`).
+fn flatten(
+    fs: &Fs,
+    ino: Ino,
+    prefix: &[u8],
+    out: &mut BTreeMap<Vec<u8>, Option<ia_vfs::FileContent>>,
+) {
+    let Ok(node) = fs.get(ino) else { return };
+    if let Some(data) = node.as_file() {
+        out.insert(prefix.to_vec(), Some(data.clone()));
+        return;
+    }
+    out.insert(prefix.to_vec(), None);
+    let Ok(entries) = fs.readdir(ino) else { return };
+    for e in entries {
+        if e.name == b"." || e.name == b".." {
+            continue;
+        }
+        let mut p = prefix.to_vec();
+        if !p.ends_with(b"/") {
+            p.push(b'/');
+        }
+        p.extend_from_slice(&e.name);
+        flatten(fs, e.ino, &p, out);
+    }
+}
+
 impl Txn {
-    fn down_ok(&self, ctx: &mut SymCtx<'_, '_>, sys: Sysno, args: [u64; 6]) -> Result<u64, Errno> {
-        match ctx.down_args(sys, args) {
-            SysOutcome::Done(Ok([v, _])) => Ok(v),
-            SysOutcome::Done(Err(e)) => Err(e),
-            _ => Err(Errno::EAGAIN),
-        }
-    }
-
-    fn stage(&self, ctx: &mut SymCtx<'_, '_>, s: &[u8]) -> Result<u64, Errno> {
-        self.scratch.write_cstr(ctx, s)
-    }
-
-    fn exists(&self, ctx: &mut SymCtx<'_, '_>, path: &[u8]) -> bool {
-        let Ok(addr) = self.stage(ctx, path) else {
-            return false;
-        };
-        let Ok(st) = self
-            .scratch
-            .reserve(ctx, <Stat as ia_abi::wire::Wire>::WIRE_SIZE)
-        else {
-            return false;
-        };
-        self.down_ok(ctx, Sysno::Stat, [addr, st, 0, 0, 0, 0])
-            .is_ok()
-    }
-
-    /// Copies `src` to `dst` entirely through the interface below.
-    fn copy_file(&self, ctx: &mut SymCtx<'_, '_>, src: &[u8], dst: &[u8]) -> Result<(), Errno> {
-        let sa = self.stage(ctx, src)?;
-        let sfd = self.down_ok(ctx, Sysno::Open, [sa, 0, 0, 0, 0, 0])?;
-        let da = self.stage(ctx, dst)?;
-        let flags = u64::from(OpenFlags::O_WRONLY | OpenFlags::O_CREAT | OpenFlags::O_TRUNC);
-        let dfd = match self.down_ok(ctx, Sysno::Open, [da, flags, 0o600, 0, 0, 0]) {
-            Ok(fd) => fd,
-            Err(e) => {
-                let _ = self.down_ok(ctx, Sysno::Close, [sfd, 0, 0, 0, 0, 0]);
-                return Err(e);
-            }
-        };
-        let buf = self.scratch.reserve(ctx, 1024)?;
-        loop {
-            let n = self.down_ok(ctx, Sysno::Read, [sfd, buf, 1024, 0, 0, 0])?;
-            if n == 0 {
-                break;
-            }
-            self.down_ok(ctx, Sysno::Write, [dfd, buf, n, 0, 0, 0])?;
-        }
-        let _ = self.down_ok(ctx, Sysno::Close, [sfd, 0, 0, 0, 0, 0]);
-        let _ = self.down_ok(ctx, Sysno::Close, [dfd, 0, 0, 0, 0, 0]);
-        Ok(())
-    }
-
-    fn alloc_shadow(&self) -> Vec<u8> {
+    /// Computes the session's footprint: paths present now that differ
+    /// from (or are absent in) the begin snapshot, and paths that
+    /// vanished. Cheap where the trees still share structure — untouched
+    /// subtrees compare by `Arc` pointer at the content level.
+    fn diff_against_begin(&self, live: &Fs, snap: &FsSnapshot) {
+        let mut old_fs = Fs::new(ia_abi::Timeval::default());
+        old_fs.restore(snap);
+        let (mut old, mut new) = (BTreeMap::new(), BTreeMap::new());
+        flatten(&old_fs, ROOT_INO, b"/", &mut old);
+        flatten(live, ROOT_INO, b"/", &mut new);
         let mut st = self.state.borrow_mut();
-        let id = st.next_shadow;
-        st.next_shadow += 1;
-        let mut p = st.shadow_root.clone();
-        p.extend_from_slice(format!("/s{id}").as_bytes());
-        p
-    }
-
-    /// Ensures a shadow exists for `real`; `copy_existing` controls whether
-    /// current contents are preserved (false for `O_TRUNC`).
-    fn ensure_shadow(
-        &mut self,
-        ctx: &mut SymCtx<'_, '_>,
-        real: &[u8],
-        copy_existing: bool,
-    ) -> Result<Vec<u8>, Errno> {
-        if let Some(s) = self.state.borrow().modified.get(real) {
-            return Ok(s.clone());
-        }
-        let shadow = self.alloc_shadow();
-        if copy_existing && self.exists(ctx, real) {
-            self.copy_file(ctx, real, &shadow)?;
-        } else {
-            // Create an empty shadow.
-            let da = self.stage(ctx, &shadow)?;
-            let flags = u64::from(OpenFlags::O_WRONLY | OpenFlags::O_CREAT | OpenFlags::O_TRUNC);
-            let fd = self.down_ok(ctx, Sysno::Open, [da, flags, 0o600, 0, 0, 0])?;
-            let _ = self.down_ok(ctx, Sysno::Close, [fd, 0, 0, 0, 0, 0]);
-        }
-        self.state
-            .borrow_mut()
-            .modified
-            .insert(real.to_vec(), shadow.clone());
-        Ok(shadow)
+        st.modified = new
+            .iter()
+            .filter(|(p, c)| c.is_some() && old.get(*p) != Some(c))
+            .map(|(p, _)| p.clone())
+            .collect();
+        st.deleted = old
+            .keys()
+            .filter(|p| !new.contains_key(*p))
+            .cloned()
+            .collect();
     }
 
     fn finish(&mut self, ctx: &mut SymCtx<'_, '_>) {
-        let decision = self.state.borrow().decision;
-        if self.state.borrow().finished.is_some() {
-            return;
-        }
-        self.scratch.reset();
-        if decision == Decision::Commit {
-            let modified: Vec<(Vec<u8>, Vec<u8>)> = self
-                .state
-                .borrow()
-                .modified
-                .iter()
-                .map(|(a, b)| (a.clone(), b.clone()))
-                .collect();
-            for (real, shadow) in &modified {
-                let _ = self.copy_file(ctx, shadow, real);
+        let (decision, snap) = {
+            let st = self.state.borrow();
+            if st.finished.is_some() {
+                return;
             }
-            let deleted: Vec<Vec<u8>> = self.state.borrow().deleted.iter().cloned().collect();
-            for real in &deleted {
-                if let Ok(addr) = self.stage(ctx, real) {
-                    let _ = self.down_ok(ctx, Sysno::Unlink, [addr, 0, 0, 0, 0, 0]);
-                }
-            }
-            let meta: Vec<MetaOp> = self.state.borrow().meta_ops.clone();
-            for op in meta {
-                match op {
-                    MetaOp::Chmod(p, mode) => {
-                        if let Ok(a) = self.stage(ctx, &p) {
-                            let _ = self.down_ok(ctx, Sysno::Chmod, [a, mode, 0, 0, 0, 0]);
-                        }
-                    }
-                    MetaOp::Chown(p, uid, gid) => {
-                        if let Ok(a) = self.stage(ctx, &p) {
-                            let _ = self.down_ok(ctx, Sysno::Chown, [a, uid, gid, 0, 0, 0]);
-                        }
-                    }
-                    MetaOp::Utimes(p, times) => {
-                        if let Ok(a) = self.stage(ctx, &p) {
-                            let _ = self.down_ok(ctx, Sysno::Utimes, [a, times, 0, 0, 0, 0]);
-                        }
-                    }
-                }
-            }
-        }
-        // Clean up the shadow files and root either way.
-        let shadows: Vec<Vec<u8>> = self.state.borrow().modified.values().cloned().collect();
-        for s in shadows {
-            if let Ok(a) = self.stage(ctx, &s) {
-                let _ = self.down_ok(ctx, Sysno::Unlink, [a, 0, 0, 0, 0, 0]);
-            }
-        }
-        let root = self.state.borrow().shadow_root.clone();
-        if let Ok(a) = self.stage(ctx, &root) {
-            let _ = self.down_ok(ctx, Sysno::Rmdir, [a, 0, 0, 0, 0, 0]);
-        }
-        self.state.borrow_mut().finished = Some(decision);
-    }
-
-    fn whiteout_check(&self, path: &[u8]) -> bool {
-        self.state.borrow().deleted.contains(path)
-    }
-
-    fn shadow_of(&self, path: &[u8]) -> Option<Vec<u8>> {
-        self.state.borrow().modified.get(path).cloned()
-    }
-
-    /// Redirects a path-first call to the shadow if one exists.
-    fn redirect_or_down(
-        &mut self,
-        ctx: &mut SymCtx<'_, '_>,
-        sys: Sysno,
-        path_addr: u64,
-        rest: [u64; 2],
-    ) -> SysOutcome {
-        self.scratch.reset();
-        let path = match ctx.read_path(path_addr) {
-            Ok(p) => p,
-            Err(e) => return SysOutcome::Done(Err(e)),
+            (st.decision, st.begin.clone())
         };
-        if self.whiteout_check(&path) {
-            return SysOutcome::Done(Err(Errno::ENOENT));
+        let Some(snap) = snap else { return };
+        self.diff_against_begin(&ctx.raw.kernel.fs, &snap);
+        if decision == Decision::Abort {
+            // Rewind the world's tree to the begin capture; live
+            // descriptors are reconciled by the kernel.
+            ctx.raw.kernel.rollback_fs(&snap);
         }
-        if let Some(shadow) = self.shadow_of(&path) {
-            return match self.stage(ctx, &shadow) {
-                Ok(a) => ctx.down_args(sys, [a, rest[0], rest[1], 0, 0, 0]),
-                Err(e) => SysOutcome::Done(Err(e)),
-            };
-        }
-        ctx.down_args(sys, [path_addr, rest[0], rest[1], 0, 0, 0])
+        // Commit is a no-op: the session's mutations already are the tree.
+        self.state.borrow_mut().finished = Some(decision);
     }
 }
 
@@ -327,230 +205,23 @@ impl SymbolicSyscall for Txn {
     }
 
     fn interests(&self) -> InterestSet {
-        let mut s = ia_toolkit::minimum_interests();
-        for sys in [
-            Sysno::Open,
-            Sysno::Stat,
-            Sysno::Lstat,
-            Sysno::Access,
-            Sysno::Readlink,
-            Sysno::Unlink,
-            Sysno::Truncate,
-            Sysno::Rename,
-            Sysno::Chmod,
-            Sysno::Chown,
-            Sysno::Utimes,
-        ] {
-            s.add_sys(sys);
-        }
-        s
+        // Begin/end bracketing only — the session's syscalls pass through
+        // untouched (mutations are made in place and rewound on abort).
+        ia_toolkit::minimum_interests()
     }
 
     fn init(&mut self, ctx: &mut SymCtx<'_, '_>, _args: &[Vec<u8>]) {
-        // Unique shadow root per transaction instance: nested transactions
-        // on the same process must not collide.
-        static TXN_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let uid = TXN_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let pid = ctx.pid();
-        let root = format!("/tmp/.txn{pid}.{uid}").into_bytes();
-        self.state.borrow_mut().shadow_root = root.clone();
-        self.state.borrow_mut().root_pid = Some(pid);
-        self.scratch.reset();
-        if let Ok(a) = self.stage(ctx, &root) {
-            let _ = self.down_ok(ctx, Sysno::Mkdir, [a, 0o700, 0, 0, 0, 0]);
-        }
-    }
-
-    fn sys_open(
-        &mut self,
-        ctx: &mut SymCtx<'_, '_>,
-        path: u64,
-        flags: u64,
-        mode: u64,
-    ) -> SysOutcome {
-        self.scratch.reset();
-        let p = match ctx.read_path(path) {
-            Ok(p) => p,
-            Err(e) => return SysOutcome::Done(Err(e)),
-        };
-        // The agent's own shadow tree is off limits to redirection logic.
-        if p.starts_with(&self.state.borrow().shadow_root) {
-            return ctx.down_args(Sysno::Open, [path, flags, mode, 0, 0, 0]);
-        }
-        let fl = OpenFlags::new(flags as u32);
-        let whiteout = self.whiteout_check(&p);
-        if whiteout && !fl.has(OpenFlags::O_CREAT) {
-            return SysOutcome::Done(Err(Errno::ENOENT));
-        }
-        if fl.writable() || fl.has(OpenFlags::O_CREAT) || fl.has(OpenFlags::O_TRUNC) {
-            if !whiteout
-                && !fl.has(OpenFlags::O_CREAT)
-                && self.shadow_of(&p).is_none()
-                && !self.exists(ctx, &p)
-            {
-                return SysOutcome::Done(Err(Errno::ENOENT));
-            }
-            let keep_contents = !fl.has(OpenFlags::O_TRUNC) && !whiteout;
-            let shadow = match self.ensure_shadow(ctx, &p, keep_contents) {
-                Ok(s) => s,
-                Err(e) => return SysOutcome::Done(Err(e)),
-            };
-            if whiteout {
-                self.state.borrow_mut().deleted.remove(&p);
-            }
-            // Strip O_EXCL: the shadow already exists by construction.
-            let eff = flags & !u64::from(OpenFlags::O_EXCL);
-            return match self.stage(ctx, &shadow) {
-                Ok(a) => ctx.down_args(Sysno::Open, [a, eff, mode, 0, 0, 0]),
-                Err(e) => SysOutcome::Done(Err(e)),
-            };
-        }
-        // Read-only open: shadow if modified, else the real file.
-        if let Some(shadow) = self.shadow_of(&p) {
-            return match self.stage(ctx, &shadow) {
-                Ok(a) => ctx.down_args(Sysno::Open, [a, flags, mode, 0, 0, 0]),
-                Err(e) => SysOutcome::Done(Err(e)),
-            };
-        }
-        ctx.down_args(Sysno::Open, [path, flags, mode, 0, 0, 0])
-    }
-
-    fn sys_stat(&mut self, ctx: &mut SymCtx<'_, '_>, path: u64, statbuf: u64) -> SysOutcome {
-        self.redirect_or_down(ctx, Sysno::Stat, path, [statbuf, 0])
-    }
-
-    fn sys_lstat(&mut self, ctx: &mut SymCtx<'_, '_>, path: u64, statbuf: u64) -> SysOutcome {
-        self.redirect_or_down(ctx, Sysno::Lstat, path, [statbuf, 0])
-    }
-
-    fn sys_access(&mut self, ctx: &mut SymCtx<'_, '_>, path: u64, mode: u64) -> SysOutcome {
-        self.redirect_or_down(ctx, Sysno::Access, path, [mode, 0])
-    }
-
-    fn sys_readlink(
-        &mut self,
-        ctx: &mut SymCtx<'_, '_>,
-        path: u64,
-        buf: u64,
-        bufsize: u64,
-    ) -> SysOutcome {
-        self.redirect_or_down(ctx, Sysno::Readlink, path, [buf, bufsize])
-    }
-
-    fn sys_unlink(&mut self, ctx: &mut SymCtx<'_, '_>, path: u64) -> SysOutcome {
-        self.scratch.reset();
-        let p = match ctx.read_path(path) {
-            Ok(p) => p,
-            Err(e) => return SysOutcome::Done(Err(e)),
-        };
-        if self.whiteout_check(&p) {
-            return SysOutcome::Done(Err(Errno::ENOENT));
-        }
-        let had_shadow = if let Some(shadow) = self.shadow_of(&p) {
-            if let Ok(a) = self.stage(ctx, &shadow) {
-                let _ = self.down_ok(ctx, Sysno::Unlink, [a, 0, 0, 0, 0, 0]);
-            }
-            self.state.borrow_mut().modified.remove(&p);
-            true
-        } else {
-            false
-        };
-        if !had_shadow && !self.exists(ctx, &p) {
-            return SysOutcome::Done(Err(Errno::ENOENT));
-        }
-        if self.exists(ctx, &p) {
-            self.state.borrow_mut().deleted.insert(p);
-        }
-        SysOutcome::Done(Ok([0, 0]))
-    }
-
-    fn sys_truncate(&mut self, ctx: &mut SymCtx<'_, '_>, path: u64, length: u64) -> SysOutcome {
-        self.scratch.reset();
-        let p = match ctx.read_path(path) {
-            Ok(p) => p,
-            Err(e) => return SysOutcome::Done(Err(e)),
-        };
-        if self.whiteout_check(&p) {
-            return SysOutcome::Done(Err(Errno::ENOENT));
-        }
-        let shadow = match self.ensure_shadow(ctx, &p, true) {
-            Ok(s) => s,
-            Err(e) => return SysOutcome::Done(Err(e)),
-        };
-        match self.stage(ctx, &shadow) {
-            Ok(a) => ctx.down_args(Sysno::Truncate, [a, length, 0, 0, 0, 0]),
-            Err(e) => SysOutcome::Done(Err(e)),
-        }
-    }
-
-    fn sys_rename(&mut self, ctx: &mut SymCtx<'_, '_>, from: u64, to: u64) -> SysOutcome {
-        self.scratch.reset();
-        let (pf, pt) = match (ctx.read_path(from), ctx.read_path(to)) {
-            (Ok(a), Ok(b)) => (a, b),
-            (Err(e), _) | (_, Err(e)) => return SysOutcome::Done(Err(e)),
-        };
-        if self.whiteout_check(&pf) {
-            return SysOutcome::Done(Err(Errno::ENOENT));
-        }
-        // Materialize the source in the shadow space, then move the
-        // mapping: to := source contents, from := whiteout.
-        let src_shadow = match self.ensure_shadow(ctx, &pf, true) {
-            Ok(s) => s,
-            Err(e) => return SysOutcome::Done(Err(e)),
-        };
-        {
-            let mut st = self.state.borrow_mut();
-            st.modified.remove(&pf);
-            st.modified.insert(pt.clone(), src_shadow);
-            st.deleted.remove(&pt);
-        }
-        if self.exists(ctx, &pf) {
-            self.state.borrow_mut().deleted.insert(pf);
-        }
-        SysOutcome::Done(Ok([0, 0]))
-    }
-
-    fn sys_chmod(&mut self, ctx: &mut SymCtx<'_, '_>, path: u64, mode: u64) -> SysOutcome {
-        let p = match ctx.read_path(path) {
-            Ok(p) => p,
-            Err(e) => return SysOutcome::Done(Err(e)),
-        };
-        self.state
-            .borrow_mut()
-            .meta_ops
-            .push(MetaOp::Chmod(p, mode));
-        SysOutcome::Done(Ok([0, 0]))
-    }
-
-    fn sys_chown(&mut self, ctx: &mut SymCtx<'_, '_>, path: u64, uid: u64, gid: u64) -> SysOutcome {
-        let p = match ctx.read_path(path) {
-            Ok(p) => p,
-            Err(e) => return SysOutcome::Done(Err(e)),
-        };
-        self.state
-            .borrow_mut()
-            .meta_ops
-            .push(MetaOp::Chown(p, uid, gid));
-        SysOutcome::Done(Ok([0, 0]))
-    }
-
-    fn sys_utimes(&mut self, ctx: &mut SymCtx<'_, '_>, path: u64, times: u64) -> SysOutcome {
-        let p = match ctx.read_path(path) {
-            Ok(p) => p,
-            Err(e) => return SysOutcome::Done(Err(e)),
-        };
-        self.state
-            .borrow_mut()
-            .meta_ops
-            .push(MetaOp::Utimes(p, times));
-        SysOutcome::Done(Ok([0, 0]))
+        let mut st = self.state.borrow_mut();
+        st.root_pid = Some(ctx.pid());
+        // O(1): shares the tree with the live filesystem.
+        st.begin = Some(ctx.raw.kernel.fs.snapshot());
     }
 
     fn sys_exit(&mut self, ctx: &mut SymCtx<'_, '_>, status: u64) -> SysOutcome {
         if self.state.borrow().root_pid == Some(ctx.pid()) {
             self.finish(ctx);
         }
-        ctx.down_args(Sysno::Exit, [status, 0, 0, 0, 0, 0])
+        ctx.down_args(ia_abi::Sysno::Exit, [status, 0, 0, 0, 0, 0])
     }
 }
 
@@ -605,7 +276,7 @@ mod tests {
         assert_eq!(handle.outcome(), Some(Decision::Abort));
         assert_eq!(k.read_file(b"/home/doc.txt").unwrap(), b"original");
         assert_eq!(k.read_file(b"/home/junk.txt").unwrap(), b"junk");
-        // Shadow space cleaned up: nothing txn-ish remains under /tmp.
+        // No shadow machinery: nothing txn-ish ever appears under /tmp.
         let tmp =
             k.fs.resolve(ia_vfs::inode::ROOT_INO, b"/tmp", ia_vfs::Cred::ROOT)
                 .unwrap()
@@ -617,6 +288,9 @@ mod tests {
                 .filter(|e| e.name.starts_with(b".txn"))
                 .collect();
         assert!(leftovers.is_empty(), "leftovers: {leftovers:?}");
+        // The footprint was still reported, even though it was rewound.
+        assert_eq!(handle.modified_paths(), vec![b"/home/doc.txt".to_vec()]);
+        assert_eq!(handle.deleted_paths(), vec![b"/home/junk.txt".to_vec()]);
     }
 
     #[test]
@@ -624,13 +298,14 @@ mod tests {
         let (mut k, handle) = run_txn(true);
         assert_eq!(handle.outcome(), Some(Decision::Commit));
         assert_eq!(k.read_file(b"/home/doc.txt").unwrap(), b"updated");
-        assert!(k.read_file(b"/home/junk.txt").is_err(), "whiteout applied");
+        assert!(k.read_file(b"/home/junk.txt").is_err(), "delete kept");
     }
 
     #[test]
     fn reads_inside_txn_see_uncommitted_state() {
-        // Write then read back within the same session: must see "updated"
-        // even though the real file still says "original".
+        // Write then read back within the same session: must see "updated".
+        // The session defaults to abort, so after the run the real file is
+        // back to "original" — uncommitted state was visible inside only.
         let src = r#"
             .data
             path: .asciz "/home/doc.txt"
@@ -676,14 +351,14 @@ mod tests {
         assert_eq!(
             k.read_file(b"/home/doc.txt").unwrap(),
             b"original",
-            "real file untouched before commit"
+            "abort rewound the session's write"
         );
     }
 
     #[test]
     fn nested_transactions_compose() {
-        // Inner txn commits into the outer txn; outer aborts — the real
-        // file must be untouched.
+        // Inner txn commits into the outer txn's world; outer aborts — the
+        // real file must be untouched (outer rewinds past the inner commit).
         let img = ia_vm::assemble(MUTATOR).unwrap();
         let mut k = Kernel::new(I486_25);
         k.write_file(b"/home/doc.txt", b"original").unwrap();
@@ -705,5 +380,43 @@ mod tests {
             "outer abort wins over inner commit"
         );
         assert!(k.read_file(b"/home/junk.txt").is_ok());
+    }
+
+    #[test]
+    fn abort_with_descriptor_open_across_the_rewind() {
+        // The client creates a file *after* begin, keeps it open, and
+        // exits without closing: the abort must reconcile the dangling
+        // descriptor (its inode never existed at begin) without leaking
+        // or panicking.
+        let src = r#"
+            .data
+            path: .asciz "/home/late.txt"
+            text: .asciz "late"
+            .text
+            main:
+                la r0, path
+                li r1, 0x601
+                li r2, 420
+                sys open
+                la r1, text
+                li r2, 4
+                sys write
+                ; deliberately no close
+                li r0, 0
+                sys exit
+        "#;
+        let img = ia_vm::assemble(src).unwrap();
+        let mut k = Kernel::new(I486_25);
+        let mut router = InterposedRouter::new();
+        let (agent, handle) = TxnAgent::new();
+        handle.set_abort();
+        ia_interpose::spawn_with_agent(&mut k, &mut router, agent, &[], &img, &[b"m"], b"m");
+        assert_eq!(k.run_with(&mut router), RunOutcome::AllExited);
+        assert_eq!(handle.outcome(), Some(Decision::Abort));
+        assert!(
+            k.read_file(b"/home/late.txt").is_err(),
+            "file created inside the aborted session must not survive"
+        );
+        assert!(k.check_quiescent().is_empty(), "{:?}", k.check_quiescent());
     }
 }

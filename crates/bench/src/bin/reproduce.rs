@@ -4,14 +4,15 @@
 //! ```text
 //! cargo run -p ia-bench --release --bin reproduce            # everything
 //! cargo run -p ia-bench --release --bin reproduce table-3-2  # one table
-//! cargo run -p ia-bench --release --bin reproduce -- --json  # BENCH_1.json
+//! cargo run -p ia-bench --release --bin reproduce -- --json  # BENCH_{1,2,3}.json
+//! cargo run -p ia-bench --release --bin reproduce -- --json3 # BENCH_3.json only
 //! cargo run -p ia-bench --release --bin reproduce -- --smoke # CI gate
 //! ```
 
 use ia_bench::{
     ablation_pay_per_use, dfs_trace_comparison, hostbench, overhead, render_ablation, render_dfs,
-    render_table_3_1, render_table_3_4, render_table_3_5, render_timing, table_3_1, table_3_2,
-    table_3_3, table_3_4, table_3_5,
+    render_table_3_1, render_table_3_4, render_table_3_5, render_timing, snapbench, table_3_1,
+    table_3_2, table_3_3, table_3_4, table_3_5,
 };
 
 /// Largest tolerated drop of the smoke scenario's throughput below the
@@ -92,6 +93,22 @@ fn main() {
         let json2 = overhead::render_json(&overhead::run_all());
         if let Err(e) = std::fs::write("BENCH_2.json", &json2) {
             eprintln!("warning: could not write BENCH_2.json: {e}");
+        }
+        // Snapshot cost vs VFS size and branch-based txn sessions.
+        let json3 = snapbench::render_json(&snapbench::run_all());
+        if let Err(e) = std::fs::write("BENCH_3.json", &json3) {
+            eprintln!("warning: could not write BENCH_3.json: {e}");
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "--json3") {
+        // Just the snapshot-cost document — much cheaper than the full
+        // throughput sweep, and the one CI re-measures per push.
+        let json3 = snapbench::render_json(&snapbench::run_all());
+        print!("{json3}");
+        if let Err(e) = std::fs::write("BENCH_3.json", &json3) {
+            eprintln!("warning: could not write BENCH_3.json: {e}");
         }
         return;
     }

@@ -20,6 +20,7 @@
 pub mod harness;
 pub mod hostbench;
 pub mod overhead;
+pub mod snapbench;
 
 use std::fmt::Write as _;
 

@@ -4,6 +4,7 @@
 //! ```text
 //! conform --seeds 200                 # sweep seeds 0..200
 //! conform --seeds 50 --start 1000     # sweep seeds 1000..1050
+//! conform --tree --depth 2 --seeds 50 # fault-tree exploration per seed
 //! conform --replay repro.conf         # re-run one repro file
 //! conform --demo-mutant               # show a caught+shrunk divergence
 //! ```
@@ -12,8 +13,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use ia_conform::{
-    check_faults, check_program, check_soundness, run_fault_case, sample, shrink, OpSet, Program,
-    Repro,
+    check_faults, check_program, check_soundness, check_tree, run_fault_case, run_tree_case,
+    sample, shrink, OpSet, Program, Repro, TreeStats,
 };
 use ia_prng::Prng;
 
@@ -23,6 +24,8 @@ struct Options {
     ops_min: usize,
     ops_max: usize,
     fault_every: u64,
+    tree: bool,
+    depth: usize,
     out: PathBuf,
     replay: Option<PathBuf>,
     demo_mutant: bool,
@@ -36,6 +39,8 @@ impl Options {
             ops_min: 4,
             ops_max: 40,
             fault_every: 10,
+            tree: false,
+            depth: 2,
             out: PathBuf::from("target/conform"),
             replay: None,
             demo_mutant: false,
@@ -53,6 +58,8 @@ impl Options {
                 "--ops-min" => o.ops_min = num("--ops-min")? as usize,
                 "--ops-max" => o.ops_max = num("--ops-max")? as usize,
                 "--fault-every" => o.fault_every = num("--fault-every")?.max(1),
+                "--tree" => o.tree = true,
+                "--depth" => o.depth = num("--depth")?.max(1) as usize,
                 "--out" => o.out = PathBuf::from(args.next().ok_or("--out needs a path")?),
                 "--replay" => {
                     o.replay = Some(PathBuf::from(args.next().ok_or("--replay needs a path")?))
@@ -61,7 +68,8 @@ impl Options {
                 "--help" | "-h" => {
                     println!(
                         "usage: conform [--seeds N] [--start S] [--ops-min A] [--ops-max B]\n\
-                         \u{20}              [--fault-every K] [--out DIR] [--replay FILE] [--demo-mutant]"
+                         \u{20}              [--fault-every K] [--tree] [--depth D] [--out DIR]\n\
+                         \u{20}              [--replay FILE] [--demo-mutant]"
                     );
                     std::process::exit(0);
                 }
@@ -111,16 +119,23 @@ fn replay(path: &Path) -> Result<(), String> {
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let repro = Repro::from_conf(&text)?;
     println!(
-        "replaying {}: seed {}, {} ops{}",
+        "replaying {}: seed {}, {} ops{}{}",
         path.display(),
         repro.program.seed,
         repro.program.ops.len(),
-        repro.fault.map(|f| format!(", {f}")).unwrap_or_default()
+        repro.fault.map(|f| format!(", {f}")).unwrap_or_default(),
+        repro.tree.map(|t| format!(", {t}")).unwrap_or_default()
     );
     println!("{}", ia_vm::disassemble(&repro.program.compile()));
-    let verdict = match repro.fault {
-        Some(case) => run_fault_case(&repro.program, case),
-        None => check_program(&repro.program),
+    let verdict = match (repro.fault, repro.tree) {
+        (Some(case), _) => run_fault_case(&repro.program, case),
+        (None, Some(case)) => run_tree_case(&repro.program, case).map(|stats| {
+            println!(
+                "  tree: {} leaves explored, {} faults injected",
+                stats.leaves, stats.injected
+            );
+        }),
+        (None, None) => check_program(&repro.program),
     };
     match verdict {
         Ok(()) => {
@@ -149,6 +164,7 @@ fn demo_mutant(out: &Path) -> Result<(), String> {
     let repro = Repro {
         program: small.clone(),
         fault: None,
+        tree: None,
     };
     report_failure(out, "demo-mutant", &repro, &detail);
     println!("{}", ia_vm::disassemble(&small.compile()));
@@ -188,6 +204,53 @@ fn main() -> ExitCode {
         };
     }
 
+    // Tree mode is its own sweep: per seed, branch the world at every
+    // fault site up to the frontier and check every leaf, instead of the
+    // linear oracle/soundness/fault pipeline.
+    if o.tree {
+        let mut failures = 0u64;
+        let mut stats = TreeStats::default();
+        for seed in o.start..o.start + o.seeds {
+            let mut rng = Prng::new(seed);
+            let nops = rng.range_usize(o.ops_min, o.ops_max + 1);
+            let program = sample(seed, nops, OpSet::ALL);
+            match check_tree(&program, o.depth) {
+                Ok(s) => {
+                    stats.cases += s.cases;
+                    stats.leaves += s.leaves;
+                    stats.injected += s.injected;
+                }
+                Err((case, detail)) => {
+                    failures += 1;
+                    let mut failing = |p: &Program| run_tree_case(p, case).is_err();
+                    let small = shrink(&program, &mut failing);
+                    let repro = Repro {
+                        program: small,
+                        fault: None,
+                        tree: Some(case),
+                    };
+                    report_failure(&o.out, &format!("seed-{seed}-tree"), &repro, &detail);
+                }
+            }
+        }
+        println!(
+            "conform --tree: {} seeds ({}..{}), depth {}, {} cases, {} leaves, {} faults injected, {} failures",
+            o.seeds,
+            o.start,
+            o.start + o.seeds,
+            o.depth,
+            stats.cases,
+            stats.leaves,
+            stats.injected,
+            failures
+        );
+        return if failures == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     let mut failures = 0u64;
     let mut fault_cases = 0u64;
     for seed in o.start..o.start + o.seeds {
@@ -202,6 +265,7 @@ fn main() -> ExitCode {
             let repro = Repro {
                 program: small,
                 fault: None,
+                tree: None,
             };
             report_failure(&o.out, &format!("seed-{seed}"), &repro, &detail);
             continue;
@@ -214,6 +278,7 @@ fn main() -> ExitCode {
             let repro = Repro {
                 program: small,
                 fault: None,
+                tree: None,
             };
             report_failure(&o.out, &format!("seed-{seed}-soundness"), &repro, &detail);
             continue;
@@ -228,6 +293,7 @@ fn main() -> ExitCode {
                 let repro = Repro {
                     program: small,
                     fault: Some(case),
+                    tree: None,
                 };
                 report_failure(&o.out, &format!("seed-{seed}-fault"), &repro, &detail);
             }

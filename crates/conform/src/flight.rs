@@ -38,12 +38,13 @@ pub fn record_flight(repro: &Repro) -> String {
     Program::setup(&mut k);
     let pid = k.spawn_image(&repro.program.compile(), &[b"conform"], b"conform");
     let mut router = InterposedRouter::new();
-    let (stack_label, agents): (&str, Vec<Box<dyn Agent>>) = match repro.fault {
-        Some(case) => (
+    let (stack_label, agents): (&str, Vec<Box<dyn Agent>>) = match (repro.fault, repro.tree) {
+        (Some(case), _) => (
             "fault-injector",
             vec![FaultInjector::boxed(case.target, case.every, case.errno).0],
         ),
-        None => ("stacked", StackKind::Stacked.agents()),
+        (None, Some(case)) => ("tree-injector", vec![crate::tree::frontier_injector(case)]),
+        (None, None) => ("stacked", StackKind::Stacked.agents()),
     };
     for a in agents {
         wrap_process(&mut k, &mut router, pid, a, &[]);
@@ -59,10 +60,11 @@ pub fn record_flight(repro: &Repro) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "conform flight recording: seed {}, {} ops, stack {stack_label}{}",
+        "conform flight recording: seed {}, {} ops, stack {stack_label}{}{}",
         repro.program.seed,
         repro.program.ops.len(),
-        repro.fault.map(|f| format!(" ({f})")).unwrap_or_default()
+        repro.fault.map(|f| format!(" ({f})")).unwrap_or_default(),
+        repro.tree.map(|t| format!(" ({t})")).unwrap_or_default()
     );
     let _ = writeln!(
         s,
@@ -88,6 +90,7 @@ mod tests {
         let repro = Repro {
             program: sample(3, 12, OpSet::ALL),
             fault: None,
+            tree: None,
         };
         let dump = record_flight(&repro);
         assert!(dump.contains("stack stacked"));
@@ -106,6 +109,7 @@ mod tests {
         let repro = Repro {
             program,
             fault: Some(case),
+            tree: None,
         };
         let dump = record_flight(&repro);
         assert!(dump.contains("fault-injector"));

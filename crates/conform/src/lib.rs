@@ -36,6 +36,7 @@ pub mod oracle;
 pub mod shrink;
 pub mod soundness;
 pub mod trace;
+pub mod tree;
 
 pub use fault::{check_faults, fault_schedule, run_fault_case, FaultCase, FaultInjector};
 pub use gen::{sample, ConfOp, OpSet, Program};
@@ -46,3 +47,4 @@ pub use oracle::{
 pub use shrink::shrink;
 pub use soundness::{check_soundness, static_footprint, SyscallRecorder};
 pub use trace::Repro;
+pub use tree::{check_tree, run_tree_case, TreeCase, TreeStats};

@@ -6,6 +6,7 @@
 //! # any number of comment lines
 //! seed 42
 //! fault read 5 2          # optional: syscall errno-code every
+//! tree write 5 2          # optional: syscall errno-code depth
 //! op create_write 1 2
 //! op fork_wait 0 7
 //! ```
@@ -14,15 +15,18 @@ use ia_abi::Errno;
 
 use crate::fault::FaultCase;
 use crate::gen::{ConfOp, Program};
+use crate::tree::TreeCase;
 
 /// A replayable reproducer: the program and, when the failure came from
-/// fault injection, the injection that exposed it.
+/// fault injection (linear or tree mode), the case that exposed it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Repro {
     /// The (minimized) program.
     pub program: Program,
-    /// The fault case to apply on replay, if any.
+    /// The linear fault case to apply on replay, if any.
     pub fault: Option<FaultCase>,
+    /// The tree-exploration case to replay, if any.
+    pub tree: Option<TreeCase>,
 }
 
 fn op_fields(op: &ConfOp) -> (&'static str, u32, u32) {
@@ -119,6 +123,14 @@ impl Repro {
                 f.every
             ));
         }
+        if let Some(t) = self.tree {
+            out.push_str(&format!(
+                "tree {} {} {}\n",
+                t.target.name(),
+                t.errno.code(),
+                t.depth
+            ));
+        }
         for op in &self.program.ops {
             let (name, a, b) = op_fields(op);
             out.push_str(&format!("op {name} {a} {b}\n"));
@@ -130,7 +142,30 @@ impl Repro {
     pub fn from_conf(text: &str) -> Result<Repro, String> {
         let mut seed: Option<u64> = None;
         let mut fault: Option<FaultCase> = None;
+        let mut tree: Option<TreeCase> = None;
         let mut ops = Vec::new();
+        // `fault` and `tree` share the `<syscall> <errno-code> <n>` shape.
+        fn case_fields<'t>(
+            toks: &mut impl Iterator<Item = &'t str>,
+            err: &impl Fn(&str) -> String,
+        ) -> Result<(ia_abi::Sysno, Errno, u64), String> {
+            let name = toks.next().ok_or_else(|| err("missing syscall"))?;
+            let target = ia_abi::sysno::ALL_SYSCALLS
+                .iter()
+                .copied()
+                .find(|s| s.name() == name)
+                .ok_or_else(|| err("unknown syscall"))?;
+            let code: u32 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("bad errno code"))?;
+            let errno = Errno::from_code(code).ok_or_else(|| err("unknown errno"))?;
+            let n: u64 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("bad count"))?;
+            Ok((target, errno, n))
+        }
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -144,25 +179,19 @@ impl Repro {
                     seed = Some(v.parse().map_err(|_| err("bad seed"))?);
                 }
                 Some("fault") => {
-                    let name = toks.next().ok_or_else(|| err("missing syscall"))?;
-                    let target = ia_abi::sysno::ALL_SYSCALLS
-                        .iter()
-                        .copied()
-                        .find(|s| s.name() == name)
-                        .ok_or_else(|| err("unknown syscall"))?;
-                    let code: u32 = toks
-                        .next()
-                        .and_then(|t| t.parse().ok())
-                        .ok_or_else(|| err("bad errno code"))?;
-                    let errno = Errno::from_code(code).ok_or_else(|| err("unknown errno"))?;
-                    let every: u64 = toks
-                        .next()
-                        .and_then(|t| t.parse().ok())
-                        .ok_or_else(|| err("bad period"))?;
+                    let (target, errno, every) = case_fields(&mut toks, &err)?;
                     fault = Some(FaultCase {
                         target,
                         errno,
                         every: every.max(2),
+                    });
+                }
+                Some("tree") => {
+                    let (target, errno, depth) = case_fields(&mut toks, &err)?;
+                    tree = Some(TreeCase {
+                        target,
+                        errno,
+                        depth: usize::try_from(depth).map_err(|_| err("bad depth"))?,
                     });
                 }
                 Some("op") => {
@@ -180,6 +209,7 @@ impl Repro {
                 ops,
             },
             fault,
+            tree,
         })
     }
 }
@@ -200,6 +230,7 @@ mod tests {
                 errno: Errno::EIO,
                 every: 2,
             }),
+            tree: None,
         };
         let text = repro.to_conf(&["console: bare=\"x\" vs wrapped=\"\""]);
         let back = Repro::from_conf(&text).unwrap();
@@ -207,10 +238,27 @@ mod tests {
     }
 
     #[test]
+    fn conf_with_tree_case_round_trips() {
+        let repro = Repro {
+            program: sample(9, 12, OpSet::FS_CLIENT),
+            fault: None,
+            tree: Some(TreeCase {
+                target: Sysno::Write,
+                errno: Errno::EIO,
+                depth: 2,
+            }),
+        };
+        let text = repro.to_conf(&[]);
+        assert!(text.contains("tree write"));
+        assert_eq!(Repro::from_conf(&text).unwrap(), repro);
+    }
+
+    #[test]
     fn conf_without_fault_round_trips() {
         let repro = Repro {
             program: sample(5, 10, OpSet::FS_CLIENT),
             fault: None,
+            tree: None,
         };
         assert_eq!(Repro::from_conf(&repro.to_conf(&[])).unwrap(), repro);
     }

@@ -32,4 +32,7 @@ pub use agent::{dispatch_chain, dispatch_chain_from, Agent, SignalVerdict, SysCt
 pub use ia_kernel::BatchCall;
 pub use interest::InterestSet;
 pub use loader::{load_with_agent, spawn_with_agent, wrap_process};
-pub use router::{InterposedRouter, RouterStats, BATCH_CAP};
+pub use router::{
+    restore_world, snapshot_world, InterposedRouter, RouterSnapshot, RouterStats, WorldSnapshot,
+    BATCH_CAP,
+};

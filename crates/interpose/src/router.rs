@@ -4,7 +4,9 @@
 use std::collections::HashMap;
 
 use ia_abi::{RawArgs, Signal, Sysno};
-use ia_kernel::{BatchCall, FastMode, FastSpec, Kernel, Pid, SysOutcome, SyscallRouter};
+use ia_kernel::{
+    BatchCall, FastMode, FastSpec, Kernel, KernelSnapshot, Pid, SysOutcome, SyscallRouter,
+};
 
 use crate::agent::{dispatch_chain, dispatch_chain_from, signal_chain, Agent, SysCtx};
 use crate::interest::InterestSet;
@@ -257,6 +259,111 @@ impl InterposedRouter {
         chain.recompute();
         self.chains.insert(child, chain);
         self.stats.chains_forked += 1;
+    }
+}
+
+/// A capture of every agent chain, taken with [`InterposedRouter::snapshot`].
+///
+/// Agents are captured through `Agent::clone_box` — the same mechanism a
+/// `fork` uses — so agents with interior shared state (`Rc<RefCell<…>>`
+/// handles) share it with the capture, exactly as a forked chain would.
+/// Compiled dispatch state (flat tables, batchable sets) is *not* captured:
+/// [`InterposedRouter::restore`] recompiles it from the restored agents,
+/// which is the chain-mutation invalidation rule applied to time travel.
+pub struct RouterSnapshot {
+    chains: Vec<(Pid, Vec<Box<dyn Agent>>)>,
+    stats: RouterStats,
+}
+
+impl Clone for RouterSnapshot {
+    fn clone(&self) -> Self {
+        RouterSnapshot {
+            chains: self
+                .chains
+                .iter()
+                .map(|(pid, agents)| (*pid, agents.iter().map(|a| a.clone_box()).collect()))
+                .collect(),
+            stats: self.stats,
+        }
+    }
+}
+
+/// A full world capture: kernel state plus agent chains. Build with
+/// [`snapshot_world`], rewind with [`restore_world`].
+#[derive(Clone)]
+pub struct WorldSnapshot {
+    /// The kernel's world state.
+    pub kernel: KernelSnapshot,
+    /// The router's agent chains.
+    pub router: RouterSnapshot,
+}
+
+impl WorldSnapshot {
+    /// The kernel snapshot's unique id, for repro artifacts.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.kernel.id
+    }
+}
+
+/// Captures kernel and router together. Pending vectored upcalls are
+/// delivered first (they belong to the past, not the future), so the
+/// capture never holds an in-flight batch.
+pub fn snapshot_world(k: &mut Kernel, router: &mut InterposedRouter) -> WorldSnapshot {
+    let router_snap = router.snapshot(k);
+    WorldSnapshot {
+        kernel: k.snapshot(),
+        router: router_snap,
+    }
+}
+
+/// Rewinds kernel and router to `snap`. See [`Kernel::restore`] and
+/// [`InterposedRouter::restore`] for what each side does.
+pub fn restore_world(k: &mut Kernel, router: &mut InterposedRouter, snap: &WorldSnapshot) {
+    k.restore(&snap.kernel);
+    router.restore(&snap.router);
+}
+
+impl InterposedRouter {
+    /// Captures every agent chain. Any pending vectored upcall is flushed
+    /// into `k` first (in pid order), so take the [`KernelSnapshot`]
+    /// *after* this call — or use [`snapshot_world`], which orders the two
+    /// correctly.
+    pub fn snapshot(&mut self, k: &mut Kernel) -> RouterSnapshot {
+        let mut pids: Vec<Pid> = self.chains.keys().copied().collect();
+        pids.sort_unstable();
+        for pid in &pids {
+            self.flush_pending(k, *pid);
+        }
+        RouterSnapshot {
+            chains: pids
+                .into_iter()
+                .map(|pid| {
+                    let agents = self.chains[&pid]
+                        .agents
+                        .iter()
+                        .map(|a| a.clone_box())
+                        .collect();
+                    (pid, agents)
+                })
+                .collect(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rewinds every chain to `snap`. Live chains (and any pending upcall
+    /// batches they hold) are discarded — the rewound world re-executes
+    /// those calls itself — and each restored chain's flat dispatch table,
+    /// batchable set and vDSO gating are recompiled from scratch.
+    pub fn restore(&mut self, snap: &RouterSnapshot) {
+        self.chains.clear();
+        for (pid, agents) in &snap.chains {
+            let mut chain = Chain::new();
+            chain.agents = agents.iter().map(|a| a.clone_box()).collect();
+            chain.recompute();
+            self.chains.insert(*pid, chain);
+        }
+        self.stats = snap.stats;
     }
 }
 

@@ -14,7 +14,10 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use ia_abi::{RawArgs, Sysno};
-use ia_interpose::{wrap_process, Agent, BatchCall, InterestSet, InterposedRouter, SysCtx};
+use ia_interpose::{
+    restore_world, snapshot_world, wrap_process, Agent, BatchCall, InterestSet, InterposedRouter,
+    SysCtx,
+};
 use ia_kernel::{run, run_legacy, Kernel, Observable, RunLimits, RunOutcome, SysOutcome, I486_25};
 
 /// Batchable full-coverage observer (counts calls seen, per-call or
@@ -142,6 +145,121 @@ loop:   addi r10, r10, -1
         intercepted: router.stats.intercepted,
         unmanaged: router.stats.unmanaged,
         fast_hits: k.fast_stats.hits(),
+    }
+}
+
+struct SnapRun {
+    obs: Observable,
+    /// Watcher upcalls between the snapshot point and completion, first
+    /// (pre-restore) leg.
+    first_delta: u64,
+    /// Same span replayed after `restore_world` — must match exactly.
+    second_delta: u64,
+    watcher_batches: u64,
+    intercepted: u64,
+    fast_hits: u64,
+}
+
+/// Snapshot mid-run with vectored upcalls in flight, run to completion,
+/// rewind, deliberately build a *fresh* pending batch, rewind again (the
+/// live batch must be discarded, not replayed), and run the same span a
+/// second time.
+fn run_snapshot_restore(fast: bool, legacy: bool) -> SnapRun {
+    let src = "
+main:   li r10, 400
+loop:   addi r10, r10, -1
+        sys getpid
+        jnz r10, loop
+        li r0, 0
+        sys exit
+";
+    let img = ia_vm::assemble(src).unwrap();
+    let mut k = Kernel::new(I486_25);
+    k.fast_path = fast;
+    let pid = k.spawn_image(&img, &[b"snap"], b"snap");
+    let mut router = InterposedRouter::new();
+    let calls = Rc::new(Cell::new(0));
+    let batches = Rc::new(Cell::new(0));
+    wrap_process(
+        &mut k,
+        &mut router,
+        pid,
+        Box::new(Watcher {
+            calls: calls.clone(),
+            batches: batches.clone(),
+        }),
+        &[],
+    );
+
+    let drive = |k: &mut Kernel, router: &mut InterposedRouter, max_steps: u64| {
+        let limits = RunLimits { max_steps };
+        if legacy {
+            run_legacy(k, router, limits)
+        } else {
+            run(k, router, limits)
+        }
+    };
+
+    // Run into the middle of the loop: with batching on, a partial
+    // vectored upcall is pending right now.
+    assert_eq!(drive(&mut k, &mut router, 150), RunOutcome::StepLimit);
+
+    // Capture. The pending batch is flushed into the world first, so the
+    // snapshot holds no in-flight vector.
+    let world = snapshot_world(&mut k, &mut router);
+    let at_snap = calls.get();
+
+    // First future.
+    assert_eq!(drive(&mut k, &mut router, 5_000_000), RunOutcome::AllExited);
+    let first = k.observable();
+    let first_stats = router.stats;
+    let first_delta = calls.get() - at_snap;
+
+    // Rewind, then run a short stretch so a *new* pending batch forms
+    // under the restored chain...
+    restore_world(&mut k, &mut router, &world);
+    assert_eq!(drive(&mut k, &mut router, 120), RunOutcome::StepLimit);
+    // ...and rewind again: the live pending batch must be discarded, the
+    // dispatch tables recompiled, the vDSO gating recomputed.
+    restore_world(&mut k, &mut router, &world);
+    let mid = calls.get();
+
+    // Second future: must be bit-identical to the first.
+    assert_eq!(drive(&mut k, &mut router, 5_000_000), RunOutcome::AllExited);
+    assert_eq!(k.observable(), first, "replayed future diverged");
+    assert_eq!(router.stats, first_stats, "router counters diverged");
+    assert!(k.check_quiescent().is_empty(), "{:?}", k.check_quiescent());
+
+    SnapRun {
+        obs: first,
+        first_delta,
+        second_delta: calls.get() - mid,
+        watcher_batches: batches.get(),
+        intercepted: router.stats.intercepted,
+        fast_hits: k.fast_stats.hits(),
+    }
+}
+
+#[test]
+fn snapshot_restore_invalidates_fast_state_identically() {
+    let fast = run_snapshot_restore(true, false);
+    let slow = run_snapshot_restore(false, false);
+    let legacy = run_snapshot_restore(false, true);
+
+    assert!(fast.first_delta > 0, "snapshot taken after the loop ended");
+    assert_eq!(
+        fast.first_delta, fast.second_delta,
+        "replay saw a different number of upcalls (stale batch leaked?)"
+    );
+    assert!(fast.watcher_batches > 0, "no vectored upcalls delivered");
+    assert!(fast.fast_hits > 0, "fast run never used the in-loop lane");
+    assert_eq!(slow.fast_hits, 0, "slow run must not use the lane");
+
+    for (label, other) in [("fast off", &slow), ("legacy", &legacy)] {
+        assert_eq!(fast.obs, other.obs, "observable state diverged vs {label}");
+        assert_eq!(fast.first_delta, other.first_delta, "vs {label}");
+        assert_eq!(fast.second_delta, other.second_delta, "vs {label}");
+        assert_eq!(fast.intercepted, other.intercepted, "vs {label}");
     }
 }
 

@@ -25,7 +25,7 @@ pub enum DevRead {
 }
 
 /// The system console: captures all tty output, queues injected input.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Console {
     output: Vec<u8>,
     input: VecDeque<u8>,

@@ -48,7 +48,7 @@ pub struct OpenFile {
 }
 
 /// The system-wide open-file table.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct OpenFiles {
     slots: Vec<Option<OpenFile>>,
 }

@@ -215,6 +215,10 @@ pub struct Kernel {
     pub fast_path: bool,
     /// Fast-path hit/miss counters (host-side; see [`FastPathStats`]).
     pub fast_stats: FastPathStats,
+    /// Monotonic id handed to the next [`Kernel::snapshot`]. Host-side
+    /// bookkeeping: never captured or rewound, so every snapshot taken by
+    /// this kernel (and its branches) gets a distinct id.
+    pub(crate) next_snapshot_id: u64,
 }
 
 impl Kernel {
@@ -282,6 +286,7 @@ impl Kernel {
             obs: ia_obs::Obs::new(),
             fast_path: true,
             fast_stats: FastPathStats::default(),
+            next_snapshot_id: 1,
         }
     }
 

@@ -35,5 +35,5 @@ pub use process::{PendingTrap, Pid, ProcState, Process, SigAction, SigState, Usa
 pub use sched::{
     run, run_legacy, FastSpec, KernelRouter, RunLimits, RunOutcome, SyscallRouter, SLICE,
 };
-pub use snapshot::{ClientView, Observable};
+pub use snapshot::{ClientView, KernelSnapshot, Observable};
 pub use socket::{SockState, Socket, SocketTable};

@@ -16,10 +16,17 @@
 //!   content. Runs with and without pass-through agents must agree on
 //!   this, while clocks legitimately differ by the interposition overhead.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 
-use crate::kernel::Kernel;
-use crate::process::{Pid, ProcState};
+use ia_vfs::{Fs, Ino};
+
+use crate::clock::Clock;
+use crate::console::Console;
+use crate::files::OpenFiles;
+use crate::kernel::{FastPathStats, FlockState, Kernel, PerfCounters, WakeEvent};
+use crate::process::{Pid, ProcState, Process};
+use crate::socket::SocketTable;
 
 /// Complete observable machine state after (or during) a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,7 +57,150 @@ pub struct ClientView {
     pub fs_bytes: u64,
 }
 
+/// A full capture of the kernel's world state: filesystem, process table
+/// (including every address space), descriptor and socket tables, console,
+/// scheduler queues, timers, clocks and counters.
+///
+/// The filesystem part shares structure with the live kernel (O(1), see
+/// [`ia_vfs::FsSnapshot`]); process address spaces are copied, so the total
+/// cost is O(resident client memory).
+///
+/// Deliberately **not** captured:
+///
+/// * the flight recorder (`Kernel::obs`) — it is an observer of the world,
+///   not part of it; a restore rewinds what happened, not the record that
+///   it happened (which is exactly what time-travel replay needs);
+/// * the exec gate and machine profile — host policy, constant across a
+///   run, preserved across [`Kernel::restore`];
+/// * the snapshot-id counter — ids must stay unique across restores.
+#[derive(Debug, Clone)]
+pub struct KernelSnapshot {
+    /// Unique id of this capture, for repro artifacts and logs.
+    pub id: u64,
+    fs: Fs,
+    clock: Clock,
+    console: Console,
+    files: OpenFiles,
+    sockets: SocketTable,
+    procs: HashMap<Pid, Process>,
+    next_pid: Pid,
+    wakeups: Vec<WakeEvent>,
+    exit_log: HashMap<Pid, u32>,
+    flocks: HashMap<Ino, FlockState>,
+    run_queue: BTreeSet<Pid>,
+    blocked_queue: BTreeSet<Pid>,
+    timer_heap: BinaryHeap<Reverse<(u64, Pid)>>,
+    select_heap: BinaryHeap<Reverse<(u64, Pid)>>,
+    perf: PerfCounters,
+    total_syscalls: u64,
+    total_insns: u64,
+    fast_path: bool,
+    fast_stats: FastPathStats,
+}
+
 impl Kernel {
+    /// Captures the full world state. See [`KernelSnapshot`] for what is
+    /// and is not included. Safe at any scheduler boundary (between
+    /// `run()` calls, or from inside an agent's syscall hook).
+    pub fn snapshot(&mut self) -> KernelSnapshot {
+        let id = self.next_snapshot_id;
+        self.next_snapshot_id += 1;
+        KernelSnapshot {
+            id,
+            fs: self.fs.clone(),
+            clock: self.clock,
+            console: self.console.clone(),
+            files: self.files.clone(),
+            sockets: self.sockets.clone(),
+            procs: self.procs.clone(),
+            next_pid: self.next_pid,
+            wakeups: self.wakeups.clone(),
+            exit_log: self.exit_log.clone(),
+            flocks: self.flocks.clone(),
+            run_queue: self.run_queue.clone(),
+            blocked_queue: self.blocked_queue.clone(),
+            timer_heap: self.timer_heap.clone(),
+            select_heap: self.select_heap.clone(),
+            perf: self.perf,
+            total_syscalls: self.total_syscalls,
+            total_insns: self.total_insns,
+            fast_path: self.fast_path,
+            fast_stats: self.fast_stats.clone(),
+        }
+    }
+
+    /// Rewinds the world to `snap`. The flight recorder, exec gate,
+    /// machine profile and snapshot-id counter persist (they are not world
+    /// state); everything else — filesystem, processes, descriptors,
+    /// sockets, console, queues, timers, clock, counters — is restored
+    /// bit-identically.
+    ///
+    /// Callers holding router state (agent chains, pending upcall batches,
+    /// compiled dispatch tables) must invalidate it too; see
+    /// `ia_interpose::InterposedRouter::snapshot`/`restore`.
+    pub fn restore(&mut self, snap: &KernelSnapshot) {
+        self.fs = snap.fs.clone();
+        self.clock = snap.clock;
+        self.console = snap.console.clone();
+        self.files = snap.files.clone();
+        self.sockets = snap.sockets.clone();
+        self.procs = snap.procs.clone();
+        self.next_pid = snap.next_pid;
+        self.wakeups = snap.wakeups.clone();
+        self.exit_log = snap.exit_log.clone();
+        self.flocks = snap.flocks.clone();
+        self.run_queue = snap.run_queue.clone();
+        self.blocked_queue = snap.blocked_queue.clone();
+        self.timer_heap = snap.timer_heap.clone();
+        self.select_heap = snap.select_heap.clone();
+        self.perf = snap.perf;
+        self.total_syscalls = snap.total_syscalls;
+        self.total_insns = snap.total_insns;
+        self.fast_path = snap.fast_path;
+        self.fast_stats = snap.fast_stats.clone();
+    }
+
+    /// Forks the whole world: a new kernel whose state equals this one's,
+    /// sharing filesystem structure until either side diverges. The branch
+    /// keeps the same machine profile and exec gate but gets a fresh
+    /// (disabled) flight recorder — observers are per-kernel.
+    pub fn branch(&mut self) -> Kernel {
+        let snap = self.snapshot();
+        let mut child = Kernel::new(self.profile);
+        child.exec_gate = self.exec_gate.clone();
+        child.next_snapshot_id = self.next_snapshot_id;
+        child.restore(&snap);
+        child
+    }
+
+    /// Rewinds *only the filesystem tree* to a [`ia_vfs::FsSnapshot`]
+    /// while processes keep running — the transactional-abort primitive.
+    ///
+    /// Open descriptors survive the rewind: every restored inode's
+    /// `open_refs` is re-derived from the live open-file table, file locks
+    /// on inodes that no longer exist are dropped, and descriptors whose
+    /// inode vanished (created after the capture) dangle harmlessly —
+    /// subsequent operations on them fail with `ENOENT`, and close is a
+    /// no-op, exactly as for an externally-revoked vnode.
+    pub fn rollback_fs(&mut self, snap: &ia_vfs::FsSnapshot) {
+        let mut live_refs: BTreeMap<Ino, u32> = BTreeMap::new();
+        for (_, f) in self.files.iter() {
+            if let crate::files::FileKind::Vnode(ino) = f.kind {
+                *live_refs.entry(ino).or_insert(0) += 1;
+            }
+        }
+        self.fs.restore_reconciled(snap, &live_refs);
+        let dead: Vec<Ino> = self
+            .flocks
+            .keys()
+            .filter(|ino| !self.fs.exists(**ino))
+            .copied()
+            .collect();
+        for ino in dead {
+            self.flocks.remove(&ino);
+        }
+    }
+
     /// Snapshots the full observable state.
     #[must_use]
     pub fn observable(&self) -> Observable {
@@ -185,6 +335,113 @@ mod tests {
         let k = Kernel::new(I486_25);
         assert!(k.check_invariants().is_empty());
         assert!(k.check_quiescent().is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_mid_run_replays_identically() {
+        // A program that writes, loops and exits; snapshot it mid-flight,
+        // run to completion, rewind, run again: the two futures must be
+        // bit-identical in every observable dimension.
+        let src = r#"
+            .data
+            path: .asciz "/tmp/log"
+            msg:  .asciz "0123456789abcdef"
+            .text
+            main:
+                la r0, path
+                li r1, 0x601
+                li r2, 420
+                sys open
+                li r10, 40
+            loop:
+                li r0, 3
+                la r1, msg
+                li r2, 16
+                sys write
+                addi r10, r10, -1
+                jnz r10, loop
+                li r0, 9
+                sys exit
+        "#;
+        let mut k = Kernel::new(I486_25);
+        let img = assemble(src).unwrap();
+        k.spawn_image(&img, &[b"t"], b"t");
+        let mut router = crate::sched::KernelRouter;
+        assert_eq!(
+            crate::sched::run(
+                &mut k,
+                &mut router,
+                crate::sched::RunLimits { max_steps: 200 }
+            ),
+            RunOutcome::StepLimit
+        );
+
+        let snap = k.snapshot();
+        let mid = k.observable();
+        assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
+        let first = k.observable();
+        assert!(k.check_quiescent().is_empty());
+
+        k.restore(&snap);
+        assert_eq!(k.observable(), mid, "restore rewinds to capture time");
+        assert!(
+            k.check_invariants().is_empty(),
+            "{:?}",
+            k.check_invariants()
+        );
+        assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
+        assert_eq!(k.observable(), first, "replayed future is identical");
+        assert!(k.check_quiescent().is_empty());
+    }
+
+    #[test]
+    fn branch_is_isolated_from_parent() {
+        let src = r#"
+            .data
+            path: .asciz "/tmp/branchfile"
+            msg:  .asciz "payload"
+            .text
+            main:
+                la r0, path
+                li r1, 0x601
+                li r2, 420
+                sys open
+                la r1, msg
+                li r2, 7
+                sys write
+                li r0, 0
+                sys exit
+        "#;
+        let mut k = Kernel::new(I486_25);
+        let img = assemble(src).unwrap();
+        k.spawn_image(&img, &[b"t"], b"t");
+
+        let mut b = k.branch();
+        assert_eq!(b.observable(), k.observable());
+
+        // Run the branch to completion: the parent must not move.
+        let before = k.observable();
+        assert_eq!(b.run_to_completion(), RunOutcome::AllExited);
+        assert_eq!(k.observable(), before, "parent untouched by branch run");
+
+        // Mutate the parent's fs: the branch's tree must not see it.
+        let b_digest = b.client_view().vfs_digest;
+        k.write_file(b"/tmp/parent-only", b"x").unwrap();
+        assert_eq!(b.client_view().vfs_digest, b_digest);
+
+        // The parent then reaches the same end state as the branch did.
+        assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
+        assert_eq!(k.client_view().console, b.client_view().console);
+        assert_eq!(k.exit_statuses(), b.exit_statuses());
+    }
+
+    #[test]
+    fn snapshot_ids_stay_unique_across_restore() {
+        let mut k = Kernel::new(I486_25);
+        let s1 = k.snapshot();
+        k.restore(&s1);
+        let s2 = k.snapshot();
+        assert_ne!(s1.id, s2.id, "restore must not rewind the id counter");
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub struct Socket {
 }
 
 /// The kernel socket table.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SocketTable {
     socks: HashMap<u64, Socket>,
     by_ino: HashMap<Ino, SockId>,

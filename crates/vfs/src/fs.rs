@@ -1,13 +1,14 @@
 //! The filesystem proper: an inode table plus the `namei`-style resolution
 //! and mutation operations the kernel serves to applications.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use ia_abi::{DirEntry, Errno, Stat, Timeval};
 
 use crate::inode::{Cred, Ino, Inode, InodeKind, ROOT_INO};
 use crate::path::{self, is_absolute, split_components};
 use crate::pipe::PipeTable;
+use crate::pstore::{FileContent, PVec};
 
 /// Maximum symlink expansions in one resolution, per 4.3BSD `MAXSYMLINKS`.
 pub const MAXSYMLINKS: usize = 8;
@@ -35,12 +36,25 @@ pub struct FsStats {
 }
 
 /// The in-memory filesystem.
-#[derive(Debug)]
+///
+/// The inode table is a persistent radix trie ([`PVec`]): `clone()` and
+/// [`Fs::snapshot`] are O(1), and divergent copies share structure.
+#[derive(Debug, Clone)]
 pub struct Fs {
-    inodes: HashMap<Ino, Inode>,
+    inodes: PVec<Inode>,
     next_ino: Ino,
     /// Pipe buffers backing `pipe(2)` pairs and named FIFOs.
     pub pipes: PipeTable,
+}
+
+/// An O(1) capture of the at-rest filesystem tree: the inode table and the
+/// allocation cursor. Pipe buffers are deliberately excluded — they are
+/// transient IPC state owned by the kernel's descriptor layer, not part of
+/// the durable tree (and [`Fs::content_digest`] never sees them).
+#[derive(Debug, Clone)]
+pub struct FsSnapshot {
+    inodes: PVec<Inode>,
+    next_ino: Ino,
 }
 
 impl Default for Fs {
@@ -54,7 +68,7 @@ impl Fs {
     /// root with mode 755.
     #[must_use]
     pub fn new(now: Timeval) -> Fs {
-        let mut inodes = HashMap::new();
+        let mut inodes = PVec::new();
         let mut root_map = BTreeMap::new();
         root_map.insert(b".".to_vec(), ROOT_INO);
         root_map.insert(b"..".to_vec(), ROOT_INO);
@@ -68,23 +82,74 @@ impl Fs {
         }
     }
 
+    // ---- snapshot & restore -------------------------------------------
+
+    /// Captures the filesystem tree in O(1): the persistent inode trie is
+    /// shared, not copied, and later mutations on either side copy only
+    /// the paths they touch.
+    #[must_use]
+    pub fn snapshot(&self) -> FsSnapshot {
+        FsSnapshot {
+            inodes: self.inodes.clone(),
+            next_ino: self.next_ino,
+        }
+    }
+
+    /// Rewinds the tree to `snap`. Pipe buffers are untouched (see
+    /// [`FsSnapshot`]); callers owning kernel state reconcile open-file
+    /// references themselves.
+    pub fn restore(&mut self, snap: &FsSnapshot) {
+        self.inodes = snap.inodes.clone();
+        self.next_ino = snap.next_ino;
+    }
+
+    /// Rewinds the tree to `snap` while the surrounding world keeps
+    /// running — the transactional-abort path, where open descriptors
+    /// outlive the rewind. `live_refs` maps ino → number of open-file
+    /// references held *now*; every restored inode's `open_refs` is
+    /// re-derived from it (capture-time counts are stale on both sides),
+    /// and unlinked inodes nobody references anymore are reclaimed.
+    ///
+    /// Unlike [`Self::restore`], the ino allocator is *not* rewound:
+    /// descriptors left dangling by the rewind must never alias a file
+    /// created afterwards, so inos stay unique for the kernel's lifetime.
+    ///
+    /// O(inodes), unlike the O(1) capture: reconciliation must visit the
+    /// whole restored tree.
+    pub fn restore_reconciled(&mut self, snap: &FsSnapshot, live_refs: &BTreeMap<Ino, u32>) {
+        let live_next = self.next_ino;
+        self.restore(snap);
+        self.next_ino = live_next;
+        for ino in 0..live_next {
+            let Some(n) = self.inodes.get(ino) else {
+                continue;
+            };
+            let want = live_refs.get(&ino).copied().unwrap_or(0);
+            if n.meta.nlink == 0 && want == 0 {
+                self.inodes.remove(ino);
+            } else if n.open_refs != want {
+                self.inodes.get_mut(ino).expect("just seen").open_refs = want;
+            }
+        }
+    }
+
     // ---- inode access -------------------------------------------------
 
     /// Borrows an inode. A stale number is the caller's bug surfaced as
     /// `ENOENT`, matching what a kernel returns for a vanished file.
     pub fn get(&self, ino: Ino) -> Result<&Inode, Errno> {
-        self.inodes.get(&ino).ok_or(Errno::ENOENT)
+        self.inodes.get(ino).ok_or(Errno::ENOENT)
     }
 
     /// Mutably borrows an inode.
     pub fn get_mut(&mut self, ino: Ino) -> Result<&mut Inode, Errno> {
-        self.inodes.get_mut(&ino).ok_or(Errno::ENOENT)
+        self.inodes.get_mut(ino).ok_or(Errno::ENOENT)
     }
 
     /// True if the inode is live.
     #[must_use]
     pub fn exists(&self, ino: Ino) -> bool {
-        self.inodes.contains_key(&ino)
+        self.inodes.contains(ino)
     }
 
     fn alloc(&mut self, inode: Inode) -> Ino {
@@ -96,7 +161,7 @@ impl Fs {
 
     /// Registers an open reference so unlinked-but-open files survive.
     pub fn incref(&mut self, ino: Ino) {
-        if let Some(n) = self.inodes.get_mut(&ino) {
+        if let Some(n) = self.inodes.get_mut(ino) {
             n.open_refs += 1;
         }
     }
@@ -104,18 +169,18 @@ impl Fs {
     /// Drops an open reference, reclaiming the inode if it is also
     /// link-free.
     pub fn decref(&mut self, ino: Ino) {
-        if let Some(n) = self.inodes.get_mut(&ino) {
+        if let Some(n) = self.inodes.get_mut(ino) {
             n.open_refs = n.open_refs.saturating_sub(1);
             if n.open_refs == 0 && n.meta.nlink == 0 {
-                self.inodes.remove(&ino);
+                self.inodes.remove(ino);
             }
         }
     }
 
     fn reclaim_if_dead(&mut self, ino: Ino) {
-        if let Some(n) = self.inodes.get(&ino) {
+        if let Some(n) = self.inodes.get(ino) {
             if n.meta.nlink == 0 && n.open_refs == 0 {
-                self.inodes.remove(&ino);
+                self.inodes.remove(ino);
             }
         }
     }
@@ -260,7 +325,7 @@ impl Fs {
     }
 
     fn insert_entry(&mut self, dir: Ino, name: &[u8], ino: Ino, now: Timeval) {
-        let d = self.inodes.get_mut(&dir).expect("checked");
+        let d = self.inodes.get_mut(dir).expect("checked");
         d.meta.mtime = now;
         d.meta.ctime = now;
         d.as_dir_mut().expect("checked").insert(name.to_vec(), ino);
@@ -278,7 +343,12 @@ impl Fs {
         now: Timeval,
     ) -> Result<Ino, Errno> {
         self.check_create(dir, name, cred)?;
-        let ino = self.alloc(Inode::new(InodeKind::Regular(Vec::new()), perm, cred, now));
+        let ino = self.alloc(Inode::new(
+            InodeKind::Regular(FileContent::new()),
+            perm,
+            cred,
+            now,
+        ));
         self.insert_entry(dir, name, ino, now);
         Ok(ino)
     }
@@ -302,10 +372,10 @@ impl Fs {
         ));
         map.insert(b".".to_vec(), ino);
         map.insert(b"..".to_vec(), dir);
-        self.inodes.get_mut(&ino).expect("fresh").kind = InodeKind::Directory(map);
+        self.inodes.get_mut(ino).expect("fresh").kind = InodeKind::Directory(map);
         self.insert_entry(dir, name, ino, now);
         // The child's ".." is a new link to the parent.
-        self.inodes.get_mut(&dir).expect("checked").meta.nlink += 1;
+        self.inodes.get_mut(dir).expect("checked").meta.nlink += 1;
         Ok(ino)
     }
 
@@ -393,7 +463,7 @@ impl Fs {
         }
         self.check_create(dir, name, cred)?;
         self.insert_entry(dir, name, target, now);
-        let t = self.inodes.get_mut(&target).expect("checked");
+        let t = self.inodes.get_mut(target).expect("checked");
         t.meta.nlink += 1;
         t.meta.ctime = now;
         Ok(())
@@ -415,11 +485,11 @@ impl Fs {
         if matches!(self.get(target)?.kind, InodeKind::Directory(_)) {
             return Err(Errno::EPERM);
         }
-        let d = self.inodes.get_mut(&dir).expect("checked");
+        let d = self.inodes.get_mut(dir).expect("checked");
         d.as_dir_mut().expect("checked").remove(name);
         d.meta.mtime = now;
         d.meta.ctime = now;
-        let t = self.inodes.get_mut(&target).expect("checked");
+        let t = self.inodes.get_mut(target).expect("checked");
         t.meta.nlink = t.meta.nlink.saturating_sub(1);
         t.meta.ctime = now;
         self.reclaim_if_dead(target);
@@ -448,12 +518,12 @@ impl Fs {
         if tmap.keys().any(|k| k != b"." && k != b"..") {
             return Err(Errno::ENOTEMPTY);
         }
-        let d = self.inodes.get_mut(&dir).expect("checked");
+        let d = self.inodes.get_mut(dir).expect("checked");
         d.as_dir_mut().expect("checked").remove(name);
         d.meta.mtime = now;
         d.meta.ctime = now;
         d.meta.nlink = d.meta.nlink.saturating_sub(1); // child's ".." is gone
-        let t = self.inodes.get_mut(&target).expect("checked");
+        let t = self.inodes.get_mut(target).expect("checked");
         t.meta.nlink = 0;
         self.reclaim_if_dead(target);
         Ok(())
@@ -536,7 +606,7 @@ impl Fs {
         }
         // Detach from the source directory.
         {
-            let d = self.inodes.get_mut(&from_dir).expect("checked");
+            let d = self.inodes.get_mut(from_dir).expect("checked");
             d.as_dir_mut().expect("checked").remove(from_name);
             d.meta.mtime = now;
             d.meta.ctime = now;
@@ -545,13 +615,13 @@ impl Fs {
         if src_is_dir && from_dir != to_dir {
             // Fix the child's ".." and both parents' link counts.
             self.inodes
-                .get_mut(&src)
+                .get_mut(src)
                 .expect("checked")
                 .as_dir_mut()
                 .expect("src is dir")
                 .insert(b"..".to_vec(), to_dir);
-            self.inodes.get_mut(&from_dir).expect("checked").meta.nlink -= 1;
-            self.inodes.get_mut(&to_dir).expect("checked").meta.nlink += 1;
+            self.inodes.get_mut(from_dir).expect("checked").meta.nlink -= 1;
+            self.inodes.get_mut(to_dir).expect("checked").meta.nlink += 1;
         }
         Ok(())
     }
@@ -568,12 +638,7 @@ impl Fs {
     ) -> Result<Vec<u8>, Errno> {
         let n = self.get_mut(ino)?;
         let data = n.as_file().ok_or(Errno::EINVAL)?;
-        let off = off as usize;
-        let out = if off >= data.len() {
-            Vec::new()
-        } else {
-            data[off..(off + len).min(data.len())].to_vec()
-        };
+        let out = data.read_at(off as usize, len);
         n.meta.atime = now;
         Ok(out)
     }
@@ -588,15 +653,7 @@ impl Fs {
     ) -> Result<usize, Errno> {
         let n = self.get_mut(ino)?;
         let file = n.as_file_mut().ok_or(Errno::EINVAL)?;
-        let off = off as usize;
-        if off > file.len() {
-            file.resize(off, 0);
-        }
-        let end = off + data.len();
-        if end > file.len() {
-            file.resize(end, 0);
-        }
-        file[off..end].copy_from_slice(data);
+        file.write_at(off as usize, data);
         n.meta.mtime = now;
         n.meta.ctime = now;
         Ok(data.len())
@@ -607,7 +664,7 @@ impl Fs {
         let n = self.get_mut(ino)?;
         match &mut n.kind {
             InodeKind::Regular(d) => {
-                d.resize(len as usize, 0);
+                d.resize(len as usize);
                 n.meta.mtime = now;
                 n.meta.ctime = now;
                 Ok(())
@@ -702,17 +759,15 @@ impl Fs {
             inodes: self.inodes.len(),
             ..FsStats::default()
         };
-        for n in self.inodes.values() {
-            match &n.kind {
-                InodeKind::Regular(d) => {
-                    s.files += 1;
-                    s.bytes += d.len() as u64;
-                }
-                InodeKind::Directory(_) => s.dirs += 1,
-                InodeKind::Symlink(_) => s.symlinks += 1,
-                _ => {}
+        self.inodes.for_each(|n| match &n.kind {
+            InodeKind::Regular(d) => {
+                s.files += 1;
+                s.bytes += d.len() as u64;
             }
-        }
+            InodeKind::Directory(_) => s.dirs += 1,
+            InodeKind::Symlink(_) => s.symlinks += 1,
+            _ => {}
+        });
         s
     }
 
@@ -744,7 +799,12 @@ impl Fs {
             InodeKind::Regular(data) => {
                 fnv_mix(h, b"F");
                 fnv_mix(h, &(data.len() as u64).to_le_bytes());
-                fnv_mix(h, data);
+                // Stream chunk by chunk: FNV-1a folds byte-at-a-time, so
+                // this hashes identically to a flat byte walk regardless
+                // of where the chunk boundaries fall.
+                for chunk in data.chunks() {
+                    fnv_mix(h, chunk);
+                }
             }
             InodeKind::Directory(entries) => {
                 fnv_mix(h, b"D");
@@ -1191,6 +1251,81 @@ mod tests {
         // ...but changing one byte of content does not.
         a.write_at(ino, 0, b"jello", later).unwrap();
         assert_ne!(a.content_digest(), b.content_digest());
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_tree() {
+        let mut f = fs();
+        mkd(&mut f, b"/d");
+        let ino = mk(&mut f, b"/d/f");
+        f.write_at(ino, 0, b"original", NOW).unwrap();
+        let digest = f.content_digest();
+        let snap = f.snapshot();
+
+        // Diverge: mutate data, metadata and the namespace.
+        f.write_at(ino, 0, b"CHANGED!", NOW).unwrap();
+        mk(&mut f, b"/extra");
+        f.unlink(ROOT_INO, b"extra", Cred::ROOT, NOW).unwrap();
+        mkd(&mut f, b"/d2");
+        f.chmod(ino, 0o600, Cred::ROOT, NOW).unwrap();
+        assert_ne!(f.content_digest(), digest);
+
+        f.restore(&snap);
+        assert_eq!(f.content_digest(), digest);
+        assert_eq!(f.read_at(ino, 0, 64, NOW).unwrap(), b"original");
+        assert_eq!(f.resolve(ROOT_INO, b"/d2", Cred::ROOT), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn snapshot_never_reuses_inos_after_restore() {
+        let mut f = fs();
+        let snap = f.snapshot();
+        let a = mk(&mut f, b"/a");
+        f.restore(&snap);
+        let b = mk(&mut f, b"/b");
+        // next_ino rewinds with the tree, so numbering is reproducible.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn content_digest_hashes_through_chunk_boundaries() {
+        // A file written in awkward pieces must digest identically to the
+        // same bytes written in one flat stroke (satellite: the digest
+        // streams the logical byte sequence, not the chunk layout).
+        let mut pattern = Vec::new();
+        for i in 0..3 * crate::pstore::CHUNK_SIZE + 17 {
+            pattern.push((i % 251) as u8);
+        }
+
+        let mut flat = fs();
+        let ino = mk(&mut flat, b"/f");
+        flat.write_at(ino, 0, &pattern, NOW).unwrap();
+
+        let mut pieced = fs();
+        let ino2 = mk(&mut pieced, b"/f");
+        // Write back-to-front in uneven spans so chunks are created by
+        // hole-filling, then overwritten.
+        let mid = pattern.len() / 2;
+        pieced
+            .write_at(ino2, mid as u64, &pattern[mid..], NOW)
+            .unwrap();
+        for (i, piece) in pattern[..mid].chunks(997).enumerate() {
+            pieced.write_at(ino2, (i * 997) as u64, piece, NOW).unwrap();
+        }
+        assert_eq!(
+            pieced.read_at(ino2, 0, pattern.len(), NOW).unwrap(),
+            pattern
+        );
+        assert_eq!(flat.content_digest(), pieced.content_digest());
+
+        // And the digest matches what a flat byte walk would produce: an
+        // Fs whose file was truncated then rewritten contiguously.
+        let mut rewritten = fs();
+        let ino3 = mk(&mut rewritten, b"/f");
+        rewritten.write_at(ino3, 0, &[0xAA; 5], NOW).unwrap();
+        rewritten.truncate(ino3, 0, NOW).unwrap();
+        rewritten.write_at(ino3, 0, &pattern, NOW).unwrap();
+        assert_eq!(flat.content_digest(), rewritten.content_digest());
     }
 
     #[test]

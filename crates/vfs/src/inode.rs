@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use ia_abi::{FileMode, FileType, Stat, Timeval};
 
 use crate::pipe::PipeId;
+use crate::pstore::FileContent;
 
 /// Inode number. Inode 0 is never allocated; the root directory is inode 2,
 /// as tradition demands.
@@ -75,8 +76,9 @@ impl NodeMeta {
 /// Type-specific inode payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InodeKind {
-    /// Regular file contents.
-    Regular(Vec<u8>),
+    /// Regular file contents, chunked for structural sharing across
+    /// snapshots.
+    Regular(FileContent),
     /// Directory entries, name → inode, kept sorted for deterministic
     /// `getdirentries` order.
     Directory(BTreeMap<Vec<u8>, Ino>),
@@ -217,7 +219,7 @@ impl Inode {
 
     /// Borrows regular-file data.
     #[must_use]
-    pub fn as_file(&self) -> Option<&Vec<u8>> {
+    pub fn as_file(&self) -> Option<&FileContent> {
         match &self.kind {
             InodeKind::Regular(d) => Some(d),
             _ => None,
@@ -225,7 +227,7 @@ impl Inode {
     }
 
     /// Mutably borrows regular-file data.
-    pub fn as_file_mut(&mut self) -> Option<&mut Vec<u8>> {
+    pub fn as_file_mut(&mut self) -> Option<&mut FileContent> {
         match &mut self.kind {
             InodeKind::Regular(d) => Some(d),
             _ => None,
@@ -248,7 +250,12 @@ mod tests {
             NOW,
         );
         assert_eq!(d.meta.nlink, 2);
-        let f = Inode::new(InodeKind::Regular(vec![]), 0o644, Cred::ROOT, NOW);
+        let f = Inode::new(
+            InodeKind::Regular(FileContent::new()),
+            0o644,
+            Cred::ROOT,
+            NOW,
+        );
         assert_eq!(f.meta.nlink, 1);
     }
 
@@ -257,7 +264,7 @@ mod tests {
         let owner = Cred::new(10, 20);
         let group = Cred::new(11, 20);
         let other = Cred::new(12, 21);
-        let f = Inode::new(InodeKind::Regular(vec![]), 0o640, owner, NOW);
+        let f = Inode::new(InodeKind::Regular(FileContent::new()), 0o640, owner, NOW);
         assert!(f.permits(owner, 4));
         assert!(f.permits(owner, 2));
         assert!(f.permits(group, 4));
@@ -270,7 +277,7 @@ mod tests {
         // BSD rule: if you are the owner, *only* owner bits apply — even if
         // the group bits would have granted more.
         let owner = Cred::new(10, 20);
-        let f = Inode::new(InodeKind::Regular(vec![]), 0o040, owner, NOW);
+        let f = Inode::new(InodeKind::Regular(FileContent::new()), 0o040, owner, NOW);
         assert!(
             !f.permits(owner, 4),
             "owner denied even though group could read"
@@ -279,18 +286,28 @@ mod tests {
 
     #[test]
     fn root_bypasses_rw_but_not_exec() {
-        let f = Inode::new(InodeKind::Regular(vec![]), 0o000, Cred::new(10, 10), NOW);
+        let f = Inode::new(
+            InodeKind::Regular(FileContent::new()),
+            0o000,
+            Cred::new(10, 10),
+            NOW,
+        );
         assert!(f.permits(Cred::ROOT, 4));
         assert!(f.permits(Cred::ROOT, 2));
         assert!(!f.permits(Cred::ROOT, 1), "no exec bit anywhere");
-        let x = Inode::new(InodeKind::Regular(vec![]), 0o100, Cred::new(10, 10), NOW);
+        let x = Inode::new(
+            InodeKind::Regular(FileContent::new()),
+            0o100,
+            Cred::new(10, 10),
+            NOW,
+        );
         assert!(x.permits(Cred::ROOT, 1));
     }
 
     #[test]
     fn stat_reflects_kind() {
         let f = Inode::new(
-            InodeKind::Regular(b"hello".to_vec()),
+            InodeKind::Regular(FileContent::from_vec(b"hello".to_vec())),
             0o644,
             Cred::ROOT,
             NOW,

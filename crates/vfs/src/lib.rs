@@ -25,8 +25,10 @@ pub mod fs;
 pub mod inode;
 pub mod path;
 pub mod pipe;
+pub mod pstore;
 
-pub use fs::{Fs, FsStats, Resolved};
+pub use fs::{Fs, FsSnapshot, FsStats, Resolved};
 pub use inode::{Cred, Ino, Inode, InodeKind, NodeMeta};
 pub use path::{is_absolute, join, normalize, split_components};
 pub use pipe::{Pipe, PipeId, PipeTable, PIPE_CAPACITY};
+pub use pstore::{FileContent, PVec, CHUNK_SIZE};

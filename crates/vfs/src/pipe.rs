@@ -121,7 +121,7 @@ impl Pipe {
 /// Entries are reference-counted by endpoint: the kernel registers reader
 /// and writer endpoints as descriptors are created, duplicated and closed,
 /// and the buffer is reclaimed when both counts reach zero.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PipeTable {
     pipes: std::collections::HashMap<u64, Pipe>,
     next: u64,

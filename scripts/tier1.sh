@@ -21,3 +21,12 @@ cargo run --release -p ia-bench --bin ia-stats -- --selftest
 # Failures drop .conf repro files plus .flight.txt recordings in
 # target/conform.
 cargo run --release -p ia-conform -- --seeds 200
+
+# Fault-tree sweep: snapshot/restore-driven exploration of every
+# fault/pass decision prefix (depth 2) per surface syscall x errno, fast
+# vs legacy stack per leaf. Failures land as tree-case .conf repros.
+cargo run --release -p ia-conform -- --tree --depth 2 --seeds 50
+
+# Time-travel gate: flight recordings must replay bit-identically from
+# any interior snapshot window.
+cargo run --release -p ia-conform --bin ia-replay -- --selftest

@@ -62,9 +62,10 @@ fn trace_observes_what_timex_fabricates() {
 
 #[test]
 fn sandbox_under_txn_denies_before_any_shadowing() {
-    // txn above, sandbox below: the transaction would shadow the write,
-    // but the sandbox's policy (applied beneath) still protects the path
-    // when the txn commits through it.
+    // txn above, sandbox below: the branch-based transaction passes the
+    // session's syscalls through untouched, so the sandbox's policy
+    // (applied beneath) refuses the write-open before it ever reaches the
+    // tree — committing keeps nothing because nothing was written.
     const MUTATOR: &str = r#"
         .data
         path: .asciz "/etc/protected.conf"
@@ -99,11 +100,11 @@ fn sandbox_under_txn_denies_before_any_shadowing() {
     wrap_process(&mut k, &mut router, pid, sandbox, &[]);
     wrap_process(&mut k, &mut router, pid, txn, &[]);
     assert_eq!(k.run_with(&mut router), RunOutcome::AllExited);
-    // The txn's commit-time write into /etc was refused below it.
+    // The write into /etc was refused below the transaction.
     assert_eq!(k.read_file(b"/etc/protected.conf").unwrap(), b"original");
     assert!(
         violations.violations().iter().any(|v| v.call == "open"),
-        "sandbox caught the commit-path open: {:?}",
+        "sandbox caught the open beneath the txn: {:?}",
         violations.violations()
     );
 }
