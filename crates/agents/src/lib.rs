@@ -34,6 +34,7 @@
 
 pub mod crypt;
 pub mod dfs_trace;
+pub mod flow;
 pub mod oscompat;
 pub mod pass_through;
 pub mod profile;
@@ -49,6 +50,9 @@ pub mod zip;
 
 pub use crypt::CryptAgent;
 pub use dfs_trace::{analyze, DfsTraceAgent, DfsTraceHandle, TraceAnalysis, TraceOp, TraceRecord};
+pub use flow::{
+    FlowEvent, FlowGuard, FlowGuardAgent, FlowHandle, FlowMode, FlowPolicy, FlowViolation,
+};
 pub use oscompat::OsCompatAgent;
 pub use pass_through::PassThrough;
 pub use profile::{ProfileAgent, ProfileHandle};

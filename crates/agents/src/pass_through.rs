@@ -34,6 +34,16 @@ impl PassThrough {
     pub fn counters(&self) -> (u64, u64) {
         (self.batches.get(), self.calls.get())
     }
+
+    /// A detached clone sharing the same counters — keep it to read them
+    /// after the original has been moved into a router chain.
+    #[must_use]
+    pub fn probe(&self) -> PassThrough {
+        PassThrough {
+            batches: self.batches.clone(),
+            calls: self.calls.clone(),
+        }
+    }
 }
 
 impl Agent for PassThrough {

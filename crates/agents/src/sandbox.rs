@@ -80,6 +80,40 @@ pub struct SandboxPolicy {
 }
 
 impl SandboxPolicy {
+    /// True when some rule needs to inspect pathnames (or consult an
+    /// interactive decider), so every call that might carry a path must be
+    /// intercepted and the interests cannot be narrowed below `ALL`.
+    fn path_sensitive(&self) -> bool {
+        !self.hidden.is_empty()
+            || !self.readonly.is_empty()
+            || !self.writable_only.is_empty()
+            || self.emulate_writes
+    }
+
+    /// The calls a handler must still see even when the allow-list lets
+    /// them pass: denial flags and the write quota act *on allowed calls*.
+    fn must_see(&self) -> InterestSet {
+        let mut s = InterestSet::new();
+        if self.max_write_bytes.is_some() {
+            s.add_sys(Sysno::Write);
+        }
+        if self.deny_fork {
+            s.add_sys(Sysno::Fork);
+            s.add_sys(Sysno::Vfork);
+        }
+        if self.deny_exec {
+            s.add_sys(Sysno::Execve);
+        }
+        if self.deny_kill_others {
+            s.add_sys(Sysno::Kill);
+        }
+        if self.deny_sockets {
+            s.add_sys(Sysno::Socket);
+            s.add_sys(Sysno::Socketpair);
+        }
+        s
+    }
+
     /// A restrictive default: everything read-only, no fork/exec/sockets.
     #[must_use]
     pub fn locked_down() -> SandboxPolicy {
@@ -321,9 +355,22 @@ impl SymbolicSyscall for Sandbox {
     }
 
     fn interests(&self) -> InterestSet {
-        // The sandbox must see everything it polices; reads of unhidden
-        // files pass through at full interception cost — safety over speed.
-        InterestSet::ALL
+        // A pure allow-list policy (the `from_footprint` shape) only ever
+        // acts on calls *outside* the allow-list, plus the handful its
+        // denial flags and quota police. Registering exactly those keeps
+        // in-footprint calls on the bypass/batching path — a from_footprint
+        // sandbox must not suppress vectored upcalls (or pay per-call
+        // interception) for calls the binary is entitled to. Path-sensitive
+        // rules and interactive deciders still need to see everything.
+        match &self.policy.allowed_calls {
+            Some(allowed) if !self.policy.path_sensitive() && self.decider.is_none() => {
+                allowed.complement().union(&self.policy.must_see())
+            }
+            // The sandbox must see everything it polices; reads of unhidden
+            // files pass through at full interception cost — safety over
+            // speed.
+            _ => InterestSet::ALL,
+        }
     }
 
     fn intercept(
@@ -807,6 +854,52 @@ mod tests {
         assert_eq!(k.run_with(&mut router), RunOutcome::AllExited);
         assert_eq!(k.console.output_string(), "hi");
         assert!(handle.violations().is_empty(), "no false positives");
+    }
+
+    #[test]
+    fn allow_list_policies_narrow_their_interests() {
+        // Pure allow-list: in-set calls are NOT intercepted (they ride the
+        // bypass/batching path), out-of-set calls are, and policed calls
+        // stay visible even when allowed.
+        let (agent, _) = SandboxAgent::new(SandboxPolicy {
+            allowed_calls: Some(InterestSet::of(&[Sysno::Read, Sysno::Write, Sysno::Exit])),
+            max_write_bytes: Some(100),
+            deny_fork: true,
+            ..SandboxPolicy::default()
+        });
+        let interests = agent.inner.interests();
+        assert!(!interests.contains(Sysno::Read.number()), "read bypasses");
+        assert!(
+            interests.contains(Sysno::Write.number()),
+            "quota needs write"
+        );
+        assert!(
+            interests.contains(Sysno::Fork.number()),
+            "deny_fork needs fork"
+        );
+        assert!(
+            interests.contains(Sysno::Getpid.number()),
+            "out-of-set seen"
+        );
+
+        // Path rules (and deciders) force full interception.
+        let (agent, _) = SandboxAgent::new(SandboxPolicy {
+            allowed_calls: Some(InterestSet::of(&[Sysno::Read])),
+            hidden: vec![b"/etc".to_vec()],
+            ..SandboxPolicy::default()
+        });
+        assert_eq!(agent.inner.interests(), InterestSet::ALL);
+        let (agent, _) = SandboxAgent::with_decider(
+            SandboxPolicy {
+                allowed_calls: Some(InterestSet::of(&[Sysno::Read])),
+                ..SandboxPolicy::default()
+            },
+            |_, _| Ruling::Deny,
+        );
+        assert_eq!(agent.inner.interests(), InterestSet::ALL);
+        // No allow-list at all: unchanged, ALL.
+        let (agent, _) = SandboxAgent::new(SandboxPolicy::default());
+        assert_eq!(agent.inner.interests(), InterestSet::ALL);
     }
 
     #[test]

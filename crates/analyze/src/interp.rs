@@ -145,7 +145,7 @@ pub struct Analysis {
 
 /// Converts an abstract `r7` into the site's syscall-number set, applying
 /// the machine's `u64 → u32` truncation per enumerated value.
-fn site_values(v: AbsVal) -> SyscallSet {
+pub(crate) fn site_values(v: AbsVal) -> SyscallSet {
     match v.bounds() {
         Some((lo, hi)) if hi - lo <= 255 => {
             SyscallSet::Exact((lo..=hi).map(|x| x as u32).collect())
@@ -298,6 +298,14 @@ fn transfer(insn: Insn, at: usize, st: &mut RegState, rec: &mut Option<&mut Reco
     }
 }
 
+/// Applies one instruction's *value* transfer to `st` without recording.
+/// The taint analysis replays the value interpretation per instruction
+/// (starting from a block's fixpoint in-state) so it can resolve addresses
+/// and trap numbers while propagating taint in lock-step.
+pub(crate) fn step_value(insn: Insn, st: &mut RegState) {
+    transfer(insn, 0, st, &mut None);
+}
+
 /// Runs one block's instructions over `st`, stopping early at an
 /// undecodable slot (the machine faults there). When `pervasive` is set it
 /// is joined in before every instruction — control may enter at any
@@ -373,11 +381,21 @@ fn run_impl(
                 }
                 join_counts[b] += 1;
                 if join_counts[b] > WIDEN_LIMIT {
-                    // Widen: any register still changing goes straight
-                    // to ⊤ so the chain terminates.
+                    // Widen: any register still changing jumps to the
+                    // extreme on whichever side is moving, so the chain
+                    // terminates in at most two more steps while a stable
+                    // bound (e.g. the base of a pointer walked upward in a
+                    // loop) survives.
                     for r in 0..16 {
                         if m.regs[r] != old.regs[r] {
-                            m.regs[r] = AbsVal::Top;
+                            m.regs[r] = match (old.regs[r].bounds(), m.regs[r].bounds()) {
+                                (Some((olo, ohi)), Some((nlo, nhi))) => {
+                                    let lo = if nlo < olo { 0 } else { olo };
+                                    let hi = if nhi > ohi { u64::MAX } else { ohi };
+                                    AbsVal::range(lo, hi)
+                                }
+                                _ => AbsVal::Top,
+                            };
                         }
                     }
                 }

@@ -51,13 +51,17 @@
 
 pub mod cfg;
 pub mod domain;
+pub mod flow;
 pub mod interp;
 pub mod report;
+pub mod taint;
 
 pub use cfg::Cfg;
 pub use domain::AbsVal;
+pub use flow::{analyze_flow, FlowAnalysis, FlowLabel, FlowSpec, SinkFlow, SourceFlow};
 pub use interp::{RegState, SysSite, SyscallSet, ValueFinding};
-pub use report::{render_json, render_text, Finding, Severity};
+pub use report::{render_flow_json, render_json, render_text, Finding, Severity, SCHEMA_VERSION};
+pub use taint::Taint;
 
 use ia_abi::{Errno, Sysno};
 use ia_interpose::InterestSet;

@@ -1,10 +1,15 @@
 //! Lint findings and report rendering (text and JSON).
 
+use crate::flow::FlowAnalysis;
 use crate::interp::SyscallSet;
 use crate::ImageAnalysis;
 use ia_abi::Sysno;
 use ia_vm::{disasm_insn, Insn};
 use std::fmt::Write as _;
+
+/// Version stamp carried by every JSON document this module renders, so
+/// downstream consumers can detect shape changes.
+pub const SCHEMA_VERSION: u32 = 1;
 
 /// How bad a finding is. Errors describe code that faults (or jumps into the
 /// void) on a reachable path; warnings are suspicious but survivable.
@@ -164,6 +169,7 @@ fn esc(s: &str) -> String {
 pub fn render_json(name: &str, a: &ImageAnalysis) -> String {
     let mut out = String::new();
     out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
     let _ = writeln!(out, "  \"image\": \"{}\",", esc(name));
     let _ = writeln!(out, "  \"insns\": {},", a.code.len());
     let _ = writeln!(out, "  \"data_bytes\": {},", a.data_len);
@@ -206,6 +212,74 @@ pub fn render_json(name: &str, a: &ImageAnalysis) -> String {
             None => "null".to_string(),
         };
         let comma = if i + 1 < a.findings.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"severity\": \"{}\", \"kind\": \"{}\", \"at\": {at}, \"message\": \"{}\"}}{comma}",
+            f.severity.label(),
+            f.kind,
+            esc(&f.message)
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+/// Renders one image's information-flow analysis as a stable JSON document
+/// (same hand-rolled style as [`render_json`]).
+#[must_use]
+pub fn render_flow_json(name: &str, fa: &FlowAnalysis) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"image\": \"{}\",", esc(name));
+    let _ = writeln!(out, "  \"clean\": {},", fa.is_clean());
+    let _ = writeln!(out, "  \"widened\": {},", fa.widened);
+    match &fa.cause {
+        Some(c) => {
+            let _ = writeln!(out, "  \"cause\": \"{}\",", esc(c));
+        }
+        None => {
+            let _ = writeln!(out, "  \"cause\": null,");
+        }
+    }
+    let labels: Vec<String> = fa
+        .spec
+        .labels
+        .iter()
+        .map(|l| format!("\"{}\"", esc(&l.name)))
+        .collect();
+    let _ = writeln!(out, "  \"labels\": [{}],", labels.join(", "));
+
+    let _ = writeln!(out, "  \"sources\": [");
+    for (i, s) in fa.sources.iter().enumerate() {
+        let comma = if i + 1 < fa.sources.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"at\": {}, \"labels\": {}, \"call\": \"{}\"}}{comma}",
+            s.at, s.labels, s.kind
+        );
+    }
+    let _ = writeln!(out, "  ],");
+
+    let _ = writeln!(out, "  \"sinks\": [");
+    for (i, s) in fa.sinks.iter().enumerate() {
+        let comma = if i + 1 < fa.sinks.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"at\": {}, \"data_labels\": {}, \"ambient_labels\": {}}}{comma}",
+            s.at, s.data.labels, s.ambient.labels
+        );
+    }
+    let _ = writeln!(out, "  ],");
+
+    let _ = writeln!(out, "  \"findings\": [");
+    for (i, f) in fa.findings.iter().enumerate() {
+        let at = match f.at {
+            Some(at) => at.to_string(),
+            None => "null".to_string(),
+        };
+        let comma = if i + 1 < fa.findings.len() { "," } else { "" };
         let _ = writeln!(
             out,
             "    {{\"severity\": \"{}\", \"kind\": \"{}\", \"at\": {at}, \"message\": \"{}\"}}{comma}",

@@ -1,0 +1,91 @@
+//! The taint lattice: `Untainted ⊑ Tainted(label-set, source-set) ⊑ Top`.
+//!
+//! A taint value is a pair of bitmasks. `labels` says *which* secrets may
+//! be present (bit `i` ⇔ label `i` of the [`crate::flow::FlowSpec`], at
+//! most 64 labels); `srcs` says *where* they may have entered (bit `k` ⇔
+//! source-site ordinal `k`, saturating at bit 63), which is what lets a
+//! sink finding name its exact source→sink chain. The bottom element is
+//! both masks zero ([`Taint::CLEAN`]); the top element is both masks
+//! all-ones ([`Taint::TOP`]); join is bitwise OR of both masks, which makes
+//! the lattice laws (commutativity, associativity, idempotence) structural
+//! and every transfer function trivially monotone — the property tests in
+//! `tests/domain_props.rs` check exactly this.
+
+/// A taint value: which labels may be present, and via which source sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Taint {
+    /// Bit `i` set ⇔ data carrying flow label `i` may be present.
+    pub labels: u64,
+    /// Bit `k` set ⇔ source site with ordinal `k` may have contributed.
+    pub srcs: u64,
+}
+
+impl Taint {
+    /// The bottom element: provably no labelled data.
+    pub const CLEAN: Taint = Taint { labels: 0, srcs: 0 };
+
+    /// The top element: any label from any source — what the analysis
+    /// fails closed to when it widens.
+    pub const TOP: Taint = Taint {
+        labels: u64::MAX,
+        srcs: u64::MAX,
+    };
+
+    /// Taint carrying exactly `labels`, introduced at source ordinal `src`
+    /// (saturated into bit 63 beyond 64 sources).
+    #[must_use]
+    pub fn source(labels: u64, src: usize) -> Taint {
+        if labels == 0 {
+            return Taint::CLEAN;
+        }
+        Taint {
+            labels,
+            srcs: 1u64 << src.min(63),
+        }
+    }
+
+    /// Least upper bound: union of both masks.
+    #[must_use]
+    pub fn join(self, other: Taint) -> Taint {
+        Taint {
+            labels: self.labels | other.labels,
+            srcs: self.srcs | other.srcs,
+        }
+    }
+
+    /// Partial order: `self ⊑ other` iff both masks are subsets.
+    #[must_use]
+    pub fn le(self, other: Taint) -> bool {
+        self.labels & !other.labels == 0 && self.srcs & !other.srcs == 0
+    }
+
+    /// True if provably untainted.
+    #[must_use]
+    pub fn is_clean(self) -> bool {
+        self.labels == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_basics() {
+        let a = Taint::source(0b01, 2);
+        let b = Taint::source(0b10, 5);
+        assert!(Taint::CLEAN.le(a) && a.le(Taint::TOP));
+        let j = a.join(b);
+        assert_eq!(j.labels, 0b11);
+        assert_eq!(j.srcs, (1 << 2) | (1 << 5));
+        assert!(a.le(j) && b.le(j));
+        assert_eq!(a.join(a), a, "idempotent");
+        assert_eq!(a.join(b), b.join(a), "commutative");
+    }
+
+    #[test]
+    fn source_ordinals_saturate() {
+        assert_eq!(Taint::source(1, 200).srcs, 1 << 63);
+        assert_eq!(Taint::source(0, 3), Taint::CLEAN, "no labels, no taint");
+    }
+}

@@ -1,0 +1,248 @@
+//! Property tests for the abstract domains, seeded via `ia-prng`.
+//!
+//! Three families, per the soundness story in DESIGN.md:
+//!
+//! * **Lattice laws** — join is commutative, associative, idempotent, and
+//!   an upper bound, for both the value domain (`AbsVal`) and the taint
+//!   lattice (`Taint`).
+//! * **γ-soundness / monotonicity** — for concrete values drawn from the
+//!   operands' concretizations, every concrete result lies in the abstract
+//!   result's concretization; and enlarging an operand never shrinks the
+//!   result (transfer monotonicity, the property the worklist fixpoints
+//!   rely on for termination and soundness).
+//! * **Widening termination** — strictly ascending chains are finite: the
+//!   taint lattice by bit-counting, the value interpreter by its widening
+//!   cut-off, exercised end-to-end on a counting-loop image.
+
+use ia_analyze::{analyze_image, AbsVal, Taint};
+use ia_prng::{run_cases, Prng};
+use ia_vm::{Image, Insn};
+
+const CASES: u64 = 2000;
+
+fn gen_abs(rng: &mut Prng) -> AbsVal {
+    match rng.below(4) {
+        0 => AbsVal::Const(rng.next_u64()),
+        1 => AbsVal::Const(rng.below(1 << 16)),
+        2 => {
+            let a = rng.below(1 << 20);
+            let b = rng.below(1 << 20);
+            AbsVal::range(a.min(b), a.max(b))
+        }
+        _ => AbsVal::Top,
+    }
+}
+
+/// A concrete member of the value's concretization.
+fn sample(rng: &mut Prng, v: AbsVal) -> u64 {
+    match v.bounds() {
+        Some((lo, hi)) if lo == hi => lo,
+        Some((lo, hi)) => match hi.checked_sub(lo).and_then(|w| w.checked_add(1)) {
+            Some(width) => lo + rng.below(width),
+            None => rng.next_u64(), // the full 0..=MAX interval
+        },
+        None => rng.next_u64(),
+    }
+}
+
+/// γ-membership.
+fn contains(v: AbsVal, x: u64) -> bool {
+    match v.bounds() {
+        Some((lo, hi)) => lo <= x && x <= hi,
+        None => true,
+    }
+}
+
+/// Abstract inclusion (`γ(a) ⊆ γ(b)`).
+fn le(a: AbsVal, b: AbsVal) -> bool {
+    match (a.bounds(), b.bounds()) {
+        (_, None) => true,
+        (None, Some(_)) => false,
+        (Some((alo, ahi)), Some((blo, bhi))) => blo <= alo && ahi <= bhi,
+    }
+}
+
+#[test]
+fn absval_join_laws() {
+    run_cases(CASES, |case, rng| {
+        let a = gen_abs(rng);
+        let b = gen_abs(rng);
+        let c = gen_abs(rng);
+        assert_eq!(a.join(a), a, "idempotent (case {case}, {a:?})");
+        assert_eq!(a.join(b), b.join(a), "commutative (case {case})");
+        assert_eq!(
+            a.join(b).join(c),
+            a.join(b.join(c)),
+            "associative (case {case}, {a:?} {b:?} {c:?})"
+        );
+        assert!(le(a, a.join(b)), "upper bound (case {case})");
+        assert!(le(b, a.join(b)), "upper bound (case {case})");
+    });
+}
+
+#[test]
+fn absval_transfer_gamma_soundness() {
+    type AbsOp = fn(AbsVal, AbsVal) -> AbsVal;
+    type ConcOp = fn(u64, u64) -> Option<u64>;
+    let ops: &[(&str, AbsOp, ConcOp)] = &[
+        ("add", AbsVal::add, |x, y| Some(x.wrapping_add(y))),
+        ("sub", AbsVal::sub, |x, y| Some(x.wrapping_sub(y))),
+        ("mul", AbsVal::mul, |x, y| Some(x.wrapping_mul(y))),
+        // Division by zero faults at runtime (separate lint); no concrete
+        // result to contain.
+        ("div", AbsVal::div, |x, y| (y != 0).then(|| x / y)),
+        ("rem", AbsVal::rem, |x, y| (y != 0).then(|| x % y)),
+        ("and", AbsVal::and, |x, y| Some(x & y)),
+        ("or", AbsVal::or, |x, y| Some(x | y)),
+        ("xor", AbsVal::xor, |x, y| Some(x ^ y)),
+        ("shl", AbsVal::shl, |x, y| Some(x << (y & 63))),
+        ("shr", AbsVal::shr, |x, y| Some(x >> (y & 63))),
+        (
+            "sltu",
+            |a, b| a.cmp_result(b, |x, y| x < y),
+            |x, y| Some(u64::from(x < y)),
+        ),
+        (
+            "slt",
+            |a, b| a.cmp_result(b, |x, y| (x as i64) < (y as i64)),
+            |x, y| Some(u64::from((x as i64) < (y as i64))),
+        ),
+        (
+            "seq",
+            |a, b| a.cmp_result(b, |x, y| x == y),
+            |x, y| Some(u64::from(x == y)),
+        ),
+    ];
+    run_cases(CASES, |case, rng| {
+        let a = gen_abs(rng);
+        let b = gen_abs(rng);
+        let x = sample(rng, a);
+        let y = sample(rng, b);
+        for (name, abs, conc) in ops {
+            let r = abs(a, b);
+            if let Some(cx) = conc(x, y) {
+                assert!(
+                    contains(r, cx),
+                    "{name} unsound (case {case}): γ({a:?} {name} {b:?}) = {r:?} \
+                     misses {x} {name} {y} = {cx}"
+                );
+            }
+        }
+        // Addi-form signed immediate.
+        let imm = rng.range_i64(-(1 << 20), 1 << 20);
+        let r = a.add_signed(imm);
+        let cx = x.wrapping_add(imm as u64);
+        assert!(contains(r, cx), "add_signed unsound (case {case})");
+    });
+}
+
+#[test]
+fn absval_transfer_monotonicity() {
+    type AbsOp = fn(AbsVal, AbsVal) -> AbsVal;
+    let ops: &[(&str, AbsOp)] = &[
+        ("add", AbsVal::add),
+        ("sub", AbsVal::sub),
+        ("mul", AbsVal::mul),
+        ("div", AbsVal::div),
+        ("rem", AbsVal::rem),
+        ("and", AbsVal::and),
+        ("or", AbsVal::or),
+        ("xor", AbsVal::xor),
+        ("shl", AbsVal::shl),
+        ("shr", AbsVal::shr),
+    ];
+    run_cases(CASES, |case, rng| {
+        let a = gen_abs(rng);
+        let b = gen_abs(rng);
+        // a ⊑ a' by hull-widening with junk.
+        let a2 = a.join(gen_abs(rng));
+        for (name, abs) in ops {
+            assert!(
+                le(abs(a, b), abs(a2, b)),
+                "{name} not monotone (case {case}): {a:?} ⊑ {a2:?} but \
+                 {:?} ⋢ {:?}",
+                abs(a, b),
+                abs(a2, b)
+            );
+        }
+    });
+}
+
+fn gen_taint(rng: &mut Prng) -> Taint {
+    Taint {
+        labels: rng.next_u64() & rng.next_u64(), // biased toward sparse
+        srcs: rng.next_u64() & rng.next_u64(),
+    }
+}
+
+#[test]
+fn taint_lattice_laws() {
+    run_cases(CASES, |case, rng| {
+        let a = gen_taint(rng);
+        let b = gen_taint(rng);
+        let c = gen_taint(rng);
+        assert_eq!(a.join(a), a, "idempotent (case {case})");
+        assert_eq!(a.join(b), b.join(a), "commutative (case {case})");
+        assert_eq!(a.join(b).join(c), a.join(b.join(c)), "associative");
+        assert!(a.le(a.join(b)) && b.le(a.join(b)), "upper bound");
+        assert!(Taint::CLEAN.le(a) && a.le(Taint::TOP), "bounded lattice");
+        // Least upper bound: anything above both a and b is above the join.
+        let ub = a.join(b).join(gen_taint(rng));
+        assert!(a.join(b).le(ub), "lub minimality over upper bound");
+        // Join is monotone in each argument (transfer functions are
+        // compositions of joins, so this is transfer monotonicity).
+        let a2 = a.join(gen_taint(rng));
+        assert!(a.join(b).le(a2.join(b)), "monotone (case {case})");
+    });
+}
+
+#[test]
+fn taint_ascending_chains_terminate() {
+    // Strictly ascending chains are bounded by the bit count: 128 steps.
+    run_cases(200, |case, rng| {
+        let mut acc = Taint::CLEAN;
+        let mut strict = 0;
+        for _ in 0..4096 {
+            let next = acc.join(gen_taint(rng));
+            if next != acc {
+                strict += 1;
+                acc = next;
+            }
+        }
+        assert!(
+            strict <= 128,
+            "chain of {strict} strict steps (case {case})"
+        );
+    });
+}
+
+#[test]
+fn interp_widening_terminates_on_counting_loops() {
+    // r1 climbs by a random stride each iteration — an infinite ascending
+    // chain of intervals unless the interpreter widens. The analysis must
+    // terminate and still keep the (constant) syscall number exact.
+    run_cases(50, |case, rng| {
+        let stride = rng.range_u64(1, 1 << 30);
+        let bound = rng.next_u64() | 1;
+        let code = vec![
+            Insn::Li(1, 0),                          // 0
+            Insn::Li(2, bound),                      // 1
+            Insn::Addi(1, 1, stride as i64),         // 2: loop head
+            Insn::Sltu(3, 1, 2),                     // 3
+            Insn::Jnz(3, 2),                         // 4
+            Insn::Li(7, ia_abi::Sysno::Exit as u64), // 5
+            Insn::Sys,                               // 6
+            Insn::Halt,                              // 7
+        ];
+        let a = analyze_image(&Image {
+            entry: 0,
+            code,
+            data: Vec::new(),
+        });
+        assert!(
+            a.footprint.exact && a.footprint.nrs.contains(&(ia_abi::Sysno::Exit as u32)),
+            "case {case}: {:?}",
+            a.footprint
+        );
+    });
+}

@@ -5,6 +5,7 @@
 //! cargo run -p ia-bench --release --bin reproduce            # everything
 //! cargo run -p ia-bench --release --bin reproduce table-3-2  # one table
 //! cargo run -p ia-bench --release --bin reproduce -- --json  # BENCH_{1,2,3}.json
+//! cargo run -p ia-bench --release --bin reproduce -- --json2 # BENCH_2.json only
 //! cargo run -p ia-bench --release --bin reproduce -- --json3 # BENCH_3.json only
 //! cargo run -p ia-bench --release --bin reproduce -- --smoke # CI gate
 //! ```
@@ -98,6 +99,17 @@ fn main() {
         let json3 = snapbench::render_json(&snapbench::run_all());
         if let Err(e) = std::fs::write("BENCH_3.json", &json3) {
             eprintln!("warning: could not write BENCH_3.json: {e}");
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "--json2") {
+        // Just the per-agent overhead table — virtual-time measurement,
+        // cheap and deterministic.
+        let json2 = overhead::render_json(&overhead::run_all());
+        print!("{json2}");
+        if let Err(e) = std::fs::write("BENCH_2.json", &json2) {
+            eprintln!("warning: could not write BENCH_2.json: {e}");
         }
         return;
     }

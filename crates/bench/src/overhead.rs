@@ -18,15 +18,26 @@
 //! ns per call for the kernel, the interpose redirection machinery, and
 //! each agent layer.
 
-use ia_agents::{CryptAgent, PassThrough, SandboxAgent, SandboxPolicy, TraceAgent};
+use ia_agents::{
+    CryptAgent, FlowGuardAgent, FlowPolicy, PassThrough, SandboxAgent, SandboxPolicy, TraceAgent,
+};
 use ia_interpose::{Agent, InterposedRouter};
 use ia_kernel::{Kernel, I486_25};
 use ia_obs::report::json_escape;
 use ia_workloads::micro::{self, MicroCall};
 use std::fmt::Write as _;
 
-/// The agent configurations of the table, in row order.
-pub const CONFIGS: [&str; 5] = ["bare", "pass_through", "trace", "crypt", "sandbox"];
+/// The agent configurations of the table, in row order. `flowguard` is
+/// the information-flow guard under the policy a statically-clean image
+/// earns: no interests at all, so its rows measure the pay-per-use floor.
+pub const CONFIGS: [&str; 6] = [
+    "bare",
+    "pass_through",
+    "trace",
+    "crypt",
+    "sandbox",
+    "flowguard",
+];
 
 /// The calls of the table, in column order.
 pub const CALLS: [MicroCall; 3] = [MicroCall::Getpid, MicroCall::Read1k, MicroCall::Write1k];
@@ -110,6 +121,7 @@ fn agents_for(config: &str) -> Vec<Box<dyn Agent>> {
         "trace" => vec![Box::new(TraceAgent::with_log(b"/dev/null").0)],
         "crypt" => vec![CryptAgent::boxed(b"/tmp", b"k3y")],
         "sandbox" => vec![SandboxAgent::new(SandboxPolicy::default()).0],
+        "flowguard" => vec![FlowGuardAgent::new(FlowPolicy::clean()).0 as Box<dyn Agent>],
         other => panic!("unknown config {other}"),
     }
 }
@@ -369,6 +381,17 @@ mod tests {
             cell("crypt", "read_1k").overhead_us > 0.0,
             "crypt read overhead should be positive"
         );
+        // The clean-policy flow guard has no interests: every column must
+        // sit on the bare row exactly (virtual time is deterministic).
+        for call in CALLS {
+            let c = cell("flowguard", call_label(call));
+            assert!(
+                c.overhead_us.abs() < 1e-9,
+                "flowguard {} overhead {:.3} != 0 under a clean policy",
+                c.call,
+                c.overhead_us
+            );
+        }
         assert_eq!(
             cell("crypt", "write_1k").artifact,
             Some("reimplements write; not comparable")

@@ -13,8 +13,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use ia_conform::{
-    check_faults, check_program, check_soundness, check_tree, run_fault_case, run_tree_case,
-    sample, shrink, OpSet, Program, Repro, TreeStats,
+    check_faults, check_flow_faults, check_flow_soundness, check_program, check_soundness,
+    check_tree, run_fault_case, run_tree_case, sample, shrink, OpSet, Program, Repro, TreeStats,
 };
 use ia_prng::Prng;
 
@@ -284,6 +284,19 @@ fn main() -> ExitCode {
             continue;
         }
 
+        if let Err(detail) = check_flow_soundness(&program) {
+            failures += 1;
+            let mut failing = |p: &Program| check_flow_soundness(p).is_err();
+            let small = shrink(&program, &mut failing);
+            let repro = Repro {
+                program: small,
+                fault: None,
+                tree: None,
+            };
+            report_failure(&o.out, &format!("seed-{seed}-flow"), &repro, &detail);
+            continue;
+        }
+
         if seed % o.fault_every == 0 {
             fault_cases += ia_conform::fault_schedule(&program).len() as u64;
             if let Err((case, detail)) = check_faults(&program) {
@@ -296,6 +309,22 @@ fn main() -> ExitCode {
                     tree: None,
                 };
                 report_failure(&o.out, &format!("seed-{seed}-fault"), &repro, &detail);
+            }
+            // Flow containment must also hold under every fault schedule:
+            // fabricated errors may suppress flows, never invent them.
+            for case in ia_conform::fault_schedule(&program) {
+                if let Err(detail) = check_flow_faults(&program, &case) {
+                    failures += 1;
+                    let mut failing = |p: &Program| check_flow_faults(p, &case).is_err();
+                    let small = shrink(&program, &mut failing);
+                    let repro = Repro {
+                        program: small,
+                        fault: Some(case),
+                        tree: None,
+                    };
+                    report_failure(&o.out, &format!("seed-{seed}-flowfault"), &repro, &detail);
+                    break;
+                }
             }
         }
     }

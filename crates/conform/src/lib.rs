@@ -30,6 +30,7 @@
 
 pub mod fault;
 pub mod flight;
+pub mod flowsound;
 pub mod gen;
 pub mod mutant;
 pub mod oracle;
@@ -39,6 +40,7 @@ pub mod trace;
 pub mod tree;
 
 pub use fault::{check_faults, fault_schedule, run_fault_case, FaultCase, FaultInjector};
+pub use flowsound::{check_flow_faults, check_flow_soundness, flow_spec, static_flows};
 pub use gen::{sample, ConfOp, OpSet, Program};
 pub use oracle::{
     check_client_equiv, check_program, run_config, run_config_fast, run_stack, run_stack_fast,

@@ -1,0 +1,96 @@
+//! Regression: a `from_footprint` sandbox stacked over a batching observer
+//! must not suppress vectored upcalls for calls inside the footprint.
+//!
+//! The sandbox's old interest set was `ALL` — sound, but it put the
+//! sandbox on the dispatch path of every call, and since the router only
+//! batches a number when *every* interested agent accepts it vectored, a
+//! footprint sandbox silently turned off batching for the whole chain.
+//! With interest narrowing the sandbox registers only the complement of
+//! its allow-list (plus the calls its policy must still see), so
+//! in-footprint calls reach the observer as vectored upcalls again.
+
+use ia_agents::{PassThrough, SandboxAgent};
+use ia_conform::{check_flow_faults, check_flow_soundness, fault_schedule, sample, OpSet, Program};
+use ia_interpose::{wrap_process, InterposedRouter};
+use ia_kernel::{run, Kernel, RunLimits, RunOutcome, I486_25};
+
+const MAX_STEPS: u64 = 2_000_000;
+
+/// Runs `program` under observer (bottom) + footprint sandbox (top),
+/// returning the observer's `(batches, calls)` counters.
+fn run_stacked(program: &Program, fast_path: bool) -> (u64, u64) {
+    let image = program.compile();
+    let mut k = Kernel::new(I486_25);
+    k.fast_path = fast_path;
+    Program::setup(&mut k);
+    let pid = k.spawn_image(&image, &[b"conform"], b"conform");
+    let mut router = InterposedRouter::new();
+    let observer = PassThrough::boxed();
+    let probe = observer.probe();
+    let (sandbox, handle, _fp) = SandboxAgent::from_footprint(&image);
+    wrap_process(&mut k, &mut router, pid, observer, &[]);
+    wrap_process(&mut k, &mut router, pid, sandbox, &[]);
+    let outcome = run(
+        &mut k,
+        &mut router,
+        RunLimits {
+            max_steps: MAX_STEPS,
+        },
+    );
+    assert_eq!(outcome, RunOutcome::AllExited, "fast_path={fast_path}");
+    assert!(
+        handle.violations().is_empty(),
+        "footprint sandbox EPERM'd its own program (fast_path={fast_path}): {:?}",
+        handle.violations()
+    );
+    probe.counters()
+}
+
+#[test]
+fn footprint_sandbox_does_not_suppress_batching() {
+    // A console/file/compute program: everything it does is inside its own
+    // footprint, so the narrowed sandbox stays entirely off the dispatch
+    // path of the common calls and the observer gets them vectored.
+    let program = sample(11, 14, OpSet::FS_CLIENT);
+    for fast_path in [true, false] {
+        let (batches, calls) = run_stacked(&program, fast_path);
+        assert!(calls > 0, "observer saw no calls (fast_path={fast_path})");
+        assert!(
+            batches > 0,
+            "footprint sandbox suppressed every vectored upcall \
+             (fast_path={fast_path}, {calls} calls observed)"
+        );
+    }
+}
+
+#[test]
+fn stacking_order_and_seeds_keep_counters_consistent() {
+    // Across a spread of generated programs the observer must count at
+    // least as many calls as batches, under both trap paths.
+    for seed in [3, 9, 21] {
+        let program = sample(seed, 10, OpSet::FS_CLIENT);
+        for fast_path in [true, false] {
+            let (batches, calls) = run_stacked(&program, fast_path);
+            assert!(
+                calls >= batches,
+                "seed {seed}: {batches} batches but only {calls} calls"
+            );
+        }
+    }
+}
+
+#[test]
+fn flow_soundness_holds_across_seeds_and_faults() {
+    for seed in 100..116 {
+        let program = sample(seed, 12, OpSet::ALL);
+        check_flow_soundness(&program).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+    // And under injected faults for a couple of seeds with real schedules.
+    for seed in [100, 107] {
+        let program = sample(seed, 12, OpSet::FS_CLIENT);
+        for case in fault_schedule(&program).into_iter().take(6) {
+            check_flow_faults(&program, &case)
+                .unwrap_or_else(|e| panic!("seed {seed}, {case}: {e}"));
+        }
+    }
+}

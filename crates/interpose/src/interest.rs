@@ -79,6 +79,28 @@ impl InterestSet {
         out
     }
 
+    /// Set difference: everything in `self` that is not in `other`.
+    ///
+    /// Bit 255 keeps its "and everything beyond" proxy meaning: removing a
+    /// number ≥ 256 from a set that has the proxy bit is not representable
+    /// and is ignored (fail open *on interception* — the set stays a
+    /// superset, which is the sound direction for interests).
+    #[must_use]
+    pub fn minus(&self, other: &InterestSet) -> InterestSet {
+        let mut out = *self;
+        for i in 0..4 {
+            out.bits[i] &= !other.bits[i];
+        }
+        out
+    }
+
+    /// Set complement over the representable numbers `0..256` (the proxy
+    /// bit 255 flips with the rest).
+    #[must_use]
+    pub fn complement(&self) -> InterestSet {
+        InterestSet::ALL.minus(self)
+    }
+
     /// True if nothing is registered.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -155,6 +177,25 @@ mod tests {
         let mut s = InterestSet::new();
         s.add(1000);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn minus_and_complement() {
+        let abc = InterestSet::of(&[Sysno::Read, Sysno::Write, Sysno::Open]);
+        let b = InterestSet::of(&[Sysno::Write]);
+        let d = abc.minus(&b);
+        assert!(d.contains(3) && d.contains(5) && !d.contains(4));
+        assert_eq!(d.len(), 2);
+        assert_eq!(abc.minus(&InterestSet::NONE), abc);
+        assert!(abc.minus(&InterestSet::ALL).is_empty());
+
+        let c = b.complement();
+        assert!(!c.contains(4) && c.contains(3));
+        assert_eq!(c.len(), 255);
+        assert_eq!(c.union(&b), InterestSet::ALL);
+        assert_eq!(InterestSet::NONE.complement(), InterestSet::ALL);
+        // The proxy bit flips too: NONE's complement intercepts unknowns.
+        assert!(InterestSet::NONE.complement().contains(9999));
     }
 
     #[test]

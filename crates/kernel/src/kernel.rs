@@ -582,8 +582,16 @@ impl Kernel {
                 }
                 FileKind::Device(_) => {}
                 FileKind::Socket(sid) => {
+                    // Peers blocked reading/writing the connection wait on
+                    // the underlying pipes, so hangup must wake those
+                    // channels too, not just acceptors.
+                    if let Ok(s) = self.sockets.get(sid) {
+                        if let crate::socket::SockState::Connected { rx, tx } = s.state {
+                            self.wakeups.push(WakeEvent::Pipe(rx));
+                            self.wakeups.push(WakeEvent::Pipe(tx));
+                        }
+                    }
                     self.sockets.release(sid, &mut self.fs.pipes);
-                    // Peers blocked on this socket's pipes must see hangup.
                     self.wakeups.push(WakeEvent::Sock(sid));
                 }
             }

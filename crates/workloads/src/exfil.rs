@@ -1,0 +1,143 @@
+//! Adversarial information-flow workload: a program that launders a
+//! labelled file into a socket through register shuffles, a staging
+//! buffer in memory, and a fork — plus a structurally identical benign
+//! twin that reads only public data.
+//!
+//! The pair is the acceptance fixture for the flow subsystem: the static
+//! analyzer must flag the exfiltrator's socket write with the exact
+//! source→sink chain, the [`FlowGuard`](ia_agents::FlowGuard) agent must
+//! block it at runtime, and the benign twin must analyze clean so its
+//! guard policy costs nothing per call.
+
+use ia_abi::Sysno;
+use ia_kernel::Kernel;
+use ia_vm::{Image, Insn, ProgramBuilder};
+
+/// The labelled file the exfiltrator steals.
+pub const SECRET_PATH: &[u8] = b"/secret/key";
+/// The public file the benign twin reads.
+pub const PUBLIC_PATH: &[u8] = b"/public/note";
+
+/// Builds the image: `socketpair`; `fork`; the parent opens `path`, reads
+/// it, copies the bytes into a staging buffer through scratch registers,
+/// and writes them to its socket end; the child drains the other end.
+/// Every syscall is errno-checked; any failure exits with the errno.
+fn flow_image(path: &[u8]) -> Image {
+    let mut b = ProgramBuilder::new();
+    let path_addr = b.data_asciz(path);
+    let buf = b.data_space(32);
+    let stage = b.data_space(32);
+
+    b.entry_here();
+    let fail = b.new_label();
+    let child = b.new_label();
+
+    // socketpair() → r0 = end A, r2 = end B (r1 = errno).
+    b.sys(Sysno::Socketpair);
+    b.jnz(1, fail);
+    b.mov(10, 0); // r10 = parent's end
+    b.mov(11, 2); // r11 = child's end
+
+    // fork() → r0 = pid (0 in the child).
+    b.sys(Sysno::Fork);
+    b.jnz(1, fail);
+    b.jz(0, child);
+
+    // Parent: close the child's end so its EOF tracks our exit, then
+    // open(path, O_RDONLY) and read up to 16 bytes.
+    b.mov(0, 11);
+    b.sys(Sysno::Close);
+    b.la(0, path_addr);
+    b.li(1, 0);
+    b.li(2, 0);
+    b.sys(Sysno::Open);
+    b.jnz(1, fail);
+    b.mov(12, 0); // r12 = fd, via a register shuffle
+    b.mov(0, 12);
+    b.la(1, buf);
+    b.li(2, 16);
+    b.sys(Sysno::Read);
+    b.jnz(1, fail);
+    b.mov(9, 0); // r9 = byte count
+
+    // Stage the bytes through r6 a quad at a time, with a byte shuffled
+    // through a second scratch register — the laundering sequence the
+    // analyzer has to follow through memory.
+    b.la(3, buf);
+    b.la(4, stage);
+    b.ld(6, 3, 0);
+    b.st(4, 6, 0);
+    b.ld(6, 3, 8);
+    b.st(4, 6, 8);
+    b.emit(Insn::Ldb(5, 3, 0));
+    b.emit(Insn::Stb(4, 5, 0));
+
+    // write(sock, stage, n) — the sink.
+    b.mov(0, 10);
+    b.la(1, stage);
+    b.mov(2, 9);
+    b.sys(Sysno::Write);
+    b.jnz(1, fail);
+    b.li(0, 0);
+    b.sys(Sysno::Exit);
+
+    // Child: drop the parent's end, drain the other, exit quietly.
+    b.bind(child);
+    b.mov(0, 10);
+    b.sys(Sysno::Close);
+    b.mov(0, 11);
+    b.la(1, stage);
+    b.li(2, 16);
+    b.sys(Sysno::Read);
+    b.li(0, 0);
+    b.sys(Sysno::Exit);
+
+    b.bind(fail);
+    b.mov(0, 1);
+    b.sys(Sysno::Exit);
+    b.build()
+}
+
+/// The exfiltrator: labelled `/secret/key` → staging loop → socket.
+#[must_use]
+pub fn exfil_image() -> Image {
+    flow_image(SECRET_PATH)
+}
+
+/// The benign twin: identical shape, but its source is `/public/note`, so
+/// under a `/secret` label spec it analyzes flow-clean.
+#[must_use]
+pub fn benign_image() -> Image {
+    flow_image(PUBLIC_PATH)
+}
+
+/// Prepares a kernel with both files in place.
+pub fn setup(k: &mut Kernel) {
+    k.mkdir_p(b"/secret").expect("mkdir /secret");
+    k.mkdir_p(b"/public").expect("mkdir /public");
+    k.write_file(SECRET_PATH, b"hunter2-secret!!")
+        .expect("seed secret");
+    k.write_file(PUBLIC_PATH, b"open-knowledge!!")
+        .expect("seed public");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ia_kernel::{RunOutcome, I486_25};
+
+    #[test]
+    fn both_images_run_clean_without_agents() {
+        for img in [exfil_image(), benign_image()] {
+            let mut k = Kernel::new(I486_25);
+            setup(&mut k);
+            let pid = k.spawn_image(&img, &[b"flow"], b"flow");
+            assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
+            assert_eq!(
+                k.exit_status(pid),
+                Some(ia_abi::signal::wait_status_exited(0)),
+                "program failed an errno check"
+            );
+        }
+    }
+}

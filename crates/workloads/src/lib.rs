@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exfil;
 pub mod make8;
 pub mod micro;
 pub mod mix;

@@ -9,17 +9,27 @@ cargo test -q
 cargo test -q --workspace --release
 
 # Static analysis gate: every in-tree workload and example image must lint
-# clean (zero errors). The JSON report is kept as a CI artifact.
-cargo run --release --bin ia-lint -- --builtin --json --out target/lint-report.json
+# clean (zero errors, zero warnings). The JSON report is kept as a CI
+# artifact.
+cargo run --release --bin ia-lint -- --builtin --deny-warnings --json \
+    --out target/lint-report.json
+
+# Information-flow gate: taint-analyze the builtin images plus the
+# adversarial exfil pair against the demo label spec; the per-image flow
+# report is kept as a CI artifact. (Flow findings are fail-closed and
+# expected on some images, so no --deny-warnings here.)
+cargo run --release --bin ia-lint -- --builtin \
+    --flow-json target/flow-report.json --out /dev/null
 
 # Observability gate: recorder/metrics invariants, the shared JSON
 # escaper, and a recorder-inertness differential on a real workload.
 cargo run --release -p ia-bench --bin ia-stats -- --selftest
 
 # Conformance smoke sweep: differential oracle + fault schedules over
-# generated programs, plus the static-footprint soundness check per seed.
-# Failures drop .conf repro files plus .flight.txt recordings in
-# target/conform.
+# generated programs, plus the static-footprint and dynamic-taint flow
+# soundness checks per seed (recorded flows must stay inside the static
+# flow relation, also under injected faults). Failures drop .conf repro
+# files plus .flight.txt recordings in target/conform.
 cargo run --release -p ia-conform -- --seeds 200
 
 # Fault-tree sweep: snapshot/restore-driven exploration of every

@@ -1,29 +1,47 @@
 //! ia-lint — static analysis reports for VM images.
 //!
 //! ```text
-//! usage: ia-lint [--json] [--out FILE] [--builtin] [FILE...]
+//! usage: ia-lint [--json] [--out FILE] [--flow-json FILE] [--deny-warnings]
+//!                [--builtin] [FILE...]
 //! ```
 //!
 //! Each `FILE` is either an image (`.img`, raw bytes in the IAVM format) or
 //! assembly source (`.ias`, assembled in-memory first). `--builtin` lints
-//! every in-tree workload image (micro/mix/scribe/make8). Exits nonzero if
-//! any analyzed image has lint errors.
+//! every in-tree workload image (micro/mix/scribe/make8). With
+//! `--flow-json FILE`, every image is additionally taint-analyzed against
+//! the demo flow spec (`secret` = `/secret`): flow findings join the
+//! regular findings (with per-sink disassembly excerpts in text mode),
+//! the adversarial `exfil` pair rides along with `--builtin`, and the
+//! full per-image flow report is written to `FILE`. Exits nonzero if any
+//! analyzed image has lint errors, or any warnings under
+//! `--deny-warnings`.
 
-use ia_analyze::{analyze_bytes, analyze_image, render_json, render_text, ImageAnalysis, Severity};
-use ia_workloads::{make8, micro, mix, scribe};
+use ia_analyze::flow::{analyze_flow, FlowAnalysis, FlowSpec};
+use ia_analyze::{
+    analyze_bytes, analyze_image, render_flow_json, render_json, render_text, ImageAnalysis,
+    Severity,
+};
+use ia_workloads::{exfil, make8, micro, mix, scribe};
 use std::process::ExitCode;
 
 struct Options {
     json: bool,
     out: Option<String>,
+    flow_out: Option<String>,
+    deny_warnings: bool,
     builtin: bool,
     files: Vec<String>,
 }
+
+const USAGE: &str = "usage: ia-lint [--json] [--out FILE] [--flow-json FILE] \
+                     [--deny-warnings] [--builtin] [FILE...]";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         json: false,
         out: None,
+        flow_out: None,
+        deny_warnings: false,
         builtin: false,
         files: Vec::new(),
     };
@@ -34,10 +52,12 @@ fn parse_args() -> Result<Options, String> {
             "--out" => {
                 opts.out = Some(args.next().ok_or("--out needs a path")?);
             }
-            "--builtin" => opts.builtin = true,
-            "--help" | "-h" => {
-                return Err("usage: ia-lint [--json] [--out FILE] [--builtin] [FILE...]".into())
+            "--flow-json" => {
+                opts.flow_out = Some(args.next().ok_or("--flow-json needs a path")?);
             }
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--builtin" => opts.builtin = true,
+            "--help" | "-h" => return Err(USAGE.into()),
             f if !f.starts_with('-') => opts.files.push(f.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -64,15 +84,69 @@ fn builtin_images() -> Vec<(String, ia_vm::Image)> {
     v
 }
 
-fn analyze_file(path: &str) -> Result<ImageAnalysis, String> {
+/// The label spec every image is flow-checked against: one label, rooted
+/// at `/secret` — the same spec the `exfiltrate` example enforces.
+fn demo_spec() -> FlowSpec {
+    FlowSpec::new().label("secret", &[b"/secret"])
+}
+
+/// One image's lint report; the flow analysis rides along only when a
+/// flow report was requested (it is noisier by design — fail-closed path
+/// resolution makes every unresolvable path a warning).
+fn analyze_one(
+    name: &str,
+    img: &ia_vm::Image,
+    flow: bool,
+) -> (String, ImageAnalysis, Option<FlowAnalysis>) {
+    let mut a = analyze_image(img);
+    let fa = flow.then(|| analyze_flow(img, &a, &demo_spec()));
+    if let Some(fa) = &fa {
+        a.findings.extend(fa.findings.iter().cloned());
+    }
+    (name.to_string(), a, fa)
+}
+
+fn analyze_file(
+    path: &str,
+    flow: bool,
+) -> Result<(String, ImageAnalysis, Option<FlowAnalysis>), String> {
     if path.ends_with(".ias") {
         let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let img = ia_vm::assemble(&src).map_err(|e| format!("{path}: assemble: {e}"))?;
-        Ok(analyze_image(&img))
+        Ok(analyze_one(path, &img, flow))
     } else {
         let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-        analyze_bytes(&bytes).map_err(|e| format!("{path}: not an IAVM image ({e})"))
+        let mut a =
+            analyze_bytes(&bytes).map_err(|e| format!("{path}: not an IAVM image ({e})"))?;
+        // `analyze_bytes` is the lenient parse; flow analysis additionally
+        // needs the image's data segment, so use the strict decoder and
+        // fail closed to an empty image (→ widened) if it rejects the file.
+        let fa = flow.then(|| {
+            let img = ia_vm::Image::from_bytes(&bytes).unwrap_or(ia_vm::Image {
+                code: Vec::new(),
+                data: Vec::new(),
+                entry: 0,
+            });
+            analyze_flow(&img, &a, &demo_spec())
+        });
+        if let Some(fa) = &fa {
+            a.findings.extend(fa.findings.iter().cloned());
+        }
+        Ok((path.to_string(), a, fa))
     }
+}
+
+/// Joins per-image JSON bodies into one top-level array document.
+fn json_array(bodies: impl Iterator<Item = String>) -> String {
+    let indented: Vec<String> = bodies
+        .map(|b| {
+            b.lines()
+                .map(|l| format!("  {l}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+        .collect();
+    format!("[\n{}\n]\n", indented.join(",\n"))
 }
 
 fn main() -> ExitCode {
@@ -84,15 +158,22 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut reports: Vec<(String, ImageAnalysis)> = Vec::new();
+    let flow = opts.flow_out.is_some();
+    let mut reports: Vec<(String, ImageAnalysis, Option<FlowAnalysis>)> = Vec::new();
     if opts.builtin {
         for (name, img) in builtin_images() {
-            reports.push((name, analyze_image(&img)));
+            reports.push(analyze_one(&name, &img, flow));
+        }
+        // The adversarial pair rides along whenever a flow report is
+        // requested: the leak must be flagged, its twin must stay clean.
+        if flow {
+            reports.push(analyze_one("exfil:leak", &exfil::exfil_image(), true));
+            reports.push(analyze_one("exfil:benign", &exfil::benign_image(), true));
         }
     }
     for path in &opts.files {
-        match analyze_file(path) {
-            Ok(a) => reports.push((path.clone(), a)),
+        match analyze_file(path, flow) {
+            Ok(r) => reports.push(r),
             Err(msg) => {
                 eprintln!("ia-lint: {msg}");
                 return ExitCode::FAILURE;
@@ -101,22 +182,11 @@ fn main() -> ExitCode {
     }
 
     let output = if opts.json {
-        let bodies: Vec<String> = reports
-            .iter()
-            .map(|(name, a)| {
-                // Indent each report two spaces to nest inside the array.
-                render_json(name, a)
-                    .lines()
-                    .map(|l| format!("  {l}"))
-                    .collect::<Vec<_>>()
-                    .join("\n")
-            })
-            .collect();
-        format!("[\n{}\n]\n", bodies.join(",\n"))
+        json_array(reports.iter().map(|(name, a, _)| render_json(name, a)))
     } else {
         reports
             .iter()
-            .map(|(name, a)| render_text(name, a))
+            .map(|(name, a, _)| render_text(name, a))
             .collect::<Vec<_>>()
             .join("\n────────────────────────────────────────\n")
     };
@@ -131,16 +201,39 @@ fn main() -> ExitCode {
         None => print!("{output}"),
     }
 
-    let total_errors: usize = reports.iter().map(|(_, a)| a.count(Severity::Error)).sum();
+    if let Some(path) = &opts.flow_out {
+        let doc = json_array(
+            reports
+                .iter()
+                .filter_map(|(name, _, fa)| fa.as_ref().map(|fa| render_flow_json(name, fa))),
+        );
+        if let Err(e) = std::fs::write(path, &doc) {
+            eprintln!("ia-lint: write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let dirty = reports
+            .iter()
+            .filter(|(_, _, fa)| fa.as_ref().is_some_and(|fa| !fa.is_clean()))
+            .count();
+        eprintln!(
+            "ia-lint: flow report on {} image(s) -> {path} ({dirty} flow-dirty)",
+            reports.len()
+        );
+    }
+
+    let total_errors: usize = reports
+        .iter()
+        .map(|(_, a, _)| a.count(Severity::Error))
+        .sum();
     let total_warnings: usize = reports
         .iter()
-        .map(|(_, a)| a.count(Severity::Warning))
+        .map(|(_, a, _)| a.count(Severity::Warning))
         .sum();
     eprintln!(
         "ia-lint: {} image(s), {total_errors} error(s), {total_warnings} warning(s)",
         reports.len()
     );
-    if total_errors > 0 {
+    if total_errors > 0 || (opts.deny_warnings && total_warnings > 0) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
