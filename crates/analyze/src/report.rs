@@ -7,9 +7,10 @@ use ia_abi::Sysno;
 use ia_vm::{disasm_insn, Insn};
 use std::fmt::Write as _;
 
-/// Version stamp carried by every JSON document this module renders, so
-/// downstream consumers can detect shape changes.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Version stamp carried by every JSON document this module renders —
+/// the workspace-wide stamp from [`ia_obs::report`], re-exported so
+/// existing consumers keep their import path.
+pub const SCHEMA_VERSION: u32 = ia_obs::report::SCHEMA_VERSION;
 
 /// How bad a finding is. Errors describe code that faults (or jumps into the
 /// void) on a reachable path; warnings are suspicious but survivable.
@@ -167,10 +168,7 @@ fn esc(s: &str) -> String {
 /// deliberately has no serde dependency).
 #[must_use]
 pub fn render_json(name: &str, a: &ImageAnalysis) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
-    let _ = writeln!(out, "  \"image\": \"{}\",", esc(name));
+    let mut out = ia_obs::report::json_header("image", name);
     let _ = writeln!(out, "  \"insns\": {},", a.code.len());
     let _ = writeln!(out, "  \"data_bytes\": {},", a.data_len);
     let _ = writeln!(out, "  \"entry\": {},", a.entry);
@@ -229,10 +227,7 @@ pub fn render_json(name: &str, a: &ImageAnalysis) -> String {
 /// (same hand-rolled style as [`render_json`]).
 #[must_use]
 pub fn render_flow_json(name: &str, fa: &FlowAnalysis) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
-    let _ = writeln!(out, "  \"image\": \"{}\",", esc(name));
+    let mut out = ia_obs::report::json_header("image", name);
     let _ = writeln!(out, "  \"clean\": {},", fa.is_clean());
     let _ = writeln!(out, "  \"widened\": {},", fa.widened);
     match &fa.cause {

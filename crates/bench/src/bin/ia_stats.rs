@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p ia-bench --release --bin ia-stats              # text report
 //! cargo run -p ia-bench --release --bin ia-stats -- --json    # BENCH_2 JSON
+//! cargo run -p ia-bench --release --bin ia-stats -- --fusion  # fusion histogram
 //! cargo run -p ia-bench --release --bin ia-stats -- --selftest
 //! ```
 //!
@@ -10,6 +11,10 @@
 //! paper-§6-shaped per-agent overhead table plus per-layer `getpid()`
 //! attribution) and print it; `--json` prints the same document that
 //! `reproduce --json` writes to `BENCH_2.json`.
+//!
+//! `--fusion` runs representative workloads on the fused engine and
+//! prints a JSON histogram of executed superinstructions per family,
+//! plus the exec-cache hit/miss counters — CI uploads it as an artifact.
 //!
 //! `--selftest` exercises the recorder and metrics invariants end to end
 //! without any workload dependence — tier-1 runs it on every push.
@@ -29,6 +34,10 @@ fn main() {
     if args.iter().any(|a| a == "--selftest") {
         selftest();
         println!("ia-stats selftest: ok");
+        return;
+    }
+    if args.iter().any(|a| a == "--fusion") {
+        print!("{}", render_fusion_json());
         return;
     }
     let b = overhead::run_all();
@@ -65,6 +74,114 @@ fn render_fast_stats() -> String {
         k.fast_stats.hits(),
         k.fast_stats.misses()
     ));
+    s
+}
+
+/// Runs representative workloads on the fused engine — a compute
+/// countdown loop, a `getpid()` trap loop, and a fork/exec storm of one
+/// installed tool — and renders the per-family superinstruction hit
+/// histogram plus the exec-cache counters as a JSON document.
+fn render_fusion_json() -> String {
+    let mut k = Kernel::new(I486_25);
+    // The in-loop trap fast path would swallow single-process bursts via
+    // the step-based lane; this histogram profiles the fused engine, so
+    // force every slice through it.
+    k.fast_path = false;
+    micro::setup(&mut k);
+
+    // Compute loop: one pair from every arithmetic fusion family per
+    // iteration (ld+alu, cmp+branch, addi+branch).
+    let compute = ia_vm::assemble(
+        r#"
+        .data
+        cell: .space 8
+        .text
+        main:
+            la  r9, cell
+            li  r13, 20000
+        loop:
+            ld  r5, (r9)
+            add r5, r5, r13
+            seq r4, r13, r14
+            jnz r4, done
+            addi r13, r13, -1
+            jnz r13, loop
+        done:
+            li r0, 0
+            sys exit
+        "#,
+    )
+    .expect("compute loop assembles");
+    k.spawn_image(&compute, &[b"compute"], b"compute");
+    assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
+
+    // Trap loop: li r7 + sys pairs.
+    k.spawn_image(&micro::loop_image(MicroCall::Getpid, 2000), &[b"t"], b"t");
+    assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
+
+    // Exec storm: fork/exec the same installed tool, exercising the
+    // digest-keyed image cache.
+    let tool = ia_vm::assemble("main: li r0, 0\n sys exit\n").expect("tool assembles");
+    k.install_image(b"/bin/tool", &tool).expect("tool installs");
+    let driver = ia_vm::assemble(
+        r#"
+        .data
+        path: .asciz "/bin/tool"
+        .text
+        main:
+            li  r12, 8
+        loop:
+            jz  r12, fin
+            sys fork
+            jz  r0, child
+            li  r0, 0
+            li  r1, 0
+            li  r2, 0
+            li  r3, 0
+            sys wait4
+            addi r12, r12, -1
+            jmp loop
+        child:
+            la  r0, path
+            li  r1, 0
+            li  r2, 0
+            sys execve
+            li  r0, 99
+            sys exit
+        fin:
+            li r0, 0
+            sys exit
+        "#,
+    )
+    .expect("driver assembles");
+    k.spawn_image(&driver, &[b"driver"], b"driver");
+    assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
+
+    let rows = k.fusion_stats.rows();
+    let (cache_hits, cache_misses) = k.exec_cache_stats();
+    let mut s = ia_obs::report::json_header("report", "fusion-histogram");
+    s.push_str(
+        "  \"description\": \"superinstructions executed per fusion family on \
+         representative workloads (compute loop, getpid loop, exec storm)\",\n",
+    );
+    s.push_str("  \"histogram\": [\n");
+    for (i, (family, hits)) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"family\": \"{}\", \"hits\": {}}}{}\n",
+            json_escape(family),
+            hits,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"superinsns_executed\": {},\n",
+        k.fusion_stats.total()
+    ));
+    s.push_str(&format!(
+        "  \"exec_cache\": {{\"hits\": {cache_hits}, \"misses\": {cache_misses}}}\n"
+    ));
+    s.push_str("}\n");
     s
 }
 

@@ -16,58 +16,90 @@ use ia_bench::{
     table_3_2, table_3_3, table_3_4, table_3_5,
 };
 
-/// Largest tolerated drop of the smoke scenario's throughput below the
-/// committed baseline before CI fails.
+/// Largest tolerated drop of the smoke scenario's normalized throughput
+/// ratio below the committed baseline before CI fails.
 const SMOKE_TOLERANCE: f64 = 0.20;
 
-/// Extracts the committed `traps_per_sec` of the smoke scenario (sliced
-/// scheduler, fast path on) from the `BENCH_1.json` text. Hand-rolled:
-/// the workspace builds offline with no serialization dependency, and the
-/// document is our own line-per-scenario writer's output.
-fn baseline_traps_per_sec(json: &str) -> Option<f64> {
+/// Extracts a committed field of one scenario row — matched by name,
+/// scheduler, engine, and fast-path flag — from the `BENCH_1.json` text.
+/// Hand-rolled: the workspace builds offline with no serialization
+/// dependency, and the document is our own line-per-scenario writer's
+/// output.
+fn baseline_field(json: &str, name: &str, engine: &str, fast: bool, field: &str) -> Option<f64> {
     json.lines()
         .find(|l| {
-            l.contains(&format!("\"name\": \"{}\"", hostbench::SMOKE_SCENARIO))
+            l.contains(&format!("\"name\": \"{name}\""))
                 && l.contains("\"sched\": \"sliced\"")
-                && l.contains("\"fast_path\": true")
+                && l.contains(&format!("\"engine\": \"{engine}\""))
+                && l.contains(&format!("\"fast_path\": {fast}"))
         })
         .and_then(|l| {
-            let rest = l.split("\"traps_per_sec\": ").nth(1)?;
-            rest.trim_end_matches(['}', ',', ' ']).parse().ok()
+            let rest = l.split(&format!("\"{field}\": ")).nth(1)?;
+            rest.split([',', '}']).next()?.trim().parse().ok()
         })
 }
 
-/// Compares a fresh run of the smoke scenario against the committed
-/// baseline; exits non-zero on a regression beyond [`SMOKE_TOLERANCE`].
+/// One smoke gate: compares the live guarded/reference throughput ratio
+/// against the committed one, failing beyond [`SMOKE_TOLERANCE`]. Both
+/// sides of each ratio are measured in the same host window, so a slow
+/// (or fast) CI host cancels out instead of tripping — or masking — the
+/// gate.
+fn smoke_gate(json: &str, what: &str, name: &str, fast: bool, field: &str, live: f64) -> bool {
+    let committed_guarded = baseline_field(json, name, "fused", fast, field);
+    let committed_reference = baseline_field(json, name, "plain", false, field);
+    let (Some(guarded), Some(reference)) = (committed_guarded, committed_reference) else {
+        eprintln!("smoke: missing {name} fused/plain rows in BENCH_1.json");
+        return false;
+    };
+    if reference <= 0.0 {
+        eprintln!("smoke: degenerate {name} plain baseline in BENCH_1.json");
+        return false;
+    }
+    let committed = guarded / reference;
+    let floor = committed * (1.0 - SMOKE_TOLERANCE);
+    println!(
+        "smoke: {name}: live {what} ratio {live:.2}x vs committed {committed:.2}x (floor {floor:.2}x)"
+    );
+    if live < floor {
+        eprintln!(
+            "smoke: FAIL — {name} hot-path speedup regressed more than {:.0}% below the committed baseline",
+            SMOKE_TOLERANCE * 100.0
+        );
+        return false;
+    }
+    true
+}
+
+/// Compares fresh runs of the trap and compute smoke scenarios — each
+/// normalized by a plain-engine reference measured in the same window —
+/// against the committed baseline ratios; exits non-zero on a regression
+/// beyond [`SMOKE_TOLERANCE`] on either.
 fn smoke() {
-    let committed = match std::fs::read_to_string("BENCH_1.json") {
-        Ok(text) => baseline_traps_per_sec(&text),
+    let json = match std::fs::read_to_string("BENCH_1.json") {
+        Ok(text) => text,
         Err(e) => {
             eprintln!("smoke: cannot read BENCH_1.json: {e}");
             std::process::exit(1);
         }
     };
-    let Some(committed) = committed else {
-        eprintln!(
-            "smoke: no {} (sliced, fast-path) row in BENCH_1.json",
-            hostbench::SMOKE_SCENARIO
-        );
-        std::process::exit(1);
-    };
-    let live = hostbench::run_smoke();
-    let floor = committed * (1.0 - SMOKE_TOLERANCE);
-    println!(
-        "smoke: {} (sliced, fast-path): {:.0} traps/s live vs {:.0} committed (floor {:.0})",
+    let (traps, traps_ref) = hostbench::run_smoke();
+    let (compute, compute_ref) = hostbench::run_smoke_compute();
+    let ok = smoke_gate(
+        &json,
+        "traps/s",
         hostbench::SMOKE_SCENARIO,
-        live.traps_per_sec,
-        committed,
-        floor,
+        true,
+        "traps_per_sec",
+        traps.traps_per_sec / traps_ref.traps_per_sec.max(1e-9),
+    ) & smoke_gate(
+        &json,
+        "Minsns/s",
+        hostbench::SMOKE_COMPUTE_SCENARIO,
+        false,
+        "minsns_per_sec",
+        compute.minsns_per_sec / compute_ref.minsns_per_sec.max(1e-9),
     );
-    if live.traps_per_sec < floor {
-        eprintln!(
-            "smoke: FAIL — trap fast path regressed more than {:.0}% below the committed baseline",
-            SMOKE_TOLERANCE * 100.0
-        );
+    if !ok {
         std::process::exit(1);
     }
     println!("smoke: ok");

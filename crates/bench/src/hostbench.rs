@@ -26,8 +26,8 @@ use std::time::Instant;
 
 use ia_agents::{PassThrough, TimeSymbolic, Timex};
 use ia_interpose::InterposedRouter;
-use ia_kernel::{Kernel, RunOutcome, I486_25};
-use ia_obs::report::json_escape;
+use ia_kernel::{Engine, Kernel, RunOutcome, I486_25};
+use ia_obs::report::{json_escape, json_header};
 use ia_vm::{Image, ProgramBuilder};
 use ia_workloads::micro::{self, MicroCall};
 
@@ -46,6 +46,10 @@ pub struct Scenario {
     pub name: String,
     /// `"sliced"` or `"legacy"`.
     pub sched: &'static str,
+    /// `"fused"` (superinstruction engine) or `"plain"` (single-step
+    /// reference). The legacy scheduler is per-instruction by construction
+    /// and always reports `"plain"`.
+    pub engine: &'static str,
     /// Whether the trap fast path (flat tables, in-loop answers, vectored
     /// upcalls) was enabled for the run.
     pub fast_path: bool,
@@ -108,9 +112,16 @@ fn compute_image(iters: u64) -> Image {
     b.build()
 }
 
-fn measure_once(img: &Image, agent: AgentCfg, legacy: bool, fast: bool) -> (u64, u64, f64) {
+fn measure_once(
+    img: &Image,
+    agent: AgentCfg,
+    legacy: bool,
+    fast: bool,
+    fused: bool,
+) -> (u64, u64, f64) {
     let mut k = Kernel::new(I486_25);
     k.fast_path = fast;
+    k.engine = if fused { Engine::Fused } else { Engine::Plain };
     micro::setup(&mut k);
     let pid = k.spawn_image(img, &[b"bench"], b"bench");
     let mut router = InterposedRouter::new();
@@ -126,10 +137,17 @@ fn measure_once(img: &Image, agent: AgentCfg, legacy: bool, fast: bool) -> (u64,
     (k.total_insns, k.total_syscalls, secs)
 }
 
-fn scenario(name: &str, img: &Image, agent: AgentCfg, legacy: bool, fast: bool) -> Scenario {
+fn scenario(
+    name: &str,
+    img: &Image,
+    agent: AgentCfg,
+    legacy: bool,
+    fast: bool,
+    fused: bool,
+) -> Scenario {
     let mut best: Option<(u64, u64, f64)> = None;
     for _ in 0..REPS {
-        let r = measure_once(img, agent, legacy, fast);
+        let r = measure_once(img, agent, legacy, fast, fused);
         if best.as_ref().is_none_or(|b| r.2 < b.2) {
             best = Some(r);
         }
@@ -138,6 +156,7 @@ fn scenario(name: &str, img: &Image, agent: AgentCfg, legacy: bool, fast: bool) 
     Scenario {
         name: name.to_string(),
         sched: if legacy { "legacy" } else { "sliced" },
+        engine: if fused && !legacy { "fused" } else { "plain" },
         fast_path: fast,
         insns,
         traps,
@@ -147,8 +166,10 @@ fn scenario(name: &str, img: &Image, agent: AgentCfg, legacy: bool, fast: bool) 
     }
 }
 
-/// Runs every scenario under both schedulers, and the sliced scheduler
-/// both with and without the trap fast path.
+/// Runs every scenario under both schedulers, the sliced scheduler under
+/// both execution engines, and the fused engine both with and without the
+/// trap fast path — each later column turning on one stage of the hot
+/// path, so the committed numbers carry each stage's before/after.
 #[must_use]
 pub fn run_all() -> Vec<Scenario> {
     let compute = compute_image(COMPUTE_ITERS);
@@ -166,27 +187,81 @@ pub fn run_all() -> Vec<Scenario> {
         ("traps/pass_through", &traps, AgentCfg::Observer),
         ("traps/stacked3", &traps, AgentCfg::Stacked3),
     ] {
-        for (legacy, fast) in [(true, false), (false, false), (false, true)] {
-            out.push(scenario(loop_name, img, agent, legacy, fast));
+        for (legacy, fused, fast) in [
+            (true, false, false),
+            (false, false, false),
+            (false, true, false),
+            (false, true, true),
+        ] {
+            out.push(scenario(loop_name, img, agent, legacy, fast, fused));
         }
     }
     out
 }
 
-/// The scenario the CI smoke check guards: the bare trap loop on the
-/// fully-enabled hot path (sliced scheduler, fast path on).
+/// The trap scenario the CI smoke check guards: the bare trap loop on the
+/// fully-enabled hot path (sliced scheduler, fused engine, fast path on).
 pub const SMOKE_SCENARIO: &str = "traps/no_agent";
 
-/// Measures just [`SMOKE_SCENARIO`] — cheap enough to run on every CI
-/// push and compare against the committed `BENCH_1.json` baseline. Takes
-/// the best of several full measurement rounds: a gate must not trip on a
-/// cold cache or a scheduling hiccup.
+/// The compute scenario the CI smoke check guards: the bare compute loop
+/// on the fused engine (sliced scheduler, no fast path — no traps to
+/// dispatch), gating interpreter throughput in Minsns/s.
+pub const SMOKE_COMPUTE_SCENARIO: &str = "compute/no_agent";
+
+/// Measures [`SMOKE_SCENARIO`] on the guarded hot path (fused engine,
+/// fast path on) *and* a plain-engine full-dispatch reference of the same
+/// loop, back to back in the same host window. The gate compares the
+/// live guarded/reference *ratio* against the committed one: shared CI
+/// hosts swing absolute throughput by 2× between frequency windows, and
+/// a ratio divides the window out while still catching hot-path
+/// regressions. Takes the best of several full measurement rounds: a
+/// gate must not trip on a cold cache or a scheduling hiccup.
 #[must_use]
-pub fn run_smoke() -> Scenario {
+pub fn run_smoke() -> (Scenario, Scenario) {
     let traps = micro::loop_image(MicroCall::Getpid, TRAP_ITERS);
+    best_pair(|| {
+        (
+            scenario(SMOKE_SCENARIO, &traps, AgentCfg::None, false, true, true),
+            scenario(SMOKE_SCENARIO, &traps, AgentCfg::None, false, false, false),
+        )
+    })
+}
+
+/// Measures [`SMOKE_COMPUTE_SCENARIO`] on the fused engine plus its
+/// plain-engine reference, same pairing and best-of discipline as
+/// [`run_smoke`].
+#[must_use]
+pub fn run_smoke_compute() -> (Scenario, Scenario) {
+    let compute = compute_image(COMPUTE_ITERS);
+    best_pair(|| {
+        (
+            scenario(
+                SMOKE_COMPUTE_SCENARIO,
+                &compute,
+                AgentCfg::None,
+                false,
+                false,
+                true,
+            ),
+            scenario(
+                SMOKE_COMPUTE_SCENARIO,
+                &compute,
+                AgentCfg::None,
+                false,
+                false,
+                false,
+            ),
+        )
+    })
+}
+
+/// Runs `round` three times and keeps the round whose *guarded* scenario
+/// was fastest; its reference comes from the same round, so the pair saw
+/// the same host window.
+fn best_pair(mut round: impl FnMut() -> (Scenario, Scenario)) -> (Scenario, Scenario) {
     (0..3)
-        .map(|_| scenario(SMOKE_SCENARIO, &traps, AgentCfg::None, false, true))
-        .min_by(|a, b| a.host_secs.total_cmp(&b.host_secs))
+        .map(|_| round())
+        .min_by(|a, b| a.0.host_secs.total_cmp(&b.0.host_secs))
         .expect("at least one round")
 }
 
@@ -195,16 +270,16 @@ pub fn run_smoke() -> Scenario {
 /// offline with no serialization dependency.
 #[must_use]
 pub fn render_json(scenarios: &[Scenario]) -> String {
-    let mut s = String::new();
-    s.push_str("{\n  \"bench\": \"BENCH_1\",\n");
+    let mut s = json_header("bench", "BENCH_1");
     s.push_str("  \"description\": \"host throughput of the simulator hot path, sliced vs legacy scheduler, one environment\",\n");
     s.push_str("  \"machine_profile\": \"i486_25\",\n");
     s.push_str("  \"scenarios\": [\n");
     for (i, sc) in scenarios.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"sched\": \"{}\", \"fast_path\": {}, \"insns\": {}, \"traps\": {}, \"host_secs\": {:.6}, \"minsns_per_sec\": {:.3}, \"traps_per_sec\": {:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"sched\": \"{}\", \"engine\": \"{}\", \"fast_path\": {}, \"insns\": {}, \"traps\": {}, \"host_secs\": {:.6}, \"minsns_per_sec\": {:.3}, \"traps_per_sec\": {:.1}}}{}\n",
             json_escape(&sc.name),
             sc.sched,
+            sc.engine,
             sc.fast_path,
             sc.insns,
             sc.traps,
@@ -219,32 +294,37 @@ pub fn render_json(scenarios: &[Scenario]) -> String {
         v.dedup();
         v
     };
-    let of = |name: &str, sched: &str, fast: bool| {
-        scenarios
-            .iter()
-            .find(|s| s.name == name && s.sched == sched && s.fast_path == fast)
+    let of = |name: &str, sched: &str, engine: &str, fast: bool| {
+        scenarios.iter().find(|s| {
+            s.name == name && s.sched == sched && s.engine == engine && s.fast_path == fast
+        })
     };
     s.push_str("  ],\n");
-    // Both ratios compare runs taken in this same process: sliced over
-    // legacy at the non-fast baseline, and fast over non-fast within the
-    // sliced scheduler.
+    // Each ratio compares runs taken in this same process, turning on one
+    // hot-path stage at a time: scheduler, execution engine, trap fast
+    // path.
     for (section, num, den) in [
         (
             "speedup_sliced_over_legacy",
-            ("legacy", false),
-            ("sliced", false),
+            ("legacy", "plain", false),
+            ("sliced", "plain", false),
+        ),
+        (
+            "speedup_fused_over_plain",
+            ("sliced", "plain", false),
+            ("sliced", "fused", false),
         ),
         (
             "speedup_fast_over_nofast",
-            ("sliced", false),
-            ("sliced", true),
+            ("sliced", "fused", false),
+            ("sliced", "fused", true),
         ),
     ] {
         let rows: Vec<(&String, f64)> = names
             .iter()
             .filter_map(|name| {
-                let slow = of(name, num.0, num.1)?;
-                let quick = of(name, den.0, den.1)?;
+                let slow = of(name, num.0, num.1, num.2)?;
+                let quick = of(name, den.0, den.1, den.2)?;
                 Some((*name, slow.host_secs / quick.host_secs))
             })
             .collect();
@@ -279,48 +359,40 @@ mod tests {
         assert_eq!(k.total_insns, 1 + 50 * 3 + 1 + 1 + 2);
     }
 
+    fn fake(sched: &'static str, engine: &'static str, fast: bool, host_secs: f64) -> Scenario {
+        Scenario {
+            name: "compute/no_agent".into(),
+            sched,
+            engine,
+            fast_path: fast,
+            insns: 100,
+            traps: 1,
+            host_secs,
+            minsns_per_sec: 100.0 / host_secs / 1e6,
+            traps_per_sec: 1.0 / host_secs,
+        }
+    }
+
     #[test]
     fn json_document_is_well_formed_enough() {
         let scenarios = vec![
-            Scenario {
-                name: "compute/no_agent".into(),
-                sched: "legacy",
-                fast_path: false,
-                insns: 100,
-                traps: 1,
-                host_secs: 0.2,
-                minsns_per_sec: 0.0005,
-                traps_per_sec: 5.0,
-            },
-            Scenario {
-                name: "compute/no_agent".into(),
-                sched: "sliced",
-                fast_path: false,
-                insns: 100,
-                traps: 1,
-                host_secs: 0.05,
-                minsns_per_sec: 0.002,
-                traps_per_sec: 20.0,
-            },
-            Scenario {
-                name: "compute/no_agent".into(),
-                sched: "sliced",
-                fast_path: true,
-                insns: 100,
-                traps: 1,
-                host_secs: 0.025,
-                minsns_per_sec: 0.004,
-                traps_per_sec: 40.0,
-            },
+            fake("legacy", "plain", false, 0.2),
+            fake("sliced", "plain", false, 0.05),
+            fake("sliced", "fused", false, 0.025),
+            fake("sliced", "fused", true, 0.0125),
         ];
         let j = render_json(&scenarios);
         assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
-        assert_eq!(j.matches("\"name\"").count(), 3);
-        // legacy (0.2) over sliced non-fast (0.05), then non-fast over fast.
+        assert!(j.contains("\"schema_version\": 1"));
+        assert_eq!(j.matches("\"name\"").count(), 4);
+        // legacy (0.2) over sliced plain (0.05) = 4; each later stage
+        // (fused engine, fast path) halves the time again.
         assert!(j.contains("\"speedup_sliced_over_legacy\""));
         assert!(j.contains("\"compute/no_agent\": 4.00"));
+        assert!(j.contains("\"speedup_fused_over_plain\""));
         assert!(j.contains("\"speedup_fast_over_nofast\""));
-        assert!(j.contains("\"compute/no_agent\": 2.00"));
+        assert_eq!(j.matches("\"compute/no_agent\": 2.00").count(), 2);
+        assert!(j.contains("\"engine\": \"fused\""));
         assert!(j.contains("\"fast_path\": true"));
         let opens = j.matches('{').count();
         assert_eq!(opens, j.matches('}').count());
@@ -332,28 +404,18 @@ mod tests {
         // Regression: the old local escaper missed control characters
         // entirely (and the shared one must keep handling quotes and
         // backslashes in scenario names).
-        let scenarios = vec![
-            Scenario {
-                name: "odd \"name\"\\with\ncontrols".into(),
-                sched: "legacy",
-                fast_path: false,
-                insns: 1,
-                traps: 0,
-                host_secs: 0.1,
-                minsns_per_sec: 0.0,
-                traps_per_sec: 0.0,
-            },
-            Scenario {
-                name: "odd \"name\"\\with\ncontrols".into(),
-                sched: "sliced",
-                fast_path: false,
-                insns: 1,
-                traps: 0,
-                host_secs: 0.1,
-                minsns_per_sec: 0.0,
-                traps_per_sec: 0.0,
-            },
-        ];
+        let odd = |sched: &'static str| Scenario {
+            name: "odd \"name\"\\with\ncontrols".into(),
+            sched,
+            engine: "plain",
+            fast_path: false,
+            insns: 1,
+            traps: 0,
+            host_secs: 0.1,
+            minsns_per_sec: 0.0,
+            traps_per_sec: 0.0,
+        };
+        let scenarios = vec![odd("legacy"), odd("sliced")];
         let j = render_json(&scenarios);
         assert!(j.contains(r#"odd \"name\"\\with\ncontrols"#));
         assert!(!j.contains('\u{0}'));

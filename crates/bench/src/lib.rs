@@ -331,9 +331,9 @@ fn measure_micro(call: MicroCall, agent: bool, profile: MachineProfile) -> f64 {
     let n2 = 192;
     let (e1, i1) = run(n1);
     let (e2, i2) = run(n2);
-    let d = e2
-        .saturating_sub(e1)
-        .saturating_sub((i2 - i1) * profile.insn_ns);
+    // Signed difference: a `saturating_sub` here would clamp a
+    // cheaper-than-instruction-time path to zero instead of reporting it.
+    let d = i128::from(e2) - i128::from(e1) - i128::from((i2 - i1) * profile.insn_ns);
     d as f64 / f64::from((n2 - n1) as u32) / 1000.0
 }
 

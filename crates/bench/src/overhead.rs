@@ -23,7 +23,7 @@ use ia_agents::{
 };
 use ia_interpose::{Agent, InterposedRouter};
 use ia_kernel::{Kernel, I486_25};
-use ia_obs::report::json_escape;
+use ia_obs::report::{json_escape, json_header};
 use ia_workloads::micro::{self, MicroCall};
 use std::fmt::Write as _;
 
@@ -150,14 +150,18 @@ fn run_loop(call: MicroCall, config: &str, n: u64, recorder: Option<usize>) -> (
 }
 
 /// Modelled µs per call by two-length differencing (see module docs).
+///
+/// The difference is computed *signed*: an agent that serves a call from
+/// its own cost model (crypt's write path) can legitimately come out
+/// below the exact instruction time, and clamping that to zero (as a
+/// `saturating_sub` here once did) silently misstated the artifact cell
+/// instead of letting it go negative and be annotated.
 fn measure(call: MicroCall, config: &str) -> f64 {
     let n1 = 64;
     let n2 = 192;
     let (e1, i1, _) = run_loop(call, config, n1, None);
     let (e2, i2, _) = run_loop(call, config, n2, None);
-    let d = e2
-        .saturating_sub(e1)
-        .saturating_sub((i2 - i1) * I486_25.insn_ns);
+    let d = i128::from(e2) - i128::from(e1) - i128::from((i2 - i1) * I486_25.insn_ns);
     d as f64 / f64::from((n2 - n1) as u32) / 1000.0
 }
 
@@ -262,8 +266,7 @@ pub fn render_text(b: &Bench2) -> String {
 /// Renders the `BENCH_2.json` document.
 #[must_use]
 pub fn render_json(b: &Bench2) -> String {
-    let mut s = String::new();
-    s.push_str("{\n  \"bench\": \"BENCH_2\",\n");
+    let mut s = json_header("bench", "BENCH_2");
     s.push_str(
         "  \"description\": \"per-agent per-call interposition overhead \
          (paper section 6 shape), modelled microseconds per call\",\n",
@@ -411,6 +414,26 @@ mod tests {
             vec![("crypt", "write_1k")],
             "exactly one artifact cell"
         );
+        // Signed differencing may produce negative cells, but only the
+        // annotated artifact cell is allowed to be one: everything else
+        // is a real kernel-path measurement and must be non-negative.
+        let negative: Vec<(&str, &str)> = b
+            .rows
+            .iter()
+            .flat_map(|r| {
+                r.cells
+                    .iter()
+                    .filter(|c| c.overhead_us < -1e-9)
+                    .map(move |c| (r.config, c.call))
+            })
+            .collect();
+        for neg in &negative {
+            assert_eq!(
+                *neg,
+                ("crypt", "write_1k"),
+                "unexpected negative overhead cell"
+            );
+        }
         // Layer attribution: every config has a kernel layer; the
         // ALL-interest configs also show the interpose machinery on the
         // getpid path.

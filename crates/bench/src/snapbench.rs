@@ -207,8 +207,7 @@ pub fn run_all() -> Vec<Sample> {
 /// serialization dependency.
 #[must_use]
 pub fn render_json(samples: &[Sample]) -> String {
-    let mut s = String::new();
-    s.push_str("{\n  \"bench\": \"BENCH_3\",\n");
+    let mut s = ia_obs::report::json_header("bench", "BENCH_3");
     s.push_str(
         "  \"description\": \"snapshot cost vs VFS size: persistent-trie capture vs eager copy, \
          full-kernel capture, and branch-based txn sessions\",\n",

@@ -13,7 +13,7 @@
 
 use ia_agents::{PassThrough, ProfileAgent, TimeSymbolic, TraceAgent};
 use ia_interpose::{wrap_process, Agent, InterposedRouter};
-use ia_kernel::{run, run_legacy, Kernel, Observable, RunLimits, RunOutcome, I486_25};
+use ia_kernel::{run, run_legacy, Engine, Kernel, Observable, RunLimits, RunOutcome, I486_25};
 
 use crate::gen::Program;
 
@@ -80,7 +80,7 @@ pub fn run_config(program: &Program, sched: SchedKind, agents: Vec<Box<dyn Agent
 }
 
 /// [`run_config`] with an explicit fast-path knob, for differential runs
-/// against the fully-dispatched slow path.
+/// against the fully-dispatched slow path. Runs the default (fused) engine.
 #[must_use]
 pub fn run_config_fast(
     program: &Program,
@@ -88,8 +88,24 @@ pub fn run_config_fast(
     fast: bool,
     agents: Vec<Box<dyn Agent>>,
 ) -> Observation {
+    run_config_full(program, sched, fast, Engine::Fused, agents)
+}
+
+/// The fully-knobbed run: scheduler × fast path × execution engine. The
+/// engine selects the `run_slice` body, so it is inert under the legacy
+/// per-instruction scheduler — the matrix still runs those configurations
+/// to prove exactly that.
+#[must_use]
+pub fn run_config_full(
+    program: &Program,
+    sched: SchedKind,
+    fast: bool,
+    engine: Engine,
+    agents: Vec<Box<dyn Agent>>,
+) -> Observation {
     let mut k = Kernel::new(I486_25);
     k.fast_path = fast;
+    k.engine = engine;
     Program::setup(&mut k);
     let pid = k.spawn_image(&program.compile(), &[b"conform"], b"conform");
     let mut router = InterposedRouter::new();
@@ -130,6 +146,18 @@ pub fn run_stack_fast(
     fast: bool,
 ) -> Observation {
     run_config_fast(program, sched, fast, stack.agents())
+}
+
+/// Convenience: [`run_config_full`] with a named pass-through stack.
+#[must_use]
+pub fn run_stack_full(
+    program: &Program,
+    stack: StackKind,
+    sched: SchedKind,
+    fast: bool,
+    engine: Engine,
+) -> Observation {
+    run_config_full(program, sched, fast, engine, stack.agents())
 }
 
 /// Renders console bytes for an error message, lossily and truncated.
@@ -217,11 +245,12 @@ fn completed(label: &str, o: &Observation) -> Result<(), String> {
 }
 
 /// The full oracle matrix for one program: four agent stacks ×
-/// {sliced+fast, sliced, legacy+fast, legacy}. Per-stack, every
-/// configuration must agree on the *complete* observable state (the trap
-/// fast path and both schedulers are bit-identical by design); across
-/// stacks, the client view must agree. Every run must terminate and leave
-/// the kernel leak-free.
+/// {fused, plain} × {sliced, legacy} × {fast path on, off}. Per-stack,
+/// every configuration must agree on the *complete* observable state (the
+/// trap fast path, both schedulers, and both execution engines are
+/// bit-identical by design — the engine knob is inert under the legacy
+/// scheduler, and those runs prove it); across stacks, the client view must
+/// agree. Every run must terminate and leave the kernel leak-free.
 pub fn check_program(program: &Program) -> Result<(), String> {
     let mut baseline: Option<(&'static str, Observation)> = None;
     for (label, stack) in [
@@ -231,14 +260,18 @@ pub fn check_program(program: &Program) -> Result<(), String> {
         ("stacked", StackKind::Stacked),
     ] {
         let mut reference: Option<(String, Observation)> = None;
-        for (cfg, sched, fast) in [
-            ("sliced+fast", SchedKind::Sliced, true),
-            ("sliced", SchedKind::Sliced, false),
-            ("legacy+fast", SchedKind::Legacy, true),
-            ("legacy", SchedKind::Legacy, false),
+        for (cfg, sched, fast, engine) in [
+            ("sliced+fast+fused", SchedKind::Sliced, true, Engine::Fused),
+            ("sliced+fused", SchedKind::Sliced, false, Engine::Fused),
+            ("sliced+fast", SchedKind::Sliced, true, Engine::Plain),
+            ("sliced", SchedKind::Sliced, false, Engine::Plain),
+            ("legacy+fast+fused", SchedKind::Legacy, true, Engine::Fused),
+            ("legacy+fused", SchedKind::Legacy, false, Engine::Fused),
+            ("legacy+fast", SchedKind::Legacy, true, Engine::Plain),
+            ("legacy", SchedKind::Legacy, false, Engine::Plain),
         ] {
             let run_label = format!("{label}/{cfg}");
-            let o = run_stack_fast(program, stack, sched, fast);
+            let o = run_stack_full(program, stack, sched, fast, engine);
             completed(&run_label, &o)?;
             match &reference {
                 None => reference = Some((run_label, o)),

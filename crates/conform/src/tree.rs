@@ -26,7 +26,7 @@ use ia_interpose::{
     restore_world, snapshot_world, wrap_process, Agent, InterestSet, InterposedRouter, SysCtx,
     WorldSnapshot,
 };
-use ia_kernel::{run, run_legacy, Kernel, RunLimits, RunOutcome, SysOutcome, I486_25};
+use ia_kernel::{run, run_legacy, Engine, Kernel, RunLimits, RunOutcome, SysOutcome, I486_25};
 
 use crate::gen::Program;
 use crate::oracle::{describe_client_diff, describe_diff, Observation, SchedKind, StackKind};
@@ -126,9 +126,16 @@ struct TreeWorld {
 }
 
 impl TreeWorld {
-    fn new(program: &Program, case: TreeCase, fast: bool, sched: SchedKind) -> TreeWorld {
+    fn new(
+        program: &Program,
+        case: TreeCase,
+        fast: bool,
+        sched: SchedKind,
+        engine: Engine,
+    ) -> TreeWorld {
         let mut k = Kernel::new(I486_25);
         k.fast_path = fast;
+        k.engine = engine;
         Program::setup(&mut k);
         let pid = k.spawn_image(&program.compile(), &[b"conform"], b"conform");
         let mut router = InterposedRouter::new();
@@ -230,8 +237,8 @@ fn explore_case(
     bare: &Observation,
     stats: &mut TreeStats,
 ) -> Result<(), String> {
-    let mut fast = TreeWorld::new(program, case, true, SchedKind::Sliced);
-    let mut slow = TreeWorld::new(program, case, false, SchedKind::Legacy);
+    let mut fast = TreeWorld::new(program, case, true, SchedKind::Sliced, Engine::Fused);
+    let mut slow = TreeWorld::new(program, case, false, SchedKind::Legacy, Engine::Plain);
     let snap_ids = (fast.snapshot_id(), slow.snapshot_id());
     let ctx = move |schedule: &[bool], extra: &str| {
         format!(

@@ -1,0 +1,204 @@
+//! The digest-keyed image cache behind `spawn` and `execve(2)`.
+//!
+//! Decoding a 12-byte-per-insn image and re-running the [`ExecGate`] lint on
+//! every exec is pure waste under fork/exec storms (make8 re-execs the same
+//! eight binaries over and over). [`ExecCache`] memoizes the whole
+//! prepare-to-execute pipeline — parse, gate verdict, decoded
+//! `Arc<Vec<Insn>>`, and the fused program — keyed by the image bytes'
+//! content digest *and the gate generation*.
+//!
+//! The gate generation is the staleness defense: [`Kernel::set_exec_gate`]
+//! and [`Kernel::clear_exec_gate`] bump it (and drop every entry), so a gate
+//! installed after an image was cached still vetoes it — a cached verdict
+//! from another gate's era can never be replayed. Digest collisions are
+//! handled by keeping the exact source bytes in each entry and comparing
+//! them on lookup: simulated user input never gets to alias another image.
+//!
+//! [`ExecGate`]: crate::kernel::ExecGate
+//! [`Kernel::set_exec_gate`]: crate::Kernel::set_exec_gate
+//! [`Kernel::clear_exec_gate`]: crate::Kernel::clear_exec_gate
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ia_abi::Errno;
+use ia_vm::{FusedProgram, Image, Insn};
+
+/// A fully prepared executable: the parsed image (for segment loading and
+/// gate re-checks), the decoded code every process running these bytes
+/// shares, and the fused program the sliced engine executes.
+#[derive(Debug)]
+pub struct PreparedImage {
+    /// The parsed image, for `load_into` and entry point.
+    pub image: Image,
+    /// Decoded code, shared across processes (`Process::code`).
+    pub code: Arc<Vec<Insn>>,
+    /// Superinstruction rewrite of `code` (`Process::fused`).
+    pub fused: Arc<FusedProgram>,
+}
+
+impl PreparedImage {
+    /// Decodes nothing — takes an already-parsed image and derives the
+    /// shared code and fused program once.
+    #[must_use]
+    pub fn prepare(image: Image) -> PreparedImage {
+        let code = Arc::new(image.code.clone());
+        let fused = Arc::new(FusedProgram::fuse(&code));
+        PreparedImage { image, code, fused }
+    }
+}
+
+/// One memoized prepare outcome: the exact source bytes (collision guard),
+/// the gate generation the verdict was computed under, and the outcome —
+/// including negative verdicts (`ENOEXEC`, gate refusals), so a rejected
+/// image doesn't get re-linted per exec either.
+#[derive(Debug)]
+struct Entry {
+    bytes: Vec<u8>,
+    gate_gen: u64,
+    outcome: Result<Arc<PreparedImage>, Errno>,
+}
+
+/// The cache proper. Host-side bookkeeping, like `FastPathStats`: never
+/// part of the virtual-time model and never captured by snapshots —
+/// reconstructing an entry is always semantically free.
+#[derive(Debug, Default)]
+pub struct ExecCache {
+    map: HashMap<u64, Vec<Entry>>,
+    gate_gen: u64,
+    /// Execs served from the cache.
+    pub hits: u64,
+    /// Execs that had to decode (and lint) from scratch.
+    pub misses: u64,
+}
+
+/// FNV-1a over the image bytes — the same digest family the VFS uses for
+/// content digests, applied to one byte slice.
+#[must_use]
+pub fn content_digest(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl ExecCache {
+    /// Entry-count bound; past it the cache resets rather than evicting
+    /// piecemeal (images are small and storms reuse few distinct binaries).
+    const MAX_IMAGES: usize = 256;
+
+    /// The current gate generation (for tests asserting invalidation).
+    #[must_use]
+    pub fn gate_gen(&self) -> u64 {
+        self.gate_gen
+    }
+
+    /// Looks up the prepare outcome for `bytes` under the current gate
+    /// generation, counting a hit on success.
+    pub fn lookup(&mut self, bytes: &[u8]) -> Option<Result<Arc<PreparedImage>, Errno>> {
+        let digest = content_digest(bytes);
+        let entries = self.map.get(&digest)?;
+        let entry = entries
+            .iter()
+            .find(|e| e.gate_gen == self.gate_gen && e.bytes == bytes)?;
+        self.hits += 1;
+        Some(match &entry.outcome {
+            Ok(p) => Ok(Arc::clone(p)),
+            Err(e) => Err(*e),
+        })
+    }
+
+    /// Memoizes a freshly computed prepare outcome, counting the miss.
+    pub fn insert(&mut self, bytes: &[u8], outcome: Result<Arc<PreparedImage>, Errno>) {
+        self.misses += 1;
+        if self.map.len() >= Self::MAX_IMAGES {
+            self.map.clear();
+        }
+        self.map
+            .entry(content_digest(bytes))
+            .or_default()
+            .push(Entry {
+                bytes: bytes.to_vec(),
+                gate_gen: self.gate_gen,
+                outcome,
+            });
+    }
+
+    /// Called whenever the exec gate changes: bumps the generation so no
+    /// stale verdict can match, and drops the now-unreachable entries.
+    pub fn note_gate_change(&mut self) {
+        self.gate_gen += 1;
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image_bytes(marker: u64) -> Vec<u8> {
+        Image {
+            entry: 0,
+            code: vec![Insn::Li(0, marker), Insn::Halt],
+            data: Vec::new(),
+        }
+        .to_bytes()
+    }
+
+    fn prepare_ok(bytes: &[u8]) -> Result<Arc<PreparedImage>, Errno> {
+        Ok(Arc::new(PreparedImage::prepare(
+            Image::from_bytes(bytes).unwrap(),
+        )))
+    }
+
+    #[test]
+    fn hit_returns_the_same_shared_code() {
+        let mut c = ExecCache::default();
+        let bytes = image_bytes(7);
+        assert!(c.lookup(&bytes).is_none());
+        c.insert(&bytes, prepare_ok(&bytes));
+        let a = c.lookup(&bytes).unwrap().unwrap();
+        let b = c.lookup(&bytes).unwrap().unwrap();
+        assert!(Arc::ptr_eq(&a.code, &b.code));
+        assert!(Arc::ptr_eq(&a.fused, &b.fused));
+        assert_eq!((c.hits, c.misses), (2, 1));
+    }
+
+    #[test]
+    fn negative_verdicts_are_cached_too() {
+        let mut c = ExecCache::default();
+        c.insert(b"not an image", Err(Errno::ENOEXEC));
+        assert!(matches!(
+            c.lookup(b"not an image"),
+            Some(Err(Errno::ENOEXEC))
+        ));
+    }
+
+    #[test]
+    fn gate_change_invalidates_everything() {
+        let mut c = ExecCache::default();
+        let bytes = image_bytes(7);
+        c.insert(&bytes, prepare_ok(&bytes));
+        assert!(c.lookup(&bytes).is_some());
+        c.note_gate_change();
+        assert_eq!(c.gate_gen(), 1);
+        assert!(c.lookup(&bytes).is_none(), "stale verdict must not replay");
+    }
+
+    #[test]
+    fn colliding_digests_are_separated_by_bytes() {
+        // Force a collision by inserting under the same digest bucket: two
+        // different byte strings that the cache must never conflate, even
+        // if their digests were to collide.
+        let mut c = ExecCache::default();
+        let a = image_bytes(1);
+        let b = image_bytes(2);
+        c.insert(&a, prepare_ok(&a));
+        c.insert(&b, prepare_ok(&b));
+        let pa = c.lookup(&a).unwrap().unwrap();
+        let pb = c.lookup(&b).unwrap().unwrap();
+        assert_ne!(pa.image, pb.image);
+    }
+}

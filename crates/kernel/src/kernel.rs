@@ -13,6 +13,7 @@ use ia_vm::{AddressSpace, Image, VmState, DEFAULT_MEM_SIZE};
 
 use crate::clock::{Clock, MachineProfile};
 use crate::console::{Console, DEV_NULL, DEV_TTY, DEV_ZERO};
+use crate::exec_cache::{ExecCache, PreparedImage};
 use crate::files::{FdEntry, FdTable, FileKind, OpenFiles, SockId};
 use crate::process::{Pid, ProcState, Process, SigState, Usage, WaitChannel};
 use crate::socket::SocketTable;
@@ -165,6 +166,56 @@ impl FastPathStats {
     }
 }
 
+/// Which body the sliced scheduler's execution burst runs.
+///
+/// The legacy per-instruction scheduler always steps the plain interpreter —
+/// it *is* the reference — so this knob only selects the `run_slice` body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The plain `run_slice` interpreter, retained as the differential
+    /// reference (the sliced/legacy split of PR 1, one level up).
+    Plain,
+    /// The superinstruction engine: `run_slice_fused` over the per-image
+    /// [`ia_vm::FusedProgram`]. Bit-identical accounting, fewer dispatches.
+    #[default]
+    Fused,
+}
+
+/// Host-side execution counters for the fused engine, indexed like
+/// [`ia_vm::FUSED_KIND_NAMES`]. Each hit is one executed superinstruction
+/// standing for two retired constituents. Like [`PerfCounters`], these
+/// measure the simulator, never the simulated machine.
+#[derive(Debug, Clone, Default)]
+pub struct FusionStats {
+    /// Executed superinstructions per family.
+    pub hits: [u64; ia_vm::FUSED_KINDS],
+}
+
+impl FusionStats {
+    /// Folds one slice's hit counts in.
+    pub(crate) fn add(&mut self, hits: &[u64; ia_vm::FUSED_KINDS]) {
+        for (acc, h) in self.hits.iter_mut().zip(hits) {
+            *acc += h;
+        }
+    }
+
+    /// Total superinstructions executed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.hits.iter().sum()
+    }
+
+    /// `(family name, hits)` rows in reporting order.
+    #[must_use]
+    pub fn rows(&self) -> Vec<(&'static str, u64)> {
+        ia_vm::FUSED_KIND_NAMES
+            .iter()
+            .zip(self.hits)
+            .map(|(&n, h)| (n, h))
+            .collect()
+    }
+}
+
 /// The simulated 4.3BSD kernel.
 #[derive(Debug)]
 pub struct Kernel {
@@ -215,6 +266,14 @@ pub struct Kernel {
     pub fast_path: bool,
     /// Fast-path hit/miss counters (host-side; see [`FastPathStats`]).
     pub fast_stats: FastPathStats,
+    /// Which `run_slice` body the sliced scheduler executes (see [`Engine`]).
+    /// Fused by default; the conform oracle pins it both ways to prove the
+    /// engines are bit-identical.
+    pub engine: Engine,
+    /// Fused-engine hit counters (host-side; see [`FusionStats`]).
+    pub fusion_stats: FusionStats,
+    /// Digest-keyed `spawn`/`execve` image cache (see [`ExecCache`]).
+    pub(crate) exec_cache: ExecCache,
     /// Monotonic id handed to the next [`Kernel::snapshot`]. Host-side
     /// bookkeeping: never captured or rewound, so every snapshot taken by
     /// this kernel (and its branches) gets a distinct id.
@@ -286,6 +345,9 @@ impl Kernel {
             obs: ia_obs::Obs::new(),
             fast_path: true,
             fast_stats: FastPathStats::default(),
+            engine: Engine::default(),
+            fusion_stats: FusionStats::default(),
+            exec_cache: ExecCache::default(),
             next_snapshot_id: 1,
         }
     }
@@ -298,11 +360,15 @@ impl Kernel {
         gate: impl Fn(&Image) -> Result<(), Errno> + Send + Sync + 'static,
     ) {
         self.exec_gate = Some(ExecGate(Arc::new(gate)));
+        // Cached verdicts belong to the old gate's era; a gate installed
+        // after an image was cached must still get to veto it.
+        self.exec_cache.note_gate_change();
     }
 
     /// Removes the exec gate, if any.
     pub fn clear_exec_gate(&mut self) {
         self.exec_gate = None;
+        self.exec_cache.note_gate_change();
     }
 
     /// Consults the exec gate (no-op when none is installed).
@@ -311,6 +377,27 @@ impl Kernel {
             Some(ExecGate(f)) => f(image),
             None => Ok(()),
         }
+    }
+
+    /// The whole prepare-to-execute pipeline for `spawn`/`execve` bytes —
+    /// parse, gate verdict, decode, fuse — through the digest-keyed cache:
+    /// a second exec of the same bytes under the same gate reuses all four.
+    pub(crate) fn prepare_exec(&mut self, bytes: &[u8]) -> Result<Arc<PreparedImage>, Errno> {
+        if let Some(outcome) = self.exec_cache.lookup(bytes) {
+            return outcome;
+        }
+        let outcome = Image::from_bytes(bytes).and_then(|image| {
+            self.check_exec_gate(&image)?;
+            Ok(Arc::new(PreparedImage::prepare(image)))
+        });
+        self.exec_cache.insert(bytes, outcome.clone());
+        outcome
+    }
+
+    /// `(hits, misses)` of the exec image cache, for reports and tests.
+    #[must_use]
+    pub fn exec_cache_stats(&self) -> (u64, u64) {
+        (self.exec_cache.hits, self.exec_cache.misses)
     }
 
     // ---- host-side conveniences (the "operator", not the interface) ----
@@ -375,6 +462,19 @@ impl Kernel {
     /// Spawns a process running `image` directly (without going through the
     /// filesystem), with fds 0/1/2 on the console. Returns the new pid.
     pub fn spawn_image(&mut self, image: &Image, argv: &[&[u8]], name: &[u8]) -> Pid {
+        let prepared = PreparedImage::prepare(image.clone());
+        self.spawn_prepared(&prepared, argv, name)
+    }
+
+    /// [`Kernel::spawn_image`] over an already-prepared executable — the
+    /// landing point of the cached `spawn` path.
+    pub(crate) fn spawn_prepared(
+        &mut self,
+        prepared: &PreparedImage,
+        argv: &[&[u8]],
+        name: &[u8],
+    ) -> Pid {
+        let image = &prepared.image;
         let pid = self.alloc_pid();
         let mut mem = AddressSpace::new(DEFAULT_MEM_SIZE, 0);
         image.load_into(&mut mem).expect("image fits default space");
@@ -404,7 +504,8 @@ impl Kernel {
             pgrp: pid,
             vm,
             mem,
-            code: Arc::new(image.code.clone()),
+            code: Arc::clone(&prepared.code),
+            fused: Arc::clone(&prepared.fused),
             state: ProcState::Runnable,
             pending_trap: None,
             fds,
@@ -431,10 +532,9 @@ impl Kernel {
     /// Spawns a process from an executable image file in the filesystem.
     pub fn spawn(&mut self, path: &[u8], argv: &[&[u8]]) -> Result<Pid, Errno> {
         let bytes = self.read_file(path)?;
-        let image = Image::from_bytes(&bytes)?;
-        self.check_exec_gate(&image)?;
+        let prepared = self.prepare_exec(&bytes)?;
         let name = path.rsplit(|&c| c == b'/').next().unwrap_or(path).to_vec();
-        Ok(self.spawn_image(&image, argv, &name))
+        Ok(self.spawn_prepared(&prepared, argv, &name))
     }
 
     /// Borrows a process.

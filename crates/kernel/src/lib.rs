@@ -17,6 +17,7 @@
 
 pub mod clock;
 pub mod console;
+pub mod exec_cache;
 pub mod files;
 pub mod kernel;
 pub mod process;
@@ -27,10 +28,14 @@ mod syscalls;
 
 pub use clock::{Clock, MachineProfile, EPOCH_SECS, I486_25, VAX_6250};
 pub use console::{Console, DEV_NULL, DEV_TTY, DEV_ZERO};
+pub use exec_cache::{content_digest, ExecCache, PreparedImage};
 pub use files::{FdEntry, FdTable, FileKind, OpenFile, OpenFiles, SockId, FD_TABLE_SIZE};
 pub use ia_obs::{Event as ObsEvent, Obs, Outcome as ObsOutcome, Stamped};
 pub use ia_vm::machine::{BatchCall, FastMode};
-pub use kernel::{push_args, ExecGate, FastPathStats, Kernel, PerfCounters, SysOutcome, WakeEvent};
+pub use kernel::{
+    push_args, Engine, ExecGate, FastPathStats, FusionStats, Kernel, PerfCounters, SysOutcome,
+    WakeEvent,
+};
 pub use process::{PendingTrap, Pid, ProcState, Process, SigAction, SigState, Usage, WaitChannel};
 pub use sched::{
     run, run_legacy, FastSpec, KernelRouter, RunLimits, RunOutcome, SyscallRouter, SLICE,

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use ia_abi::signal::{SigDisposition, SigSet, Signal};
 use ia_abi::{RawArgs, Timeval};
 use ia_vfs::Ino;
-use ia_vm::{AddressSpace, Insn, VmState};
+use ia_vm::{AddressSpace, FusedProgram, Insn, VmState};
 
 use crate::files::FdTable;
 
@@ -157,6 +157,10 @@ pub struct Process {
     pub mem: AddressSpace,
     /// Code segment (shared after `fork`, replaced by `execve`).
     pub code: Arc<Vec<Insn>>,
+    /// Superinstruction rewrite of `code`, derived once per image and
+    /// shared exactly like it. Executed by the fused engine; never
+    /// observable (analyze and the plain engine see raw code only).
+    pub fused: Arc<FusedProgram>,
     /// Scheduler state.
     pub state: ProcState,
     /// A trap awaiting restart while blocked.
@@ -227,6 +231,7 @@ impl Process {
             vm,
             mem: self.mem.fork_clone(),
             code: Arc::clone(&self.code),
+            fused: Arc::clone(&self.fused),
             state: ProcState::Runnable,
             pending_trap: None,
             fds: self.fds.clone(),

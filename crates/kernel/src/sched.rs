@@ -27,11 +27,13 @@ use ia_abi::signal::{DefaultAction, SigDisposition, Signal};
 use ia_abi::types::SigContext;
 use ia_abi::wire::Wire;
 use ia_abi::{Errno, RawArgs, Sysno};
+use ia_vm::fuse::{run_burst_fused, FUSED_KINDS};
 use ia_vm::machine::{
-    run_fast, run_slice, step, BatchCall, FastEnd, FastMode, FastParams, SliceEnd, StepEvent,
+    run_fast, run_slice, step, BatchCall, FastEnd, FastMode, FastParams, SliceEnd, SliceResult,
+    StepEvent,
 };
 
-use crate::kernel::{Kernel, SysOutcome, WakeEvent};
+use crate::kernel::{Engine, Kernel, SysOutcome, WakeEvent};
 use crate::process::{PendingTrap, Pid, ProcState, WaitChannel};
 
 /// Instructions per scheduling slice.
@@ -277,7 +279,26 @@ pub fn run<R: SyscallRouter>(k: &mut Kernel, router: &mut R, limits: RunLimits) 
         // Run one slice as a single burst. The budget never exceeds the
         // remaining step allowance, so the legacy mid-slice limit check
         // falls out of the `Expired` arm below.
-        let budget = u64::from(SLICE).min(limits.max_steps.saturating_sub(steps).max(1));
+        //
+        // When nothing could preempt between turns — fused engine, a single
+        // runnable process, no armed timer or timed select, no pending
+        // wakeup, observability off — the whole compute stretch runs as one
+        // [`run_burst_fused`] call of back-to-back turns. Per-turn slice
+        // boundaries, pair splits and accounting are preserved exactly;
+        // only the per-turn scheduler round is amortised.
+        let remaining = limits.max_steps.saturating_sub(steps).max(1);
+        let fused_engine = k.engine == Engine::Fused;
+        let burst_ok = fused_engine
+            && k.run_queue.len() == 1
+            && k.timer_heap.is_empty()
+            && k.select_heap.is_empty()
+            && k.wakeups.is_empty()
+            && !k.obs.is_enabled();
+        let max = if burst_ok {
+            remaining
+        } else {
+            u64::from(SLICE).min(remaining)
+        };
         let Some(p) = k.procs.get_mut(&pid) else {
             steps += 1;
             if steps >= limits.max_steps {
@@ -285,9 +306,38 @@ pub fn run<R: SyscallRouter>(k: &mut Kernel, router: &mut R, limits: RunLimits) 
             }
             continue;
         };
-        let res = run_slice(&mut p.vm, &mut p.mem, &p.code, budget);
+        let mut fuse_hits = [0u64; FUSED_KINDS];
+        let (res, turns, end_turn_retired) = if fused_engine {
+            let b = run_burst_fused(
+                &mut p.vm,
+                &mut p.mem,
+                &p.fused,
+                u64::from(SLICE),
+                max,
+                &mut fuse_hits,
+            );
+            (
+                SliceResult {
+                    retired: b.retired,
+                    end: b.end,
+                },
+                b.turns,
+                b.end_turn_retired,
+            )
+        } else {
+            let r = run_slice(&mut p.vm, &mut p.mem, &p.code, max);
+            let end_turn_retired = r.retired;
+            (r, 1, end_turn_retired)
+        };
         p.usage.user_insns += res.retired;
-        k.perf.slices += 1;
+        // Every completed turn before the burst's final one filled its
+        // slice and charges one involuntary switch, as its own round would.
+        p.usage.nivcsw += turns - 1;
+        if fused_engine {
+            k.fusion_stats.add(&fuse_hits);
+        }
+        k.perf.slices += turns;
+        k.perf.sched_iterations += turns - 1;
         k.total_insns += res.retired;
         k.clock.advance_ns(res.retired * k.profile.insn_ns);
         k.obs.slice(pid, res.retired, k.clock.elapsed_ns());
@@ -295,8 +345,8 @@ pub fn run<R: SyscallRouter>(k: &mut Kernel, router: &mut R, limits: RunLimits) 
         // A trailing halt or fault consumed a scheduler step without
         // retiring an instruction (the legacy loop counted the attempt).
         let iterations =
-            res.retired + u64::from(matches!(res.end, SliceEnd::Halted | SliceEnd::Fault(_)));
-        steps += iterations;
+            end_turn_retired + u64::from(matches!(res.end, SliceEnd::Halted | SliceEnd::Fault(_)));
+        steps += (res.retired - end_turn_retired) + iterations;
         let full_slice = iterations == u64::from(SLICE);
 
         match res.end {

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use ia_abi::signal::WaitStatus;
 use ia_abi::types::MAXPATHLEN;
 use ia_abi::{Errno, FileMode, RawArgs, Rusage};
-use ia_vm::{Image, VmState};
+use ia_vm::VmState;
 
 use super::{done, SysOutcome};
 use crate::kernel::{push_args, Kernel, WakeEvent};
@@ -71,8 +71,9 @@ impl Kernel {
             let size = node.size() as usize;
             let now = self.clock.now();
             let bytes = self.fs.read_at(ino, 0, size, now)?;
-            let image = Image::from_bytes(&bytes)?;
-            self.check_exec_gate(&image)?;
+            // Parse + gate + decode + fuse through the digest-keyed cache:
+            // an exec storm over the same binary pays for all four once.
+            let prepared = self.prepare_exec(&bytes)?;
 
             // Decode argv (a NULL-terminated pointer array) before the
             // address space is destroyed.
@@ -101,9 +102,10 @@ impl Kernel {
             p.sig.suspend_saved = None;
             p.select_deadline = None;
             p.itimer = None;
-            image.load_into(&mut p.mem)?;
-            p.code = Arc::new(image.code.clone());
-            p.vm = VmState::new(image.entry, p.mem.size());
+            prepared.image.load_into(&mut p.mem)?;
+            p.code = Arc::clone(&prepared.code);
+            p.fused = Arc::clone(&prepared.fused);
+            p.vm = VmState::new(prepared.image.entry, p.mem.size());
             let argv_refs: Vec<&[u8]> = argv.iter().map(Vec::as_slice).collect();
             push_args(&mut p.vm, &mut p.mem, &argv_refs)?;
             p.name = path.rsplit(|&c| c == b'/').next().unwrap_or(&path).to_vec();

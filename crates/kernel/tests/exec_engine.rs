@@ -1,0 +1,249 @@
+//! Integration tests for the exec pipeline's digest-keyed image cache and
+//! the fused execution engine: cache reuse across `spawn`/`execve`, gate
+//! staleness (a lint gate installed after the cache is warm must still
+//! veto), and end-to-end bit-identity between the plain and fused engines.
+
+use std::sync::Arc;
+
+use ia_abi::signal::WaitStatus;
+use ia_abi::Errno;
+use ia_kernel::{Engine, Kernel, RunOutcome, I486_25};
+use ia_vm::assemble;
+
+fn boot() -> Kernel {
+    Kernel::new(I486_25)
+}
+
+#[test]
+fn spawning_the_same_file_twice_shares_the_decoded_image() {
+    let mut k = boot();
+    let img = assemble("main: li r0, 0\n sys exit\n").unwrap();
+    k.install_image(b"/bin/tool", &img).unwrap();
+
+    let pid1 = k.spawn(b"/bin/tool", &[b"tool"]).unwrap();
+    let pid2 = k.spawn(b"/bin/tool", &[b"tool"]).unwrap();
+    assert_eq!(k.exec_cache_stats(), (1, 1), "(hits, misses)");
+
+    let (p1_code, p1_fused) = {
+        let p = k.proc(pid1).unwrap();
+        (Arc::clone(&p.code), Arc::clone(&p.fused))
+    };
+    let p2 = k.proc(pid2).unwrap();
+    assert!(Arc::ptr_eq(&p1_code, &p2.code), "decoded code is shared");
+    assert!(Arc::ptr_eq(&p1_fused, &p2.fused), "fused program is shared");
+}
+
+#[test]
+fn different_bytes_do_not_share_cache_entries() {
+    let mut k = boot();
+    let a = assemble("main: li r0, 1\n sys exit\n").unwrap();
+    let b = assemble("main: li r0, 2\n sys exit\n").unwrap();
+    k.install_image(b"/bin/a", &a).unwrap();
+    k.install_image(b"/bin/b", &b).unwrap();
+    k.spawn(b"/bin/a", &[b"a"]).unwrap();
+    k.spawn(b"/bin/b", &[b"b"]).unwrap();
+    assert_eq!(k.exec_cache_stats(), (0, 2));
+}
+
+/// The adversarial staleness case from the issue: warm the cache with an
+/// image, then install a lint gate that rejects it. The cached positive
+/// verdict belongs to the gate-less era and must not survive.
+#[test]
+fn gate_installed_after_cache_is_warm_still_vetoes() {
+    let mut k = boot();
+    let img = assemble("main: li r0, 0\n sys exit\n").unwrap();
+    k.install_image(b"/bin/tool", &img).unwrap();
+
+    // Warm the cache with a positive verdict.
+    k.spawn(b"/bin/tool", &[b"tool"]).unwrap();
+    assert_eq!(k.exec_cache_stats(), (0, 1));
+
+    // Now install a gate that rejects everything (a lint gate that found
+    // errors). The same bytes must fail ENOEXEC, not reuse the stale Ok.
+    k.set_exec_gate(|_| Err(Errno::ENOEXEC));
+    assert_eq!(k.spawn(b"/bin/tool", &[b"tool"]), Err(Errno::ENOEXEC));
+
+    // The negative verdict is itself cached under the new gate generation.
+    assert_eq!(k.spawn(b"/bin/tool", &[b"tool"]), Err(Errno::ENOEXEC));
+
+    // And removing the gate invalidates again: the image runs once more.
+    k.clear_exec_gate();
+    assert!(k.spawn(b"/bin/tool", &[b"tool"]).is_ok());
+}
+
+/// The same staleness property through `execve(2)` rather than the host
+/// `spawn` API: a process that re-execs a gated image must get ENOEXEC
+/// back from the trap even though the cache saw the bytes pre-gate.
+#[test]
+fn execve_of_a_freshly_gated_image_fails() {
+    let mut k = boot();
+    let target = assemble("main: li r0, 7\n sys exit\n").unwrap();
+    k.install_image(b"/bin/target", &target).unwrap();
+    // Warm the cache.
+    k.spawn(b"/bin/target", &[b"t"]).unwrap();
+    k.run_to_completion();
+    k.set_exec_gate(|_| Err(Errno::ENOEXEC));
+
+    // execve must fail: the program exits with the errno as its status.
+    let launcher = assemble(
+        r#"
+        .data
+        path: .asciz "/bin/target"
+        .text
+        main:
+            la r0, path
+            li r1, 0
+            li r2, 0
+            sys execve
+            ; only reached on failure; errno is in r1
+            mov r0, r1
+            sys exit
+        "#,
+    )
+    .unwrap();
+    let pid = k.spawn_image(&launcher, &[b"l"], b"l");
+    assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
+    assert_eq!(
+        WaitStatus::decode(k.exit_status(pid).unwrap()),
+        Some(WaitStatus::Exited(Errno::ENOEXEC as u8))
+    );
+}
+
+#[test]
+fn exec_storm_hits_the_cache_once_per_unique_image() {
+    let mut k = boot();
+    let tool = assemble("main: li r0, 0\n sys exit\n").unwrap();
+    k.install_image(b"/bin/tool", &tool).unwrap();
+    // Fork/exec the same tool five times, waiting in between (make8-style
+    // exec storm, minus make).
+    let driver = assemble(
+        r#"
+        .data
+        path: .asciz "/bin/tool"
+        .text
+        main:
+            li  r12, 5
+        loop:
+            jz  r12, fin
+            sys fork
+            jz  r0, child
+            li  r0, 0
+            li  r1, 0
+            li  r2, 0
+            li  r3, 0
+            sys wait4
+            addi r12, r12, -1
+            jmp loop
+        child:
+            la  r0, path
+            li  r1, 0
+            li  r2, 0
+            sys execve
+            li  r0, 99
+            sys exit
+        fin:
+            li r0, 0
+            sys exit
+        "#,
+    )
+    .unwrap();
+    k.spawn_image(&driver, &[b"driver"], b"driver");
+    assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
+    let (hits, misses) = k.exec_cache_stats();
+    assert_eq!(misses, 1, "one decode+lint+fuse for five execs");
+    assert_eq!(hits, 4);
+}
+
+/// A compute-heavy program whose hot loop is full of fusible pairs and
+/// whose length is co-prime with the 100-instruction slice, so
+/// superinstructions repeatedly straddle slice boundaries; an interval
+/// timer interrupts it mid-flight. Plain and fused engines must agree on
+/// every observable: console bytes, exit status, retired instructions,
+/// and the virtual clock.
+#[test]
+fn fused_and_plain_engines_agree_end_to_end() {
+    let src = r#"
+        .data
+        act: .space 16
+        it:  .space 32
+        msg: .asciz "T"
+        .text
+        main:
+            jmp setup
+        pad: nop
+        handler:
+            li r0, 1
+            la r1, msg
+            li r2, 1
+            sys write
+            mov r0, r1
+            sys sigreturn
+        setup:
+            li r3, 2            ; address of `handler`
+            la r1, act
+            st r3, (r1)
+            li r0, 14           ; SIGALRM
+            la r1, act
+            li r2, 0
+            sys sigaction
+            ; interval timer: first fire at 2 ms, reload every 2 ms
+            la r1, it
+            li r3, 2000
+            st r3, 8(r1)        ; interval.usec
+            st r3, 24(r1)       ; value.usec
+            li r0, 0
+            la r1, it
+            li r2, 0
+            sys setitimer
+            ; hot loop: addi/jnz countdown with a cmp+branch inside —
+            ; 7 instructions per iteration, co-prime with SLICE=100
+            li r10, 40000
+        loop:
+            seq r4, r10, r11
+            jnz r4, fin         ; never taken (r11 stays 0)
+            addi r12, r12, 3
+            addi r13, r13, -1
+            nop
+            addi r10, r10, -1
+            jnz r10, loop
+        fin:
+            li r0, 0
+            la r1, it
+            st r0, 8(r1)
+            st r0, 24(r1)
+            li r2, 0
+            sys setitimer       ; disarm
+            li r0, 42
+            sys exit
+    "#;
+    let img = assemble(src).unwrap();
+
+    let run_with = |engine: Engine| {
+        let mut k = boot();
+        k.engine = engine;
+        let pid = k.spawn_image(&img, &[b"hot"], b"hot");
+        assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
+        (
+            k.console.output_string(),
+            k.exit_status(pid).unwrap(),
+            k.total_insns,
+            k.clock.now(),
+            k.fusion_stats.total(),
+        )
+    };
+
+    let (out_p, st_p, insns_p, clock_p, fused_p) = run_with(Engine::Plain);
+    let (out_f, st_f, insns_f, clock_f, fused_f) = run_with(Engine::Fused);
+
+    assert_eq!(out_p, out_f, "console output");
+    assert_eq!(st_p, st_f, "exit status");
+    assert_eq!(WaitStatus::decode(st_f), Some(WaitStatus::Exited(42)));
+    assert_eq!(insns_p, insns_f, "retired instructions");
+    assert_eq!(clock_p, clock_f, "virtual clock");
+    assert_eq!(fused_p, 0, "plain engine never fuses");
+    assert!(
+        fused_f > 10_000,
+        "hot loop runs on superinstructions (got {fused_f})"
+    );
+    assert!(!out_f.is_empty(), "the itimer actually fired");
+}

@@ -5,6 +5,24 @@
 use crate::{Event, MetricsSnapshot, Obs, Outcome};
 use std::fmt::Write as _;
 
+/// Version stamp carried by every JSON document the workspace renders
+/// (lint and flow reports, `BENCH_1/2/3.json`, the fusion histogram), so
+/// downstream consumers can detect shape changes in one place.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Opens a hand-rolled JSON document: `{`, the [`SCHEMA_VERSION`] stamp,
+/// and one identifying tag field. Every JSON emitter in the workspace
+/// starts its document here so the stamp cannot be forgotten (BENCH_1/2/3
+/// once shipped without it).
+#[must_use]
+pub fn json_header(tag_key: &str, tag: &str) -> String {
+    format!(
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"{}\": \"{}\",\n",
+        json_escape(tag_key),
+        json_escape(tag)
+    )
+}
+
 /// Escapes `s` for inclusion inside a JSON string literal.
 ///
 /// Handles the two characters that terminate or escape a literal (`"` and
@@ -178,6 +196,17 @@ mod tests {
         // The composed case that broke hostbench: a machine name
         // containing both a quote and a backslash.
         assert_eq!(json_escape(r#"i486 "DX\2""#), r#"i486 \"DX\\2\""#);
+    }
+
+    #[test]
+    fn json_header_opens_a_stamped_document() {
+        let h = json_header("bench", "BENCH_1");
+        assert_eq!(
+            h,
+            "{\n  \"schema_version\": 1,\n  \"bench\": \"BENCH_1\",\n"
+        );
+        // Tag values pass through the shared escaper.
+        assert!(json_header("image", "a\"b").contains(r#""a\"b""#));
     }
 
     #[test]

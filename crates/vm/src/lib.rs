@@ -30,6 +30,7 @@
 pub mod asm;
 pub mod builder;
 pub mod disasm;
+pub mod fuse;
 pub mod image;
 pub mod insn;
 pub mod machine;
@@ -38,6 +39,7 @@ pub mod mem;
 pub use asm::{assemble, AsmError};
 pub use builder::ProgramBuilder;
 pub use disasm::{disasm_insn, disassemble};
+pub use fuse::{run_slice_fused, FusedKind, FusedOp, FusedProgram, FUSED_KINDS, FUSED_KIND_NAMES};
 pub use image::{Image, DATA_BASE, IMAGE_MAGIC};
 pub use insn::{Insn, Reg};
 pub use machine::{

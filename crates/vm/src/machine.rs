@@ -182,6 +182,15 @@ pub fn step(vm: &mut VmState, mem: &mut AddressSpace, code: &[Insn]) -> StepEven
     let Some(&insn) = code.get(vm.pc as usize) else {
         return StepEvent::Fault(Signal::SIGSEGV);
     };
+    exec_insn(vm, mem, insn)
+}
+
+/// Executes one already-fetched instruction at the current pc — the body of
+/// [`step`] after the fetch. Also the reference semantics the fused engine
+/// falls back to when the slice budget cannot cover a whole superinstruction
+/// pair, so both paths retire a split pair through the same code.
+#[inline]
+pub(crate) fn exec_insn(vm: &mut VmState, mem: &mut AddressSpace, insn: Insn) -> StepEvent {
     let next_pc = vm.pc + 1;
     vm.insns_retired += 1;
 

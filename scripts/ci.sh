@@ -8,7 +8,11 @@ cd "$(dirname "$0")/.."
 cargo fmt --all --check
 cargo clippy --workspace --all-targets --release -- -D warnings
 ./scripts/tier1.sh
-# Bench smoke check: the trap fast path must stay within 20% of the
-# committed BENCH_1 baseline. Runs before --json below rewrites the file.
+# Bench smoke check: trap throughput (fast path) and compute throughput
+# (fused engine) must both stay within 20% of the committed BENCH_1
+# baseline. Runs before --json below rewrites the file.
 cargo run --release -p ia-bench --bin reproduce -- --smoke
 cargo run --release -p ia-bench --bin reproduce -- --json
+# Fusion-hit histogram: which superinstruction families representative
+# workloads actually execute, uploaded as a CI artifact.
+cargo run --release -p ia-bench --bin ia-stats -- --fusion > target/fusion-hist.json
