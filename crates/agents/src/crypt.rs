@@ -213,7 +213,7 @@ impl CryptAgent {
 mod tests {
     use super::*;
     use ia_interpose::InterposedRouter;
-    use ia_kernel::{Kernel, RunOutcome, I486_25};
+    use ia_kernel::{KernelBuilder, RunOutcome};
 
     #[test]
     fn keystream_is_an_involution_and_offset_stable() {
@@ -271,7 +271,7 @@ mod tests {
     #[test]
     fn client_sees_plaintext_disk_holds_ciphertext() {
         let img = ia_vm::assemble(WRITER_READER).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         k.mkdir_p(b"/vault").unwrap();
         let pid = k.spawn_image(&img, &[b"c"], b"c");
         let mut router = InterposedRouter::new();
@@ -310,7 +310,7 @@ mod tests {
                 sys exit
         "#;
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let pid = k.spawn_image(&img, &[b"c"], b"c");
         let mut router = InterposedRouter::new();
         router.push_agent(pid, CryptAgent::boxed(b"/vault", b"k3y!"));

@@ -14,8 +14,7 @@
 //! be serialized to a versioned binary stream ([`write_log`] /
 //! [`read_log`]) or summarized ([`DfsTraceHandle::summary`]).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use ia_abi::wire::{Dec, Enc};
 use ia_abi::{Errno, Timeval};
@@ -249,39 +248,39 @@ pub fn read_log(bytes: &[u8]) -> Result<Vec<TraceRecord>, LogError> {
 /// Host-side view of the accumulated records.
 #[derive(Debug, Clone, Default)]
 pub struct DfsTraceHandle {
-    records: Rc<RefCell<Vec<TraceRecord>>>,
+    records: Arc<Mutex<Vec<TraceRecord>>>,
 }
 
 impl DfsTraceHandle {
     /// Snapshot of all records.
     #[must_use]
     pub fn records(&self) -> Vec<TraceRecord> {
-        self.records.borrow().clone()
+        self.records.lock().unwrap().clone()
     }
 
     /// Number of records.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.records.borrow().len()
+        self.records.lock().unwrap().len()
     }
 
     /// True when nothing has been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.records.borrow().is_empty()
+        self.records.lock().unwrap().is_empty()
     }
 
     /// The binary log.
     #[must_use]
     pub fn to_log(&self) -> Vec<u8> {
-        write_log(&self.records.borrow())
+        write_log(&self.records.lock().unwrap())
     }
 
     /// Per-operation counts, like the DFSTrace summary tools.
     #[must_use]
     pub fn summary(&self) -> std::collections::BTreeMap<TraceOp, u64> {
         let mut m = std::collections::BTreeMap::new();
-        for r in self.records.borrow().iter() {
+        for r in self.records.lock().unwrap().iter() {
             *m.entry(r.op).or_default() += 1;
         }
         m
@@ -290,7 +289,7 @@ impl DfsTraceHandle {
 
 #[derive(Debug, Clone, Default)]
 struct Log {
-    records: Rc<RefCell<Vec<TraceRecord>>>,
+    records: Arc<Mutex<Vec<TraceRecord>>>,
 }
 
 impl Log {
@@ -309,7 +308,7 @@ impl Log {
             SysOutcome::Done(Err(e)) => e.code(),
             _ => 0,
         };
-        self.records.borrow_mut().push(TraceRecord {
+        self.records.lock().unwrap().push(TraceRecord {
             sec: now.sec,
             usec: now.usec,
             op,
@@ -592,7 +591,7 @@ impl DfsTraceAgent {
 mod tests {
     use super::*;
     use ia_interpose::InterposedRouter;
-    use ia_kernel::{Kernel, RunOutcome, I486_25};
+    use ia_kernel::{KernelBuilder, RunOutcome};
 
     #[test]
     fn log_round_trips() {
@@ -747,7 +746,7 @@ mod tests {
                 sys exit
         "#;
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let mut router = InterposedRouter::new();
         let (agent, handle) = DfsTraceAgent::new();
         ia_interpose::spawn_with_agent(&mut k, &mut router, agent, &[], &img, &[b"t"], b"t");
@@ -945,7 +944,7 @@ mod analysis_tests {
     #[test]
     fn analysis_of_a_real_run() {
         use ia_interpose::InterposedRouter;
-        use ia_kernel::{Kernel, RunOutcome, I486_25};
+        use ia_kernel::{KernelBuilder, RunOutcome};
         let src = r#"
             .data
             p: .asciz "/tmp/hot"
@@ -972,7 +971,7 @@ mod analysis_tests {
                 sys exit
         "#;
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let mut router = InterposedRouter::new();
         let (agent, handle) = DfsTraceAgent::new();
         ia_interpose::spawn_with_agent(&mut k, &mut router, agent, &[], &img, &[b"w"], b"w");

@@ -22,9 +22,8 @@
 //! (`EPERM`), confining labelled bytes to labelled files and guarded
 //! pipes.
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use ia_abi::{Errno, RawArgs, Sysno};
 use ia_analyze::flow::{FlowAnalysis, FlowSpec};
@@ -210,27 +209,33 @@ impl Shared {
 /// label seeding for test setups.
 #[derive(Debug, Clone, Default)]
 pub struct FlowHandle {
-    shared: Rc<RefCell<Shared>>,
+    shared: Arc<Mutex<Shared>>,
 }
 
 impl FlowHandle {
     /// The recorded dynamic flow trace (writes by tainted processes).
     #[must_use]
     pub fn events(&self) -> Vec<FlowEvent> {
-        self.shared.borrow().events.clone()
+        self.shared.lock().unwrap().events.clone()
     }
 
     /// Writes the guard blocked (enforce mode only).
     #[must_use]
     pub fn violations(&self) -> Vec<FlowViolation> {
-        self.shared.borrow().violations.clone()
+        self.shared.lock().unwrap().violations.clone()
     }
 
     /// Pre-labels an inode, for setups where the labelled files exist
     /// before the client runs (the conformance harness labels its seed
     /// files by inode so relative-path opens resolve to them).
     pub fn seed_ino(&self, ino: Ino, labels: u64) {
-        self.shared.borrow_mut().inos.entry(ino).or_default().whole |= labels;
+        self.shared
+            .lock()
+            .unwrap()
+            .inos
+            .entry(ino)
+            .or_default()
+            .whole |= labels;
     }
 }
 
@@ -241,7 +246,7 @@ impl FlowHandle {
 pub struct FlowGuard {
     /// The active policy.
     pub policy: FlowPolicy,
-    shared: Rc<RefCell<Shared>>,
+    shared: Arc<Mutex<Shared>>,
     /// Labels this process has read into its memory.
     taint: u64,
     /// Set once the process `execve`s a different image.
@@ -302,7 +307,13 @@ impl FlowGuard {
             let mask = self.policy.spec.match_path(&path);
             if mask != 0 {
                 if let Some((FileKind::Vnode(ino), _)) = Self::fd_kind(ctx, *fd) {
-                    self.shared.borrow_mut().inos.entry(ino).or_default().whole |= mask;
+                    self.shared
+                        .lock()
+                        .unwrap()
+                        .inos
+                        .entry(ino)
+                        .or_default()
+                        .whole |= mask;
                 }
             }
         }
@@ -316,17 +327,17 @@ impl FlowGuard {
                 match Self::fd_kind(ctx, args[0]) {
                     Some((FileKind::Vnode(ino), offset_after)) => {
                         let lo = offset_after.saturating_sub(n);
-                        let sh = self.shared.borrow();
+                        let sh = self.shared.lock().unwrap();
                         if let Some(l) = sh.inos.get(&ino) {
                             self.taint |= l.over(lo, offset_after);
                         }
                     }
                     Some((FileKind::PipeRead(id), _)) => {
-                        self.taint |= self.shared.borrow_mut().pipe_pop(id, n);
+                        self.taint |= self.shared.lock().unwrap().pipe_pop(id, n);
                     }
                     Some((FileKind::Socket(sid), _)) => {
                         if let Some((rx, _)) = Self::sock_pipes(ctx, sid) {
-                            self.taint |= self.shared.borrow_mut().pipe_pop(rx, n);
+                            self.taint |= self.shared.lock().unwrap().pipe_pop(rx, n);
                         }
                     }
                     // Console and unknown objects carry no labels.
@@ -357,7 +368,7 @@ impl FlowGuard {
                 // A labelled file may absorb the labels it already carries;
                 // anything else would launder them into unlabelled storage.
                 Some((FileKind::Vnode(ino), _)) => {
-                    let sh = self.shared.borrow();
+                    let sh = self.shared.lock().unwrap();
                     let covered = sh.inos.get(&ino).map_or(0, InoLabels::any);
                     if hot & !covered != 0 {
                         Some("file")
@@ -370,7 +381,7 @@ impl FlowGuard {
                 _ => None,
             };
             if let Some(target) = blocked {
-                self.shared.borrow_mut().violations.push(FlowViolation {
+                self.shared.lock().unwrap().violations.push(FlowViolation {
                     pid: ctx.pid,
                     site,
                     labels: hot,
@@ -386,11 +397,11 @@ impl FlowGuard {
                 // included for pipes (byte offsets must line up).
                 match kind {
                     Some((FileKind::PipeWrite(id), _)) => {
-                        self.shared.borrow_mut().pipe_push(id, n, self.taint);
+                        self.shared.lock().unwrap().pipe_push(id, n, self.taint);
                     }
                     Some((FileKind::Socket(sid), _)) => {
                         if let Some((_, tx)) = Self::sock_pipes(ctx, sid) {
-                            self.shared.borrow_mut().pipe_push(tx, n, self.taint);
+                            self.shared.lock().unwrap().pipe_push(tx, n, self.taint);
                         }
                     }
                     Some((FileKind::Vnode(ino), offset_before)) if self.taint != 0 => {
@@ -399,7 +410,8 @@ impl FlowGuard {
                         // except O_APPEND, where `any()` readers still see
                         // the label via the span list.
                         self.shared
-                            .borrow_mut()
+                            .lock()
+                            .unwrap()
                             .inos
                             .entry(ino)
                             .or_default()
@@ -409,7 +421,7 @@ impl FlowGuard {
                     _ => {}
                 }
                 if self.taint != 0 {
-                    self.shared.borrow_mut().events.push(FlowEvent {
+                    self.shared.lock().unwrap().events.push(FlowEvent {
                         pid: ctx.pid,
                         site,
                         labels: self.taint,
@@ -475,7 +487,7 @@ impl Agent for FlowGuard {
 mod tests {
     use super::*;
     use ia_interpose::InterposedRouter;
-    use ia_kernel::{Kernel, RunOutcome, I486_25};
+    use ia_kernel::{Kernel, KernelBuilder, RunOutcome};
 
     fn spec() -> FlowSpec {
         FlowSpec::new().label("secret", &[b"/secret"])
@@ -483,7 +495,7 @@ mod tests {
 
     fn run_guarded(src: &str, policy: FlowPolicy) -> (Kernel, FlowHandle) {
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         k.mkdir_p(b"/secret").unwrap();
         k.mkdir_p(b"/public").unwrap();
         k.write_file(b"/secret/key", b"hunter2!").unwrap();

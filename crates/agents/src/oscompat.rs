@@ -165,7 +165,7 @@ impl Agent for OsCompatAgent {
 mod tests {
     use super::*;
     use ia_interpose::InterposedRouter;
-    use ia_kernel::{Kernel, RunOutcome, I486_25};
+    use ia_kernel::{KernelBuilder, RunOutcome};
 
     #[test]
     fn legacy_creat_and_time_work() {
@@ -194,7 +194,7 @@ mod tests {
                 sys exit
         "#;
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let pid = k.spawn_image(&img, &[b"legacy"], b"legacy");
         let mut router = InterposedRouter::new();
         router.push_agent(pid, OsCompatAgent::legacy_bsd());
@@ -223,7 +223,7 @@ mod tests {
                 sys exit
         "#;
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let pid = k.spawn_image(&img, &[b"legacy"], b"legacy");
         let mut router = InterposedRouter::new();
         router.push_agent(pid, OsCompatAgent::legacy_bsd());
@@ -249,7 +249,7 @@ mod tests {
                 sys 201         ; exit at +200
         "#;
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let pid = k.spawn_image(&img, &[b"hpux"], b"hpux");
         let mut router = InterposedRouter::new();
         router.push_agent(pid, OsCompatAgent::foreign(200));

@@ -3,8 +3,8 @@
 //! full-coverage interposition, and the benchmark floor for the vectored
 //! upcall machinery (BENCH_2's `pass_through` configuration).
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use ia_abi::RawArgs;
 use ia_interpose::{Agent, BatchCall, InterestSet, SysCtx};
@@ -17,8 +17,8 @@ use ia_kernel::SysOutcome;
 /// agent) are passed straight down.
 #[derive(Default)]
 pub struct PassThrough {
-    batches: Rc<Cell<u64>>,
-    calls: Rc<Cell<u64>>,
+    batches: Arc<AtomicU64>,
+    calls: Arc<AtomicU64>,
 }
 
 impl PassThrough {
@@ -32,7 +32,10 @@ impl PassThrough {
     /// shared across forked clones.
     #[must_use]
     pub fn counters(&self) -> (u64, u64) {
-        (self.batches.get(), self.calls.get())
+        (
+            self.batches.load(Ordering::Relaxed),
+            self.calls.load(Ordering::Relaxed),
+        )
     }
 
     /// A detached clone sharing the same counters — keep it to read them
@@ -60,13 +63,13 @@ impl Agent for PassThrough {
     }
 
     fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
-        self.calls.set(self.calls.get() + 1);
+        self.calls.fetch_add(1, Ordering::Relaxed);
         ctx.down(nr, args)
     }
 
     fn syscall_batch(&mut self, _ctx: &mut SysCtx<'_>, _nr: u32, calls: &[BatchCall]) {
-        self.batches.set(self.batches.get() + 1);
-        self.calls.set(self.calls.get() + calls.len() as u64);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.calls.fetch_add(calls.len() as u64, Ordering::Relaxed);
     }
 
     fn clone_box(&self) -> Box<dyn Agent> {
@@ -81,7 +84,7 @@ impl Agent for PassThrough {
 mod tests {
     use super::*;
     use ia_interpose::InterposedRouter;
-    use ia_kernel::{Kernel, RunOutcome, I486_25};
+    use ia_kernel::{KernelBuilder, RunOutcome};
 
     #[test]
     fn observes_every_call_in_batches_without_changing_behaviour() {
@@ -96,11 +99,11 @@ loop:   addi r10, r10, -1
 ";
         let img = ia_vm::assemble(src).unwrap();
 
-        let mut bare = Kernel::new(I486_25);
+        let mut bare = KernelBuilder::new().build();
         bare.spawn_image(&img, &[b"t"], b"t");
         assert_eq!(bare.run_to_completion(), RunOutcome::AllExited);
 
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let pid = k.spawn_image(&img, &[b"t"], b"t");
         let mut router = InterposedRouter::new();
         let agent = PassThrough::boxed();
@@ -111,11 +114,11 @@ loop:   addi r10, r10, -1
         // All 70 getpids observed in far fewer upcalls. The final exit is
         // intercepted but never completes (NoReturn), so it is not part of
         // any vector.
-        assert_eq!(calls_c.get(), 70);
+        assert_eq!(calls_c.load(Ordering::Relaxed), 70);
         assert!(
-            batches_c.get() <= 5,
+            batches_c.load(Ordering::Relaxed) <= 5,
             "vectored: {} upcalls for 70 calls",
-            batches_c.get()
+            batches_c.load(Ordering::Relaxed)
         );
         assert_eq!(router.stats.intercepted, 71);
         assert_eq!(

@@ -6,9 +6,8 @@
 //! counts, and records received signals. A [`ProfileHandle`] exposes the
 //! counters to the host for reports.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use ia_abi::{RawArgs, Signal, Sysno};
 use ia_interpose::{Agent, InterestSet, SignalVerdict, SysCtx};
@@ -34,26 +33,26 @@ pub struct ProfileData {
 /// Host-side view of the profile.
 #[derive(Debug, Clone, Default)]
 pub struct ProfileHandle {
-    data: Rc<RefCell<ProfileData>>,
+    data: Arc<Mutex<ProfileData>>,
 }
 
 impl ProfileHandle {
     /// Snapshot of the counters.
     #[must_use]
     pub fn snapshot(&self) -> ProfileData {
-        self.data.borrow().clone()
+        self.data.lock().unwrap().clone()
     }
 
     /// Total calls across the interface.
     #[must_use]
     pub fn total_calls(&self) -> u64 {
-        self.data.borrow().calls.values().sum()
+        self.data.lock().unwrap().calls.values().sum()
     }
 
     /// Renders a per-call report, busiest first.
     #[must_use]
     pub fn report(&self) -> String {
-        let d = self.data.borrow();
+        let d = self.data.lock().unwrap();
         let mut rows: Vec<(u64, String)> = d
             .calls
             .iter()
@@ -84,14 +83,14 @@ impl ProfileHandle {
 /// The profiling agent.
 #[derive(Debug, Clone, Default)]
 pub struct ProfileAgent {
-    data: Rc<RefCell<ProfileData>>,
+    data: Arc<Mutex<ProfileData>>,
 }
 
 impl ProfileAgent {
     /// Creates the agent and its host handle.
     #[must_use]
     pub fn new() -> (ProfileAgent, ProfileHandle) {
-        let data: Rc<RefCell<ProfileData>> = Rc::default();
+        let data: Arc<Mutex<ProfileData>> = Arc::default();
         (ProfileAgent { data: data.clone() }, ProfileHandle { data })
     }
 }
@@ -106,11 +105,11 @@ impl Agent for ProfileAgent {
     }
 
     fn init(&mut self, _ctx: &mut SysCtx<'_>, _args: &[Vec<u8>]) {
-        self.data.borrow_mut().processes += 1;
+        self.data.lock().unwrap().processes += 1;
     }
 
     fn init_child(&mut self, _ctx: &mut SysCtx<'_>) {
-        self.data.borrow_mut().processes += 1;
+        self.data.lock().unwrap().processes += 1;
     }
 
     fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
@@ -120,12 +119,12 @@ impl Agent for ProfileAgent {
         // `Block`, which falls through the match below). A call restarted
         // N times therefore still satisfies `errors[nr] <= calls[nr]`.
         if ctx.restarts == 0 {
-            *self.data.borrow_mut().calls.entry(nr).or_default() += 1;
+            *self.data.lock().unwrap().calls.entry(nr).or_default() += 1;
         }
         let out = ctx.down(nr, args);
         match out {
             SysOutcome::Done(Ok([n, _])) => {
-                let mut d = self.data.borrow_mut();
+                let mut d = self.data.lock().unwrap();
                 match Sysno::from_u32(nr) {
                     Some(Sysno::Read | Sysno::Readv) => d.bytes_read += n,
                     Some(Sysno::Write | Sysno::Writev) => d.bytes_written += n,
@@ -133,7 +132,7 @@ impl Agent for ProfileAgent {
                 }
             }
             SysOutcome::Done(Err(_)) => {
-                *self.data.borrow_mut().errors.entry(nr).or_default() += 1;
+                *self.data.lock().unwrap().errors.entry(nr).or_default() += 1;
             }
             _ => {}
         }
@@ -143,7 +142,8 @@ impl Agent for ProfileAgent {
     fn signal_incoming(&mut self, _ctx: &mut SysCtx<'_>, sig: Signal) -> SignalVerdict {
         *self
             .data
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .signals
             .entry(sig.number())
             .or_default() += 1;
@@ -161,7 +161,7 @@ impl Agent for ProfileAgent {
 mod tests {
     use super::*;
     use ia_interpose::InterposedRouter;
-    use ia_kernel::{Kernel, RunOutcome, I486_25};
+    use ia_kernel::{KernelBuilder, RunOutcome};
 
     #[test]
     fn counts_calls_bytes_and_forks() {
@@ -188,7 +188,7 @@ mod tests {
                 sys exit
         "#;
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let pid = k.spawn_image(&img, &[b"t"], b"t");
         let mut router = InterposedRouter::new();
         let (agent, handle) = ProfileAgent::new();
@@ -210,7 +210,7 @@ mod tests {
     /// clear `pending_trap` before routing, so chains always saw 0).
     #[derive(Debug, Clone, Default)]
     struct RestartProbe {
-        max: Rc<RefCell<BTreeMap<u32, u32>>>,
+        max: Arc<Mutex<BTreeMap<u32, u32>>>,
     }
 
     impl Agent for RestartProbe {
@@ -221,7 +221,7 @@ mod tests {
             InterestSet::ALL
         }
         fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
-            let mut m = self.max.borrow_mut();
+            let mut m = self.max.lock().unwrap();
             let e = m.entry(nr).or_default();
             *e = (*e).max(ctx.restarts);
             drop(m);
@@ -310,7 +310,7 @@ mod tests {
                 sys exit
         "#;
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let pid = k.spawn_image(&img, &[b"r"], b"r");
         let mut router = InterposedRouter::new();
         let (agent, handle) = ProfileAgent::new();
@@ -321,7 +321,12 @@ mod tests {
         assert_eq!(k.run_with(&mut router), RunOutcome::AllExited);
 
         let suspend = Sysno::Sigsuspend.number();
-        let seen = max_restarts.borrow().get(&suspend).copied().unwrap_or(0);
+        let seen = max_restarts
+            .lock()
+            .unwrap()
+            .get(&suspend)
+            .copied()
+            .unwrap_or(0);
         assert!(
             seen >= 2,
             "scenario must drive >=2 restarted sigsuspend deliveries, saw {seen}"

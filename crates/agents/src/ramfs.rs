@@ -10,9 +10,8 @@
 //! that agents *provide* instances of the system interface, not merely
 //! filter them.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use ia_abi::{DirEntry, Errno, FileMode, FileType, OpenFlags, Stat, Whence};
 use ia_kernel::SysOutcome;
@@ -22,9 +21,9 @@ use ia_toolkit::{
 };
 
 /// A node in the agent-resident tree.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 enum RamNode {
-    File(Rc<RefCell<Vec<u8>>>),
+    File(Arc<Mutex<Vec<u8>>>),
     Dir,
 }
 
@@ -34,15 +33,18 @@ enum RamNode {
 struct RamTree {
     /// Relative path under the mount (no leading slash) → node. The empty
     /// path is the mount root and always a directory.
-    nodes: Rc<RefCell<BTreeMap<Vec<u8>, RamNode>>>,
-    next_ino: Rc<RefCell<u64>>,
+    nodes: Arc<Mutex<BTreeMap<Vec<u8>, RamNode>>>,
+    next_ino: Arc<Mutex<u64>>,
 }
 
 impl RamTree {
     fn parent_exists(&self, rel: &[u8]) -> bool {
         match rel.iter().rposition(|&c| c == b'/') {
             None => true, // directly under the mount root
-            Some(i) => matches!(self.nodes.borrow().get(&rel[..i]), Some(RamNode::Dir)),
+            Some(i) => matches!(
+                self.nodes.lock().unwrap().get(&rel[..i]),
+                Some(RamNode::Dir)
+            ),
         }
     }
 
@@ -50,13 +52,17 @@ impl RamTree {
         if rel.is_empty() {
             return Some(RamNode::Dir);
         }
-        self.nodes.borrow().get(rel).cloned()
+        self.nodes.lock().unwrap().get(rel).cloned()
     }
 
     fn has_children(&self, rel: &[u8]) -> bool {
         let mut prefix = rel.to_vec();
         prefix.push(b'/');
-        self.nodes.borrow().keys().any(|k| k.starts_with(&prefix))
+        self.nodes
+            .lock()
+            .unwrap()
+            .keys()
+            .any(|k| k.starts_with(&prefix))
     }
 
     fn list(&self, rel: &[u8]) -> Vec<(Vec<u8>, bool)> {
@@ -68,7 +74,8 @@ impl RamTree {
             p
         };
         self.nodes
-            .borrow()
+            .lock()
+            .unwrap()
             .iter()
             .filter(|(k, _)| {
                 k.starts_with(&prefix)
@@ -80,7 +87,7 @@ impl RamTree {
     }
 
     fn alloc_ino(&self) -> u64 {
-        let mut n = self.next_ino.borrow_mut();
+        let mut n = self.next_ino.lock().unwrap();
         *n += 1;
         // Synthetic inode numbers in a range a real filesystem won't use.
         0x5220_0000 + *n
@@ -142,7 +149,7 @@ struct RamPathname {
 impl RamPathname {
     fn synth_stat(&self, node: &RamNode) -> Stat {
         let (ty, size) = match node {
-            RamNode::File(data) => (FileType::Regular, data.borrow().len() as u64),
+            RamNode::File(data) => (FileType::Regular, data.lock().unwrap().len() as u64),
             RamNode::Dir => (FileType::Directory, 32),
         };
         Stat {
@@ -193,10 +200,11 @@ impl Pathname for RamPathname {
                 if !self.tree.parent_exists(&self.rel) || self.rel.is_empty() {
                     return (Self::done(Err(Errno::ENOENT)), None);
                 }
-                let node = RamNode::File(Rc::new(RefCell::new(Vec::new())));
+                let node = RamNode::File(Arc::new(Mutex::new(Vec::new())));
                 self.tree
                     .nodes
-                    .borrow_mut()
+                    .lock()
+                    .unwrap()
                     .insert(self.rel.clone(), node.clone());
                 Some(node)
             }
@@ -238,12 +246,12 @@ impl Pathname for RamPathname {
                     // pre-existing file fails here.
                     // (Handled by the lookup order: an existing node
                     // reaches this arm, so O_EXCL on it is EEXIST.)
-                    if !data.borrow().is_empty() || self.tree.lookup(&self.rel).is_some() {
+                    if !data.lock().unwrap().is_empty() || self.tree.lookup(&self.rel).is_some() {
                         // fallthrough below decides
                     }
                 }
                 if fl.has(OpenFlags::O_TRUNC) && fl.writable() {
-                    data.borrow_mut().clear();
+                    data.lock().unwrap().clear();
                 }
                 let anchor = match self.scratch.write_cstr(ctx, b"/dev/null") {
                     Ok(a) => a,
@@ -294,7 +302,7 @@ impl Pathname for RamPathname {
     }
 
     fn unlink(&mut self, _ctx: &mut SymCtx<'_, '_>) -> SysOutcome {
-        let mut nodes = self.tree.nodes.borrow_mut();
+        let mut nodes = self.tree.nodes.lock().unwrap();
         match nodes.get(&self.rel) {
             Some(RamNode::File(_)) => {
                 nodes.remove(&self.rel);
@@ -314,7 +322,8 @@ impl Pathname for RamPathname {
         }
         self.tree
             .nodes
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .insert(self.rel.clone(), RamNode::Dir);
         Self::done(Ok([0, 0]))
     }
@@ -328,7 +337,7 @@ impl Pathname for RamPathname {
                 if self.tree.has_children(&self.rel) {
                     Self::done(Err(Errno::ENOTEMPTY))
                 } else {
-                    self.tree.nodes.borrow_mut().remove(&self.rel);
+                    self.tree.nodes.lock().unwrap().remove(&self.rel);
                     Self::done(Ok([0, 0]))
                 }
             }
@@ -347,7 +356,7 @@ impl Pathname for RamPathname {
             return Self::done(Err(Errno::EXDEV));
         };
         let to_rel = to_rel.to_vec();
-        let mut nodes = self.tree.nodes.borrow_mut();
+        let mut nodes = self.tree.nodes.lock().unwrap();
         let Some(node) = nodes.remove(&self.rel) else {
             return Self::done(Err(Errno::ENOENT));
         };
@@ -358,7 +367,7 @@ impl Pathname for RamPathname {
     fn truncate(&mut self, _ctx: &mut SymCtx<'_, '_>, length: u64) -> SysOutcome {
         match self.tree.lookup(&self.rel) {
             Some(RamNode::File(data)) => {
-                data.borrow_mut().resize(length as usize, 0);
+                data.lock().unwrap().resize(length as usize, 0);
                 Self::done(Ok([0, 0]))
             }
             Some(RamNode::Dir) => Self::done(Err(Errno::EISDIR)),
@@ -369,7 +378,7 @@ impl Pathname for RamPathname {
 
 /// An open ram file: reads and writes touch only agent memory.
 struct RamFile {
-    data: Rc<RefCell<Vec<u8>>>,
+    data: Arc<Mutex<Vec<u8>>>,
     pos: u64,
     readable: bool,
     writable: bool,
@@ -379,7 +388,7 @@ struct RamFile {
 impl RamFile {
     fn cur(&self) -> usize {
         if self.pos == u64::MAX {
-            self.data.borrow().len()
+            self.data.lock().unwrap().len()
         } else {
             self.pos as usize
         }
@@ -395,7 +404,7 @@ impl OpenObject for RamFile {
         if !self.readable {
             return SysOutcome::Done(Err(Errno::EBADF));
         }
-        let data = self.data.borrow();
+        let data = self.data.lock().unwrap();
         let pos = self.cur();
         if pos >= data.len() {
             return SysOutcome::Done(Ok([0, 0]));
@@ -419,7 +428,7 @@ impl OpenObject for RamFile {
             Err(e) => return SysOutcome::Done(Err(e)),
         };
         let pos = self.cur();
-        let mut data = self.data.borrow_mut();
+        let mut data = self.data.lock().unwrap();
         if pos + incoming.len() > data.len() {
             data.resize(pos + incoming.len(), 0);
         }
@@ -439,7 +448,7 @@ impl OpenObject for RamFile {
         let base = match Whence::from_u32(whence as u32) {
             Ok(Whence::Set) => 0,
             Ok(Whence::Cur) => self.cur() as i64,
-            Ok(Whence::End) => self.data.borrow().len() as i64,
+            Ok(Whence::End) => self.data.lock().unwrap().len() as i64,
             Err(e) => return SysOutcome::Done(Err(e)),
         };
         let new = base + offset as i64;
@@ -451,7 +460,7 @@ impl OpenObject for RamFile {
     }
 
     fn fstat(&mut self, ctx: &mut SymCtx<'_, '_>, _fd: u64, statbuf: u64) -> SysOutcome {
-        let size = self.data.borrow().len() as u64;
+        let size = self.data.lock().unwrap().len() as u64;
         let st = Stat {
             dev: 0x5241,
             ino: self.ino,
@@ -472,13 +481,13 @@ impl OpenObject for RamFile {
         if !self.writable {
             return SysOutcome::Done(Err(Errno::EINVAL));
         }
-        self.data.borrow_mut().resize(length as usize, 0);
+        self.data.lock().unwrap().resize(length as usize, 0);
         SysOutcome::Done(Ok([0, 0]))
     }
 
     fn clone_object(&self) -> Box<dyn OpenObject> {
         Box::new(RamFile {
-            data: Rc::new(RefCell::new(self.data.borrow().clone())),
+            data: Arc::new(Mutex::new(self.data.lock().unwrap().clone())),
             pos: self.pos,
             readable: self.readable,
             writable: self.writable,
@@ -548,7 +557,7 @@ impl RamFsAgent {
 mod tests {
     use super::*;
     use ia_interpose::InterposedRouter;
-    use ia_kernel::{Kernel, RunOutcome, I486_25};
+    use ia_kernel::{KernelBuilder, RunOutcome};
 
     const CLIENT: &str = r#"
         .data
@@ -603,7 +612,7 @@ mod tests {
     #[test]
     fn whole_lifecycle_without_touching_the_kernel_fs() {
         let img = ia_vm::assemble(CLIENT).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let files_before = k.fs.stats().files;
         let pid = k.spawn_image(&img, &[b"c"], b"c");
         let mut router = InterposedRouter::new();
@@ -680,7 +689,7 @@ mod tests {
                 sys exit
         "#;
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let pid = k.spawn_image(&img, &[b"c"], b"c");
         let mut router = InterposedRouter::new();
         router.push_agent(pid, RamFsAgent::boxed(b"/ram"));
@@ -722,7 +731,7 @@ mod tests {
                 sys exit
         "#;
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let pid = k.spawn_image(&img, &[b"c"], b"c");
         let mut router = InterposedRouter::new();
         router.push_agent(pid, RamFsAgent::boxed(b"/ram"));

@@ -13,8 +13,7 @@
 //! client sees a plausible result while nothing happens — set
 //! [`SandboxPolicy::emulate_writes`].
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use ia_abi::{Errno, OpenFlags, Sysno};
 use ia_interpose::InterestSet;
@@ -36,7 +35,7 @@ pub enum Ruling {
 }
 
 /// A callback consulted on each policy hit: `(call, path) -> Ruling`.
-pub type Decider = std::rc::Rc<dyn Fn(&str, &[u8]) -> Ruling>;
+pub type Decider = Arc<dyn Fn(&str, &[u8]) -> Ruling + Send + Sync>;
 
 /// What the sandbox caught.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -154,21 +153,21 @@ impl SandboxPolicy {
 /// Host-side view of the violations the sandbox recorded.
 #[derive(Debug, Clone, Default)]
 pub struct SandboxHandle {
-    violations: Rc<RefCell<Vec<Violation>>>,
-    written: Rc<RefCell<u64>>,
+    violations: Arc<Mutex<Vec<Violation>>>,
+    written: Arc<Mutex<u64>>,
 }
 
 impl SandboxHandle {
     /// What the client tried and was refused (or fooled about).
     #[must_use]
     pub fn violations(&self) -> Vec<Violation> {
-        self.violations.borrow().clone()
+        self.violations.lock().unwrap().clone()
     }
 
     /// Bytes the client actually wrote.
     #[must_use]
     pub fn bytes_written(&self) -> u64 {
-        *self.written.borrow()
+        *self.written.lock().unwrap()
     }
 }
 
@@ -177,8 +176,8 @@ impl SandboxHandle {
 pub struct Sandbox {
     /// The active policy.
     pub policy: SandboxPolicy,
-    violations: Rc<RefCell<Vec<Violation>>>,
-    written: Rc<RefCell<u64>>,
+    violations: Arc<Mutex<Vec<Violation>>>,
+    written: Arc<Mutex<u64>>,
     decider: Option<Decider>,
 }
 
@@ -250,7 +249,7 @@ impl SandboxAgent {
     #[must_use]
     pub fn with_decider(
         policy: SandboxPolicy,
-        decider: impl Fn(&str, &[u8]) -> Ruling + 'static,
+        decider: impl Fn(&str, &[u8]) -> Ruling + Send + Sync + 'static,
     ) -> (Box<Symbolic<Sandbox>>, SandboxHandle) {
         let handle = SandboxHandle::default();
         (
@@ -258,7 +257,7 @@ impl SandboxAgent {
                 policy,
                 violations: handle.violations.clone(),
                 written: handle.written.clone(),
-                decider: Some(std::rc::Rc::new(decider)),
+                decider: Some(Arc::new(decider)),
             })),
             handle,
         )
@@ -267,7 +266,7 @@ impl SandboxAgent {
 
 impl Sandbox {
     fn violate(&self, call: &'static str, path: &[u8], result: &'static str) {
-        self.violations.borrow_mut().push(Violation {
+        self.violations.lock().unwrap().push(Violation {
             call,
             path: path.to_vec(),
             result,
@@ -423,14 +422,14 @@ impl SymbolicSyscall for Sandbox {
 
     fn sys_write(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, buf: u64, nbyte: u64) -> SysOutcome {
         if let Some(quota) = self.policy.max_write_bytes {
-            if *self.written.borrow() + nbyte > quota {
+            if *self.written.lock().unwrap() + nbyte > quota {
                 self.violate("write", b"", "EDQUOT");
                 return SysOutcome::Done(Err(Errno::EDQUOT));
             }
         }
         let out = ctx.down_args(Sysno::Write, [fd, buf, nbyte, 0, 0, 0]);
         if let SysOutcome::Done(Ok([n, _])) = out {
-            *self.written.borrow_mut() += n;
+            *self.written.lock().unwrap() += n;
         }
         out
     }
@@ -615,11 +614,11 @@ impl SymbolicSyscall for Sandbox {
 mod tests {
     use super::*;
     use ia_interpose::InterposedRouter;
-    use ia_kernel::{Kernel, RunOutcome, I486_25};
+    use ia_kernel::{Kernel, KernelBuilder, RunOutcome};
 
     fn run_sandboxed(src: &str, policy: SandboxPolicy) -> (Kernel, SandboxHandle) {
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         k.write_file(b"/etc/secret", b"password").unwrap();
         k.write_file(b"/etc/public", b"hello").unwrap();
         let mut router = InterposedRouter::new();
@@ -751,7 +750,7 @@ mod tests {
                 sys exit
         "#;
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         k.write_file(b"/etc/tmpjunk", b"x").unwrap();
         k.write_file(b"/etc/keep.conf", b"x").unwrap();
         let mut router = InterposedRouter::new();
@@ -847,7 +846,7 @@ mod tests {
         assert!(!allowed.contains(Sysno::Open.number()));
 
         // And the binary runs unhindered under its own inferred policy.
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let mut router = InterposedRouter::new();
         let (agent, handle, _) = SandboxAgent::from_footprint(&img);
         ia_interpose::spawn_with_agent(&mut k, &mut router, agent, &[], &img, &[b"m"], b"m");

@@ -115,7 +115,7 @@ impl SearchPathAgent {
 mod tests {
     use super::*;
     use ia_interpose::InterposedRouter;
-    use ia_kernel::{Kernel, RunOutcome, I486_25};
+    use ia_kernel::{KernelBuilder, RunOutcome};
 
     #[test]
     fn first_member_with_the_file_wins() {
@@ -142,7 +142,7 @@ mod tests {
                 sys exit
         "#;
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         k.mkdir_p(b"/first").unwrap();
         k.mkdir_p(b"/second").unwrap();
         // Only the second member has the tool.
@@ -154,7 +154,7 @@ mod tests {
         assert_eq!(k.console.output_string(), "from-second");
 
         // Add it to the first member: priority flips.
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         k.mkdir_p(b"/first").unwrap();
         k.mkdir_p(b"/second").unwrap();
         k.write_file(b"/first/tool", b"from-first!").unwrap();
@@ -189,7 +189,7 @@ mod tests {
                 sys exit
         "#;
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         k.mkdir_p(b"/first").unwrap();
         k.mkdir_p(b"/second").unwrap();
         let pid = k.spawn_image(&img, &[b"c"], b"c");

@@ -36,7 +36,7 @@ impl SymbolicSyscall for TimeSymbolic {
 mod tests {
     use super::*;
     use ia_interpose::InterposedRouter;
-    use ia_kernel::{Kernel, RunOutcome, I486_25};
+    use ia_kernel::{KernelBuilder, RunOutcome};
 
     #[test]
     fn intercepts_everything_changes_nothing() {
@@ -58,7 +58,7 @@ mod tests {
                 sys exit
         "#;
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let pid = k.spawn_image(&img, &[b"t"], b"t");
         let mut router = InterposedRouter::new();
         router.push_agent(pid, TimeSymbolic::boxed());
@@ -76,11 +76,11 @@ mod tests {
         let src = "main: sys getpid\n li r0,0\n sys exit\n";
         let img = ia_vm::assemble(src).unwrap();
 
-        let mut plain = Kernel::new(I486_25);
+        let mut plain = KernelBuilder::new().build();
         plain.spawn_image(&img, &[b"t"], b"t");
         plain.run_to_completion();
 
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let pid = k.spawn_image(&img, &[b"t"], b"t");
         let mut router = InterposedRouter::new();
         router.push_agent(pid, TimeSymbolic::boxed());

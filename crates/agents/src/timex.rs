@@ -72,7 +72,7 @@ impl SymbolicSyscall for Timex {
 mod tests {
     use super::*;
     use ia_interpose::InterposedRouter;
-    use ia_kernel::{Kernel, RunOutcome, I486_25};
+    use ia_kernel::{KernelBuilder, RunOutcome};
 
     const PROG: &str = r#"
         .data
@@ -91,7 +91,7 @@ mod tests {
     "#;
 
     fn observed_sec(offset: Option<i64>) -> (u8, i64) {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let img = ia_vm::assemble(PROG).unwrap();
         let pid = k.spawn_image(&img, &[b"t"], b"t");
         let mut router = InterposedRouter::new();
@@ -119,7 +119,7 @@ mod tests {
 
     #[test]
     fn init_parses_agent_argument() {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let img = ia_vm::assemble(PROG).unwrap();
         let mut router = InterposedRouter::new();
         let pid = ia_interpose::spawn_with_agent(

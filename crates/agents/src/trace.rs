@@ -14,8 +14,7 @@
 //! [`format_call`]: still proportional to the size of the interface,
 //! exactly as §3.3.2 observes, just denser.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use ia_abi::{Errno, OpenFlags, RawArgs, Signal, Sysno};
 use ia_interpose::{Agent, InterestSet, SignalVerdict, SysCtx};
@@ -25,20 +24,20 @@ use ia_toolkit::{Scratch, SymCtx};
 /// Host-side view of the trace text.
 #[derive(Debug, Clone, Default)]
 pub struct TraceHandle {
-    buf: Rc<RefCell<String>>,
+    buf: Arc<Mutex<String>>,
 }
 
 impl TraceHandle {
     /// The accumulated trace text.
     #[must_use]
     pub fn text(&self) -> String {
-        self.buf.borrow().clone()
+        self.buf.lock().unwrap().clone()
     }
 
     /// Number of trace lines so far.
     #[must_use]
     pub fn lines(&self) -> usize {
-        self.buf.borrow().lines().count()
+        self.buf.lock().unwrap().lines().count()
     }
 }
 
@@ -78,8 +77,8 @@ impl TraceAgent {
 
     /// Emits one line: an unbuffered `write()` downcall plus the host copy.
     fn emit(&mut self, ctx: &mut SysCtx<'_>, line: &str) {
-        self.handle.buf.borrow_mut().push_str(line);
-        self.handle.buf.borrow_mut().push('\n');
+        self.handle.buf.lock().unwrap().push_str(line);
+        self.handle.buf.lock().unwrap().push('\n');
         if let Some(fd) = self.log_fd {
             let mut sym = SymCtx::new(ctx);
             let mut bytes = line.as_bytes().to_vec();
@@ -348,11 +347,11 @@ pub fn format_result(res: Result<[u64; 2], Errno>) -> String {
 mod tests {
     use super::*;
     use ia_interpose::{spawn_with_agent, InterposedRouter};
-    use ia_kernel::{Kernel, RunOutcome, I486_25};
+    use ia_kernel::{Kernel, KernelBuilder, RunOutcome};
 
     fn run_traced(src: &str) -> (Kernel, TraceHandle) {
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let mut router = InterposedRouter::new();
         let (agent, handle) = TraceAgent::new();
         spawn_with_agent(

@@ -31,9 +31,8 @@
 //! branch-based design trades it back for O(1) begin and true read
 //! transparency.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use ia_interpose::InterestSet;
 use ia_kernel::SysOutcome;
@@ -67,45 +66,45 @@ struct TxnState {
 /// Host-side control of the transaction.
 #[derive(Debug, Clone, Default)]
 pub struct TxnHandle {
-    state: Rc<RefCell<TxnState>>,
+    state: Arc<Mutex<TxnState>>,
 }
 
 impl TxnHandle {
     /// Choose to commit at session end.
     pub fn set_commit(&self) {
-        self.state.borrow_mut().decision = Decision::Commit;
+        self.state.lock().unwrap().decision = Decision::Commit;
     }
 
     /// Choose to abort at session end (the default).
     pub fn set_abort(&self) {
-        self.state.borrow_mut().decision = Decision::Abort;
+        self.state.lock().unwrap().decision = Decision::Abort;
     }
 
     /// Paths the session modified or created, diffed against the begin
     /// snapshot when the session ended (empty until then).
     #[must_use]
     pub fn modified_paths(&self) -> Vec<Vec<u8>> {
-        self.state.borrow().modified.clone()
+        self.state.lock().unwrap().modified.clone()
     }
 
     /// Paths the session removed, diffed against the begin snapshot when
     /// the session ended (empty until then).
     #[must_use]
     pub fn deleted_paths(&self) -> Vec<Vec<u8>> {
-        self.state.borrow().deleted.clone()
+        self.state.lock().unwrap().deleted.clone()
     }
 
     /// The decision that was actually applied, once the session ended.
     #[must_use]
     pub fn outcome(&self) -> Option<Decision> {
-        self.state.borrow().finished
+        self.state.lock().unwrap().finished
     }
 }
 
 /// The transactional agent.
 #[derive(Clone)]
 pub struct Txn {
-    state: Rc<RefCell<TxnState>>,
+    state: Arc<Mutex<TxnState>>,
 }
 
 /// Public constructor pairing agent and handle.
@@ -166,7 +165,7 @@ impl Txn {
         let (mut old, mut new) = (BTreeMap::new(), BTreeMap::new());
         flatten(&old_fs, ROOT_INO, b"/", &mut old);
         flatten(live, ROOT_INO, b"/", &mut new);
-        let mut st = self.state.borrow_mut();
+        let mut st = self.state.lock().unwrap();
         st.modified = new
             .iter()
             .filter(|(p, c)| c.is_some() && old.get(*p) != Some(c))
@@ -181,7 +180,7 @@ impl Txn {
 
     fn finish(&mut self, ctx: &mut SymCtx<'_, '_>) {
         let (decision, snap) = {
-            let st = self.state.borrow();
+            let st = self.state.lock().unwrap();
             if st.finished.is_some() {
                 return;
             }
@@ -195,7 +194,7 @@ impl Txn {
             ctx.raw.kernel.rollback_fs(&snap);
         }
         // Commit is a no-op: the session's mutations already are the tree.
-        self.state.borrow_mut().finished = Some(decision);
+        self.state.lock().unwrap().finished = Some(decision);
     }
 }
 
@@ -211,14 +210,14 @@ impl SymbolicSyscall for Txn {
     }
 
     fn init(&mut self, ctx: &mut SymCtx<'_, '_>, _args: &[Vec<u8>]) {
-        let mut st = self.state.borrow_mut();
+        let mut st = self.state.lock().unwrap();
         st.root_pid = Some(ctx.pid());
         // O(1): shares the tree with the live filesystem.
         st.begin = Some(ctx.raw.kernel.fs.snapshot());
     }
 
     fn sys_exit(&mut self, ctx: &mut SymCtx<'_, '_>, status: u64) -> SysOutcome {
-        if self.state.borrow().root_pid == Some(ctx.pid()) {
+        if self.state.lock().unwrap().root_pid == Some(ctx.pid()) {
             self.finish(ctx);
         }
         ctx.down_args(ia_abi::Sysno::Exit, [status, 0, 0, 0, 0, 0])
@@ -229,7 +228,7 @@ impl SymbolicSyscall for Txn {
 mod tests {
     use super::*;
     use ia_interpose::InterposedRouter;
-    use ia_kernel::{Kernel, RunOutcome, I486_25};
+    use ia_kernel::{Kernel, KernelBuilder, RunOutcome};
 
     const MUTATOR: &str = r#"
         .data
@@ -257,7 +256,7 @@ mod tests {
 
     fn run_txn(commit: bool) -> (Kernel, TxnHandle) {
         let img = ia_vm::assemble(MUTATOR).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         k.write_file(b"/home/doc.txt", b"original").unwrap();
         k.write_file(b"/home/junk.txt", b"junk").unwrap();
         let mut router = InterposedRouter::new();
@@ -341,7 +340,7 @@ mod tests {
                 sys exit
         "#;
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         k.write_file(b"/home/doc.txt", b"original").unwrap();
         let mut router = InterposedRouter::new();
         let (agent, _handle) = TxnAgent::new();
@@ -360,7 +359,7 @@ mod tests {
         // Inner txn commits into the outer txn's world; outer aborts — the
         // real file must be untouched (outer rewinds past the inner commit).
         let img = ia_vm::assemble(MUTATOR).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         k.write_file(b"/home/doc.txt", b"original").unwrap();
         k.write_file(b"/home/junk.txt", b"junk").unwrap();
         let mut router = InterposedRouter::new();
@@ -406,7 +405,7 @@ mod tests {
                 sys exit
         "#;
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let mut router = InterposedRouter::new();
         let (agent, handle) = TxnAgent::new();
         handle.set_abort();

@@ -385,12 +385,12 @@ impl UnionAgent {
 mod tests {
     use super::*;
     use ia_interpose::InterposedRouter;
-    use ia_kernel::{Kernel, RunOutcome, I486_25};
+    use ia_kernel::{Kernel, KernelBuilder, RunOutcome};
 
     /// Builds the two-member fixture from the paper's motivation: distinct
     /// source and object directories appearing as one.
     fn fixture() -> Kernel {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         k.mkdir_p(b"/src").unwrap();
         k.mkdir_p(b"/obj").unwrap();
         k.write_file(b"/src/main.c", b"int main(){}").unwrap();

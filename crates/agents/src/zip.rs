@@ -326,7 +326,7 @@ impl ZipAgent {
 mod tests {
     use super::*;
     use ia_interpose::InterposedRouter;
-    use ia_kernel::{Kernel, RunOutcome, I486_25};
+    use ia_kernel::{KernelBuilder, RunOutcome};
 
     #[test]
     fn rle_round_trips() {
@@ -401,7 +401,7 @@ mod tests {
                 sys exit
         "#;
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         k.mkdir_p(b"/arch").unwrap();
         let pid = k.spawn_image(&img, &[b"z"], b"z");
         let mut router = InterposedRouter::new();

@@ -4,7 +4,7 @@
 
 use ia_agents::{CryptAgent, TimeSymbolic, Timex, TraceAgent, UnionAgent};
 use ia_interpose::{spawn_with_agent, wrap_process, InterposedRouter};
-use ia_kernel::{Kernel, RunOutcome, I486_25};
+use ia_kernel::{KernelBuilder, RunOutcome};
 use ia_vm::assemble;
 
 #[test]
@@ -34,7 +34,7 @@ fn timex_shift_is_inherited_by_children() {
             sys exit
     "#;
     let run = |offset: Option<i64>| -> (u8, u8) {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let img = assemble(src).unwrap();
         let parent = k.spawn_image(&img, &[b"t"], b"t");
         let mut router = InterposedRouter::new();
@@ -54,7 +54,7 @@ fn timex_shift_is_inherited_by_children() {
 
 #[test]
 fn trace_follows_the_whole_process_tree_across_exec() {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let tool = assemble(
         r#"
         .data
@@ -157,7 +157,7 @@ fn crypt_state_survives_fork_without_corruption() {
             li r0, 0
             sys exit
     "#;
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     k.mkdir_p(b"/vault").unwrap();
     let img = assemble(src).unwrap();
     let pid = k.spawn_image(&img, &[b"c"], b"c");
@@ -173,7 +173,7 @@ fn crypt_state_survives_fork_without_corruption() {
 #[test]
 fn union_view_holds_for_exece_binaries_found_through_the_view() {
     // The binary itself is found through the union: exec("/view/tool").
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     k.mkdir_p(b"/bin2").unwrap();
     let tool = assemble(
         r#"
@@ -244,7 +244,7 @@ fn deep_fork_trees_keep_one_chain_per_process() {
             li r0, 0
             sys exit
     "#;
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let img = assemble(src).unwrap();
     let pid = k.spawn_image(&img, &[b"g"], b"g");
     let mut router = InterposedRouter::new();

@@ -646,7 +646,7 @@ mod tests {
         assert!(a.has_errors());
         assert!(a.findings.iter().any(|f| f.kind == "bad-branch-target"));
 
-        let mut k = Kernel::new(ia_kernel::I486_25);
+        let mut k = ia_kernel::KernelBuilder::new().build();
         install_lint_gate(&mut k);
         k.install_image(b"/bin/bad", &bad).expect("install");
         let err = k.spawn(b"/bin/bad", &[b"bad"]).expect_err("gated");

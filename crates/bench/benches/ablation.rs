@@ -7,7 +7,7 @@
 use ia_abi::RawArgs;
 use ia_bench::harness::case;
 use ia_interpose::{Agent, InterestSet, InterposedRouter, SysCtx};
-use ia_kernel::{Kernel, RunOutcome, SysOutcome, I486_25};
+use ia_kernel::{KernelBuilder, RunOutcome, SysOutcome};
 
 /// Raw numeric pass-through agent (no symbolic decode).
 struct RawNull;
@@ -28,7 +28,7 @@ impl Agent for RawNull {
 }
 
 fn run_mix(agents: usize, symbolic: bool, narrow: bool) -> u64 {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     ia_workloads::mix::setup(&mut k);
     let img = ia_workloads::mix::random_program(7, 60);
     let pid = k.spawn_image(&img, &[b"mix"], b"mix");

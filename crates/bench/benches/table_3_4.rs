@@ -5,7 +5,7 @@
 use ia_agents::TimeSymbolic;
 use ia_bench::harness::case;
 use ia_interpose::InterposedRouter;
-use ia_kernel::{Kernel, SyscallRouter, I486_25};
+use ia_kernel::{KernelBuilder, SyscallRouter};
 
 fn main() {
     let img = ia_vm::assemble("main: halt\n").unwrap();
@@ -14,7 +14,7 @@ fn main() {
     const SAMPLES: usize = 30;
 
     {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let pid = k.spawn_image(&img, &[b"m"], b"m");
         case(GROUP, "kernel_syscall_direct", SAMPLES, || {
             k.syscall(pid, nr, [0; 6])
@@ -22,7 +22,7 @@ fn main() {
     }
 
     {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let pid = k.spawn_image(&img, &[b"m"], b"m");
         let mut router = InterposedRouter::new();
         router.push_agent(pid, TimeSymbolic::boxed());
@@ -32,7 +32,7 @@ fn main() {
     }
 
     {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let pid = k.spawn_image(&img, &[b"m"], b"m");
         let mut router = InterposedRouter::new();
         for _ in 0..3 {
@@ -44,7 +44,7 @@ fn main() {
     }
 
     {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let pid = k.spawn_image(&img, &[b"m"], b"m");
         let mut router = InterposedRouter::new();
         router.push_agent(pid, ia_agents::Timex::boxed(1)); // narrow interests

@@ -4,11 +4,11 @@
 use ia_agents::TimeSymbolic;
 use ia_bench::harness::case;
 use ia_interpose::InterposedRouter;
-use ia_kernel::{Kernel, I486_25};
+use ia_kernel::KernelBuilder;
 use ia_workloads::micro::{self, MicroCall};
 
 fn run(call: MicroCall, with_agent: bool) -> u64 {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     micro::setup(&mut k);
     let pid = k.spawn_image(&micro::loop_image(call, 32), &[b"m"], b"m");
     let mut router = InterposedRouter::new();

@@ -23,7 +23,7 @@ use ia_abi::Sysno;
 use ia_agents::Timex;
 use ia_bench::overhead;
 use ia_interpose::InterposedRouter;
-use ia_kernel::{Kernel, RunOutcome, I486_25};
+use ia_kernel::{KernelBuilder, RunOutcome};
 use ia_obs::report::{json_escape, render_events_text, render_metrics_json};
 use ia_obs::{Event, Obs, Outcome};
 use ia_workloads::micro::{self, MicroCall};
@@ -54,7 +54,7 @@ fn main() {
 /// `gettimeofday()` loop (interposed, so every call takes the slow path) —
 /// and renders the kernel's per-`(pid, syscall)` hit/miss counters.
 fn render_fast_stats() -> String {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     micro::setup(&mut k);
     let mut router = InterposedRouter::new();
     for call in [MicroCall::Getpid, MicroCall::Gettimeofday] {
@@ -82,11 +82,10 @@ fn render_fast_stats() -> String {
 /// installed tool — and renders the per-family superinstruction hit
 /// histogram plus the exec-cache counters as a JSON document.
 fn render_fusion_json() -> String {
-    let mut k = Kernel::new(I486_25);
     // The in-loop trap fast path would swallow single-process bursts via
     // the step-based lane; this histogram profiles the fused engine, so
     // force every slice through it.
-    k.fast_path = false;
+    let mut k = KernelBuilder::new().fast_path(false).build();
     micro::setup(&mut k);
 
     // Compute loop: one pair from every arithmetic fusion family per
@@ -282,7 +281,7 @@ fn recorder_is_inert_on_a_real_workload() {
 /// scheduler path), the flat dispatch table sends it straight to the
 /// kernel, so the ring must contain no `interpose` frame for it.
 fn no_phantom_interpose_frames_on_bypassed_calls() {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     micro::setup(&mut k);
     let img = micro::loop_image(MicroCall::Getpid, 64);
     let pid = k.spawn_image(&img, &[b"st"], b"st");

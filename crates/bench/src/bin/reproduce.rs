@@ -11,9 +11,9 @@
 //! ```
 
 use ia_bench::{
-    ablation_pay_per_use, dfs_trace_comparison, hostbench, overhead, render_ablation, render_dfs,
-    render_table_3_1, render_table_3_4, render_table_3_5, render_timing, snapbench, table_3_1,
-    table_3_2, table_3_3, table_3_4, table_3_5,
+    ablation_pay_per_use, dfs_trace_comparison, fleetbench, hostbench, overhead, render_ablation,
+    render_dfs, render_table_3_1, render_table_3_4, render_table_3_5, render_timing, snapbench,
+    table_3_1, table_3_2, table_3_3, table_3_4, table_3_5,
 };
 
 /// Largest tolerated drop of the smoke scenario's normalized throughput
@@ -127,8 +127,12 @@ fn main() {
         if let Err(e) = std::fs::write("BENCH_2.json", &json2) {
             eprintln!("warning: could not write BENCH_2.json: {e}");
         }
-        // Snapshot cost vs VFS size and branch-based txn sessions.
-        let json3 = snapbench::render_json(&snapbench::run_all());
+        // Snapshot cost vs VFS size, branch-based txn sessions, and the
+        // multi-tenant fleet scaling sweep. Fleet first: spin-up latency
+        // is allocator-sensitive, so measure it on a fresh heap before
+        // the snapshot sweep churns it.
+        let fleet = fleetbench::run_all();
+        let json3 = snapbench::render_json(&snapbench::run_all(), &fleet);
         if let Err(e) = std::fs::write("BENCH_3.json", &json3) {
             eprintln!("warning: could not write BENCH_3.json: {e}");
         }
@@ -147,9 +151,11 @@ fn main() {
     }
 
     if args.iter().any(|a| a == "--json3") {
-        // Just the snapshot-cost document — much cheaper than the full
-        // throughput sweep, and the one CI re-measures per push.
-        let json3 = snapbench::render_json(&snapbench::run_all());
+        // Just the snapshot-cost + fleet document — much cheaper than the
+        // full throughput sweep, and the one CI re-measures per push.
+        // Fleet first (fresh-heap spin-up measurement, as in --json).
+        let fleet = fleetbench::run_all();
+        let json3 = snapbench::render_json(&snapbench::run_all(), &fleet);
         print!("{json3}");
         if let Err(e) = std::fs::write("BENCH_3.json", &json3) {
             eprintln!("warning: could not write BENCH_3.json: {e}");

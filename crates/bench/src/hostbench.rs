@@ -26,7 +26,7 @@ use std::time::Instant;
 
 use ia_agents::{PassThrough, TimeSymbolic, Timex};
 use ia_interpose::InterposedRouter;
-use ia_kernel::{Engine, Kernel, RunOutcome, I486_25};
+use ia_kernel::{Engine, Kernel, KernelBuilder, RunOutcome};
 use ia_obs::report::{json_escape, json_header};
 use ia_vm::{Image, ProgramBuilder};
 use ia_workloads::micro::{self, MicroCall};
@@ -119,9 +119,10 @@ fn measure_once(
     fast: bool,
     fused: bool,
 ) -> (u64, u64, f64) {
-    let mut k = Kernel::new(I486_25);
-    k.fast_path = fast;
-    k.engine = if fused { Engine::Fused } else { Engine::Plain };
+    let mut k = KernelBuilder::new()
+        .fast_path(fast)
+        .engine(if fused { Engine::Fused } else { Engine::Plain })
+        .build();
     micro::setup(&mut k);
     let pid = k.spawn_image(img, &[b"bench"], b"bench");
     let mut router = InterposedRouter::new();
@@ -350,7 +351,7 @@ mod tests {
 
     #[test]
     fn compute_image_retires_expected_instructions() {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         micro::setup(&mut k);
         k.spawn_image(&compute_image(50), &[b"c"], b"c");
         assert_eq!(k.run_to_completion(), RunOutcome::AllExited);

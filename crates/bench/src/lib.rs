@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleetbench;
 pub mod harness;
 pub mod hostbench;
 pub mod overhead;
@@ -26,7 +27,7 @@ use std::fmt::Write as _;
 
 use ia_agents::TimeSymbolic;
 use ia_interpose::InterposedRouter;
-use ia_kernel::{Kernel, MachineProfile, I486_25, VAX_6250};
+use ia_kernel::{KernelBuilder, MachineProfile, I486_25, VAX_6250};
 use ia_workloads::micro::{self, MicroCall};
 use ia_workloads::{run_workload, AgentKind, Workload};
 
@@ -271,7 +272,7 @@ fn host_interposition_costs() -> (f64, f64) {
     let img = ia_vm::assemble("main: halt\n").expect("trivial image");
 
     // Direct kernel call timing.
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let pid = k.spawn_image(&img, &[b"m"], b"m");
     let start = std::time::Instant::now();
     for _ in 0..N {
@@ -280,7 +281,7 @@ fn host_interposition_costs() -> (f64, f64) {
     let direct_ns = start.elapsed().as_nanos() as f64 / f64::from(N);
 
     // Through the router with one pass-through agent.
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let pid = k.spawn_image(&img, &[b"m"], b"m");
     let mut router = InterposedRouter::new();
     router.push_agent(pid, TimeSymbolic::boxed());
@@ -316,7 +317,7 @@ pub struct SyscallRow {
 /// `ia_kernel::clock`).
 fn measure_micro(call: MicroCall, agent: bool, profile: MachineProfile) -> f64 {
     let run = |n: u64| -> (u64, u64) {
-        let mut k = Kernel::new(profile);
+        let mut k = KernelBuilder::new().profile(profile).build();
         micro::setup(&mut k);
         let pid = k.spawn_image(&micro::loop_image(call, n), &[b"m"], b"m");
         let mut router = InterposedRouter::new();

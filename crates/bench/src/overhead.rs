@@ -22,7 +22,7 @@ use ia_agents::{
     CryptAgent, FlowGuardAgent, FlowPolicy, PassThrough, SandboxAgent, SandboxPolicy, TraceAgent,
 };
 use ia_interpose::{Agent, InterposedRouter};
-use ia_kernel::{Kernel, I486_25};
+use ia_kernel::{Kernel, KernelBuilder, I486_25};
 use ia_obs::report::{json_escape, json_header};
 use ia_workloads::micro::{self, MicroCall};
 use std::fmt::Write as _;
@@ -129,7 +129,7 @@ fn agents_for(config: &str) -> Vec<Box<dyn Agent>> {
 /// Runs the micro loop for `call` under `config`, returning
 /// `(virtual ns, total insns)`; `recorder` optionally enables ia-obs.
 fn run_loop(call: MicroCall, config: &str, n: u64, recorder: Option<usize>) -> (u64, u64, Kernel) {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     if let Some(cap) = recorder {
         k.obs.enable(cap);
     }

@@ -28,7 +28,7 @@ use std::time::Instant;
 
 use ia_agents::TxnAgent;
 use ia_interpose::InterposedRouter;
-use ia_kernel::{Kernel, RunOutcome, I486_25};
+use ia_kernel::{Kernel, KernelBuilder, RunOutcome};
 use ia_vm::assemble;
 
 /// VFS sizes (file counts) swept by every metric.
@@ -48,7 +48,7 @@ pub struct Sample {
 /// Builds a kernel whose VFS holds `files` small files spread over
 /// directories of 100.
 fn populated_kernel(files: usize) -> Kernel {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     for i in 0..files {
         let dir = format!("/data/d{}", i / 100);
         k.mkdir_p(dir.as_bytes()).expect("mkdir");
@@ -202,17 +202,20 @@ pub fn run_all() -> Vec<Sample> {
     out
 }
 
-/// Renders the samples as the `BENCH_3.json` document. Hand-rolled like
-/// `BENCH_1`/`BENCH_2`: the workspace builds offline with no
-/// serialization dependency.
+/// Renders the samples — plus the multi-tenant fleet sweep — as the
+/// `BENCH_3.json` document. Hand-rolled like `BENCH_1`/`BENCH_2`: the
+/// workspace builds offline with no serialization dependency.
 #[must_use]
-pub fn render_json(samples: &[Sample]) -> String {
+pub fn render_json(samples: &[Sample], fleet: &[crate::fleetbench::FleetSample]) -> String {
     let mut s = ia_obs::report::json_header("bench", "BENCH_3");
     s.push_str(
         "  \"description\": \"snapshot cost vs VFS size: persistent-trie capture vs eager copy, \
-         full-kernel capture, and branch-based txn sessions\",\n",
+         full-kernel capture, branch-based txn sessions, and multi-tenant fleet scaling\",\n",
     );
     s.push_str("  \"machine_profile\": \"i486_25\",\n");
+    s.push_str("  \"fleet\": [\n");
+    s.push_str(&crate::fleetbench::render_section(fleet));
+    s.push_str("  ],\n");
     s.push_str("  \"samples\": [\n");
     for (i, sm) in samples.iter().enumerate() {
         s.push_str(&format!(
@@ -290,7 +293,7 @@ mod tests {
                 ns: 120.0,
             },
         ];
-        let j = render_json(&samples);
+        let j = render_json(&samples, &[]);
         assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(j.contains("\"snapshot_o1_check\""));

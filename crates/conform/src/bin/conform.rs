@@ -5,6 +5,7 @@
 //! conform --seeds 200                 # sweep seeds 0..200
 //! conform --seeds 50 --start 1000     # sweep seeds 1000..1050
 //! conform --tree --depth 2 --seeds 50 # fault-tree exploration per seed
+//! conform --fleet --seeds 64          # parallel tenants vs the serial oracle
 //! conform --replay repro.conf         # re-run one repro file
 //! conform --demo-mutant               # show a caught+shrunk divergence
 //! ```
@@ -26,6 +27,8 @@ struct Options {
     fault_every: u64,
     tree: bool,
     depth: usize,
+    fleet: bool,
+    threads: usize,
     out: PathBuf,
     replay: Option<PathBuf>,
     demo_mutant: bool,
@@ -41,6 +44,10 @@ impl Options {
             fault_every: 10,
             tree: false,
             depth: 2,
+            fleet: false,
+            threads: std::thread::available_parallelism()
+                .map_or(1, std::num::NonZeroUsize::get)
+                .min(8),
             out: PathBuf::from("target/conform"),
             replay: None,
             demo_mutant: false,
@@ -60,6 +67,8 @@ impl Options {
                 "--fault-every" => o.fault_every = num("--fault-every")?.max(1),
                 "--tree" => o.tree = true,
                 "--depth" => o.depth = num("--depth")?.max(1) as usize,
+                "--fleet" => o.fleet = true,
+                "--threads" => o.threads = num("--threads")?.max(1) as usize,
                 "--out" => o.out = PathBuf::from(args.next().ok_or("--out needs a path")?),
                 "--replay" => {
                     o.replay = Some(PathBuf::from(args.next().ok_or("--replay needs a path")?))
@@ -69,7 +78,7 @@ impl Options {
                     println!(
                         "usage: conform [--seeds N] [--start S] [--ops-min A] [--ops-max B]\n\
                          \u{20}              [--fault-every K] [--tree] [--depth D] [--out DIR]\n\
-                         \u{20}              [--replay FILE] [--demo-mutant]"
+                         \u{20}              [--fleet] [--threads T] [--replay FILE] [--demo-mutant]"
                     );
                     std::process::exit(0);
                 }
@@ -199,6 +208,30 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(d) => {
                 println!("FAIL: {d}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Fleet mode: every seed's program becomes one tenant in a
+    // multi-threaded work-stealing fleet; each tenant's complete
+    // Observable must match its solo serial-oracle run bit for bit.
+    if o.fleet {
+        return match ia_conform::check_fleet(o.start, o.seeds, o.threads, o.ops_min, o.ops_max) {
+            Ok(stats) => {
+                println!(
+                    "conform --fleet: {} tenants ({}..{}) on {} threads, {} turns, {} steals, 0 divergences",
+                    stats.tenants,
+                    o.start,
+                    o.start + o.seeds,
+                    stats.threads,
+                    stats.turns,
+                    stats.steals
+                );
+                ExitCode::SUCCESS
+            }
+            Err((seed, detail)) => {
+                println!("FAIL [seed-{seed}-fleet] {detail}");
                 ExitCode::FAILURE
             }
         };

@@ -26,7 +26,7 @@ use std::process::ExitCode;
 
 use ia_conform::{sample, OpSet, Program, StackKind};
 use ia_interpose::{restore_world, snapshot_world, InterposedRouter, WorldSnapshot};
-use ia_kernel::{run, Kernel, Observable, RunLimits, RunOutcome, I486_25};
+use ia_kernel::{run, Kernel, KernelBuilder, Observable, RunLimits, RunOutcome};
 use ia_obs::{Obs, Stamped};
 
 /// Ring capacity while recording: large enough that no selftest run ever
@@ -54,7 +54,7 @@ struct Recording {
 }
 
 fn build_world(program: &Program) -> (Kernel, InterposedRouter) {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     k.obs.enable(RING);
     Program::setup(&mut k);
     let pid = k.spawn_image(&program.compile(), &[b"conform"], b"conform");

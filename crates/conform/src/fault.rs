@@ -9,12 +9,12 @@
 //! point a program actually exercises, and [`run_fault_case`] asserts
 //! consistency for one such injection.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use ia_abi::{Errno, RawArgs, Sysno};
 use ia_interpose::{wrap_process, Agent, InterestSet, InterposedRouter, SysCtx};
-use ia_kernel::{run, Kernel, RunLimits, RunOutcome, SysOutcome, I486_25};
+use ia_kernel::{run, KernelBuilder, RunLimits, RunOutcome, SysOutcome};
 
 use crate::gen::Program;
 use crate::oracle::MAX_STEPS;
@@ -28,14 +28,14 @@ pub struct FaultInjector {
     counter: u64,
     errno: Errno,
     target: Sysno,
-    injected: Rc<Cell<u64>>,
+    injected: Arc<AtomicU64>,
 }
 
 impl FaultInjector {
     /// Builds an injector and the shared injection counter.
     #[must_use]
-    pub fn new(target: Sysno, every: u64, errno: Errno) -> (FaultInjector, Rc<Cell<u64>>) {
-        let injected = Rc::new(Cell::new(0));
+    pub fn new(target: Sysno, every: u64, errno: Errno) -> (FaultInjector, Arc<AtomicU64>) {
+        let injected = Arc::new(AtomicU64::new(0));
         (
             FaultInjector {
                 every: every.max(1),
@@ -50,7 +50,7 @@ impl FaultInjector {
 
     /// [`FaultInjector::new`], boxed for `wrap_process`.
     #[must_use]
-    pub fn boxed(target: Sysno, every: u64, errno: Errno) -> (Box<dyn Agent>, Rc<Cell<u64>>) {
+    pub fn boxed(target: Sysno, every: u64, errno: Errno) -> (Box<dyn Agent>, Arc<AtomicU64>) {
         let (a, h) = FaultInjector::new(target, every, errno);
         (Box::new(a), h)
     }
@@ -66,7 +66,7 @@ impl Agent for FaultInjector {
     fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
         self.counter += 1;
         if self.counter.is_multiple_of(self.every) {
-            self.injected.set(self.injected.get() + 1);
+            self.injected.fetch_add(1, Ordering::Relaxed);
             let vnow = ctx.kernel.clock.elapsed_ns();
             ctx.kernel
                 .obs
@@ -131,10 +131,9 @@ pub fn fault_schedule(program: &Program) -> Vec<FaultCase> {
 /// observable *behaviour* is allowed to change (errors are real to the
 /// client), so nothing else is compared.
 pub fn run_fault_case(program: &Program, case: FaultCase) -> Result<(), String> {
-    let mut k = Kernel::new(I486_25);
-    // Force the trap fast path on: injected errors must stay consistent
-    // with flat dispatch and the in-loop answer lane engaged.
-    k.fast_path = true;
+    // Fast path forced on: injected errors must stay consistent with flat
+    // dispatch and the in-loop answer lane engaged.
+    let mut k = KernelBuilder::new().fast_path(true).build();
     Program::setup(&mut k);
     let pid = k.spawn_image(&program.compile(), &[b"conform"], b"conform");
     let (agent, _injected) = FaultInjector::boxed(case.target, case.every, case.errno);
@@ -174,14 +173,14 @@ mod tests {
     #[test]
     fn injector_counts_and_injects() {
         let p = sample(9, 15, OpSet::ALL);
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         Program::setup(&mut k);
         let pid = k.spawn_image(&p.compile(), &[b"c"], b"c");
         let (agent, injected) = FaultInjector::boxed(Sysno::Write, 2, Errno::EIO);
         let mut router = InterposedRouter::new();
         wrap_process(&mut k, &mut router, pid, agent, &[]);
         assert_eq!(k.run_with(&mut router), RunOutcome::AllExited);
-        assert!(injected.get() > 0);
+        assert!(injected.load(Ordering::Relaxed) > 0);
         assert!(k.check_quiescent().is_empty());
     }
 

@@ -11,7 +11,7 @@
 use std::fmt::Write as _;
 
 use ia_interpose::{wrap_process, Agent, InterposedRouter};
-use ia_kernel::{run, Kernel, RunLimits, I486_25};
+use ia_kernel::{run, KernelBuilder, RunLimits};
 use ia_obs::report::render_events_text;
 
 use crate::fault::FaultInjector;
@@ -33,7 +33,7 @@ pub const FLIGHT_CAPACITY: usize = 256;
 /// the oracle saw.
 #[must_use]
 pub fn record_flight(repro: &Repro) -> String {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     k.obs.enable(FLIGHT_CAPACITY);
     Program::setup(&mut k);
     let pid = k.spawn_image(&repro.program.compile(), &[b"conform"], b"conform");

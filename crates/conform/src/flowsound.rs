@@ -22,7 +22,7 @@ use ia_agents::{FlowEvent, FlowGuardAgent, FlowPolicy};
 use ia_analyze::analyze_image;
 use ia_analyze::flow::{analyze_flow, FlowAnalysis, FlowSpec};
 use ia_interpose::{wrap_process, InterposedRouter};
-use ia_kernel::{run, Kernel, RunLimits, RunOutcome, I486_25};
+use ia_kernel::{run, KernelBuilder, RunLimits, RunOutcome};
 
 use crate::fault::{FaultCase, FaultInjector};
 use crate::gen::Program;
@@ -46,7 +46,7 @@ pub fn flow_spec() -> FlowSpec {
 /// injector stacked on top) and returns the dynamic flow trace.
 fn record_flows(program: &Program, fault: Option<&FaultCase>) -> Result<Vec<FlowEvent>, String> {
     let spec = flow_spec();
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     Program::setup(&mut k);
     let (agent, handle) = FlowGuardAgent::new(FlowPolicy::record(spec.clone()));
     // Pre-create and pre-label the pool files so labelled bytes exist from

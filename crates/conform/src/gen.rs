@@ -833,7 +833,7 @@ impl ConfOp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ia_kernel::{RunOutcome, I486_25};
+    use ia_kernel::RunOutcome;
 
     #[test]
     fn same_seed_same_program() {
@@ -868,7 +868,7 @@ mod tests {
     fn generated_programs_run_to_completion() {
         for seed in 0..12 {
             let p = sample(seed, 35, OpSet::ALL);
-            let mut k = ia_kernel::Kernel::new(I486_25);
+            let mut k = ia_kernel::KernelBuilder::new().build();
             Program::setup(&mut k);
             k.spawn_image(&p.compile(), &[b"conform"], b"conform");
             assert_eq!(k.run_to_completion(), RunOutcome::AllExited, "seed {seed}");

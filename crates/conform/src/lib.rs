@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod fleet;
 pub mod flight;
 pub mod flowsound;
 pub mod gen;
@@ -40,6 +41,7 @@ pub mod trace;
 pub mod tree;
 
 pub use fault::{check_faults, fault_schedule, run_fault_case, FaultCase, FaultInjector};
+pub use fleet::{check_fleet, FleetStats};
 pub use flowsound::{check_flow_faults, check_flow_soundness, flow_spec, static_flows};
 pub use gen::{sample, ConfOp, OpSet, Program};
 pub use oracle::{

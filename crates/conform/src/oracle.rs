@@ -13,7 +13,7 @@
 
 use ia_agents::{PassThrough, ProfileAgent, TimeSymbolic, TraceAgent};
 use ia_interpose::{wrap_process, Agent, InterposedRouter};
-use ia_kernel::{run, run_legacy, Engine, Kernel, Observable, RunLimits, RunOutcome, I486_25};
+use ia_kernel::{run, run_legacy, Engine, KernelBuilder, Observable, RunLimits, RunOutcome};
 
 use crate::gen::Program;
 
@@ -103,9 +103,7 @@ pub fn run_config_full(
     engine: Engine,
     agents: Vec<Box<dyn Agent>>,
 ) -> Observation {
-    let mut k = Kernel::new(I486_25);
-    k.fast_path = fast;
-    k.engine = engine;
+    let mut k = KernelBuilder::new().fast_path(fast).engine(engine).build();
     Program::setup(&mut k);
     let pid = k.spawn_image(&program.compile(), &[b"conform"], b"conform");
     let mut router = InterposedRouter::new();

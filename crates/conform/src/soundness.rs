@@ -9,14 +9,14 @@
 //! register clobber, a wrong join) shows up here as a traced call outside
 //! the footprint.
 
-use std::cell::RefCell;
 use std::collections::BTreeSet;
-use std::rc::Rc;
+
+use std::sync::{Arc, Mutex};
 
 use ia_abi::{RawArgs, Sysno};
 use ia_analyze::footprint;
 use ia_interpose::{wrap_process, Agent, InterestSet, InterposedRouter, SysCtx};
-use ia_kernel::{run, Kernel, RunLimits, RunOutcome, SysOutcome, I486_25};
+use ia_kernel::{run, KernelBuilder, RunLimits, RunOutcome, SysOutcome};
 
 use crate::gen::{exec_child_image, Program};
 use crate::oracle::MAX_STEPS;
@@ -25,14 +25,14 @@ use crate::oracle::MAX_STEPS;
 /// children, which share the recording set through the cloned `Rc`) issues.
 #[derive(Clone)]
 pub struct SyscallRecorder {
-    nrs: Rc<RefCell<BTreeSet<u32>>>,
+    nrs: Arc<Mutex<BTreeSet<u32>>>,
 }
 
 impl SyscallRecorder {
     /// Creates a recorder and a shared handle onto its trap-number set.
     #[must_use]
-    pub fn new() -> (SyscallRecorder, Rc<RefCell<BTreeSet<u32>>>) {
-        let nrs = Rc::new(RefCell::new(BTreeSet::new()));
+    pub fn new() -> (SyscallRecorder, Arc<Mutex<BTreeSet<u32>>>) {
+        let nrs = Arc::new(Mutex::new(BTreeSet::new()));
         (SyscallRecorder { nrs: nrs.clone() }, nrs)
     }
 }
@@ -47,7 +47,7 @@ impl Agent for SyscallRecorder {
     }
 
     fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
-        self.nrs.borrow_mut().insert(nr);
+        self.nrs.lock().unwrap().insert(nr);
         ctx.down(nr, args)
     }
 
@@ -74,7 +74,7 @@ pub fn static_footprint(program: &Program) -> InterestSet {
 pub fn check_soundness(program: &Program) -> Result<(), String> {
     let set = static_footprint(program);
 
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     Program::setup(&mut k);
     let pid = k.spawn_image(&program.compile(), &[b"conform"], b"conform");
     let mut router = InterposedRouter::new();
@@ -91,7 +91,7 @@ pub fn check_soundness(program: &Program) -> Result<(), String> {
         return Err(format!("soundness run did not complete: {outcome:?}"));
     }
 
-    let traced = traced.borrow();
+    let traced = traced.lock().unwrap();
     let escaped: Vec<u32> = traced
         .iter()
         .copied()

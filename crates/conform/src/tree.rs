@@ -18,15 +18,17 @@
 //! must terminate and leave the kernel quiescent, and the all-pass leaf
 //! must be client-identical to a bare straight-line run.
 
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use ia_abi::{Errno, RawArgs, Sysno};
 use ia_interpose::{
     restore_world, snapshot_world, wrap_process, Agent, InterestSet, InterposedRouter, SysCtx,
     WorldSnapshot,
 };
-use ia_kernel::{run, run_legacy, Engine, Kernel, RunLimits, RunOutcome, SysOutcome, I486_25};
+use ia_kernel::{
+    run, run_legacy, Engine, Kernel, KernelBuilder, RunLimits, RunOutcome, SysOutcome,
+};
 
 use crate::gen::Program;
 use crate::oracle::{describe_client_diff, describe_diff, Observation, SchedKind, StackKind};
@@ -71,9 +73,9 @@ pub struct TreeStats {
 struct TreeInjector {
     target: Sysno,
     errno: Errno,
-    site: Rc<Cell<u64>>,
-    schedule: Rc<RefCell<Vec<bool>>>,
-    injected: Rc<Cell<u64>>,
+    site: Arc<AtomicU64>,
+    schedule: Arc<Mutex<Vec<bool>>>,
+    injected: Arc<AtomicU64>,
 }
 
 impl Agent for TreeInjector {
@@ -84,16 +86,16 @@ impl Agent for TreeInjector {
         InterestSet::of(&[self.target])
     }
     fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
-        let site = self.site.get();
-        self.site.set(site + 1);
+        let site = self.site.fetch_add(1, Ordering::Relaxed);
         let fault = self
             .schedule
-            .borrow()
+            .lock()
+            .unwrap()
             .get(usize::try_from(site).unwrap_or(usize::MAX))
             .copied()
             .unwrap_or(false);
         if fault {
-            self.injected.set(self.injected.get() + 1);
+            self.injected.fetch_add(1, Ordering::Relaxed);
             let vnow = ctx.kernel.clock.elapsed_ns();
             ctx.kernel
                 .obs
@@ -120,9 +122,9 @@ struct TreeWorld {
     router: InterposedRouter,
     template: WorldSnapshot,
     sched: SchedKind,
-    site: Rc<Cell<u64>>,
-    schedule: Rc<RefCell<Vec<bool>>>,
-    injected: Rc<Cell<u64>>,
+    site: Arc<AtomicU64>,
+    schedule: Arc<Mutex<Vec<bool>>>,
+    injected: Arc<AtomicU64>,
 }
 
 impl TreeWorld {
@@ -133,15 +135,13 @@ impl TreeWorld {
         sched: SchedKind,
         engine: Engine,
     ) -> TreeWorld {
-        let mut k = Kernel::new(I486_25);
-        k.fast_path = fast;
-        k.engine = engine;
+        let mut k = KernelBuilder::new().fast_path(fast).engine(engine).build();
         Program::setup(&mut k);
         let pid = k.spawn_image(&program.compile(), &[b"conform"], b"conform");
         let mut router = InterposedRouter::new();
-        let site = Rc::new(Cell::new(0));
-        let schedule = Rc::new(RefCell::new(Vec::new()));
-        let injected = Rc::new(Cell::new(0));
+        let site = Arc::new(AtomicU64::new(0));
+        let schedule = Arc::new(Mutex::new(Vec::new()));
+        let injected = Arc::new(AtomicU64::new(0));
         wrap_process(
             &mut k,
             &mut router,
@@ -178,9 +178,9 @@ impl TreeWorld {
     /// sites the leaf actually passed through.
     fn run_leaf(&mut self, schedule: &[bool]) -> Result<(Observation, u64), String> {
         restore_world(&mut self.k, &mut self.router, &self.template);
-        *self.schedule.borrow_mut() = schedule.to_vec();
-        self.site.set(0);
-        self.injected.set(0);
+        *self.schedule.lock().unwrap() = schedule.to_vec();
+        self.site.store(0, Ordering::Relaxed);
+        self.injected.store(0, Ordering::Relaxed);
         let limits = RunLimits {
             max_steps: crate::oracle::MAX_STEPS,
         };
@@ -201,7 +201,7 @@ impl TreeWorld {
                 obs: self.k.observable(),
                 leaks,
             },
-            self.site.get(),
+            self.site.load(Ordering::Relaxed),
         ))
     }
 }
@@ -222,9 +222,9 @@ pub fn frontier_injector(case: TreeCase) -> Box<dyn Agent> {
     Box::new(TreeInjector {
         target: case.target,
         errno: case.errno,
-        site: Rc::new(Cell::new(0)),
-        schedule: Rc::new(RefCell::new(vec![true; case.depth])),
-        injected: Rc::new(Cell::new(0)),
+        site: Arc::new(AtomicU64::new(0)),
+        schedule: Arc::new(Mutex::new(vec![true; case.depth])),
+        injected: Arc::new(AtomicU64::new(0)),
     })
 }
 
@@ -274,7 +274,7 @@ fn explore_case(
             }
         }
         stats.leaves += 1;
-        stats.injected += fast.injected.get();
+        stats.injected += fast.injected.load(Ordering::Relaxed);
         // Branch: every undecided site this leaf passed through, up to the
         // frontier, spawns the sibling where that site faults instead.
         let reach = usize::try_from(sites_a).unwrap_or(usize::MAX);

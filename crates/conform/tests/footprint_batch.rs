@@ -12,7 +12,7 @@
 use ia_agents::{PassThrough, SandboxAgent};
 use ia_conform::{check_flow_faults, check_flow_soundness, fault_schedule, sample, OpSet, Program};
 use ia_interpose::{wrap_process, InterposedRouter};
-use ia_kernel::{run, Kernel, RunLimits, RunOutcome, I486_25};
+use ia_kernel::{run, KernelBuilder, RunLimits, RunOutcome};
 
 const MAX_STEPS: u64 = 2_000_000;
 
@@ -20,8 +20,7 @@ const MAX_STEPS: u64 = 2_000_000;
 /// returning the observer's `(batches, calls)` counters.
 fn run_stacked(program: &Program, fast_path: bool) -> (u64, u64) {
     let image = program.compile();
-    let mut k = Kernel::new(I486_25);
-    k.fast_path = fast_path;
+    let mut k = KernelBuilder::new().fast_path(fast_path).build();
     Program::setup(&mut k);
     let pid = k.spawn_image(&image, &[b"conform"], b"conform");
     let mut router = InterposedRouter::new();

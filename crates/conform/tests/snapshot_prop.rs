@@ -13,11 +13,11 @@
 
 use ia_conform::{sample, OpSet, Program};
 use ia_interpose::InterposedRouter;
-use ia_kernel::{run, Kernel, KernelSnapshot, Observable, RunLimits, I486_25};
+use ia_kernel::{run, Kernel, KernelBuilder, KernelSnapshot, Observable, RunLimits};
 use ia_prng::Prng;
 
 fn world(seed: u64) -> (Kernel, InterposedRouter) {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     Program::setup(&mut k);
     let program = sample(seed, 10, OpSet::ALL);
     k.spawn_image(&program.compile(), &[b"prop"], b"prop");

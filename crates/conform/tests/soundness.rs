@@ -7,7 +7,7 @@
 use ia_analyze::footprint;
 use ia_conform::{check_soundness, sample, static_footprint, OpSet, SyscallRecorder};
 use ia_interpose::{wrap_process, InterestSet, InterposedRouter};
-use ia_kernel::{run, Kernel, RunLimits, RunOutcome, I486_25};
+use ia_kernel::{run, KernelBuilder, RunLimits, RunOutcome};
 use ia_prng::Prng;
 use ia_vm::{Image, Insn, DATA_BASE};
 
@@ -15,14 +15,14 @@ use ia_vm::{Image, Insn, DATA_BASE};
 /// call was predicted by its static footprint; returns the traced numbers.
 fn assert_trace_within_footprint(image: &Image) -> Vec<u32> {
     let set = footprint(image).set;
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let pid = k.spawn_image(image, &[b"adversary"], b"adversary");
     let mut router = InterposedRouter::new();
     let (recorder, traced) = SyscallRecorder::new();
     wrap_process(&mut k, &mut router, pid, Box::new(recorder), &[]);
     let outcome = run(&mut k, &mut router, RunLimits { max_steps: 100_000 });
     assert_eq!(outcome, RunOutcome::AllExited, "adversary run completes");
-    let traced: Vec<u32> = traced.borrow().iter().copied().collect();
+    let traced: Vec<u32> = traced.lock().unwrap().iter().copied().collect();
     for &nr in &traced {
         assert!(
             set.contains(nr),

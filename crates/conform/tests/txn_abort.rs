@@ -15,7 +15,7 @@
 use ia_agents::TxnAgent;
 use ia_conform::{fault_schedule, sample, FaultInjector, OpSet, Program};
 use ia_interpose::{wrap_process, InterposedRouter};
-use ia_kernel::{Kernel, RunOutcome, I486_25};
+use ia_kernel::{KernelBuilder, RunOutcome};
 
 /// Seeds swept; each contributes its own surface × errno schedule.
 const SEEDS: [u64; 6] = [0, 3, 7, 12, 19, 31];
@@ -27,7 +27,7 @@ fn abort_under_any_injected_fault_restores_the_begin_state() {
         let program = sample(seed, 16, OpSet::ALL);
         for case in fault_schedule(&program) {
             cases += 1;
-            let mut k = Kernel::new(I486_25);
+            let mut k = KernelBuilder::new().build();
             Program::setup(&mut k);
             let pid = k.spawn_image(&program.compile(), &[b"txn"], b"txn");
             let mut router = InterposedRouter::new();
@@ -60,7 +60,7 @@ fn abort_under_any_injected_fault_restores_the_begin_state() {
                 k.fs.content_digest(),
                 begin_digest,
                 "seed {seed}, {case} ({} injected): abort left the tree changed",
-                injected.get()
+                injected.load(std::sync::atomic::Ordering::Relaxed)
             );
             assert_eq!(
                 k.fs.stats(),
@@ -80,7 +80,7 @@ fn abort_without_faults_also_restores_begin_state() {
     // works" from "rollback only works because faults blocked progress".
     for seed in SEEDS {
         let program = sample(seed, 16, OpSet::ALL);
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         Program::setup(&mut k);
         let pid = k.spawn_image(&program.compile(), &[b"txn"], b"txn");
         let mut router = InterposedRouter::new();

@@ -18,7 +18,7 @@ use crate::object::OpenObject;
 use crate::scratch::Scratch;
 
 /// A logical directory: an iterator over entries.
-pub trait Directory {
+pub trait Directory: Send {
     /// Diagnostic name.
     fn dir_name(&self) -> &'static str {
         "directory"

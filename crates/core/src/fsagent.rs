@@ -351,14 +351,14 @@ impl<P: PathnameSet + Clone + 'static> SymbolicSyscall for FsAgent<P> {
 
     fn sys_read(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, buf: u64, nbyte: u64) -> SysOutcome {
         match self.obj(ctx, fd) {
-            Some(o) => o.borrow_mut().read(ctx, fd, buf, nbyte),
+            Some(o) => o.lock().unwrap().read(ctx, fd, buf, nbyte),
             None => ctx.down_args(Sysno::Read, [fd, buf, nbyte, 0, 0, 0]),
         }
     }
 
     fn sys_write(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, buf: u64, nbyte: u64) -> SysOutcome {
         match self.obj(ctx, fd) {
-            Some(o) => o.borrow_mut().write(ctx, fd, buf, nbyte),
+            Some(o) => o.lock().unwrap().write(ctx, fd, buf, nbyte),
             None => ctx.down_args(Sysno::Write, [fd, buf, nbyte, 0, 0, 0]),
         }
     }
@@ -371,14 +371,14 @@ impl<P: PathnameSet + Clone + 'static> SymbolicSyscall for FsAgent<P> {
         whence: u64,
     ) -> SysOutcome {
         match self.obj(ctx, fd) {
-            Some(o) => o.borrow_mut().lseek(ctx, fd, offset, whence),
+            Some(o) => o.lock().unwrap().lseek(ctx, fd, offset, whence),
             None => ctx.down_args(Sysno::Lseek, [fd, offset, whence, 0, 0, 0]),
         }
     }
 
     fn sys_fstat(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, statbuf: u64) -> SysOutcome {
         match self.obj(ctx, fd) {
-            Some(o) => o.borrow_mut().fstat(ctx, fd, statbuf),
+            Some(o) => o.lock().unwrap().fstat(ctx, fd, statbuf),
             None => ctx.down_args(Sysno::Fstat, [fd, statbuf, 0, 0, 0, 0]),
         }
     }
@@ -391,42 +391,42 @@ impl<P: PathnameSet + Clone + 'static> SymbolicSyscall for FsAgent<P> {
         argp: u64,
     ) -> SysOutcome {
         match self.obj(ctx, fd) {
-            Some(o) => o.borrow_mut().ioctl(ctx, fd, request, argp),
+            Some(o) => o.lock().unwrap().ioctl(ctx, fd, request, argp),
             None => ctx.down_args(Sysno::Ioctl, [fd, request, argp, 0, 0, 0]),
         }
     }
 
     fn sys_ftruncate(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, length: u64) -> SysOutcome {
         match self.obj(ctx, fd) {
-            Some(o) => o.borrow_mut().ftruncate(ctx, fd, length),
+            Some(o) => o.lock().unwrap().ftruncate(ctx, fd, length),
             None => ctx.down_args(Sysno::Ftruncate, [fd, length, 0, 0, 0, 0]),
         }
     }
 
     fn sys_fsync(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64) -> SysOutcome {
         match self.obj(ctx, fd) {
-            Some(o) => o.borrow_mut().fsync(ctx, fd),
+            Some(o) => o.lock().unwrap().fsync(ctx, fd),
             None => ctx.down_args(Sysno::Fsync, [fd, 0, 0, 0, 0, 0]),
         }
     }
 
     fn sys_fchmod(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, mode: u64) -> SysOutcome {
         match self.obj(ctx, fd) {
-            Some(o) => o.borrow_mut().fchmod(ctx, fd, mode),
+            Some(o) => o.lock().unwrap().fchmod(ctx, fd, mode),
             None => ctx.down_args(Sysno::Fchmod, [fd, mode, 0, 0, 0, 0]),
         }
     }
 
     fn sys_fchown(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, uid: u64, gid: u64) -> SysOutcome {
         match self.obj(ctx, fd) {
-            Some(o) => o.borrow_mut().fchown(ctx, fd, uid, gid),
+            Some(o) => o.lock().unwrap().fchown(ctx, fd, uid, gid),
             None => ctx.down_args(Sysno::Fchown, [fd, uid, gid, 0, 0, 0]),
         }
     }
 
     fn sys_flock(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64, operation: u64) -> SysOutcome {
         match self.obj(ctx, fd) {
-            Some(o) => o.borrow_mut().flock(ctx, fd, operation),
+            Some(o) => o.lock().unwrap().flock(ctx, fd, operation),
             None => ctx.down_args(Sysno::Flock, [fd, operation, 0, 0, 0, 0]),
         }
     }
@@ -440,7 +440,7 @@ impl<P: PathnameSet + Clone + 'static> SymbolicSyscall for FsAgent<P> {
         basep: u64,
     ) -> SysOutcome {
         match self.obj(ctx, fd) {
-            Some(o) => o.borrow_mut().getdirentries(ctx, fd, buf, nbytes, basep),
+            Some(o) => o.lock().unwrap().getdirentries(ctx, fd, buf, nbytes, basep),
             None => ctx.down_args(Sysno::Getdirentries, [fd, buf, nbytes, basep, 0, 0]),
         }
     }
@@ -452,8 +452,8 @@ impl<P: PathnameSet + Clone + 'static> SymbolicSyscall for FsAgent<P> {
             Some(o) => {
                 // Only the last reference performs the object's close
                 // behaviour; earlier closes still close the descriptor.
-                if std::rc::Rc::strong_count(&o) == 1 {
-                    o.borrow_mut().close(ctx, fd)
+                if std::sync::Arc::strong_count(&o) == 1 {
+                    o.lock().unwrap().close(ctx, fd)
                 } else {
                     ctx.down_args(Sysno::Close, [fd, 0, 0, 0, 0, 0])
                 }
@@ -502,7 +502,7 @@ mod tests {
     use crate::path::{DefaultPathname, Pathname};
     use crate::symbolic::Symbolic;
     use ia_interpose::InterposedRouter;
-    use ia_kernel::{Kernel, RunOutcome, I486_25};
+    use ia_kernel::{KernelBuilder, RunOutcome};
 
     /// A pathname set that redirects every reference under `/virtual` to
     /// `/real` — a miniature "customizable filesystem view".
@@ -555,7 +555,7 @@ mod tests {
                 li r0, 0
                 sys exit
         "#;
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         k.mkdir_p(b"/real").unwrap();
         k.write_file(b"/real/data.txt", b"relocated!").unwrap();
         let img = ia_vm::assemble(src).unwrap();
@@ -589,7 +589,7 @@ mod tests {
                 xor r0, r0, r12     ; keep as bool
                 sys exit
         "#;
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         k.mkdir_p(b"/real").unwrap();
         k.write_file(b"/real/gone.txt", b"x").unwrap();
         let img = ia_vm::assemble(src).unwrap();

@@ -87,7 +87,7 @@ impl Agent for RemapAgent {
 mod tests {
     use super::*;
     use ia_interpose::InterposedRouter;
-    use ia_kernel::{Kernel, RunOutcome, I486_25};
+    use ia_kernel::{KernelBuilder, RunOutcome};
 
     #[test]
     fn foreign_numbers_reach_native_calls() {
@@ -105,7 +105,7 @@ mod tests {
                 sys 201
         "#;
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let pid = k.spawn_image(&img, &[b"f"], b"f");
         let mut remap = RemapAgent::new();
         remap.map_range(200, 260, -200); // foreign = native + 200
@@ -121,7 +121,7 @@ mod tests {
         // trap number is EINVAL (22).
         let src = "main: sys 204\n mov r0, r1\n sys exit\n";
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         k.spawn_image(&img, &[b"f"], b"f");
         k.run_to_completion();
         assert_eq!(

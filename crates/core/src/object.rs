@@ -5,14 +5,18 @@
 //! (`open_object`)."
 //!
 //! An [`OpenObject`] stands behind one or more descriptors (shared by
-//! `dup`/`dup2`/`F_DUPFD`, hence the [`Rc`] reference counting). Every
+//! `dup`/`dup2`/`F_DUPFD`, hence the [`Arc`] reference counting). Every
 //! descriptor-using system call has a method with a pass-through default;
 //! agents provide derived objects — e.g. the union agent's merged
 //! directory, or an encrypting agent's transforming file object.
+//!
+//! Handles are `Arc<Mutex<…>>`, not `Rc<RefCell<…>>`: agents must be
+//! [`Send`] so whole kernels can migrate between the fleet's host threads.
+//! Sharing never crosses a tenant — the mutex is only ever taken
+//! uncontended by the one thread currently driving that tenant.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use ia_abi::Sysno;
 use ia_kernel::SysOutcome;
@@ -20,17 +24,17 @@ use ia_kernel::SysOutcome;
 use crate::ctx::SymCtx;
 
 /// A shared handle to an open object (the paper's reference counting).
-pub type ObjRef = Rc<RefCell<dyn OpenObject>>;
+pub type ObjRef = Arc<Mutex<dyn OpenObject>>;
 
 /// Wraps an object into a shared handle.
 pub fn obj_ref<T: OpenObject + 'static>(obj: T) -> ObjRef {
-    Rc::new(RefCell::new(obj))
+    Arc::new(Mutex::new(obj))
 }
 
 /// The operations a descriptor can perform on its open object, with
 /// pass-through defaults.
 #[allow(unused_variables)]
-pub trait OpenObject {
+pub trait OpenObject: Send {
     /// Diagnostic name.
     fn obj_name(&self) -> &'static str {
         "open-object"
@@ -129,11 +133,11 @@ pub fn clone_descriptor_table(table: &HashMap<u64, ObjRef>) -> HashMap<u64, ObjR
     table
         .iter()
         .map(|(&fd, obj)| {
-            let key = Rc::as_ptr(obj).cast::<u8>() as usize;
+            let key = Arc::as_ptr(obj).cast::<u8>() as usize;
             let cloned = seen
                 .entry(key)
                 .or_insert_with(|| {
-                    Rc::from(RefCell::new(ClonedBox(obj.borrow().clone_object()))) as ObjRef
+                    Arc::from(Mutex::new(ClonedBox(obj.lock().unwrap().clone_object()))) as ObjRef
                 })
                 .clone();
             (fd, cloned)
@@ -211,15 +215,15 @@ mod tests {
         let cloned = clone_descriptor_table(&table);
         assert_eq!(cloned.len(), 3);
         assert!(
-            Rc::ptr_eq(&cloned[&3], &cloned[&4]),
+            Arc::ptr_eq(&cloned[&3], &cloned[&4]),
             "shared object stays shared"
         );
         assert!(
-            !Rc::ptr_eq(&cloned[&3], &cloned[&5]),
+            !Arc::ptr_eq(&cloned[&3], &cloned[&5]),
             "distinct objects stay distinct"
         );
         assert!(
-            !Rc::ptr_eq(&cloned[&3], &table[&3]),
+            !Arc::ptr_eq(&cloned[&3], &table[&3]),
             "clone is independent of the original"
         );
     }

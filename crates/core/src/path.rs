@@ -254,7 +254,7 @@ impl Pathname for DefaultPathname {
 /// name references; the rest of the toolkit routes every pathname-using
 /// system call through it.
 #[allow(unused_variables)]
-pub trait PathnameSet {
+pub trait PathnameSet: Send {
     /// Diagnostic name.
     fn set_name(&self) -> &'static str {
         "pathname-set"

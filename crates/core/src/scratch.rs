@@ -8,11 +8,12 @@
 //!
 //! The region is bump-allocated and reset at the start of every
 //! intercepted trap, so nested downcalls within one trap can stage several
-//! values. The handle is cheaply cloneable ([`Rc`]) so pathname and
-//! directory objects created by the toolkit can stage data too.
+//! values. The handle is cheaply cloneable ([`Arc`]) so pathname and
+//! directory objects created by the toolkit can stage data too; the mutex
+//! keeps the handle `Send` for fleet tenants and is never contended (one
+//! thread drives a tenant at a time).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use ia_abi::{Errno, Sysno};
 
@@ -31,7 +32,7 @@ struct Inner {
 /// share the region (they are the same agent's staging area).
 #[derive(Debug, Clone, Default)]
 pub struct Scratch {
-    inner: Rc<RefCell<Inner>>,
+    inner: Arc<Mutex<Inner>>,
 }
 
 impl Scratch {
@@ -46,9 +47,9 @@ impl Scratch {
     /// independent of the parent's.
     #[must_use]
     pub fn deep_clone(&self) -> Scratch {
-        let inner = self.inner.borrow();
+        let inner = self.inner.lock().unwrap();
         Scratch {
-            inner: Rc::new(RefCell::new(Inner {
+            inner: Arc::new(Mutex::new(Inner {
                 base: inner.base,
                 used: inner.used,
             })),
@@ -57,18 +58,18 @@ impl Scratch {
 
     /// Resets the bump pointer (called at trap entry).
     pub fn reset(&self) {
-        self.inner.borrow_mut().used = 0;
+        self.inner.lock().unwrap().used = 0;
     }
 
     fn ensure(&self, ctx: &mut SymCtx<'_, '_>) -> Result<u64, Errno> {
-        if let Some(b) = self.inner.borrow().base {
+        if let Some(b) = self.inner.lock().unwrap().base {
             return Ok(b);
         }
         // sbrk(SCRATCH_SIZE) in the client, via the chain below us — an
         // agent allocating memory is itself just a client of the interface.
         match ctx.down_args(Sysno::Sbrk, [SCRATCH_SIZE, 0, 0, 0, 0, 0]) {
             ia_kernel::SysOutcome::Done(Ok([old, _])) => {
-                self.inner.borrow_mut().base = Some(old);
+                self.inner.lock().unwrap().base = Some(old);
                 Ok(old)
             }
             ia_kernel::SysOutcome::Done(Err(e)) => Err(e),
@@ -80,7 +81,7 @@ impl Scratch {
     pub fn write(&self, ctx: &mut SymCtx<'_, '_>, bytes: &[u8]) -> Result<u64, Errno> {
         let base = self.ensure(ctx)?;
         let addr = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.inner.lock().unwrap();
             let len = bytes.len() as u64;
             if inner.used + len > SCRATCH_SIZE {
                 return Err(Errno::ENOMEM);

@@ -43,7 +43,7 @@ macro_rules! symbolic_calls {
         /// C++ methods received `char *` pointers into the shared address
         /// space; read or rewrite them through the [`SymCtx`] accessors.
         #[allow(unused_variables)]
-        pub trait SymbolicSyscall {
+        pub trait SymbolicSyscall: Send {
             /// Diagnostic agent name.
             fn name(&self) -> &'static str {
                 "symbolic-agent"
@@ -346,7 +346,7 @@ impl<S: SymbolicSyscall + Clone + 'static> Agent for Symbolic<S> {
 mod tests {
     use super::*;
     use ia_interpose::InterposedRouter;
-    use ia_kernel::{Kernel, RunOutcome, I486_25};
+    use ia_kernel::{KernelBuilder, RunOutcome};
 
     /// The null symbolic agent: every call takes its default path. Used in
     /// the paper as `time_symbolic` to measure minimum toolkit overhead
@@ -377,11 +377,11 @@ mod tests {
         "#;
         let img = ia_vm::assemble(src).unwrap();
 
-        let mut plain = Kernel::new(I486_25);
+        let mut plain = KernelBuilder::new().build();
         plain.spawn_image(&img, &[b"t"], b"t");
         plain.run_to_completion();
 
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let pid = k.spawn_image(&img, &[b"t"], b"t");
         let mut router = InterposedRouter::new();
         router.push_agent(pid, Box::new(Symbolic::new(Null)));
@@ -413,7 +413,7 @@ mod tests {
         // exit(getpid() + 40): with the agent the status is pid+40.
         let src = "main: sys getpid\n sys exit\n";
         let img = ia_vm::assemble(src).unwrap();
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let pid = k.spawn_image(&img, &[b"t"], b"t");
         let mut router = InterposedRouter::new();
         router.push_agent(pid, Box::new(Symbolic::new(PidPlus(40))));

@@ -2,31 +2,29 @@
 //! directory-object machinery, and the descriptor table's dup/close
 //! tracking in `FsAgent`.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use ia_abi::{DirEntry, Errno, Sysno};
 use ia_interpose::InterposedRouter;
-use ia_kernel::{Kernel, RunOutcome, I486_25};
+use ia_kernel::{KernelBuilder, RunOutcome};
 use ia_toolkit::{
     obj_ref, DirObject, Directory, FsAgent, ObjRef, OpenObject, PathIntent, Pathname, PathnameSet,
     Scratch, SymCtx, Symbolic,
 };
+use std::sync::{Arc, Mutex};
 
 /// A pathname-set that wraps every opened file in a counting object, to
 /// observe the descriptor-table plumbing.
 #[derive(Clone, Default)]
 struct Counting {
-    events: Rc<RefCell<Vec<String>>>,
+    events: Arc<Mutex<Vec<String>>>,
 }
 
 struct CountingPathname {
     inner: ia_toolkit::DefaultPathname,
-    events: Rc<RefCell<Vec<String>>>,
+    events: Arc<Mutex<Vec<String>>>,
 }
 
 struct CountingObject {
-    events: Rc<RefCell<Vec<String>>>,
+    events: Arc<Mutex<Vec<String>>>,
 }
 
 impl PathnameSet for Counting {
@@ -82,11 +80,14 @@ impl OpenObject for CountingObject {
         buf: u64,
         n: u64,
     ) -> ia_kernel::SysOutcome {
-        self.events.borrow_mut().push(format!("read fd{fd}"));
+        self.events.lock().unwrap().push(format!("read fd{fd}"));
         ctx.down_args(Sysno::Read, [fd, buf, n, 0, 0, 0])
     }
     fn close(&mut self, ctx: &mut SymCtx<'_, '_>, fd: u64) -> ia_kernel::SysOutcome {
-        self.events.borrow_mut().push(format!("final-close fd{fd}"));
+        self.events
+            .lock()
+            .unwrap()
+            .push(format!("final-close fd{fd}"));
         ctx.down_args(Sysno::Close, [fd, 0, 0, 0, 0, 0])
     }
     fn clone_object(&self) -> Box<dyn OpenObject> {
@@ -129,7 +130,7 @@ fn dup_shares_the_open_object_and_only_the_last_close_is_final() {
             li r0, 0
             sys exit
     "#;
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     k.write_file(b"/tmp/f", b"datadata").unwrap();
     let img = ia_vm::assemble(src).unwrap();
     let pid = k.spawn_image(&img, &[b"c"], b"c");
@@ -142,7 +143,7 @@ fn dup_shares_the_open_object_and_only_the_last_close_is_final() {
     );
     assert_eq!(k.run_with(&mut router), RunOutcome::AllExited);
 
-    let ev = events.borrow().clone();
+    let ev = events.lock().unwrap().clone();
     let reads = ev.iter().filter(|e| e.starts_with("read")).count();
     let finals = ev.iter().filter(|e| e.starts_with("final-close")).count();
     assert_eq!(
@@ -184,7 +185,7 @@ impl Directory for FixedDir {
 
 /// Drives a DirObject directly with a real kernel context.
 fn with_ctx<R>(f: impl FnOnce(&mut SymCtx<'_, '_>) -> R) -> R {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let img = ia_vm::assemble("main: halt\n").unwrap();
     let pid = k.spawn_image(&img, &[b"t"], b"t");
     let mut below: Vec<Box<dyn ia_interpose::Agent>> = Vec::new();

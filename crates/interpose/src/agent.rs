@@ -24,7 +24,14 @@ pub enum SignalVerdict {
 /// argument vectors, the paper's *numeric system call layer* interface. The
 /// `ia-toolkit` crate layers typed, object-structured interfaces on top;
 /// almost no agent implements this trait directly.
-pub trait Agent {
+///
+/// Agents are [`Send`]: a tenant (kernel + router + chains) migrates
+/// between host threads in the fleet's work-stealing pool, so no agent may
+/// hold thread-pinned state (`Rc`, `RefCell`, raw pointers). State shared
+/// between an agent and its forked clones or a host-side handle must use
+/// `Arc<Mutex<…>>`/atomics — and such sharing must stay *within* one
+/// tenant, or determinism is forfeit.
+pub trait Agent: Send {
     /// Diagnostic name.
     fn name(&self) -> &'static str;
 
@@ -226,7 +233,7 @@ pub fn signal_chain(
 mod tests {
     use super::*;
     use ia_abi::Sysno;
-    use ia_kernel::I486_25;
+    use ia_kernel::KernelBuilder;
 
     /// Adds a fixed offset to gettimeofday's seconds — a micro-timex.
     struct Shift(i64);
@@ -258,7 +265,7 @@ mod tests {
     }
 
     fn setup() -> (Kernel, Pid) {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let img = ia_vm::assemble("main: halt\n").unwrap();
         let pid = k.spawn_image(&img, &[b"t"], b"t");
         (k, pid)

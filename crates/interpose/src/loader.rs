@@ -82,7 +82,7 @@ mod tests {
     use super::*;
     use crate::interest::InterestSet;
     use ia_abi::{RawArgs, Sysno};
-    use ia_kernel::{RunOutcome, SysOutcome, I486_25};
+    use ia_kernel::{RunOutcome, SysOutcome};
 
     struct InitProbe {
         inited_with: Vec<Vec<u8>>,
@@ -113,7 +113,7 @@ mod tests {
 
     #[test]
     fn loader_runs_init_with_args_and_charges_startup() {
-        let mut k = ia_kernel::Kernel::new(I486_25);
+        let mut k = ia_kernel::KernelBuilder::new().build();
         let img = ia_vm::assemble("main: li r0, 0\n sys exit\n").unwrap();
         let mut router = InterposedRouter::new();
         let before = k.clock.elapsed_ns();
@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn load_from_filesystem() {
-        let mut k = ia_kernel::Kernel::new(I486_25);
+        let mut k = ia_kernel::KernelBuilder::new().build();
         let img = ia_vm::assemble("main: li r0, 3\n sys exit\n").unwrap();
         k.install_image(b"/bin/prog", &img).unwrap();
         let mut router = InterposedRouter::new();

@@ -154,9 +154,9 @@ impl Chain {
 ///
 /// ```
 /// use ia_interpose::InterposedRouter;
-/// use ia_kernel::{Kernel, RunOutcome, I486_25};
+/// use ia_kernel::{KernelBuilder, Kernel, RunOutcome, I486_25};
 ///
-/// let mut kernel = Kernel::new(I486_25);
+/// let mut kernel = KernelBuilder::new().build();
 /// let image = ia_vm::assemble("main:\n li r0, 0\n sys exit\n").unwrap();
 /// kernel.spawn_image(&image, &[b"p"], b"p");
 /// let mut router = InterposedRouter::new(); // no agents yet: identity
@@ -265,8 +265,13 @@ impl InterposedRouter {
 /// A capture of every agent chain, taken with [`InterposedRouter::snapshot`].
 ///
 /// Agents are captured through `Agent::clone_box` — the same mechanism a
-/// `fork` uses — so agents with interior shared state (`Rc<RefCell<…>>`
-/// handles) share it with the capture, exactly as a forked chain would.
+/// `fork` uses. Since [`Agent`] is `Send`, any interior state an agent
+/// shares with its clones is held behind thread-safe handles
+/// (`Arc<Mutex<…>>`, atomics); a capture therefore shares that state with
+/// the live chain exactly as a forked chain would, and the whole snapshot
+/// remains `Send`. Agents whose capture must be *independent* deep-copy in
+/// `clone_box` instead. Either way the sharing is confined to one tenant —
+/// nothing here may alias state in another tenant's world.
 /// Compiled dispatch state (flat tables, batchable sets) is *not* captured:
 /// [`InterposedRouter::restore`] recompiles it from the restored agents,
 /// which is the chain-mutation invalidation rule applied to time travel.
@@ -581,12 +586,12 @@ mod tests {
     use super::*;
     use crate::agent::SignalVerdict;
     use ia_abi::Sysno;
-    use ia_kernel::{RunOutcome, I486_25};
+    use ia_kernel::RunOutcome;
 
     /// Counts every trap it sees; interested in everything.
     #[derive(Default)]
     struct Counter {
-        seen: std::rc::Rc<std::cell::RefCell<u64>>,
+        seen: std::sync::Arc<std::sync::atomic::AtomicU64>,
     }
 
     impl Agent for Counter {
@@ -597,7 +602,7 @@ mod tests {
             InterestSet::ALL
         }
         fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
-            *self.seen.borrow_mut() += 1;
+            self.seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             ctx.down(nr, args)
         }
         fn clone_box(&self) -> Box<dyn Agent> {
@@ -622,13 +627,13 @@ mod tests {
                 sys exit
         "#;
         // Without an agent:
-        let mut k1 = ia_kernel::Kernel::new(I486_25);
+        let mut k1 = ia_kernel::KernelBuilder::new().build();
         let img = ia_vm::assemble(src).unwrap();
         k1.spawn_image(&img, &[b"t"], b"t");
         k1.run_to_completion();
 
         // With the counter agent:
-        let mut k2 = ia_kernel::Kernel::new(I486_25);
+        let mut k2 = ia_kernel::KernelBuilder::new().build();
         let pid = k2.spawn_image(&img, &[b"t"], b"t");
         let mut router = InterposedRouter::new();
         let counter = Counter::default();
@@ -641,7 +646,11 @@ mod tests {
             k2.console.output_string(),
             "agent is transparent"
         );
-        assert_eq!(*seen.borrow(), 2, "write + exit intercepted");
+        assert_eq!(
+            seen.load(std::sync::atomic::Ordering::Relaxed),
+            2,
+            "write + exit intercepted"
+        );
         assert!(
             k2.clock.elapsed_ns() > k1.clock.elapsed_ns(),
             "interposition costs time"
@@ -650,7 +659,7 @@ mod tests {
 
     #[test]
     fn pay_per_use_bypasses_chain() {
-        let mut k = ia_kernel::Kernel::new(I486_25);
+        let mut k = ia_kernel::KernelBuilder::new().build();
         let img = ia_vm::assemble("main: sys getpid\n sys getpid\n li r0,0\n sys exit\n").unwrap();
         let pid = k.spawn_image(&img, &[b"t"], b"t");
         let mut router = InterposedRouter::new();
@@ -695,7 +704,7 @@ mod tests {
                 li r0, 0
                 sys exit
         "#;
-        let mut k = ia_kernel::Kernel::new(I486_25);
+        let mut k = ia_kernel::KernelBuilder::new().build();
         let img = ia_vm::assemble(src).unwrap();
         let pid = k.spawn_image(&img, &[b"t"], b"t");
         let mut router = InterposedRouter::new();
@@ -708,12 +717,13 @@ mod tests {
         // child's traps were intercepted too because the chain forked.
         // wait4 may be dispatched more than once if it blocked; require at
         // least the five logical calls.
-        assert!(*seen.borrow() >= 5, "saw {}", *seen.borrow());
+        let n = seen.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(n >= 5, "saw {n}");
     }
 
     #[test]
     fn exit_removes_chain() {
-        let mut k = ia_kernel::Kernel::new(I486_25);
+        let mut k = ia_kernel::KernelBuilder::new().build();
         let img = ia_vm::assemble("main: li r0,0\n sys exit\n").unwrap();
         let pid = k.spawn_image(&img, &[b"t"], b"t");
         let mut router = InterposedRouter::new();
@@ -766,7 +776,7 @@ mod tests {
                 li r0, 0
                 sys exit
         "#;
-        let mut k = ia_kernel::Kernel::new(I486_25);
+        let mut k = ia_kernel::KernelBuilder::new().build();
         let img = ia_vm::assemble(src).unwrap();
         let pid = k.spawn_image(&img, &[b"t"], b"t");
         let mut router = InterposedRouter::new();

@@ -10,21 +10,23 @@
 //! asserts the complete observable state is bit-identical with the fast
 //! path on, off, and under the legacy scheduler.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use ia_abi::{RawArgs, Sysno};
 use ia_interpose::{
     restore_world, snapshot_world, wrap_process, Agent, BatchCall, InterestSet, InterposedRouter,
     SysCtx,
 };
-use ia_kernel::{run, run_legacy, Kernel, Observable, RunLimits, RunOutcome, SysOutcome, I486_25};
+use ia_kernel::{
+    run, run_legacy, Kernel, KernelBuilder, Observable, RunLimits, RunOutcome, SysOutcome,
+};
 
 /// Batchable full-coverage observer (counts calls seen, per-call or
 /// vectored).
 struct Watcher {
-    calls: Rc<Cell<u64>>,
-    batches: Rc<Cell<u64>>,
+    calls: Arc<AtomicU64>,
+    batches: Arc<AtomicU64>,
 }
 
 impl Agent for Watcher {
@@ -38,12 +40,12 @@ impl Agent for Watcher {
         InterestSet::ALL
     }
     fn syscall(&mut self, ctx: &mut SysCtx<'_>, nr: u32, args: RawArgs) -> SysOutcome {
-        self.calls.set(self.calls.get() + 1);
+        self.calls.fetch_add(1, Ordering::Relaxed);
         ctx.down(nr, args)
     }
     fn syscall_batch(&mut self, _ctx: &mut SysCtx<'_>, _nr: u32, calls: &[BatchCall]) {
-        self.batches.set(self.batches.get() + 1);
-        self.calls.set(self.calls.get() + calls.len() as u64);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.calls.fetch_add(calls.len() as u64, Ordering::Relaxed);
     }
     fn clone_box(&self) -> Box<dyn Agent> {
         Box::new(Watcher {
@@ -92,12 +94,11 @@ loop:   addi r10, r10, -1
         sys exit
 ";
     let img = ia_vm::assemble(src).unwrap();
-    let mut k = Kernel::new(I486_25);
-    k.fast_path = fast;
+    let mut k = KernelBuilder::new().fast_path(fast).build();
     let pid = k.spawn_image(&img, &[b"inv"], b"inv");
     let mut router = InterposedRouter::new();
-    let calls = Rc::new(Cell::new(0));
-    let batches = Rc::new(Cell::new(0));
+    let calls = Arc::new(AtomicU64::new(0));
+    let batches = Arc::new(AtomicU64::new(0));
 
     let drive = |k: &mut Kernel, router: &mut InterposedRouter, max_steps: u64| {
         let limits = RunLimits { max_steps };
@@ -140,8 +141,8 @@ loop:   addi r10, r10, -1
 
     MutatedRun {
         obs: k.observable(),
-        watcher_calls: calls.get(),
-        watcher_batches: batches.get(),
+        watcher_calls: calls.load(Ordering::Relaxed),
+        watcher_batches: batches.load(Ordering::Relaxed),
         intercepted: router.stats.intercepted,
         unmanaged: router.stats.unmanaged,
         fast_hits: k.fast_stats.hits(),
@@ -174,12 +175,11 @@ loop:   addi r10, r10, -1
         sys exit
 ";
     let img = ia_vm::assemble(src).unwrap();
-    let mut k = Kernel::new(I486_25);
-    k.fast_path = fast;
+    let mut k = KernelBuilder::new().fast_path(fast).build();
     let pid = k.spawn_image(&img, &[b"snap"], b"snap");
     let mut router = InterposedRouter::new();
-    let calls = Rc::new(Cell::new(0));
-    let batches = Rc::new(Cell::new(0));
+    let calls = Arc::new(AtomicU64::new(0));
+    let batches = Arc::new(AtomicU64::new(0));
     wrap_process(
         &mut k,
         &mut router,
@@ -207,13 +207,13 @@ loop:   addi r10, r10, -1
     // Capture. The pending batch is flushed into the world first, so the
     // snapshot holds no in-flight vector.
     let world = snapshot_world(&mut k, &mut router);
-    let at_snap = calls.get();
+    let at_snap = calls.load(Ordering::Relaxed);
 
     // First future.
     assert_eq!(drive(&mut k, &mut router, 5_000_000), RunOutcome::AllExited);
     let first = k.observable();
     let first_stats = router.stats;
-    let first_delta = calls.get() - at_snap;
+    let first_delta = calls.load(Ordering::Relaxed) - at_snap;
 
     // Rewind, then run a short stretch so a *new* pending batch forms
     // under the restored chain...
@@ -222,7 +222,7 @@ loop:   addi r10, r10, -1
     // ...and rewind again: the live pending batch must be discarded, the
     // dispatch tables recompiled, the vDSO gating recomputed.
     restore_world(&mut k, &mut router, &world);
-    let mid = calls.get();
+    let mid = calls.load(Ordering::Relaxed);
 
     // Second future: must be bit-identical to the first.
     assert_eq!(drive(&mut k, &mut router, 5_000_000), RunOutcome::AllExited);
@@ -233,8 +233,8 @@ loop:   addi r10, r10, -1
     SnapRun {
         obs: first,
         first_delta,
-        second_delta: calls.get() - mid,
-        watcher_batches: batches.get(),
+        second_delta: calls.load(Ordering::Relaxed) - mid,
+        watcher_batches: batches.load(Ordering::Relaxed),
         intercepted: router.stats.intercepted,
         fast_hits: k.fast_stats.hits(),
     }

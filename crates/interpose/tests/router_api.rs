@@ -4,7 +4,7 @@
 
 use ia_abi::{RawArgs, Sysno};
 use ia_interpose::{Agent, InterestSet, InterposedRouter, SysCtx};
-use ia_kernel::{Kernel, SysOutcome, SyscallRouter, I486_25};
+use ia_kernel::{Kernel, KernelBuilder, SysOutcome, SyscallRouter};
 
 /// Minimal agent interested in exactly one call; tags results so its
 /// presence is observable.
@@ -29,7 +29,7 @@ impl Agent for Tag {
 }
 
 fn world() -> (Kernel, u32) {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let img = ia_vm::assemble("main: halt\n").unwrap();
     let pid = k.spawn_image(&img, &[b"t"], b"t");
     (k, pid)
@@ -83,7 +83,7 @@ fn with_chain_recomputes_interest_after_mutation() {
 
 #[test]
 fn per_process_chains_are_independent() {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let img = ia_vm::assemble("main: halt\n").unwrap();
     let p1 = k.spawn_image(&img, &[b"a"], b"a");
     let p2 = k.spawn_image(&img, &[b"b"], b"b");
@@ -174,7 +174,7 @@ fn router_delivers_replacement_signals() {
     let img = ia_vm::assemble(src).unwrap();
 
     // Without the agent: killed by SIGTERM.
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let pid = k.spawn_image(&img, &[b"t"], b"t");
     k.run_to_completion();
     assert_eq!(
@@ -185,7 +185,7 @@ fn router_delivers_replacement_signals() {
     );
 
     // With the agent: SIGTERM becomes SIGUSR2, the handler exits 42.
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let pid = k.spawn_image(&img, &[b"t"], b"t");
     let mut r = InterposedRouter::new();
     r.push_agent(pid, Box::new(Swap));

@@ -1,4 +1,5 @@
-//! The digest-keyed image cache behind `spawn` and `execve(2)`.
+//! The digest-keyed image cache behind `spawn` and `execve(2)` — a
+//! *shareable* handle, so a fleet of tenant kernels warms it once.
 //!
 //! Decoding a 12-byte-per-insn image and re-running the [`ExecGate`] lint on
 //! every exec is pure waste under fork/exec storms (make8 re-execs the same
@@ -7,19 +8,57 @@
 //! `Arc<Vec<Insn>>`, and the fused program — keyed by the image bytes'
 //! content digest *and the gate generation*.
 //!
+//! # Sharing
+//!
+//! An `ExecCache` is a cheap [`Arc`] handle: `clone()` yields a second
+//! handle to the *same* cache. A solo kernel gets a private cache from
+//! [`KernelBuilder::build`]; a fleet passes one handle to every tenant's
+//! builder (`KernelBuilder::new().exec_cache(shared)`), so the first tenant
+//! to exec an image decodes it and every later tenant hits. The hit path
+//! takes only a shared read lock (read-mostly by construction: execs of
+//! already-seen images dominate); writers appear only on a miss or a gate
+//! change.
+//!
+//! # Gate generations, including the shared case
+//!
 //! The gate generation is the staleness defense: [`Kernel::set_exec_gate`]
 //! and [`Kernel::clear_exec_gate`] bump it (and drop every entry), so a gate
 //! installed after an image was cached still vetoes it — a cached verdict
-//! from another gate's era can never be replayed. Digest collisions are
-//! handled by keeping the exact source bytes in each entry and comparing
-//! them on lookup: simulated user input never gets to alias another image.
+//! from another gate's era can never be replayed.
+//!
+//! When the cache is shared, the generation is shared too, and the
+//! invalidation story is deliberately *global and conservative*:
+//!
+//! * [`KernelBuilder`] installs a tenant's gate **before** attaching the
+//!   shared cache and does **not** bump the generation — spin-up of the
+//!   N-th tenant must not evict what the first N−1 warmed. This is sound
+//!   only because every sharer installs the *same* gate (or none): a
+//!   cached verdict is then valid for every tenant. Sharing one cache
+//!   between kernels with **different** gates is unsupported.
+//! * A post-build [`Kernel::set_exec_gate`]/[`Kernel::clear_exec_gate`] on
+//!   *any* sharer bumps the shared generation, invalidating every tenant's
+//!   entries at once. That is the conservative sound choice: after a gate
+//!   change somewhere, no stale verdict can replay anywhere, at the cost of
+//!   every sharer re-warming under the new generation.
+//!
+//! Digest collisions are handled by keeping the exact source bytes in each
+//! entry and comparing them on lookup: simulated user input never gets to
+//! alias another image.
+//!
+//! Like `FastPathStats`, the cache is host-side bookkeeping: never part of
+//! the virtual-time model and never captured by snapshots — reconstructing
+//! an entry is always semantically free, so sharing it cannot couple
+//! tenants' observable state.
 //!
 //! [`ExecGate`]: crate::kernel::ExecGate
 //! [`Kernel::set_exec_gate`]: crate::Kernel::set_exec_gate
 //! [`Kernel::clear_exec_gate`]: crate::Kernel::clear_exec_gate
+//! [`KernelBuilder`]: crate::KernelBuilder
+//! [`KernelBuilder::build`]: crate::KernelBuilder::build
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use ia_abi::Errno;
 use ia_vm::{FusedProgram, Image, Insn};
@@ -59,17 +98,20 @@ struct Entry {
     outcome: Result<Arc<PreparedImage>, Errno>,
 }
 
-/// The cache proper. Host-side bookkeeping, like `FastPathStats`: never
-/// part of the virtual-time model and never captured by snapshots —
-/// reconstructing an entry is always semantically free.
+/// The shared state behind every handle to one cache.
 #[derive(Debug, Default)]
+struct Inner {
+    map: RwLock<HashMap<u64, Vec<Entry>>>,
+    gate_gen: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A handle to one digest-keyed prepare cache. `clone()` shares; see the
+/// module docs for the sharing and invalidation contract.
+#[derive(Debug, Clone, Default)]
 pub struct ExecCache {
-    map: HashMap<u64, Vec<Entry>>,
-    gate_gen: u64,
-    /// Execs served from the cache.
-    pub hits: u64,
-    /// Execs that had to decode (and lint) from scratch.
-    pub misses: u64,
+    inner: Arc<Inner>,
 }
 
 /// FNV-1a over the image bytes — the same digest family the VFS uses for
@@ -89,21 +131,48 @@ impl ExecCache {
     /// piecemeal (images are small and storms reuse few distinct binaries).
     const MAX_IMAGES: usize = 256;
 
+    /// A fresh, private cache (one handle; share it by cloning).
+    #[must_use]
+    pub fn new() -> ExecCache {
+        ExecCache::default()
+    }
+
+    /// Whether `self` and `other` are handles to the same cache.
+    #[must_use]
+    pub fn shares_with(&self, other: &ExecCache) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
     /// The current gate generation (for tests asserting invalidation).
     #[must_use]
     pub fn gate_gen(&self) -> u64 {
-        self.gate_gen
+        self.inner.gate_gen.load(Ordering::Acquire)
+    }
+
+    /// Execs served from the cache (summed across all sharers).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Execs that had to decode (and lint) from scratch (all sharers).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
     }
 
     /// Looks up the prepare outcome for `bytes` under the current gate
-    /// generation, counting a hit on success.
-    pub fn lookup(&mut self, bytes: &[u8]) -> Option<Result<Arc<PreparedImage>, Errno>> {
+    /// generation, counting a hit on success. Takes only the shared read
+    /// lock — the fleet's common case.
+    pub fn lookup(&self, bytes: &[u8]) -> Option<Result<Arc<PreparedImage>, Errno>> {
         let digest = content_digest(bytes);
-        let entries = self.map.get(&digest)?;
-        let entry = entries
+        let gen = self.inner.gate_gen.load(Ordering::Acquire);
+        let map = self.inner.map.read().unwrap();
+        let entry = map
+            .get(&digest)?
             .iter()
-            .find(|e| e.gate_gen == self.gate_gen && e.bytes == bytes)?;
-        self.hits += 1;
+            .find(|e| e.gate_gen == gen && e.bytes == bytes)?;
+        self.inner.hits.fetch_add(1, Ordering::Relaxed);
         Some(match &entry.outcome {
             Ok(p) => Ok(Arc::clone(p)),
             Err(e) => Err(*e),
@@ -111,26 +180,29 @@ impl ExecCache {
     }
 
     /// Memoizes a freshly computed prepare outcome, counting the miss.
-    pub fn insert(&mut self, bytes: &[u8], outcome: Result<Arc<PreparedImage>, Errno>) {
-        self.misses += 1;
-        if self.map.len() >= Self::MAX_IMAGES {
-            self.map.clear();
+    /// Two sharers racing to insert the same bytes is harmless: entries
+    /// under one digest are scanned in order and byte-compared.
+    pub fn insert(&self, bytes: &[u8], outcome: Result<Arc<PreparedImage>, Errno>) {
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let gen = self.inner.gate_gen.load(Ordering::Acquire);
+        let mut map = self.inner.map.write().unwrap();
+        if map.len() >= Self::MAX_IMAGES {
+            map.clear();
         }
-        self.map
-            .entry(content_digest(bytes))
-            .or_default()
-            .push(Entry {
-                bytes: bytes.to_vec(),
-                gate_gen: self.gate_gen,
-                outcome,
-            });
+        map.entry(content_digest(bytes)).or_default().push(Entry {
+            bytes: bytes.to_vec(),
+            gate_gen: gen,
+            outcome,
+        });
     }
 
     /// Called whenever the exec gate changes: bumps the generation so no
-    /// stale verdict can match, and drops the now-unreachable entries.
-    pub fn note_gate_change(&mut self) {
-        self.gate_gen += 1;
-        self.map.clear();
+    /// stale verdict can match — on *any* sharer — and drops the
+    /// now-unreachable entries.
+    pub fn note_gate_change(&self) {
+        let mut map = self.inner.map.write().unwrap();
+        self.inner.gate_gen.fetch_add(1, Ordering::AcqRel);
+        map.clear();
     }
 }
 
@@ -155,7 +227,7 @@ mod tests {
 
     #[test]
     fn hit_returns_the_same_shared_code() {
-        let mut c = ExecCache::default();
+        let c = ExecCache::new();
         let bytes = image_bytes(7);
         assert!(c.lookup(&bytes).is_none());
         c.insert(&bytes, prepare_ok(&bytes));
@@ -163,12 +235,12 @@ mod tests {
         let b = c.lookup(&bytes).unwrap().unwrap();
         assert!(Arc::ptr_eq(&a.code, &b.code));
         assert!(Arc::ptr_eq(&a.fused, &b.fused));
-        assert_eq!((c.hits, c.misses), (2, 1));
+        assert_eq!((c.hits(), c.misses()), (2, 1));
     }
 
     #[test]
     fn negative_verdicts_are_cached_too() {
-        let mut c = ExecCache::default();
+        let c = ExecCache::new();
         c.insert(b"not an image", Err(Errno::ENOEXEC));
         assert!(matches!(
             c.lookup(b"not an image"),
@@ -178,7 +250,7 @@ mod tests {
 
     #[test]
     fn gate_change_invalidates_everything() {
-        let mut c = ExecCache::default();
+        let c = ExecCache::new();
         let bytes = image_bytes(7);
         c.insert(&bytes, prepare_ok(&bytes));
         assert!(c.lookup(&bytes).is_some());
@@ -192,7 +264,7 @@ mod tests {
         // Force a collision by inserting under the same digest bucket: two
         // different byte strings that the cache must never conflate, even
         // if their digests were to collide.
-        let mut c = ExecCache::default();
+        let c = ExecCache::new();
         let a = image_bytes(1);
         let b = image_bytes(2);
         c.insert(&a, prepare_ok(&a));
@@ -200,5 +272,21 @@ mod tests {
         let pa = c.lookup(&a).unwrap().unwrap();
         let pb = c.lookup(&b).unwrap().unwrap();
         assert_ne!(pa.image, pb.image);
+    }
+
+    #[test]
+    fn cloned_handles_share_entries_and_generation() {
+        let warm = ExecCache::new();
+        let tenant = warm.clone();
+        assert!(warm.shares_with(&tenant));
+        let bytes = image_bytes(9);
+        warm.insert(&bytes, prepare_ok(&bytes));
+        let hit = tenant.lookup(&bytes).expect("warmed by the other handle");
+        assert!(hit.is_ok());
+        assert_eq!((warm.hits(), warm.misses()), (1, 1));
+        // A gate change through EITHER handle invalidates both.
+        tenant.note_gate_change();
+        assert!(warm.lookup(&bytes).is_none());
+        assert_eq!(warm.gate_gen(), 1);
     }
 }

@@ -280,28 +280,119 @@ pub struct Kernel {
     pub(crate) next_snapshot_id: u64,
 }
 
-impl Kernel {
-    /// Boots a kernel with the given cost profile and a standard filesystem
-    /// skeleton: `/dev/{null,zero,tty}`, `/bin`, `/tmp`, `/usr`, `/etc`,
-    /// `/home`.
+/// The one way to construct a [`Kernel`]: every knob that used to be a
+/// post-construction field poke or `set_*` call is a builder method, and
+/// [`KernelBuilder::build`] yields a ready, [`Send`] kernel.
+///
+/// ```
+/// use ia_kernel::{KernelBuilder, RunOutcome};
+///
+/// let mut kernel = KernelBuilder::new().build();
+/// let image = ia_vm::assemble(
+///     ".data\nmsg: .asciz \"hi\"\n.text\nmain:\n li r0, 1\n la r1, msg\n li r2, 2\n sys write\n li r0, 0\n sys exit\n",
+/// )
+/// .unwrap();
+/// kernel.spawn_image(&image, &[b"hello"], b"hello");
+/// assert_eq!(kernel.run_to_completion(), RunOutcome::AllExited);
+/// assert_eq!(kernel.console.output_string(), "hi");
+/// ```
+///
+/// Mass instantiation (the fleet case) shares the read-only bases:
+/// `base_vfs` replaces the per-kernel skeleton build with an O(1)
+/// persistent-trie clone of a prototype filesystem, and `exec_cache`
+/// attaches a shared prepare cache so the first tenant to exec an image
+/// decodes it for everyone. Tenant spin-up is then a handful of `Arc`
+/// bumps plus one empty-table `Kernel` literal.
+#[must_use = "a builder does nothing until .build()"]
+pub struct KernelBuilder {
+    profile: MachineProfile,
+    engine: Engine,
+    fast_path: bool,
+    exec_gate: Option<ExecGate>,
+    exec_cache: Option<ExecCache>,
+    base_vfs: Option<Fs>,
+}
+
+impl Default for KernelBuilder {
+    fn default() -> KernelBuilder {
+        KernelBuilder::new()
+    }
+}
+
+impl KernelBuilder {
+    /// Starts from the defaults: the i486/25 cost profile, the fused
+    /// engine, the trap fast path on, no exec gate, a private exec cache,
+    /// and a freshly built skeleton filesystem.
+    pub fn new() -> KernelBuilder {
+        KernelBuilder {
+            profile: crate::clock::I486_25,
+            engine: Engine::default(),
+            fast_path: true,
+            exec_gate: None,
+            exec_cache: None,
+            base_vfs: None,
+        }
+    }
+
+    /// The machine cost profile (default [`I486_25`](crate::I486_25)).
+    pub fn profile(mut self, profile: MachineProfile) -> KernelBuilder {
+        self.profile = profile;
+        self
+    }
+
+    /// Which `run_slice` body the sliced scheduler executes (default
+    /// [`Engine::Fused`]).
+    pub fn engine(mut self, engine: Engine) -> KernelBuilder {
+        self.engine = engine;
+        self
+    }
+
+    /// The trap fast path — flat dispatch tables and the in-loop vDSO
+    /// lane (default on; the conform oracle pins it both ways).
+    pub fn fast_path(mut self, on: bool) -> KernelBuilder {
+        self.fast_path = on;
+        self
+    }
+
+    /// Installs an [`ExecGate`] at build time. Unlike a post-build
+    /// [`Kernel::set_exec_gate`], this does *not* bump the exec cache's
+    /// gate generation — required for the shared-cache warm-up contract
+    /// (see [`ExecCache`]'s module docs): every tenant of a shared cache
+    /// must install the same gate, and the N-th tenant's spin-up must not
+    /// evict what earlier tenants warmed.
+    pub fn exec_gate(
+        mut self,
+        gate: impl Fn(&Image) -> Result<(), Errno> + Send + Sync + 'static,
+    ) -> KernelBuilder {
+        self.exec_gate = Some(ExecGate(Arc::new(gate)));
+        self
+    }
+
+    /// Attaches an existing (typically shared) [`ExecCache`] handle
+    /// instead of a private one.
+    pub fn exec_cache(mut self, cache: ExecCache) -> KernelBuilder {
+        self.exec_cache = Some(cache);
+        self
+    }
+
+    /// Starts from a prototype filesystem instead of building the skeleton
+    /// — an O(1) persistent-trie clone; divergent writes copy paths, the
+    /// common base stays shared. The fleet hands every tenant one
+    /// `Arc<Fs>` and pays one clone per tenant.
+    pub fn base_vfs(mut self, base: &Fs) -> KernelBuilder {
+        self.base_vfs = Some(base.clone());
+        self
+    }
+
+    /// The standard filesystem skeleton: `/dev/{null,zero,tty}`, `/bin`,
+    /// `/tmp`, `/usr`, `/etc`, `/home`. This is what [`build`] uses when
+    /// no `base_vfs` is given; a fleet builds it once, decorates it, and
+    /// passes it to every tenant.
     ///
-    /// ```
-    /// use ia_kernel::{Kernel, RunOutcome, I486_25};
-    ///
-    /// let mut kernel = Kernel::new(I486_25);
-    /// let image = ia_vm::assemble(
-    ///     ".data\nmsg: .asciz \"hi\"\n.text\nmain:\n li r0, 1\n la r1, msg\n li r2, 2\n sys write\n li r0, 0\n sys exit\n",
-    /// )
-    /// .unwrap();
-    /// kernel.spawn_image(&image, &[b"hello"], b"hello");
-    /// assert_eq!(kernel.run_to_completion(), RunOutcome::AllExited);
-    /// assert_eq!(kernel.console.output_string(), "hi");
-    /// ```
+    /// [`build`]: KernelBuilder::build
     #[must_use]
-    pub fn new(profile: MachineProfile) -> Kernel {
-        let clock = Clock::new();
-        let mut fs = Fs::new(clock.now());
-        let now = clock.now();
+    pub fn skeleton_vfs(now: ia_abi::Timeval) -> Fs {
+        let mut fs = Fs::new(now);
         let root = ia_vfs::inode::ROOT_INO;
         let dev = fs
             .mkdir(root, b"dev", 0o755, Cred::ROOT, now)
@@ -322,10 +413,20 @@ impl Kernel {
             )
             .expect("skeleton dir");
         }
+        fs
+    }
+
+    /// Boots the kernel.
+    pub fn build(self) -> Kernel {
+        let clock = Clock::new();
+        let fs = match self.base_vfs {
+            Some(fs) => fs,
+            None => KernelBuilder::skeleton_vfs(clock.now()),
+        };
         Kernel {
             fs,
             clock,
-            profile,
+            profile: self.profile,
             console: Console::new(),
             files: OpenFiles::new(),
             sockets: SocketTable::new(),
@@ -341,17 +442,19 @@ impl Kernel {
             perf: PerfCounters::default(),
             total_syscalls: 0,
             total_insns: 0,
-            exec_gate: None,
+            exec_gate: self.exec_gate,
             obs: ia_obs::Obs::new(),
-            fast_path: true,
+            fast_path: self.fast_path,
             fast_stats: FastPathStats::default(),
-            engine: Engine::default(),
+            engine: self.engine,
             fusion_stats: FusionStats::default(),
-            exec_cache: ExecCache::default(),
+            exec_cache: self.exec_cache.unwrap_or_default(),
             next_snapshot_id: 1,
         }
     }
+}
 
+impl Kernel {
     /// Installs an [`ExecGate`]: every subsequent [`Kernel::spawn`] and
     /// `execve(2)` consults it and fails with the gate's errno if it
     /// objects. Replaces any previous gate.
@@ -395,9 +498,17 @@ impl Kernel {
     }
 
     /// `(hits, misses)` of the exec image cache, for reports and tests.
+    /// When the cache is shared, these are fleet-wide totals.
     #[must_use]
     pub fn exec_cache_stats(&self) -> (u64, u64) {
-        (self.exec_cache.hits, self.exec_cache.misses)
+        (self.exec_cache.hits(), self.exec_cache.misses())
+    }
+
+    /// A handle to this kernel's exec cache — clone it into another
+    /// builder's [`KernelBuilder::exec_cache`] to share.
+    #[must_use]
+    pub fn exec_cache_handle(&self) -> ExecCache {
+        self.exec_cache.clone()
     }
 
     // ---- host-side conveniences (the "operator", not the interface) ----
@@ -748,11 +859,10 @@ pub fn push_args(vm: &mut VmState, mem: &mut AddressSpace, argv: &[&[u8]]) -> Re
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::clock::I486_25;
 
     #[test]
     fn boot_builds_skeleton() {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         for p in [
             &b"/dev/null"[..],
             b"/dev/zero",
@@ -772,7 +882,7 @@ mod tests {
 
     #[test]
     fn write_read_file_round_trip() {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         k.write_file(b"/etc/motd", b"welcome\n").unwrap();
         assert_eq!(k.read_file(b"/etc/motd").unwrap(), b"welcome\n");
         // Overwrite truncates.
@@ -782,7 +892,7 @@ mod tests {
 
     #[test]
     fn mkdir_p_is_idempotent() {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let a = k.mkdir_p(b"/a/b/c").unwrap();
         let b = k.mkdir_p(b"/a/b/c").unwrap();
         assert_eq!(a, b);
@@ -790,7 +900,7 @@ mod tests {
 
     #[test]
     fn spawn_image_sets_up_stdio_and_args() {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let img = ia_vm::assemble("main: halt\n").unwrap();
         let pid = k.spawn_image(&img, &[b"prog", b"arg1"], b"prog");
         let p = k.proc(pid).unwrap();
@@ -807,7 +917,7 @@ mod tests {
 
     #[test]
     fn spawn_from_fs_requires_valid_image() {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         k.write_file(b"/bin/bad", b"not an image").unwrap();
         assert_eq!(k.spawn(b"/bin/bad", &[b"bad"]), Err(Errno::ENOEXEC));
         let img = ia_vm::assemble("main: halt\n").unwrap();
@@ -817,13 +927,13 @@ mod tests {
 
     #[test]
     fn post_signal_to_missing_process_is_esrch() {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         assert_eq!(k.post_signal(99, Signal::SIGTERM), Err(Errno::ESRCH));
     }
 
     #[test]
     fn terminate_reparents_and_notifies() {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let img = ia_vm::assemble("main: halt\n").unwrap();
         let parent = k.spawn_image(&img, &[b"p"], b"p");
         let child = k.spawn_image(&img, &[b"c"], b"c");

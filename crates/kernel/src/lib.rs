@@ -33,8 +33,8 @@ pub use files::{FdEntry, FdTable, FileKind, OpenFile, OpenFiles, SockId, FD_TABL
 pub use ia_obs::{Event as ObsEvent, Obs, Outcome as ObsOutcome, Stamped};
 pub use ia_vm::machine::{BatchCall, FastMode};
 pub use kernel::{
-    push_args, Engine, ExecGate, FastPathStats, FusionStats, Kernel, PerfCounters, SysOutcome,
-    WakeEvent,
+    push_args, Engine, ExecGate, FastPathStats, FusionStats, Kernel, KernelBuilder, PerfCounters,
+    SysOutcome, WakeEvent,
 };
 pub use process::{PendingTrap, Pid, ProcState, Process, SigAction, SigState, Usage, WaitChannel};
 pub use sched::{

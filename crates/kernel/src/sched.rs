@@ -1087,10 +1087,10 @@ impl Kernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::clock::I486_25;
+    use crate::KernelBuilder;
 
     fn kernel_with_idle_proc() -> (Kernel, Pid) {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let img = ia_vm::assemble("main: halt\n").unwrap();
         let pid = k.spawn_image(&img, &[b"idle"], b"idle");
         (k, pid)
@@ -1176,7 +1176,7 @@ loop:   addi r1, r1, -1
 ";
         let img = ia_vm::assemble(src).unwrap();
         let run_one = |legacy: bool| {
-            let mut k = Kernel::new(I486_25);
+            let mut k = KernelBuilder::new().build();
             k.spawn_image(&img, &[b"spin"], b"spin");
             let outcome = if legacy {
                 k.run_to_completion_legacy()

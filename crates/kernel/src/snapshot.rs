@@ -166,7 +166,14 @@ impl Kernel {
     /// (disabled) flight recorder — observers are per-kernel.
     pub fn branch(&mut self) -> Kernel {
         let snap = self.snapshot();
-        let mut child = Kernel::new(self.profile);
+        // The branch shares the parent's exec cache: prepared images are
+        // host-side bookkeeping, identical under the (shared) gate.
+        let mut child = crate::KernelBuilder::new()
+            .profile(self.profile)
+            .fast_path(self.fast_path)
+            .engine(self.engine)
+            .exec_cache(self.exec_cache.clone())
+            .build();
         child.exec_gate = self.exec_gate.clone();
         child.next_snapshot_id = self.next_snapshot_id;
         child.restore(&snap);
@@ -325,14 +332,14 @@ impl Kernel {
 
 #[cfg(test)]
 mod tests {
-    use crate::clock::I486_25;
-    use crate::kernel::Kernel;
+
+    use crate::kernel::KernelBuilder;
     use crate::sched::RunOutcome;
     use ia_vm::assemble;
 
     #[test]
     fn fresh_kernel_is_consistent_and_quiescent() {
-        let k = Kernel::new(I486_25);
+        let k = KernelBuilder::new().build();
         assert!(k.check_invariants().is_empty());
         assert!(k.check_quiescent().is_empty());
     }
@@ -363,7 +370,7 @@ mod tests {
                 li r0, 9
                 sys exit
         "#;
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let img = assemble(src).unwrap();
         k.spawn_image(&img, &[b"t"], b"t");
         let mut router = crate::sched::KernelRouter;
@@ -412,7 +419,7 @@ mod tests {
                 li r0, 0
                 sys exit
         "#;
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let img = assemble(src).unwrap();
         k.spawn_image(&img, &[b"t"], b"t");
 
@@ -437,7 +444,7 @@ mod tests {
 
     #[test]
     fn snapshot_ids_stay_unique_across_restore() {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         let s1 = k.snapshot();
         k.restore(&s1);
         let s2 = k.snapshot();
@@ -466,7 +473,7 @@ mod tests {
                 li r0, 7
                 sys exit
         "#;
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         k.mkdir_p(b"/tmp").unwrap();
         let img = assemble(src).unwrap();
         let pid = k.spawn_image(&img, &[b"t"], b"t");
@@ -482,7 +489,7 @@ mod tests {
 
         // Same program, fresh kernel: identical client view, and the digest
         // actually covers the file written above.
-        let mut k2 = Kernel::new(I486_25);
+        let mut k2 = KernelBuilder::new().build();
         k2.mkdir_p(b"/tmp").unwrap();
         k2.spawn_image(&img, &[b"t"], b"t");
         assert_eq!(k2.run_to_completion(), RunOutcome::AllExited);

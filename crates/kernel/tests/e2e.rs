@@ -2,11 +2,11 @@
 //! the identity router (Figure 1-1 — no interposition).
 
 use ia_abi::signal::{wait_status_exited, WaitStatus};
-use ia_kernel::{Kernel, RunOutcome, I486_25};
+use ia_kernel::{Kernel, KernelBuilder, RunOutcome};
 use ia_vm::assemble;
 
 fn boot() -> Kernel {
-    Kernel::new(I486_25)
+    KernelBuilder::new().build()
 }
 
 fn run_program(k: &mut Kernel, src: &str) -> RunOutcome {

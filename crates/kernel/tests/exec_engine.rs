@@ -7,11 +7,11 @@ use std::sync::Arc;
 
 use ia_abi::signal::WaitStatus;
 use ia_abi::Errno;
-use ia_kernel::{Engine, Kernel, RunOutcome, I486_25};
+use ia_kernel::{Engine, Kernel, KernelBuilder, RunOutcome};
 use ia_vm::assemble;
 
 fn boot() -> Kernel {
-    Kernel::new(I486_25)
+    KernelBuilder::new().build()
 }
 
 #[test]

@@ -2,14 +2,14 @@
 //! terminal outcomes.
 
 use ia_abi::signal::Signal;
-use ia_kernel::{run, Kernel, KernelRouter, ProcState, RunLimits, RunOutcome, I486_25};
+use ia_kernel::{run, KernelBuilder, KernelRouter, ProcState, RunLimits, RunOutcome};
 
 #[test]
 fn sigstop_stops_and_sigcont_resumes() {
     // The target spins; the controller stops it, verifies, continues it,
     // then kills it.
     let spin = ia_vm::assemble("main: jmp main\n").unwrap();
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let target = k.spawn_image(&spin, &[b"spin"], b"spin");
 
     // Drive manually: run a bounded slice, then stop the target.
@@ -34,7 +34,7 @@ fn sigstop_stops_and_sigcont_resumes() {
 #[test]
 fn sigkill_kills_even_a_stopped_process() {
     let spin = ia_vm::assemble("main: jmp main\n").unwrap();
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let target = k.spawn_image(&spin, &[b"spin"], b"spin");
     k.post_signal(target, Signal::SIGSTOP).unwrap();
     let _ = run(&mut k, &mut KernelRouter, RunLimits { max_steps: 500 });
@@ -64,7 +64,7 @@ fn scheduler_is_fair_between_cpu_hogs() {
         "#,
     )
     .unwrap();
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let a = k.spawn_image(&prog, &[b"a"], b"a");
     let b = k.spawn_image(&prog, &[b"b"], b"b");
     assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
@@ -75,7 +75,7 @@ fn scheduler_is_fair_between_cpu_hogs() {
 #[test]
 fn run_limits_cap_runaway_programs() {
     let spin = ia_vm::assemble("main: jmp main\n").unwrap();
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     k.spawn_image(&spin, &[b"s"], b"s");
     let before = std::time::Instant::now();
     let out = run(&mut k, &mut KernelRouter, RunLimits { max_steps: 10_000 });
@@ -99,7 +99,7 @@ fn virtual_clock_equals_instructions_plus_syscalls() {
         "#,
     )
     .unwrap();
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     k.spawn_image(&prog, &[b"c"], b"c");
     assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
     let expected =

@@ -3,10 +3,10 @@
 //! don't isolate.
 
 use ia_abi::{Errno, OpenFlags, Stat, Sysno};
-use ia_kernel::{Kernel, Pid, SysOutcome, I486_25};
+use ia_kernel::{Kernel, KernelBuilder, Pid, SysOutcome};
 
 fn boot_with_proc() -> (Kernel, Pid) {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let img = ia_vm::assemble("main: halt\n").unwrap();
     let pid = k.spawn_image(&img, &[b"t"], b"t");
     (k, pid)
@@ -197,7 +197,7 @@ fn permissions_enforced_for_non_root() {
 
 #[test]
 fn setuid_exec_raises_effective_uid() {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     // A setuid-root binary that reports its euid as its exit status.
     let img = ia_vm::assemble("main: sys geteuid\n sys exit\n").unwrap();
     let ino = k.install_image(b"/bin/su-probe", &img).unwrap();
@@ -340,7 +340,7 @@ fn pipe_fifo_and_socketpair_fstat_kinds() {
 
 #[test]
 fn named_fifo_carries_data_between_processes() {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let writer = ia_vm::assemble(
         r#"
         .data
@@ -405,7 +405,7 @@ fn named_fifo_carries_data_between_processes() {
 
 #[test]
 fn socket_rendezvous_through_the_name_space() {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let server = ia_vm::assemble(
         r#"
         .data
@@ -480,7 +480,7 @@ fn socket_rendezvous_through_the_name_space() {
 
 #[test]
 fn itimer_delivers_sigalrm() {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     // Program: install SIGALRM handler (writes "A" then exits), arm a
     // 50 ms timer, spin forever.
     let src = r#"
@@ -579,7 +579,7 @@ fn sigsuspend_waits_for_a_signal() {
             li r0, 0
             sys exit
     "#;
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let img = ia_vm::assemble(src).unwrap();
     let pid = k.spawn_image(&img, &[b"s"], b"s");
     assert_eq!(k.run_to_completion(), ia_kernel::RunOutcome::AllExited);
@@ -591,7 +591,7 @@ fn sigsuspend_waits_for_a_signal() {
 
 #[test]
 fn exec_closes_cloexec_descriptors() {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     // Target: tries to fstat fd 3 and exits with the errno (EBADF = 9 if
     // the descriptor was closed by exec).
     let target = ia_vm::assemble(
@@ -688,7 +688,7 @@ fn unknown_syscall_number_is_einval() {
 
 #[test]
 fn getrusage_reflects_activity() {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let src = r#"
         .data
         ru: .space 80
@@ -777,7 +777,7 @@ fn select_timeout_expires_on_the_virtual_clock() {
             ; returns 0 ready
             sys exit
     "#;
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let img = ia_vm::assemble(src).unwrap();
     let pid = k.spawn_image(&img, &[b"s"], b"s");
     let before = k.clock.elapsed_ns();

@@ -228,7 +228,7 @@ pub struct Obs {
 }
 
 impl Obs {
-    /// A disabled recorder (what `Kernel::new` installs).
+    /// A disabled recorder (what a freshly built kernel installs).
     #[must_use]
     pub fn new() -> Obs {
         Obs::default()

@@ -124,12 +124,12 @@ pub fn setup(k: &mut Kernel) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ia_kernel::{RunOutcome, I486_25};
+    use ia_kernel::{KernelBuilder, RunOutcome};
 
     #[test]
     fn both_images_run_clean_without_agents() {
         for img in [exfil_image(), benign_image()] {
-            let mut k = Kernel::new(I486_25);
+            let mut k = KernelBuilder::new().build();
             setup(&mut k);
             let pid = k.spawn_image(&img, &[b"flow"], b"flow");
             assert_eq!(k.run_to_completion(), RunOutcome::AllExited);

@@ -245,12 +245,12 @@ pub fn make_image() -> Image {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ia_kernel::{RunOutcome, I486_25};
+    use ia_kernel::{KernelBuilder, RunOutcome};
 
     #[test]
     fn builds_all_objects_with_64_fork_exec_pairs() {
         assert_eq!(fork_exec_pairs(), 64);
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         setup(&mut k);
         spawn(&mut k);
         assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
@@ -265,7 +265,7 @@ mod tests {
 
     #[test]
     fn syscall_count_near_paper() {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         setup(&mut k);
         spawn(&mut k);
         assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
@@ -278,7 +278,7 @@ mod tests {
 
     #[test]
     fn base_runtime_near_paper_on_i486() {
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         setup(&mut k);
         spawn(&mut k);
         assert_eq!(k.run_to_completion(), RunOutcome::AllExited);

@@ -192,12 +192,12 @@ pub fn loop_image(call: MicroCall, n: u64) -> Image {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ia_kernel::{RunOutcome, I486_25};
+    use ia_kernel::{KernelBuilder, RunOutcome, I486_25};
 
     #[test]
     fn every_micro_loop_completes() {
         for call in MicroCall::ALL.into_iter().chain([MicroCall::Write1k]) {
-            let mut k = Kernel::new(I486_25);
+            let mut k = KernelBuilder::new().build();
             setup(&mut k);
             k.spawn_image(&loop_image(call, 5), &[b"micro"], b"micro");
             assert_eq!(
@@ -214,7 +214,7 @@ mod tests {
         // 100 getpid calls: virtual time must include exactly 100 × 25 µs
         // of syscall cost on the i486 profile.
         let n = 100;
-        let mut k = Kernel::new(I486_25);
+        let mut k = KernelBuilder::new().build();
         setup(&mut k);
         k.spawn_image(&loop_image(MicroCall::Getpid, n), &[b"m"], b"m");
         let t0 = k.clock.elapsed_ns();

@@ -146,7 +146,7 @@ pub fn setup(k: &mut Kernel) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ia_kernel::{RunOutcome, I486_25};
+    use ia_kernel::{KernelBuilder, RunOutcome};
 
     #[test]
     fn same_seed_same_program() {
@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn random_programs_run_to_completion() {
         for seed in 0..10 {
-            let mut k = Kernel::new(I486_25);
+            let mut k = KernelBuilder::new().build();
             setup(&mut k);
             k.spawn_image(&random_program(seed, 40), &[b"mix"], b"mix");
             assert_eq!(k.run_to_completion(), RunOutcome::AllExited, "seed {seed}");

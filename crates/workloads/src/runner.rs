@@ -3,7 +3,7 @@
 
 use ia_agents::{DfsTraceAgent, ProfileAgent, TimeSymbolic, Timex, TraceAgent, UnionAgent};
 use ia_interpose::InterposedRouter;
-use ia_kernel::{Kernel, MachineProfile, Observable, RunOutcome};
+use ia_kernel::{KernelBuilder, MachineProfile, Observable, RunOutcome};
 
 /// Which workload to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,7 +129,7 @@ pub fn run_workload_observed(
     sched: SchedKind,
     recorder_capacity: Option<usize>,
 ) -> (RunStats, Observable) {
-    let mut k = Kernel::new(profile);
+    let mut k = KernelBuilder::new().profile(profile).build();
     if let Some(cap) = recorder_capacity {
         k.obs.enable(cap);
     }

@@ -158,11 +158,11 @@ pub fn image() -> Image {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ia_kernel::{RunOutcome, VAX_6250};
+    use ia_kernel::{KernelBuilder, RunOutcome, VAX_6250};
 
     #[test]
     fn syscall_count_matches_construction() {
-        let mut k = Kernel::new(VAX_6250);
+        let mut k = KernelBuilder::new().profile(VAX_6250).build();
         setup(&mut k);
         k.spawn_image(&image(), &[b"scribe"], b"scribe");
         let before = k.total_syscalls;
@@ -178,7 +178,7 @@ mod tests {
 
     #[test]
     fn base_runtime_near_paper_on_vax() {
-        let mut k = Kernel::new(VAX_6250);
+        let mut k = KernelBuilder::new().profile(VAX_6250).build();
         setup(&mut k);
         k.spawn_image(&image(), &[b"scribe"], b"scribe");
         assert_eq!(k.run_to_completion(), RunOutcome::AllExited);
@@ -191,7 +191,7 @@ mod tests {
 
     #[test]
     fn output_file_written() {
-        let mut k = Kernel::new(VAX_6250);
+        let mut k = KernelBuilder::new().profile(VAX_6250).build();
         setup(&mut k);
         k.spawn_image(&image(), &[b"scribe"], b"scribe");
         k.run_to_completion();

@@ -19,7 +19,7 @@ use interposition_agents::agents::{FlowGuardAgent, FlowMode, FlowPolicy};
 use interposition_agents::analyze::analyze_image;
 use interposition_agents::analyze::flow::{analyze_flow, FlowSpec};
 use interposition_agents::interpose::{spawn_with_agent, Agent, InterposedRouter};
-use interposition_agents::kernel::{Kernel, RunOutcome, I486_25};
+use interposition_agents::kernel::{KernelBuilder, RunOutcome};
 use interposition_agents::workloads::exfil;
 
 fn main() {
@@ -41,7 +41,7 @@ fn main() {
     let img = exfil::exfil_image();
     let fa = analyze_flow(&img, &analyze_image(&img), &spec);
     let (agent, handle) = FlowGuardAgent::new(FlowPolicy::from_flow(&fa, FlowMode::Enforce));
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     exfil::setup(&mut k);
     let mut router = InterposedRouter::new();
     spawn_with_agent(&mut k, &mut router, agent, &[], &img, &[b"exfil"], b"exfil");
@@ -64,7 +64,7 @@ fn main() {
         "\nbenign twin policy interests empty (zero per-call cost): {}",
         agent.interests().is_empty()
     );
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     exfil::setup(&mut k);
     let mut router = InterposedRouter::new();
     spawn_with_agent(&mut k, &mut router, agent, &[], &img, &[b"ok"], b"ok");

@@ -21,7 +21,7 @@ use interposition_agents::agents::Timex;
 use interposition_agents::interpose::{
     restore_world, snapshot_world, wrap_process, InterposedRouter,
 };
-use interposition_agents::kernel::{run, Kernel, RunLimits, RunOutcome, I486_25};
+use interposition_agents::kernel::{run, Kernel, KernelBuilder, RunLimits, RunOutcome};
 use interposition_agents::vm::assemble;
 
 /// Appends a line to /log/out, prints one byte to the console, repeats.
@@ -56,7 +56,7 @@ const WORKER: &str = r#"
 "#;
 
 fn fresh_world() -> (Kernel, InterposedRouter, u32) {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     k.mkdir_p(b"/log").unwrap();
     let img = assemble(WORKER).unwrap();
     let pid = k.spawn_image(&img, &[b"worker"], b"worker");

@@ -13,7 +13,7 @@
 
 use interposition_agents::agents::OsCompatAgent;
 use interposition_agents::interpose::{spawn_with_agent, InterposedRouter};
-use interposition_agents::kernel::{Kernel, I486_25};
+use interposition_agents::kernel::KernelBuilder;
 use interposition_agents::vm::assemble;
 
 const LEGACY: &str = r#"
@@ -65,7 +65,7 @@ const NATIVE: &str = r#"
 "#;
 
 fn main() {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let mut router = InterposedRouter::new();
 
     // Native binary: no agent at all.

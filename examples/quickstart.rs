@@ -8,7 +8,7 @@
 
 use interposition_agents::agents::TraceAgent;
 use interposition_agents::interpose::{spawn_with_agent, InterposedRouter};
-use interposition_agents::kernel::{Kernel, I486_25};
+use interposition_agents::kernel::KernelBuilder;
 use interposition_agents::vm::assemble;
 
 const PROGRAM: &str = r#"
@@ -53,7 +53,7 @@ fn main() {
 
     // ---- Figure 1-1: the kernel provides the system interface ----------
     println!("=== run 1: no interposition (Figure 1-1) ===");
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     k.spawn_image(&image, &[b"greet"], b"greet");
     let outcome = k.run_to_completion();
     println!("outcome:  {outcome:?}");
@@ -62,7 +62,7 @@ fn main() {
 
     // ---- Figure 1-2: "Your code here!" ---------------------------------
     println!("\n=== run 2: same binary under the trace agent (Figure 1-2) ===");
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let mut router = InterposedRouter::new();
     let (agent, trace) = TraceAgent::new();
     spawn_with_agent(

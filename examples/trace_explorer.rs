@@ -8,11 +8,11 @@
 
 use interposition_agents::agents::{DfsTraceAgent, ProfileAgent, TraceAgent};
 use interposition_agents::interpose::{wrap_process, InterposedRouter};
-use interposition_agents::kernel::{Kernel, I486_25};
+use interposition_agents::kernel::KernelBuilder;
 use interposition_agents::workloads::make8;
 
 fn main() {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     make8::setup(&mut k);
     let pid = make8::spawn(&mut k);
 

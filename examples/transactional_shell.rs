@@ -12,7 +12,7 @@
 
 use interposition_agents::agents::TxnAgent;
 use interposition_agents::interpose::{spawn_with_agent, wrap_process, InterposedRouter};
-use interposition_agents::kernel::{Kernel, I486_25};
+use interposition_agents::kernel::{Kernel, KernelBuilder};
 use interposition_agents::vm::assemble;
 
 const SESSION: &str = r#"
@@ -41,7 +41,7 @@ const SESSION: &str = r#"
 "#;
 
 fn fresh_world() -> Kernel {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     k.mkdir_p(b"/var").unwrap();
     k.write_file(b"/etc/app.conf", b"retries = 1").unwrap();
     k.write_file(b"/var/app.log", b"old log data").unwrap();

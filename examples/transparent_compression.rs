@@ -9,7 +9,7 @@
 use interposition_agents::agents::zip::rle_decompress;
 use interposition_agents::agents::{crypt::apply_keystream, CryptAgent, ZipAgent};
 use interposition_agents::interpose::{wrap_process, InterposedRouter};
-use interposition_agents::kernel::{Kernel, I486_25};
+use interposition_agents::kernel::KernelBuilder;
 use interposition_agents::vm::assemble;
 
 const CLIENT: &str = r#"
@@ -59,7 +59,7 @@ const CLIENT: &str = r#"
 "#;
 
 fn main() {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     k.mkdir_p(b"/archive").unwrap();
     let image = assemble(CLIENT).expect("assembles");
     let pid = k.spawn_image(&image, &[b"client"], b"client");

@@ -10,7 +10,7 @@
 
 use interposition_agents::agents::UnionAgent;
 use interposition_agents::interpose::{spawn_with_agent, InterposedRouter};
-use interposition_agents::kernel::{Kernel, I486_25};
+use interposition_agents::kernel::KernelBuilder;
 use interposition_agents::vm::assemble;
 
 /// Lists `/build` and then builds "prog" by reading the source (which
@@ -87,7 +87,7 @@ const MAKE_LIKE: &str = r#"
 "#;
 
 fn main() {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     // Distinct source and object trees.
     k.mkdir_p(b"/src").unwrap();
     k.mkdir_p(b"/obj").unwrap();

@@ -16,7 +16,7 @@
 use interposition_agents::abi::Sysno;
 use interposition_agents::agents::{SandboxAgent, SandboxPolicy};
 use interposition_agents::interpose::{spawn_with_agent, InterestSet, InterposedRouter};
-use interposition_agents::kernel::{Kernel, I486_25};
+use interposition_agents::kernel::KernelBuilder;
 use interposition_agents::vm::assemble;
 
 const MALWARE: &str = r#"
@@ -89,7 +89,7 @@ fn main() {
             && !footprint.set.contains(Sysno::Kill as u32)
     );
 
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     k.write_file(b"/etc/master.passwd", b"root:secret-hash")
         .unwrap();
     k.write_file(b"/etc/rc", b"boot script").unwrap();

@@ -13,6 +13,10 @@ cargo clippy --workspace --all-targets --release -- -D warnings
 # baseline. Runs before --json below rewrites the file.
 cargo run --release -p ia-bench --bin reproduce -- --smoke
 cargo run --release -p ia-bench --bin reproduce -- --json
+# Fleet smoke gate: 256 tenants on a work-stealing pool — solo-vs-fleet
+# determinism spot checks plus a self-calibrating scaling-ratio floor
+# (parallel throughput >= 0.7 x linear over the 1-thread run).
+cargo run --release -p ia-fleet -- --smoke
 # Fusion-hit histogram: which superinstruction families representative
 # workloads actually execute, uploaded as a CI artifact.
 cargo run --release -p ia-bench --bin ia-stats -- --fusion > target/fusion-hist.json

@@ -37,6 +37,12 @@ cargo run --release -p ia-conform -- --seeds 200
 # vs legacy stack per leaf. Failures land as tree-case .conf repros.
 cargo run --release -p ia-conform -- --tree --depth 2 --seeds 50
 
+# Fleet conformance sweep: each seed's program runs as one tenant in a
+# multi-threaded work-stealing fleet (tiny quanta, shared base VFS and
+# exec cache); every tenant's complete Observable must match its solo
+# serial-oracle run bit for bit.
+cargo run --release -p ia-conform -- --fleet --seeds 64
+
 # Time-travel gate: flight recordings must replay bit-identically from
 # any interior snapshot window.
 cargo run --release -p ia-conform --bin ia-replay -- --selftest

@@ -20,7 +20,7 @@ use interposition_agents::agents::{
     UnionAgent, ZipAgent,
 };
 use interposition_agents::interpose::{wrap_process, InterposedRouter};
-use interposition_agents::kernel::{Kernel, I486_25, VAX_6250};
+use interposition_agents::kernel::{Kernel, KernelBuilder, I486_25, VAX_6250};
 use interposition_agents::vm::Image;
 
 fn usage() -> ExitCode {
@@ -194,7 +194,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut k = Kernel::new(profile);
+    let mut k = KernelBuilder::new().profile(profile).build();
     for (host, sim) in puts {
         match std::fs::read(&host) {
             Ok(data) => {

@@ -12,7 +12,7 @@
 use ia_conform::{check_client_equiv, run_config, sample, ConfOp, OpSet, Program, SchedKind};
 use interposition_agents::agents::{CryptAgent, UnionAgent, ZipAgent};
 use interposition_agents::interpose::{wrap_process, InterposedRouter};
-use interposition_agents::kernel::{Kernel, RunOutcome, I486_25};
+use interposition_agents::kernel::{KernelBuilder, RunOutcome};
 use interposition_agents::vm::ProgramBuilder;
 
 const KEY: &[u8] = b"k3y-material";
@@ -130,7 +130,7 @@ fn union_agent_serves_reads_through_the_virtual_prefix() {
     b.sys(interposition_agents::abi::Sysno::Exit);
     let img = b.build();
 
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     k.mkdir_p(b"/tmp/alt").unwrap();
     k.mkdir_p(b"/tmp/mix").unwrap();
     k.write_file(b"/tmp/alt/hello", b"from the lower branch")

@@ -6,7 +6,7 @@ use interposition_agents::abi::sysno::ALL_SYSCALLS;
 use interposition_agents::abi::{RawArgs, Signal, Sysno};
 use interposition_agents::agents::TimeSymbolic;
 use interposition_agents::interpose::{Agent, InterestSet, InterposedRouter, SysCtx};
-use interposition_agents::kernel::{Kernel, SysOutcome, SyscallRouter, I486_25};
+use interposition_agents::kernel::{KernelBuilder, SysOutcome, SyscallRouter};
 
 /// Plausible-but-harmless raw arguments for exercising a call: valid
 /// pointers into scratch data space, fd 1 (the console).
@@ -53,7 +53,7 @@ fn every_syscall_passes_through_agents_unchanged() {
             continue;
         }
         let run = |agent: bool| -> SysOutcome {
-            let mut k = Kernel::new(I486_25);
+            let mut k = KernelBuilder::new().build();
             let pid = k.spawn_image(&img, &[b"probe"], b"probe");
             // A valid path string at a known address.
             k.proc_mut(pid)
@@ -75,7 +75,7 @@ fn every_syscall_passes_through_agents_unchanged() {
 
 /// An agent that records every signal headed for the application.
 struct SignalLog {
-    seen: std::rc::Rc<std::cell::RefCell<Vec<Signal>>>,
+    seen: std::sync::Arc<std::sync::Mutex<Vec<Signal>>>,
 }
 
 impl Agent for SignalLog {
@@ -93,7 +93,7 @@ impl Agent for SignalLog {
         _ctx: &mut SysCtx<'_>,
         sig: Signal,
     ) -> interposition_agents::interpose::SignalVerdict {
-        self.seen.borrow_mut().push(sig);
+        self.seen.lock().unwrap().push(sig);
         interposition_agents::interpose::SignalVerdict::Deliver
     }
     fn clone_box(&self) -> Box<dyn Agent> {
@@ -149,9 +149,9 @@ fn signals_flow_through_the_agent_chain() {
     b.sys(Sysno::Exit);
     let img = b.build();
 
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let pid = k.spawn_image(&img, &[b"sig"], b"sig");
-    let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let seen = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
     let mut router = InterposedRouter::new();
     router.push_agent(pid, Box::new(SignalLog { seen: seen.clone() }));
     k.run_with(&mut router);
@@ -162,7 +162,7 @@ fn signals_flow_through_the_agent_chain() {
         "all three handlers ran"
     );
     assert_eq!(
-        *seen.borrow(),
+        *seen.lock().unwrap(),
         vec![Signal::SIGUSR1, Signal::SIGUSR2, Signal::SIGTERM],
         "the agent observed each signal on its way up"
     );

@@ -9,7 +9,7 @@
 use ia_conform::FaultInjector;
 use interposition_agents::abi::{Errno, RawArgs, Sysno};
 use interposition_agents::interpose::{Agent, InterestSet, InterposedRouter, SysCtx};
-use interposition_agents::kernel::{Kernel, RunOutcome, SysOutcome, I486_25};
+use interposition_agents::kernel::{KernelBuilder, RunOutcome, SysOutcome};
 use interposition_agents::vm::assemble;
 
 #[test]
@@ -48,7 +48,7 @@ fn client_observes_injected_read_errors_and_recovers() {
             mov r0, r13
             sys exit
     "#;
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     k.write_file(b"/tmp/data", b"some file data here").unwrap();
     let img = assemble(src).unwrap();
     let pid = k.spawn_image(&img, &[b"r"], b"r");
@@ -61,7 +61,7 @@ fn client_observes_injected_read_errors_and_recovers() {
         k.exit_status(pid),
         Some(ia_abi::signal::wait_status_exited(3))
     );
-    assert_eq!(injected.get(), 3);
+    assert_eq!(injected.load(std::sync::atomic::Ordering::Relaxed), 3);
 }
 
 #[test]
@@ -87,7 +87,7 @@ fn injected_open_failures_do_not_leak_descriptors() {
             li r0, 0
             sys exit
     "#;
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     k.write_file(b"/tmp/data", b"x").unwrap();
     let img = assemble(src).unwrap();
     let pid = k.spawn_image(&img, &[b"o"], b"o");
@@ -95,7 +95,7 @@ fn injected_open_failures_do_not_leak_descriptors() {
     let mut router = InterposedRouter::new();
     router.push_agent(pid, agent);
     assert_eq!(k.run_with(&mut router), RunOutcome::AllExited);
-    assert_eq!(injected.get(), 10);
+    assert_eq!(injected.load(std::sync::atomic::Ordering::Relaxed), 10);
     // After exit every open file is released: only the shared tty remains
     // from other bookkeeping (none here since the process exited).
     assert_eq!(k.files.live(), 0, "no leaked open files");
@@ -138,7 +138,7 @@ fn injecting_on_exit_cannot_keep_a_process_alive() {
             sys exit
             jmp again
     "#;
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let img = assemble(src).unwrap();
     let pid = k.spawn_image(&img, &[b"e"], b"e");
     let mut router = InterposedRouter::new();

@@ -3,7 +3,7 @@
 
 use interposition_agents::agents::{Timex, TraceAgent, UnionAgent};
 use interposition_agents::interpose::{spawn_with_agent, InterposedRouter};
-use interposition_agents::kernel::{Kernel, RunOutcome, I486_25};
+use interposition_agents::kernel::{KernelBuilder, RunOutcome};
 use interposition_agents::vm::assemble;
 
 const HELLO: &str = r#"
@@ -23,7 +23,7 @@ const HELLO: &str = r#"
 /// several applications, no agents.
 #[test]
 fn figure_1_1_kernel_provides_all_instances() {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let img = assemble(HELLO).unwrap();
     for name in [&b"csh"[..], b"emacs", b"mail", b"make"] {
         k.spawn_image(&img, &[name], name);
@@ -36,7 +36,7 @@ fn figure_1_1_kernel_provides_all_instances() {
 /// the kernel.
 #[test]
 fn figure_1_2_user_code_at_the_interface() {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let img = assemble(HELLO).unwrap();
     let mut router = InterposedRouter::new();
     let (agent, handle) = TraceAgent::with_log(b"/tmp/t.log");
@@ -58,7 +58,7 @@ fn figure_1_2_user_code_at_the_interface() {
 /// run bare, others under (different) agents, all on one kernel.
 #[test]
 fn figure_1_3_kernel_and_agents_provide_instances() {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let img = assemble(HELLO).unwrap();
     let mut router = InterposedRouter::new();
     // csh and emacs talk straight to the kernel.
@@ -117,7 +117,7 @@ fn figure_1_4_agents_share_state_across_instances() {
             li r0, 0
             sys exit
     "#;
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     k.mkdir_p(b"/a").unwrap();
     k.mkdir_p(b"/b").unwrap();
     k.write_file(b"/b/shared.txt", b"one-view ").unwrap();

@@ -7,7 +7,7 @@ use interposition_agents::agents::{FlowGuardAgent, FlowMode, FlowPolicy};
 use interposition_agents::analyze::analyze_image;
 use interposition_agents::analyze::flow::{analyze_flow, FlowSpec};
 use interposition_agents::interpose::{spawn_with_agent, Agent, InterposedRouter};
-use interposition_agents::kernel::{Kernel, RunOutcome, I486_25};
+use interposition_agents::kernel::{KernelBuilder, RunOutcome};
 use interposition_agents::workloads::exfil;
 
 fn spec() -> FlowSpec {
@@ -53,7 +53,7 @@ fn flowguard_blocks_the_exfiltrator_at_the_socket() {
     let policy = FlowPolicy::from_flow(&fa, FlowMode::Enforce);
     assert!(!policy.spec.is_empty(), "dirty image got a clean policy");
 
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     exfil::setup(&mut k);
     let mut router = InterposedRouter::new();
     let (agent, handle) = FlowGuardAgent::new(policy);
@@ -79,7 +79,7 @@ fn benign_twin_runs_under_a_zero_cost_policy() {
     let fa = analyze_flow(&img, &analyze_image(&img), &spec());
     let policy = FlowPolicy::from_flow(&fa, FlowMode::Enforce);
 
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     exfil::setup(&mut k);
     let mut router = InterposedRouter::new();
     let (agent, handle) = FlowGuardAgent::new(policy);
@@ -102,7 +102,7 @@ fn record_mode_traces_the_exfiltration_it_would_block() {
     let fa = analyze_flow(&img, &analyze_image(&img), &spec());
     let policy = FlowPolicy::from_flow(&fa, FlowMode::Record);
 
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     exfil::setup(&mut k);
     let mut router = InterposedRouter::new();
     let (agent, handle) = FlowGuardAgent::new(policy);

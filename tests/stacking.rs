@@ -6,7 +6,7 @@ use interposition_agents::agents::{
     CryptAgent, SandboxAgent, SandboxPolicy, TimeSymbolic, Timex, TraceAgent, TxnAgent,
 };
 use interposition_agents::interpose::{wrap_process, InterposedRouter};
-use interposition_agents::kernel::{Kernel, RunOutcome, I486_25};
+use interposition_agents::kernel::{KernelBuilder, RunOutcome};
 use interposition_agents::vm::assemble;
 
 const CLOCK_READER: &str = r#"
@@ -25,7 +25,7 @@ const CLOCK_READER: &str = r#"
 "#;
 
 fn observed_sec(offsets: &[i64]) -> u8 {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let img = assemble(CLOCK_READER).unwrap();
     let pid = k.spawn_image(&img, &[b"c"], b"c");
     let mut router = InterposedRouter::new();
@@ -48,7 +48,7 @@ fn stacked_timex_offsets_compose_additively() {
 fn trace_observes_what_timex_fabricates() {
     // trace above timex sees the raw call; timex below changes the result.
     // Both stay transparent to the client's control flow.
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let img = assemble(CLOCK_READER).unwrap();
     let pid = k.spawn_image(&img, &[b"c"], b"c");
     let mut router = InterposedRouter::new();
@@ -86,7 +86,7 @@ fn sandbox_under_txn_denies_before_any_shadowing() {
             li r0, 0
             sys exit
     "#;
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     k.write_file(b"/etc/protected.conf", b"original").unwrap();
     let img = assemble(MUTATOR).unwrap();
     let pid = k.spawn_image(&img, &[b"m"], b"m");
@@ -145,7 +145,7 @@ fn crypt_under_null_agents_still_round_trips() {
             li r0, 0
             sys exit
     "#;
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     k.mkdir_p(b"/vault").unwrap();
     let img = assemble(RW).unwrap();
     let pid = k.spawn_image(&img, &[b"c"], b"c");
@@ -166,7 +166,7 @@ fn crypt_under_null_agents_still_round_trips() {
 
 #[test]
 fn deep_chains_remain_correct() {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     let img = assemble(CLOCK_READER).unwrap();
     let pid = k.spawn_image(&img, &[b"c"], b"c");
     let mut router = InterposedRouter::new();

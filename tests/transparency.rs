@@ -7,7 +7,7 @@
 use ia_prng::run_cases;
 use interposition_agents::agents::{ProfileAgent, TimeSymbolic, TraceAgent};
 use interposition_agents::interpose::{wrap_process, InterposedRouter};
-use interposition_agents::kernel::{Kernel, RunOutcome, I486_25};
+use interposition_agents::kernel::{KernelBuilder, RunOutcome};
 use interposition_agents::workloads::mix;
 
 /// Observable outcome of a run.
@@ -24,7 +24,7 @@ struct Observed {
 }
 
 fn run_mix(seed: u64, ops: usize, agents: &str) -> Observed {
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     mix::setup(&mut k);
     let pid = k.spawn_image(&mix::random_program(seed, ops), &[b"mix"], b"mix");
     let mut router = InterposedRouter::new();
@@ -120,12 +120,12 @@ fn trace_agent_preserves_client_behaviour() {
 #[test]
 fn interposition_only_costs_time() {
     // Same program, same results; strictly more virtual time with agents.
-    let mut plain = Kernel::new(I486_25);
+    let mut plain = KernelBuilder::new().build();
     mix::setup(&mut plain);
     plain.spawn_image(&mix::random_program(7, 50), &[b"m"], b"m");
     plain.run_to_completion();
 
-    let mut k = Kernel::new(I486_25);
+    let mut k = KernelBuilder::new().build();
     mix::setup(&mut k);
     let pid = k.spawn_image(&mix::random_program(7, 50), &[b"m"], b"m");
     let mut router = InterposedRouter::new();
